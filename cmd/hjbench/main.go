@@ -1,0 +1,68 @@
+// Command hjbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hjbench -list
+//	hjbench -fig fig10a [-scale small|full|tiny] [-csv]
+//	hjbench -all [-scale small]
+//
+// Full scale reproduces the paper's exact setup (1 MB L2, 50 MB join
+// memory) and takes minutes per figure; small scale preserves the 50:1
+// memory:cache ratio at an eighth of the size and runs in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hashjoin/internal/exp"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		scale = flag.String("scale", "small", "scale: tiny, small, or full")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	sc, ok := exp.ByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hjbench: unknown scale %q (tiny, small, full)\n", *scale)
+		os.Exit(2)
+	}
+
+	switch {
+	case *all:
+		for _, e := range exp.Experiments() {
+			runOne(e, sc, *csv)
+		}
+	case *fig != "":
+		e, ok := exp.Lookup(strings.ToLower(*fig))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hjbench: unknown experiment %q; try -list\n", *fig)
+			os.Exit(2)
+		}
+		runOne(e, sc, *csv)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e exp.Experiment, sc exp.Scale, csv bool) {
+	start := time.Now()
+	exp.RunAndPrint(os.Stdout, e, sc, csv)
+	fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+}

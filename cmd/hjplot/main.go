@@ -1,0 +1,64 @@
+// Command hjplot renders an experiment's first series as ASCII bar
+// charts, a quick visual check of the curve shapes the paper reports
+// (concave tuning curves, crossovers, flattening elapsed times).
+//
+// Usage:
+//
+//	hjplot -fig fig12 [-scale tiny]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hashjoin/internal/exp"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "experiment id (see hjbench -list)")
+		scale = flag.String("scale", "tiny", "scale: tiny, small, or full")
+		width = flag.Int("width", 60, "max bar width in characters")
+	)
+	flag.Parse()
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc, ok := exp.ByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hjplot: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	e, ok := exp.Lookup(strings.ToLower(*fig))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hjplot: unknown experiment %q\n", *fig)
+		os.Exit(2)
+	}
+	for _, t := range e.Run(sc) {
+		plot(t, *width)
+	}
+}
+
+func plot(t *exp.Table, width int) {
+	fmt.Printf("== %s: %s ==\n", t.ID, t.Title)
+	for col, name := range t.Columns {
+		maxV := 0.0
+		for _, r := range t.Rows {
+			if r.Values[col] > maxV {
+				maxV = r.Values[col]
+			}
+		}
+		if maxV <= 0 {
+			continue
+		}
+		fmt.Printf("-- %s --\n", name)
+		for _, r := range t.Rows {
+			n := int(r.Values[col] / maxV * float64(width))
+			fmt.Printf("%10s | %-*s %8.2f\n", r.Label, width, strings.Repeat("#", n), r.Values[col])
+		}
+	}
+	fmt.Println()
+}

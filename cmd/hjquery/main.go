@@ -1,0 +1,119 @@
+// Command hjquery generates a synthetic workload, plans a GRACE join
+// from catalog statistics, executes it under simulation, and reports the
+// result with its cycle breakdown — the full paper pipeline in one
+// invocation.
+//
+// Usage:
+//
+//	hjquery -build 100000 -tuple 100 -matches 2 -mem 6553600 \
+//	        -scheme group -catalog out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/catalog"
+	"hashjoin/internal/core"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
+)
+
+func main() {
+	var (
+		nBuild    = flag.Int("build", 50000, "build relation tuple count")
+		tupleSize = flag.Int("tuple", 100, "tuple size in bytes")
+		matches   = flag.Int("matches", 2, "probe tuples per build tuple")
+		pct       = flag.Int("pct", 100, "percent of build tuples with matches")
+		mem       = flag.Int("mem", 6400<<10, "join memory budget in bytes")
+		schemeArg = flag.String("scheme", "plan", "baseline, simple, group, pipelined, or plan (use planner)")
+		hierarchy = flag.String("hier", "small", "memory hierarchy: small or es40")
+		catPath   = flag.String("catalog", "", "write the catalog description file here")
+		seed      = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := memsim.SmallConfig()
+	if *hierarchy == "es40" {
+		cfg = memsim.ES40Config()
+	}
+
+	spec := workload.Spec{
+		NBuild:          *nBuild,
+		TupleSize:       *tupleSize,
+		MatchesPerBuild: *matches,
+		PctMatched:      *pct,
+		Seed:            *seed,
+	}
+	a := arena.New(workload.ArenaBytesFor(spec) * 2)
+	pair := workload.Generate(a, spec)
+
+	desc := catalog.Describe("build", pair.Build)
+	cat := catalog.New()
+	cat.Put(desc)
+	cat.Put(catalog.Describe("probe", pair.Probe))
+	if *catPath != "" {
+		f, err := os.Create(*catPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hjquery:", err)
+			os.Exit(1)
+		}
+		if err := cat.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hjquery:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("catalog written to %s\n", *catPath)
+	}
+
+	plan := catalog.PlanGrace(desc, *mem, cfg)
+	gcfg := core.GraceConfig{
+		MemBudget:  *mem,
+		PartScheme: plan.PartScheme,
+		JoinScheme: plan.JoinScheme,
+		PartParams: plan.Params,
+		JoinParams: plan.Params,
+	}
+	switch *schemeArg {
+	case "plan":
+		// keep the planner's choice
+	case "baseline":
+		gcfg.PartScheme, gcfg.JoinScheme = core.SchemeBaseline, core.SchemeBaseline
+	case "simple":
+		gcfg.JoinScheme = core.SchemeSimple
+	case "group":
+		gcfg.JoinScheme = core.SchemeGroup
+	case "pipelined":
+		gcfg.JoinScheme = core.SchemePipelined
+	default:
+		fmt.Fprintf(os.Stderr, "hjquery: unknown scheme %q\n", *schemeArg)
+		os.Exit(2)
+	}
+
+	fmt.Printf("plan: %d partitions, table %d buckets, partition=%v join=%v G=%d D=%d\n",
+		plan.NPartitions, plan.TableSize, gcfg.PartScheme, gcfg.JoinScheme,
+		gcfg.JoinParams.G, gcfg.JoinParams.D)
+
+	m := vmem.New(a, memsim.NewSim(cfg))
+	res := core.Grace(m, pair.Build, pair.Probe, gcfg)
+
+	if res.NOutput != pair.ExpectedMatches {
+		fmt.Fprintf(os.Stderr, "hjquery: result mismatch: %d vs %d expected\n", res.NOutput, pair.ExpectedMatches)
+		os.Exit(1)
+	}
+	fmt.Printf("result: %d output tuples (validated)\n", res.NOutput)
+	printPhase("partition", res.PartBuildStats.Add(res.PartProbeStats))
+	printPhase("join", res.JoinStats)
+	fmt.Printf("total: %.2f Mcycles\n", float64(res.TotalCycles())/1e6)
+}
+
+func printPhase(name string, s memsim.Stats) {
+	total := float64(s.Total())
+	fmt.Printf("%-10s %10.2f Mcycles  busy %4.0f%%  dcache %4.0f%%  dtlb %4.0f%%  other %4.0f%%\n",
+		name, total/1e6,
+		100*float64(s.Busy)/total, 100*float64(s.DCacheStall)/total,
+		100*float64(s.TLBStall)/total, 100*float64(s.OtherStall)/total)
+}

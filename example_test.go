@@ -1,0 +1,62 @@
+package hashjoin_test
+
+import (
+	"fmt"
+
+	"hashjoin"
+)
+
+// ExampleEnv_Join demonstrates the basic join flow: build two relations,
+// join with group prefetching, and inspect the result.
+func ExampleEnv_Join() {
+	env := hashjoin.NewEnv(hashjoin.WithSmallHierarchy(), hashjoin.WithCapacity(32<<20))
+	users := env.NewRelation(64)
+	events := env.NewRelation(32)
+	for i := uint32(1); i <= 100; i++ {
+		users.Append(i, []byte("user-payload"))
+		events.Append(i, []byte("click"))
+		events.Append(i, []byte("view"))
+	}
+	res := env.Join(users, events, hashjoin.WithScheme(hashjoin.Group))
+	fmt.Println(res.NOutput, "matches across", res.NPartitions, "partition")
+	// Output: 200 matches across 1 partition
+}
+
+// ExampleEnv_Join_grace shows the full GRACE pipeline: a memory budget
+// forces I/O partitioning before the in-memory joins.
+func ExampleEnv_Join_grace() {
+	env := hashjoin.NewEnv(hashjoin.WithSmallHierarchy(), hashjoin.WithCapacity(64<<20))
+	build := env.NewRelation(100)
+	probe := env.NewRelation(100)
+	for i := uint32(1); i <= 4000; i++ {
+		build.Append(i*2654435761|1, nil)
+		probe.Append(i*2654435761|1, nil)
+	}
+	res := env.Join(build, probe,
+		hashjoin.WithScheme(hashjoin.Pipelined),
+		hashjoin.WithMemBudget(128<<10))
+	fmt.Println(res.NOutput, "matches,", res.NPartitions > 1, "= partitioned")
+	// Output: 4000 matches, true = partitioned
+}
+
+// ExampleEnv_Aggregate groups tuples by key, counting and summing.
+func ExampleEnv_Aggregate() {
+	env := hashjoin.NewEnv(hashjoin.WithSmallHierarchy(), hashjoin.WithCapacity(32<<20))
+	sales := env.NewRelation(16)
+	for day := 0; day < 3; day++ {
+		sales.Append(42, []byte{10, 0, 0, 0}) // amount 10 for customer 42
+	}
+	groups, _ := env.Aggregate(sales, 4, hashjoin.WithScheme(hashjoin.Group))
+	for _, g := range groups {
+		fmt.Printf("customer %d: %d purchases, %d total\n", g.Key, g.Count, g.Sum)
+	}
+	// Output: customer 42: 3 purchases, 30 total
+}
+
+// ExampleOptimalParamsFor derives the paper's tuned parameters from the
+// analytical model (Theorems 1 and 2).
+func ExampleOptimalParamsFor() {
+	p := hashjoin.OptimalParamsFor(150, 10)
+	fmt.Println(p.G >= 10 && p.G <= 25, p.D >= 1)
+	// Output: true true
+}

@@ -1,0 +1,77 @@
+// Robustness: the paper's Figure 18 scenario as a demo. Cache
+// partitioning assumes exclusive use of the CPU cache; on a busy server
+// other activities evict its carefully sized partitions. Here the cache
+// is flushed periodically (the worst-case interference) and the join is
+// re-run: group prefetching barely notices, while the cache-resident
+// strategy loses its advantage.
+package main
+
+import (
+	"fmt"
+
+	"hashjoin"
+)
+
+const (
+	nBuild    = 15000
+	tupleSize = 100
+)
+
+// run joins under a given flush interval (0 = no interference).
+func run(scheme hashjoin.Scheme, flushEvery uint64, budget int) uint64 {
+	opts := []hashjoin.Option{hashjoin.WithSmallHierarchy(), hashjoin.WithCapacity(256 << 20)}
+	if flushEvery > 0 {
+		// Options apply in order: the flush interval must modify the
+		// small hierarchy, so it comes after.
+		opts = append(opts, hashjoin.WithCacheFlushing(flushEvery))
+	}
+	env := hashjoin.NewEnv(opts...)
+	build := env.NewRelation(tupleSize)
+	probe := env.NewRelation(tupleSize)
+	payload := make([]byte, tupleSize-4)
+	for i := 0; i < nBuild; i++ {
+		key := uint32(i)*2654435761 | 1
+		build.Append(key, payload)
+		probe.Append(key, payload)
+		probe.Append(key, payload)
+	}
+	var res hashjoin.Result
+	if budget > 0 {
+		res = env.Join(build, probe, hashjoin.WithScheme(scheme), hashjoin.WithMemBudget(budget))
+	} else {
+		res = env.Join(build, probe, hashjoin.WithScheme(scheme))
+	}
+	// Figure 18 compares join-phase time only; the I/O partition phase
+	// streams sequentially and is insensitive to cache interference.
+	return res.JoinStats.Total()
+}
+
+func main() {
+	// Flush periods scaled to the 128 KB L2 of the small hierarchy, like
+	// the paper's 10 ms / 2 ms on a 1 MB cache.
+	periods := []struct {
+		label string
+		every uint64
+	}{
+		{"no interference", 0},
+		{"flush every 500K cycles", 500_000},
+		{"flush every 100K cycles", 100_000},
+	}
+
+	fmt.Println("join phase under periodic cache flushing (normalized, 100 = undisturbed)")
+	fmt.Printf("%-28s %14s %18s\n", "interference", "group prefetch", "cache-partitioned")
+
+	var baseG, baseC float64
+	for i, p := range periods {
+		g := float64(run(hashjoin.Group, p.every, 0))
+		// "Cache partitioning": tiny memory budget forces cache-sized
+		// partitions joined with plain simple prefetching.
+		c := float64(run(hashjoin.Simple, p.every, 48<<10))
+		if i == 0 {
+			baseG, baseC = g, c
+		}
+		fmt.Printf("%-28s %13.0f%% %17.0f%%\n", p.label, 100*g/baseG, 100*c/baseC)
+	}
+	fmt.Println("\n(the paper measures up to 67% degradation for cache partitioning,")
+	fmt.Println(" while the prefetching schemes stay within a few percent)")
+}

@@ -1,0 +1,82 @@
+// Tuning: sweep the group size G and prefetch distance D for a workload
+// and compare the measured optimum with the analytical minima of the
+// paper's Theorems 1 and 2. Reproduces the concave curves of Figure 12
+// as ASCII plots: too-small parameters expose latency, too-large ones
+// cause cache conflict misses.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"hashjoin"
+)
+
+const (
+	nBuild    = 30000
+	tupleSize = 20 // the paper tunes at 20 B tuples
+)
+
+func measure(scheme hashjoin.Scheme, p hashjoin.Params) float64 {
+	env := hashjoin.NewEnv(hashjoin.WithSmallHierarchy(), hashjoin.WithCapacity(128<<20))
+	build := env.NewRelation(tupleSize)
+	probe := env.NewRelation(tupleSize)
+	payload := make([]byte, tupleSize-4)
+	for i := 0; i < nBuild; i++ {
+		key := uint32(i)*2654435761 | 1
+		build.Append(key, payload)
+		probe.Append(key, payload)
+		probe.Append(key, payload)
+	}
+	res := env.Join(build, probe, hashjoin.WithScheme(scheme), hashjoin.WithParams(p))
+	return float64(res.TotalCycles()) / 1e6
+}
+
+func plot(label string, xs []int, ys []float64) {
+	maxY := 0.0
+	for _, y := range ys {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	fmt.Printf("-- %s --\n", label)
+	for i, x := range xs {
+		bar := int(ys[i] / maxY * 50)
+		fmt.Printf("%4d | %-50s %7.2f Mcycles\n", x, strings.Repeat("#", bar), ys[i])
+	}
+	fmt.Println()
+}
+
+func main() {
+	opt := hashjoin.OptimalParamsFor(150, 10)
+	fmt.Printf("Theorem 1/2 analytical minima at T=150, Tnext=10: G=%d, D=%d\n", opt.G, opt.D)
+	fmt.Printf("(the paper's measured optima: G=19, D=1)\n\n")
+
+	gs := []int{1, 2, 4, 8, 16, 19, 32, 64, 128}
+	gy := make([]float64, len(gs))
+	for i, g := range gs {
+		gy[i] = measure(hashjoin.Group, hashjoin.Params{G: g, D: 1})
+	}
+	plot("group prefetching: time vs G", gs, gy)
+
+	ds := []int{1, 2, 4, 8, 16, 32}
+	dy := make([]float64, len(ds))
+	for i, d := range ds {
+		dy[i] = measure(hashjoin.Pipelined, hashjoin.Params{G: 1, D: d})
+	}
+	plot("software-pipelined prefetching: time vs D", ds, dy)
+
+	bestG, bestD := gs[argmin(gy)], ds[argmin(dy)]
+	fmt.Printf("measured optima on this workload: G=%d, D=%d\n", bestG, bestD)
+}
+
+func argmin(ys []float64) int {
+	best := 0
+	for i, y := range ys {
+		if y < ys[best] {
+			best = i
+		}
+		_ = y
+	}
+	return best
+}

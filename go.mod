@@ -1,0 +1,3 @@
+module hashjoin
+
+go 1.22

@@ -1,0 +1,339 @@
+// Package hashjoin is a laboratory for cache-conscious hash joins,
+// reproducing Chen, Ailamaki, Gibbons and Mowry, "Improving Hash Join
+// Performance through Prefetching" (ICDE 2004).
+//
+// It provides the GRACE hash join — I/O partitioning plus in-memory
+// hash-table joins — in four variants: the classic baseline, simple
+// prefetching, group prefetching, and software-pipelined prefetching,
+// together with the cache-partitioning comparators the paper evaluates
+// against. All algorithms execute against a cycle-level memory-hierarchy
+// simulator, so every run yields both the real join output and a
+// decomposition of execution time into busy cycles, data-cache stalls,
+// TLB stalls, and other stalls — the same lens the paper uses.
+//
+// Quick start:
+//
+//	env := hashjoin.NewEnv()
+//	build := env.NewRelation(100)
+//	probe := env.NewRelation(100)
+//	build.Append(42, []byte("...payload...")) // etc.
+//	res := env.Join(build, probe, hashjoin.WithScheme(hashjoin.Group))
+//	fmt.Println(res.NOutput, res.Breakdown())
+//
+// The experiments of the paper's section 7 are exposed through
+// RunExperiment; the cmd/hjbench tool drives them from the command line.
+package hashjoin
+
+import (
+	"fmt"
+	"io"
+
+	"hashjoin/internal/core"
+	"hashjoin/internal/exp"
+	jhash "hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/model"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// Scheme selects a prefetching strategy.
+type Scheme = core.Scheme
+
+// Prefetching schemes.
+const (
+	// Baseline is the unmodified GRACE hash join.
+	Baseline = core.SchemeBaseline
+	// Simple prefetches whole input pages after each disk read.
+	Simple = core.SchemeSimple
+	// Group is group prefetching (paper section 4).
+	Group = core.SchemeGroup
+	// Pipelined is software-pipelined prefetching (paper section 5).
+	Pipelined = core.SchemePipelined
+	// Combined picks Simple or Group per the partition-phase policy of
+	// section 7.4 (partition phase only).
+	Combined = core.SchemeCombined
+)
+
+// Params are the prefetching tuning knobs: group size G and prefetch
+// distance D. The zero value selects the paper's tuned defaults.
+type Params = core.Params
+
+// Stats is the simulated execution-time breakdown.
+type Stats = memsim.Stats
+
+// Env owns a simulated address space and memory hierarchy. Relations
+// built in an Env can be joined and partitioned under simulation. An
+// Env is not safe for concurrent use.
+type Env struct {
+	mem *vmem.Mem
+	cfg memsim.Config
+}
+
+// Option configures an Env.
+type Option func(*envConfig)
+
+type envConfig struct {
+	hierarchy memsim.Config
+	capacity  uint64
+}
+
+// WithHierarchy selects the simulated memory hierarchy (default: the
+// paper's Table 2 / Compaq ES40 configuration).
+func WithHierarchy(cfg memsim.Config) Option {
+	return func(e *envConfig) { e.hierarchy = cfg }
+}
+
+// WithSmallHierarchy selects the 8x-scaled hierarchy used by tests and
+// benchmarks (128 KB L2, unchanged latencies).
+func WithSmallHierarchy() Option {
+	return func(e *envConfig) { e.hierarchy = memsim.SmallConfig() }
+}
+
+// WithCapacity sets the simulated address-space capacity in bytes
+// (default 256 MB). Relations, hash tables, partitions, and output all
+// live within it.
+func WithCapacity(bytes uint64) Option {
+	return func(e *envConfig) { e.capacity = bytes }
+}
+
+// WithCacheFlushing injects worst-case cache interference: both caches
+// and the TLB are invalidated every interval cycles (paper Figure 18).
+func WithCacheFlushing(interval uint64) Option {
+	return func(e *envConfig) { e.hierarchy.FlushInterval = interval }
+}
+
+// NewEnv creates an environment.
+func NewEnv(opts ...Option) *Env {
+	ec := envConfig{hierarchy: memsim.ES40Config(), capacity: 256 << 20}
+	for _, o := range opts {
+		o(&ec)
+	}
+	return &Env{
+		mem: vmem.NewSized(ec.capacity, ec.hierarchy),
+		cfg: ec.hierarchy,
+	}
+}
+
+// Stats returns the cumulative simulation statistics of the Env.
+func (e *Env) Stats() Stats { return e.mem.S.Stats() }
+
+// Relation is a simulated table: fixed-width tuples of a 4-byte join
+// key plus payload, stored in slotted pages.
+type Relation struct {
+	rel *storage.Relation
+	env *Env
+}
+
+// NewRelation creates an empty relation with tupleSize-byte tuples
+// (4-byte key + payload) on 8 KB slotted pages.
+func (e *Env) NewRelation(tupleSize int) *Relation {
+	return &Relation{
+		rel: storage.NewRelation(e.mem.A, storage.KeyPayloadSchema(tupleSize), 8<<10),
+		env: e,
+	}
+}
+
+// Append adds one tuple. The payload is padded or truncated to the
+// relation's payload width.
+func (r *Relation) Append(key uint32, payload []byte) {
+	width := r.rel.Schema.FixedWidth()
+	tup := make([]byte, width)
+	tup[0] = byte(key)
+	tup[1] = byte(key >> 8)
+	tup[2] = byte(key >> 16)
+	tup[3] = byte(key >> 24)
+	copy(tup[4:], payload)
+	r.rel.Append(tup, hashCode(key))
+}
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return r.rel.NTuples }
+
+// Bytes returns the storage footprint.
+func (r *Relation) Bytes() int { return r.rel.ByteSize() }
+
+// JoinOption configures a join.
+type JoinOption func(*joinConfig)
+
+type joinConfig struct {
+	scheme     Scheme
+	params     Params
+	memBudget  int
+	keepOutput bool
+	endToEnd   bool
+}
+
+// WithScheme selects the prefetching scheme (default Group).
+func WithScheme(s Scheme) JoinOption {
+	return func(c *joinConfig) { c.scheme = s }
+}
+
+// WithParams tunes G and D.
+func WithParams(p Params) JoinOption {
+	return func(c *joinConfig) { c.params = p }
+}
+
+// WithMemBudget sets the join-phase memory budget in bytes and enables
+// the full GRACE pipeline (I/O partitioning first). Without it the two
+// relations are joined directly as one partition pair.
+func WithMemBudget(bytes int) JoinOption {
+	return func(c *joinConfig) { c.memBudget = bytes; c.endToEnd = true }
+}
+
+// KeepOutput materializes the joined tuples for inspection.
+func KeepOutput() JoinOption {
+	return func(c *joinConfig) { c.keepOutput = true }
+}
+
+// Result reports a join.
+type Result struct {
+	NOutput int    // output tuples produced
+	KeySum  uint64 // order-independent checksum of output build keys
+
+	NPartitions int // 1 for direct pair joins
+
+	PartitionStats Stats // zero for direct pair joins
+	JoinStats      Stats
+
+	output *storage.Relation
+}
+
+// TotalCycles returns the simulated cycles of all measured phases.
+func (r Result) TotalCycles() uint64 {
+	return r.PartitionStats.Total() + r.JoinStats.Total()
+}
+
+// Breakdown formats the cycle decomposition.
+func (r Result) Breakdown() string {
+	s := r.PartitionStats.Add(r.JoinStats)
+	total := float64(s.Total())
+	return fmt.Sprintf("busy %.0f%% / dcache %.0f%% / dtlb %.0f%% / other %.0f%%",
+		100*float64(s.Busy)/total, 100*float64(s.DCacheStall)/total,
+		100*float64(s.TLBStall)/total, 100*float64(s.OtherStall)/total)
+}
+
+// EachOutput iterates over materialized output tuples (KeepOutput).
+func (r Result) EachOutput(fn func(tuple []byte)) {
+	if r.output == nil {
+		return
+	}
+	r.output.Each(func(t []byte, _ uint32) { fn(t) })
+}
+
+// Join joins two relations built in this Env.
+func (e *Env) Join(build, probe *Relation, opts ...JoinOption) Result {
+	jc := joinConfig{scheme: Group, params: core.DefaultParams()}
+	for _, o := range opts {
+		o(&jc)
+	}
+	if build.env != e || probe.env != e {
+		panic("hashjoin: relations belong to a different Env")
+	}
+	if jc.endToEnd {
+		gr := core.Grace(e.mem, build.rel, probe.rel, core.GraceConfig{
+			MemBudget:  jc.memBudget,
+			PartScheme: Combined,
+			JoinScheme: jc.scheme,
+			PartParams: jc.params,
+			JoinParams: jc.params,
+			Keep:       jc.keepOutput,
+		})
+		return Result{
+			NOutput:        gr.NOutput,
+			KeySum:         gr.KeySum,
+			NPartitions:    gr.NPartitions,
+			PartitionStats: gr.PartBuildStats.Add(gr.PartProbeStats),
+			JoinStats:      gr.JoinStats,
+		}
+	}
+	jr := core.JoinPair(e.mem, build.rel, probe.rel, jc.scheme, jc.params, 1, jc.keepOutput)
+	return Result{
+		NOutput:     jr.NOutput,
+		KeySum:      jr.KeySum,
+		NPartitions: 1,
+		JoinStats:   jr.Stats(),
+		output:      jr.Output,
+	}
+}
+
+// Partition divides a relation into n hash partitions, returning the
+// per-partition tuple counts and the phase breakdown.
+func (e *Env) Partition(r *Relation, n int, opts ...JoinOption) (counts []int, stats Stats) {
+	jc := joinConfig{scheme: Combined, params: core.DefaultParams()}
+	for _, o := range opts {
+		o(&jc)
+	}
+	res := core.PartitionRelation(e.mem, r.rel, n, jc.scheme, jc.params)
+	counts = make([]int, n)
+	for i, p := range res.Partitions {
+		counts[i] = p.NTuples
+	}
+	return counts, res.Stats
+}
+
+// GroupStat is one aggregation group: COUNT(*) and SUM(value) where the
+// value is the 4-byte integer following the key in each tuple.
+type GroupStat struct {
+	Key   uint32
+	Count uint64
+	Sum   uint64
+}
+
+// Aggregate performs a hash-based group-by over r's join keys — the
+// extension the paper's conclusion proposes for its techniques. Scheme
+// Baseline, Simple, or Group applies; expectedGroups sizes the hash
+// table. It returns the per-group stats and the phase breakdown.
+func (e *Env) Aggregate(r *Relation, expectedGroups int, opts ...JoinOption) ([]GroupStat, Stats) {
+	jc := joinConfig{scheme: Group, params: core.DefaultParams()}
+	for _, o := range opts {
+		o(&jc)
+	}
+	res := core.Aggregate(e.mem, r.rel, expectedGroups, jc.scheme, jc.params)
+	groups := make([]GroupStat, 0, res.NGroups)
+	res.Each(func(key uint32, count, sum uint64) {
+		groups = append(groups, GroupStat{Key: key, Count: count, Sum: sum})
+	})
+	return groups, res.Stats
+}
+
+// OptimalParams returns the analytically derived smallest G and D that
+// hide all probe-loop miss latencies at the Env's memory latency
+// (the paper's Theorems 1 and 2).
+func (e *Env) OptimalParams() Params {
+	return OptimalParamsFor(e.cfg.MemLatency, e.cfg.MemNextLatency)
+}
+
+// OptimalParamsFor computes the Theorem 1/2 minima for a probe loop on a
+// memory system with full latency t and pipelined latency tnext.
+func OptimalParamsFor(t, tnext uint64) Params {
+	stages := model.ProbeStages(t, tnext)
+	p := Params{G: stages.OptimalG(), D: stages.OptimalD()}
+	if p.G == 0 {
+		p.G = core.DefaultParams().G
+	}
+	return p
+}
+
+// RunExperiment reproduces one of the paper's figures (e.g. "fig10a"),
+// printing its tables to w. Scale is "tiny", "small", or "full". It
+// returns an error for unknown ids or scales.
+func RunExperiment(w io.Writer, id, scale string) error {
+	e, ok := exp.Lookup(id)
+	if !ok {
+		return fmt.Errorf("hashjoin: unknown experiment %q (have %v)", id, exp.IDs())
+	}
+	sc, ok := exp.ByName(scale)
+	if !ok {
+		return fmt.Errorf("hashjoin: unknown scale %q", scale)
+	}
+	exp.RunAndPrint(w, e, sc, false)
+	return nil
+}
+
+// ExperimentIDs lists the reproducible figures.
+func ExperimentIDs() []string { return exp.IDs() }
+
+// hashCode memoizes the engine's hash function when building Relations,
+// as the partition phase would (paper section 7.1).
+func hashCode(key uint32) uint32 { return jhash.CodeU32(key) }

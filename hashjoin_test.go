@@ -1,0 +1,230 @@
+package hashjoin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallEnv returns a test environment with the scaled hierarchy.
+func smallEnv() *Env {
+	return NewEnv(WithSmallHierarchy(), WithCapacity(64<<20))
+}
+
+// fillPair appends n matched tuples to both relations (two probes per
+// build tuple) and m probe-only tuples.
+func fillPair(build, probe *Relation, n, misses, tupleSize int) {
+	payload := make([]byte, tupleSize-4)
+	for i := 0; i < n; i++ {
+		key := uint32(i)*2654435761 | 1
+		build.Append(key, payload)
+		probe.Append(key, payload)
+		probe.Append(key, payload)
+	}
+	for i := 0; i < misses; i++ {
+		probe.Append(uint32(i)*2654435761&^1, payload) // even: never matches
+	}
+}
+
+func TestJoinAPISchemes(t *testing.T) {
+	for _, scheme := range []Scheme{Baseline, Simple, Group, Pipelined} {
+		env := smallEnv()
+		build := env.NewRelation(60)
+		probe := env.NewRelation(60)
+		fillPair(build, probe, 500, 100, 60)
+		res := env.Join(build, probe, WithScheme(scheme))
+		if res.NOutput != 1000 {
+			t.Errorf("%v: NOutput = %d, want 1000", scheme, res.NOutput)
+		}
+		if res.TotalCycles() == 0 {
+			t.Errorf("%v: no simulated time charged", scheme)
+		}
+		if res.NPartitions != 1 {
+			t.Errorf("%v: direct join reported %d partitions", scheme, res.NPartitions)
+		}
+	}
+}
+
+func TestJoinAPIEndToEnd(t *testing.T) {
+	env := smallEnv()
+	build := env.NewRelation(100)
+	probe := env.NewRelation(100)
+	fillPair(build, probe, 5000, 0, 100)
+	res := env.Join(build, probe, WithScheme(Group), WithMemBudget(128<<10))
+	if res.NOutput != 10000 {
+		t.Fatalf("NOutput = %d, want 10000", res.NOutput)
+	}
+	if res.NPartitions < 2 {
+		t.Fatalf("expected multiple partitions with a 128KB budget, got %d", res.NPartitions)
+	}
+	if res.PartitionStats.Total() == 0 {
+		t.Fatal("partition phase charged no time")
+	}
+}
+
+func TestKeepOutputIteration(t *testing.T) {
+	env := smallEnv()
+	build := env.NewRelation(20)
+	probe := env.NewRelation(20)
+	fillPair(build, probe, 50, 0, 20)
+	res := env.Join(build, probe, WithScheme(Group), KeepOutput())
+	count := 0
+	res.EachOutput(func(tuple []byte) {
+		if len(tuple) != 40 {
+			t.Fatalf("output tuple %d bytes, want 40", len(tuple))
+		}
+		count++
+	})
+	if count != res.NOutput {
+		t.Fatalf("iterated %d tuples, NOutput = %d", count, res.NOutput)
+	}
+}
+
+func TestPartitionAPI(t *testing.T) {
+	env := smallEnv()
+	rel := env.NewRelation(40)
+	payload := make([]byte, 36)
+	for i := 0; i < 2000; i++ {
+		rel.Append(uint32(i)*2654435761, payload)
+	}
+	counts, stats := env.Partition(rel, 16)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2000 {
+		t.Fatalf("partitions hold %d tuples, want 2000", total)
+	}
+	if stats.Total() == 0 {
+		t.Fatal("partition phase charged no time")
+	}
+}
+
+func TestJoinRejectsForeignRelation(t *testing.T) {
+	env1, env2 := smallEnv(), smallEnv()
+	r1 := env1.NewRelation(20)
+	r2 := env2.NewRelation(20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("joining relations from different Envs should panic")
+		}
+	}()
+	env1.Join(r1, r2)
+}
+
+func TestBreakdownFormat(t *testing.T) {
+	env := smallEnv()
+	build := env.NewRelation(60)
+	probe := env.NewRelation(60)
+	fillPair(build, probe, 300, 0, 60)
+	res := env.Join(build, probe)
+	s := res.Breakdown()
+	for _, want := range []string{"busy", "dcache", "dtlb", "other"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Breakdown() = %q, missing %s", s, want)
+		}
+	}
+}
+
+func TestOptimalParamsSane(t *testing.T) {
+	p := OptimalParamsFor(150, 10)
+	if p.G < 4 || p.G > 32 {
+		t.Errorf("OptimalParamsFor(150,10).G = %d, want near the paper's 19", p.G)
+	}
+	if p.D < 1 || p.D > 8 {
+		t.Errorf("OptimalParamsFor(150,10).D = %d", p.D)
+	}
+	big := OptimalParamsFor(1000, 10)
+	if big.G <= p.G {
+		t.Errorf("optimal G should grow with latency: %d vs %d", p.G, big.G)
+	}
+	env := smallEnv()
+	if env.OptimalParams().G == 0 {
+		t.Error("Env.OptimalParams returned G=0")
+	}
+}
+
+func TestGroupBeatsBaselineViaAPI(t *testing.T) {
+	cycles := map[Scheme]uint64{}
+	for _, scheme := range []Scheme{Baseline, Group} {
+		env := smallEnv()
+		build := env.NewRelation(100)
+		probe := env.NewRelation(100)
+		fillPair(build, probe, 8000, 0, 100)
+		cycles[scheme] = env.Join(build, probe, WithScheme(scheme)).TotalCycles()
+	}
+	if s := float64(cycles[Baseline]) / float64(cycles[Group]); s < 1.5 {
+		t.Errorf("group speedup via API = %.2f, want >= 1.5", s)
+	}
+}
+
+func TestCacheFlushingOption(t *testing.T) {
+	env := NewEnv(WithSmallHierarchy(), WithCacheFlushing(100_000), WithCapacity(64<<20))
+	build := env.NewRelation(60)
+	probe := env.NewRelation(60)
+	fillPair(build, probe, 2000, 0, 60)
+	res := env.Join(build, probe, WithScheme(Group))
+	if res.NOutput != 4000 {
+		t.Fatalf("flushed join produced %d outputs", res.NOutput)
+	}
+	if env.Stats().Flushes == 0 {
+		t.Fatal("no flushes recorded despite WithCacheFlushing")
+	}
+}
+
+func TestAggregateAPISchemes(t *testing.T) {
+	for _, scheme := range []Scheme{Baseline, Simple, Group, Pipelined} {
+		env := smallEnv()
+		rel := env.NewRelation(16)
+		val := []byte{5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+		for i := 0; i < 900; i++ {
+			rel.Append(uint32(i%90)*2654435761|1, val)
+		}
+		groups, stats := env.Aggregate(rel, 90, WithScheme(scheme))
+		if len(groups) != 90 {
+			t.Errorf("%v: %d groups, want 90", scheme, len(groups))
+			continue
+		}
+		for _, g := range groups {
+			if g.Count != 10 || g.Sum != 50 {
+				t.Errorf("%v: group %#x = (%d,%d), want (10,50)", scheme, g.Key, g.Count, g.Sum)
+			}
+		}
+		if stats.Total() == 0 {
+			t.Errorf("%v: aggregation charged no time", scheme)
+		}
+	}
+}
+
+func TestRunExperimentAPI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, "fig11", "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "baseline") {
+		t.Fatalf("experiment output missing series: %s", buf.String())
+	}
+	if err := RunExperiment(&buf, "nope", "tiny"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := RunExperiment(&buf, "fig11", "nope"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestExperimentIDsExposed(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 16 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+}
+
+func TestAppendPadsAndTruncatesPayload(t *testing.T) {
+	env := smallEnv()
+	r := env.NewRelation(12)
+	r.Append(7, []byte("way-too-long-payload"))
+	r.Append(8, nil)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,101 @@
+// Package arena provides a flat simulated address space with a bump
+// allocator. All data structures visited by the join algorithms (pages,
+// hash buckets, cell arrays, output buffers) are allocated here so that
+// every access carries a concrete address the memory-hierarchy simulator
+// can map onto cache sets and TLB pages.
+//
+// Addresses are plain uint64 offsets into one backing byte slice, offset
+// by Base so that address 0 can serve as a nil sentinel.
+package arena
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Base is the first valid address handed out by an Arena. Address values
+// below Base (in particular 0) never refer to allocated storage and are
+// used as nil pointers by higher layers.
+const Base uint64 = 1 << 16
+
+// Addr is a simulated address. The zero value is the nil address.
+type Addr = uint64
+
+// Arena is a bump allocator over a contiguous simulated address space.
+// The zero value is not usable; call New.
+type Arena struct {
+	data []byte
+	next uint64 // next free offset relative to Base
+}
+
+// New creates an arena able to hold capacity bytes.
+func New(capacity uint64) *Arena {
+	return &Arena{data: make([]byte, capacity)}
+}
+
+// Cap returns the arena capacity in bytes.
+func (a *Arena) Cap() uint64 { return uint64(len(a.data)) }
+
+// Used returns the number of bytes allocated so far.
+func (a *Arena) Used() uint64 { return a.next }
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the address of the first byte. It panics if the arena is exhausted:
+// exhaustion is a sizing bug in the experiment setup, not a runtime
+// condition a caller could recover from.
+func (a *Arena) Alloc(size, align uint64) Addr {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("arena: alignment %d is not a power of two", align))
+	}
+	off := (a.next + align - 1) &^ (align - 1)
+	if off+size > uint64(len(a.data)) {
+		panic(fmt.Sprintf("arena: out of space: need %d bytes at offset %d, cap %d", size, off, len(a.data)))
+	}
+	a.next = off + size
+	return Base + off
+}
+
+// AllocZeroed is Alloc followed by clearing the returned region. Regions
+// from a fresh arena are already zero; this exists for reuse after Reset.
+func (a *Arena) AllocZeroed(size, align uint64) Addr {
+	addr := a.Alloc(size, align)
+	b := a.Bytes(addr, size)
+	for i := range b {
+		b[i] = 0
+	}
+	return addr
+}
+
+// Reset discards all allocations, keeping the backing storage.
+func (a *Arena) Reset() { a.next = 0 }
+
+// Bytes returns the backing slice for [addr, addr+size). The slice aliases
+// arena storage; writes through it are visible to subsequent reads.
+func (a *Arena) Bytes(addr Addr, size uint64) []byte {
+	off := addr - Base
+	if addr < Base || off+size > uint64(len(a.data)) {
+		panic(fmt.Sprintf("arena: access [%#x,+%d) out of range (cap %d)", addr, size, len(a.data)))
+	}
+	return a.data[off : off+size : off+size]
+}
+
+// U32 reads a little-endian uint32 at addr.
+func (a *Arena) U32(addr Addr) uint32 { return binary.LittleEndian.Uint32(a.Bytes(addr, 4)) }
+
+// PutU32 writes a little-endian uint32 at addr.
+func (a *Arena) PutU32(addr Addr, v uint32) { binary.LittleEndian.PutUint32(a.Bytes(addr, 4), v) }
+
+// U64 reads a little-endian uint64 at addr.
+func (a *Arena) U64(addr Addr) uint64 { return binary.LittleEndian.Uint64(a.Bytes(addr, 8)) }
+
+// PutU64 writes a little-endian uint64 at addr.
+func (a *Arena) PutU64(addr Addr, v uint64) { binary.LittleEndian.PutUint64(a.Bytes(addr, 8), v) }
+
+// U16 reads a little-endian uint16 at addr.
+func (a *Arena) U16(addr Addr) uint16 { return binary.LittleEndian.Uint16(a.Bytes(addr, 2)) }
+
+// PutU16 writes a little-endian uint16 at addr.
+func (a *Arena) PutU16(addr Addr, v uint16) { binary.LittleEndian.PutUint16(a.Bytes(addr, 2), v) }

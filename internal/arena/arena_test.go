@@ -1,0 +1,129 @@
+package arena
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	a := New(1 << 16)
+	for _, align := range []uint64{1, 2, 4, 8, 16, 64, 4096} {
+		addr := a.Alloc(3, align)
+		if addr%align != 0 {
+			t.Fatalf("Alloc(3, %d) = %#x, not aligned", align, addr)
+		}
+		if addr < Base {
+			t.Fatalf("address %#x below Base", addr)
+		}
+	}
+}
+
+func TestAllocDisjoint(t *testing.T) {
+	a := New(1 << 12)
+	p := a.Alloc(16, 8)
+	q := a.Alloc(16, 8)
+	if q < p+16 {
+		t.Fatalf("allocations overlap: %#x then %#x", p, q)
+	}
+	b1 := a.Bytes(p, 16)
+	b2 := a.Bytes(q, 16)
+	for i := range b1 {
+		b1[i] = 0xAA
+	}
+	for _, v := range b2 {
+		if v == 0xAA {
+			t.Fatalf("write to first region leaked into second")
+		}
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	a := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on exhaustion")
+		}
+	}()
+	a.Alloc(128, 1)
+}
+
+func TestBadAlignmentPanics(t *testing.T) {
+	a := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on non-power-of-two alignment")
+		}
+	}()
+	a.Alloc(8, 3)
+}
+
+func TestOutOfRangeAccessPanics(t *testing.T) {
+	a := New(64)
+	for _, addr := range []Addr{0, Base - 1, Base + 61} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bytes(%#x, 4) should panic", addr)
+				}
+			}()
+			a.Bytes(addr, 4)
+		}()
+	}
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	a := New(1 << 12)
+	p := a.Alloc(32, 8)
+	a.PutU16(p, 0xBEEF)
+	a.PutU32(p+2, 0xDEADBEEF)
+	a.PutU64(p+6, 0x0123456789ABCDEF)
+	if a.U16(p) != 0xBEEF || a.U32(p+2) != 0xDEADBEEF || a.U64(p+6) != 0x0123456789ABCDEF {
+		t.Fatalf("scalar round trip failed")
+	}
+}
+
+func TestResetReusesSpace(t *testing.T) {
+	a := New(128)
+	p1 := a.Alloc(64, 1)
+	a.Reset()
+	p2 := a.AllocZeroed(64, 1)
+	if p1 != p2 {
+		t.Fatalf("post-Reset allocation at %#x, want %#x", p2, p1)
+	}
+	for _, v := range a.Bytes(p2, 64) {
+		if v != 0 {
+			t.Fatalf("AllocZeroed returned dirty memory after Reset")
+		}
+	}
+}
+
+func TestQuickU64RoundTrip(t *testing.T) {
+	a := New(1 << 16)
+	p := a.Alloc(8, 8)
+	f := func(v uint64) bool {
+		a.PutU64(p, v)
+		return a.U64(p) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAllocMonotonic(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := New(1 << 22)
+		var prevEnd Addr = Base
+		for _, sz := range sizes {
+			s := uint64(sz%512) + 1
+			p := a.Alloc(s, 8)
+			if p < prevEnd {
+				return false
+			}
+			prevEnd = p + s
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package catalog implements the description-file layer the paper
+// mentions in section 7.1: "Schemas and statistics are kept in separate
+// description files ..., the latter of which are used by the hash join
+// algorithms to compute numbers of partitions and hash table sizes."
+// Relation descriptions (schema summary plus statistics) serialize as
+// JSON; the planner turns them into GRACE parameters — partition count,
+// hash table size, scheme choice, and tuned G/D from the analytic model.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hashjoin/internal/core"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/model"
+	"hashjoin/internal/storage"
+)
+
+// RelationDesc is the persisted description of one relation.
+type RelationDesc struct {
+	Name         string `json:"name"`
+	TupleSize    int    `json:"tuple_size"`
+	PageSize     int    `json:"page_size"`
+	NTuples      int    `json:"n_tuples"`
+	NPages       int    `json:"n_pages"`
+	DistinctKeys int    `json:"distinct_keys"`
+}
+
+// Describe scans a relation (untimed; statistics collection is offline
+// in the paper's setup) and builds its description.
+func Describe(name string, rel *storage.Relation) RelationDesc {
+	distinct := make(map[uint32]struct{}, rel.NTuples)
+	rel.Each(func(tup []byte, _ uint32) {
+		distinct[rel.Schema.Key(tup)] = struct{}{}
+	})
+	return RelationDesc{
+		Name:         name,
+		TupleSize:    rel.Schema.FixedWidth(),
+		PageSize:     rel.PageSize,
+		NTuples:      rel.NTuples,
+		NPages:       rel.NPages(),
+		DistinctKeys: len(distinct),
+	}
+}
+
+// Bytes returns the relation's storage footprint.
+func (d RelationDesc) Bytes() int { return d.NPages * d.PageSize }
+
+// Catalog is a named set of relation descriptions.
+type Catalog struct {
+	Relations map[string]RelationDesc `json:"relations"`
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{Relations: make(map[string]RelationDesc)}
+}
+
+// Put records a description.
+func (c *Catalog) Put(d RelationDesc) { c.Relations[d.Name] = d }
+
+// Get fetches a description.
+func (c *Catalog) Get(name string) (RelationDesc, bool) {
+	d, ok := c.Relations[name]
+	return d, ok
+}
+
+// Save writes the catalog as indented JSON — the "description file".
+func (c *Catalog) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Load reads a catalog written by Save.
+func Load(r io.Reader) (*Catalog, error) {
+	c := New()
+	if err := json.NewDecoder(r).Decode(c); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if c.Relations == nil {
+		c.Relations = make(map[string]RelationDesc)
+	}
+	return c, nil
+}
+
+// Plan is the planner's output for one GRACE join.
+type Plan struct {
+	NPartitions     int         // I/O partitions (build and probe alike)
+	TableSize       int         // hash table buckets per partition pair
+	PartScheme      core.Scheme // partition-phase scheme
+	JoinScheme      core.Scheme // join-phase scheme
+	Params          core.Params // tuned G and D
+	BuffersFitCache bool        // whether partition buffers fit L2
+	CacheResident   bool        // whether a build partition fits L2
+}
+
+// PlanGrace derives GRACE parameters from statistics: the partition
+// count fills the memory budget (build partition + hash table), the
+// hash table size is relatively prime to it (section 7.1), the
+// partition scheme follows the section 7.4 combined policy, the join
+// scheme uses group prefetching unless the partitions are already
+// cache-resident (in which case simple prefetching's low overhead
+// wins), and G/D come from the Theorem 1/2 minima.
+func PlanGrace(build RelationDesc, memBudget int, cfg memsim.Config) Plan {
+	if memBudget <= 0 {
+		panic("catalog: memory budget must be positive")
+	}
+	perTuple := build.TupleSize + storage.SlotSize + hash.HeaderSize + hash.CellSize/2
+	total := build.NTuples * perTuple
+	n := (total + memBudget - 1) / memBudget
+	if n < 1 {
+		n = 1
+	}
+
+	// Size the table for the expected distinct keys per partition (one
+	// bucket per group of duplicates suffices — the inline cell plus the
+	// overflow array holds them), falling back to the tuple count when
+	// no distinct-key statistic is recorded.
+	tuplesPerPart := (build.NTuples + n - 1) / n
+	distinctPerPart := tuplesPerPart
+	if build.DistinctKeys > 0 && build.DistinctKeys < build.NTuples {
+		distinctPerPart = (build.DistinctKeys + n - 1) / n
+	}
+
+	p := Plan{
+		NPartitions: n,
+		TableSize:   hash.SizeFor(distinctPerPart, n),
+		PartScheme:  core.SchemeCombined,
+	}
+	p.BuffersFitCache = n*(build.PageSize+64) <= cfg.L2Size
+
+	partBytes := tuplesPerPart*(build.TupleSize+storage.SlotSize) + hash.TableBytes(p.TableSize)
+	p.CacheResident = partBytes <= cfg.L2Size/2
+	if p.CacheResident {
+		p.JoinScheme = core.SchemeSimple
+	} else {
+		p.JoinScheme = core.SchemeGroup
+	}
+
+	stages := model.ProbeStages(cfg.MemLatency, cfg.MemNextLatency)
+	p.Params = core.Params{G: stages.OptimalG(), D: stages.OptimalD()}
+	if p.Params.G == 0 {
+		p.Params.G = core.DefaultParams().G
+	}
+	return p
+}

@@ -1,0 +1,142 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
+)
+
+func makeRel(t *testing.T, nTuples, nDistinct, width int) *storage.Relation {
+	t.Helper()
+	a := arena.New(uint64(nTuples*(width+16)) + (1 << 20))
+	rel := storage.NewRelation(a, storage.KeyPayloadSchema(width), 2048)
+	tup := make([]byte, width)
+	for i := 0; i < nTuples; i++ {
+		key := uint32(i%nDistinct)*2654435761 | 1
+		binary.LittleEndian.PutUint32(tup, key)
+		rel.Append(tup, hash.CodeU32(key))
+	}
+	return rel
+}
+
+func TestDescribe(t *testing.T) {
+	rel := makeRel(t, 1000, 250, 40)
+	d := Describe("orders", rel)
+	if d.NTuples != 1000 || d.DistinctKeys != 250 || d.TupleSize != 40 {
+		t.Fatalf("Describe = %+v", d)
+	}
+	if d.Bytes() != rel.ByteSize() {
+		t.Fatalf("Bytes = %d, want %d", d.Bytes(), rel.ByteSize())
+	}
+}
+
+func TestCatalogSaveLoadRoundTrip(t *testing.T) {
+	c := New()
+	c.Put(RelationDesc{Name: "orders", TupleSize: 100, PageSize: 8192, NTuples: 5000, NPages: 70, DistinctKeys: 5000})
+	c.Put(RelationDesc{Name: "lineitems", TupleSize: 60, PageSize: 8192, NTuples: 20000, NPages: 170, DistinctKeys: 5000})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"distinct_keys"`) {
+		t.Fatalf("description file missing statistics: %s", buf.String())
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := got.Get("lineitems")
+	if !ok || d.NTuples != 20000 {
+		t.Fatalf("round trip lost data: %+v", d)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPlanGracePartitionCount(t *testing.T) {
+	d := RelationDesc{Name: "b", TupleSize: 100, PageSize: 4096, NTuples: 100000, NPages: 2500, DistinctKeys: 100000}
+	cfg := memsim.SmallConfig()
+	p := PlanGrace(d, 1<<20, cfg)
+	if p.NPartitions < 10 {
+		t.Fatalf("100k x 100B against 1MB should need many partitions, got %d", p.NPartitions)
+	}
+	if p.JoinScheme != core.SchemeGroup {
+		t.Fatalf("memory-sized partitions should pick group prefetching, got %v", p.JoinScheme)
+	}
+	if p.Params.G < 2 || p.Params.D < 1 {
+		t.Fatalf("untuned params: %+v", p.Params)
+	}
+	// Table size relatively prime to partition count.
+	if gcd(p.TableSize, p.NPartitions) != 1 {
+		t.Fatalf("table size %d shares a factor with %d partitions", p.TableSize, p.NPartitions)
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func TestPlanGraceCacheResident(t *testing.T) {
+	d := RelationDesc{Name: "small", TupleSize: 20, PageSize: 4096, NTuples: 500, NPages: 4, DistinctKeys: 500}
+	p := PlanGrace(d, 1<<20, memsim.SmallConfig())
+	if p.NPartitions != 1 {
+		t.Fatalf("tiny relation needs 1 partition, got %d", p.NPartitions)
+	}
+	if !p.CacheResident || p.JoinScheme != core.SchemeSimple {
+		t.Fatalf("cache-resident join should pick simple prefetching: %+v", p)
+	}
+}
+
+func TestPlanGraceSkewShrinksTable(t *testing.T) {
+	dense := RelationDesc{TupleSize: 40, PageSize: 4096, NTuples: 50000, DistinctKeys: 50000}
+	skewed := dense
+	skewed.DistinctKeys = 500
+	pd := PlanGrace(dense, 1<<20, memsim.SmallConfig())
+	ps := PlanGrace(skewed, 1<<20, memsim.SmallConfig())
+	if ps.TableSize >= pd.TableSize {
+		t.Fatalf("skewed stats should shrink the table: %d vs %d", ps.TableSize, pd.TableSize)
+	}
+}
+
+// TestPlannedJoinRunsCorrectly closes the loop: a plan derived from
+// statistics drives a real GRACE join.
+func TestPlannedJoinRunsCorrectly(t *testing.T) {
+	spec := workload.Spec{NBuild: 4000, TupleSize: 60, MatchesPerBuild: 2, PctMatched: 100, Seed: 91, PageSize: 2048}
+	a := arena.New(workload.ArenaBytesFor(spec) * 2)
+	pair := workload.Generate(a, spec)
+	cfg := memsim.SmallConfig()
+
+	d := Describe("build", pair.Build)
+	plan := PlanGrace(d, 96<<10, cfg)
+
+	m := vmem.New(a, memsim.NewSim(cfg))
+	res := core.Grace(m, pair.Build, pair.Probe, core.GraceConfig{
+		MemBudget:  96 << 10,
+		PartScheme: plan.PartScheme,
+		JoinScheme: plan.JoinScheme,
+		PartParams: plan.Params,
+		JoinParams: plan.Params,
+	})
+	if res.NOutput != pair.ExpectedMatches {
+		t.Fatalf("planned join produced %d, want %d", res.NOutput, pair.ExpectedMatches)
+	}
+	if res.NPartitions != plan.NPartitions {
+		t.Fatalf("driver used %d partitions, plan said %d", res.NPartitions, plan.NPartitions)
+	}
+}

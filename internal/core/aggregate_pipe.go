@@ -1,0 +1,148 @@
+package core
+
+import (
+	"hashjoin/internal/hash"
+)
+
+// Software-pipelined aggregation: the section 5 schedule applied to the
+// group-by upsert. Stages mirror probePipelined (header -> cells ->
+// record) with the build-side waiting-queue mechanics for structural
+// inserts: the bucket's busy word stores the circular-array index + 1 of
+// the tuple inserting into it, and later tuples for the same bucket
+// queue behind it.
+
+type aggPipeState struct {
+	aggState
+	waitNext int
+	waiting  bool
+	done     bool
+}
+
+// runPipelined is software-pipelined aggregation (k = 3).
+func (ag *aggregator) runPipelined(d int) {
+	m := ag.m
+	a := m.A
+	size := nextPow2(3*d + 1)
+	mask := size - 1
+	states := make([]aggPipeState, size)
+	cur := newCursor(ag.input)
+	total := ag.input.NTuples
+
+	for it := 0; it-3*d < total; it++ {
+		// Stage 0: read key+value, hash, prefetch header.
+		if it < total {
+			page, slot, ok := cur.next(m, true)
+			if !ok {
+				panic("core: cursor ended before NTuples")
+			}
+			st := &states[it&mask]
+			m.Compute(CostLoop + CostStatePipe)
+			st.key, st.value, st.code, st.header = ag.readKeyValue(page, slot)
+			st.active, st.pending, st.rec, st.cells = true, false, 0, 0
+			st.waiting, st.done, st.waitNext = false, false, -1
+			m.Prefetch(st.header)
+		}
+
+		// Stage 1: visit header; queue on busy buckets; prefetch the
+		// inline record or the cell array.
+		if k := it - d; k >= 0 && k < total {
+			st := &states[k&mask]
+			m.Compute(CostStatePipe)
+			m.S.Read(st.header, 32)
+			m.Compute(CostVisitHeader)
+			if busy := a.U32(st.header + hash.HOffBusy); busy != 0 {
+				m.Compute(CostStatePipe)
+				w := int(busy) - 1
+				for states[w].waitNext != -1 {
+					w = states[w].waitNext
+				}
+				states[w].waitNext = k & mask
+				st.waiting = true
+			} else {
+				st.count = a.U32(st.header + hash.HOffCount)
+				if st.count > 0 && a.U32(st.header+hash.HOffCode0) == st.code {
+					st.rec = a.U64(st.header + hash.HOffTuple0)
+					m.Prefetch(st.rec)
+				}
+				if st.count > 1 {
+					st.cells = a.U64(st.header + hash.HOffCells)
+					m.PrefetchRange(st.cells, int(st.count-1)*hash.CellSize)
+				}
+			}
+		}
+
+		// Stage 2: scan cells for tuples without an inline candidate;
+		// claim the bucket when the group does not exist yet.
+		if k := it - 2*d; k >= 0 && k < total {
+			st := &states[k&mask]
+			if st.active && !st.waiting && !st.done {
+				m.Compute(CostStatePipe)
+				if st.rec == 0 && st.cells != 0 {
+					m.S.Read(st.cells, int(st.count-1)*hash.CellSize)
+					for j := 0; j < int(st.count-1); j++ {
+						c := hash.CellAddr(st.cells, j)
+						m.Compute(CostVisitCell)
+						if a.U32(c+hash.CellOffCode) == st.code {
+							st.rec = a.U64(c + hash.CellOffTuple)
+							m.Prefetch(st.rec)
+							break
+						}
+					}
+				}
+				if st.rec == 0 {
+					// Unlike the build loop, the miss is only known
+					// after the cell scan, so the bucket may have been
+					// claimed since stage 1 — possibly by an earlier
+					// tuple of this very group. Queue behind the claimer
+					// rather than double-inserting.
+					if busy := a.U32(st.header + hash.HOffBusy); busy != 0 {
+						m.Compute(CostStatePipe)
+						w := int(busy) - 1
+						for states[w].waitNext != -1 {
+							w = states[w].waitNext
+						}
+						states[w].waitNext = k & mask
+						st.waiting = true
+					} else {
+						// Claim for a structural insert; tuples arriving
+						// later queue behind this slot.
+						m.S.Write(st.header+hash.HOffBusy, 4)
+						a.PutU32(st.header+hash.HOffBusy, uint32(k&mask)+1)
+						st.pending = true
+					}
+				}
+			}
+		}
+
+		// Stage 3: fold or insert; release the bucket and drain waiters.
+		if k := it - 3*d; k >= 0 && k < total {
+			st := &states[k&mask]
+			if st.active && !st.waiting && !st.done {
+				m.Compute(CostStatePipe)
+				switch {
+				case st.pending:
+					ag.insertGroup(st.header, st.key, st.value, st.code, a.U32(st.header+hash.HOffCount))
+					m.S.Write(st.header+hash.HOffBusy, 4)
+					a.PutU32(st.header+hash.HOffBusy, 0)
+				case ag.foldIfMatch(st.rec, st.key, st.value):
+				default:
+					// Hash-code filter false positive: full upsert.
+					ag.upsert(st.header, st.key, st.value, st.code)
+				}
+			}
+			// Drain the waiting queue even when this slot merely folded:
+			// waiters queued on it because its claim was visible.
+			for w := st.waitNext; w != -1; {
+				ws := &states[w]
+				m.Compute(CostStatePipe)
+				ag.upsert(ws.header, ws.key, ws.value, ws.code)
+				ws.waiting = false
+				ws.done = true
+				next := ws.waitNext
+				ws.waitNext = -1
+				w = next
+			}
+			st.waitNext = -1
+		}
+	}
+}

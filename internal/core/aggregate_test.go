@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// aggInput builds a relation of (key, value) tuples with a known
+// reference aggregate.
+func aggInput(t *testing.T, nTuples, nGroups, tupleSize int, seed int64) (*storage.Relation, map[uint32][2]uint64, *vmem.Mem) {
+	t.Helper()
+	maxGroups := min(nGroups, nTuples)
+	a := arena.New(uint64(nTuples*tupleSize*4 + maxGroups*128 + (1 << 22)))
+	rel := storage.NewRelation(a, storage.KeyPayloadSchema(tupleSize), 4096)
+	rng := rand.New(rand.NewSource(seed))
+	ref := make(map[uint32][2]uint64, maxGroups)
+	tup := make([]byte, tupleSize)
+	for i := 0; i < nTuples; i++ {
+		key := uint32(rng.Intn(nGroups))*2654435761 | 1
+		value := rng.Uint32() % 1000
+		binary.LittleEndian.PutUint32(tup, key)
+		binary.LittleEndian.PutUint32(tup[4:], value)
+		rel.Append(tup, 0)
+		cs := ref[key]
+		cs[0]++
+		cs[1] += uint64(value)
+		ref[key] = cs
+	}
+	return rel, ref, vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+}
+
+func checkAgg(t *testing.T, res AggResult, ref map[uint32][2]uint64, scheme Scheme) {
+	t.Helper()
+	if res.NGroups != len(ref) {
+		t.Fatalf("%v: NGroups = %d, want %d", scheme, res.NGroups, len(ref))
+	}
+	seen := 0
+	res.Each(func(key uint32, count, sum uint64) {
+		want, ok := ref[key]
+		if !ok {
+			t.Fatalf("%v: unexpected group %#x", scheme, key)
+		}
+		if count != want[0] || sum != want[1] {
+			t.Fatalf("%v: group %#x = (%d,%d), want (%d,%d)", scheme, key, count, sum, want[0], want[1])
+		}
+		seen++
+	})
+	if seen != len(ref) {
+		t.Fatalf("%v: iterated %d groups, want %d", scheme, seen, len(ref))
+	}
+}
+
+func TestAggregateCorrectness(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeBaseline, SchemeSimple, SchemeGroup, SchemePipelined} {
+		rel, ref, m := aggInput(t, 5000, 700, 20, 21)
+		res := Aggregate(m, rel, 700, scheme, DefaultParams())
+		checkAgg(t, res, ref, scheme)
+	}
+}
+
+func TestAggregateFewGroupsHeavyCollisions(t *testing.T) {
+	// Few groups: long per-bucket chains never form (table sized to
+	// groups), but every batch hits the same buckets repeatedly,
+	// stressing the busy-flag delay path.
+	for _, scheme := range []Scheme{SchemeBaseline, SchemeGroup, SchemePipelined} {
+		rel, ref, m := aggInput(t, 3000, 7, 20, 23)
+		res := Aggregate(m, rel, 7, scheme, Params{G: 16, D: 4})
+		checkAgg(t, res, ref, scheme)
+	}
+}
+
+func TestAggregateSingleTuplePerGroup(t *testing.T) {
+	// Every tuple creates a new group: the structural-insert path.
+	for _, scheme := range []Scheme{SchemeBaseline, SchemeGroup, SchemePipelined} {
+		rel, ref, m := aggInput(t, 2000, 1<<30, 20, 29)
+		res := Aggregate(m, rel, 2000, scheme, DefaultParams())
+		checkAgg(t, res, ref, scheme)
+	}
+}
+
+func TestAggregateTinyInput(t *testing.T) {
+	rel, ref, m := aggInput(t, 3, 10, 20, 31)
+	res := Aggregate(m, rel, 4, SchemeGroup, Params{G: 19})
+	checkAgg(t, res, ref, SchemeGroup)
+	rel2, ref2, m2 := aggInput(t, 3, 10, 20, 31)
+	res2 := Aggregate(m2, rel2, 4, SchemePipelined, Params{D: 5})
+	checkAgg(t, res2, ref2, SchemePipelined)
+}
+
+func TestAggregatePipelinedDistances(t *testing.T) {
+	for _, d := range []int{1, 2, 4, 8, 16} {
+		rel, ref, m := aggInput(t, 4000, 300, 20, 41)
+		res := Aggregate(m, rel, 300, SchemePipelined, Params{G: 1, D: d})
+		checkAgg(t, res, ref, SchemePipelined)
+	}
+}
+
+// TestAggregateGroupPrefetchFaster: with many groups the table exceeds
+// cache and group prefetching should clearly win, as the paper's
+// conclusion predicts for hash-based aggregation.
+func TestAggregateGroupPrefetchFaster(t *testing.T) {
+	const n = 40000
+	const groups = 20000
+	relB, _, mB := aggInput(t, n, groups, 20, 37)
+	base := Aggregate(mB, relB, groups, SchemeBaseline, DefaultParams())
+	relG, _, mG := aggInput(t, n, groups, 20, 37)
+	grp := Aggregate(mG, relG, groups, SchemeGroup, DefaultParams())
+	if sp := float64(base.Stats.Total()) / float64(grp.Stats.Total()); sp < 1.5 {
+		t.Errorf("group-prefetched aggregation speedup %.2f, want >= 1.5", sp)
+	}
+}
+
+func TestAggregateRejectsNarrowTuples(t *testing.T) {
+	a := arena.New(1 << 20)
+	rel := storage.NewRelation(a, storage.MustSchema(
+		storage.Column{Name: "k", Type: storage.TypeUint32},
+		storage.Column{Name: "pad", Type: storage.TypeFixedBytes, Size: 2},
+	), 1024)
+	m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for < 8-byte tuples")
+		}
+	}()
+	Aggregate(m, rel, 4, SchemeBaseline, DefaultParams())
+}

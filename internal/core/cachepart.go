@@ -1,0 +1,96 @@
+package core
+
+import (
+	"hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// Cache partitioning comparators (paper section 7.5). Both generate
+// build partitions small enough that a partition plus its hash table
+// fits within the CPU's secondary cache, nearly eliminating join-phase
+// cache misses — at the cost of either many more I/O partitions ("direct
+// cache") or an extra in-memory partitioning pass ("two-step cache").
+// Their I/O partition phases use the combined prefetching scheme, and
+// their join phases are enhanced with simple prefetching, matching the
+// paper's "enhance cache partitioning wherever possible".
+
+// CacheBudgetFraction is the fraction of the L2 cache a build partition
+// plus its hash table may occupy; the rest is headroom for the probe
+// stream, output buffer, and code.
+const CacheBudgetFraction = 0.5
+
+// cachePartitionsFor sizes partitions to fit the cache budget.
+func cachePartitionsFor(build *storage.Relation, l2Size int) int {
+	budget := int(CacheBudgetFraction * float64(l2Size))
+	perTuple := build.Schema.FixedWidth() + storage.SlotSize + hash.HeaderSize + hash.CellSize/2
+	n := (build.NTuples*perTuple + budget - 1) / budget
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// DirectCache runs the "direct cache" scheme: the I/O partition phase
+// directly produces cache-sized partitions (far more of them), and each
+// pair joins with everything cache-resident.
+func DirectCache(m *vmem.Mem, build, probe *storage.Relation, cfg GraceConfig) GraceResult {
+	n := cachePartitionsFor(build, m.S.Config().L2Size)
+	sub := cfg
+	sub.PartScheme = SchemeCombined
+	sub.JoinScheme = SchemeSimple
+	return graceWithPartitions(m, build, probe, n, sub)
+}
+
+// TwoStepCache runs the "two-step cache" scheme: the I/O partition phase
+// produces memory-sized partitions as usual; then, as a join-phase
+// preprocessing step, each partition pair is re-partitioned in memory
+// into cache-sized sub-partitions (the additional copying cost the paper
+// charges to the join phase), which are then joined cache-resident.
+func TwoStepCache(m *vmem.Mem, build, probe *storage.Relation, cfg GraceConfig) GraceResult {
+	if cfg.MemBudget <= 0 {
+		panic("core: GraceConfig.MemBudget must be positive")
+	}
+	n := PartitionsFor(build, cfg.MemBudget)
+	r := GraceResult{NPartitions: n}
+
+	pc := cfg
+	pc.PartScheme = SchemeCombined
+
+	pb := PartitionRelation(m, build, n, pc.PartScheme, pc.PartParams)
+	r.PartBuildStats = pb.Stats
+	pp := PartitionRelation(m, probe, n, pc.PartScheme, pc.PartParams)
+	r.PartProbeStats = pp.Stats
+
+	for i := 0; i < n; i++ {
+		// Second, in-memory partitioning pass — charged to the join
+		// phase, as in the paper's Figure 19 accounting.
+		sub := cacheSubPartitions(m, pb.Partitions[i])
+		sb := PartitionRelation(m, pb.Partitions[i], sub, SchemeCombined, cfg.PartParams)
+		sp := PartitionRelation(m, pp.Partitions[i], sub, SchemeCombined, cfg.PartParams)
+		for k := 0; k < sub; k++ {
+			jr := JoinPair(m, sb.Partitions[k], sp.Partitions[k], SchemeSimple, cfg.JoinParams, n*sub, cfg.Keep)
+			r.NOutput += jr.NOutput
+			r.KeySum += jr.KeySum
+			r.JoinStats = r.JoinStats.Add(jr.Stats())
+		}
+		r.JoinStats = r.JoinStats.Add(sb.Stats).Add(sp.Stats)
+	}
+	return r
+}
+
+// cacheSubPartitions sizes the in-memory second pass.
+func cacheSubPartitions(m *vmem.Mem, buildPart *storage.Relation) int {
+	return cachePartitionsFor(buildPart, m.S.Config().L2Size)
+}
+
+// JoinPairFlushed joins a pair under periodic cache flushing (Figure
+// 18's worst-case interference study) by building a dedicated simulator
+// around the relations' arena.
+func JoinPairFlushed(a *vmem.Mem, flushInterval uint64, build, probe *storage.Relation, scheme Scheme, params Params) JoinResult {
+	cfg := a.S.Config()
+	cfg.FlushInterval = flushInterval
+	m := vmem.New(a.A, memsim.NewSim(cfg))
+	return JoinPair(m, build, probe, scheme, params, 1, false)
+}

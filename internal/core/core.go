@@ -1,0 +1,102 @@
+// Package core implements the paper's contribution: the GRACE hash join
+// partition and join phases in four variants each — the baseline, simple
+// prefetching, group prefetching (section 4), and software-pipelined
+// prefetching (section 5) — plus the cache-partitioning comparators
+// ("direct cache" and "two-step cache", section 7.5).
+//
+// Every algorithm runs against a vmem.Mem: real bytes move through a
+// simulated address space while a cycle-level memory-hierarchy simulator
+// charges time. Prefetch scheduling therefore has exactly the semantics
+// the paper studies: a prefetch issued (G-1)·C cycles before its visit
+// hides the miss; one issued too late exposes the remainder; too many
+// outstanding prefetches cause conflict misses.
+package core
+
+import "fmt"
+
+// Scheme selects a prefetching strategy for a phase.
+type Scheme int
+
+const (
+	// SchemeBaseline is the unmodified GRACE algorithm.
+	SchemeBaseline Scheme = iota
+	// SchemeSimple prefetches each input page right after its disk read
+	// (the paper's enhanced baseline).
+	SchemeSimple
+	// SchemeGroup is group prefetching: G-element groups processed in
+	// stages, prefetching each stage's memory references one stage ahead
+	// (section 4).
+	SchemeGroup
+	// SchemePipelined is software-pipelined prefetching with prefetch
+	// distance D (section 5).
+	SchemePipelined
+	// SchemeCombined, valid for the partition phase only, picks
+	// SchemeSimple when all output buffers fit in the secondary cache
+	// and SchemeGroup otherwise (section 7.4).
+	SchemeCombined
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBaseline:
+		return "baseline"
+	case SchemeSimple:
+		return "simple"
+	case SchemeGroup:
+		return "group"
+	case SchemePipelined:
+		return "pipelined"
+	case SchemeCombined:
+		return "combined"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Params tunes the prefetching schemes. The paper's join-phase optima at
+// T=150 are G=19 and D=1 (section 7.3).
+type Params struct {
+	G int // group size for SchemeGroup
+	D int // prefetch distance for SchemePipelined
+
+	// RecomputeHash disables the section 7.1 optimization of reusing the
+	// hash codes memoized in intermediate-partition slots: the join
+	// phase re-reads each join key and re-hashes it. Ablation only.
+	RecomputeHash bool
+}
+
+// DefaultParams returns the paper's tuned parameters.
+func DefaultParams() Params { return Params{G: 19, D: 1} }
+
+// normalized clamps parameters to sane minimums.
+func (p Params) normalized() Params {
+	if p.G < 1 {
+		p.G = DefaultParams().G
+	}
+	if p.D < 1 {
+		p.D = DefaultParams().D
+	}
+	return p
+}
+
+// Simulated instruction costs, in cycles, of the code stages between
+// memory references. These are the paper's C_i quantities (Table 1):
+// code 0 computes the hash bucket number (for the join phase the hash
+// code itself is memoized in the slot, so code 0 is the modulo — an
+// integer division, whose latency the paper takes from the Pentium 4);
+// later stages test, compare, and copy.
+const (
+	CostLoop        = 3  // per-tuple loop control
+	CostHashKey     = 12 // XOR-and-shift hash of a 4-byte key
+	CostMod         = 25 // integer division for partition/bucket number
+	CostVisitHeader = 3  // examine bucket header fields
+	CostVisitCell   = 2  // examine one hash cell
+	CostCompare     = 4  // key comparison beyond the loads themselves
+	CostStateGroup  = 2  // group-prefetching per-stage bookkeeping
+	CostStatePipe   = 4  // software-pipelining bookkeeping (modular
+	// indexing, circular state array, waiting queues) — the larger
+	// overhead the paper attributes to software pipelining (section 5.4)
+	CostAllocCells = 30 // allocate/grow a hash-cell array
+	CostBufferSwap = 40 // retire a full output page to the storage layer
+)

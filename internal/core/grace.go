@@ -1,0 +1,92 @@
+package core
+
+import (
+	"hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// GRACE hash join end to end: I/O partition both relations, then join
+// each build/probe partition pair with an in-memory hash table.
+
+// GraceConfig configures an end-to-end GRACE join.
+type GraceConfig struct {
+	// MemBudget is the memory available to the join phase, in bytes: a
+	// build partition plus its hash table must fit (paper section 7.1,
+	// 50 MB in the paper's experiments). The partition count follows.
+	MemBudget int
+
+	PartScheme Scheme
+	JoinScheme Scheme
+	PartParams Params
+	JoinParams Params
+
+	// Keep materializes output tuples for validation.
+	Keep bool
+}
+
+// GraceResult aggregates an end-to-end run.
+type GraceResult struct {
+	NPartitions int
+
+	PartBuildStats memsim.Stats // partitioning the build relation
+	PartProbeStats memsim.Stats // partitioning the probe relation
+	JoinStats      memsim.Stats // all partition-pair joins
+
+	NOutput int
+	KeySum  uint64
+}
+
+// PartitionCycles returns the partition-phase total.
+func (r GraceResult) PartitionCycles() uint64 {
+	return r.PartBuildStats.Total() + r.PartProbeStats.Total()
+}
+
+// JoinCycles returns the join-phase total.
+func (r GraceResult) JoinCycles() uint64 { return r.JoinStats.Total() }
+
+// TotalCycles returns the end-to-end total.
+func (r GraceResult) TotalCycles() uint64 { return r.PartitionCycles() + r.JoinCycles() }
+
+// PartitionsFor computes the number of I/O partitions needed so that a
+// build partition plus its hash table fits budget bytes: the paper's
+// "produce partitions to fully utilize the available memory".
+func PartitionsFor(build *storage.Relation, budget int) int {
+	perTuple := build.Schema.FixedWidth() + storage.SlotSize + // page bytes
+		hash.HeaderSize + hash.CellSize/2 // table header + amortized cells
+	total := build.NTuples * perTuple
+	n := (total + budget - 1) / budget
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Grace runs the full GRACE hash join.
+func Grace(m *vmem.Mem, build, probe *storage.Relation, cfg GraceConfig) GraceResult {
+	if cfg.MemBudget <= 0 {
+		panic("core: GraceConfig.MemBudget must be positive")
+	}
+	n := PartitionsFor(build, cfg.MemBudget)
+	return graceWithPartitions(m, build, probe, n, cfg)
+}
+
+// graceWithPartitions runs GRACE with an explicit partition count (used
+// directly by the cache-partitioning comparators).
+func graceWithPartitions(m *vmem.Mem, build, probe *storage.Relation, n int, cfg GraceConfig) GraceResult {
+	r := GraceResult{NPartitions: n}
+
+	pb := PartitionRelation(m, build, n, cfg.PartScheme, cfg.PartParams)
+	r.PartBuildStats = pb.Stats
+	pp := PartitionRelation(m, probe, n, cfg.PartScheme, cfg.PartParams)
+	r.PartProbeStats = pp.Stats
+
+	for i := 0; i < n; i++ {
+		jr := JoinPair(m, pb.Partitions[i], pp.Partitions[i], cfg.JoinScheme, cfg.JoinParams, n, cfg.Keep)
+		r.JoinStats = r.JoinStats.Add(jr.Stats())
+		r.NOutput += jr.NOutput
+		r.KeySum += jr.KeySum
+	}
+	return r
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"hashjoin/internal/arena"
+	"hashjoin/internal/hash"
+)
+
+// Group prefetching (paper section 4). The probe loop is strip-mined
+// into groups of G tuples and the hash-table visit's dependent memory
+// references are distributed into stages; each stage performs one
+// reference on the critical path for every tuple in the group, then
+// issues the prefetches for the next stage's references. Cache misses of
+// one tuple thus overlap with computation and misses of the other G-1.
+//
+// The probe visit has k = 3 dependent references (bucket header, hash
+// cell array, matching build tuple), giving k+1 = 4 stages; hash table
+// building has k = 2 (header, cell-array tail). Multiple code paths —
+// empty buckets, inline-only buckets, multi-cell buckets, zero or many
+// matches — are folded into the stages with per-tuple state, as in the
+// paper's Figure 5.
+
+// probeState carries one tuple's state across the probe stages.
+type probeState struct {
+	tuple  arena.Addr // probe tuple
+	length int
+	code   uint32
+	header arena.Addr
+
+	count   uint32
+	cells   arena.Addr
+	matches []arena.Addr // build tuples whose hash codes matched
+
+	active bool
+}
+
+// probeGroup is the group-prefetching probe loop.
+func (j *joiner) probeGroup() {
+	m := j.m
+	g := j.params.G
+	states := make([]probeState, g)
+	for i := range states {
+		states[i].matches = make([]arena.Addr, 0, 4)
+	}
+	cur := newCursor(j.probe)
+
+	for {
+		// Stage 0: compute the hash bucket number for every tuple in the
+		// group; prefetch the target bucket headers.
+		n := 0
+		for n < g {
+			page, slot, ok := cur.next(m, true)
+			if !ok {
+				break
+			}
+			st := &states[n]
+			m.Compute(CostLoop + CostStateGroup)
+			st.tuple, st.length, st.code = j.slotCode(page, slot)
+			m.Compute(CostMod)
+			st.header = j.table.HeaderAddr(hash.BucketOf(st.code, j.table.NBuckets))
+			st.active = true
+			st.matches = st.matches[:0]
+			m.Prefetch(st.header)
+			n++
+		}
+		if n == 0 {
+			return
+		}
+
+		// Stage 1: visit the bucket headers; prefetch the hash cell
+		// arrays (and, for inline matches, the build tuple directly).
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			m.Compute(CostStateGroup)
+			m.S.Read(st.header, 16)
+			m.Compute(CostVisitHeader)
+			st.count = m.A.U32(st.header + hash.HOffCount)
+			if st.count == 0 {
+				st.active = false
+				continue
+			}
+			if m.A.U32(st.header+hash.HOffCode0) == st.code {
+				bt := m.A.U64(st.header + hash.HOffTuple0)
+				st.matches = append(st.matches, bt)
+				m.PrefetchRange(bt, j.buildLen)
+			}
+			if st.count > 1 {
+				m.S.Read(st.header+hash.HOffCells, 8)
+				st.cells = m.A.U64(st.header + hash.HOffCells)
+				m.PrefetchRange(st.cells, int(st.count-1)*hash.CellSize)
+			} else {
+				st.cells = 0
+			}
+		}
+
+		// Stage 2: visit the hash cell arrays; prefetch the matching
+		// build tuples.
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			if !st.active || st.cells == 0 {
+				continue
+			}
+			m.Compute(CostStateGroup)
+			m.S.Read(st.cells, int(st.count-1)*hash.CellSize)
+			for k := 0; k < int(st.count-1); k++ {
+				c := hash.CellAddr(st.cells, k)
+				m.Compute(CostVisitCell)
+				if m.A.U32(c+hash.CellOffCode) == st.code {
+					bt := m.A.U64(c + hash.CellOffTuple)
+					st.matches = append(st.matches, bt)
+					m.PrefetchRange(bt, j.buildLen)
+				}
+			}
+		}
+
+		// Stage 3: visit the matching build tuples, compare keys, and
+		// produce output tuples.
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			if !st.active {
+				continue
+			}
+			m.Compute(CostStateGroup)
+			for _, bt := range st.matches {
+				j.compareAndEmit(bt, st.tuple, st.length)
+			}
+		}
+
+		if n < g {
+			return
+		}
+	}
+}
+
+// buildState carries one tuple's state across the build stages.
+type buildState struct {
+	tuple  arena.Addr
+	code   uint32
+	bucket int
+	header arena.Addr
+	active bool
+}
+
+// buildGroup is the group-prefetching build loop. Hash table building is
+// read-write: two tuples of one group can hash to the same bucket, and
+// because visits are interleaved the second would observe a half-updated
+// bucket. A busy flag in the header guards each bucket; tuples landing
+// on a busy bucket are delayed to the end of the group body, a natural
+// barrier where the earlier access has completed — and has warmed the
+// cache, so the delayed insert runs without prefetching (section 4.4).
+func (j *joiner) buildGroup() {
+	m := j.m
+	g := j.params.G
+	states := make([]buildState, g)
+	delayed := make([]int, 0, g)
+	cur := newCursor(j.build)
+
+	for {
+		// Stage 0: hash bucket numbers; prefetch headers.
+		n := 0
+		for n < g {
+			page, slot, ok := cur.next(m, true)
+			if !ok {
+				break
+			}
+			st := &states[n]
+			m.Compute(CostLoop + CostStateGroup)
+			st.tuple, _, st.code = j.slotCode(page, slot)
+			m.Compute(CostMod)
+			st.bucket = hash.BucketOf(st.code, j.table.NBuckets)
+			st.header = j.table.HeaderAddr(st.bucket)
+			st.active = true
+			m.Prefetch(st.header)
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		delayed = delayed[:0]
+
+		// Stage 1: visit headers. Empty buckets complete their insert
+		// here (the inline cell lives in the header just visited); busy
+		// buckets defer; others mark busy and prefetch the cell-array
+		// tail where the new cell will be written.
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			m.Compute(CostStateGroup)
+			m.S.Read(st.header, 32)
+			m.Compute(CostVisitHeader)
+			a := m.A
+			if a.U32(st.header+hash.HOffBusy) != 0 {
+				delayed = append(delayed, i)
+				st.active = false
+				continue
+			}
+			count := a.U32(st.header + hash.HOffCount)
+			if count == 0 {
+				m.S.Write(st.header, 16)
+				a.PutU32(st.header+hash.HOffCode0, st.code)
+				a.PutU64(st.header+hash.HOffTuple0, st.tuple)
+				a.PutU32(st.header+hash.HOffCount, 1)
+				st.active = false
+				continue
+			}
+			// Mark busy until stage 2 finishes this bucket.
+			m.S.Write(st.header+hash.HOffBusy, 4)
+			a.PutU32(st.header+hash.HOffBusy, 1)
+			if cells := a.U64(st.header + hash.HOffCells); cells != 0 {
+				over := count - 1
+				if over < a.U32(st.header+hash.HOffCap) {
+					m.Prefetch(hash.CellAddr(cells, int(over)))
+				}
+			}
+		}
+
+		// Stage 2: append the overflow cell (growing the array when
+		// needed), bump the count, clear the busy flag.
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			if !st.active {
+				continue
+			}
+			m.Compute(CostStateGroup)
+			j.appendCellTimed(st.header, st.code, st.tuple)
+			m.S.Write(st.header+hash.HOffBusy, 4)
+			m.A.PutU32(st.header+hash.HOffBusy, 0)
+		}
+
+		// Group boundary: the delayed tuples' buckets are settled and
+		// cache-warm; insert them directly, without prefetching.
+		for _, i := range delayed {
+			st := &states[i]
+			m.Compute(CostStateGroup)
+			j.insertTimed(st.bucket, st.code, st.tuple)
+		}
+
+		if n < g {
+			return
+		}
+	}
+}
+
+// appendCellTimed appends an overflow cell to a non-empty bucket whose
+// header has already been visited (and is cache-resident).
+func (j *joiner) appendCellTimed(h arena.Addr, code uint32, tuple arena.Addr) {
+	m := j.m
+	a := m.A
+	count := a.U32(h + hash.HOffCount)
+	cells := a.U64(h + hash.HOffCells)
+	capacity := a.U32(h + hash.HOffCap)
+	over := count - 1
+	if cells == 0 || over == capacity {
+		cells = j.growCells(h, cells, over, capacity)
+	}
+	c := hash.CellAddr(cells, int(over))
+	m.S.Write(c, hash.CellSize)
+	a.PutU32(c+hash.CellOffCode, code)
+	a.PutU64(c+hash.CellOffTuple, tuple)
+	m.S.Write(h+hash.HOffCount, 4)
+	a.PutU32(h+hash.HOffCount, count+1)
+}

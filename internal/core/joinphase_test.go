@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
+)
+
+var allSchemes = []Scheme{SchemeBaseline, SchemeSimple, SchemeGroup, SchemePipelined}
+
+// runJoin joins a generated pair under one scheme on a fresh simulator.
+func runJoin(t *testing.T, spec workload.Spec, scheme Scheme, params Params) (*workload.Pair, JoinResult) {
+	t.Helper()
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+	m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+	res := JoinPair(m, pair.Build, pair.Probe, scheme, params, 1, false)
+	return pair, res
+}
+
+func TestJoinCorrectnessAllSchemes(t *testing.T) {
+	spec := workload.Spec{NBuild: 800, TupleSize: 60, MatchesPerBuild: 2, PctMatched: 80, Seed: 7}
+	for _, scheme := range allSchemes {
+		pair, res := runJoin(t, spec, scheme, DefaultParams())
+		if res.NOutput != pair.ExpectedMatches {
+			t.Errorf("%v: NOutput = %d, want %d", scheme, res.NOutput, pair.ExpectedMatches)
+		}
+		if res.KeySum != pair.KeySum {
+			t.Errorf("%v: KeySum = %d, want %d", scheme, res.KeySum, pair.KeySum)
+		}
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	spec := workload.Spec{NBuild: 300, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 9}
+	spec.NProbe = 600
+	spec.PctMatched = 1 // 3 matched build tuples
+	for _, scheme := range allSchemes {
+		pair, res := runJoin(t, spec, scheme, DefaultParams())
+		if res.NOutput != pair.ExpectedMatches {
+			t.Errorf("%v: NOutput = %d, want %d", scheme, res.NOutput, pair.ExpectedMatches)
+		}
+	}
+}
+
+func TestJoinSkewedKeys(t *testing.T) {
+	// Heavy skew grows bucket chains and forces the read-write conflict
+	// machinery: busy-flag delays in group prefetching, waiting queues in
+	// software pipelining.
+	spec := workload.Spec{NBuild: 400, TupleSize: 20, MatchesPerBuild: 2, PctMatched: 100, Seed: 11, Skew: 40}
+	for _, scheme := range allSchemes {
+		pair, res := runJoin(t, spec, scheme, Params{G: 8, D: 3})
+		if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
+			t.Errorf("%v under skew: got %d/%d, want %d/%d",
+				scheme, res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
+		}
+	}
+}
+
+func TestJoinExtremeSkewSingleKey(t *testing.T) {
+	// All build tuples share one key: one bucket holds everything, every
+	// group iteration conflicts.
+	spec := workload.Spec{NBuild: 64, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 13, Skew: 64}
+	for _, scheme := range allSchemes {
+		pair, res := runJoin(t, spec, scheme, Params{G: 16, D: 2})
+		if res.NOutput != pair.ExpectedMatches {
+			t.Errorf("%v all-one-key: NOutput = %d, want %d", scheme, res.NOutput, pair.ExpectedMatches)
+		}
+	}
+}
+
+func TestJoinParamEdgeCases(t *testing.T) {
+	spec := workload.Spec{NBuild: 500, TupleSize: 20, MatchesPerBuild: 2, PctMatched: 100, Seed: 17}
+	cases := []Params{{G: 1, D: 1}, {G: 2, D: 2}, {G: 64, D: 16}, {G: 500, D: 1}, {G: 7, D: 9}}
+	for _, p := range cases {
+		for _, scheme := range []Scheme{SchemeGroup, SchemePipelined} {
+			pair, res := runJoin(t, spec, scheme, p)
+			if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
+				t.Errorf("%v G=%d D=%d: got %d/%d, want %d/%d",
+					scheme, p.G, p.D, res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
+			}
+		}
+	}
+}
+
+func TestJoinGroupSmallerThanRelation(t *testing.T) {
+	// Relation smaller than one group: the partial-group path.
+	spec := workload.Spec{NBuild: 5, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 19}
+	pair, res := runJoin(t, spec, SchemeGroup, Params{G: 19, D: 1})
+	if res.NOutput != pair.ExpectedMatches {
+		t.Fatalf("tiny relation: NOutput = %d, want %d", res.NOutput, pair.ExpectedMatches)
+	}
+}
+
+func TestJoinEmptyProbe(t *testing.T) {
+	spec := workload.Spec{NBuild: 100, NProbe: 1, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 23}
+	for _, scheme := range allSchemes {
+		_, res := runJoin(t, spec, scheme, DefaultParams())
+		if res.NOutput != 1 {
+			t.Errorf("%v: NOutput = %d, want 1", scheme, res.NOutput)
+		}
+	}
+}
+
+func TestJoinOutputMaterialization(t *testing.T) {
+	spec := workload.Spec{NBuild: 200, TupleSize: 24, MatchesPerBuild: 2, PctMatched: 100, Seed: 29}
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+	m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+	res := JoinPair(m, pair.Build, pair.Probe, SchemeGroup, DefaultParams(), 1, true)
+	if res.Output == nil {
+		t.Fatal("keep=true returned no output relation")
+	}
+	if res.Output.NTuples != pair.ExpectedMatches {
+		t.Fatalf("materialized %d tuples, want %d", res.Output.NTuples, pair.ExpectedMatches)
+	}
+	// Every output tuple is build||probe; both key copies must agree.
+	res.Output.Each(func(tup []byte, _ uint32) {
+		if len(tup) != 48 {
+			t.Fatalf("output tuple length %d, want 48", len(tup))
+		}
+		bk := res.Output.Schema.Key(tup)
+		pk := uint32(tup[24]) | uint32(tup[25])<<8 | uint32(tup[26])<<16 | uint32(tup[27])<<24
+		if bk != pk {
+			t.Fatalf("output tuple joins keys %#x and %#x", bk, pk)
+		}
+	})
+}
+
+// TestJoinPrefetchingFaster is the headline behavioral check at test
+// scale: group and software-pipelined prefetching must clearly beat the
+// baseline, and simple prefetching must not.
+func TestJoinPrefetchingFaster(t *testing.T) {
+	spec := workload.Spec{NBuild: 4000, TupleSize: 100, MatchesPerBuild: 2, PctMatched: 100, Seed: 31}
+	cycles := map[Scheme]uint64{}
+	for _, scheme := range allSchemes {
+		_, res := runJoin(t, spec, scheme, DefaultParams())
+		cycles[scheme] = res.Cycles()
+	}
+	base := float64(cycles[SchemeBaseline])
+	if s := base / float64(cycles[SchemeGroup]); s < 1.5 {
+		t.Errorf("group prefetching speedup %.2fx, want >= 1.5x (cycles: %v)", s, cycles)
+	}
+	if s := base / float64(cycles[SchemePipelined]); s < 1.5 {
+		t.Errorf("software-pipelined speedup %.2fx, want >= 1.5x (cycles: %v)", s, cycles)
+	}
+	if s := base / float64(cycles[SchemeSimple]); s > 1.6 {
+		t.Errorf("simple prefetching speedup %.2fx suspiciously high", s)
+	}
+}
+
+// TestJoinBaselineStallBound mirrors Figure 1: the baseline join must be
+// dominated by data-cache stalls.
+func TestJoinBaselineStallBound(t *testing.T) {
+	spec := workload.Spec{NBuild: 4000, TupleSize: 100, MatchesPerBuild: 2, PctMatched: 100, Seed: 37}
+	_, res := runJoin(t, spec, SchemeBaseline, DefaultParams())
+	st := res.Stats()
+	frac := float64(st.DCacheStall) / float64(st.Total())
+	if frac < 0.5 {
+		t.Errorf("baseline dcache stall fraction %.2f, want >= 0.5 (stats %+v)", frac, st)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"hashjoin/internal/arena"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// OutWriter materializes join output tuples into a reused slotted output
+// page, handing full pages to the parent operator (modeled as an untimed
+// retire plus counters, since the parent's cost is not part of the
+// join). Writes of tuple bytes are timed; the page's free pointer and
+// slot count live in registers while the page is current, as they would
+// in a tight join loop.
+type OutWriter struct {
+	m        *vmem.Mem
+	page     arena.Addr
+	pageSize int
+
+	free   int
+	nslots int
+
+	// Retained result (optional): when Keep is set, retired tuples are
+	// appended untimed to Result for validation.
+	Keep   bool
+	Result *storage.Relation
+
+	NOutput   int
+	KeySum    uint64 // sum of build keys over all outputs (checksum)
+	PagesOut  int
+	outSchema *storage.Schema
+}
+
+// NewOutWriter allocates the reused output page. outSchema describes the
+// concatenated output tuple (build fields then probe fields).
+func NewOutWriter(m *vmem.Mem, pageSize int, outSchema *storage.Schema, keep bool) *OutWriter {
+	w := &OutWriter{
+		m:         m,
+		page:      m.Alloc(uint64(pageSize), 64),
+		pageSize:  pageSize,
+		free:      storage.PageHeaderSize,
+		outSchema: outSchema,
+		Keep:      keep,
+	}
+	if keep {
+		w.Result = storage.NewRelation(m.A, outSchema, pageSize)
+	}
+	return w
+}
+
+// Emit appends the concatenation of the build and probe tuples.
+func (w *OutWriter) Emit(build arena.Addr, buildLen int, probe arena.Addr, probeLen int) {
+	need := buildLen + probeLen
+	if w.free+need+storage.SlotSize*(w.nslots+1) > w.pageSize {
+		w.retire()
+	}
+	dst := w.page + arena.Addr(w.free)
+	w.m.Copy(dst, build, buildLen)
+	w.m.Copy(dst+arena.Addr(buildLen), probe, probeLen)
+	slot := storage.SlotAddr(w.page, w.pageSize, w.nslots)
+	w.m.S.Write(slot, storage.SlotSize)
+	w.m.A.PutU16(slot+storage.SlotOffOffset, uint16(w.free))
+	w.m.A.PutU16(slot+storage.SlotOffLength, uint16(need))
+	w.m.A.PutU32(slot+storage.SlotOffHash, 0)
+	w.free += need
+	w.nslots++
+	w.NOutput++
+	w.KeySum += uint64(w.m.A.U32(build)) // untimed checksum bookkeeping
+}
+
+// retire hands the full page to the parent operator and resets it.
+func (w *OutWriter) retire() {
+	if w.nslots == 0 {
+		return
+	}
+	w.m.Compute(CostBufferSwap)
+	if w.Keep {
+		for i := 0; i < w.nslots; i++ {
+			slot := storage.SlotAddr(w.page, w.pageSize, i)
+			off := w.m.A.U16(slot + storage.SlotOffOffset)
+			length := w.m.A.U16(slot + storage.SlotOffLength)
+			w.Result.Append(w.m.A.Bytes(w.page+arena.Addr(off), uint64(length)), 0)
+		}
+	}
+	w.free = storage.PageHeaderSize
+	w.nslots = 0
+	w.PagesOut++
+}
+
+// Close retires any partial page.
+func (w *OutWriter) Close() { w.retire() }

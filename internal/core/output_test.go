@@ -1,0 +1,143 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+func outEnv() *vmem.Mem {
+	return vmem.New(arena.New(4<<20), memsim.NewSim(memsim.SmallConfig()))
+}
+
+// stage writes a build and probe tuple into the arena.
+func stageTuples(m *vmem.Mem, key uint32, buildLen, probeLen int) (arena.Addr, arena.Addr) {
+	b := m.Alloc(uint64(buildLen), 8)
+	p := m.Alloc(uint64(probeLen), 8)
+	var kb [4]byte
+	binary.LittleEndian.PutUint32(kb[:], key)
+	copy(m.A.Bytes(b, 4), kb[:])
+	copy(m.A.Bytes(p, 4), kb[:])
+	return b, p
+}
+
+func TestOutWriterCountsAndChecksum(t *testing.T) {
+	m := outEnv()
+	schema := storage.JoinedSchema(storage.KeyPayloadSchema(24), storage.KeyPayloadSchema(16))
+	w := NewOutWriter(m, 1024, schema, false)
+	var wantSum uint64
+	for i := uint32(1); i <= 100; i++ {
+		b, p := stageTuples(m, i, 24, 16)
+		w.Emit(b, 24, p, 16)
+		wantSum += uint64(i)
+	}
+	w.Close()
+	if w.NOutput != 100 || w.KeySum != wantSum {
+		t.Fatalf("NOutput=%d KeySum=%d, want 100/%d", w.NOutput, w.KeySum, wantSum)
+	}
+	if w.PagesOut < 4 {
+		t.Fatalf("expected several retired pages for 100 x 40B on 1KB pages, got %d", w.PagesOut)
+	}
+}
+
+func TestOutWriterKeepMaterializes(t *testing.T) {
+	m := outEnv()
+	schema := storage.JoinedSchema(storage.KeyPayloadSchema(12), storage.KeyPayloadSchema(12))
+	w := NewOutWriter(m, 512, schema, true)
+	for i := uint32(1); i <= 30; i++ {
+		b, p := stageTuples(m, i, 12, 12)
+		w.Emit(b, 12, p, 12)
+	}
+	w.Close()
+	if w.Result == nil || w.Result.NTuples != 30 {
+		t.Fatalf("kept %v tuples", w.Result)
+	}
+	i := uint32(1)
+	w.Result.Each(func(tup []byte, _ uint32) {
+		if len(tup) != 24 {
+			t.Fatalf("output tuple %d bytes", len(tup))
+		}
+		if w.Result.Schema.Key(tup) != i {
+			t.Fatalf("tuple %d key %d", i, w.Result.Schema.Key(tup))
+		}
+		i++
+	})
+}
+
+func TestOutWriterChargesTime(t *testing.T) {
+	m := outEnv()
+	schema := storage.JoinedSchema(storage.KeyPayloadSchema(64), storage.KeyPayloadSchema(64))
+	w := NewOutWriter(m, 2048, schema, false)
+	b, p := stageTuples(m, 7, 64, 64)
+	before := m.S.Now()
+	w.Emit(b, 64, p, 64)
+	if m.S.Now() == before {
+		t.Fatal("Emit charged no simulated time")
+	}
+}
+
+func TestOutWriterCloseIdempotent(t *testing.T) {
+	m := outEnv()
+	schema := storage.JoinedSchema(storage.KeyPayloadSchema(12), storage.KeyPayloadSchema(12))
+	w := NewOutWriter(m, 512, schema, true)
+	b, p := stageTuples(m, 9, 12, 12)
+	w.Emit(b, 12, p, 12)
+	w.Close()
+	w.Close()
+	if w.Result.NTuples != 1 {
+		t.Fatalf("double Close duplicated output: %d", w.Result.NTuples)
+	}
+}
+
+func TestPartitionsForScaling(t *testing.T) {
+	a := arena.New(8 << 20)
+	rel := storage.NewRelation(a, storage.KeyPayloadSchema(100), 4096)
+	tup := make([]byte, 100)
+	for i := 0; i < 10000; i++ {
+		rel.Append(tup, 0)
+	}
+	small := PartitionsFor(rel, 64<<10)
+	big := PartitionsFor(rel, 1<<20)
+	if small <= big {
+		t.Fatalf("smaller budget must need more partitions: %d vs %d", small, big)
+	}
+	if big < 1 {
+		t.Fatalf("at least one partition required")
+	}
+	// A partition plus its table must roughly fit the budget.
+	perTuple := 100 + storage.SlotSize + 32 + 8
+	if (10000/small+1)*perTuple > 64<<10+perTuple {
+		t.Fatalf("partition footprint exceeds budget with %d partitions", small)
+	}
+}
+
+func TestParamsNormalized(t *testing.T) {
+	p := Params{}.normalized()
+	if p.G != DefaultParams().G || p.D != DefaultParams().D {
+		t.Fatalf("zero params should normalize to defaults: %+v", p)
+	}
+	q := Params{G: 7, D: 9, RecomputeHash: true}.normalized()
+	if q.G != 7 || q.D != 9 || !q.RecomputeHash {
+		t.Fatalf("explicit params perturbed: %+v", q)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	cases := map[Scheme]string{
+		SchemeBaseline:  "baseline",
+		SchemeSimple:    "simple",
+		SchemeGroup:     "group",
+		SchemePipelined: "pipelined",
+		SchemeCombined:  "combined",
+		Scheme(42):      "Scheme(42)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

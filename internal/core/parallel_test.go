@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
+)
+
+// parallelSetup partitions a workload, returning the pairs and memory.
+func parallelSetup(t *testing.T, nParts int) (*workload.Pair, []*storage.Relation, []*storage.Relation, *vmem.Mem) {
+	t.Helper()
+	spec := workload.Spec{NBuild: 4000, TupleSize: 40, MatchesPerBuild: 2, PctMatched: 100, Seed: 81, PageSize: 2048}
+	a := arena.New(workload.ArenaBytesFor(spec) * 3)
+	pair := workload.Generate(a, spec)
+	m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+	pb := PartitionRelation(m, pair.Build, nParts, SchemeCombined, DefaultParams())
+	pp := PartitionRelation(m, pair.Probe, nParts, SchemeCombined, DefaultParams())
+	return pair, pb.Partitions, pp.Partitions, m
+}
+
+func TestParallelJoinCorrectAndScales(t *testing.T) {
+	const nParts = 8
+	pair, builds, probes, m := parallelSetup(t, nParts)
+	cfg := memsim.SmallConfig()
+
+	one := JoinPartitionsParallel(m, cfg, builds, probes, SchemeGroup, DefaultParams(), 1)
+	four := JoinPartitionsParallel(m, cfg, builds, probes, SchemeGroup, DefaultParams(), 4)
+
+	if one.NOutput != pair.ExpectedMatches || four.NOutput != pair.ExpectedMatches {
+		t.Fatalf("parallel join outputs %d/%d, want %d", one.NOutput, four.NOutput, pair.ExpectedMatches)
+	}
+	if one.KeySum != four.KeySum {
+		t.Fatalf("key sums differ across worker counts")
+	}
+	speedup := float64(one.WallCycles) / float64(four.WallCycles)
+	if speedup < 2.5 {
+		t.Errorf("4 workers gave %.2fx wall speedup over 1, want >= 2.5x", speedup)
+	}
+	if four.TotalCycles < four.WallCycles {
+		t.Errorf("total cycles below wall cycles")
+	}
+	if len(four.WorkerStats) != 4 {
+		t.Errorf("WorkerStats = %d entries", len(four.WorkerStats))
+	}
+}
+
+func TestParallelWorkersCappedByPartitions(t *testing.T) {
+	pair, builds, probes, m := parallelSetup(t, 3)
+	res := JoinPartitionsParallel(m, memsim.SmallConfig(), builds, probes, SchemeGroup, DefaultParams(), 16)
+	if len(res.WorkerStats) != 3 {
+		t.Fatalf("workers should cap at partition count, got %d", len(res.WorkerStats))
+	}
+	if res.NOutput != pair.ExpectedMatches {
+		t.Fatalf("NOutput = %d", res.NOutput)
+	}
+}

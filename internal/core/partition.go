@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// Partition phase (paper section 6). The input relation streams through
+// and every tuple is hashed on its join key, projected, and copied into
+// the output buffer of its target partition; full buffers are written
+// out (variable-length tuples are supported: each slot records its
+// length). With few partitions all buffers fit in cache and simple
+// prefetching suffices; with many partitions every buffer-header visit
+// is a cache miss — the same dependent-reference structure as the join
+// phase, amenable to group and software-pipelined prefetching. The
+// computed hash code is memoized in the output slot (section 7.1) so the
+// join phase never recomputes it.
+//
+// Read-write conflicts (section 6): reorganized processing may find a
+// full buffer whose earlier tuple's bytes have not been copied yet.
+// Group prefetching defers the write-out to the group boundary;
+// software-pipelined prefetching queues the tuple on the buffer and
+// drains the queue when the buffer's in-flight writers reach zero.
+
+// PartitionResult reports a partition phase run.
+type PartitionResult struct {
+	Partitions []*storage.Relation
+	Stats      memsim.Stats
+	PageOuts   int    // simulated page write-outs
+	SchemeUsed Scheme // resolved scheme (interesting for SchemeCombined)
+}
+
+// partitioner carries one partition run's state.
+type partitioner struct {
+	m      *vmem.Mem
+	input  *storage.Relation
+	nParts int
+
+	buffers  []arena.Addr // one output page per partition
+	parts    []*storage.Relation
+	pageSize int
+	pageOuts int
+}
+
+// PartitionRelation divides input into nParts partitions using the given
+// scheme. SchemeCombined resolves to SchemeSimple when the output
+// buffers fit in the secondary cache of m's simulator, else SchemeGroup
+// (section 7.4).
+func PartitionRelation(m *vmem.Mem, input *storage.Relation, nParts int, scheme Scheme, params Params) PartitionResult {
+	if nParts < 1 {
+		panic("core: need at least one partition")
+	}
+	params = params.normalized()
+	p := &partitioner{
+		m:        m,
+		input:    input,
+		nParts:   nParts,
+		pageSize: input.PageSize,
+	}
+	resolved := scheme
+	if scheme == SchemeCombined {
+		footprint := nParts * (p.pageSize + 64)
+		if footprint <= m.S.Config().L2Size {
+			resolved = SchemeSimple
+		} else {
+			resolved = SchemeGroup
+		}
+	}
+
+	p.buffers = make([]arena.Addr, nParts)
+	p.parts = make([]*storage.Relation, nParts)
+	for i := range p.buffers {
+		page := storage.AllocPage(m.A, p.pageSize, uint32(i))
+		p.buffers[i] = page.Addr
+		p.parts[i] = storage.NewRelation(m.A, input.Schema, p.pageSize)
+	}
+
+	pre := m.S.Stats()
+	switch resolved {
+	case SchemeBaseline, SchemeSimple:
+		p.runBaseline(resolved == SchemeSimple)
+	case SchemeGroup:
+		p.runGroup(params.G)
+	case SchemePipelined:
+		p.runPipelined(params.D)
+	default:
+		panic(fmt.Sprintf("core: unknown partition scheme %v", scheme))
+	}
+	p.flushAll()
+
+	return PartitionResult{
+		Partitions: p.parts,
+		Stats:      m.S.Stats().Sub(pre),
+		PageOuts:   p.pageOuts,
+		SchemeUsed: resolved,
+	}
+}
+
+// hashInputTuple performs the timed per-tuple front half shared by all
+// variants: read the slot and the join key, hash it, and compute the
+// partition number. (The input relation may itself be a generated source
+// whose slots carry hash codes; the partition phase deliberately ignores
+// them — this is where codes are first computed.)
+func (p *partitioner) hashInputTuple(page, slot arena.Addr) (tuple arena.Addr, length int, code uint32, part int) {
+	m := p.m
+	m.S.Read(slot, storage.SlotSize)
+	off := m.A.U16(slot + storage.SlotOffOffset)
+	length = int(m.A.U16(slot + storage.SlotOffLength))
+	tuple = page + arena.Addr(off)
+	key := m.ReadU32(tuple)
+	m.Compute(CostHashKey)
+	code = hash.CodeU32(key)
+	m.Compute(CostMod)
+	part = hash.PartitionOf(code, p.nParts)
+	return tuple, length, code, part
+}
+
+// readHeader performs the timed load of a buffer's header — the random,
+// cache-missing access of the partition phase — returning its slot count
+// and free pointer.
+func (p *partitioner) readHeader(buf arena.Addr) (nslots, free int) {
+	p.m.S.Read(buf, 4)
+	return int(p.m.A.U16(storage.NSlotsAddr(buf))), int(p.m.A.U16(storage.FreeAddr(buf)))
+}
+
+// fits reports whether a length-byte tuple fits given a header snapshot.
+func (p *partitioner) fits(nslots, free, length int) bool {
+	return free+length+storage.SlotSize*(nslots+1) <= p.pageSize
+}
+
+// reserve claims space in the buffer, updating its header (timed writes
+// to the just-read header line).
+func (p *partitioner) reserve(buf arena.Addr, nslots, free, length int) (dst, slot arena.Addr) {
+	m := p.m
+	m.S.Write(buf, 4)
+	m.A.PutU16(buf, uint16(nslots+1))
+	m.A.PutU16(buf+2, uint16(free+length))
+	dst = buf + arena.Addr(free)
+	slot = storage.SlotAddr(buf, p.pageSize, nslots)
+	return dst, slot
+}
+
+// copyTuple writes the tuple bytes and its slot (with the memoized hash
+// code) into reserved space.
+func (p *partitioner) copyTuple(dst, slot, tuple arena.Addr, length int, code uint32, free int) {
+	m := p.m
+	m.Copy(dst, tuple, length)
+	m.S.Write(slot, storage.SlotSize)
+	m.A.PutU16(slot+storage.SlotOffOffset, uint16(free))
+	m.A.PutU16(slot+storage.SlotOffLength, uint16(length))
+	m.A.PutU32(slot+storage.SlotOffHash, code)
+}
+
+// writeOut retires a full buffer to its partition (the disk write is
+// asynchronous and not part of user time; the reset is) and empties it.
+func (p *partitioner) writeOut(part int) {
+	m := p.m
+	m.Compute(CostBufferSwap)
+	page := storage.Page{A: m.A, Addr: p.buffers[part], Size: p.pageSize}
+	n := page.NSlots()
+	for i := 0; i < n; i++ {
+		addr, length := page.TupleAddr(i)
+		p.parts[part].Append(m.A.Bytes(addr, uint64(length)), page.HashCode(i))
+	}
+	m.S.Write(p.buffers[part], 4)
+	page.Reset()
+	if n > 0 {
+		p.pageOuts++
+	}
+}
+
+// flushAll retires every non-empty buffer at end of input.
+func (p *partitioner) flushAll() {
+	for i := range p.buffers {
+		p.writeOut(i)
+	}
+}
+
+// runBaseline is the unmodified partition loop; simple adds the
+// after-disk-read page prefetch.
+func (p *partitioner) runBaseline(simple bool) {
+	m := p.m
+	cur := newCursor(p.input)
+	for {
+		page, slot, ok := cur.next(m, simple)
+		if !ok {
+			return
+		}
+		m.Compute(CostLoop)
+		tuple, length, code, part := p.hashInputTuple(page, slot)
+		buf := p.buffers[part]
+		nslots, free := p.readHeader(buf)
+		if !p.fits(nslots, free, length) {
+			p.writeOut(part)
+			nslots, free = 0, storage.PageHeaderSize
+		}
+		dst, slotAddr := p.reserve(buf, nslots, free, length)
+		p.copyTuple(dst, slotAddr, tuple, length, code, free)
+	}
+}
+
+// partState carries one tuple's state across partition stages.
+type partState struct {
+	tuple  arena.Addr
+	length int
+	code   uint32
+	part   int
+
+	dst, slot arena.Addr
+	free      int
+	active    bool
+}
+
+// runGroup is group prefetching for the partition phase (k = 1: the
+// buffer header is the dependent reference; tuple stores do not stall).
+// Full buffers conflict with not-yet-copied reservations from the same
+// group, so their write-out and insert are deferred to the group
+// boundary (section 6).
+func (p *partitioner) runGroup(g int) {
+	m := p.m
+	states := make([]partState, g)
+	delayed := make([]int, 0, g)
+	cur := newCursor(p.input)
+
+	for {
+		// Stage 0: hash and partition every tuple; prefetch the target
+		// buffer headers.
+		n := 0
+		for n < g {
+			page, slot, ok := cur.next(m, true)
+			if !ok {
+				break
+			}
+			st := &states[n]
+			m.Compute(CostLoop + CostStateGroup)
+			st.tuple, st.length, st.code, st.part = p.hashInputTuple(page, slot)
+			st.active = true
+			m.Prefetch(p.buffers[st.part])
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		delayed = delayed[:0]
+
+		// Stage 1: visit headers and reserve space. Within the stage the
+		// reservations are ordered, so same-partition tuples in one group
+		// compose; only the full-buffer case defers.
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			m.Compute(CostStateGroup)
+			buf := p.buffers[st.part]
+			nslots, free := p.readHeader(buf)
+			if !p.fits(nslots, free, st.length) {
+				delayed = append(delayed, i)
+				st.active = false
+				continue
+			}
+			st.free = free
+			st.dst, st.slot = p.reserve(buf, nslots, free, st.length)
+		}
+
+		// Stage 2: copy the tuples into their reserved spots.
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			if !st.active {
+				continue
+			}
+			m.Compute(CostStateGroup)
+			p.copyTuple(st.dst, st.slot, st.tuple, st.length, st.code, st.free)
+		}
+
+		// Group boundary: all copies for this group have landed, so the
+		// full buffers can be written out and the delayed tuples placed.
+		// (An earlier delayed tuple may already have flushed the same
+		// buffer, so re-check before writing out.)
+		for _, i := range delayed {
+			st := &states[i]
+			m.Compute(CostStateGroup)
+			buf := p.buffers[st.part]
+			nslots, free := p.readHeader(buf)
+			if !p.fits(nslots, free, st.length) {
+				p.writeOut(st.part)
+				nslots, free = p.readHeader(buf)
+			}
+			dst, slot := p.reserve(buf, nslots, free, st.length)
+			p.copyTuple(dst, slot, st.tuple, st.length, st.code, free)
+		}
+
+		if n < g {
+			return
+		}
+	}
+}
+
+// queuedTuple is a deferred insert in the software-pipelined variant.
+type queuedTuple struct {
+	tuple  arena.Addr
+	length int
+	code   uint32
+}
+
+// runPipelined is software-pipelined prefetching for the partition phase
+// (k = 1, so two stages D apart). Tuples that find their buffer full
+// while earlier reservations are still being copied join a per-partition
+// waiting queue, drained when the buffer's in-flight count reaches zero
+// (the analogue of the join phase's bucket queues, section 6).
+func (p *partitioner) runPipelined(d int) {
+	m := p.m
+	size := nextPow2(2*d + 1)
+	mask := size - 1
+	states := make([]partState, size)
+	inflight := make([]int, p.nParts) // reservations not yet copied
+	waiting := make([][]queuedTuple, p.nParts)
+	cur := newCursor(p.input)
+	total := p.input.NTuples
+
+	for it := 0; it-2*d < total; it++ {
+		// Stage 0: hash + partition; prefetch the buffer header.
+		if it < total {
+			page, slot, ok := cur.next(m, true)
+			if !ok {
+				panic("core: cursor ended before NTuples")
+			}
+			st := &states[it&mask]
+			m.Compute(CostLoop + CostStatePipe)
+			st.tuple, st.length, st.code, st.part = p.hashInputTuple(page, slot)
+			st.active = true
+			m.Prefetch(p.buffers[st.part])
+		}
+
+		// Stage 1: visit header and reserve space. A full buffer cannot
+		// be written out while reservations from earlier iterations are
+		// still uncopied (the section 6 conflict), so the tuple joins the
+		// partition's waiting queue instead.
+		if k := it - d; k >= 0 && k < total {
+			st := &states[k&mask]
+			m.Compute(CostStatePipe)
+			buf := p.buffers[st.part]
+			nslots, free := p.readHeader(buf)
+			if !p.fits(nslots, free, st.length) {
+				if inflight[st.part] > 0 {
+					m.Compute(CostStatePipe)
+					waiting[st.part] = append(waiting[st.part], queuedTuple{st.tuple, st.length, st.code})
+					st.active = false
+				} else {
+					p.writeOut(st.part)
+					nslots, free = p.readHeader(buf)
+				}
+			}
+			if st.active {
+				st.free = free
+				st.dst, st.slot = p.reserve(buf, nslots, free, st.length)
+				inflight[st.part]++
+			}
+		}
+
+		// Stage 2: copy into the reserved spot; when this was the last
+		// in-flight writer of a buffer with queued tuples, drain them.
+		if k := it - 2*d; k >= 0 && k < total {
+			st := &states[k&mask]
+			if st.active {
+				m.Compute(CostStatePipe)
+				p.copyTuple(st.dst, st.slot, st.tuple, st.length, st.code, st.free)
+				inflight[st.part]--
+				if inflight[st.part] == 0 && len(waiting[st.part]) > 0 {
+					p.drainWaiting(st.part, waiting)
+				}
+			}
+		}
+	}
+	// Any stragglers whose buffers never emptied in the steady state.
+	for part := range waiting {
+		if len(waiting[part]) > 0 {
+			p.drainWaiting(part, waiting)
+		}
+	}
+}
+
+// drainWaiting writes out the buffer and places every queued tuple.
+func (p *partitioner) drainWaiting(part int, waiting [][]queuedTuple) {
+	m := p.m
+	p.writeOut(part)
+	for _, q := range waiting[part] {
+		m.Compute(CostStatePipe)
+		buf := p.buffers[part]
+		nslots, free := p.readHeader(buf)
+		if !p.fits(nslots, free, q.length) {
+			p.writeOut(part)
+			nslots, free = p.readHeader(buf)
+		}
+		dst, slot := p.reserve(buf, nslots, free, q.length)
+		p.copyTuple(dst, slot, q.tuple, q.length, q.code, free)
+	}
+	waiting[part] = waiting[part][:0]
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
+)
+
+var partSchemes = []Scheme{SchemeBaseline, SchemeSimple, SchemeGroup, SchemePipelined, SchemeCombined}
+
+// runPartition partitions a generated build relation under one scheme.
+func runPartition(t *testing.T, spec workload.Spec, nParts int, scheme Scheme, params Params) (*workload.Pair, PartitionResult, *vmem.Mem) {
+	t.Helper()
+	pageSize := spec.PageSize
+	if pageSize == 0 {
+		pageSize = 8 << 10
+	}
+	a := arena.New(workload.ArenaBytesFor(spec) + uint64(nParts)*uint64(4*pageSize))
+	pair := workload.Generate(a, spec)
+	m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+	res := PartitionRelation(m, pair.Build, nParts, scheme, params)
+	return pair, res, m
+}
+
+func checkPartitioning(t *testing.T, pair *workload.Pair, res PartitionResult, nParts int, scheme Scheme) {
+	t.Helper()
+	total := 0
+	for p, rel := range res.Partitions {
+		total += rel.NTuples
+		rel.Each(func(tup []byte, code uint32) {
+			key := rel.Schema.Key(tup)
+			if hash.CodeU32(key) != code {
+				t.Fatalf("%v: partition %d memoized wrong hash code for key %#x", scheme, p, key)
+			}
+			if hash.PartitionOf(code, nParts) != p {
+				t.Fatalf("%v: key %#x landed in partition %d, want %d", scheme, key, p, hash.PartitionOf(code, nParts))
+			}
+		})
+	}
+	if total != pair.Build.NTuples {
+		t.Fatalf("%v: partitions hold %d tuples, input had %d", scheme, total, pair.Build.NTuples)
+	}
+}
+
+func TestPartitionCorrectnessAllSchemes(t *testing.T) {
+	spec := workload.Spec{NBuild: 3000, TupleSize: 40, MatchesPerBuild: 1, PctMatched: 100, Seed: 41, PageSize: 1024}
+	for _, scheme := range partSchemes {
+		for _, nParts := range []int{1, 3, 16, 97} {
+			pair, res, _ := runPartition(t, spec, nParts, scheme, Params{G: 12, D: 2})
+			checkPartitioning(t, pair, res, nParts, scheme)
+		}
+	}
+}
+
+func TestPartitionKeySetPreserved(t *testing.T) {
+	spec := workload.Spec{NBuild: 1000, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 43}
+	pair, res, _ := runPartition(t, spec, 7, SchemeGroup, DefaultParams())
+	want := map[uint32]int{}
+	for _, k := range pair.Build.Keys() {
+		want[k]++
+	}
+	got := map[uint32]int{}
+	for _, rel := range res.Partitions {
+		for _, k := range rel.Keys() {
+			got[k]++
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct keys %d, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("key %#x count %d, want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestPartitionCombinedPolicy(t *testing.T) {
+	spec := workload.Spec{NBuild: 2000, TupleSize: 40, MatchesPerBuild: 1, PctMatched: 100, Seed: 47, PageSize: 1024}
+	// Few partitions: buffers fit the 128 KB small-config L2 -> simple.
+	_, few, _ := runPartition(t, spec, 8, SchemeCombined, DefaultParams())
+	if few.SchemeUsed != SchemeSimple {
+		t.Errorf("combined with 8 partitions resolved to %v, want simple", few.SchemeUsed)
+	}
+	// Many partitions: buffers exceed L2 -> group.
+	_, many, _ := runPartition(t, spec, 400, SchemeCombined, DefaultParams())
+	if many.SchemeUsed != SchemeGroup {
+		t.Errorf("combined with 400 partitions resolved to %v, want group", many.SchemeUsed)
+	}
+}
+
+// TestPartitionPrefetchingFasterWhenThrashing mirrors Figure 14a's right
+// region: with many partitions the buffers exceed L2 and group/pipelined
+// prefetching must clearly beat baseline and simple.
+func TestPartitionPrefetchingFasterWhenThrashing(t *testing.T) {
+	spec := workload.Spec{NBuild: 20000, TupleSize: 100, MatchesPerBuild: 1, PctMatched: 100, Seed: 53, PageSize: 1024}
+	const nParts = 300 // 300 KB of buffers vs 128 KB L2
+	cycles := map[Scheme]uint64{}
+	for _, scheme := range partSchemes[:4] {
+		_, res, _ := runPartition(t, spec, nParts, scheme, DefaultParams())
+		cycles[scheme] = res.Stats.Total()
+	}
+	base := float64(cycles[SchemeBaseline])
+	if s := base / float64(cycles[SchemeGroup]); s < 1.3 {
+		t.Errorf("group partition speedup %.2fx, want >= 1.3 (cycles %v)", s, cycles)
+	}
+	if s := base / float64(cycles[SchemePipelined]); s < 1.3 {
+		t.Errorf("pipelined partition speedup %.2fx, want >= 1.3 (cycles %v)", s, cycles)
+	}
+}
+
+// TestPartitionSimpleWinsWhenCacheResident mirrors Figure 14a's left
+// region: with few partitions the heavier schemes' overhead should not
+// pay off, and simple should be at least competitive.
+func TestPartitionSimpleWinsWhenCacheResident(t *testing.T) {
+	spec := workload.Spec{NBuild: 20000, TupleSize: 100, MatchesPerBuild: 1, PctMatched: 100, Seed: 59, PageSize: 1024}
+	const nParts = 16
+	_, simple, _ := runPartition(t, spec, nParts, SchemeSimple, DefaultParams())
+	_, group, _ := runPartition(t, spec, nParts, SchemeGroup, DefaultParams())
+	if float64(simple.Stats.Total()) > 1.1*float64(group.Stats.Total()) {
+		t.Errorf("simple (%d) much slower than group (%d) despite cache-resident buffers",
+			simple.Stats.Total(), group.Stats.Total())
+	}
+}
+
+func TestPartitionTinyInputs(t *testing.T) {
+	spec := workload.Spec{NBuild: 3, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 61}
+	for _, scheme := range partSchemes {
+		pair, res, _ := runPartition(t, spec, 5, scheme, Params{G: 19, D: 4})
+		checkPartitioning(t, pair, res, 5, scheme)
+	}
+}
+
+func TestGraceEndToEnd(t *testing.T) {
+	spec := workload.Spec{NBuild: 3000, TupleSize: 60, MatchesPerBuild: 2, PctMatched: 90, Seed: 67, PageSize: 2048}
+	for _, scheme := range []Scheme{SchemeBaseline, SchemeGroup, SchemePipelined} {
+		a := arena.New(workload.ArenaBytesFor(spec) * 2)
+		pair := workload.Generate(a, spec)
+		m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+		cfg := GraceConfig{
+			MemBudget:  64 << 10,
+			PartScheme: SchemeCombined,
+			JoinScheme: scheme,
+			PartParams: DefaultParams(),
+			JoinParams: DefaultParams(),
+		}
+		res := Grace(m, pair.Build, pair.Probe, cfg)
+		if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
+			t.Errorf("grace/%v: got %d/%d, want %d/%d", scheme, res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
+		}
+		if res.NPartitions < 2 {
+			t.Errorf("grace/%v: expected multiple partitions, got %d", scheme, res.NPartitions)
+		}
+	}
+}
+
+func TestDirectCacheCorrect(t *testing.T) {
+	spec := workload.Spec{NBuild: 3000, TupleSize: 60, MatchesPerBuild: 2, PctMatched: 100, Seed: 71, PageSize: 2048}
+	a := arena.New(workload.ArenaBytesFor(spec) * 2)
+	pair := workload.Generate(a, spec)
+	m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+	res := DirectCache(m, pair.Build, pair.Probe, GraceConfig{MemBudget: 64 << 10, JoinParams: DefaultParams(), PartParams: DefaultParams()})
+	if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
+		t.Fatalf("direct cache: got %d/%d, want %d/%d", res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
+	}
+}
+
+func TestTwoStepCacheCorrect(t *testing.T) {
+	spec := workload.Spec{NBuild: 3000, TupleSize: 60, MatchesPerBuild: 2, PctMatched: 100, Seed: 73, PageSize: 2048}
+	a := arena.New(workload.ArenaBytesFor(spec) * 3)
+	pair := workload.Generate(a, spec)
+	m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+	res := TwoStepCache(m, pair.Build, pair.Probe, GraceConfig{MemBudget: 64 << 10, JoinParams: DefaultParams(), PartParams: DefaultParams()})
+	if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
+		t.Fatalf("two-step cache: got %d/%d, want %d/%d", res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
+	}
+}
+
+// TestFlushRobustness mirrors Figure 18: under periodic cache flushing,
+// the prefetching join must degrade far less than a cache-resident join
+// relies on.
+func TestFlushRobustness(t *testing.T) {
+	spec := workload.Spec{NBuild: 4000, TupleSize: 60, MatchesPerBuild: 2, PctMatched: 100, Seed: 79}
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+	m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+
+	noFlush := JoinPair(vmem.New(a, memsim.NewSim(memsim.SmallConfig())), pair.Build, pair.Probe, SchemeGroup, DefaultParams(), 1, false)
+	flushed := JoinPairFlushed(m, 200_000, pair.Build, pair.Probe, SchemeGroup, DefaultParams())
+	if flushed.NOutput != pair.ExpectedMatches {
+		t.Fatalf("flushed join incorrect: %d", flushed.NOutput)
+	}
+	degrade := float64(flushed.Cycles())/float64(noFlush.Cycles()) - 1
+	if degrade > 0.25 {
+		t.Errorf("group prefetching degraded %.0f%% under flushing, want <= 25%%", degrade*100)
+	}
+}

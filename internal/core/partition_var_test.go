@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// varInput builds a relation with variable-length tuples: a uint32 key
+// plus a var-length comment.
+func varInput(t *testing.T, n int, seed int64) (*storage.Relation, *vmem.Mem) {
+	t.Helper()
+	schema := storage.MustSchema(
+		storage.Column{Name: "key", Type: storage.TypeUint32},
+		storage.Column{Name: "comment", Type: storage.TypeVarBytes},
+	)
+	a := arena.New(64 << 20)
+	rel := storage.NewRelation(a, schema, 2048)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		key := uint32(i)*2654435761 | 1
+		comment := make([]byte, rng.Intn(120))
+		for j := range comment {
+			comment[j] = byte(key + uint32(j))
+		}
+		enc, err := schema.Encode([]storage.Value{{U32: key}, {Bytes: comment}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel.Append(enc, hash.CodeU32(key))
+	}
+	return rel, vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+}
+
+func TestPartitionVariableLengthTuples(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeBaseline, SchemeSimple, SchemeGroup, SchemePipelined} {
+		rel, m := varInput(t, 2500, 101)
+		const nParts = 19
+		res := PartitionRelation(m, rel, nParts, scheme, Params{G: 12, D: 3})
+
+		// Collect input tuples by content for multiset comparison.
+		want := map[string]int{}
+		rel.Each(func(tup []byte, _ uint32) { want[string(tup)]++ })
+
+		total := 0
+		got := map[string]int{}
+		for pi, part := range res.Partitions {
+			total += part.NTuples
+			part.Each(func(tup []byte, code uint32) {
+				got[string(tup)]++
+				key := part.Schema.Key(tup)
+				if hash.CodeU32(key) != code {
+					t.Fatalf("%v: memoized code wrong for key %#x", scheme, key)
+				}
+				if hash.PartitionOf(code, nParts) != pi {
+					t.Fatalf("%v: tuple in wrong partition", scheme)
+				}
+			})
+		}
+		if total != rel.NTuples {
+			t.Fatalf("%v: partitions hold %d tuples, input %d", scheme, total, rel.NTuples)
+		}
+		for content, c := range want {
+			if got[content] != c {
+				t.Fatalf("%v: tuple multiset mismatch (variable-length bytes corrupted)", scheme)
+			}
+		}
+	}
+}
+
+func TestPartitionVarTuplesRoundTripDecode(t *testing.T) {
+	rel, m := varInput(t, 800, 103)
+	res := PartitionRelation(m, rel, 7, SchemeGroup, DefaultParams())
+	for _, part := range res.Partitions {
+		part.Each(func(tup []byte, _ uint32) {
+			vals, err := part.Schema.Decode(tup)
+			if err != nil {
+				t.Fatalf("partitioned var tuple fails to decode: %v", err)
+			}
+			key := vals[0].U32
+			for j, b := range vals[1].Bytes {
+				if b != byte(key+uint32(j)) {
+					t.Fatalf("comment corrupted for key %#x", key)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"hashjoin/internal/arena"
+	"hashjoin/internal/hash"
+)
+
+// Software-pipelined prefetching (paper section 5). Where group
+// prefetching processes stage s for all G tuples before stage s+1,
+// software pipelining combines different stages of different tuples into
+// one loop iteration: iteration i runs stage 0 for tuple i, stage 1 for
+// tuple i-D, stage 2 for tuple i-2D, ... so subsequent stages of one
+// tuple sit D iterations apart and the pipeline never drains between
+// groups. State lives in a circular array sized to a power of two (bit
+// masking replaces modulo) of at least k*D+1 entries (section 5.3).
+//
+// Bookkeeping is charged at CostStatePipe per stage — deliberately above
+// group prefetching's CostStateGroup, reflecting the modular index
+// arithmetic and waiting-queue maintenance the paper identifies as
+// software pipelining's overhead (section 5.4).
+
+// nextPow2 returns the smallest power of two >= v.
+func nextPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// probePipelined is the software-pipelined probe loop (k = 3).
+func (j *joiner) probePipelined() {
+	m := j.m
+	d := j.params.D
+	size := nextPow2(3*d + 1)
+	mask := size - 1
+	states := make([]probeState, size)
+	for i := range states {
+		states[i].matches = make([]arena.Addr, 0, 4)
+	}
+	cur := newCursor(j.probe)
+	total := j.probe.NTuples
+
+	for it := 0; it-3*d < total; it++ {
+		// Stage 0 for tuple it: compute bucket, prefetch header.
+		if it < total {
+			page, slot, ok := cur.next(m, true)
+			if !ok {
+				panic("core: cursor ended before NTuples")
+			}
+			st := &states[it&mask]
+			m.Compute(CostLoop + CostStatePipe)
+			st.tuple, st.length, st.code = j.slotCode(page, slot)
+			m.Compute(CostMod)
+			st.header = j.table.HeaderAddr(hash.BucketOf(st.code, j.table.NBuckets))
+			st.active = true
+			st.matches = st.matches[:0]
+			m.Prefetch(st.header)
+		}
+
+		// Stage 1 for tuple it-D: visit header, prefetch cells.
+		if k := it - d; k >= 0 && k < total {
+			st := &states[k&mask]
+			m.Compute(CostStatePipe)
+			m.S.Read(st.header, 16)
+			m.Compute(CostVisitHeader)
+			st.count = m.A.U32(st.header + hash.HOffCount)
+			st.cells = 0
+			if st.count == 0 {
+				st.active = false
+			} else {
+				if m.A.U32(st.header+hash.HOffCode0) == st.code {
+					bt := m.A.U64(st.header + hash.HOffTuple0)
+					st.matches = append(st.matches, bt)
+					m.PrefetchRange(bt, j.buildLen)
+				}
+				if st.count > 1 {
+					m.S.Read(st.header+hash.HOffCells, 8)
+					st.cells = m.A.U64(st.header + hash.HOffCells)
+					m.PrefetchRange(st.cells, int(st.count-1)*hash.CellSize)
+				}
+			}
+		}
+
+		// Stage 2 for tuple it-2D: visit cells, prefetch build tuples.
+		if k := it - 2*d; k >= 0 && k < total {
+			st := &states[k&mask]
+			if st.active && st.cells != 0 {
+				m.Compute(CostStatePipe)
+				m.S.Read(st.cells, int(st.count-1)*hash.CellSize)
+				for c := 0; c < int(st.count-1); c++ {
+					cell := hash.CellAddr(st.cells, c)
+					m.Compute(CostVisitCell)
+					if m.A.U32(cell+hash.CellOffCode) == st.code {
+						bt := m.A.U64(cell + hash.CellOffTuple)
+						st.matches = append(st.matches, bt)
+						m.PrefetchRange(bt, j.buildLen)
+					}
+				}
+			}
+		}
+
+		// Stage 3 for tuple it-3D: visit build tuples, compare, emit.
+		if k := it - 3*d; k >= 0 && k < total {
+			st := &states[k&mask]
+			if st.active {
+				m.Compute(CostStatePipe)
+				for _, bt := range st.matches {
+					j.compareAndEmit(bt, st.tuple, st.length)
+				}
+			}
+		}
+	}
+}
+
+// pipeBuildState extends buildState with the waiting-queue fields of
+// section 5.3: the bucket header's busy word stores the circular-array
+// index (plus one) of the tuple updating the bucket; each state points
+// at the next tuple waiting for the same bucket.
+type pipeBuildState struct {
+	buildState
+	waitNext int // circular-array index of the next waiter, -1 = none
+	waiting  bool
+	done     bool
+}
+
+// buildPipelined is the software-pipelined build loop (k = 2).
+func (j *joiner) buildPipelined() {
+	m := j.m
+	d := j.params.D
+	size := nextPow2(2*d + 1)
+	mask := size - 1
+	states := make([]pipeBuildState, size)
+	cur := newCursor(j.build)
+	total := j.build.NTuples
+
+	for it := 0; it-2*d < total; it++ {
+		// Stage 0: hash, prefetch header.
+		if it < total {
+			page, slot, ok := cur.next(m, true)
+			if !ok {
+				panic("core: cursor ended before NTuples")
+			}
+			st := &states[it&mask]
+			m.Compute(CostLoop + CostStatePipe)
+			st.tuple, _, st.code = j.slotCode(page, slot)
+			m.Compute(CostMod)
+			st.bucket = hash.BucketOf(st.code, j.table.NBuckets)
+			st.header = j.table.HeaderAddr(st.bucket)
+			st.active = true
+			st.waiting = false
+			st.done = false
+			st.waitNext = -1
+			m.Prefetch(st.header)
+		}
+
+		// Stage 1: visit header; insert inline, join a waiting queue, or
+		// claim the bucket and prefetch the cell-array tail. No early
+		// continue here: it would skip stage 2 of an older tuple in the
+		// same iteration and leak its bucket claim.
+		if k := it - d; k >= 0 && k < total {
+			st := &states[k&mask]
+			m.Compute(CostStatePipe)
+			m.S.Read(st.header, 32)
+			m.Compute(CostVisitHeader)
+			a := m.A
+			busy := a.U32(st.header + hash.HOffBusy)
+			switch {
+			case busy != 0:
+				// Append to the updating tuple's waiting queue.
+				m.Compute(CostStatePipe)
+				w := int(busy) - 1
+				for states[w].waitNext != -1 {
+					w = states[w].waitNext
+				}
+				states[w].waitNext = k & mask
+				st.waiting = true
+			case a.U32(st.header+hash.HOffCount) == 0:
+				m.S.Write(st.header, 16)
+				a.PutU32(st.header+hash.HOffCode0, st.code)
+				a.PutU64(st.header+hash.HOffTuple0, st.tuple)
+				a.PutU32(st.header+hash.HOffCount, 1)
+				st.done = true
+			default:
+				m.S.Write(st.header+hash.HOffBusy, 4)
+				a.PutU32(st.header+hash.HOffBusy, uint32(k&mask)+1)
+				if cells := a.U64(st.header + hash.HOffCells); cells != 0 {
+					over := a.U32(st.header+hash.HOffCount) - 1
+					if over < a.U32(st.header+hash.HOffCap) {
+						m.Prefetch(hash.CellAddr(cells, int(over)))
+					}
+				}
+			}
+		}
+
+		// Stage 2: append the cell, release the bucket, and drain any
+		// tuples that queued on it meanwhile (their buckets are settled
+		// and warm, so they run without prefetching).
+		if k := it - 2*d; k >= 0 && k < total {
+			st := &states[k&mask]
+			if !st.done && !st.waiting {
+				m.Compute(CostStatePipe)
+				j.appendCellTimed(st.header, st.code, st.tuple)
+				m.S.Write(st.header+hash.HOffBusy, 4)
+				m.A.PutU32(st.header+hash.HOffBusy, 0)
+				for w := st.waitNext; w != -1; {
+					ws := &states[w]
+					m.Compute(CostStatePipe)
+					j.insertTimed(ws.bucket, ws.code, ws.tuple)
+					ws.waiting = false
+					ws.done = true
+					next := ws.waitNext
+					ws.waitNext = -1
+					w = next
+				}
+				st.waitNext = -1
+			}
+		}
+	}
+}

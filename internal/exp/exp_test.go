@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tiny() Scale { return TinyScale() }
+
+func TestFig01BaselineStallBound(t *testing.T) {
+	tab := Fig01(tiny())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("fig1 rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.Values[1] < 40 {
+			t.Errorf("%s dcache%% = %.0f, want the dominant share", r.Label, r.Values[1])
+		}
+		sum := r.Values[0] + r.Values[1] + r.Values[2] + r.Values[3]
+		if sum < 99.5 || sum > 100.5 {
+			t.Errorf("%s breakdown sums to %.1f%%", r.Label, sum)
+		}
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	tabs := Fig09(tiny())
+	if len(tabs) != 2 {
+		t.Fatalf("fig9 tables = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		el := tab.Series("elapsed")
+		io := tab.Series("worker-io")
+		if el[0] < el[5] {
+			t.Errorf("%s: elapsed should not grow with disks", tab.ID)
+		}
+		if io[5] > io[0]/4 {
+			t.Errorf("%s: worker I/O should shrink ~1/disks", tab.ID)
+		}
+		// CPU-bound at 6 disks: elapsed flat between 5 and 6 disks.
+		if (el[4]-el[5])/el[4] > 0.15 {
+			t.Errorf("%s: elapsed not flattening: %v", tab.ID, el)
+		}
+	}
+}
+
+func TestFig10aShapes(t *testing.T) {
+	tab := Fig10a(tiny())
+	base := tab.Series("baseline")
+	group := tab.Series("group")
+	pipe := tab.Series("pipelined")
+	simple := tab.Series("simple")
+	for i := range base {
+		if g := base[i] / group[i]; g < 1.5 {
+			t.Errorf("row %s: group speedup %.2f < 1.5", tab.Rows[i].Label, g)
+		}
+		if p := base[i] / pipe[i]; p < 1.4 {
+			t.Errorf("row %s: pipelined speedup %.2f < 1.4", tab.Rows[i].Label, p)
+		}
+		if s := base[i] / simple[i]; s > 1.6 {
+			t.Errorf("row %s: simple speedup %.2f implausibly high", tab.Rows[i].Label, s)
+		}
+	}
+	// Decreasing trend with tuple size (fewer tuples per byte).
+	if base[0] < base[len(base)-1] {
+		t.Errorf("baseline should decrease with tuple size: %v", base)
+	}
+}
+
+func TestFig10bUpwardTrend(t *testing.T) {
+	tab := Fig10b(tiny())
+	base := tab.Series("baseline")
+	if base[len(base)-1] <= base[0] {
+		t.Errorf("time should grow with matches per build tuple: %v", base)
+	}
+}
+
+func TestFig12ConcaveAndShifting(t *testing.T) {
+	tabs := Fig12(tiny())
+	if len(tabs) != 4 {
+		t.Fatalf("fig12 tables = %d", len(tabs))
+	}
+	groupBase := tabs[0].Series("group") // T = base latency
+	// G=1 (first row) must be clearly worse than the best G.
+	best := groupBase[0]
+	for _, v := range groupBase {
+		if v < best {
+			best = v
+		}
+	}
+	if groupBase[0] < best*1.2 {
+		t.Errorf("G=1 (%.1f) should be much worse than best G (%.1f)", groupBase[0], best)
+	}
+}
+
+func TestFig13WastedGrowsWithG(t *testing.T) {
+	tabs := Fig13(tiny())
+	wasted := tabs[0].Series("wasted")
+	if wasted[len(wasted)-1] <= wasted[0] {
+		t.Errorf("wasted prefetches should grow with oversized G: %v", wasted)
+	}
+}
+
+func TestFig14aCrossover(t *testing.T) {
+	tab := Fig14a(tiny())
+	base := tab.Series("baseline")
+	group := tab.Series("group")
+	simple := tab.Series("simple")
+	last := len(tab.Rows) - 1
+	// Right region: group clearly beats baseline.
+	if sp := base[last] / group[last]; sp < 1.3 {
+		t.Errorf("group speedup at 800 partitions %.2f < 1.3", sp)
+	}
+	// Left region: simple competitive with group (within 15%).
+	if simple[0] > group[0]*1.15 {
+		t.Errorf("simple (%.1f) should win or tie at 25 partitions vs group (%.1f)", simple[0], group[0])
+	}
+	// Combined should track the best of the two everywhere.
+	comb := tab.Series("combined")
+	for i := range comb {
+		best := simple[i]
+		if group[i] < best {
+			best = group[i]
+		}
+		if comb[i] > best*1.2 {
+			t.Errorf("combined (%.1f) far from best (%.1f) at %s", comb[i], best, tab.Rows[i].Label)
+		}
+	}
+}
+
+func TestFig18Robustness(t *testing.T) {
+	tab := Fig18(tiny())
+	last := tab.Rows[len(tab.Rows)-1]
+	group, direct := last.Values[0], last.Values[2]
+	if group > 130 {
+		t.Errorf("group prefetching degraded to %.0f under flushing, want <= 130", group)
+	}
+	if direct < group {
+		t.Errorf("direct cache (%.0f) should degrade more than group prefetching (%.0f)", direct, group)
+	}
+}
+
+func TestFig19TwoStepSlower(t *testing.T) {
+	tabs := Fig19d(tiny())
+	total := tabs[2]
+	group := total.Series("group")
+	twoStep := total.Series("2-step-cache")
+	base := total.Series("baseline")
+	for i := range group {
+		if twoStep[i] < group[i] {
+			t.Errorf("row %s: two-step (%.1f) should be slower than group prefetching (%.1f)",
+				total.Rows[i].Label, twoStep[i], group[i])
+		}
+		if base[i] < group[i] {
+			t.Errorf("row %s: baseline should be slower than group", total.Rows[i].Label)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig9", "fig10a", "fig10b", "fig10c", "fig11", "fig12", "fig13",
+		"fig14a", "fig14b", "fig15", "fig16", "fig17", "fig18", "fig19", "fig19d", "ext-agg"}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(Experiments()), len(want))
+	}
+}
+
+func TestExtAggShape(t *testing.T) {
+	tab := ExtAgg(tiny())
+	base := tab.Series("baseline")
+	group := tab.Series("group")
+	last := len(base) - 1
+	if sp := base[last] / group[last]; sp < 1.5 {
+		t.Errorf("aggregation group speedup %.2f at the largest table, want >= 1.5", sp)
+	}
+}
+
+func TestTablePrintAndCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", RowLabel: "n", Columns: []string{"a", "b"}}
+	tab.AddRow("1", 1.5, 200)
+	tab.AddRow("2", 2.5, 300)
+	tab.Note("hello %d", 42)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "1.500", "300", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tab.CSV(&buf)
+	if !strings.Contains(buf.String(), "n,a,b") {
+		t.Errorf("CSV header missing: %s", buf.String())
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"full", "small", "tiny"} {
+		if sc, ok := ByName(name); !ok || sc.Name != name {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("ByName accepted bogus scale")
+	}
+}

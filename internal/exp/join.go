@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"fmt"
+
+	"hashjoin/internal/core"
+	"hashjoin/internal/workload"
+)
+
+// joinSchemes are the four join-phase competitors of Figure 10, in the
+// paper's order.
+var joinSchemes = []struct {
+	name   string
+	scheme core.Scheme
+}{
+	{"baseline", core.SchemeBaseline},
+	{"simple", core.SchemeSimple},
+	{"group", core.SchemeGroup},
+	{"pipelined", core.SchemePipelined},
+}
+
+// Fig10a reproduces Figure 10(a): join phase execution time (megacycles)
+// versus tuple size, for the four schemes. The build partition fills the
+// scale's memory budget; every build tuple matches two probe tuples.
+func Fig10a(sc Scale) *Table {
+	t := &Table{
+		ID:       "fig10a",
+		Title:    "join phase time vs tuple size (Mcycles)",
+		RowLabel: "tuple size",
+		Columns:  schemeNames(),
+	}
+	for _, size := range []int{20, 60, 100, 140} {
+		spec := sc.joinSpec(size, 2, 100, 1001)
+		t.AddRow(fmt.Sprintf("%dB", size), runJoinRow(sc, spec)...)
+	}
+	annotateSpeedups(t)
+	return t
+}
+
+// Fig10b reproduces Figure 10(b): join phase time versus the number of
+// probe tuples matching each build tuple (the probe relation grows with
+// it, hence the steeper curves).
+func Fig10b(sc Scale) *Table {
+	t := &Table{
+		ID:       "fig10b",
+		Title:    "join phase time vs matches per build tuple (Mcycles)",
+		RowLabel: "matches",
+		Columns:  schemeNames(),
+	}
+	for _, matches := range []int{1, 2, 3, 4} {
+		spec := sc.joinSpec(100, matches, 100, 1002)
+		t.AddRow(fmt.Sprintf("%d", matches), runJoinRow(sc, spec)...)
+	}
+	annotateSpeedups(t)
+	return t
+}
+
+// Fig10c reproduces Figure 10(c): join phase time versus the percentage
+// of tuples having matches, at a fixed probe relation size.
+func Fig10c(sc Scale) *Table {
+	t := &Table{
+		ID:       "fig10c",
+		Title:    "join phase time vs %% tuples with matches (Mcycles)",
+		RowLabel: "% matched",
+		Columns:  schemeNames(),
+	}
+	for _, pct := range []int{50, 75, 100} {
+		spec := sc.joinSpec(100, 2, pct, 1003)
+		spec.NProbe = spec.NBuild * 2 // fixed probe size across rows
+		t.AddRow(fmt.Sprintf("%d%%", pct), runJoinRow(sc, spec)...)
+	}
+	annotateSpeedups(t)
+	return t
+}
+
+// Fig11 reproduces Figure 11: the join phase execution time breakdown
+// (busy, data-cache stalls, TLB stalls, other) per scheme at the 100 B
+// pivot point.
+func Fig11(sc Scale) *Table {
+	t := &Table{
+		ID:       "fig11",
+		Title:    "join phase time breakdown at 100B tuples (Mcycles)",
+		RowLabel: "scheme",
+		Columns:  []string{"busy", "dcache", "dtlb", "other", "total"},
+	}
+	spec := sc.joinSpec(100, 2, 100, 1004)
+	for _, s := range joinSchemes {
+		res, _ := runJoinScheme(sc, spec, s.scheme, core.DefaultParams(), sc.Cfg)
+		st := res.Stats()
+		t.AddRow(s.name, mcyc(st.Busy), mcyc(st.DCacheStall), mcyc(st.TLBStall), mcyc(st.OtherStall), mcyc(st.Total()))
+	}
+	base := t.Rows[0]
+	frac := base.Values[1] / base.Values[4]
+	t.Note("baseline dcache stall fraction = %.0f%% (paper: 73%%)", frac*100)
+	return t
+}
+
+// Fig12 reproduces Figure 12: probe-loop cache performance versus the
+// group size G and the prefetch distance D, at the base memory latency
+// and at T = 1000 cycles. Values are probe-phase megacycles.
+func Fig12(sc Scale) []*Table {
+	spec := sc.joinSpec(20, 2, 100, 1005)
+	var out []*Table
+
+	for _, lat := range []uint64{sc.Cfg.MemLatency, 1000} {
+		cfg := sc.Cfg.WithLatency(lat)
+
+		tg := &Table{
+			ID:       fmt.Sprintf("fig12-group-T%d", lat),
+			Title:    fmt.Sprintf("probe time vs group size G (T=%d, Mcycles)", lat),
+			RowLabel: "G",
+			Columns:  []string{"group"},
+		}
+		for _, g := range []int{1, 2, 4, 8, 12, 16, 19, 24, 32, 48, 64} {
+			res, _ := runJoinScheme(sc, spec, core.SchemeGroup, core.Params{G: g, D: 1}, cfg)
+			tg.AddRow(fmt.Sprintf("%d", g), mcyc(res.ProbeStats.Total()))
+		}
+		out = append(out, tg)
+
+		td := &Table{
+			ID:       fmt.Sprintf("fig12-pipe-T%d", lat),
+			Title:    fmt.Sprintf("probe time vs prefetch distance D (T=%d, Mcycles)", lat),
+			RowLabel: "D",
+			Columns:  []string{"pipelined"},
+		}
+		for _, d := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32} {
+			res, _ := runJoinScheme(sc, spec, core.SchemePipelined, core.Params{G: 1, D: d}, cfg)
+			td.AddRow(fmt.Sprintf("%d", d), mcyc(res.ProbeStats.Total()))
+		}
+		out = append(out, td)
+	}
+	return out
+}
+
+// Fig13 reproduces Figure 13: the prefetch-outcome breakdown of the
+// probe loop as G and D grow — fully hidden, partially hidden, and
+// wasted (evicted before use, the conflict-miss signature of oversized
+// parameters). Values are thousands of prefetched lines.
+func Fig13(sc Scale) []*Table {
+	spec := sc.joinSpec(20, 2, 100, 1006)
+	kilo := func(v uint64) float64 { return float64(v) / 1e3 }
+
+	tg := &Table{
+		ID:       "fig13-group",
+		Title:    "probe prefetch outcomes vs G (K lines)",
+		RowLabel: "G",
+		Columns:  []string{"full-hidden", "part-hidden", "wasted"},
+	}
+	for _, g := range []int{4, 8, 16, 19, 32, 64, 128, 256} {
+		res, _ := runJoinScheme(sc, spec, core.SchemeGroup, core.Params{G: g, D: 1}, sc.Cfg)
+		st := res.ProbeStats
+		tg.AddRow(fmt.Sprintf("%d", g), kilo(st.PrefetchFullHidden), kilo(st.PrefetchPartHidden), kilo(st.PrefetchWasted))
+	}
+
+	td := &Table{
+		ID:       "fig13-pipe",
+		Title:    "probe prefetch outcomes vs D (K lines)",
+		RowLabel: "D",
+		Columns:  []string{"full-hidden", "part-hidden", "wasted"},
+	}
+	for _, d := range []int{1, 2, 4, 8, 16, 32, 64} {
+		res, _ := runJoinScheme(sc, spec, core.SchemePipelined, core.Params{G: 1, D: d}, sc.Cfg)
+		st := res.ProbeStats
+		td.AddRow(fmt.Sprintf("%d", d), kilo(st.PrefetchFullHidden), kilo(st.PrefetchPartHidden), kilo(st.PrefetchWasted))
+	}
+	return []*Table{tg, td}
+}
+
+// schemeNames lists the Figure 10 series.
+func schemeNames() []string {
+	names := make([]string, len(joinSchemes))
+	for i, s := range joinSchemes {
+		names[i] = s.name
+	}
+	return names
+}
+
+// runJoinRow measures one workload under all four schemes.
+func runJoinRow(sc Scale, spec workload.Spec) []float64 {
+	vals := make([]float64, len(joinSchemes))
+	for i, s := range joinSchemes {
+		res, pair := runJoinScheme(sc, spec, s.scheme, core.DefaultParams(), sc.Cfg)
+		if res.NOutput != pair.ExpectedMatches {
+			panic(fmt.Sprintf("exp: %s produced %d outputs, want %d", s.name, res.NOutput, pair.ExpectedMatches))
+		}
+		vals[i] = mcyc(res.Cycles())
+	}
+	return vals
+}
+
+// annotateSpeedups appends the speedup bands the paper headlines.
+func annotateSpeedups(t *Table) {
+	base := t.Series("baseline")
+	for _, name := range []string{"simple", "group", "pipelined"} {
+		s := t.Series(name)
+		lo, hi := 1e18, 0.0
+		for i := range s {
+			sp := base[i] / s[i]
+			if sp < lo {
+				lo = sp
+			}
+			if sp > hi {
+				hi = sp
+			}
+		}
+		t.Note("%s speedup over baseline: %.1f-%.1fx", name, lo, hi)
+	}
+}

@@ -1,0 +1,293 @@
+package exp
+
+import (
+	"fmt"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/iosim"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
+)
+
+// Fig09 reproduces Figure 9: GRACE hash join elapsed time, worker I/O
+// time, and main-thread wait versus the number of disks, for both
+// phases. CPU demand is measured by running the scaled simulation and
+// extrapolating cycles-per-byte to the paper's real machine (1.5 GB x
+// 3 GB relations, 550 MHz Pentium III); the disk subsystem is the
+// paper's (68 MB/s SCSI disks, 256 KB striping, worker threads with
+// read-ahead and write-behind).
+func Fig09(sc Scale) []*Table {
+	// Measure CPU cycles per input byte at simulation scale.
+	spec := sc.joinSpec(100, 2, 100, 901)
+	pair, m := newPair(spec, sc.Cfg)
+	cfg := core.GraceConfig{
+		MemBudget:  sc.MemBudget,
+		PartScheme: core.SchemeBaseline,
+		JoinScheme: core.SchemeBaseline,
+	}
+	res := core.Grace(m, pair.Build, pair.Probe, cfg)
+	inputBytes := float64(pair.Build.ByteSize() + pair.Probe.ByteSize())
+	partCPB := float64(res.PartitionCycles()) / inputBytes
+	joinCPB := float64(res.JoinCycles()) / inputBytes
+
+	// Extrapolate to the paper's real-machine experiment: 1.5 GB x 3 GB
+	// relations on a 550 MHz Pentium III. The simulated kernel excludes
+	// the buffer manager's user-space data movement (read/write copies
+	// through the buffer pool), which on that machine costs on the order
+	// of bufferMgrCPB cycles per byte moved; it is added back so the CPU
+	// demand reflects the measured system, not just the join kernel.
+	const clockHz = 550e6
+	const bufferMgrCPB = 3.5
+	buildBytes := int64(1.5 * float64(1<<30))
+	probeBytes := int64(3) << 30
+	total := float64(buildBytes + probeBytes)
+	cpuPart := (partCPB + bufferMgrCPB) * total / clockHz
+	cpuJoin := (joinCPB + bufferMgrCPB) * total / clockHz
+
+	part := &Table{
+		ID:       "fig09-partition",
+		Title:    "partition phase vs #disks (seconds, 1.5GB x 3GB join)",
+		RowLabel: "disks",
+		Columns:  []string{"elapsed", "worker-io", "main-wait"},
+	}
+	join := &Table{
+		ID:       "fig09-join",
+		Title:    "join phase vs #disks (seconds)",
+		RowLabel: "disks",
+		Columns:  []string{"elapsed", "worker-io", "main-wait"},
+	}
+	for disks := 1; disks <= 6; disks++ {
+		p, j := iosim.RunJoin(iosim.DefaultConfig(disks), buildBytes, probeBytes, cpuPart, cpuJoin)
+		part.AddRow(fmt.Sprintf("%d", disks), p.ElapsedSeconds, p.WorkerIOSeconds, p.MainWaitSeconds)
+		join.AddRow(fmt.Sprintf("%d", disks), j.ElapsedSeconds, j.WorkerIOSeconds, j.MainWaitSeconds)
+	}
+	part.Note("CPU-bound once worker I/O falls below CPU time (paper: at 4+ disks)")
+	join.Note("cycles/byte measured at %s scale: partition %.1f, join %.1f", sc.Name, partCPB, joinCPB)
+	return []*Table{part, join}
+}
+
+// Fig18 reproduces Figure 18: join-phase execution time under periodic
+// cache flushing — the worst-case interference — normalized to 100 at no
+// flushing. The prefetching schemes barely degrade; the cache
+// partitioning schemes, which rely on partitions staying cache-resident,
+// degrade substantially.
+func Fig18(sc Scale) *Table {
+	t := &Table{
+		ID:       "fig18",
+		Title:    "join phase under periodic cache flushing (normalized, 100 = no flush)",
+		RowLabel: "flush period",
+		Columns:  []string{"group", "pipelined", "direct-cache", "2-step-cache"},
+	}
+	// Flush periods scale with the cache size so refill pressure matches
+	// the paper's 10 ms / 5 ms / 2 ms at a 1 MB L2.
+	f := uint64(sc.Cfg.L2Size) * 10 // 1 MB L2 -> 10 Mcycles = 10 ms
+	periods := []uint64{0, f, f / 2, f / 5}
+	labels := []string{"none", "10ms*", "5ms*", "2ms*"}
+
+	spec := sc.joinSpec(100, 2, 100, 1801)
+	base := make([]float64, len(t.Columns))
+	for pi, period := range periods {
+		vals := []float64{
+			float64(fig18Prefetch(sc, spec, core.SchemeGroup, period)),
+			float64(fig18Prefetch(sc, spec, core.SchemePipelined, period)),
+			float64(fig18DirectCache(sc, spec, period)),
+			float64(fig18TwoStep(sc, spec, period)),
+		}
+		if pi == 0 {
+			copy(base, vals)
+		}
+		norm := make([]float64, len(vals))
+		for i := range vals {
+			norm[i] = 100 * vals[i] / base[i]
+		}
+		t.AddRow(labels[pi], norm...)
+	}
+	t.Note("periods marked * are scaled to the %dKB L2 (paper: 1MB L2, 1GHz)", sc.Cfg.L2Size>>10)
+	t.Note("paper: direct cache degrades up to 67%%, 2-step up to 38%%, prefetching robust")
+	return t
+}
+
+// fig18Prefetch times one prefetching join under flushing.
+func fig18Prefetch(sc Scale, spec workload.Spec, scheme core.Scheme, period uint64) uint64 {
+	cfg := sc.Cfg
+	cfg.FlushInterval = period
+	res, _ := runJoinScheme(sc, spec, scheme, core.DefaultParams(), cfg)
+	return res.Cycles()
+}
+
+// fig18DirectCache times the direct-cache join phase (cache-sized
+// partitions, joined cache-resident) under flushing. The I/O partition
+// phase that produced the small partitions is not measured here,
+// matching the paper's join-phase-only Figure 18.
+func fig18DirectCache(sc Scale, spec workload.Spec, period uint64) uint64 {
+	pair, m := newPair(spec, sc.Cfg)
+	n := cacheParts(sc, pair)
+	pb := core.PartitionRelation(m, pair.Build, n, core.SchemeCombined, core.DefaultParams())
+	pp := core.PartitionRelation(m, pair.Probe, n, core.SchemeCombined, core.DefaultParams())
+
+	cfg := sc.Cfg
+	cfg.FlushInterval = period
+	jm := vmem.New(m.A, memsim.NewSim(cfg))
+	var cycles uint64
+	for i := 0; i < n; i++ {
+		jr := core.JoinPair(jm, pb.Partitions[i], pp.Partitions[i], core.SchemeSimple, core.DefaultParams(), n, false)
+		cycles += jr.Cycles()
+	}
+	return cycles
+}
+
+// fig18TwoStep times the two-step-cache join phase — the in-memory
+// second partitioning pass plus the cache-resident joins — under
+// flushing.
+func fig18TwoStep(sc Scale, spec workload.Spec, period uint64) uint64 {
+	pair, m := newPair(spec, sc.Cfg)
+	n := cacheParts(sc, pair)
+
+	cfg := sc.Cfg
+	cfg.FlushInterval = period
+	jm := vmem.New(m.A, memsim.NewSim(cfg))
+	sb := core.PartitionRelation(jm, pair.Build, n, core.SchemeCombined, core.DefaultParams())
+	sp := core.PartitionRelation(jm, pair.Probe, n, core.SchemeCombined, core.DefaultParams())
+	cycles := sb.Stats.Total() + sp.Stats.Total()
+	for i := 0; i < n; i++ {
+		jr := core.JoinPair(jm, sb.Partitions[i], sp.Partitions[i], core.SchemeSimple, core.DefaultParams(), n, false)
+		cycles += jr.Cycles()
+	}
+	return cycles
+}
+
+// cacheParts sizes cache-resident partitions for a workload pair.
+func cacheParts(sc Scale, pair *workload.Pair) int {
+	budget := int(core.CacheBudgetFraction * float64(sc.Cfg.L2Size))
+	per := pair.Spec.TupleSize + 8 + 32 + 8
+	n := (pair.Build.NTuples*per + budget - 1) / budget
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// overallSchemes are the Figure 19 competitors.
+var overallSchemes = []string{"baseline", "group", "pipelined", "direct-cache", "2-step-cache"}
+
+// Fig19 reproduces Figure 19(a)-(c): end-to-end comparison with cache
+// partitioning across tuple sizes — partition phase, join phase, and
+// overall times per scheme. Relations are 4x and 8x the memory budget,
+// matching the paper's 200 MB x 400 MB against 50 MB.
+func Fig19(sc Scale) []*Table {
+	part := &Table{ID: "fig19-partition", Title: "partition phase (Mcycles)", RowLabel: "tuple size", Columns: overallSchemes}
+	join := &Table{ID: "fig19-join", Title: "join phase incl. 2nd partition step (Mcycles)", RowLabel: "tuple size", Columns: overallSchemes}
+	total := &Table{ID: "fig19-total", Title: "overall (Mcycles)", RowLabel: "tuple size", Columns: overallSchemes}
+	for _, size := range []int{20, 60, 100} {
+		p, j, o := fig19Row(sc, size, 100, 1901)
+		label := fmt.Sprintf("%dB", size)
+		part.AddRow(label, p...)
+		join.AddRow(label, j...)
+		total.AddRow(label, o...)
+	}
+	annotateOverall(total)
+	return []*Table{part, join, total}
+}
+
+// Fig19d reproduces Figure 19(d): the same comparison varying the
+// percentage of matched tuples at 100 B.
+func Fig19d(sc Scale) []*Table {
+	part := &Table{ID: "fig19d-partition", Title: "partition phase (Mcycles)", RowLabel: "% matched", Columns: overallSchemes}
+	join := &Table{ID: "fig19d-join", Title: "join phase incl. 2nd partition step (Mcycles)", RowLabel: "% matched", Columns: overallSchemes}
+	total := &Table{ID: "fig19d-total", Title: "overall (Mcycles)", RowLabel: "% matched", Columns: overallSchemes}
+	for _, pct := range []int{50, 100} {
+		p, j, o := fig19Row(sc, 100, pct, 1902)
+		label := fmt.Sprintf("%d%%", pct)
+		part.AddRow(label, p...)
+		join.AddRow(label, j...)
+		total.AddRow(label, o...)
+	}
+	annotateOverall(total)
+	return []*Table{part, join, total}
+}
+
+// fig19Row runs all five schemes end to end on one workload.
+func fig19Row(sc Scale, tupleSize, pct int, seed int64) (part, join, total []float64) {
+	nBuild := 4 * sc.MemBudget / (tupleSize + 8)
+	spec := workload.Spec{
+		NBuild:          nBuild,
+		TupleSize:       tupleSize,
+		MatchesPerBuild: 2,
+		PctMatched:      pct,
+		PageSize:        sc.PageSize,
+		Seed:            seed,
+	}
+	run := func(f func(*vmem.Mem, *workload.Pair) core.GraceResult) core.GraceResult {
+		a := arena.New(workload.ArenaBytesFor(spec) * 2)
+		pair := workload.Generate(a, spec)
+		m := vmem.New(a, memsim.NewSim(sc.Cfg))
+		res := f(m, pair)
+		if res.NOutput != pair.ExpectedMatches {
+			panic(fmt.Sprintf("exp: fig19 run produced %d outputs, want %d", res.NOutput, pair.ExpectedMatches))
+		}
+		return res
+	}
+	gc := func(js core.Scheme) core.GraceConfig {
+		return core.GraceConfig{
+			MemBudget:  sc.MemBudget,
+			PartScheme: core.SchemeCombined,
+			JoinScheme: js,
+			PartParams: core.DefaultParams(),
+			JoinParams: core.DefaultParams(),
+		}
+	}
+	results := []core.GraceResult{
+		run(func(m *vmem.Mem, p *workload.Pair) core.GraceResult {
+			cfg := gc(core.SchemeBaseline)
+			cfg.PartScheme = core.SchemeBaseline
+			return core.Grace(m, p.Build, p.Probe, cfg)
+		}),
+		run(func(m *vmem.Mem, p *workload.Pair) core.GraceResult {
+			return core.Grace(m, p.Build, p.Probe, gc(core.SchemeGroup))
+		}),
+		run(func(m *vmem.Mem, p *workload.Pair) core.GraceResult {
+			return core.Grace(m, p.Build, p.Probe, gc(core.SchemePipelined))
+		}),
+		run(func(m *vmem.Mem, p *workload.Pair) core.GraceResult {
+			return core.DirectCache(m, p.Build, p.Probe, gc(core.SchemeSimple))
+		}),
+		run(func(m *vmem.Mem, p *workload.Pair) core.GraceResult {
+			return core.TwoStepCache(m, p.Build, p.Probe, gc(core.SchemeSimple))
+		}),
+	}
+	for _, r := range results {
+		part = append(part, mcyc(r.PartitionCycles()))
+		join = append(join, mcyc(r.JoinCycles()))
+		total = append(total, mcyc(r.TotalCycles()))
+	}
+	return part, join, total
+}
+
+// annotateOverall records the headline comparisons of section 7.5.
+func annotateOverall(t *Table) {
+	base := t.Series("baseline")
+	group := t.Series("group")
+	twoStep := t.Series("2-step-cache")
+	loG, hiG := 1e18, 0.0
+	loT, hiT := 1e18, 0.0
+	for i := range base {
+		g := base[i] / group[i]
+		if g < loG {
+			loG = g
+		}
+		if g > hiG {
+			hiG = g
+		}
+		ts := twoStep[i]/group[i] - 1
+		if ts < loT {
+			loT = ts
+		}
+		if ts > hiT {
+			hiT = ts
+		}
+	}
+	t.Note("group speedup over baseline %.1f-%.1fx (paper: 1.9-2.7x overall)", loG, hiG)
+	t.Note("2-step cache slower than group prefetching by %.0f%%-%.0f%% (paper: 50-150%%)", loT*100, hiT*100)
+}

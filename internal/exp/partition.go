@@ -1,0 +1,233 @@
+package exp
+
+import (
+	"fmt"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
+)
+
+// partitionSchemes are the Figure 14 series; combined is the policy of
+// section 7.4.
+var partitionSchemes = []struct {
+	name   string
+	scheme core.Scheme
+}{
+	{"baseline", core.SchemeBaseline},
+	{"simple", core.SchemeSimple},
+	{"group", core.SchemeGroup},
+	{"pipelined", core.SchemePipelined},
+	{"combined", core.SchemeCombined},
+}
+
+// partitionInput generates the Figure 14 source relation: the paper uses
+// 10 M 100 B tuples (1 GB) against a 50 MB memory — 20x the budget.
+func partitionInput(sc Scale, factor int, tupleSize int, seed int64) (*workload.Pair, func() *vmem.Mem) {
+	nTuples := sc.MemBudget * factor / (tupleSize + storage.SlotSize)
+	spec := workload.Spec{
+		NBuild:          nTuples,
+		NProbe:          1, // partition experiments only use the build side
+		TupleSize:       tupleSize,
+		MatchesPerBuild: 1,
+		PctMatched:      1,
+		PageSize:        sc.PageSize,
+		Seed:            seed,
+	}
+	// Arena: input + partition copies + buffers, with slack.
+	bytes := workload.ArenaBytesFor(spec) + uint64(1000*4*sc.PageSize)
+	a := arena.New(bytes)
+	pair := workload.Generate(a, spec)
+	// Partition runs mutate only freshly allocated regions, so the same
+	// arena serves every scheme; each gets a cold simulator. The arena
+	// high-water mark is reset between runs to reuse partition space.
+	mark := a.Used()
+	fresh := func() *vmem.Mem {
+		resetTo(a, mark)
+		return vmem.New(a, memsim.NewSim(sc.Cfg))
+	}
+	return pair, fresh
+}
+
+// resetTo rolls the arena back to a previous allocation mark.
+func resetTo(a *arena.Arena, mark uint64) {
+	a.Reset()
+	if mark > 0 {
+		a.Alloc(mark, 1)
+	}
+}
+
+// Fig14a reproduces Figure 14(a): partition phase time versus the
+// number of partitions. The left region (buffers fit in L2) favors
+// simple prefetching; the right region favors group/pipelined.
+func Fig14a(sc Scale) *Table {
+	t := &Table{
+		ID:       "fig14a",
+		Title:    "partition phase time vs partition count (Mcycles)",
+		RowLabel: "partitions",
+		Columns:  partitionSchemeNames(),
+	}
+	pair, fresh := partitionInput(sc, 20, 100, 1401)
+	for _, nParts := range []int{25, 50, 100, 200, 400, 800} {
+		vals := make([]float64, len(partitionSchemes))
+		for i, s := range partitionSchemes {
+			m := fresh()
+			res := core.PartitionRelation(m, pair.Build, nParts, s.scheme, core.DefaultParams())
+			vals[i] = mcyc(res.Stats.Total())
+		}
+		t.AddRow(fmt.Sprintf("%d", nParts), vals...)
+	}
+	t.Note("crossover when buffers (#parts x %dKB pages) exceed the %dKB L2", sc.PageSize>>10, sc.Cfg.L2Size>>10)
+	return t
+}
+
+// Fig14b reproduces Figure 14(b): partition phase time versus relation
+// size with the partition size fixed to the memory budget, so the
+// partition count grows with the relation.
+func Fig14b(sc Scale) *Table {
+	t := &Table{
+		ID:       "fig14b",
+		Title:    "partition phase time vs relation size (Mcycles)",
+		RowLabel: "relation",
+		Columns:  partitionSchemeNames(),
+	}
+	for _, factor := range []int{4, 8, 12, 16, 20} {
+		pair, fresh := partitionInput(sc, factor, 100, 1402)
+		nParts := core.PartitionsFor(pair.Build, sc.MemBudget)
+		vals := make([]float64, len(partitionSchemes))
+		for i, s := range partitionSchemes {
+			m := fresh()
+			res := core.PartitionRelation(m, pair.Build, nParts, s.scheme, core.DefaultParams())
+			vals[i] = mcyc(res.Stats.Total())
+		}
+		t.AddRow(fmt.Sprintf("%dxMem(%dp)", factor, nParts), vals...)
+	}
+	return t
+}
+
+// Fig15 reproduces Figure 15: partition phase breakdown at the largest
+// partition count of Figure 14(a).
+func Fig15(sc Scale) *Table {
+	t := &Table{
+		ID:       "fig15",
+		Title:    "partition phase breakdown at 800 partitions (Mcycles)",
+		RowLabel: "scheme",
+		Columns:  []string{"busy", "dcache", "dtlb", "other", "total"},
+	}
+	pair, fresh := partitionInput(sc, 20, 100, 1501)
+	for _, s := range partitionSchemes[:4] {
+		m := fresh()
+		res := core.PartitionRelation(m, pair.Build, 800, s.scheme, core.DefaultParams())
+		st := res.Stats
+		t.AddRow(s.name, mcyc(st.Busy), mcyc(st.DCacheStall), mcyc(st.TLBStall), mcyc(st.OtherStall), mcyc(st.Total()))
+	}
+	base := t.Rows[0]
+	t.Note("baseline dcache stall fraction = %.0f%% (paper Figure 1: 82%%)", base.Values[1]/base.Values[4]*100)
+	return t
+}
+
+// Fig16 reproduces Figure 16: partition phase time versus G and D at
+// 800 partitions.
+func Fig16(sc Scale) []*Table {
+	pair, fresh := partitionInput(sc, 20, 100, 1601)
+
+	tg := &Table{
+		ID:       "fig16-group",
+		Title:    "partition time vs group size G (Mcycles)",
+		RowLabel: "G",
+		Columns:  []string{"group"},
+	}
+	for _, g := range []int{1, 2, 4, 6, 8, 12, 16, 24, 32, 64} {
+		m := fresh()
+		res := core.PartitionRelation(m, pair.Build, 800, core.SchemeGroup, core.Params{G: g, D: 1})
+		tg.AddRow(fmt.Sprintf("%d", g), mcyc(res.Stats.Total()))
+	}
+
+	td := &Table{
+		ID:       "fig16-pipe",
+		Title:    "partition time vs prefetch distance D (Mcycles)",
+		RowLabel: "D",
+		Columns:  []string{"pipelined"},
+	}
+	for _, d := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24} {
+		m := fresh()
+		res := core.PartitionRelation(m, pair.Build, 800, core.SchemePipelined, core.Params{G: 1, D: d})
+		td.AddRow(fmt.Sprintf("%d", d), mcyc(res.Stats.Total()))
+	}
+	return []*Table{tg, td}
+}
+
+// Fig17 reproduces Figure 17: prefetch outcome breakdowns for the
+// partition phase as the parameters grow.
+func Fig17(sc Scale) []*Table {
+	pair, fresh := partitionInput(sc, 20, 100, 1701)
+	kilo := func(v uint64) float64 { return float64(v) / 1e3 }
+
+	tg := &Table{
+		ID:       "fig17-group",
+		Title:    "partition prefetch outcomes vs G (K lines)",
+		RowLabel: "G",
+		Columns:  []string{"full-hidden", "part-hidden", "wasted"},
+	}
+	for _, g := range []int{4, 8, 16, 32, 64, 128, 256} {
+		m := fresh()
+		res := core.PartitionRelation(m, pair.Build, 800, core.SchemeGroup, core.Params{G: g, D: 1})
+		st := res.Stats
+		tg.AddRow(fmt.Sprintf("%d", g), kilo(st.PrefetchFullHidden), kilo(st.PrefetchPartHidden), kilo(st.PrefetchWasted))
+	}
+
+	td := &Table{
+		ID:       "fig17-pipe",
+		Title:    "partition prefetch outcomes vs D (K lines)",
+		RowLabel: "D",
+		Columns:  []string{"full-hidden", "part-hidden", "wasted"},
+	}
+	for _, d := range []int{1, 2, 4, 8, 16, 32, 64} {
+		m := fresh()
+		res := core.PartitionRelation(m, pair.Build, 800, core.SchemePipelined, core.Params{G: 1, D: d})
+		st := res.Stats
+		td.AddRow(fmt.Sprintf("%d", d), kilo(st.PrefetchFullHidden), kilo(st.PrefetchPartHidden), kilo(st.PrefetchWasted))
+	}
+	return []*Table{tg, td}
+}
+
+// Fig01 reproduces Figure 1: the user-time breakdown of the baseline
+// partition phase (800 partitions) and join phase.
+func Fig01(sc Scale) *Table {
+	t := &Table{
+		ID:       "fig01",
+		Title:    "baseline GRACE breakdown (% of execution time)",
+		RowLabel: "phase",
+		Columns:  []string{"busy%", "dcache%", "dtlb%", "other%"},
+	}
+	pair, fresh := partitionInput(sc, 20, 100, 101)
+	m := fresh()
+	pres := core.PartitionRelation(m, pair.Build, 800, core.SchemeBaseline, core.DefaultParams())
+	addPctRow(t, "partition", pres.Stats)
+
+	spec := sc.joinSpec(100, 2, 100, 102)
+	jres, _ := runJoinScheme(sc, spec, core.SchemeBaseline, core.DefaultParams(), sc.Cfg)
+	addPctRow(t, "join", jres.Stats())
+	t.Note("paper: partition 82%% dcache, join 73%% dcache")
+	return t
+}
+
+func addPctRow(t *Table, label string, st memsim.Stats) {
+	total := float64(st.Total())
+	t.AddRow(label,
+		100*float64(st.Busy)/total,
+		100*float64(st.DCacheStall)/total,
+		100*float64(st.TLBStall)/total,
+		100*float64(st.OtherStall)/total)
+}
+
+func partitionSchemeNames() []string {
+	names := make([]string, len(partitionSchemes))
+	for i, s := range partitionSchemes {
+		names[i] = s.name
+	}
+	return names
+}

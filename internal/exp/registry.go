@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible paper figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) []*Table
+}
+
+// one wraps a single-table experiment.
+func one(f func(Scale) *Table) func(Scale) []*Table {
+	return func(sc Scale) []*Table { return []*Table{f(sc)} }
+}
+
+// Experiments lists every reproduced figure in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "baseline GRACE execution time breakdown", one(Fig01)},
+		{"fig9", "hash join is CPU-bound with enough disks", Fig09},
+		{"fig10a", "join phase vs tuple size", one(Fig10a)},
+		{"fig10b", "join phase vs matches per build tuple", one(Fig10b)},
+		{"fig10c", "join phase vs percentage of matched tuples", one(Fig10c)},
+		{"fig11", "join phase time breakdown per scheme", one(Fig11)},
+		{"fig12", "join tuning: time vs G and D at T=150/1000", Fig12},
+		{"fig13", "join prefetch outcome breakdown vs G and D", Fig13},
+		{"fig14a", "partition phase vs partition count", one(Fig14a)},
+		{"fig14b", "partition phase vs relation size", one(Fig14b)},
+		{"fig15", "partition phase breakdown at 800 partitions", one(Fig15)},
+		{"fig16", "partition tuning: time vs G and D", Fig16},
+		{"fig17", "partition prefetch outcome breakdown", Fig17},
+		{"fig18", "robustness under periodic cache flushing", one(Fig18)},
+		{"fig19", "end-to-end comparison with cache partitioning", Fig19},
+		{"fig19d", "end-to-end comparison vs percentage matched", Fig19d},
+		{"ext-agg", "extension: prefetched hash aggregation (paper's future work)", one(ExtAgg)},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	es := Experiments()
+	ids := make([]string, len(es))
+	for i, e := range es {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAndPrint executes an experiment and prints its tables.
+func RunAndPrint(w io.Writer, e Experiment, sc Scale, csv bool) {
+	fmt.Fprintf(w, "# %s — %s (scale=%s)\n", e.ID, e.Title, sc.Name)
+	for _, t := range e.Run(sc) {
+		if csv {
+			t.CSV(w)
+		} else {
+			t.Fprint(w)
+		}
+		fmt.Fprintln(w)
+	}
+}

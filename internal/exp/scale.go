@@ -1,0 +1,120 @@
+// Package exp reproduces every figure of the paper's evaluation
+// (section 7): the stall breakdowns (Figures 1, 11, 15), the
+// CPU-vs-I/O-bound study (Figure 9), the join-phase sweeps (Figure 10),
+// the parameter-tuning and miss-breakdown curves (Figures 12, 13, 16,
+// 17), the partition-phase sweeps (Figure 14), the cache-flush
+// robustness study (Figure 18), and the cache-partitioning comparison
+// (Figure 19). Each experiment emits a Table with the same rows and
+// series the paper reports.
+package exp
+
+import (
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
+)
+
+// Scale fixes the simulated hierarchy and the memory budget of the join
+// phase. The paper's ratio of join memory to L2 cache is 50:1 (section
+// 7.1 footnote); both scales preserve it.
+type Scale struct {
+	Name      string
+	Cfg       memsim.Config
+	MemBudget int // join-phase memory (build partition + hash table)
+	PageSize  int
+}
+
+// FullScale reproduces the paper's setup: ES40-style hierarchy with a
+// 1 MB L2 and a 50 MB join memory. Experiments at this scale take
+// minutes; use it from cmd/hjbench.
+func FullScale() Scale {
+	return Scale{
+		Name:      "full",
+		Cfg:       memsim.ES40Config(),
+		MemBudget: 50 << 20,
+		PageSize:  8 << 10,
+	}
+}
+
+// SmallScale shrinks the hierarchy (128 KB L2) and the join memory
+// (6.4 MB) by 8x, preserving the 50:1 ratio. The default for benches.
+func SmallScale() Scale {
+	return Scale{
+		Name:      "small",
+		Cfg:       memsim.SmallConfig(),
+		MemBudget: 6400 << 10,
+		PageSize:  4 << 10,
+	}
+}
+
+// TinyScale further shrinks the join memory for fast unit tests. The
+// memory:cache ratio drops to 8:1, so absolute numbers shift but every
+// qualitative relationship survives.
+func TinyScale() Scale {
+	return Scale{
+		Name:      "tiny",
+		Cfg:       memsim.SmallConfig(),
+		MemBudget: 1 << 20,
+		PageSize:  4 << 10,
+	}
+}
+
+// ByName resolves a scale name.
+func ByName(name string) (Scale, bool) {
+	switch name {
+	case "full":
+		return FullScale(), true
+	case "small":
+		return SmallScale(), true
+	case "tiny":
+		return TinyScale(), true
+	}
+	return Scale{}, false
+}
+
+// buildTuplesFor sizes a build partition to fill the scale's memory
+// budget, accounting for page slots and the hash table, mirroring
+// core.PartitionsFor.
+func (sc Scale) buildTuplesFor(tupleSize int) int {
+	perTuple := tupleSize + storage.SlotSize + 32 + 8 // slot + header + cell slack
+	n := sc.MemBudget / perTuple
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// joinSpec builds the workload spec of one join-phase experiment: a
+// build partition that fits the budget tightly, as in section 7.3.
+func (sc Scale) joinSpec(tupleSize, matches, pctMatched int, seed int64) workload.Spec {
+	return workload.Spec{
+		NBuild:          sc.buildTuplesFor(tupleSize),
+		TupleSize:       tupleSize,
+		MatchesPerBuild: matches,
+		PctMatched:      pctMatched,
+		PageSize:        sc.PageSize,
+		Seed:            seed,
+	}
+}
+
+// newPair materializes a workload with a simulator on one arena.
+func newPair(spec workload.Spec, cfg memsim.Config) (*workload.Pair, *vmem.Mem) {
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+	return pair, vmem.New(a, memsim.NewSim(cfg))
+}
+
+// runJoinScheme joins a fresh copy of the workload under one scheme.
+// Each scheme gets its own arena and cold simulator, as in the paper's
+// per-scheme runs.
+func runJoinScheme(sc Scale, spec workload.Spec, scheme core.Scheme, params core.Params, cfg memsim.Config) (core.JoinResult, *workload.Pair) {
+	pair, m := newPair(spec, cfg)
+	res := core.JoinPair(m, pair.Build, pair.Probe, scheme, params, 1, false)
+	return res, pair
+}
+
+// mcyc converts cycles to millions for readable tables.
+func mcyc(c uint64) float64 { return float64(c) / 1e6 }

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one reproduced figure: labeled rows of float series, printed
+// either as an aligned text table or as CSV.
+type Table struct {
+	ID       string // e.g. "fig10a"
+	Title    string
+	RowLabel string   // name of the x axis ("tuple size", "# disks", ...)
+	Columns  []string // series names
+	Rows     []Row
+	Notes    []string // paper-vs-measured commentary
+}
+
+// Row is one x value and its series values.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("exp: row %q has %d values, table %s has %d columns", label, len(values), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Note appends a commentary line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint writes an aligned, human-readable rendering.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.RowLabel)
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Values))
+		for j, v := range r.Values {
+			cells[i][j] = formatValue(v)
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	for j, c := range t.Columns {
+		if len(c) > widths[j+1] {
+			widths[j+1] = len(c)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", widths[0], t.RowLabel)
+	for j, c := range t.Columns {
+		fmt.Fprintf(w, "  %*s", widths[j+1], c)
+	}
+	fmt.Fprintln(w)
+	for i, r := range t.Rows {
+		fmt.Fprintf(w, "%-*s", widths[0], r.Label)
+		for j := range r.Values {
+			fmt.Fprintf(w, "  %*s", widths[j+1], cells[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	cols := make([]string, 0, len(t.Columns)+1)
+	cols = append(cols, t.RowLabel)
+	cols = append(cols, t.Columns...)
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, r := range t.Rows {
+		vals := make([]string, 0, len(r.Values)+1)
+		vals = append(vals, r.Label)
+		for _, v := range r.Values {
+			vals = append(vals, formatValue(v))
+		}
+		fmt.Fprintln(w, strings.Join(vals, ","))
+	}
+}
+
+// Series returns the values of one named column, for assertions.
+func (t *Table) Series(name string) []float64 {
+	for j, c := range t.Columns {
+		if c == name {
+			out := make([]float64, len(t.Rows))
+			for i, r := range t.Rows {
+				out[i] = r.Values[j]
+			}
+			return out
+		}
+	}
+	panic(fmt.Sprintf("exp: table %s has no column %q", t.ID, name))
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,68 @@
+package hash
+
+import "hashjoin/internal/arena"
+
+// Chained bucket hashing — the classic layout the paper's Figure 2
+// table improves upon (section 3, footnote 3): each bucket is a linked
+// list of hash cells, so visiting a bucket with n cells takes n
+// dependent pointer dereferences instead of one header access plus one
+// contiguous array scan. Implemented as a full comparator for the
+// chained-vs-array ablation (DESIGN.md decision 2).
+//
+// Header, 8 bytes: u64 address of the first node (0 = empty bucket).
+// Node, 24 bytes: +0 u32 code, +8 u64 tuple address, +16 u64 next.
+const (
+	ChainHeaderSize = 8
+	ChainNodeSize   = 24
+
+	NodeOffCode  = 0
+	NodeOffTuple = 8
+	NodeOffNext  = 16
+)
+
+// ChainedTable locates a chained-bucket hash table in the arena.
+type ChainedTable struct {
+	Buckets  arena.Addr
+	NBuckets int
+}
+
+// NewChainedTable allocates a zeroed chained table.
+func NewChainedTable(a *arena.Arena, nBuckets int) ChainedTable {
+	addr := a.AllocZeroed(uint64(nBuckets*ChainHeaderSize), 64)
+	return ChainedTable{Buckets: addr, NBuckets: nBuckets}
+}
+
+// HeaderAddr returns the address of bucket i's head pointer.
+func (t ChainedTable) HeaderAddr(i int) arena.Addr {
+	return t.Buckets + arena.Addr(i*ChainHeaderSize)
+}
+
+// Insert prepends (code, tuple) to bucket b. Untimed (setup and
+// validation); the measured build lives in package core.
+func (t ChainedTable) Insert(a *arena.Arena, b int, code uint32, tuple arena.Addr) {
+	h := t.HeaderAddr(b)
+	node := a.Alloc(ChainNodeSize, 8)
+	a.PutU32(node+NodeOffCode, code)
+	a.PutU64(node+NodeOffTuple, tuple)
+	a.PutU64(node+NodeOffNext, a.U64(h))
+	a.PutU64(h, node)
+}
+
+// Lookup calls fn for every node in bucket b whose code matches.
+// Untimed.
+func (t ChainedTable) Lookup(a *arena.Arena, b int, code uint32, fn func(tuple arena.Addr)) {
+	for node := a.U64(t.HeaderAddr(b)); node != 0; node = a.U64(node + NodeOffNext) {
+		if a.U32(node+NodeOffCode) == code {
+			fn(a.U64(node + NodeOffTuple))
+		}
+	}
+}
+
+// Count returns bucket b's chain length. Untimed.
+func (t ChainedTable) Count(a *arena.Arena, b int) int {
+	n := 0
+	for node := a.U64(t.HeaderAddr(b)); node != 0; node = a.U64(node + NodeOffNext) {
+		n++
+	}
+	return n
+}

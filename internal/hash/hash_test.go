@@ -1,0 +1,180 @@
+package hash
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"hashjoin/internal/arena"
+)
+
+func TestCodeMatchesCodeU32(t *testing.T) {
+	f := func(k uint32) bool {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], k)
+		return Code(b[:]) == CodeU32(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeU32Deterministic(t *testing.T) {
+	if CodeU32(12345) != CodeU32(12345) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestCodeDistribution(t *testing.T) {
+	// Sequential keys should spread across buckets reasonably evenly.
+	const n = 1 << 14
+	const buckets = 64
+	var counts [buckets]int
+	for i := uint32(0); i < n; i++ {
+		counts[BucketOf(CodeU32(i), buckets)]++
+	}
+	mean := n / buckets
+	for b, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("bucket %d has %d keys, mean %d: poor distribution", b, c, mean)
+		}
+	}
+}
+
+func TestCodeVariableLengthKeys(t *testing.T) {
+	a := Code([]byte("customer_0001"))
+	b := Code([]byte("customer_0002"))
+	if a == b {
+		t.Fatal("distinct keys collided (suspicious for this pair)")
+	}
+	if Code(nil) != Code([]byte{}) {
+		t.Fatal("nil and empty key should hash alike")
+	}
+}
+
+func TestRelativePrimeBelow(t *testing.T) {
+	cases := []struct{ n, m, want int }{
+		{10, 5, 9},
+		{10, 3, 10},
+		{100, 10, 99},
+		{1, 7, 1},
+		{0, 7, 1},
+		{12, 6, 11},
+	}
+	for _, c := range cases {
+		if got := RelativePrimeBelow(c.n, c.m); got != c.want {
+			t.Errorf("RelativePrimeBelow(%d,%d) = %d, want %d", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+func TestSizeForRelativelyPrime(t *testing.T) {
+	f := func(nt uint16, np uint8) bool {
+		n := int(nt) + 1
+		p := int(np)%97 + 2
+		size := SizeFor(n, p)
+		return size >= 1 && gcd(size, p) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	a := arena.New(1 << 20)
+	tbl := NewTable(a, 97)
+	type ent struct {
+		code  uint32
+		tuple arena.Addr
+	}
+	var ents []ent
+	for i := 0; i < 500; i++ {
+		code := CodeU32(uint32(i))
+		tuple := arena.Addr(0x100000 + i*100)
+		tbl.Insert(a, BucketOf(code, 97), code, tuple)
+		ents = append(ents, ent{code, tuple})
+	}
+	if got := tbl.TotalCells(a); got != 500 {
+		t.Fatalf("TotalCells = %d, want 500", got)
+	}
+	for _, e := range ents {
+		found := false
+		tbl.Lookup(a, BucketOf(e.code, 97), e.code, func(tp arena.Addr) {
+			if tp == e.tuple {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("tuple for code %#x not found", e.code)
+		}
+	}
+}
+
+func TestTableLookupFiltersByCode(t *testing.T) {
+	a := arena.New(1 << 16)
+	tbl := NewTable(a, 1) // everything in one bucket
+	tbl.Insert(a, 0, 111, 0x10000)
+	tbl.Insert(a, 0, 222, 0x20000)
+	tbl.Insert(a, 0, 111, 0x30000)
+	var got []arena.Addr
+	tbl.Lookup(a, 0, 111, func(tp arena.Addr) { got = append(got, tp) })
+	if len(got) != 2 {
+		t.Fatalf("Lookup found %d cells, want 2", len(got))
+	}
+}
+
+func TestTableOverflowGrowth(t *testing.T) {
+	a := arena.New(1 << 20)
+	tbl := NewTable(a, 1)
+	const n = 100 // forces several array doublings
+	for i := 0; i < n; i++ {
+		tbl.Insert(a, 0, uint32(i), arena.Addr(0x10000+i*16))
+	}
+	if tbl.Count(a, 0) != n {
+		t.Fatalf("Count = %d, want %d", tbl.Count(a, 0), n)
+	}
+	for i := 0; i < n; i++ {
+		found := false
+		tbl.Lookup(a, 0, uint32(i), func(tp arena.Addr) {
+			found = found || tp == arena.Addr(0x10000+i*16)
+		})
+		if !found {
+			t.Fatalf("cell %d lost across growth", i)
+		}
+	}
+}
+
+func TestEmptyBucketLookup(t *testing.T) {
+	a := arena.New(1 << 12)
+	tbl := NewTable(a, 4)
+	tbl.Lookup(a, 2, 42, func(arena.Addr) { t.Fatal("callback on empty bucket") })
+}
+
+func TestHeaderAddrStride(t *testing.T) {
+	a := arena.New(1 << 12)
+	tbl := NewTable(a, 8)
+	if tbl.HeaderAddr(3)-tbl.HeaderAddr(2) != HeaderSize {
+		t.Fatal("header stride mismatch")
+	}
+	if tbl.Buckets%64 != 0 {
+		t.Fatal("table not cache-line aligned")
+	}
+}
+
+func TestQuickTableNoLostInserts(t *testing.T) {
+	f := func(codes []uint32) bool {
+		if len(codes) > 2000 {
+			codes = codes[:2000]
+		}
+		a := arena.New(1 << 22)
+		nb := SizeFor(len(codes)+1, 31)
+		tbl := NewTable(a, nb)
+		for i, c := range codes {
+			tbl.Insert(a, BucketOf(c, nb), c, arena.Addr(0x100000+i*8))
+		}
+		return tbl.TotalCells(a) == len(codes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Package hash provides the join's hashing machinery: the XOR-and-shift
+// hash function that converts join keys of any length into 4-byte hash
+// codes (paper section 7.1), partition/bucket number derivation, and the
+// in-memory hash table of the paper's Figure 2 — an array of bucket
+// headers, each embedding one hash cell inline and pointing at a
+// dynamically grown hash-cell array.
+package hash
+
+// Code computes a 4-byte hash code from a join key of any length using
+// XOR and shifts, as in the paper. The same codes are used by both the
+// partition phase (modulo partition count) and the join phase (modulo
+// hash table size); section 7.1 stores them in intermediate partitions'
+// slot areas so they are computed only once.
+func Code(key []byte) uint32 {
+	var h uint32 = 2166136261
+	for _, b := range key {
+		h = (h << 5) ^ (h >> 27) ^ uint32(b)
+	}
+	// Final avalanche: cheap shifts/XORs only, per the shift-based hash
+	// functions of Boncz et al. cited by the paper.
+	h ^= h >> 15
+	h ^= h << 11
+	h ^= h >> 7
+	return h
+}
+
+// CodeU32 is Code specialized for the 4-byte little-endian integer keys
+// used in the paper's experiments; it returns exactly Code(key[0:4]).
+func CodeU32(k uint32) uint32 {
+	h := uint32(2166136261)
+	h = (h << 5) ^ (h >> 27) ^ (k & 0xFF)
+	h = (h << 5) ^ (h >> 27) ^ ((k >> 8) & 0xFF)
+	h = (h << 5) ^ (h >> 27) ^ ((k >> 16) & 0xFF)
+	h = (h << 5) ^ (h >> 27) ^ (k >> 24)
+	h ^= h >> 15
+	h ^= h << 11
+	h ^= h >> 7
+	return h
+}
+
+// CodeCost is the simulated compute cost, in cycles, of hashing a 4-byte
+// key (a handful of shift/xor ALU operations plus loop overhead).
+const CodeCost = 12
+
+// PartitionOf maps a hash code to one of n partitions.
+func PartitionOf(code uint32, n int) int { return int(code % uint32(n)) }
+
+// BucketOf maps a hash code to one of n hash buckets. Callers arrange
+// for the table size to be relatively prime to the partition count so
+// the two modulo operations stay independent (paper section 7.1).
+func BucketOf(code uint32, n int) int { return int(code % uint32(n)) }
+
+// RelativePrimeBelow returns the largest value <= n that is relatively
+// prime to m (and at least 1). The join phase sizes hash tables with it
+// so table size and partition count share no factors.
+func RelativePrimeBelow(n, m int) int {
+	if n < 1 {
+		return 1
+	}
+	for v := n; v > 1; v-- {
+		if gcd(v, m) == 1 {
+			return v
+		}
+	}
+	return 1
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}

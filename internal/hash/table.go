@@ -1,0 +1,155 @@
+package hash
+
+import (
+	"hashjoin/internal/arena"
+)
+
+// Hash table layout (paper Figure 2).
+//
+// The table is an array of fixed-size bucket headers. A header embeds
+// the bucket's first hash cell inline — improving on chained bucket
+// hashing by avoiding a pointer dereference for singleton buckets (the
+// common case when the table is sized near the tuple count) — and points
+// at a dynamically grown array holding cells 2..n. A hash cell pairs the
+// 4-byte hash code (a cheap filter before the real key comparison) with
+// the build tuple's address.
+//
+// Header, 32 bytes (half a 64-byte cache line):
+//
+//	+0  u32 count      total cells in the bucket
+//	+4  u32 code0      inline cell: hash code
+//	+8  u64 tuple0     inline cell: build tuple address
+//	+16 u64 cells      address of the overflow cell array (0 = none)
+//	+24 u32 cap        capacity of the overflow array, in cells
+//	+28 u32 busy       0 = idle; used by prefetching build variants:
+//	                   group prefetching sets it to 1 while an insert is
+//	                   interleaved; software pipelining stores the state
+//	                   index + 1 of the tuple updating the bucket, the
+//	                   head of the bucket's waiting queue (section 5.3)
+//
+// Overflow cell, 16 bytes: +0 u32 code, +8 u64 tuple address.
+const (
+	HeaderSize = 32
+	CellSize   = 16
+
+	HOffCount  = 0
+	HOffCode0  = 4
+	HOffTuple0 = 8
+	HOffCells  = 16
+	HOffCap    = 24
+	HOffBusy   = 28
+
+	CellOffCode  = 0
+	CellOffTuple = 8
+)
+
+// InitialCellCap is the capacity of a freshly allocated overflow array.
+const InitialCellCap = 4
+
+// Table locates a hash table in the arena.
+type Table struct {
+	Buckets  arena.Addr // address of header 0
+	NBuckets int
+}
+
+// HeaderAddr returns the address of bucket i's header.
+func (t Table) HeaderAddr(i int) arena.Addr {
+	return t.Buckets + arena.Addr(i*HeaderSize)
+}
+
+// CellAddr returns the address of overflow cell j in an array at cells.
+func CellAddr(cells arena.Addr, j int) arena.Addr {
+	return cells + arena.Addr(j*CellSize)
+}
+
+// NewTable allocates a zeroed table of nBuckets headers, aligned so a
+// header never straddles a cache line.
+func NewTable(a *arena.Arena, nBuckets int) Table {
+	addr := a.AllocZeroed(uint64(nBuckets*HeaderSize), 64)
+	return Table{Buckets: addr, NBuckets: nBuckets}
+}
+
+// TableBytes returns the memory footprint of a table with nBuckets
+// buckets, excluding overflow arrays.
+func TableBytes(nBuckets int) int { return nBuckets * HeaderSize }
+
+// SizeFor picks a table size for nTuples build tuples that is relatively
+// prime to nPartitions (paper section 7.1): roughly one bucket per tuple.
+func SizeFor(nTuples, nPartitions int) int {
+	if nTuples < 1 {
+		nTuples = 1
+	}
+	return RelativePrimeBelow(nTuples|1, nPartitions)
+}
+
+// --- Untimed operations (setup and validation only) ---
+
+// Insert adds (code, tuple) to bucket b of t, growing the overflow array
+// as needed. Untimed: measured builds live in package core.
+func (t Table) Insert(a *arena.Arena, b int, code uint32, tuple arena.Addr) {
+	h := t.HeaderAddr(b)
+	count := a.U32(h + HOffCount)
+	if count == 0 {
+		a.PutU32(h+HOffCode0, code)
+		a.PutU64(h+HOffTuple0, tuple)
+		a.PutU32(h+HOffCount, 1)
+		return
+	}
+	cells := a.U64(h + HOffCells)
+	capacity := a.U32(h + HOffCap)
+	over := count - 1 // cells already in the overflow array
+	if cells == 0 || over == uint32(capacity) {
+		newCap := uint32(InitialCellCap)
+		if capacity > 0 {
+			newCap = capacity * 2
+		}
+		newCells := a.Alloc(uint64(newCap)*CellSize, 64)
+		if cells != 0 {
+			copy(a.Bytes(newCells, uint64(over)*CellSize), a.Bytes(cells, uint64(over)*CellSize))
+		}
+		cells = newCells
+		a.PutU64(h+HOffCells, cells)
+		a.PutU32(h+HOffCap, newCap)
+	}
+	c := CellAddr(cells, int(over))
+	a.PutU32(c+CellOffCode, code)
+	a.PutU64(c+CellOffTuple, tuple)
+	a.PutU32(h+HOffCount, count+1)
+}
+
+// Lookup calls fn for every cell in bucket b whose hash code equals
+// code. Untimed; for validation.
+func (t Table) Lookup(a *arena.Arena, b int, code uint32, fn func(tuple arena.Addr)) {
+	h := t.HeaderAddr(b)
+	count := a.U32(h + HOffCount)
+	if count == 0 {
+		return
+	}
+	if a.U32(h+HOffCode0) == code {
+		fn(a.U64(h + HOffTuple0))
+	}
+	if count == 1 {
+		return
+	}
+	cells := a.U64(h + HOffCells)
+	for j := 0; j < int(count-1); j++ {
+		c := CellAddr(cells, j)
+		if a.U32(c+CellOffCode) == code {
+			fn(a.U64(c + CellOffTuple))
+		}
+	}
+}
+
+// Count returns the number of cells in bucket b. Untimed.
+func (t Table) Count(a *arena.Arena, b int) int {
+	return int(a.U32(t.HeaderAddr(b) + HOffCount))
+}
+
+// TotalCells sums all bucket counts. Untimed; for invariant checks.
+func (t Table) TotalCells(a *arena.Arena) int {
+	total := 0
+	for i := 0; i < t.NBuckets; i++ {
+		total += t.Count(a, i)
+	}
+	return total
+}

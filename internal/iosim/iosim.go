@@ -1,0 +1,171 @@
+// Package iosim is a discrete-event simulation of the paper's I/O
+// subsystem (section 7.2): relations striped across N disks in 256 KB
+// units, a buffer manager with one worker thread per disk performing
+// read-ahead and background write-behind, and a main join thread that
+// consumes pages and blocks only when the next unit has not arrived.
+// It reproduces the structure of Figure 9: worker I/O time shrinking
+// with added disks while CPU time stays flat, so the elapsed time
+// flattens once the join is CPU-bound.
+package iosim
+
+import "fmt"
+
+// Config describes the disk subsystem. The defaults follow the paper's
+// hardware: Seagate Cheetah X15 36LP disks at up to 68 MB/s, 256 KB
+// stripe units.
+type Config struct {
+	NDisks         int
+	TransferMBps   float64 // sustained sequential transfer rate per disk
+	SeekMs         float64 // per-request positioning overhead
+	StripeUnitKB   int
+	ReadAheadUnits int // buffer-manager prefetch depth per stream
+}
+
+// DefaultConfig returns the paper's disk parameters.
+func DefaultConfig(nDisks int) Config {
+	return Config{
+		NDisks:         nDisks,
+		TransferMBps:   68,
+		SeekMs:         1.0,
+		StripeUnitKB:   256,
+		ReadAheadUnits: 8,
+	}
+}
+
+func (c Config) validate() {
+	switch {
+	case c.NDisks <= 0:
+		panic("iosim: NDisks must be positive")
+	case c.TransferMBps <= 0:
+		panic("iosim: TransferMBps must be positive")
+	case c.StripeUnitKB <= 0:
+		panic("iosim: StripeUnitKB must be positive")
+	case c.ReadAheadUnits <= 0:
+		panic("iosim: ReadAheadUnits must be positive")
+	}
+}
+
+// unitSeconds is the service time of one stripe-unit request.
+func (c Config) unitSeconds() float64 {
+	return c.SeekMs/1e3 + float64(c.StripeUnitKB)/1024/c.TransferMBps
+}
+
+// Load describes one phase's resource demands.
+type Load struct {
+	ReadBytes  int64   // bytes streamed in
+	WriteBytes int64   // bytes written out (intermediate partitions)
+	CPUSeconds float64 // user-mode CPU time of the phase
+}
+
+// Result reports a simulated phase, mirroring the series of Figure 9.
+type Result struct {
+	ElapsedSeconds  float64 // total wall-clock time
+	WorkerIOSeconds float64 // max per-disk busy time ("worker I/O stall")
+	MainWaitSeconds float64 // main thread blocked on workers
+	CPUSeconds      float64
+}
+
+// String formats the result like a row of Figure 9's series.
+func (r Result) String() string {
+	return fmt.Sprintf("elapsed=%.1fs workerIO=%.1fs mainWait=%.1fs cpu=%.1fs",
+		r.ElapsedSeconds, r.WorkerIOSeconds, r.MainWaitSeconds, r.CPUSeconds)
+}
+
+// RunPhase simulates one phase. The main thread consumes read units in
+// order, spending CPUSeconds/readUnits on each; per-disk worker queues
+// serve read-ahead requests (window ReadAheadUnits) and the write-behind
+// traffic generated as units are consumed.
+func RunPhase(cfg Config, load Load) Result {
+	cfg.validate()
+	unitBytes := int64(cfg.StripeUnitKB) << 10
+	readUnits := int((load.ReadBytes + unitBytes - 1) / unitBytes)
+	writeUnits := int((load.WriteBytes + unitBytes - 1) / unitBytes)
+	if readUnits == 0 {
+		// Pure compute: nothing to stream.
+		return Result{ElapsedSeconds: load.CPUSeconds, CPUSeconds: load.CPUSeconds}
+	}
+	cpuPerUnit := load.CPUSeconds / float64(readUnits)
+	writesPerRead := float64(writeUnits) / float64(readUnits)
+	svc := cfg.unitSeconds()
+
+	diskFree := make([]float64, cfg.NDisks)
+	diskBusy := make([]float64, cfg.NDisks)
+	ready := make([]float64, readUnits)
+
+	// schedule puts one request on a disk, returning completion time.
+	schedule := func(disk int, at float64) float64 {
+		start := diskFree[disk]
+		if at > start {
+			start = at
+		}
+		done := start + svc
+		diskFree[disk] = done
+		diskBusy[disk] += svc
+		return done
+	}
+
+	// Issue the initial read-ahead window at time zero.
+	issued := 0
+	for ; issued < readUnits && issued < cfg.ReadAheadUnits; issued++ {
+		ready[issued] = schedule(issued%cfg.NDisks, 0)
+	}
+
+	var t, mainWait, writeCarry float64
+	for i := 0; i < readUnits; i++ {
+		if ready[i] > t {
+			mainWait += ready[i] - t
+			t = ready[i]
+		}
+		t += cpuPerUnit
+
+		// Consuming unit i frees a read-ahead slot: issue the next unit.
+		if issued < readUnits {
+			ready[issued] = schedule(issued%cfg.NDisks, t)
+			issued++
+		}
+		// Write-behind traffic produced by this unit's processing.
+		writeCarry += writesPerRead
+		for writeCarry >= 1 {
+			writeCarry--
+			w := (i * 7) % cfg.NDisks // writes spread across disks
+			schedule(w, t)
+		}
+	}
+
+	// The phase ends when the main thread finishes and all background
+	// writes drain.
+	elapsed := t
+	var maxBusy float64
+	for d := range diskFree {
+		if diskFree[d] > elapsed {
+			elapsed = diskFree[d]
+		}
+		if diskBusy[d] > maxBusy {
+			maxBusy = diskBusy[d]
+		}
+	}
+	return Result{
+		ElapsedSeconds:  elapsed,
+		WorkerIOSeconds: maxBusy,
+		MainWaitSeconds: mainWait,
+		CPUSeconds:      load.CPUSeconds,
+	}
+}
+
+// RunJoin simulates the paper's Figure 9 setup: a partition phase
+// reading the build (or probe) relation and writing it back as
+// partitions, and a join phase reading every partition pair. cpuPart and
+// cpuJoin are the phases' user CPU seconds.
+func RunJoin(cfg Config, buildBytes, probeBytes int64, cpuPart, cpuJoin float64) (part, join Result) {
+	part = RunPhase(cfg, Load{
+		ReadBytes:  buildBytes + probeBytes,
+		WriteBytes: buildBytes + probeBytes,
+		CPUSeconds: cpuPart,
+	})
+	join = RunPhase(cfg, Load{
+		ReadBytes:  buildBytes + probeBytes,
+		WriteBytes: 0, // output flows to the parent operator
+		CPUSeconds: cpuJoin,
+	})
+	return part, join
+}

@@ -1,0 +1,123 @@
+package iosim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// paperishLoad approximates the paper's partition phase: 4.5 GB of
+// streaming in and out with ~200 s of CPU work.
+func paperishLoad() Load {
+	return Load{ReadBytes: 45 << 28, WriteBytes: 45 << 28, CPUSeconds: 200}
+}
+
+func TestWorkerIOShrinksWithDisks(t *testing.T) {
+	prev := -1.0
+	for n := 1; n <= 6; n++ {
+		r := RunPhase(DefaultConfig(n), paperishLoad())
+		if prev > 0 && r.WorkerIOSeconds > prev*1.01 {
+			t.Fatalf("worker I/O grew from %.1f to %.1f with %d disks", prev, r.WorkerIOSeconds, n)
+		}
+		prev = r.WorkerIOSeconds
+	}
+	one := RunPhase(DefaultConfig(1), paperishLoad()).WorkerIOSeconds
+	six := RunPhase(DefaultConfig(6), paperishLoad()).WorkerIOSeconds
+	if six > one/4 {
+		t.Fatalf("worker I/O with 6 disks (%.1f) should be near one sixth of 1 disk (%.1f)", six, one)
+	}
+}
+
+func TestElapsedFlattensWhenCPUBound(t *testing.T) {
+	// The Figure 9 shape: elapsed falls steeply up to ~4 disks, then
+	// flattens at the CPU time.
+	load := paperishLoad()
+	e4 := RunPhase(DefaultConfig(4), load).ElapsedSeconds
+	e6 := RunPhase(DefaultConfig(6), load).ElapsedSeconds
+	e1 := RunPhase(DefaultConfig(1), load).ElapsedSeconds
+	if e1 < 1.5*e4 {
+		t.Fatalf("1 disk (%.1f) should be much slower than 4 disks (%.1f)", e1, e4)
+	}
+	if e6 < load.CPUSeconds || e6 > load.CPUSeconds*1.2 {
+		t.Fatalf("6-disk elapsed %.1f should sit just above CPU time %.1f", e6, load.CPUSeconds)
+	}
+	if (e4-e6)/e4 > 0.15 {
+		t.Fatalf("elapsed should flatten between 4 (%.1f) and 6 (%.1f) disks", e4, e6)
+	}
+}
+
+func TestMainWaitSmallWhenCPUBound(t *testing.T) {
+	r := RunPhase(DefaultConfig(6), paperishLoad())
+	if frac := r.MainWaitSeconds / r.ElapsedSeconds; frac > 0.10 {
+		t.Fatalf("main thread waits %.0f%% of elapsed with 6 disks, want < 10%%", frac*100)
+	}
+}
+
+func TestIOBoundWhenCPULight(t *testing.T) {
+	load := Load{ReadBytes: 45 << 28, WriteBytes: 0, CPUSeconds: 1}
+	r := RunPhase(DefaultConfig(1), load)
+	if r.MainWaitSeconds < r.CPUSeconds {
+		t.Fatalf("with trivial CPU work the main thread should mostly wait (wait %.1f)", r.MainWaitSeconds)
+	}
+	if r.ElapsedSeconds < r.WorkerIOSeconds {
+		t.Fatalf("elapsed %.1f below worker I/O %.1f", r.ElapsedSeconds, r.WorkerIOSeconds)
+	}
+}
+
+func TestPureComputePhase(t *testing.T) {
+	r := RunPhase(DefaultConfig(3), Load{CPUSeconds: 42})
+	if r.ElapsedSeconds != 42 || r.WorkerIOSeconds != 0 {
+		t.Fatalf("pure compute phase: %+v", r)
+	}
+}
+
+func TestRunJoinPhases(t *testing.T) {
+	part, join := RunJoin(DefaultConfig(4), 3<<29, 3<<30, 150, 250)
+	if part.ElapsedSeconds <= 0 || join.ElapsedSeconds <= 0 {
+		t.Fatal("phases must take time")
+	}
+	if join.CPUSeconds != 250 {
+		t.Fatalf("join CPU = %.1f", join.CPUSeconds)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NDisks: 0, TransferMBps: 68, StripeUnitKB: 256, ReadAheadUnits: 8},
+		{NDisks: 2, TransferMBps: 0, StripeUnitKB: 256, ReadAheadUnits: 8},
+		{NDisks: 2, TransferMBps: 68, StripeUnitKB: 0, ReadAheadUnits: 8},
+		{NDisks: 2, TransferMBps: 68, StripeUnitKB: 256, ReadAheadUnits: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config accepted", i)
+				}
+			}()
+			RunPhase(cfg, Load{ReadBytes: 1 << 20, CPUSeconds: 1})
+		}()
+	}
+}
+
+func TestQuickElapsedBounds(t *testing.T) {
+	// Elapsed is at least both the CPU time and the per-disk I/O time,
+	// and at most their sum plus scheduling slack.
+	f := func(nDisks, readMB, cpuDs uint8) bool {
+		n := int(nDisks)%6 + 1
+		load := Load{
+			ReadBytes:  (int64(readMB) + 1) << 22,
+			CPUSeconds: float64(cpuDs) / 10,
+		}
+		r := RunPhase(DefaultConfig(n), load)
+		if r.ElapsedSeconds+1e-9 < load.CPUSeconds {
+			return false
+		}
+		if r.ElapsedSeconds+1e-9 < r.WorkerIOSeconds {
+			return false
+		}
+		return r.ElapsedSeconds <= load.CPUSeconds+r.WorkerIOSeconds*float64(n)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package memsim
+
+// cache is a set-associative cache with true-LRU replacement. Each
+// resident line carries a readiness timestamp so in-flight (prefetched)
+// lines can be distinguished from ready ones: a demand access to a line
+// whose fetch is still outstanding stalls only for the remaining cycles.
+type cache struct {
+	sets      []cacheSet
+	setMask   uint64
+	lineShift uint
+}
+
+type cacheLine struct {
+	tag     uint64 // full line address (addr >> lineShift)
+	readyAt uint64 // cycle at which the fill completes
+	lru     uint64 // last-use stamp
+	valid   bool
+	dirty   bool
+}
+
+type cacheSet struct {
+	lines []cacheLine
+}
+
+func newCache(size, assoc, lineSize int) *cache {
+	nLines := size / lineSize
+	nSets := nLines / assoc
+	c := &cache{
+		sets:      make([]cacheSet, nSets),
+		setMask:   uint64(nSets - 1),
+		lineShift: log2(uint64(lineSize)),
+	}
+	if nSets&(nSets-1) != 0 {
+		panic("memsim: cache set count must be a power of two")
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]cacheLine, assoc)
+	}
+	return c
+}
+
+// lineAddr converts a byte address to a line address (tag).
+func (c *cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// lookup finds the line containing addr. It returns the line and whether
+// it was present. The line's LRU stamp is refreshed on a hit.
+func (c *cache) lookup(addr, stamp uint64) (*cacheLine, bool) {
+	tag := c.lineAddr(addr)
+	set := &c.sets[tag&c.setMask]
+	for i := range set.lines {
+		ln := &set.lines[i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = stamp
+			return ln, true
+		}
+	}
+	return nil, false
+}
+
+// insert installs the line containing addr, evicting the LRU victim if
+// the set is full. It returns the inserted line and the evicted line
+// value (valid=false if no eviction or the victim was invalid).
+func (c *cache) insert(addr, readyAt, stamp uint64) (*cacheLine, cacheLine) {
+	tag := c.lineAddr(addr)
+	set := &c.sets[tag&c.setMask]
+	victim := &set.lines[0]
+	for i := range set.lines {
+		ln := &set.lines[i]
+		if ln.valid && ln.tag == tag {
+			// Already present (e.g. racing prefetches); refresh.
+			ln.lru = stamp
+			if readyAt < ln.readyAt {
+				ln.readyAt = readyAt
+			}
+			return ln, cacheLine{}
+		}
+		if !ln.valid {
+			victim = ln
+			break
+		}
+		if ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	evicted := *victim
+	*victim = cacheLine{tag: tag, readyAt: readyAt, lru: stamp, valid: true}
+	return victim, evicted
+}
+
+// invalidateLine drops the line with the given tag, if resident, without
+// write-back.
+func (c *cache) invalidateLine(tag uint64) {
+	set := &c.sets[tag&c.setMask]
+	for i := range set.lines {
+		if set.lines[i].valid && set.lines[i].tag == tag {
+			set.lines[i] = cacheLine{}
+			return
+		}
+	}
+}
+
+// invalidateAll drops every line (Figure 18 flush interference).
+func (c *cache) invalidateAll() {
+	for i := range c.sets {
+		for j := range c.sets[i].lines {
+			c.sets[i].lines[j] = cacheLine{}
+		}
+	}
+}
+
+// residentLines counts valid lines; used by tests and stats.
+func (c *cache) residentLines() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i].lines {
+			if c.sets[i].lines[j].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// tlb is a fully-associative translation lookaside buffer with LRU
+// replacement.
+type tlb struct {
+	entries   []tlbEntry
+	pageShift uint
+}
+
+type tlbEntry struct {
+	page  uint64
+	lru   uint64
+	valid bool
+}
+
+func newTLB(entries int, pageSize int) *tlb {
+	return &tlb{
+		entries:   make([]tlbEntry, entries),
+		pageShift: log2(uint64(pageSize)),
+	}
+}
+
+// lookup probes for addr's page, refreshing LRU on hit.
+func (t *tlb) lookup(addr, stamp uint64) bool {
+	page := addr >> t.pageShift
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.lru = stamp
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs addr's page, evicting the LRU entry if full.
+func (t *tlb) insert(addr, stamp uint64) {
+	page := addr >> t.pageShift
+	victim := &t.entries[0]
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.lru = stamp
+			return
+		}
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.lru < victim.lru {
+			victim = e
+		}
+	}
+	*victim = tlbEntry{page: page, lru: stamp, valid: true}
+}
+
+// invalidateAll drops every entry.
+func (t *tlb) invalidateAll() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+}

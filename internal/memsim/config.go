@@ -1,0 +1,146 @@
+// Package memsim is a cycle-level CPU memory-hierarchy simulator built to
+// reproduce the evaluation environment of Chen et al., "Improving Hash
+// Join Performance through Prefetching" (ICDE 2004). It models:
+//
+//   - a primary data cache and a unified secondary cache, both
+//     set-associative with LRU replacement;
+//   - a fully-associative data TLB with hardware miss handling;
+//   - a main-memory bus with full miss latency T and pipelined
+//     additional-miss latency Tnext (the inverse of memory bandwidth),
+//     exactly the T / Tnext quantities of the paper's Table 1;
+//   - a bounded set of miss handlers (MSHRs) for outstanding misses;
+//   - non-binding software prefetches that install lines with a readiness
+//     timestamp, so a demand access arriving early pays only the
+//     remaining latency (the paper's partial hiding);
+//   - TLB prefetching: TLB misses triggered by prefetches are handled on
+//     the prefetch's path and overlap with computation (paper section 2);
+//   - periodic cache+TLB flushing to model worst-case cache interference
+//     (paper Figure 18).
+//
+// The simulator is timing-only: data lives elsewhere (package arena); the
+// algorithms interleave real work with Access/Prefetch/Compute calls.
+// Execution time is decomposed, as in the paper's Figure 1, into busy
+// time, data-cache stalls, TLB-miss stalls, and other stalls.
+package memsim
+
+// Config describes the simulated memory hierarchy. All sizes are bytes
+// and all latencies are CPU cycles.
+type Config struct {
+	LineSize int // cache line size, power of two
+
+	L1Size  int // primary data cache capacity
+	L1Assoc int // primary data cache associativity
+
+	L2Size  int // unified secondary cache capacity
+	L2Assoc int // secondary cache associativity
+
+	TLBEntries int // fully-associative DTLB entry count
+	PageSize   int // virtual memory page size, power of two
+
+	L1HitLatency   uint64 // charged as busy time (pipelined load-use)
+	L2HitLatency   uint64 // exposed on an L1 miss that hits in L2
+	MemLatency     uint64 // T: full latency of a cache miss to memory
+	MemNextLatency uint64 // Tnext: additional latency of a pipelined miss
+	TLBMissLatency uint64 // hardware page-walk latency
+
+	MissHandlers int // max outstanding prefetch fetches (MSHRs)
+
+	// HWPrefetch enables the hardware unit-stride stream prefetcher that
+	// overlaps sequential-scan misses; the paper's out-of-order baseline
+	// gets this for free from its memory system. Disable for ablation.
+	HWPrefetch bool
+
+	// FlushInterval, when non-zero, invalidates both caches and the TLB
+	// every FlushInterval cycles, modeling the worst-case interference
+	// from other activities sharing the cache (Figure 18).
+	FlushInterval uint64
+}
+
+// ES40Config returns the simulation parameters of the paper's Table 2:
+// a 1 GHz dynamically-scheduled processor with a Compaq ES40-based
+// memory system. 64-byte lines; 64 KB 4-way L1D; 1 MB 8-way unified L2
+// (the paper sizes the L2 at 1 MB: "1MB L2 cache can hold 128 pages of
+// 8KB each"); 64-entry fully-associative DTLB over 8 KB pages; 32 data
+// miss handlers; T = 150 cycles.
+func ES40Config() Config {
+	return Config{
+		LineSize:       64,
+		L1Size:         64 << 10,
+		L1Assoc:        4,
+		L2Size:         1 << 20,
+		L2Assoc:        8,
+		TLBEntries:     64,
+		PageSize:       8 << 10,
+		L1HitLatency:   1,
+		L2HitLatency:   15,
+		MemLatency:     150,
+		MemNextLatency: 10,
+		TLBMissLatency: 30,
+		MissHandlers:   32,
+		HWPrefetch:     true,
+	}
+}
+
+// SmallConfig returns a scaled-down hierarchy (16 KB L1, 128 KB L2,
+// 32-entry TLB, 4 KB pages) with unchanged latencies. Experiments that
+// pair it with a proportionally scaled memory budget preserve the
+// paper's 50:1 memory-to-cache ratio while running quickly enough for
+// unit tests and Go benchmarks.
+func SmallConfig() Config {
+	c := ES40Config()
+	c.L1Size = 16 << 10
+	c.L2Size = 128 << 10
+	c.TLBEntries = 32
+	c.PageSize = 4 << 10
+	return c
+}
+
+// WithLatency returns a copy of c with MemLatency set to t. The paper's
+// Figure 12 uses T = 1000 to model a future, wider processor/memory gap.
+func (c Config) WithLatency(t uint64) Config {
+	c.MemLatency = t
+	return c
+}
+
+// lineShift returns log2(LineSize).
+func (c Config) lineShift() uint { return log2(uint64(c.LineSize)) }
+
+// pageShift returns log2(PageSize).
+func (c Config) pageShift() uint { return log2(uint64(c.PageSize)) }
+
+func log2(v uint64) uint {
+	if v == 0 || v&(v-1) != 0 {
+		panic("memsim: size must be a non-zero power of two")
+	}
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+// validate panics on malformed configurations; construction-time bugs in
+// experiment setup should fail loudly.
+func (c Config) validate() {
+	switch {
+	case c.LineSize <= 0:
+		panic("memsim: LineSize must be positive")
+	case c.L1Size < c.LineSize || c.L2Size < c.LineSize:
+		panic("memsim: cache smaller than one line")
+	case c.L1Assoc <= 0 || c.L2Assoc <= 0:
+		panic("memsim: associativity must be positive")
+	case c.L1Size%(c.LineSize*c.L1Assoc) != 0:
+		panic("memsim: L1 size not divisible by way size")
+	case c.L2Size%(c.LineSize*c.L2Assoc) != 0:
+		panic("memsim: L2 size not divisible by way size")
+	case c.TLBEntries <= 0:
+		panic("memsim: TLBEntries must be positive")
+	case c.PageSize < c.LineSize:
+		panic("memsim: PageSize must be at least LineSize")
+	case c.MissHandlers <= 0:
+		panic("memsim: MissHandlers must be positive")
+	}
+	log2(uint64(c.LineSize))
+	log2(uint64(c.PageSize))
+}

@@ -1,0 +1,77 @@
+package memsim
+
+// Hardware stream prefetcher. The paper's baseline runs on a
+// dynamically-scheduled superscalar whose reorder buffer and memory
+// system overlap the independent misses of sequential scans (reading
+// input pages, scanning slot arrays); only the random, dependent
+// accesses of hash table visits stay fully exposed. A small table of
+// unit-stride streams (ascending for tuple data, descending for slot
+// arrays read from the page end) reproduces that: on a detected stream,
+// the next lines are fetched in the background.
+//
+// Stream fetches use streamFetch — they consume bus bandwidth and cache
+// space but are excluded from the software-prefetch outcome accounting.
+
+const (
+	hwStreams       = 16 // concurrently tracked streams
+	hwPrefetchDepth = 2  // lines fetched ahead on a stream hit
+)
+
+type hwStream struct {
+	last    uint64 // line tag most recently seen on this stream
+	lastUse uint64
+	valid   bool
+}
+
+type hwPrefetcher struct {
+	streams [hwStreams]hwStream
+}
+
+// observe records a demand read of line tag. When the tag extends a
+// tracked stream by one line in either direction, it returns the first
+// line to fetch ahead and the direction; otherwise it allocates a
+// tentative stream and returns depth 0.
+func (p *hwPrefetcher) observe(tag, now uint64) (fetchBase uint64, dir int64, depth int) {
+	lru := -1
+	for i := range p.streams {
+		st := &p.streams[i]
+		if !st.valid {
+			if lru == -1 || p.streams[lru].valid {
+				lru = i
+			}
+			continue
+		}
+		switch tag {
+		case st.last:
+			st.lastUse = now
+			return 0, 0, 0
+		case st.last + 1:
+			st.last = tag
+			st.lastUse = now
+			return tag + 1, +1, hwPrefetchDepth
+		case st.last - 1:
+			st.last = tag
+			st.lastUse = now
+			return tag - 1, -1, hwPrefetchDepth
+		}
+		if lru == -1 || (p.streams[lru].valid && st.lastUse < p.streams[lru].lastUse) {
+			lru = i
+		}
+	}
+	p.streams[lru] = hwStream{last: tag, lastUse: now, valid: true}
+	return 0, 0, 0
+}
+
+// hwObserve runs the stream detector for a demand read and issues the
+// background fetches it requests.
+func (s *Sim) hwObserve(lineAddr uint64) {
+	tag := lineAddr >> s.l1.lineShift
+	base, dir, depth := s.hwpf.observe(tag, s.now)
+	for i := 0; i < depth; i++ {
+		next := int64(base) + dir*int64(i)
+		if next <= 0 {
+			break
+		}
+		s.streamFetch(uint64(next) << s.l1.lineShift)
+	}
+}

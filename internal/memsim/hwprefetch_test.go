@@ -1,0 +1,94 @@
+package memsim
+
+import "testing"
+
+func hwConfig() Config {
+	c := testConfig()
+	c.HWPrefetch = true
+	return c
+}
+
+// sequentialScanStall measures total dcache stall for scanning n lines
+// one read per line with per-line compute work.
+func sequentialScanStall(t *testing.T, cfg Config, dir int) uint64 {
+	t.Helper()
+	s := NewSim(cfg)
+	base := uint64(0x100000)
+	for i := 0; i < 64; i++ {
+		var addr uint64
+		if dir > 0 {
+			addr = base + uint64(i*16)
+		} else {
+			addr = base - uint64(i*16)
+		}
+		s.Read(addr, 4)
+		s.Compute(30) // enough work per line to cover Tnext
+	}
+	return s.Stats().DCacheStall
+}
+
+func TestHWPrefetchHidesAscendingScan(t *testing.T) {
+	off := sequentialScanStall(t, testConfig(), +1)
+	on := sequentialScanStall(t, hwConfig(), +1)
+	if on >= off/2 {
+		t.Fatalf("ascending scan stall with hw prefetch = %d, without = %d; want large reduction", on, off)
+	}
+}
+
+func TestHWPrefetchHidesDescendingScan(t *testing.T) {
+	off := sequentialScanStall(t, testConfig(), -1)
+	on := sequentialScanStall(t, hwConfig(), -1)
+	if on >= off/2 {
+		t.Fatalf("descending scan stall with hw prefetch = %d, without = %d; want large reduction", on, off)
+	}
+}
+
+func TestHWPrefetchIgnoresRandomAccesses(t *testing.T) {
+	cfg := hwConfig()
+	s := NewSim(cfg)
+	// Pseudo-random line addresses: no stream should form.
+	addr := uint64(0x100000)
+	for i := 0; i < 50; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407
+		line := 0x100000 + (addr % (1 << 20) &^ 15)
+		s.Read(line, 4)
+		s.Compute(30)
+	}
+	// Nearly every access should be a full miss: stalls close to 50*T.
+	if st := s.Stats(); st.DCacheStall < 40*cfg.MemLatency {
+		t.Fatalf("random access stall = %d; hardware prefetcher should not help (want >= %d)", st.DCacheStall, 40*cfg.MemLatency)
+	}
+}
+
+func TestHWPrefetchSurvivesInterleavedRandomTraffic(t *testing.T) {
+	// A sequential stream interleaved with random table visits — the
+	// partition/probe access pattern — must still be detected.
+	cfg := hwConfig()
+	s := NewSim(cfg)
+	rnd := uint64(12345)
+	seq := uint64(0x100000)
+	for i := 0; i < 64; i++ {
+		s.Read(seq, 4)
+		seq += 16
+		for j := 0; j < 3; j++ {
+			rnd = rnd*6364136223846793005 + 1
+			s.Read(0x800000+(rnd%(1<<20))&^15, 4)
+			s.Compute(20)
+		}
+	}
+	st := s.Stats()
+	if st.StreamFetches == 0 {
+		t.Fatalf("no stream fetches despite a live sequential stream")
+	}
+}
+
+func TestInvalidateRangeColdensLines(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Read(0x1000, 64)
+	s.InvalidateRange(0x1000, 64)
+	before := s.Stats()
+	s.Read(0x1000, 4)
+	if d := s.Stats().Sub(before); d.L2Misses != 1 {
+		t.Fatalf("post-invalidate read L2Misses = %d, want 1", d.L2Misses)
+	}
+}

@@ -1,0 +1,538 @@
+package memsim
+
+// Stats is the decomposition of simulated execution, mirroring the
+// paper's Figure 1 breakdown (busy, data-cache stalls, TLB-miss stalls,
+// other stalls) plus event counters used by the Figure 13/17 cache-miss
+// breakdowns.
+type Stats struct {
+	// Cycle breakdown. Total simulated time is the sum of the four.
+	Busy        uint64 // instruction execution, including prefetch overhead
+	DCacheStall uint64 // cycles exposed waiting on data-cache fills
+	TLBStall    uint64 // cycles walking page tables on demand accesses
+	OtherStall  uint64 // miss-handler saturation and other resource waits
+
+	// Demand-access counters.
+	Accesses      uint64 // line-granularity demand accesses
+	L1Hits        uint64
+	L1Misses      uint64
+	L2Hits        uint64
+	L2Misses      uint64 // demand fetches that went to memory
+	TLBMisses     uint64
+	WriteMisses   uint64 // store misses absorbed by the write buffer
+	StreamFetches uint64 // overlapped fetches within one multi-line access
+
+	// Prefetch counters.
+	PrefetchIssued    uint64 // prefetch instructions executed
+	PrefetchRedundant uint64 // line already ready in L1
+	PrefetchL2Moves   uint64 // satisfied from L2 (no bus traffic)
+	PrefetchMemFetch  uint64 // went to memory
+	PrefetchTLBMisses uint64 // TLB walks triggered by prefetches (overlapped)
+
+	// Outcome classification of prefetched lines (Figures 13 and 17).
+	PrefetchFullHidden uint64 // demand access found the line ready
+	PrefetchPartHidden uint64 // demand access waited for an in-flight fill
+	PartHiddenCycles   uint64 // cycles still exposed on in-flight waits
+	PrefetchWasted     uint64 // prefetched line evicted before any use
+
+	// Resource events.
+	MSHRWaits      uint64 // prefetches delayed by full miss handlers
+	MSHRWaitCycles uint64
+	Writebacks     uint64 // dirty L2 evictions consuming bus slots
+	Flushes        uint64 // interference flushes injected (Figure 18)
+}
+
+// Total returns the total simulated cycles.
+func (s Stats) Total() uint64 { return s.Busy + s.DCacheStall + s.TLBStall + s.OtherStall }
+
+// Add returns s + t field-wise; useful to aggregate phases.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Busy:        s.Busy + t.Busy,
+		DCacheStall: s.DCacheStall + t.DCacheStall,
+		TLBStall:    s.TLBStall + t.TLBStall,
+		OtherStall:  s.OtherStall + t.OtherStall,
+
+		Accesses:      s.Accesses + t.Accesses,
+		L1Hits:        s.L1Hits + t.L1Hits,
+		L1Misses:      s.L1Misses + t.L1Misses,
+		L2Hits:        s.L2Hits + t.L2Hits,
+		L2Misses:      s.L2Misses + t.L2Misses,
+		TLBMisses:     s.TLBMisses + t.TLBMisses,
+		WriteMisses:   s.WriteMisses + t.WriteMisses,
+		StreamFetches: s.StreamFetches + t.StreamFetches,
+
+		PrefetchIssued:    s.PrefetchIssued + t.PrefetchIssued,
+		PrefetchRedundant: s.PrefetchRedundant + t.PrefetchRedundant,
+		PrefetchL2Moves:   s.PrefetchL2Moves + t.PrefetchL2Moves,
+		PrefetchMemFetch:  s.PrefetchMemFetch + t.PrefetchMemFetch,
+		PrefetchTLBMisses: s.PrefetchTLBMisses + t.PrefetchTLBMisses,
+
+		PrefetchFullHidden: s.PrefetchFullHidden + t.PrefetchFullHidden,
+		PrefetchPartHidden: s.PrefetchPartHidden + t.PrefetchPartHidden,
+		PartHiddenCycles:   s.PartHiddenCycles + t.PartHiddenCycles,
+		PrefetchWasted:     s.PrefetchWasted + t.PrefetchWasted,
+
+		MSHRWaits:      s.MSHRWaits + t.MSHRWaits,
+		MSHRWaitCycles: s.MSHRWaitCycles + t.MSHRWaitCycles,
+		Writebacks:     s.Writebacks + t.Writebacks,
+		Flushes:        s.Flushes + t.Flushes,
+	}
+}
+
+// Sub returns s - t field-wise; useful to attribute cycles to a phase.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Busy:        s.Busy - t.Busy,
+		DCacheStall: s.DCacheStall - t.DCacheStall,
+		TLBStall:    s.TLBStall - t.TLBStall,
+		OtherStall:  s.OtherStall - t.OtherStall,
+
+		Accesses:      s.Accesses - t.Accesses,
+		L1Hits:        s.L1Hits - t.L1Hits,
+		L1Misses:      s.L1Misses - t.L1Misses,
+		L2Hits:        s.L2Hits - t.L2Hits,
+		L2Misses:      s.L2Misses - t.L2Misses,
+		TLBMisses:     s.TLBMisses - t.TLBMisses,
+		WriteMisses:   s.WriteMisses - t.WriteMisses,
+		StreamFetches: s.StreamFetches - t.StreamFetches,
+
+		PrefetchIssued:    s.PrefetchIssued - t.PrefetchIssued,
+		PrefetchRedundant: s.PrefetchRedundant - t.PrefetchRedundant,
+		PrefetchL2Moves:   s.PrefetchL2Moves - t.PrefetchL2Moves,
+		PrefetchMemFetch:  s.PrefetchMemFetch - t.PrefetchMemFetch,
+		PrefetchTLBMisses: s.PrefetchTLBMisses - t.PrefetchTLBMisses,
+
+		PrefetchFullHidden: s.PrefetchFullHidden - t.PrefetchFullHidden,
+		PrefetchPartHidden: s.PrefetchPartHidden - t.PrefetchPartHidden,
+		PartHiddenCycles:   s.PartHiddenCycles - t.PartHiddenCycles,
+		PrefetchWasted:     s.PrefetchWasted - t.PrefetchWasted,
+
+		MSHRWaits:      s.MSHRWaits - t.MSHRWaits,
+		MSHRWaitCycles: s.MSHRWaitCycles - t.MSHRWaitCycles,
+		Writebacks:     s.Writebacks - t.Writebacks,
+		Flushes:        s.Flushes - t.Flushes,
+	}
+}
+
+// Sim simulates the memory hierarchy described by a Config. It is not
+// safe for concurrent use; each simulated "thread" owns its own Sim.
+type Sim struct {
+	cfg Config
+
+	now     uint64 // current cycle
+	l1, l2  *cache
+	dtlb    *tlb
+	busFree uint64 // earliest cycle the memory bus can start a transfer
+	hwpf    hwPrefetcher
+
+	// prefetched-line bookkeeping: line address -> installed-by-prefetch
+	// and not yet demand-used. Bounded by cache capacity in practice.
+	pending map[uint64]struct{}
+
+	// outstanding prefetch completions, for MSHR accounting.
+	outstanding []uint64
+
+	nextFlush uint64
+
+	stats Stats
+}
+
+// NewSim builds a simulator for cfg. The configuration is validated
+// eagerly: malformed hierarchies panic at construction.
+func NewSim(cfg Config) *Sim {
+	cfg.validate()
+	s := &Sim{
+		cfg:     cfg,
+		l1:      newCache(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
+		l2:      newCache(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
+		dtlb:    newTLB(cfg.TLBEntries, cfg.PageSize),
+		pending: make(map[uint64]struct{}),
+	}
+	if cfg.FlushInterval > 0 {
+		s.nextFlush = cfg.FlushInterval
+	}
+	return s
+}
+
+// Config returns the simulator's configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Now returns the current simulated cycle.
+func (s *Sim) Now() uint64 { return s.now }
+
+// Stats returns a snapshot of accumulated statistics.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the statistics without disturbing cache contents or
+// the clock, so a warm-cache region can be measured in isolation.
+func (s *Sim) ResetStats() { s.stats = Stats{} }
+
+// Compute advances the clock by cycles of pure computation.
+func (s *Sim) Compute(cycles uint64) {
+	s.maybeFlush()
+	s.now += cycles
+	s.stats.Busy += cycles
+}
+
+// Read simulates a demand load of size bytes at addr.
+func (s *Sim) Read(addr uint64, size int) { s.access(addr, size, false) }
+
+// Write simulates a demand store of size bytes at addr (write-allocate).
+func (s *Sim) Write(addr uint64, size int) { s.access(addr, size, true) }
+
+// Access simulates a demand access; write selects store semantics.
+func (s *Sim) Access(addr uint64, size int, write bool) { s.access(addr, size, write) }
+
+// FlushCaches invalidates both caches and the TLB immediately, modeling
+// an interference event.
+func (s *Sim) FlushCaches() {
+	s.l1.invalidateAll()
+	s.l2.invalidateAll()
+	s.dtlb.invalidateAll()
+	s.pending = make(map[uint64]struct{})
+	s.stats.Flushes++
+}
+
+// InvalidateRange drops every line covering [addr, addr+size) from both
+// caches without write-back, modeling DMA writing fresh data underneath
+// the hierarchy (a simulated disk read into a buffer).
+func (s *Sim) InvalidateRange(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	shift := s.l1.lineShift
+	first := addr >> shift
+	last := (addr + uint64(size) - 1) >> shift
+	for tag := first; tag <= last; tag++ {
+		s.l1.invalidateLine(tag)
+		s.l2.invalidateLine(tag)
+		delete(s.pending, tag)
+	}
+}
+
+// maybeFlush injects periodic worst-case interference (Figure 18).
+func (s *Sim) maybeFlush() {
+	if s.nextFlush == 0 {
+		return
+	}
+	for s.now >= s.nextFlush {
+		s.FlushCaches()
+		s.nextFlush += s.cfg.FlushInterval
+	}
+}
+
+// busTransfer schedules one line transfer requested at time req: it
+// starts when the bus frees up, occupies the bus for Tnext cycles, and
+// delivers its data T cycles after starting.
+func (s *Sim) busTransfer(req uint64) (completion uint64) {
+	start := req
+	if s.busFree > start {
+		start = s.busFree
+	}
+	s.busFree = start + s.cfg.MemNextLatency
+	return start + s.cfg.MemLatency
+}
+
+// access walks every cache line overlapped by [addr, addr+size). For
+// reads spanning multiple lines the misses are overlapped: a dynamically
+// scheduled processor (and its hardware stride prefetcher) pipelines the
+// independent fetches of a bulk copy, making sequential scans
+// bandwidth-bound (Tnext per line) instead of latency-bound (T per
+// line). Random single-line accesses — the hash join's pain point — are
+// unaffected.
+func (s *Sim) access(addr uint64, size int, write bool) {
+	s.maybeFlush()
+	if size <= 0 {
+		return
+	}
+	shift := s.l1.lineShift
+	first := addr >> shift
+	last := (addr + uint64(size) - 1) >> shift
+	if !write && last > first {
+		for ln := first; ln <= last; ln++ {
+			s.streamFetch(ln << shift)
+		}
+	}
+	for ln := first; ln <= last; ln++ {
+		s.accessLine(ln<<shift, write)
+	}
+}
+
+// streamFetch starts an overlapped fetch for a line that is about to be
+// demand-read as part of a multi-line access. Unlike Prefetch it has no
+// instruction overhead and does not participate in the prefetch-outcome
+// accounting of Figures 13/17.
+func (s *Sim) streamFetch(lineAddr uint64) {
+	if ln, ok := s.l1.lookup(lineAddr, s.now); ok {
+		_ = ln
+		return
+	}
+	if _, ok := s.l2.lookup(lineAddr, s.now); ok {
+		return
+	}
+	completion := s.busTransfer(s.now)
+	s.stats.StreamFetches++
+	s.fillL2(lineAddr, completion, false)
+	s.fillL1(lineAddr, completion, false)
+}
+
+// accessLine performs a demand access to the single line at lineAddr.
+//
+// Loads stall for the full remaining fill latency. Stores never stall on
+// the data fill: the processor's write buffer absorbs them, the line is
+// fetched (read-for-ownership) in the background, and only the bus
+// bandwidth is consumed. Both need address translation, so a TLB miss
+// stalls either way.
+func (s *Sim) accessLine(lineAddr uint64, write bool) {
+	s.stats.Accesses++
+	if !write && s.cfg.HWPrefetch {
+		s.hwObserve(lineAddr)
+	}
+
+	// Address translation: a demand TLB miss exposes the full walk.
+	if !s.dtlb.lookup(lineAddr, s.now) {
+		s.stats.TLBMisses++
+		s.stats.TLBStall += s.cfg.TLBMissLatency
+		s.now += s.cfg.TLBMissLatency
+		s.dtlb.insert(lineAddr, s.now)
+	}
+
+	tag := s.l1.lineAddr(lineAddr)
+	if ln, ok := s.l1.lookup(lineAddr, s.now); ok {
+		s.stats.L1Hits++
+		if ln.readyAt > s.now {
+			if write {
+				// Store merges into the in-flight fill; no stall.
+				if _, pend := s.pending[tag]; pend {
+					s.stats.PrefetchFullHidden++
+					delete(s.pending, tag)
+				}
+			} else {
+				// In-flight prefetch: pay only the remaining latency.
+				wait := ln.readyAt - s.now
+				s.stats.DCacheStall += wait
+				s.stats.PartHiddenCycles += wait
+				s.stats.PrefetchPartHidden++
+				s.now = ln.readyAt
+				delete(s.pending, tag)
+			}
+		} else if _, pend := s.pending[tag]; pend {
+			s.stats.PrefetchFullHidden++
+			delete(s.pending, tag)
+		}
+		if write {
+			ln.dirty = true
+		}
+		s.stats.Busy += s.cfg.L1HitLatency
+		s.now += s.cfg.L1HitLatency
+		return
+	}
+	s.stats.L1Misses++
+
+	if ln2, ok := s.l2.lookup(lineAddr, s.now); ok {
+		s.stats.L2Hits++
+		if write {
+			ln2.dirty = true
+			s.fillL1(lineAddr, s.now, true)
+		} else {
+			stall := s.cfg.L2HitLatency
+			if ln2.readyAt > s.now+stall {
+				stall = ln2.readyAt - s.now
+			}
+			s.stats.DCacheStall += stall
+			s.now += stall
+			if _, pend := s.pending[tag]; pend {
+				// Prefetched into L1, evicted to/kept in L2 before use:
+				// the bus transfer was useful, but some latency returned.
+				s.stats.PrefetchPartHidden++
+				delete(s.pending, tag)
+			}
+			s.fillL1(lineAddr, s.now, false)
+		}
+		s.stats.Busy += s.cfg.L1HitLatency
+		s.now += s.cfg.L1HitLatency
+		return
+	}
+	s.stats.L2Misses++
+
+	// Memory fetch. The bus starts one transfer every Tnext cycles (the
+	// paper's pipelined additional-miss latency); each transfer delivers
+	// its line T cycles after it starts.
+	completion := s.busTransfer(s.now)
+	if write {
+		// Read-for-ownership proceeds in the background; the write
+		// buffer retires the store without stalling the pipeline.
+		s.stats.WriteMisses++
+		s.fillL2(lineAddr, completion, true)
+		s.fillL1(lineAddr, completion, true)
+	} else {
+		s.stats.DCacheStall += completion - s.now
+		s.now = completion
+		s.fillL2(lineAddr, s.now, false)
+		s.fillL1(lineAddr, s.now, false)
+	}
+	s.stats.Busy += s.cfg.L1HitLatency
+	s.now += s.cfg.L1HitLatency
+}
+
+// Prefetch issues a non-binding prefetch for the line containing addr.
+// It never blocks on the fill itself; it may briefly wait for a free
+// miss handler, and always charges one cycle of instruction overhead.
+func (s *Sim) Prefetch(addr uint64) {
+	s.maybeFlush()
+	s.stats.PrefetchIssued++
+	s.stats.Busy++ // prefetch instruction issue overhead
+	s.now++
+
+	lineAddr := addr &^ uint64(s.cfg.LineSize-1)
+	issue := s.now
+
+	// TLB prefetching: the walk happens on the prefetch's path and is
+	// overlapped with computation; it delays only the fill completion.
+	tlbPenalty := uint64(0)
+	if !s.dtlb.lookup(lineAddr, s.now) {
+		s.stats.PrefetchTLBMisses++
+		tlbPenalty = s.cfg.TLBMissLatency
+		s.dtlb.insert(lineAddr, s.now)
+	}
+
+	if ln, ok := s.l1.lookup(lineAddr, s.now); ok && ln.readyAt <= s.now {
+		s.stats.PrefetchRedundant++
+		return
+	} else if ok {
+		// Already in flight; nothing more to do.
+		return
+	}
+
+	if _, ok := s.l2.lookup(lineAddr, s.now); ok {
+		// Move into L1 without bus traffic; ready after the L2 latency.
+		s.stats.PrefetchL2Moves++
+		s.installPrefetch(lineAddr, issue+tlbPenalty+s.cfg.L2HitLatency, false)
+		return
+	}
+
+	// Memory fetch: bounded by the number of miss handlers. The paper's
+	// simulator does not drop prefetches when handlers are busy; the
+	// request is held until one frees, delaying the fill (and thus how
+	// much latency the prefetch can hide) without stalling the pipeline.
+	s.reapOutstanding()
+	if len(s.outstanding) >= s.cfg.MissHandlers {
+		earliest := s.outstanding[0]
+		idx := 0
+		for i, c := range s.outstanding {
+			if c < earliest {
+				earliest, idx = c, i
+			}
+		}
+		if earliest > issue {
+			s.stats.MSHRWaits++
+			s.stats.MSHRWaitCycles += earliest - issue
+			issue = earliest
+		}
+		s.outstanding[idx] = s.outstanding[len(s.outstanding)-1]
+		s.outstanding = s.outstanding[:len(s.outstanding)-1]
+	}
+
+	completion := s.busTransfer(issue + tlbPenalty)
+	s.stats.PrefetchMemFetch++
+	s.outstanding = append(s.outstanding, completion)
+	s.installPrefetch(lineAddr, completion, true)
+}
+
+// PrefetchRange prefetches every line overlapped by [addr, addr+size).
+func (s *Sim) PrefetchRange(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	shift := s.l1.lineShift
+	first := addr >> shift
+	last := (addr + uint64(size) - 1) >> shift
+	for ln := first; ln <= last; ln++ {
+		s.Prefetch(ln << shift)
+	}
+}
+
+// reapOutstanding drops completed fetches from the MSHR list.
+func (s *Sim) reapOutstanding() {
+	live := s.outstanding[:0]
+	for _, c := range s.outstanding {
+		if c > s.now {
+			live = append(live, c)
+		}
+	}
+	s.outstanding = live
+}
+
+// installPrefetch inserts the line into L1 (and L2 when it came from
+// memory) with a readiness timestamp, tracking it for Figure 13's
+// wasted-prefetch classification.
+func (s *Sim) installPrefetch(lineAddr, readyAt uint64, fromMemory bool) {
+	tag := s.l1.lineAddr(lineAddr)
+	s.pending[tag] = struct{}{}
+	if fromMemory {
+		_, ev2 := s.l2.insert(lineAddr, readyAt, s.now)
+		s.noteL2Evict(ev2)
+	}
+	_, ev1 := s.l1.insert(lineAddr, readyAt, s.now)
+	s.noteL1Evict(ev1)
+}
+
+// fillL1 installs a demand-fetched line into L1.
+func (s *Sim) fillL1(lineAddr, readyAt uint64, dirty bool) {
+	ln, ev := s.l1.insert(lineAddr, readyAt, s.now)
+	ln.dirty = dirty
+	s.noteL1Evict(ev)
+}
+
+// fillL2 installs a demand-fetched line into L2.
+func (s *Sim) fillL2(lineAddr, readyAt uint64, dirty bool) {
+	ln, ev := s.l2.insert(lineAddr, readyAt, s.now)
+	ln.dirty = dirty
+	s.noteL2Evict(ev)
+}
+
+// noteL1Evict records a prefetched-but-unused eviction. The line may
+// still be in L2; only count it wasted when it also leaves L2, which
+// noteL2Evict handles. Here we only detect L1-only prefetch installs
+// (from-L2 moves) that die unused.
+func (s *Sim) noteL1Evict(ev cacheLine) {
+	if !ev.valid {
+		return
+	}
+	if _, ok := s.pending[ev.tag]; ok {
+		// If the line is not resident in L2 either, the prefetch was
+		// fully wasted (evicted before use): a conflict-miss symptom of
+		// oversized G / D in Figures 13 and 17.
+		if _, inL2 := s.l2.lookup(ev.tag<<s.l1.lineShift, s.now); !inL2 {
+			s.stats.PrefetchWasted++
+			delete(s.pending, ev.tag)
+		}
+	}
+	if ev.dirty {
+		// L1 write-back into L2: mark the L2 copy dirty if present.
+		if ln2, ok := s.l2.lookup(ev.tag<<s.l1.lineShift, s.now); ok {
+			ln2.dirty = true
+		}
+	}
+}
+
+// noteL2Evict accounts a dirty write-back bus slot and wasted prefetches.
+func (s *Sim) noteL2Evict(ev cacheLine) {
+	if !ev.valid {
+		return
+	}
+	if _, ok := s.pending[ev.tag]; ok {
+		if _, inL1 := s.l1.lookup(ev.tag<<s.l1.lineShift, s.now); !inL1 {
+			s.stats.PrefetchWasted++
+			delete(s.pending, ev.tag)
+		}
+	}
+	if ev.dirty {
+		s.stats.Writebacks++
+		// A write-back occupies one bus slot, delaying later fetches.
+		if s.busFree < s.now {
+			s.busFree = s.now
+		}
+		s.busFree += s.cfg.MemNextLatency
+	}
+}

@@ -1,0 +1,413 @@
+package memsim
+
+import (
+	"testing"
+)
+
+// testConfig returns a tiny hierarchy with easy-to-reason-about numbers:
+// 16-byte lines, 4-line direct... (2-way) L1 of 128B, 512B L2, T=100.
+func testConfig() Config {
+	return Config{
+		LineSize:       16,
+		L1Size:         128,
+		L1Assoc:        2,
+		L2Size:         512,
+		L2Assoc:        4,
+		TLBEntries:     4,
+		PageSize:       64,
+		L1HitLatency:   1,
+		L2HitLatency:   10,
+		MemLatency:     100,
+		MemNextLatency: 8,
+		TLBMissLatency: 20,
+		MissHandlers:   4,
+	}
+}
+
+func TestColdMissCharged(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Read(0x1000, 4)
+	st := s.Stats()
+	if st.L2Misses != 1 {
+		t.Fatalf("L2Misses = %d, want 1", st.L2Misses)
+	}
+	if st.DCacheStall != 100 {
+		t.Fatalf("DCacheStall = %d, want 100", st.DCacheStall)
+	}
+	if st.TLBMisses != 1 || st.TLBStall != 20 {
+		t.Fatalf("TLB stats = %d/%d, want 1/20", st.TLBMisses, st.TLBStall)
+	}
+}
+
+func TestL1HitAfterFill(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Read(0x1000, 4)
+	before := s.Stats()
+	s.Read(0x1004, 4) // same line
+	d := s.Stats().Sub(before)
+	if d.L1Hits != 1 || d.DCacheStall != 0 || d.TLBStall != 0 {
+		t.Fatalf("second access: hits=%d dstall=%d tstall=%d, want 1/0/0", d.L1Hits, d.DCacheStall, d.TLBStall)
+	}
+	if d.Busy != 1 {
+		t.Fatalf("second access busy = %d, want 1 (L1 hit latency)", d.Busy)
+	}
+}
+
+func TestMultiLineAccessTouchesEachLine(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Read(0x1000, 40) // 16B lines: covers 3 lines
+	if got := s.Stats().Accesses; got != 3 {
+		t.Fatalf("Accesses = %d, want 3", got)
+	}
+}
+
+func TestUnalignedAccessSpansLineBoundary(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Read(0x100e, 4) // crosses the 0x1010 line boundary
+	if got := s.Stats().Accesses; got != 2 {
+		t.Fatalf("Accesses = %d, want 2", got)
+	}
+}
+
+func TestPrefetchFullyHidesLatency(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Prefetch(0x1000)
+	s.Compute(200) // more than T
+	before := s.Stats()
+	s.Read(0x1000, 4)
+	d := s.Stats().Sub(before)
+	if d.DCacheStall != 0 {
+		t.Fatalf("DCacheStall = %d after covered prefetch, want 0", d.DCacheStall)
+	}
+	if s.Stats().PrefetchFullHidden != 1 {
+		t.Fatalf("PrefetchFullHidden = %d, want 1", s.Stats().PrefetchFullHidden)
+	}
+}
+
+func TestPrefetchPartiallyHidesLatency(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Prefetch(0x1000)
+	s.Compute(40) // less than T-ish; fill still in flight
+	before := s.Stats()
+	s.Read(0x1000, 4)
+	d := s.Stats().Sub(before)
+	if d.DCacheStall == 0 || d.DCacheStall >= 100 {
+		t.Fatalf("DCacheStall = %d, want in (0,100)", d.DCacheStall)
+	}
+	if s.Stats().PrefetchPartHidden != 1 {
+		t.Fatalf("PrefetchPartHidden = %d, want 1", s.Stats().PrefetchPartHidden)
+	}
+}
+
+func TestPrefetchTLBMissOverlapped(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Prefetch(0x1000)
+	st := s.Stats()
+	if st.PrefetchTLBMisses != 1 {
+		t.Fatalf("PrefetchTLBMisses = %d, want 1", st.PrefetchTLBMisses)
+	}
+	if st.TLBStall != 0 {
+		t.Fatalf("TLBStall = %d, want 0 (walk overlapped)", st.TLBStall)
+	}
+	// The later demand access should not take a TLB miss.
+	s.Compute(300)
+	before := s.Stats()
+	s.Read(0x1000, 4)
+	if d := s.Stats().Sub(before); d.TLBMisses != 0 {
+		t.Fatalf("demand TLBMisses = %d, want 0", d.TLBMisses)
+	}
+}
+
+func TestBandwidthSerializesConcurrentMisses(t *testing.T) {
+	cfg := testConfig()
+	s := NewSim(cfg)
+	// Issue many back-to-back prefetches; completions must be spaced by
+	// Tnext once the first is scheduled.
+	for i := 0; i < 3; i++ {
+		s.Prefetch(uint64(0x1000 + 16*i))
+	}
+	// Wait out the first fill: issue overhead + overlapped TLB walk + T.
+	s.Compute(cfg.MemLatency + cfg.TLBMissLatency)
+	before := s.Stats()
+	s.Read(0x1000, 4)
+	if d := s.Stats().Sub(before); d.DCacheStall != 0 {
+		t.Fatalf("first line stall = %d, want 0", d.DCacheStall)
+	}
+	before = s.Stats()
+	s.Read(0x1020, 4) // third line completes ~2*Tnext after the first
+	d := s.Stats().Sub(before)
+	if d.DCacheStall == 0 {
+		t.Fatalf("third line stall = 0, want >0 (bandwidth-limited)")
+	}
+	if d.DCacheStall > 3*cfg.MemNextLatency {
+		t.Fatalf("third line stall = %d, want <= %d", d.DCacheStall, 3*cfg.MemNextLatency)
+	}
+}
+
+func TestDemandMissesSerializeOnBus(t *testing.T) {
+	cfg := testConfig()
+	s := NewSim(cfg)
+	s.Read(0x1000, 4)
+	before := s.Stats()
+	s.Read(0x2000, 4)
+	d := s.Stats().Sub(before)
+	// The second miss starts after the first completes, so it still pays
+	// the full latency (no overlap without prefetching).
+	if d.DCacheStall != cfg.MemLatency {
+		t.Fatalf("second demand miss stall = %d, want %d", d.DCacheStall, cfg.MemLatency)
+	}
+}
+
+func TestRedundantPrefetchCheap(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Read(0x1000, 4)
+	before := s.Stats()
+	s.Prefetch(0x1000)
+	d := s.Stats().Sub(before)
+	if d.PrefetchRedundant != 1 {
+		t.Fatalf("PrefetchRedundant = %d, want 1", d.PrefetchRedundant)
+	}
+	if d.Busy != 1 || d.DCacheStall != 0 {
+		t.Fatalf("redundant prefetch cost busy=%d dstall=%d, want 1/0", d.Busy, d.DCacheStall)
+	}
+}
+
+func TestPrefetchFromL2NoBusTraffic(t *testing.T) {
+	cfg := testConfig()
+	s := NewSim(cfg)
+	// Fill L1 set with conflicting lines so 0x1000 falls out of L1 but
+	// stays in L2. L1: 128B, 2-way, 16B lines -> 4 sets; lines mapping to
+	// the same set are 64B apart.
+	s.Read(0x1000, 4)
+	s.Read(0x1040, 4)
+	s.Read(0x1080, 4) // evicts 0x1000 from L1
+	before := s.Stats()
+	s.Prefetch(0x1000)
+	d := s.Stats().Sub(before)
+	if d.PrefetchL2Moves != 1 || d.PrefetchMemFetch != 0 {
+		t.Fatalf("L2 move=%d memFetch=%d, want 1/0", d.PrefetchL2Moves, d.PrefetchMemFetch)
+	}
+}
+
+func TestMSHRSaturationDelaysFillNotCPU(t *testing.T) {
+	cfg := testConfig()
+	cfg.MissHandlers = 2
+	s := NewSim(cfg)
+	s.Prefetch(0x1000)
+	s.Prefetch(0x2000)
+	before := s.Now()
+	s.Prefetch(0x3000) // must wait for a handler
+	st := s.Stats()
+	if st.MSHRWaits != 1 || st.MSHRWaitCycles == 0 {
+		t.Fatalf("MSHRWaits=%d cycles=%d, want 1 and >0", st.MSHRWaits, st.MSHRWaitCycles)
+	}
+	// The issuing instruction itself must not stall: only the prefetch's
+	// fill is deferred until a handler frees.
+	if got := s.Now() - before; got != 1 {
+		t.Fatalf("third prefetch advanced the clock %d cycles, want 1 (issue only)", got)
+	}
+	if st.OtherStall != 0 {
+		t.Fatalf("OtherStall = %d, want 0 (no pipeline stall)", st.OtherStall)
+	}
+	// The deferred fill completes later than an unconstrained one: a
+	// demand access right after the full latency still waits.
+	s.Compute(cfg.MemLatency + cfg.TLBMissLatency)
+	pre := s.Stats()
+	s.Read(0x3000, 4)
+	if d := s.Stats().Sub(pre); d.DCacheStall == 0 {
+		t.Fatalf("deferred prefetch should still be in flight")
+	}
+}
+
+func TestWastedPrefetchDetected(t *testing.T) {
+	cfg := testConfig()
+	// Shrink L2 to equal L1 so evictions leave both levels.
+	cfg.L2Size = 128
+	cfg.L2Assoc = 2
+	s := NewSim(cfg)
+	// Prefetch more conflicting lines than the set holds; some must be
+	// evicted before use. Same set: stride 64B (4 sets) in both caches.
+	for i := 0; i < 4; i++ {
+		s.Prefetch(uint64(0x1000 + 64*i))
+	}
+	if st := s.Stats(); st.PrefetchWasted == 0 {
+		t.Fatalf("PrefetchWasted = 0, want >0 when conflicting prefetches evict each other")
+	}
+}
+
+func TestFlushInterferenceForcesRemisses(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlushInterval = 500
+	s := NewSim(cfg)
+	s.Read(0x1000, 4)
+	s.Compute(1000) // crosses two flush boundaries
+	before := s.Stats()
+	s.Read(0x1000, 4)
+	d := s.Stats().Sub(before)
+	if d.L2Misses != 1 {
+		t.Fatalf("post-flush access L2Misses = %d, want 1", d.L2Misses)
+	}
+	if s.Stats().Flushes == 0 {
+		t.Fatalf("Flushes = 0, want >0")
+	}
+}
+
+func TestStatsTotalMatchesClock(t *testing.T) {
+	s := NewSim(testConfig())
+	for i := 0; i < 64; i++ {
+		s.Prefetch(uint64(0x1000 + 16*i))
+		s.Compute(7)
+		s.Read(uint64(0x1000+16*i), 8)
+		if i%3 == 0 {
+			s.Write(uint64(0x5000+16*i), 8)
+		}
+	}
+	if got, want := s.Stats().Total(), s.Now(); got != want {
+		t.Fatalf("Stats().Total() = %d, clock = %d; breakdown must account every cycle", got, want)
+	}
+}
+
+func TestWriteMakesLineDirtyAndWritebackCounted(t *testing.T) {
+	cfg := testConfig()
+	cfg.L2Size = 128
+	cfg.L2Assoc = 2
+	s := NewSim(cfg)
+	s.Write(0x1000, 8)
+	// Evict through both levels with conflicting fills.
+	s.Read(0x1040, 8)
+	s.Read(0x1080, 8)
+	if st := s.Stats(); st.Writebacks == 0 {
+		t.Fatalf("Writebacks = 0, want >0 after dirty eviction")
+	}
+}
+
+func TestLRUReplacementOrder(t *testing.T) {
+	cfg := testConfig() // L1: 4 sets, 2-way
+	s := NewSim(cfg)
+	s.Read(0x1000, 4) // set 0
+	s.Read(0x1040, 4) // set 0, second way
+	s.Read(0x1000, 4) // refresh first line
+	s.Read(0x1080, 4) // evicts 0x1040 (LRU), not 0x1000
+	before := s.Stats()
+	s.Read(0x1000, 4)
+	if d := s.Stats().Sub(before); d.L1Hits != 1 {
+		t.Fatalf("expected 0x1000 still resident after LRU eviction of 0x1040")
+	}
+	before = s.Stats()
+	s.Read(0x1040, 4)
+	if d := s.Stats().Sub(before); d.L1Misses != 1 {
+		t.Fatalf("expected 0x1040 to have been evicted")
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	cfg := testConfig() // 4 TLB entries, 64B pages
+	s := NewSim(cfg)
+	for i := 0; i < 5; i++ {
+		s.Read(uint64(0x1000+64*i), 4)
+	}
+	before := s.Stats()
+	s.Read(0x1000, 4) // first page evicted by the fifth
+	if d := s.Stats().Sub(before); d.TLBMisses != 1 {
+		t.Fatalf("TLBMisses = %d, want 1 after TLB overflow", d.TLBMisses)
+	}
+}
+
+func TestResetStatsKeepsCacheContents(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Read(0x1000, 4)
+	s.ResetStats()
+	s.Read(0x1000, 4)
+	st := s.Stats()
+	if st.L1Hits != 1 || st.L1Misses != 0 {
+		t.Fatalf("after ResetStats: hits=%d misses=%d, want 1/0", st.L1Hits, st.L1Misses)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.LineSize = 0 },
+		func(c *Config) { c.LineSize = 48 },
+		func(c *Config) { c.L1Assoc = 0 },
+		func(c *Config) { c.L1Size = 8 },
+		func(c *Config) { c.TLBEntries = 0 },
+		func(c *Config) { c.PageSize = 8 },
+		func(c *Config) { c.MissHandlers = 0 },
+	}
+	for i, mut := range bad {
+		cfg := testConfig()
+		mut(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: NewSim accepted invalid config", i)
+				}
+			}()
+			NewSim(cfg)
+		}()
+	}
+}
+
+func TestES40ConfigSane(t *testing.T) {
+	cfg := ES40Config()
+	cfg.validate()
+	if cfg.MemLatency != 150 || cfg.LineSize != 64 || cfg.MissHandlers != 32 {
+		t.Fatalf("ES40Config deviates from Table 2: %+v", cfg)
+	}
+	small := SmallConfig()
+	small.validate()
+	if small.L2Size >= cfg.L2Size {
+		t.Fatalf("SmallConfig L2 should be smaller than ES40")
+	}
+}
+
+// TestGroupPrefetchConditionHolds exercises the paper's Theorem 1 at the
+// simulator level: with (G-1)*C >= T, a group-prefetched pointer walk has
+// essentially no exposed miss latency, while the naive walk pays T per
+// element.
+func TestGroupPrefetchConditionHolds(t *testing.T) {
+	cfg := testConfig()
+	run := func(prefetch bool) uint64 {
+		s := NewSim(cfg)
+		// G must both satisfy (G-1)*C >= T and fit in the 8-line L1 so
+		// prefetched lines are not evicted before use.
+		const G = 6
+		const C = 25 // per-element compute; (G-1)*C = 125 >= T=100
+		var addrs [G]uint64
+		for i := range addrs {
+			addrs[i] = uint64(0x10000 + i*16) // consecutive lines
+		}
+		for rep := 0; rep < 4; rep++ {
+			// Touch a fresh region every repetition (cold lines).
+			for i := range addrs {
+				addrs[i] += 1 << 20
+			}
+			if prefetch {
+				for i := 0; i < G; i++ {
+					s.Compute(C)
+					s.Prefetch(addrs[i])
+				}
+				for i := 0; i < G; i++ {
+					s.Read(addrs[i], 4)
+					s.Compute(C)
+				}
+			} else {
+				for i := 0; i < G; i++ {
+					s.Compute(C)
+					s.Read(addrs[i], 4)
+					s.Compute(C)
+				}
+			}
+		}
+		return s.Now()
+	}
+	base := run(false)
+	pf := run(true)
+	if pf >= base {
+		t.Fatalf("prefetched walk (%d cycles) not faster than baseline (%d)", pf, base)
+	}
+	// The baseline pays ~T per element; prefetching should hide the bulk.
+	if float64(pf) > 0.55*float64(base) {
+		t.Fatalf("prefetching hid too little: %d vs %d cycles", pf, base)
+	}
+}

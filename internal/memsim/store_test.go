@@ -1,0 +1,73 @@
+package memsim
+
+import "testing"
+
+func TestStoreMissDoesNotStall(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Write(0x1000, 4)
+	st := s.Stats()
+	if st.DCacheStall != 0 {
+		t.Fatalf("store miss DCacheStall = %d, want 0 (write buffer)", st.DCacheStall)
+	}
+	if st.WriteMisses != 1 {
+		t.Fatalf("WriteMisses = %d, want 1", st.WriteMisses)
+	}
+	if st.TLBStall == 0 {
+		t.Fatalf("TLBStall = 0, want >0 (stores still translate)")
+	}
+}
+
+func TestLoadAfterStoreMissWaitsForFill(t *testing.T) {
+	cfg := testConfig()
+	s := NewSim(cfg)
+	s.Write(0x1000, 4)
+	before := s.Stats()
+	s.Read(0x1000, 4) // the RFO is still in flight
+	d := s.Stats().Sub(before)
+	if d.DCacheStall == 0 {
+		t.Fatalf("load right after store miss should wait for the background fill")
+	}
+	if d.DCacheStall > cfg.MemLatency {
+		t.Fatalf("load stall %d exceeds full latency %d", d.DCacheStall, cfg.MemLatency)
+	}
+}
+
+func TestStoreToInflightPrefetchDoesNotStall(t *testing.T) {
+	s := NewSim(testConfig())
+	s.Prefetch(0x1000)
+	before := s.Stats()
+	s.Write(0x1000, 4)
+	d := s.Stats().Sub(before)
+	if d.DCacheStall != 0 {
+		t.Fatalf("store into in-flight line stalled %d cycles, want 0", d.DCacheStall)
+	}
+	if s.Stats().PrefetchFullHidden != 1 {
+		t.Fatalf("store should consume the pending prefetch (RFO avoided)")
+	}
+}
+
+func TestMultiLineReadIsBandwidthBound(t *testing.T) {
+	cfg := testConfig()
+	s := NewSim(cfg)
+	const n = 20 * 16 // 20 lines
+	before := s.Now()
+	s.Read(0x10000, n)
+	elapsed := s.Now() - before
+	// Latency-bound would be ~20*T = 2000; bandwidth-bound is
+	// ~T + 19*Tnext + TLB walks = 100 + 152 + a few walks.
+	if elapsed > cfg.MemLatency+25*cfg.MemNextLatency+5*cfg.TLBMissLatency+40 {
+		t.Fatalf("multi-line read took %d cycles; misses not overlapped", elapsed)
+	}
+	if s.Stats().StreamFetches == 0 {
+		t.Fatalf("StreamFetches = 0, want >0")
+	}
+}
+
+func TestSingleLineReadStillLatencyBound(t *testing.T) {
+	cfg := testConfig()
+	s := NewSim(cfg)
+	s.Read(0x1000, 4)
+	if st := s.Stats(); st.DCacheStall != cfg.MemLatency {
+		t.Fatalf("single-line miss stall = %d, want %d", st.DCacheStall, cfg.MemLatency)
+	}
+}

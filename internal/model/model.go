@@ -1,0 +1,146 @@
+// Package model implements the paper's analytical cost models: the
+// sufficient conditions of Theorem 1 (group prefetching) and Theorem 2
+// (software-pipelined prefetching) for fully hiding cache miss
+// latencies, and the derived optimal parameter choices — the smallest G
+// or D satisfying the conditions, which the paper recommends to minimize
+// concurrent prefetches and conflict misses (sections 4.2, 5.1).
+package model
+
+// Stages describes a prefetched loop: the per-stage compute costs C_0 ..
+// C_k between the k dependent memory references of one element, plus the
+// memory system's T and Tnext (Table 1).
+type Stages struct {
+	C     []uint64 // len k+1: C[0] is code 0, C[k] the final stage
+	T     uint64   // full latency of a cache miss
+	Tnext uint64   // additional latency of a pipelined cache miss
+}
+
+// K returns the number of dependent memory references.
+func (s Stages) K() int { return len(s.C) - 1 }
+
+// maxU returns the larger of a and b.
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GroupHidesAll reports whether group size g satisfies Theorem 1:
+//
+//	(G-1) * C_0                    >= T
+//	(G-1) * max{C_l, Tnext}        >= T   for l = 1..k
+func (s Stages) GroupHidesAll(g int) bool {
+	if g < 1 || s.K() < 1 {
+		return false
+	}
+	gm := uint64(g - 1)
+	if gm*s.C[0] < s.T {
+		return false
+	}
+	for l := 1; l <= s.K(); l++ {
+		if gm*maxU(s.C[l], s.Tnext) < s.T {
+			return false
+		}
+	}
+	return true
+}
+
+// OptimalG returns the smallest group size satisfying Theorem 1, or 0
+// when no G can hide everything (C_0 == 0: the first reference of each
+// group stays exposed — section 5.4).
+func (s Stages) OptimalG() int {
+	if s.K() < 1 || s.C[0] == 0 {
+		return 0
+	}
+	// The binding constraint is the smallest of C_0 and max{C_l, Tnext}.
+	bind := s.C[0]
+	for l := 1; l <= s.K(); l++ {
+		if m := maxU(s.C[l], s.Tnext); m < bind {
+			bind = m
+		}
+	}
+	g := 1 + int((s.T+bind-1)/bind)
+	return g
+}
+
+// PipelineHidesAll reports whether prefetch distance d satisfies
+// Theorem 2:
+//
+//	D * (max{C_0+C_k, Tnext} + sum_{l=1..k-1} max{C_l, Tnext}) >= T
+func (s Stages) PipelineHidesAll(d int) bool {
+	if d < 1 || s.K() < 1 {
+		return false
+	}
+	return uint64(d)*s.pipelineRowLength() >= s.T
+}
+
+// pipelineRowLength is the length of one steady-state iteration's path.
+func (s Stages) pipelineRowLength() uint64 {
+	k := s.K()
+	sum := maxU(s.C[0]+s.C[k], s.Tnext)
+	for l := 1; l <= k-1; l++ {
+		sum += maxU(s.C[l], s.Tnext)
+	}
+	return sum
+}
+
+// OptimalD returns the smallest prefetch distance satisfying Theorem 2.
+// A D always exists since Tnext > 0 (section 5.1).
+func (s Stages) OptimalD() int {
+	row := s.pipelineRowLength()
+	if row == 0 {
+		return 0
+	}
+	return int((s.T + row - 1) / row)
+}
+
+// GroupTimePerElement estimates the steady-state cycles per element
+// under group prefetching with all latencies hidden: the code itself
+// plus per-stage bandwidth floors.
+func (s Stages) GroupTimePerElement() uint64 {
+	total := s.C[0]
+	for l := 1; l <= s.K(); l++ {
+		total += maxU(s.C[l], s.Tnext)
+	}
+	return total
+}
+
+// BaselineTimePerElement estimates cycles per element without
+// prefetching, with every reference a fully exposed miss.
+func (s Stages) BaselineTimePerElement() uint64 {
+	total := uint64(0)
+	for _, c := range s.C {
+		total += c
+	}
+	return total + uint64(s.K())*s.T
+}
+
+// PredictedSpeedup is the model's upper-bound speedup of group
+// prefetching over the baseline.
+func (s Stages) PredictedSpeedup() float64 {
+	return float64(s.BaselineTimePerElement()) / float64(s.GroupTimePerElement())
+}
+
+// ProbeStages returns the paper's join-phase probe loop (k = 3) with the
+// reproduction's cost constants: code 0 is the bucket-number computation
+// (integer division), then header visit, cell visit, and key
+// compare/output.
+func ProbeStages(t, tnext uint64) Stages {
+	return Stages{
+		C:     []uint64{3 + 25, 3, 2, 4 + 15}, // loop+mod, header, cell, compare+emit
+		T:     t,
+		Tnext: tnext,
+	}
+}
+
+// PartitionStages returns the partition-phase loop (k = 1): code 0 is
+// hash plus partition-number computation, code 1 the buffer visit and
+// tuple copy.
+func PartitionStages(t, tnext uint64) Stages {
+	return Stages{
+		C:     []uint64{3 + 12 + 25, 3 + 15},
+		T:     t,
+		Tnext: tnext,
+	}
+}

@@ -1,0 +1,192 @@
+package ops
+
+import (
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/vmem"
+)
+
+// HashJoin is the pipelined, group-prefetched hash join operator. Open
+// materializes the build child and constructs the hash table (the
+// pipeline-breaking half); Next then pulls probe tuples in batches of G,
+// runs one group-prefetched probe pass per batch, and yields the
+// concatenated output tuples — pausing at group boundaries exactly as
+// section 5.4 describes.
+type HashJoin struct {
+	m          *vmem.Mem
+	buildChild Operator
+	probeChild Operator
+	buildWidth int
+	probeWidth int
+	params     core.Params
+
+	prober *core.Prober
+
+	// output ring: concatenated build||probe tuples handed to the parent
+	out     []arena.Addr
+	pending []Tuple
+	next    int
+	done    bool
+
+	batch []core.ProbeTuple
+}
+
+// NewHashJoin builds a join operator over fixed-width children.
+func NewHashJoin(m *vmem.Mem, build, probe Operator, buildWidth, probeWidth int, params core.Params) *HashJoin {
+	return &HashJoin{
+		m:          m,
+		buildChild: build,
+		probeChild: probe,
+		buildWidth: buildWidth,
+		probeWidth: probeWidth,
+		params:     params,
+	}
+}
+
+// Open materializes the build side and builds the table.
+func (h *HashJoin) Open() {
+	buildRel := Materialize(h.m, h.buildChild, h.buildWidth, 8<<10)
+	h.prober = core.NewProber(h.m, buildRel, h.params)
+	h.probeChild.Open()
+	h.batch = make([]core.ProbeTuple, 0, h.prober.BatchSize())
+
+	// Output slots: one batch can yield several matches per probe; the
+	// ring grows on demand in fillBatch.
+	h.out = make([]arena.Addr, 0, h.prober.BatchSize()*2)
+	h.pending = h.pending[:0]
+	h.next = 0
+	h.done = false
+}
+
+// Next yields the next output tuple, refilling by probing one batch at
+// a time.
+func (h *HashJoin) Next() (Tuple, bool) {
+	for h.next >= len(h.pending) {
+		if h.done {
+			return Tuple{}, false
+		}
+		h.fillBatch()
+	}
+	t := h.pending[h.next]
+	h.next++
+	return t, true
+}
+
+// fillBatch pulls up to G probe tuples and runs one staged probe pass.
+func (h *HashJoin) fillBatch() {
+	h.pending = h.pending[:0]
+	h.next = 0
+	h.batch = h.batch[:0]
+	for len(h.batch) < h.prober.BatchSize() {
+		t, ok := h.probeChild.Next()
+		if !ok {
+			h.done = true
+			break
+		}
+		h.batch = append(h.batch, core.ProbeTuple{Addr: t.Addr, Len: t.Len, Code: t.Code})
+	}
+	if len(h.batch) == 0 {
+		return
+	}
+	outWidth := h.buildWidth + h.probeWidth
+	slot := 0
+	h.prober.ProbeBatch(h.batch, func(build arena.Addr, buildLen int, probe core.ProbeTuple) {
+		if slot >= len(h.out) {
+			h.out = append(h.out, h.m.Alloc(uint64(outWidth), 8))
+		}
+		dst := h.out[slot]
+		slot++
+		h.m.Copy(dst, build, buildLen)
+		h.m.Copy(dst+arena.Addr(buildLen), probe.Addr, probe.Len)
+		h.pending = append(h.pending, Tuple{Addr: dst, Len: outWidth, Code: probe.Code})
+	})
+}
+
+// Close implements Operator.
+func (h *HashJoin) Close() { h.probeChild.Close() }
+
+// HashAggregate is the group-by operator: a pipeline breaker that drains
+// its child, aggregates with the requested scheme, and yields one
+// 24-byte tuple per group (u32 key, u64 count, u64 sum at offsets 0, 8,
+// 16).
+type HashAggregate struct {
+	m              *vmem.Mem
+	child          Operator
+	childWidth     int
+	valueOff       int
+	expectedGroups int
+	scheme         core.Scheme
+	params         core.Params
+
+	groups []Tuple
+	next   int
+}
+
+// AggTupleWidth is the width of HashAggregate's output tuples.
+const AggTupleWidth = 24
+
+// NewHashAggregate constructs the operator; valueOff is the byte offset
+// of the summed 4-byte value within the child's tuples.
+func NewHashAggregate(m *vmem.Mem, child Operator, childWidth, valueOff, expectedGroups int, scheme core.Scheme, params core.Params) *HashAggregate {
+	return &HashAggregate{
+		m: m, child: child, childWidth: childWidth, valueOff: valueOff,
+		expectedGroups: expectedGroups, scheme: scheme, params: params,
+	}
+}
+
+// Open drains and aggregates.
+func (ha *HashAggregate) Open() {
+	rel := Materialize(ha.m, ha.child, ha.childWidth, 8<<10)
+	res := core.AggregateAt(ha.m, rel, ha.expectedGroups, ha.valueOff, ha.scheme, ha.params)
+	ha.groups = ha.groups[:0]
+	res.Each(func(key uint32, count, sum uint64) {
+		addr := ha.m.Alloc(AggTupleWidth, 8)
+		ha.m.S.Write(addr, AggTupleWidth)
+		ha.m.A.PutU32(addr, key)
+		ha.m.A.PutU64(addr+8, count)
+		ha.m.A.PutU64(addr+16, sum)
+		ha.groups = append(ha.groups, Tuple{Addr: addr, Len: AggTupleWidth})
+	})
+	ha.next = 0
+}
+
+// Next implements Operator.
+func (ha *HashAggregate) Next() (Tuple, bool) {
+	if ha.next >= len(ha.groups) {
+		return Tuple{}, false
+	}
+	t := ha.groups[ha.next]
+	ha.next++
+	return t, true
+}
+
+// Close implements Operator.
+func (ha *HashAggregate) Close() {}
+
+// Collect drains op, returning all tuples (addresses remain valid only
+// for materialized operators; use for sinks and tests).
+func Collect(op Operator) []Tuple {
+	op.Open()
+	defer op.Close()
+	var out []Tuple
+	for {
+		t, ok := op.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Count drains op and returns the tuple count.
+func Count(op Operator) int {
+	op.Open()
+	defer op.Close()
+	n := 0
+	for {
+		if _, ok := op.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,218 @@
+// Package ops is a small pull-based query-operator layer over the
+// simulated memory, demonstrating the paper's section 5.4 point that
+// group prefetching's natural group boundaries make the prefetched join
+// pipeline-friendly: the HashJoin operator probes in batches of G and
+// hands matches to its parent at each boundary, instead of draining the
+// whole probe relation.
+//
+// Operators pull fixed-width tuples (4-byte key first) from their
+// children; every data access is timed against the shared vmem.Mem.
+package ops
+
+import (
+	"fmt"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// Tuple is one row flowing through a pipeline: its simulated address,
+// width, and the memoized hash code of its join key.
+type Tuple struct {
+	Addr arena.Addr
+	Len  int
+	Code uint32
+}
+
+// Operator is a pull-based tuple iterator. Open prepares state (and may
+// do pipeline-breaking work, like building a hash table); Next returns
+// the next tuple until ok is false.
+type Operator interface {
+	Open()
+	Next() (Tuple, bool)
+	Close()
+}
+
+// Scan reads a relation in storage order.
+type Scan struct {
+	m   *vmem.Mem
+	rel *storage.Relation
+
+	pageIdx int
+	slotIdx int
+	nslots  int
+	page    arena.Addr
+}
+
+// NewScan creates a relation scan; all page and slot reads are timed.
+func NewScan(m *vmem.Mem, rel *storage.Relation) *Scan {
+	return &Scan{m: m, rel: rel, pageIdx: -1}
+}
+
+// Open implements Operator.
+func (s *Scan) Open() { s.pageIdx = -1; s.slotIdx = 0; s.nslots = 0 }
+
+// Next implements Operator.
+func (s *Scan) Next() (Tuple, bool) {
+	for s.pageIdx < 0 || s.slotIdx >= s.nslots {
+		s.pageIdx++
+		if s.pageIdx >= s.rel.NPages() {
+			return Tuple{}, false
+		}
+		s.page = s.rel.Pages[s.pageIdx]
+		s.m.PrefetchRange(s.page, s.rel.PageSize)
+		s.nslots = int(s.m.ReadU16(storage.NSlotsAddr(s.page)))
+		s.slotIdx = 0
+	}
+	slot := storage.SlotAddr(s.page, s.rel.PageSize, s.slotIdx)
+	s.slotIdx++
+	s.m.S.Read(slot, storage.SlotSize)
+	off := s.m.A.U16(slot + storage.SlotOffOffset)
+	length := s.m.A.U16(slot + storage.SlotOffLength)
+	code := s.m.A.U32(slot + storage.SlotOffHash)
+	return Tuple{Addr: s.page + arena.Addr(off), Len: int(length), Code: code}, true
+}
+
+// Close implements Operator.
+func (s *Scan) Close() {}
+
+// Filter passes through tuples satisfying a predicate.
+type Filter struct {
+	m     *vmem.Mem
+	child Operator
+	pred  Predicate
+}
+
+// Predicate tests a tuple; implementations must perform their own timed
+// reads of whatever bytes they inspect.
+type Predicate func(m *vmem.Mem, t Tuple) bool
+
+// KeyBetween returns a predicate selecting lo <= key <= hi.
+func KeyBetween(lo, hi uint32) Predicate {
+	return func(m *vmem.Mem, t Tuple) bool {
+		k := m.ReadU32(t.Addr)
+		m.Compute(core.CostCompare)
+		return k >= lo && k <= hi
+	}
+}
+
+// PayloadByteEquals returns a predicate testing one payload byte.
+func PayloadByteEquals(offset int, want byte) Predicate {
+	return func(m *vmem.Mem, t Tuple) bool {
+		if offset >= t.Len {
+			return false
+		}
+		b := m.ReadBytes(t.Addr+arena.Addr(offset), 1)
+		m.Compute(core.CostCompare)
+		return b[0] == want
+	}
+}
+
+// NewFilter wraps child with a predicate.
+func NewFilter(m *vmem.Mem, child Operator, pred Predicate) *Filter {
+	return &Filter{m: m, child: child, pred: pred}
+}
+
+// Open implements Operator.
+func (f *Filter) Open() { f.child.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (Tuple, bool) {
+	for {
+		t, ok := f.child.Next()
+		if !ok {
+			return Tuple{}, false
+		}
+		if f.pred(f.m, t) {
+			return t, true
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() { f.child.Close() }
+
+// Project materializes a prefix of each tuple (the projected columns)
+// into a ring of scratch slots. Slots recycle after ring-size calls, so
+// parents must consume a tuple within that window; when a Project feeds
+// a HashJoin's probe side, size the ring above the join's group size G
+// (the join holds a batch of child tuples across one probe pass).
+type Project struct {
+	m     *vmem.Mem
+	child Operator
+	width int
+
+	ring []arena.Addr
+	next int
+}
+
+// NewProject projects tuples down to width bytes using a ring of slots.
+func NewProject(m *vmem.Mem, child Operator, width, ring int) *Project {
+	if width < 4 {
+		panic("ops: projection must keep at least the 4-byte key")
+	}
+	if ring < 2 {
+		ring = 2
+	}
+	p := &Project{m: m, child: child, width: width, ring: make([]arena.Addr, ring)}
+	for i := range p.ring {
+		p.ring[i] = m.Alloc(uint64(width), 8)
+	}
+	return p
+}
+
+// Open implements Operator.
+func (p *Project) Open() { p.child.Open(); p.next = 0 }
+
+// Next implements Operator.
+func (p *Project) Next() (Tuple, bool) {
+	t, ok := p.child.Next()
+	if !ok {
+		return Tuple{}, false
+	}
+	dst := p.ring[p.next]
+	p.next = (p.next + 1) % len(p.ring)
+	n := p.width
+	if t.Len < n {
+		n = t.Len
+	}
+	p.m.Copy(dst, t.Addr, n)
+	return Tuple{Addr: dst, Len: p.width, Code: t.Code}, true
+}
+
+// Close implements Operator.
+func (p *Project) Close() { p.child.Close() }
+
+// Materialize drains an operator into a fresh relation of fixed width
+// (timed copies), the pipeline-breaking step used by build sides and
+// aggregations.
+func Materialize(m *vmem.Mem, op Operator, width, pageSize int) *storage.Relation {
+	rel := storage.NewRelation(m.A, storage.KeyPayloadSchema(width), pageSize)
+	op.Open()
+	defer op.Close()
+	buf := make([]byte, width)
+	for {
+		t, ok := op.Next()
+		if !ok {
+			return rel
+		}
+		if t.Len != width {
+			panic(fmt.Sprintf("ops: materializing %d-byte tuple into %d-byte relation", t.Len, width))
+		}
+		src := m.ReadBytes(t.Addr, width)
+		copy(buf, src)
+		code := t.Code
+		if code == 0 {
+			code = hash.Code(buf[:4])
+		}
+		rel.Append(buf, code)
+		// Charge the store at the tuple's landing spot (plus its slot).
+		last := rel.Page(rel.NPages() - 1)
+		addr, n := last.TupleAddr(last.NSlots() - 1)
+		m.S.Write(addr, n)
+		m.S.Write(storage.SlotAddr(last.Addr, last.Size, last.NSlots()-1), storage.SlotSize)
+	}
+}

@@ -1,0 +1,220 @@
+package ops
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// env builds a fresh simulated memory for operator tests.
+func env() *vmem.Mem {
+	return vmem.New(arena.New(64<<20), memsim.NewSim(memsim.SmallConfig()))
+}
+
+// makeRel fills a relation with sequential keys 1..n and a payload byte
+// pattern.
+func makeRel(m *vmem.Mem, n, width int) *storage.Relation {
+	rel := storage.NewRelation(m.A, storage.KeyPayloadSchema(width), 2048)
+	tup := make([]byte, width)
+	for i := 1; i <= n; i++ {
+		binary.LittleEndian.PutUint32(tup, uint32(i))
+		if width > 4 {
+			tup[4] = byte(i % 7)
+		}
+		rel.Append(tup, hash.CodeU32(uint32(i)))
+	}
+	return rel
+}
+
+func TestScanYieldsAllTuples(t *testing.T) {
+	m := env()
+	rel := makeRel(m, 100, 24)
+	got := Collect(NewScan(m, rel))
+	if len(got) != 100 {
+		t.Fatalf("scan yielded %d tuples, want 100", len(got))
+	}
+	for i, tp := range got {
+		if k := m.A.U32(tp.Addr); k != uint32(i+1) {
+			t.Fatalf("tuple %d key %d", i, k)
+		}
+		if tp.Code != hash.CodeU32(uint32(i+1)) {
+			t.Fatalf("tuple %d carries wrong memoized code", i)
+		}
+	}
+}
+
+func TestScanChargesTime(t *testing.T) {
+	m := env()
+	rel := makeRel(m, 200, 24)
+	before := m.S.Now()
+	Count(NewScan(m, rel))
+	if m.S.Now() == before {
+		t.Fatal("scan charged no simulated time")
+	}
+}
+
+func TestFilterKeyBetween(t *testing.T) {
+	m := env()
+	rel := makeRel(m, 100, 24)
+	n := Count(NewFilter(m, NewScan(m, rel), KeyBetween(10, 29)))
+	if n != 20 {
+		t.Fatalf("filter passed %d tuples, want 20", n)
+	}
+}
+
+func TestFilterPayloadByte(t *testing.T) {
+	m := env()
+	rel := makeRel(m, 70, 24)
+	n := Count(NewFilter(m, NewScan(m, rel), PayloadByteEquals(4, 3)))
+	if n != 10 { // i%7==3 for 10 of 1..70
+		t.Fatalf("filter passed %d tuples, want 10", n)
+	}
+}
+
+func TestProjectNarrowsTuples(t *testing.T) {
+	m := env()
+	rel := makeRel(m, 50, 32)
+	p := NewProject(m, NewScan(m, rel), 8, 4)
+	p.Open()
+	for i := 1; ; i++ {
+		tp, ok := p.Next()
+		if !ok {
+			break
+		}
+		if tp.Len != 8 {
+			t.Fatalf("projected tuple %d bytes", tp.Len)
+		}
+		if m.A.U32(tp.Addr) != uint32(i) {
+			t.Fatalf("projection corrupted key at %d", i)
+		}
+	}
+	p.Close()
+}
+
+func TestMaterializeRoundTrip(t *testing.T) {
+	m := env()
+	rel := makeRel(m, 120, 24)
+	copyRel := Materialize(m, NewScan(m, rel), 24, 1024)
+	if copyRel.NTuples != 120 {
+		t.Fatalf("materialized %d tuples", copyRel.NTuples)
+	}
+	keys := copyRel.Keys()
+	for i, k := range keys {
+		if k != uint32(i+1) {
+			t.Fatalf("materialized key %d = %d", i, k)
+		}
+	}
+}
+
+func TestHashJoinOperator(t *testing.T) {
+	m := env()
+	build := makeRel(m, 300, 24)
+	probe := makeRel(m, 600, 16) // keys 1..600; 1..300 match
+	j := NewHashJoin(m, NewScan(m, build), NewScan(m, probe), 24, 16, core.DefaultParams())
+	out := Collect(j)
+	if len(out) != 300 {
+		t.Fatalf("join yielded %d tuples, want 300", len(out))
+	}
+}
+
+func TestHashJoinOutputContents(t *testing.T) {
+	m := env()
+	build := makeRel(m, 40, 24)
+	probe := makeRel(m, 40, 16)
+	j := NewHashJoin(m, NewScan(m, build), NewScan(m, probe), 24, 16, core.Params{G: 8})
+	j.Open()
+	seen := map[uint32]bool{}
+	for {
+		tp, ok := j.Next()
+		if !ok {
+			break
+		}
+		if tp.Len != 40 {
+			t.Fatalf("output width %d, want 40", tp.Len)
+		}
+		bk := m.A.U32(tp.Addr)
+		pk := m.A.U32(tp.Addr + 24)
+		if bk != pk {
+			t.Fatalf("output joins keys %d and %d", bk, pk)
+		}
+		seen[bk] = true
+	}
+	j.Close()
+	if len(seen) != 40 {
+		t.Fatalf("join produced %d distinct keys, want 40", len(seen))
+	}
+}
+
+func TestHashJoinBatchesRespectGroupSize(t *testing.T) {
+	m := env()
+	build := makeRel(m, 10, 16)
+	probe := makeRel(m, 100, 16)
+	j := NewHashJoin(m, NewScan(m, build), NewScan(m, probe), 16, 16, core.Params{G: 3})
+	if got := Count(j); got != 10 {
+		t.Fatalf("join with tiny G yielded %d, want 10", got)
+	}
+}
+
+func TestHashAggregateOperator(t *testing.T) {
+	m := env()
+	rel := storage.NewRelation(m.A, storage.KeyPayloadSchema(16), 2048)
+	tup := make([]byte, 16)
+	for i := 0; i < 500; i++ {
+		key := uint32(i%50 + 1)
+		binary.LittleEndian.PutUint32(tup, key)
+		binary.LittleEndian.PutUint32(tup[4:], 2) // value
+		rel.Append(tup, hash.CodeU32(key))
+	}
+	agg := NewHashAggregate(m, NewScan(m, rel), 16, 4, 50, core.SchemeGroup, core.DefaultParams())
+	groups := Collect(agg)
+	if len(groups) != 50 {
+		t.Fatalf("aggregate yielded %d groups, want 50", len(groups))
+	}
+	for _, g := range groups {
+		count := m.A.U64(g.Addr + 8)
+		sum := m.A.U64(g.Addr + 16)
+		if count != 10 || sum != 20 {
+			t.Fatalf("group %d: count=%d sum=%d, want 10/20", m.A.U32(g.Addr), count, sum)
+		}
+	}
+}
+
+// TestPipelineQuery wires a full pipeline: scan -> filter -> join ->
+// aggregate, validating the composed result.
+func TestPipelineQuery(t *testing.T) {
+	m := env()
+	build := makeRel(m, 200, 24)
+	probe := makeRel(m, 400, 16)
+	// keys 1..100 from the build side join probe keys 1..100 (among 400).
+	filtered := NewFilter(m, NewScan(m, build), KeyBetween(1, 100))
+	join := NewHashJoin(m, filtered, NewScan(m, probe), 24, 16, core.DefaultParams())
+	agg := NewHashAggregate(m, join, 40, 4, 100, core.SchemeGroup, core.DefaultParams())
+	groups := Collect(agg)
+	if len(groups) != 100 {
+		t.Fatalf("pipeline produced %d groups, want 100", len(groups))
+	}
+}
+
+// TestPipelinedJoinMatchesMonolithic cross-checks the operator join
+// against core.JoinPair on the same data.
+func TestPipelinedJoinMatchesMonolithic(t *testing.T) {
+	m1 := env()
+	b1 := makeRel(m1, 500, 24)
+	p1 := makeRel(m1, 1000, 24)
+	opCount := Count(NewHashJoin(m1, NewScan(m1, b1), NewScan(m1, p1), 24, 24, core.DefaultParams()))
+
+	m2 := env()
+	b2 := makeRel(m2, 500, 24)
+	p2 := makeRel(m2, 1000, 24)
+	mono := core.JoinPair(m2, b2, p2, core.SchemeGroup, core.DefaultParams(), 1, false)
+
+	if opCount != mono.NOutput {
+		t.Fatalf("operator join found %d matches, monolithic %d", opCount, mono.NOutput)
+	}
+}

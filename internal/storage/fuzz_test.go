@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"hashjoin/internal/arena"
+)
+
+// FuzzDecode ensures Decode never panics or over-reads on arbitrary
+// bytes: it must either return an error or values within bounds.
+func FuzzDecode(f *testing.F) {
+	s := MustSchema(
+		Column{Name: "key", Type: TypeUint32},
+		Column{Name: "qty", Type: TypeUint64},
+		Column{Name: "comment", Type: TypeVarBytes},
+	)
+	enc, _ := s.Encode([]Value{{U32: 7}, {U64: 9}, {Bytes: []byte("hello")}})
+	f.Add(enc)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := s.Decode(data)
+		if err != nil {
+			return
+		}
+		if len(vals) != 3 {
+			t.Fatalf("decoded %d values", len(vals))
+		}
+		if len(vals[2].Bytes) > len(data) {
+			t.Fatalf("var column longer than input")
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip checks the codec is lossless for valid
+// inputs of any content.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	s := MustSchema(
+		Column{Name: "key", Type: TypeUint32},
+		Column{Name: "tag", Type: TypeFixedBytes, Size: 6},
+		Column{Name: "note", Type: TypeVarBytes},
+	)
+	f.Add(uint32(1), []byte("tag123"), []byte("note"))
+	f.Add(uint32(0xFFFFFFFF), []byte(""), []byte(""))
+	f.Fuzz(func(t *testing.T, key uint32, tag, note []byte) {
+		if len(tag) > 6 {
+			tag = tag[:6]
+		}
+		if len(note) > 1000 {
+			note = note[:1000]
+		}
+		enc, err := s.Encode([]Value{{U32: key}, {Bytes: tag}, {Bytes: note}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := s.Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec[0].U32 != key || !bytes.Equal(dec[2].Bytes, note) {
+			t.Fatal("round trip lost data")
+		}
+		if !bytes.HasPrefix(dec[1].Bytes, tag) {
+			t.Fatal("fixed column lost prefix")
+		}
+	})
+}
+
+// FuzzPageAppend drives a page with arbitrary tuple sizes: it must
+// never corrupt earlier tuples or let data collide with the slot array.
+func FuzzPageAppend(f *testing.F) {
+	f.Add([]byte{10, 20, 30})
+	f.Add([]byte{0, 255, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, sizes []byte) {
+		a := arena.New(1 << 16)
+		p := AllocPage(a, 1024, 0)
+		var stored [][]byte
+		for i, sz := range sizes {
+			n := int(sz)%120 + 1
+			tup := bytes.Repeat([]byte{byte(i + 1)}, n)
+			if !p.Append(tup, uint32(i)) {
+				break
+			}
+			stored = append(stored, tup)
+		}
+		if p.NSlots() != len(stored) {
+			t.Fatalf("NSlots = %d, stored %d", p.NSlots(), len(stored))
+		}
+		for i, want := range stored {
+			if !bytes.Equal(p.Tuple(i), want) {
+				t.Fatalf("tuple %d corrupted", i)
+			}
+			if p.HashCode(i) != uint32(i) {
+				t.Fatalf("hash code %d corrupted", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"fmt"
+
+	"hashjoin/internal/arena"
+)
+
+// Slotted page layout. Tuple data grows upward from the header; the slot
+// array grows downward from the page end. Each slot records the tuple's
+// offset and length and memoizes the 4-byte hash code of its join key —
+// the paper's section 7.1 optimization: hash codes are computed once in
+// the partition phase, stored in the slot area of intermediate
+// partitions, and reused by the join phase.
+//
+//	offset 0: u16 slot count
+//	offset 2: u16 free pointer (offset of next free data byte)
+//	offset 4: u32 page id
+//	offset 8: tuple data ...
+//	... slot[n-1], slot[1], slot[0] (8 bytes each, from the end down)
+//
+// Slot layout: u16 tuple offset, u16 tuple length, u32 hash code.
+const (
+	PageHeaderSize = 8
+	SlotSize       = 8
+
+	offNSlots = 0
+	offFree   = 2
+	offPageID = 4
+)
+
+// Slot field offsets within a slot entry.
+const (
+	SlotOffOffset = 0
+	SlotOffLength = 2
+	SlotOffHash   = 4
+)
+
+// NSlotsAddr returns the address of the page's slot-count field.
+func NSlotsAddr(page arena.Addr) arena.Addr { return page + offNSlots }
+
+// FreeAddr returns the address of the page's free-pointer field.
+func FreeAddr(page arena.Addr) arena.Addr { return page + offFree }
+
+// PageIDAddr returns the address of the page's id field.
+func PageIDAddr(page arena.Addr) arena.Addr { return page + offPageID }
+
+// SlotAddr returns the address of slot i in a page of pageSize bytes.
+func SlotAddr(page arena.Addr, pageSize, i int) arena.Addr {
+	return page + arena.Addr(pageSize) - arena.Addr(SlotSize*(i+1))
+}
+
+// Page is an untimed view of a slotted page, used for workload
+// generation and validation. Measured code paths must instead perform
+// timed accesses with the layout helpers above.
+type Page struct {
+	A    *arena.Arena
+	Addr arena.Addr
+	Size int
+}
+
+// InitPage formats the region [addr, addr+size) as an empty page.
+func InitPage(a *arena.Arena, addr arena.Addr, size int, pageID uint32) Page {
+	if size < PageHeaderSize+SlotSize {
+		panic(fmt.Sprintf("storage: page size %d too small", size))
+	}
+	p := Page{A: a, Addr: addr, Size: size}
+	a.PutU16(addr+offNSlots, 0)
+	a.PutU16(addr+offFree, PageHeaderSize)
+	a.PutU32(addr+offPageID, pageID)
+	return p
+}
+
+// AllocPage allocates and formats a fresh page.
+func AllocPage(a *arena.Arena, size int, pageID uint32) Page {
+	addr := a.Alloc(uint64(size), 64)
+	return InitPage(a, addr, size, pageID)
+}
+
+// NSlots returns the number of tuples on the page.
+func (p Page) NSlots() int { return int(p.A.U16(p.Addr + offNSlots)) }
+
+// Free returns the free-pointer offset.
+func (p Page) Free() int { return int(p.A.U16(p.Addr + offFree)) }
+
+// PageID returns the page id.
+func (p Page) PageID() uint32 { return p.A.U32(p.Addr + offPageID) }
+
+// FreeSpace returns the bytes available for one more tuple (accounting
+// for its slot entry).
+func (p Page) FreeSpace() int {
+	used := p.Free() + SlotSize*p.NSlots()
+	avail := p.Size - used - SlotSize
+	if avail < 0 {
+		return 0
+	}
+	return avail
+}
+
+// Append adds a tuple with its memoized hash code. It reports false when
+// the page lacks space.
+func (p Page) Append(tuple []byte, hashCode uint32) bool {
+	if len(tuple) > p.FreeSpace() {
+		return false
+	}
+	n := p.NSlots()
+	free := p.Free()
+	copy(p.A.Bytes(p.Addr+arena.Addr(free), uint64(len(tuple))), tuple)
+	slot := SlotAddr(p.Addr, p.Size, n)
+	p.A.PutU16(slot+SlotOffOffset, uint16(free))
+	p.A.PutU16(slot+SlotOffLength, uint16(len(tuple)))
+	p.A.PutU32(slot+SlotOffHash, hashCode)
+	p.A.PutU16(p.Addr+offFree, uint16(free+len(tuple)))
+	p.A.PutU16(p.Addr+offNSlots, uint16(n+1))
+	return true
+}
+
+// Tuple returns the bytes of tuple i (aliasing arena storage).
+func (p Page) Tuple(i int) []byte {
+	addr, length := p.TupleAddr(i)
+	return p.A.Bytes(addr, uint64(length))
+}
+
+// TupleAddr returns the address and length of tuple i.
+func (p Page) TupleAddr(i int) (arena.Addr, int) {
+	slot := SlotAddr(p.Addr, p.Size, i)
+	off := p.A.U16(slot + SlotOffOffset)
+	length := p.A.U16(slot + SlotOffLength)
+	return p.Addr + arena.Addr(off), int(length)
+}
+
+// HashCode returns the memoized hash code of tuple i.
+func (p Page) HashCode(i int) uint32 {
+	return p.A.U32(SlotAddr(p.Addr, p.Size, i) + SlotOffHash)
+}
+
+// Reset empties the page for reuse (output buffers in the partition
+// phase are reset after each simulated write-out).
+func (p Page) Reset() {
+	p.A.PutU16(p.Addr+offNSlots, 0)
+	p.A.PutU16(p.Addr+offFree, PageHeaderSize)
+}
+
+// CapacityFor returns how many tuples of the given size fit on an empty
+// page of pageSize bytes.
+func CapacityFor(pageSize, tupleSize int) int {
+	return (pageSize - PageHeaderSize) / (tupleSize + SlotSize)
+}

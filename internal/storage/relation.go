@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"fmt"
+
+	"hashjoin/internal/arena"
+)
+
+// Relation is a sequence of slotted pages sharing a schema. Relations
+// model both source tables (streamed from simulated disk) and
+// intermediate partitions.
+type Relation struct {
+	Schema   *Schema
+	PageSize int
+	Pages    []arena.Addr
+	NTuples  int
+
+	a *arena.Arena
+}
+
+// NewRelation creates an empty relation whose pages will be allocated
+// from a.
+func NewRelation(a *arena.Arena, schema *Schema, pageSize int) *Relation {
+	if pageSize < PageHeaderSize+SlotSize+schema.FixedWidth() {
+		panic(fmt.Sprintf("storage: page size %d cannot hold a %d-byte tuple", pageSize, schema.FixedWidth()))
+	}
+	return &Relation{Schema: schema, PageSize: pageSize, a: a}
+}
+
+// Arena returns the arena backing the relation's pages.
+func (r *Relation) Arena() *arena.Arena { return r.a }
+
+// Append adds an encoded tuple (with its memoized hash code), growing the
+// relation by a page when needed.
+func (r *Relation) Append(tuple []byte, hashCode uint32) {
+	if n := len(r.Pages); n > 0 {
+		p := Page{A: r.a, Addr: r.Pages[n-1], Size: r.PageSize}
+		if p.Append(tuple, hashCode) {
+			r.NTuples++
+			return
+		}
+	}
+	p := AllocPage(r.a, r.PageSize, uint32(len(r.Pages)))
+	if !p.Append(tuple, hashCode) {
+		panic(fmt.Sprintf("storage: tuple of %d bytes does not fit an empty %d-byte page", len(tuple), r.PageSize))
+	}
+	r.Pages = append(r.Pages, p.Addr)
+	r.NTuples++
+}
+
+// Page returns the untimed view of page i.
+func (r *Relation) Page(i int) Page {
+	return Page{A: r.a, Addr: r.Pages[i], Size: r.PageSize}
+}
+
+// NPages returns the page count.
+func (r *Relation) NPages() int { return len(r.Pages) }
+
+// ByteSize returns the total size of the relation's pages.
+func (r *Relation) ByteSize() int { return len(r.Pages) * r.PageSize }
+
+// Each iterates over every tuple, passing its page-local view. Untimed;
+// for validation and setup only.
+func (r *Relation) Each(fn func(tuple []byte, hashCode uint32)) {
+	for i := range r.Pages {
+		p := r.Page(i)
+		n := p.NSlots()
+		for j := 0; j < n; j++ {
+			fn(p.Tuple(j), p.HashCode(j))
+		}
+	}
+}
+
+// Keys collects all join keys. Untimed; for validation only.
+func (r *Relation) Keys() []uint32 {
+	keys := make([]uint32, 0, r.NTuples)
+	r.Each(func(t []byte, _ uint32) { keys = append(keys, r.Schema.Key(t)) })
+	return keys
+}

@@ -1,0 +1,161 @@
+// Package storage implements the disk-page substrate of the hash join
+// engine: schemas with fixed- and variable-length attributes, slotted
+// pages, relations as page sequences, and the intermediate-partition page
+// format that memoizes hash codes in the slot area (paper section 7.1).
+//
+// Layout knowledge lives here; timing lives in package vmem. Untimed
+// accessors (backed directly by the arena) serve workload generation and
+// result validation; the measured algorithms in package core perform
+// timed accesses against the same layouts via exported offset helpers.
+package storage
+
+import (
+	"fmt"
+
+	"hashjoin/internal/arena"
+)
+
+// ColType enumerates supported attribute types.
+type ColType int
+
+const (
+	// TypeUint32 is a 4-byte unsigned integer (the join key type used
+	// throughout the paper's evaluation).
+	TypeUint32 ColType = iota
+	// TypeUint64 is an 8-byte unsigned integer.
+	TypeUint64
+	// TypeFixedBytes is a fixed-length byte string; Column.Size gives the
+	// length.
+	TypeFixedBytes
+	// TypeVarBytes is a variable-length byte string stored after the
+	// fixed-length section, prefixed with a 2-byte length.
+	TypeVarBytes
+)
+
+// Column describes one attribute.
+type Column struct {
+	Name string
+	Type ColType
+	Size int // bytes; used by TypeFixedBytes, ignored otherwise
+}
+
+// width returns the fixed width of the column, or -1 for var-length.
+func (c Column) width() int {
+	switch c.Type {
+	case TypeUint32:
+		return 4
+	case TypeUint64:
+		return 8
+	case TypeFixedBytes:
+		return c.Size
+	case TypeVarBytes:
+		return -1
+	default:
+		panic(fmt.Sprintf("storage: unknown column type %d", c.Type))
+	}
+}
+
+// Schema is an ordered set of columns. The join key must be the first
+// column and must be TypeUint32, matching the paper's workloads (4-byte
+// join keys); payload columns follow.
+type Schema struct {
+	Cols []Column
+
+	fixedWidth int  // total width of the fixed-length section
+	hasVar     bool // any var-length columns
+	offsets    []int
+}
+
+// NewSchema validates the column list and computes offsets.
+func NewSchema(cols ...Column) (*Schema, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("storage: schema needs at least one column")
+	}
+	if cols[0].Type != TypeUint32 {
+		return nil, fmt.Errorf("storage: first column (join key) must be uint32")
+	}
+	s := &Schema{Cols: cols, offsets: make([]int, len(cols))}
+	seenVar := false
+	for i, c := range cols {
+		w := c.width()
+		if w < 0 {
+			seenVar = true
+			s.offsets[i] = -1
+			continue
+		}
+		if seenVar {
+			return nil, fmt.Errorf("storage: fixed column %q after var-length column", c.Name)
+		}
+		if c.Type == TypeFixedBytes && c.Size <= 0 {
+			return nil, fmt.Errorf("storage: fixed column %q needs positive size", c.Name)
+		}
+		s.offsets[i] = s.fixedWidth
+		s.fixedWidth += w
+	}
+	s.hasVar = seenVar
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically correct schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// KeyPayloadSchema returns the paper's workload schema: a 4-byte join key
+// followed by a fixed-length payload sized so that the whole tuple is
+// tupleSize bytes.
+func KeyPayloadSchema(tupleSize int) *Schema {
+	if tupleSize < 8 {
+		panic("storage: tuple size must be at least 8 bytes")
+	}
+	return MustSchema(
+		Column{Name: "key", Type: TypeUint32},
+		Column{Name: "payload", Type: TypeFixedBytes, Size: tupleSize - 4},
+	)
+}
+
+// FixedWidth reports the width of the fixed-length section; for schemas
+// with no var-length columns this is the exact tuple size.
+func (s *Schema) FixedWidth() int { return s.fixedWidth }
+
+// HasVar reports whether the schema has variable-length columns.
+func (s *Schema) HasVar() bool { return s.hasVar }
+
+// Offset returns the byte offset of fixed-length column i within a tuple.
+func (s *Schema) Offset(i int) int {
+	if s.offsets[i] < 0 {
+		panic(fmt.Sprintf("storage: column %d is variable-length", i))
+	}
+	return s.offsets[i]
+}
+
+// Key extracts the uint32 join key from an encoded tuple.
+func (s *Schema) Key(tuple []byte) uint32 {
+	return uint32(tuple[0]) | uint32(tuple[1])<<8 | uint32(tuple[2])<<16 | uint32(tuple[3])<<24
+}
+
+// JoinedSchema builds the output schema of a join: all columns of the
+// build schema followed by all columns of the probe schema (the paper's
+// output tuples contain all fields of both matching tuples).
+func JoinedSchema(build, probe *Schema) *Schema {
+	cols := make([]Column, 0, len(build.Cols)+len(probe.Cols))
+	cols = append(cols, build.Cols...)
+	for _, c := range probe.Cols {
+		c.Name = "probe_" + c.Name
+		// The probe key lands mid-tuple; re-type it as fixed bytes so the
+		// "first column is the key" invariant refers to the build key.
+		if c.Type == TypeUint32 {
+			c = Column{Name: c.Name, Type: TypeFixedBytes, Size: 4}
+		}
+		cols = append(cols, c)
+	}
+	return MustSchema(cols...)
+}
+
+// ReadKeyAddr returns the address of the join key within a tuple stored
+// at addr (always offset 0 by construction).
+func ReadKeyAddr(addr arena.Addr) arena.Addr { return addr }

@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"hashjoin/internal/arena"
+)
+
+func testTuple(key uint32, size int) []byte {
+	t := make([]byte, size)
+	binary.LittleEndian.PutUint32(t, key)
+	for i := 4; i < size; i++ {
+		t[i] = byte(key + uint32(i))
+	}
+	return t
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Errorf("empty schema accepted")
+	}
+	if _, err := NewSchema(Column{Name: "k", Type: TypeUint64}); err == nil {
+		t.Errorf("non-uint32 key accepted")
+	}
+	if _, err := NewSchema(
+		Column{Name: "k", Type: TypeUint32},
+		Column{Name: "v", Type: TypeVarBytes},
+		Column{Name: "w", Type: TypeUint64},
+	); err == nil {
+		t.Errorf("fixed column after var-length accepted")
+	}
+	if _, err := NewSchema(
+		Column{Name: "k", Type: TypeUint32},
+		Column{Name: "p", Type: TypeFixedBytes, Size: 0},
+	); err == nil {
+		t.Errorf("zero-size fixed column accepted")
+	}
+}
+
+func TestKeyPayloadSchema(t *testing.T) {
+	s := KeyPayloadSchema(100)
+	if s.FixedWidth() != 100 {
+		t.Fatalf("FixedWidth = %d, want 100", s.FixedWidth())
+	}
+	if s.Offset(1) != 4 {
+		t.Fatalf("payload offset = %d, want 4", s.Offset(1))
+	}
+	tup := testTuple(0xCAFE, 100)
+	if s.Key(tup) != 0xCAFE {
+		t.Fatalf("Key = %#x, want 0xCAFE", s.Key(tup))
+	}
+}
+
+func TestJoinedSchemaWidth(t *testing.T) {
+	b := KeyPayloadSchema(60)
+	p := KeyPayloadSchema(40)
+	j := JoinedSchema(b, p)
+	if j.FixedWidth() != 100 {
+		t.Fatalf("joined width = %d, want 100", j.FixedWidth())
+	}
+}
+
+func TestPageAppendAndReadBack(t *testing.T) {
+	a := arena.New(1 << 16)
+	p := AllocPage(a, 4096, 7)
+	if p.PageID() != 7 {
+		t.Fatalf("PageID = %d, want 7", p.PageID())
+	}
+	n := 0
+	for {
+		tup := testTuple(uint32(n), 100)
+		if !p.Append(tup, uint32(n)*3) {
+			break
+		}
+		n++
+	}
+	want := CapacityFor(4096, 100)
+	if n != want {
+		t.Fatalf("page held %d tuples, CapacityFor says %d", n, want)
+	}
+	if p.NSlots() != n {
+		t.Fatalf("NSlots = %d, want %d", p.NSlots(), n)
+	}
+	for i := 0; i < n; i++ {
+		tup := p.Tuple(i)
+		if len(tup) != 100 {
+			t.Fatalf("tuple %d length %d", i, len(tup))
+		}
+		if binary.LittleEndian.Uint32(tup) != uint32(i) {
+			t.Fatalf("tuple %d key mismatch", i)
+		}
+		if p.HashCode(i) != uint32(i)*3 {
+			t.Fatalf("tuple %d hash code mismatch", i)
+		}
+	}
+}
+
+func TestPageRejectsOversizedTuple(t *testing.T) {
+	a := arena.New(1 << 16)
+	p := AllocPage(a, 256, 0)
+	if p.Append(make([]byte, 300), 0) {
+		t.Fatalf("oversized tuple accepted")
+	}
+}
+
+func TestPageReset(t *testing.T) {
+	a := arena.New(1 << 16)
+	p := AllocPage(a, 1024, 0)
+	p.Append(testTuple(1, 50), 0)
+	p.Reset()
+	if p.NSlots() != 0 || p.Free() != PageHeaderSize {
+		t.Fatalf("Reset left nslots=%d free=%d", p.NSlots(), p.Free())
+	}
+}
+
+func TestSlotAddrDoesNotOverlapData(t *testing.T) {
+	a := arena.New(1 << 16)
+	p := AllocPage(a, 512, 0)
+	for p.Append(testTuple(9, 40), 9) {
+	}
+	// The free pointer must stay below the lowest slot entry.
+	lowestSlot := SlotAddr(p.Addr, p.Size, p.NSlots()-1)
+	if p.Addr+arena.Addr(p.Free()) > lowestSlot {
+		t.Fatalf("data region (free=%d) overlaps slot array", p.Free())
+	}
+}
+
+func TestRelationAppendSpansPages(t *testing.T) {
+	a := arena.New(1 << 20)
+	r := NewRelation(a, KeyPayloadSchema(100), 1024)
+	const n = 50
+	for i := 0; i < n; i++ {
+		r.Append(testTuple(uint32(i), 100), uint32(i))
+	}
+	if r.NTuples != n {
+		t.Fatalf("NTuples = %d, want %d", r.NTuples, n)
+	}
+	if r.NPages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", r.NPages())
+	}
+	seen := 0
+	r.Each(func(tup []byte, hc uint32) {
+		if r.Schema.Key(tup) != hc {
+			t.Fatalf("hash code column mismatch")
+		}
+		seen++
+	})
+	if seen != n {
+		t.Fatalf("Each visited %d tuples, want %d", seen, n)
+	}
+}
+
+func TestRelationKeysOrder(t *testing.T) {
+	a := arena.New(1 << 20)
+	r := NewRelation(a, KeyPayloadSchema(16), 256)
+	for i := 0; i < 30; i++ {
+		r.Append(testTuple(uint32(100-i), 16), 0)
+	}
+	keys := r.Keys()
+	if len(keys) != 30 || keys[0] != 100 || keys[29] != 71 {
+		t.Fatalf("Keys() wrong: len=%d first=%d last=%d", len(keys), keys[0], keys[29])
+	}
+}
+
+func TestQuickPageRoundTrip(t *testing.T) {
+	f := func(keys []uint32, size uint8) bool {
+		tupSize := 8 + int(size%64)
+		a := arena.New(1 << 20)
+		r := NewRelation(a, KeyPayloadSchema(tupSize), 1024)
+		for _, k := range keys {
+			r.Append(testTuple(k, tupSize), k^0x5A5A)
+		}
+		got := r.Keys()
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		ok := true
+		r.Each(func(tup []byte, hc uint32) {
+			if hc != r.Schema.Key(tup)^0x5A5A {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityFor(t *testing.T) {
+	if c := CapacityFor(8192, 100); c != (8192-PageHeaderSize)/(100+SlotSize) {
+		t.Fatalf("CapacityFor mismatch: %d", c)
+	}
+}

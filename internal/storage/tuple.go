@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Tuple encoding. Fixed-width columns are laid out at their schema
+// offsets; variable-length columns follow the fixed section, each
+// prefixed with a 2-byte length. The slotted page stores the encoded
+// bytes opaquely (slots carry the total length), so variable-length
+// tuples need no page-format changes.
+
+// Value is one column value for encoding: exactly one of U32, U64, or
+// Bytes is used, per the column's type.
+type Value struct {
+	U32   uint32
+	U64   uint64
+	Bytes []byte
+}
+
+// Encode serializes one tuple according to the schema. It returns an
+// error when the value count or a fixed width does not match.
+func (s *Schema) Encode(values []Value) ([]byte, error) {
+	if len(values) != len(s.Cols) {
+		return nil, fmt.Errorf("storage: %d values for %d columns", len(values), len(s.Cols))
+	}
+	size := s.fixedWidth
+	for i, c := range s.Cols {
+		if c.Type == TypeVarBytes {
+			size += 2 + len(values[i].Bytes)
+		}
+	}
+	out := make([]byte, size)
+	varOff := s.fixedWidth
+	for i, c := range s.Cols {
+		v := values[i]
+		switch c.Type {
+		case TypeUint32:
+			binary.LittleEndian.PutUint32(out[s.offsets[i]:], v.U32)
+		case TypeUint64:
+			binary.LittleEndian.PutUint64(out[s.offsets[i]:], v.U64)
+		case TypeFixedBytes:
+			if len(v.Bytes) > c.Size {
+				return nil, fmt.Errorf("storage: column %q value %d bytes exceeds fixed size %d", c.Name, len(v.Bytes), c.Size)
+			}
+			copy(out[s.offsets[i]:s.offsets[i]+c.Size], v.Bytes)
+		case TypeVarBytes:
+			if len(v.Bytes) > 0xFFFF {
+				return nil, fmt.Errorf("storage: column %q value too long", c.Name)
+			}
+			binary.LittleEndian.PutUint16(out[varOff:], uint16(len(v.Bytes)))
+			copy(out[varOff+2:], v.Bytes)
+			varOff += 2 + len(v.Bytes)
+		}
+	}
+	return out, nil
+}
+
+// Decode deserializes a tuple into column values. Byte values alias the
+// input.
+func (s *Schema) Decode(tuple []byte) ([]Value, error) {
+	if len(tuple) < s.fixedWidth {
+		return nil, fmt.Errorf("storage: tuple %d bytes shorter than fixed section %d", len(tuple), s.fixedWidth)
+	}
+	out := make([]Value, len(s.Cols))
+	varOff := s.fixedWidth
+	for i, c := range s.Cols {
+		switch c.Type {
+		case TypeUint32:
+			out[i].U32 = binary.LittleEndian.Uint32(tuple[s.offsets[i]:])
+		case TypeUint64:
+			out[i].U64 = binary.LittleEndian.Uint64(tuple[s.offsets[i]:])
+		case TypeFixedBytes:
+			out[i].Bytes = tuple[s.offsets[i] : s.offsets[i]+c.Size]
+		case TypeVarBytes:
+			if varOff+2 > len(tuple) {
+				return nil, fmt.Errorf("storage: truncated var-length header in column %q", c.Name)
+			}
+			n := int(binary.LittleEndian.Uint16(tuple[varOff:]))
+			if varOff+2+n > len(tuple) {
+				return nil, fmt.Errorf("storage: truncated var-length value in column %q", c.Name)
+			}
+			out[i].Bytes = tuple[varOff+2 : varOff+2+n]
+			varOff += 2 + n
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hashjoin/internal/arena"
+)
+
+func varSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "key", Type: TypeUint32},
+		Column{Name: "qty", Type: TypeUint64},
+		Column{Name: "tag", Type: TypeFixedBytes, Size: 8},
+		Column{Name: "comment", Type: TypeVarBytes},
+		Column{Name: "note", Type: TypeVarBytes},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := varSchema(t)
+	vals := []Value{
+		{U32: 0xCAFEBABE},
+		{U64: 1 << 40},
+		{Bytes: []byte("tagtag")},
+		{Bytes: []byte("a variable length comment")},
+		{Bytes: nil},
+	}
+	enc, err := s.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Key(enc) != 0xCAFEBABE {
+		t.Fatalf("key = %#x", s.Key(enc))
+	}
+	dec, err := s.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0].U32 != vals[0].U32 || dec[1].U64 != vals[1].U64 {
+		t.Fatal("scalar columns corrupted")
+	}
+	if !bytes.HasPrefix(dec[2].Bytes, []byte("tagtag")) {
+		t.Fatalf("fixed bytes = %q", dec[2].Bytes)
+	}
+	if string(dec[3].Bytes) != "a variable length comment" || len(dec[4].Bytes) != 0 {
+		t.Fatal("var columns corrupted")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	s := varSchema(t)
+	if _, err := s.Encode([]Value{{U32: 1}}); err == nil {
+		t.Error("wrong value count accepted")
+	}
+	vals := []Value{{U32: 1}, {U64: 2}, {Bytes: bytes.Repeat([]byte("x"), 9)}, {}, {}}
+	if _, err := s.Encode(vals); err == nil {
+		t.Error("oversized fixed value accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := varSchema(t)
+	if _, err := s.Decode(make([]byte, 3)); err == nil {
+		t.Error("short tuple accepted")
+	}
+	vals := []Value{{U32: 1}, {U64: 2}, {Bytes: []byte("t")}, {Bytes: []byte("hello")}, {}}
+	enc, err := s.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decode(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated var section accepted")
+	}
+}
+
+func TestVarTuplesOnPages(t *testing.T) {
+	s := varSchema(t)
+	a := arena.New(1 << 20)
+	rel := NewRelation(a, s, 1024)
+	var encs [][]byte
+	for i := 0; i < 40; i++ {
+		vals := []Value{
+			{U32: uint32(i)},
+			{U64: uint64(i) * 7},
+			{Bytes: []byte("tag")},
+			{Bytes: bytes.Repeat([]byte("c"), i%30)},
+			{Bytes: bytes.Repeat([]byte("n"), (i*3)%20)},
+		}
+		enc, err := s.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs = append(encs, enc)
+		rel.Append(enc, uint32(i))
+	}
+	i := 0
+	rel.Each(func(tup []byte, hc uint32) {
+		if !bytes.Equal(tup, encs[i]) {
+			t.Fatalf("tuple %d corrupted on page", i)
+		}
+		dec, err := s.Decode(tup)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if dec[0].U32 != uint32(i) {
+			t.Fatalf("tuple %d key %d", i, dec[0].U32)
+		}
+		i++
+	})
+	if i != 40 {
+		t.Fatalf("iterated %d tuples", i)
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	s := varSchema(t)
+	f := func(key uint32, qty uint64, tag [8]byte, comment, note []byte) bool {
+		if len(comment) > 200 {
+			comment = comment[:200]
+		}
+		if len(note) > 200 {
+			note = note[:200]
+		}
+		enc, err := s.Encode([]Value{{U32: key}, {U64: qty}, {Bytes: tag[:]}, {Bytes: comment}, {Bytes: note}})
+		if err != nil {
+			return false
+		}
+		dec, err := s.Decode(enc)
+		if err != nil {
+			return false
+		}
+		return dec[0].U32 == key && dec[1].U64 == qty &&
+			bytes.Equal(dec[2].Bytes, tag[:]) &&
+			bytes.Equal(dec[3].Bytes, comment) && bytes.Equal(dec[4].Bytes, note)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

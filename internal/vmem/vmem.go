@@ -1,0 +1,113 @@
+// Package vmem pairs a simulated address space (package arena) with a
+// memory-hierarchy simulator (package memsim), giving algorithms typed
+// loads and stores that both move real bytes and charge simulated
+// cycles. This is the "virtual machine" the join algorithms run on: each
+// ReadU32 is one demand load, each Prefetch one prefetch instruction.
+package vmem
+
+import (
+	"bytes"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/memsim"
+)
+
+// Mem is a timed view over an arena. Create with New.
+type Mem struct {
+	A *arena.Arena
+	S *memsim.Sim
+}
+
+// New builds a Mem over the given arena and simulator.
+func New(a *arena.Arena, s *memsim.Sim) *Mem { return &Mem{A: a, S: s} }
+
+// NewSized allocates a fresh arena of capacity bytes and a simulator for
+// cfg, returning the combined view.
+func NewSized(capacity uint64, cfg memsim.Config) *Mem {
+	return &Mem{A: arena.New(capacity), S: memsim.NewSim(cfg)}
+}
+
+// Alloc reserves size bytes with the given alignment.
+func (m *Mem) Alloc(size, align uint64) arena.Addr { return m.A.Alloc(size, align) }
+
+// Compute advances the simulated clock by busy cycles.
+func (m *Mem) Compute(cycles uint64) { m.S.Compute(cycles) }
+
+// Prefetch issues a prefetch for the line containing addr.
+func (m *Mem) Prefetch(addr arena.Addr) { m.S.Prefetch(addr) }
+
+// PrefetchRange prefetches all lines covering [addr, addr+size).
+func (m *Mem) PrefetchRange(addr arena.Addr, size int) { m.S.PrefetchRange(addr, size) }
+
+// ReadU16 performs a timed 2-byte load.
+func (m *Mem) ReadU16(addr arena.Addr) uint16 {
+	m.S.Read(addr, 2)
+	return m.A.U16(addr)
+}
+
+// WriteU16 performs a timed 2-byte store.
+func (m *Mem) WriteU16(addr arena.Addr, v uint16) {
+	m.S.Write(addr, 2)
+	m.A.PutU16(addr, v)
+}
+
+// ReadU32 performs a timed 4-byte load.
+func (m *Mem) ReadU32(addr arena.Addr) uint32 {
+	m.S.Read(addr, 4)
+	return m.A.U32(addr)
+}
+
+// WriteU32 performs a timed 4-byte store.
+func (m *Mem) WriteU32(addr arena.Addr, v uint32) {
+	m.S.Write(addr, 4)
+	m.A.PutU32(addr, v)
+}
+
+// ReadU64 performs a timed 8-byte load.
+func (m *Mem) ReadU64(addr arena.Addr) uint64 {
+	m.S.Read(addr, 8)
+	return m.A.U64(addr)
+}
+
+// WriteU64 performs a timed 8-byte store.
+func (m *Mem) WriteU64(addr arena.Addr, v uint64) {
+	m.S.Write(addr, 8)
+	m.A.PutU64(addr, v)
+}
+
+// ReadBytes performs a timed load of size bytes and returns a slice
+// aliasing arena storage. Callers must not retain it across writes.
+func (m *Mem) ReadBytes(addr arena.Addr, size int) []byte {
+	m.S.Read(addr, size)
+	return m.A.Bytes(addr, uint64(size))
+}
+
+// WriteBytes performs a timed store of src at addr.
+func (m *Mem) WriteBytes(addr arena.Addr, src []byte) {
+	m.S.Write(addr, len(src))
+	copy(m.A.Bytes(addr, uint64(len(src))), src)
+}
+
+// Copy performs a timed memory-to-memory copy of n bytes, charging a load
+// of the source and a store of the destination plus per-word move work.
+func (m *Mem) Copy(dst, src arena.Addr, n int) {
+	m.S.Read(src, n)
+	m.S.Write(dst, n)
+	m.S.Compute(uint64(n+7) / 8) // one cycle per 8-byte move
+	copy(m.A.Bytes(dst, uint64(n)), m.A.Bytes(src, uint64(n)))
+}
+
+// Equal performs a timed comparison of n bytes at two addresses.
+func (m *Mem) Equal(a, b arena.Addr, n int) bool {
+	m.S.Read(a, n)
+	m.S.Read(b, n)
+	m.S.Compute(uint64(n+7) / 8)
+	return bytes.Equal(m.A.Bytes(a, uint64(n)), m.A.Bytes(b, uint64(n)))
+}
+
+// Peek reads bytes without charging simulated time. It is intended for
+// assertions, result validation, and test harnesses — never for the
+// algorithm under measurement.
+func (m *Mem) Peek(addr arena.Addr, size int) []byte {
+	return m.A.Bytes(addr, uint64(size))
+}

@@ -1,0 +1,96 @@
+package vmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hashjoin/internal/memsim"
+)
+
+func TestPrefetchRangeCoversAllLines(t *testing.T) {
+	m := testMem()
+	p := m.Alloc(4096, 64)
+	lineSize := m.S.Config().LineSize
+	const span = 10 * 64
+	m.PrefetchRange(p, span)
+	st := m.S.Stats()
+	want := uint64(span / lineSize)
+	if st.PrefetchIssued != want {
+		t.Fatalf("PrefetchIssued = %d, want %d", st.PrefetchIssued, want)
+	}
+	// After the fills complete, reads across the range must not stall.
+	m.Compute(m.S.Config().MemLatency * 3)
+	before := m.S.Stats()
+	m.S.Read(p, span)
+	if d := m.S.Stats().Sub(before); d.DCacheStall != 0 {
+		t.Fatalf("range read stalled %d cycles after covered prefetch", d.DCacheStall)
+	}
+}
+
+func TestPrefetchRangeZeroAndNegative(t *testing.T) {
+	m := testMem()
+	p := m.Alloc(64, 64)
+	m.PrefetchRange(p, 0)
+	m.PrefetchRange(p, -5)
+	if st := m.S.Stats(); st.PrefetchIssued != 0 {
+		t.Fatalf("degenerate ranges issued %d prefetches", st.PrefetchIssued)
+	}
+}
+
+func TestNewSizedIndependentEnvs(t *testing.T) {
+	cfg := memsim.SmallConfig()
+	m1 := NewSized(1<<20, cfg)
+	m2 := NewSized(1<<20, cfg)
+	a1 := m1.Alloc(64, 8)
+	m1.WriteU64(a1, 42)
+	a2 := m2.Alloc(64, 8)
+	if m2.A.U64(a2) != 0 {
+		t.Fatal("environments share storage")
+	}
+	if m2.S.Now() == m1.S.Now() && m1.S.Now() == 0 {
+		t.Fatal("no time charged for the write")
+	}
+}
+
+func TestQuickCopyPreservesBytes(t *testing.T) {
+	m := NewSized(1<<22, memsim.SmallConfig())
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		src := m.Alloc(uint64(len(data)), 8)
+		dst := m.Alloc(uint64(len(data)), 8)
+		copy(m.A.Bytes(src, uint64(len(data))), data)
+		m.Copy(dst, src, len(data))
+		return m.Equal(src, dst, len(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	m := testMem()
+	p := m.Alloc(1<<16, 64)
+	last := m.S.Now()
+	ops := []func(i int){
+		func(i int) { m.ReadU32(p + uint64(i*64)%60000) },
+		func(i int) { m.WriteU64(p+uint64(i*128)%60000, uint64(i)) },
+		func(i int) { m.Prefetch(p + uint64(i*256)%60000) },
+		func(i int) { m.Compute(3) },
+	}
+	for i := 0; i < 400; i++ {
+		ops[i%len(ops)](i)
+		if now := m.S.Now(); now < last {
+			t.Fatalf("clock moved backwards: %d -> %d", last, now)
+		} else {
+			last = now
+		}
+	}
+	if got, want := m.S.Stats().Total(), m.S.Now(); got != want {
+		t.Fatalf("breakdown (%d) does not account for the clock (%d)", got, want)
+	}
+}

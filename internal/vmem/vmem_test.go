@@ -1,0 +1,105 @@
+package vmem
+
+import (
+	"testing"
+
+	"hashjoin/internal/memsim"
+)
+
+func testMem() *Mem {
+	cfg := memsim.SmallConfig()
+	return NewSized(1<<22, cfg)
+}
+
+func TestTimedScalarRoundTrip(t *testing.T) {
+	m := testMem()
+	p := m.Alloc(64, 8)
+	m.WriteU32(p, 0xFEEDFACE)
+	m.WriteU64(p+8, 0x0123456789ABCDEF)
+	m.WriteU16(p+16, 0xBEEF)
+	if m.ReadU32(p) != 0xFEEDFACE || m.ReadU64(p+8) != 0x0123456789ABCDEF || m.ReadU16(p+16) != 0xBEEF {
+		t.Fatal("round trip failed")
+	}
+	if m.S.Now() == 0 {
+		t.Fatal("accesses charged no simulated time")
+	}
+}
+
+func TestCopyMovesBytesAndChargesTime(t *testing.T) {
+	m := testMem()
+	src := m.Alloc(256, 64)
+	dst := m.Alloc(256, 64)
+	sb := m.A.Bytes(src, 256)
+	for i := range sb {
+		sb[i] = byte(i)
+	}
+	before := m.S.Now()
+	m.Copy(dst, src, 256)
+	if m.S.Now() == before {
+		t.Fatal("Copy charged no time")
+	}
+	db := m.A.Bytes(dst, 256)
+	for i := range db {
+		if db[i] != byte(i) {
+			t.Fatalf("byte %d not copied", i)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	m := testMem()
+	a := m.Alloc(16, 8)
+	b := m.Alloc(16, 8)
+	m.WriteBytes(a, []byte("0123456789abcdef"))
+	m.WriteBytes(b, []byte("0123456789abcdef"))
+	if !m.Equal(a, b, 16) {
+		t.Fatal("identical regions compared unequal")
+	}
+	m.WriteBytes(b+15, []byte("X"))
+	if m.Equal(a, b, 16) {
+		t.Fatal("different regions compared equal")
+	}
+}
+
+func TestPeekChargesNothing(t *testing.T) {
+	m := testMem()
+	p := m.Alloc(64, 8)
+	m.WriteU32(p, 42)
+	before := m.S.Now()
+	stats := m.S.Stats()
+	_ = m.Peek(p, 4)
+	if m.S.Now() != before || m.S.Stats() != stats {
+		t.Fatal("Peek perturbed the simulation")
+	}
+}
+
+func TestPrefetchThenReadHidesLatency(t *testing.T) {
+	m := testMem()
+	p := m.Alloc(4096, 64)
+	m.WriteU32(p+1024, 7) // fill happens in background
+	target := p + 2048
+	m.Prefetch(target)
+	m.Compute(m.S.Config().MemLatency * 2)
+	before := m.S.Stats()
+	m.ReadU32(target)
+	d := m.S.Stats().Sub(before)
+	if d.DCacheStall != 0 {
+		t.Fatalf("covered prefetch still stalled %d cycles", d.DCacheStall)
+	}
+}
+
+func TestWriteBytesThenReadBytes(t *testing.T) {
+	m := testMem()
+	p := m.Alloc(100, 8)
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(200 - i)
+	}
+	m.WriteBytes(p, payload)
+	got := m.ReadBytes(p, 100)
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+}

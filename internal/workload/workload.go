@@ -1,0 +1,193 @@
+// Package workload generates the synthetic relations of the paper's
+// evaluation (section 7.1): build and probe relations sharing a schema
+// of a 4-byte join key plus a fixed-length payload, with controllable
+// tuple size, matches per build tuple, percentage of matched tuples, and
+// key skew. Keys are generated deterministically from a seed so every
+// experiment is reproducible.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/storage"
+)
+
+// Spec describes a join workload. The paper's pivot configuration is
+// 100-byte tuples with every build tuple matching two probe tuples.
+type Spec struct {
+	NBuild    int // number of build tuples
+	NProbe    int // number of probe tuples; 0 derives MatchesPerBuild*NBuild
+	TupleSize int // bytes per tuple (both relations), >= 8
+
+	// MatchesPerBuild is the number of probe tuples matching each
+	// *matched* build tuple (Figure 10b varies this 1..4).
+	MatchesPerBuild int
+
+	// PctMatched is the percentage (0..100) of build tuples that have
+	// matches (Figure 10c varies this 50..100). Probe tuples beyond the
+	// matched ones get keys that match nothing.
+	PctMatched int
+
+	// Skew, when > 1, repeats some build keys so bucket chains grow,
+	// stressing the read-write conflict handling. 1 (or 0) means unique
+	// build keys as in the paper's main experiments.
+	Skew int
+
+	PageSize int // slotted page size; 0 defaults to 8 KB
+
+	Seed int64
+}
+
+// Pivot returns the paper's pivot workload scaled to nBuild build tuples:
+// 100-byte tuples, 2 matches per build tuple, 100% matched.
+func Pivot(nBuild int, seed int64) Spec {
+	return Spec{
+		NBuild:          nBuild,
+		TupleSize:       100,
+		MatchesPerBuild: 2,
+		PctMatched:      100,
+		Seed:            seed,
+	}
+}
+
+// normalize fills defaults and validates.
+func (s Spec) normalize() Spec {
+	if s.PageSize == 0 {
+		s.PageSize = 8 << 10
+	}
+	if s.MatchesPerBuild <= 0 {
+		s.MatchesPerBuild = 1
+	}
+	if s.PctMatched <= 0 {
+		s.PctMatched = 100
+	}
+	if s.PctMatched > 100 {
+		s.PctMatched = 100
+	}
+	if s.Skew < 1 {
+		s.Skew = 1
+	}
+	if s.NProbe == 0 {
+		s.NProbe = s.NBuild * s.MatchesPerBuild
+	}
+	if s.TupleSize < 8 {
+		panic(fmt.Sprintf("workload: tuple size %d too small", s.TupleSize))
+	}
+	return s
+}
+
+// Pair is a generated build/probe relation pair plus ground truth about
+// the expected join result.
+type Pair struct {
+	Spec  Spec
+	Build *storage.Relation
+	Probe *storage.Relation
+
+	// ExpectedMatches is the exact number of output tuples an equijoin
+	// must produce.
+	ExpectedMatches int
+
+	// KeySum is the sum (mod 2^64) over all expected output tuples of
+	// the build key, a cheap order-independent result checksum.
+	KeySum uint64
+}
+
+// buildKey derives the i-th build key: a bijection of i over 31 bits,
+// shifted to even so probe-only keys (odd) never collide with it.
+func buildKey(i uint32) uint32 { return (i * 2654435761) << 1 }
+
+// missKey derives a key guaranteed to match no build tuple.
+func missKey(i uint32) uint32 { return (i*2654435761)<<1 | 1 }
+
+// Generate materializes the relations into a. The arena must be large
+// enough for both relations (roughly (NBuild+NProbe) * (TupleSize +
+// slot) * 1.1 bytes).
+func Generate(a *arena.Arena, spec Spec) *Pair {
+	spec = spec.normalize()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	schema := storage.KeyPayloadSchema(spec.TupleSize)
+
+	nMatched := spec.NBuild * spec.PctMatched / 100
+
+	// Build relation: keys are a deterministic bijection of the index,
+	// possibly with skew (repeated keys). Appended in shuffled order so
+	// hash-table insertion order is not correlated with key value.
+	build := storage.NewRelation(a, schema, spec.PageSize)
+	order := rng.Perm(spec.NBuild)
+	tup := make([]byte, spec.TupleSize)
+	for _, idx := range order {
+		k := buildKey(uint32(idx / spec.Skew))
+		fillTuple(tup, k, uint32(idx))
+		build.Append(tup, hash.CodeU32(k))
+	}
+
+	// Probe relation: the first nMatched build indexes receive
+	// MatchesPerBuild probe tuples each; the rest of the probe relation
+	// gets guaranteed-miss keys. Shuffled for the same reason.
+	probe := storage.NewRelation(a, schema, spec.PageSize)
+	probeKeys := make([]uint32, 0, spec.NProbe)
+	for i := 0; i < nMatched; i++ {
+		for j := 0; j < spec.MatchesPerBuild && len(probeKeys) < spec.NProbe; j++ {
+			probeKeys = append(probeKeys, buildKey(uint32(i/spec.Skew)))
+		}
+	}
+	for i := 0; len(probeKeys) < spec.NProbe; i++ {
+		probeKeys = append(probeKeys, missKey(uint32(i)))
+	}
+	rng.Shuffle(len(probeKeys), func(i, j int) {
+		probeKeys[i], probeKeys[j] = probeKeys[j], probeKeys[i]
+	})
+	for i, k := range probeKeys {
+		fillTuple(tup, k, uint32(i)|0x80000000)
+		probe.Append(tup, hash.CodeU32(k))
+	}
+
+	// Ground truth. With skew, several build tuples share a key, so each
+	// matching probe tuple joins with all of them.
+	p := &Pair{Spec: spec, Build: build, Probe: probe}
+	buildCount := make(map[uint32]int, spec.NBuild)
+	for i := 0; i < spec.NBuild; i++ {
+		buildCount[buildKey(uint32(i/spec.Skew))]++
+	}
+	for _, k := range probeKeys {
+		if c := buildCount[k]; c > 0 {
+			p.ExpectedMatches += c
+			p.KeySum += uint64(k) * uint64(c)
+		}
+	}
+	return p
+}
+
+// fillTuple encodes key at offset 0 and a payload derived from (key,
+// salt) after it, so payload corruption is detectable.
+func fillTuple(dst []byte, key, salt uint32) {
+	binary.LittleEndian.PutUint32(dst, key)
+	v := key ^ salt ^ 0x9E3779B9
+	for i := 4; i < len(dst); i++ {
+		dst[i] = byte(v >> (8 * (uint(i) % 4)))
+	}
+}
+
+// ArenaBytesFor estimates the arena capacity needed to hold the
+// workload's relations plus hash table, partitions, and output, with
+// slack for page and allocator overhead.
+func ArenaBytesFor(spec Spec) uint64 {
+	spec = spec.normalize()
+	tuples := uint64(spec.NBuild + spec.NProbe)
+	perTuple := uint64(spec.TupleSize + storage.SlotSize)
+	raw := tuples * perTuple
+	// relations + partitions copy + hash table/cells + output tuples
+	// (build+probe width) + page slack.
+	out := uint64(spec.NBuild*spec.MatchesPerBuild) * uint64(2*spec.TupleSize+storage.SlotSize)
+	need := raw*3 + out*2 + uint64(spec.NBuild)*uint64(hash.HeaderSize+hash.CellSize)*2 + (64 << 10)
+	// Floor generous enough for small-workload tests that also allocate
+	// partition buffers and intermediate pages.
+	if need < 4<<20 {
+		need = 4 << 20
+	}
+	return need
+}
