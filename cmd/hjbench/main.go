@@ -1,10 +1,15 @@
-// Command hjbench regenerates the paper's tables and figures.
+// Command hjbench regenerates the paper's tables and figures under the
+// cycle simulator, and — with -engine native — benchmarks the same join
+// schemes on the host hardware, reporting wall-clock speedups of group
+// and software-pipelined prefetching over the baseline the same way the
+// simulator reports cycle speedups.
 //
 // Usage:
 //
 //	hjbench -list
 //	hjbench -fig fig10a [-scale small|full|tiny] [-csv]
 //	hjbench -all [-scale small]
+//	hjbench -engine native [-build 500000] [-tuple 100] [-schemes baseline,group,pipelined]
 //
 // Full scale reproduces the paper's exact setup (1 MB L2, 50 MB join
 // memory) and takes minutes per figure; small scale preserves the 50:1
@@ -15,21 +20,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"hashjoin/internal/arena"
 	"hashjoin/internal/exp"
+	"hashjoin/internal/native"
+	"hashjoin/internal/workload"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
-		scale = flag.String("scale", "small", "scale: tiny, small, or full")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		engine  = flag.String("engine", "sim", "execution engine: sim (reproduce figures) or native (host-hardware benchmark)")
+		fig     = flag.String("fig", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		scale   = flag.String("scale", "small", "scale: tiny, small, or full")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		nBuild  = flag.Int("build", 500000, "native: build relation tuple count")
+		tuple   = flag.Int("tuple", 100, "native: tuple size in bytes")
+		matches = flag.Int("matches", 2, "native: probe tuples per build tuple")
+		schemes = flag.String("schemes", "baseline,group,pipelined", "native: comma-separated schemes to compare")
+		fanout  = flag.Int("fanout", 1, "native: partition fan-out (1 = single pair, the paper's join-phase setup)")
+		workers = flag.Int("workers", 0, "native: morsel workers (0 = all CPUs)")
+		reps    = flag.Int("reps", 3, "native: repetitions per scheme (medians reported)")
+		seed    = flag.Int64("seed", 42, "native: workload seed")
 	)
 	flag.Parse()
+
+	switch *engine {
+	case "sim":
+	case "native":
+		runNative(*nBuild, *tuple, *matches, *schemes, *fanout, *workers, *reps, *seed)
+		return
+	default:
+		fatalf("unknown engine %q (accepted: sim, native)", *engine)
+	}
 
 	if *list {
 		for _, e := range exp.Experiments() {
@@ -39,8 +66,7 @@ func main() {
 	}
 	sc, ok := exp.ByName(*scale)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "hjbench: unknown scale %q (tiny, small, full)\n", *scale)
-		os.Exit(2)
+		fatalf("unknown scale %q (accepted: tiny, small, full)", *scale)
 	}
 
 	switch {
@@ -51,8 +77,7 @@ func main() {
 	case *fig != "":
 		e, ok := exp.Lookup(strings.ToLower(*fig))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "hjbench: unknown experiment %q; try -list\n", *fig)
-			os.Exit(2)
+			fatalf("unknown experiment %q; try -list", *fig)
 		}
 		runOne(e, sc, *csv)
 	default:
@@ -61,8 +86,104 @@ func main() {
 	}
 }
 
+// runNative benchmarks the requested schemes on the host hardware and
+// prints a wall-clock speedup table.
+func runNative(nBuild, tuple, matches int, schemeList string, fanout, workers, reps int, seed int64) {
+	names := strings.Split(schemeList, ",")
+	schemes := make([]native.Scheme, 0, len(names))
+	for _, n := range names {
+		s, ok := native.ParseScheme(strings.TrimSpace(n))
+		if !ok {
+			fatalf("unknown scheme %q (accepted: %s)", n, strings.Join(native.Schemes(), ", "))
+		}
+		schemes = append(schemes, s)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+
+	spec := workload.Spec{
+		NBuild:          nBuild,
+		TupleSize:       tuple,
+		MatchesPerBuild: matches,
+		PctMatched:      100,
+		Seed:            seed,
+	}
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+	fmt.Printf("native join benchmark: %d build x %d probe tuples, %d B each, fanout %d, prefetch asm %v\n",
+		pair.Build.NTuples, pair.Probe.NTuples, tuple, fanout, native.HavePrefetch)
+
+	// One resident Joiner serves every measurement, so all schemes run
+	// on the same recycled memory; an untimed warmup join pays the
+	// one-time page-population cost. Repetitions interleave the schemes
+	// (scheme A rep 1, scheme B rep 1, ..., scheme A rep 2, ...) so slow
+	// host drift lands on all schemes alike rather than on whichever ran
+	// last, and the per-scheme medians are compared — on shared or
+	// virtualized CPUs the rep spread is asymmetric (occasional big slow
+	// outliers), which destabilizes a best-of comparison but not the
+	// median.
+	jn := native.NewJoiner()
+	run := func(s native.Scheme) native.Result {
+		res := jn.Join(pair.Build, pair.Probe, native.Config{
+			Scheme: s, Fanout: fanout, Workers: workers,
+		})
+		if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
+			die("scheme %v: result mismatch: (%d, %d) vs (%d, %d) expected",
+				s, res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
+		}
+		return res
+	}
+	run(schemes[0]) // warmup: populate scratch pages, untimed
+	results := make([][]native.Result, len(schemes))
+	for r := 0; r < reps; r++ {
+		for i, s := range schemes {
+			results[i] = append(results[i], run(s))
+		}
+	}
+
+	var baseline time.Duration
+	fmt.Printf("%-10s %12s %12s %12s %10s %12s\n",
+		"scheme", "partition", "join", "total", "speedup", "Mprobe/s")
+	for i, s := range schemes {
+		b := medianResult(results[i])
+		speedup := "1.00x"
+		if baseline == 0 {
+			baseline = b.Elapsed
+		} else {
+			speedup = fmt.Sprintf("%.2fx", baseline.Seconds()/b.Elapsed.Seconds())
+		}
+		fmt.Printf("%-10v %10.2fms %10.2fms %10.2fms %10s %12.1f\n",
+			s, secsMS(b.PartitionTime), secsMS(b.JoinTime), secsMS(b.Elapsed),
+			speedup, float64(pair.Probe.NTuples)/b.JoinTime.Seconds()/1e6)
+	}
+	fmt.Printf("(speedup = first scheme's elapsed / scheme's elapsed; medians of %d interleaved reps; all results validated)\n", reps)
+}
+
+func secsMS(d time.Duration) float64 { return d.Seconds() * 1e3 }
+
+// medianResult returns the run with the median Elapsed.
+func medianResult(rs []native.Result) native.Result {
+	sorted := make([]native.Result, len(rs))
+	copy(sorted, rs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Elapsed < sorted[j].Elapsed })
+	return sorted[len(sorted)/2]
+}
+
 func runOne(e exp.Experiment, sc exp.Scale, csv bool) {
 	start := time.Now()
 	exp.RunAndPrint(os.Stdout, e, sc, csv)
 	fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+}
+
+// fatalf reports a usage error (bad flag value): exit code 2.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hjbench: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(2)
+}
+
+// die reports a runtime failure: exit code 1.
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hjbench: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
 }

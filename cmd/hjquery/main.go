@@ -1,44 +1,70 @@
 // Command hjquery generates a synthetic workload, plans a GRACE join
-// from catalog statistics, executes it under simulation, and reports the
-// result with its cycle breakdown — the full paper pipeline in one
-// invocation.
+// from catalog statistics, executes it, and reports the result — the
+// full paper pipeline in one invocation. Two execution engines are
+// available: the cycle-level simulator (default), which reports a
+// simulated cycle breakdown, and the native engine, which runs the same
+// join schemes directly on the host hardware and reports wall-clock
+// times.
 //
 // Usage:
 //
 //	hjquery -build 100000 -tuple 100 -matches 2 -mem 6553600 \
 //	        -scheme group -catalog out.json
+//	hjquery -engine native -build 500000 -scheme pipelined -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hashjoin/internal/arena"
 	"hashjoin/internal/catalog"
 	"hashjoin/internal/core"
 	"hashjoin/internal/memsim"
+	"hashjoin/internal/native"
 	"hashjoin/internal/vmem"
 	"hashjoin/internal/workload"
 )
 
 func main() {
 	var (
+		engine    = flag.String("engine", "sim", "execution engine: sim or native")
 		nBuild    = flag.Int("build", 50000, "build relation tuple count")
 		tupleSize = flag.Int("tuple", 100, "tuple size in bytes")
 		matches   = flag.Int("matches", 2, "probe tuples per build tuple")
 		pct       = flag.Int("pct", 100, "percent of build tuples with matches")
 		mem       = flag.Int("mem", 6400<<10, "join memory budget in bytes")
 		schemeArg = flag.String("scheme", "plan", "baseline, simple, group, pipelined, or plan (use planner)")
-		hierarchy = flag.String("hier", "small", "memory hierarchy: small or es40")
+		hierarchy = flag.String("hier", "small", "memory hierarchy: small or es40 (sim engine)")
+		workers   = flag.Int("workers", 0, "native engine: morsel workers (0 = all CPUs)")
+		fanout    = flag.Int("fanout", 0, "native engine: partition fan-out (0 = derive from -mem)")
 		catPath   = flag.String("catalog", "", "write the catalog description file here")
 		seed      = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
-	cfg := memsim.SmallConfig()
-	if *hierarchy == "es40" {
+	// Validate enumerated flags up front: an unknown value must fail
+	// loudly with the accepted list, never fall through to a default.
+	var cfg memsim.Config
+	switch *hierarchy {
+	case "small":
+		cfg = memsim.SmallConfig()
+	case "es40":
 		cfg = memsim.ES40Config()
+	default:
+		fatalf("unknown hierarchy %q (accepted: small, es40)", *hierarchy)
+	}
+	switch *engine {
+	case "sim", "native":
+	default:
+		fatalf("unknown engine %q (accepted: sim, native)", *engine)
+	}
+	switch *schemeArg {
+	case "plan", "baseline", "simple", "group", "pipelined":
+	default:
+		fatalf("unknown scheme %q (accepted: plan, baseline, simple, group, pipelined)", *schemeArg)
 	}
 
 	spec := workload.Spec{
@@ -58,15 +84,18 @@ func main() {
 	if *catPath != "" {
 		f, err := os.Create(*catPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hjquery:", err)
-			os.Exit(1)
+			die("%v", err)
 		}
 		if err := cat.Save(f); err != nil {
-			fmt.Fprintln(os.Stderr, "hjquery:", err)
-			os.Exit(1)
+			die("%v", err)
 		}
 		f.Close()
 		fmt.Printf("catalog written to %s\n", *catPath)
+	}
+
+	if *engine == "native" {
+		runNative(pair, *schemeArg, *mem, *fanout, *workers)
+		return
 	}
 
 	plan := catalog.PlanGrace(desc, *mem, cfg)
@@ -88,9 +117,6 @@ func main() {
 		gcfg.JoinScheme = core.SchemeGroup
 	case "pipelined":
 		gcfg.JoinScheme = core.SchemePipelined
-	default:
-		fmt.Fprintf(os.Stderr, "hjquery: unknown scheme %q\n", *schemeArg)
-		os.Exit(2)
 	}
 
 	fmt.Printf("plan: %d partitions, table %d buckets, partition=%v join=%v G=%d D=%d\n",
@@ -101,13 +127,56 @@ func main() {
 	res := core.Grace(m, pair.Build, pair.Probe, gcfg)
 
 	if res.NOutput != pair.ExpectedMatches {
-		fmt.Fprintf(os.Stderr, "hjquery: result mismatch: %d vs %d expected\n", res.NOutput, pair.ExpectedMatches)
-		os.Exit(1)
+		die("result mismatch: %d vs %d expected", res.NOutput, pair.ExpectedMatches)
 	}
 	fmt.Printf("result: %d output tuples (validated)\n", res.NOutput)
 	printPhase("partition", res.PartBuildStats.Add(res.PartProbeStats))
 	printPhase("join", res.JoinStats)
 	fmt.Printf("total: %.2f Mcycles\n", float64(res.TotalCycles())/1e6)
+}
+
+// runNative executes the workload on the native engine and reports the
+// wall-clock breakdown.
+func runNative(pair *workload.Pair, schemeArg string, mem, fanout, workers int) {
+	// The catalog planner targets the simulator's cost model; on the
+	// native engine "plan" and "simple" resolve to the schemes they
+	// would select there (group; baseline).
+	var scheme native.Scheme
+	switch schemeArg {
+	case "plan", "group":
+		scheme = native.Group
+	case "baseline", "simple":
+		scheme = native.Baseline
+	case "pipelined":
+		scheme = native.Pipelined
+	}
+	cfg := native.Config{Scheme: scheme, MemBudget: mem, Fanout: fanout, Workers: workers}
+	r := native.Join(pair.Build, pair.Probe, cfg)
+	if r.NOutput != pair.ExpectedMatches || r.KeySum != pair.KeySum {
+		die("native result mismatch: (%d, %d) vs (%d, %d) expected",
+			r.NOutput, r.KeySum, pair.ExpectedMatches, pair.KeySum)
+	}
+	fmt.Printf("native: scheme %v, %d partitions, %d workers, prefetch asm %v\n",
+		scheme, r.NPartitions, r.Workers, native.HavePrefetch)
+	fmt.Printf("result: %d output tuples (validated)\n", r.NOutput)
+	fmt.Printf("%-10s %10.2f ms\n", "partition", ms(r.PartitionTime))
+	fmt.Printf("%-10s %10.2f ms\n", "join", ms(r.JoinTime))
+	rate := float64(pair.Probe.NTuples) / r.Elapsed.Seconds() / 1e6
+	fmt.Printf("total: %.2f ms  (%.1f Mprobe tuples/s)\n", ms(r.Elapsed), rate)
+}
+
+func ms(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1e3 }
+
+// fatalf reports a usage error (bad flag value): exit code 2.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hjquery: %s\n", strings.TrimSuffix(fmt.Sprintf(format, args...), "\n"))
+	os.Exit(2)
+}
+
+// die reports a runtime failure: exit code 1.
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hjquery: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
 }
 
 func printPhase(name string, s memsim.Stats) {

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package arena
+
+// adviseHugePages is a no-op where MADV_HUGEPAGE is unavailable.
+func adviseHugePages(b []byte) {}

@@ -34,6 +34,19 @@ type ParallelJoinResult struct {
 // on `workers` simulated processors, assigning pairs round-robin. The
 // execution itself is deterministic and sequential; parallelism is
 // modeled through the independent simulated clocks.
+//
+// Round-robin pre-assignment has a skew pathology: partition sizes are
+// fixed at assignment time, so a worker that draws an oversized
+// partition keeps every cycle of it while its siblings finish early and
+// idle — WallCycles (the slowest worker) grows toward the whole skewed
+// partition's cost even though TotalCycles (the aggregate work) is
+// unchanged. TestRoundRobinSkewPathology demonstrates the divergence.
+// The native engine's morsel-driven queue (internal/native, morsel.go)
+// avoids it by letting workers claim pairs dynamically: the skewed pair
+// still costs one worker, but every other pair drains in parallel
+// behind it. The simulator keeps round-robin deliberately — it mirrors
+// the static partitioning of the paper's era and makes the pathology
+// measurable.
 func JoinPartitionsParallel(a *vmem.Mem, cfg memsim.Config, builds, probes []*storage.Relation,
 	scheme Scheme, params Params, workers int) ParallelJoinResult {
 	if len(builds) != len(probes) {

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// skewPartition builds one build/probe partition pair holding n
+// one-match tuples with keys starting at base.
+func skewPartition(a *arena.Arena, n int, base uint32) (build, probe *storage.Relation) {
+	schema := storage.KeyPayloadSchema(40)
+	build = storage.NewRelation(a, schema, 2048)
+	probe = storage.NewRelation(a, schema, 2048)
+	tup := make([]byte, 40)
+	for i := 0; i < n; i++ {
+		key := base + uint32(i)
+		binary.LittleEndian.PutUint32(tup, key)
+		build.Append(tup, hash.CodeU32(key))
+		probe.Append(tup, hash.CodeU32(key))
+	}
+	return build, probe
+}
+
+// skewJoin joins hand-built partition pairs of the given sizes and
+// returns the result plus the total tuple count.
+func skewJoin(t *testing.T, sizes []int, workers int) (ParallelJoinResult, int) {
+	t.Helper()
+	a := arena.New(64 << 20)
+	m := vmem.New(a, memsim.NewSim(memsim.SmallConfig()))
+	builds := make([]*storage.Relation, len(sizes))
+	probes := make([]*storage.Relation, len(sizes))
+	total := 0
+	for i, n := range sizes {
+		builds[i], probes[i] = skewPartition(a, n, uint32(total))
+		total += n
+	}
+	res := JoinPartitionsParallel(m, memsim.SmallConfig(), builds, probes,
+		SchemeGroup, DefaultParams(), workers)
+	if res.NOutput != total {
+		t.Fatalf("joined %d outputs, want %d", res.NOutput, total)
+	}
+	return res, total
+}
+
+// TestRoundRobinSkewPathology demonstrates the round-robin assignment
+// pathology documented on JoinPartitionsParallel: with one oversized
+// partition, the worker that draws it determines WallCycles almost
+// alone, so the wall clock converges toward the aggregate TotalCycles
+// even though three other processors sit idle. A balanced control with
+// the same tuple count and worker count stays near the ideal
+// TotalCycles/workers. The native engine's morsel queue is the fix; the
+// simulator keeps round-robin to make this measurable.
+func TestRoundRobinSkewPathology(t *testing.T) {
+	const workers = 4
+
+	// 8 partitions, 7100 tuples: one holds 90% of the data.
+	skewed, _ := skewJoin(t, []int{6400, 100, 100, 100, 100, 100, 100, 100}, workers)
+	// Control: the same 7100 tuples spread evenly over 8 partitions.
+	balanced, _ := skewJoin(t, []int{888, 888, 888, 888, 888, 887, 887, 886}, workers)
+
+	// The skewed wall clock is dominated by the one huge partition:
+	// parallel efficiency collapses (wall ~= total instead of total/4).
+	skewRatio := float64(skewed.WallCycles) / float64(skewed.TotalCycles)
+	if skewRatio < 0.60 {
+		t.Errorf("skewed wall/total = %.2f, expected > 0.60 (one worker dominating)", skewRatio)
+	}
+	balRatio := float64(balanced.WallCycles) / float64(balanced.TotalCycles)
+	if balRatio > 0.35 {
+		t.Errorf("balanced wall/total = %.2f, expected near 1/workers = 0.25", balRatio)
+	}
+	if skewRatio < 2*balRatio {
+		t.Errorf("skew did not degrade parallel efficiency: %.2f vs balanced %.2f",
+			skewRatio, balRatio)
+	}
+	t.Logf("wall/total: skewed %.2f, balanced %.2f (workers=%d)", skewRatio, balRatio, workers)
+}

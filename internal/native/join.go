@@ -1,0 +1,307 @@
+package native
+
+import (
+	"encoding/binary"
+	"unsafe"
+
+	"hashjoin/internal/arena"
+)
+
+// pairJoiner joins one build/probe partition pair natively. One lives in
+// each morsel worker; the table and stage-state scratch are recycled
+// across pairs and across joins (see Joiner.worker).
+type pairJoiner struct {
+	data []byte
+	t    *Table
+	g, d int
+
+	states []groupState // group/pipeline stage state, reused
+
+	nOutput int
+	keySum  uint64
+}
+
+func newPairJoiner() *pairJoiner {
+	return &pairJoiner{t: NewTable(1, 0)}
+}
+
+// statesFor returns n stage-state slots, reusing the scratch array and
+// the match buffers inside it; each slot's matches is reset to empty.
+func (j *pairJoiner) statesFor(n int) []groupState {
+	for len(j.states) < n {
+		j.states = append(j.states, groupState{matches: make([]uint64, 0, 4)})
+	}
+	s := j.states[:n]
+	for i := range s {
+		s[i].matches = s[i].matches[:0]
+	}
+	return s
+}
+
+// buildKey loads the join key from the build tuple bytes — the dependent
+// random access the probe's final stage must make, as in the paper.
+func (j *pairJoiner) buildKey(ref uint64) uint32 {
+	return binary.LittleEndian.Uint32(j.data[ref-arena.Base:])
+}
+
+// prefetchTuple hints the cache line holding the tuple's key.
+func (j *pairJoiner) prefetchTuple(ref uint64) {
+	prefetchT0(unsafe.Pointer(&j.data[ref-arena.Base]))
+}
+
+// emit records one join match: the build key re-read from memory must
+// equal the probe key (the hash code was only a filter).
+func (j *pairJoiner) emit(ref uint64, probeKey uint32) {
+	if k := j.buildKey(ref); k == probeKey {
+		j.nOutput++
+		j.keySum += uint64(k)
+	}
+}
+
+// joinPair builds a table over build and probes it with probe. shift is
+// the partitioner's radix width, so bucket numbers use untouched bits.
+func (j *pairJoiner) joinPair(build, probe []Entry, shift uint, scheme Scheme) {
+	if len(build) == 0 || len(probe) == 0 {
+		return
+	}
+	j.t.Reset(len(build), shift)
+	switch scheme {
+	case Group:
+		j.buildGroup(build)
+		j.probeGroup(probe)
+	case Pipelined:
+		j.buildPipelined(build)
+		j.probePipelined(probe)
+	default:
+		j.buildBaseline(build)
+		j.probeBaseline(probe)
+	}
+}
+
+// --- Baseline ---
+
+// buildBaseline inserts one tuple at a time, the unmodified GRACE loop.
+func (j *pairJoiner) buildBaseline(build []Entry) {
+	for i := range build {
+		j.t.Insert(build[i].Code, build[i].Ref)
+	}
+}
+
+// probeBaseline walks each probe tuple's full dependence chain — bucket
+// header, overflow cells, matching build tuples — before touching the
+// next tuple. Every step can miss, and the misses serialize.
+func (j *pairJoiner) probeBaseline(probe []Entry) {
+	t := j.t
+	for i := range probe {
+		e := &probe[i]
+		h := &t.headers[t.bucket(e.Code)]
+		if h.count == 0 {
+			continue
+		}
+		if h.code0 == e.Code {
+			j.emit(h.tuple0, e.Key)
+		}
+		for k := uint32(0); k < h.count-1; k++ {
+			c := &t.cells[h.cells+k]
+			if c.code == e.Code {
+				j.emit(c.ref, e.Key)
+			}
+		}
+	}
+}
+
+// --- Group prefetching (paper section 4) ---
+
+// groupState carries one tuple's state across the probe stages.
+type groupState struct {
+	key     uint32
+	code    uint32
+	hdr     *header
+	count   uint32
+	cells   uint32
+	matches []uint64
+}
+
+// probeGroup strip-mines the probe loop into G-tuple groups processed in
+// stages; each stage performs one dependent reference per tuple and
+// prefetches the next stage's references, so one tuple's cache misses
+// overlap with the computation and misses of the other G-1.
+func (j *pairJoiner) probeGroup(probe []Entry) {
+	t := j.t
+	g := j.g
+	states := j.statesFor(g)
+
+	for lo := 0; lo < len(probe); lo += g {
+		hi := lo + g
+		if hi > len(probe) {
+			hi = len(probe)
+		}
+		n := hi - lo
+
+		// Stage 0: compute bucket numbers; prefetch the headers.
+		for i := 0; i < n; i++ {
+			e := &probe[lo+i]
+			st := &states[i]
+			st.key, st.code = e.Key, e.Code
+			st.hdr = &t.headers[t.bucket(e.Code)]
+			st.matches = st.matches[:0]
+			prefetchT0(unsafe.Pointer(st.hdr))
+		}
+
+		// Stage 1: visit the headers; prefetch overflow arrays and
+		// inline-matched build tuples.
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			h := st.hdr
+			st.count = h.count
+			st.cells = 0
+			if h.count == 0 {
+				continue
+			}
+			if h.code0 == st.code {
+				st.matches = append(st.matches, h.tuple0)
+				j.prefetchTuple(h.tuple0)
+			}
+			if h.count > 1 {
+				st.cells = h.cells
+				prefetchT0(unsafe.Pointer(&t.cells[h.cells]))
+			}
+		}
+
+		// Stage 2: visit the overflow cells; prefetch matched tuples.
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			if st.cells == 0 {
+				continue
+			}
+			for k := uint32(0); k < st.count-1; k++ {
+				c := &t.cells[st.cells+k]
+				if c.code == st.code {
+					st.matches = append(st.matches, c.ref)
+					j.prefetchTuple(c.ref)
+				}
+			}
+		}
+
+		// Stage 3: visit the matching build tuples, compare keys, emit.
+		for i := 0; i < n; i++ {
+			st := &states[i]
+			for _, ref := range st.matches {
+				j.emit(ref, st.key)
+			}
+		}
+	}
+}
+
+// buildGroup batches hash-table inserts: prefetch the G headers of a
+// group, then perform the G inserts against warm lines. The native build
+// needs no busy flags — unlike the simulator, where a group's visits
+// interleave, each native insert completes before the next begins; the
+// batching only moves the header fetches off the critical path.
+func (j *pairJoiner) buildGroup(build []Entry) {
+	t := j.t
+	g := j.g
+	for lo := 0; lo < len(build); lo += g {
+		hi := lo + g
+		if hi > len(build) {
+			hi = len(build)
+		}
+		for i := lo; i < hi; i++ {
+			prefetchT0(unsafe.Pointer(&t.headers[t.bucket(build[i].Code)]))
+		}
+		for i := lo; i < hi; i++ {
+			t.Insert(build[i].Code, build[i].Ref)
+		}
+	}
+}
+
+// --- Software-pipelined prefetching (paper section 5) ---
+
+// nextPow2 returns the smallest power of two >= v.
+func nextPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// probePipelined combines different stages of different tuples in one
+// iteration: iteration it runs stage 0 for tuple it, stage 1 for tuple
+// it-D, stage 2 for it-2D, stage 3 for it-3D, so subsequent stages of
+// one tuple sit D iterations apart and the prefetch pipeline never
+// drains between groups. State lives in a circular array sized to a
+// power of two of at least 3D+1 entries (section 5.3).
+func (j *pairJoiner) probePipelined(probe []Entry) {
+	t := j.t
+	d := j.d
+	size := nextPow2(3*d + 1)
+	mask := size - 1
+	states := j.statesFor(size)
+	total := len(probe)
+
+	for it := 0; it-3*d < total; it++ {
+		// Stage 0 for tuple it: bucket number, prefetch header.
+		if it < total {
+			e := &probe[it]
+			st := &states[it&mask]
+			st.key, st.code = e.Key, e.Code
+			st.hdr = &t.headers[t.bucket(e.Code)]
+			st.matches = st.matches[:0]
+			prefetchT0(unsafe.Pointer(st.hdr))
+		}
+
+		// Stage 1 for tuple it-D: visit header, prefetch cells/tuples.
+		if k := it - d; k >= 0 && k < total {
+			st := &states[k&mask]
+			h := st.hdr
+			st.count = h.count
+			st.cells = 0
+			if h.count != 0 {
+				if h.code0 == st.code {
+					st.matches = append(st.matches, h.tuple0)
+					j.prefetchTuple(h.tuple0)
+				}
+				if h.count > 1 {
+					st.cells = h.cells
+					prefetchT0(unsafe.Pointer(&t.cells[h.cells]))
+				}
+			}
+		}
+
+		// Stage 2 for tuple it-2D: visit cells, prefetch matched tuples.
+		if k := it - 2*d; k >= 0 && k < total {
+			st := &states[k&mask]
+			if st.cells != 0 {
+				for c := uint32(0); c < st.count-1; c++ {
+					cl := &t.cells[st.cells+c]
+					if cl.code == st.code {
+						st.matches = append(st.matches, cl.ref)
+						j.prefetchTuple(cl.ref)
+					}
+				}
+			}
+		}
+
+		// Stage 3 for tuple it-3D: visit build tuples, compare, emit.
+		if k := it - 3*d; k >= 0 && k < total {
+			st := &states[k&mask]
+			for _, ref := range st.matches {
+				j.emit(ref, st.key)
+			}
+		}
+	}
+}
+
+// buildPipelined inserts tuple i while prefetching the header tuple i+D
+// will visit, keeping D header fetches in flight across the whole build.
+func (j *pairJoiner) buildPipelined(build []Entry) {
+	t := j.t
+	d := j.d
+	for i := range build {
+		if n := i + d; n < len(build) {
+			prefetchT0(unsafe.Pointer(&t.headers[t.bucket(build[n].Code)]))
+		}
+		t.Insert(build[i].Code, build[i].Ref)
+	}
+}

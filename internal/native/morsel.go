@@ -1,0 +1,86 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Morsel-driven join phase: partition pairs are the morsels, and a
+// worker pool claims them from a shared atomic queue. Round-robin
+// pre-assignment (as in the simulator's core.JoinPartitionsParallel)
+// serializes on skew — a worker stuck with the one huge partition
+// determines the wall clock while its siblings idle; with a queue, the
+// huge pair costs one worker and every other pair drains in parallel
+// behind it. The result is deterministic regardless of claim order
+// because NOutput and KeySum are commutative sums.
+
+// worker returns the Joiner's w-th pairJoiner, creating it on first use
+// and re-arming it (data pointer, tuning, zeroed accumulators) for this
+// join. Tables and match buffers carry over, so repeated joins run on
+// recycled memory.
+func (jn *Joiner) worker(w int, data []byte, cfg Config) *pairJoiner {
+	for len(jn.workers) <= w {
+		jn.workers = append(jn.workers, newPairJoiner())
+	}
+	j := jn.workers[w]
+	j.data = data
+	j.g, j.d = cfg.G, cfg.D
+	j.nOutput, j.keySum = 0, 0
+	return j
+}
+
+// joinPairs joins corresponding partition pairs of jn.bp and jn.pp on
+// up to cfg.Workers goroutines.
+func (jn *Joiner) joinPairs(data []byte, cfg Config) Result {
+	bp, pp := &jn.bp, &jn.pp
+	n := bp.fanout()
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	if workers == 1 {
+		j := jn.worker(0, data, cfg)
+		for i := 0; i < n; i++ {
+			j.joinPair(bp.part(i), pp.part(i), bp.bits, cfg.Scheme)
+		}
+		return Result{NOutput: j.nOutput, KeySum: j.keySum, Workers: 1}
+	}
+
+	type acc struct {
+		nOutput int
+		keySum  uint64
+		_       [48]byte // pad accumulators to distinct cache lines
+	}
+	accs := make([]acc, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		j := jn.worker(w, data, cfg)
+		wg.Add(1)
+		go func(w int, j *pairJoiner) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				j.joinPair(bp.part(i), pp.part(i), bp.bits, cfg.Scheme)
+			}
+			accs[w].nOutput = j.nOutput
+			accs[w].keySum = j.keySum
+		}(w, j)
+	}
+	wg.Wait()
+
+	var r Result
+	r.Workers = workers
+	for w := range accs {
+		r.NOutput += accs[w].nOutput
+		r.KeySum += accs[w].keySum
+	}
+	return r
+}

@@ -1,0 +1,231 @@
+// Package native is the repository's second execution backend: it runs
+// the paper's hash join schemes — baseline, group prefetching (section
+// 4), and software-pipelined prefetching (section 5) — directly on real
+// memory with real wall-clock timing, instead of under the cycle-level
+// simulator in internal/memsim.
+//
+// The two backends share the internal/storage slotted-page layout and
+// the internal/hash hash codes memoized in partition slots, so for the
+// same seeded workload they are output-compatible: identical NOutput and
+// KeySum. What differs is what "time" means — the simulator charges
+// cycles against a modeled hierarchy; this package lets the actual CPU,
+// caches, and memory bus of the host produce the stalls the paper's
+// techniques are designed to hide.
+//
+// The engine has three phases:
+//
+//  1. Partition: both relations are flattened into compact 16-byte
+//     entries (hash code, join key, tuple address) and radix-partitioned
+//     on the low bits of the memoized hash code — the GRACE fan-out,
+//     sized so a build partition plus its hash table fits the configured
+//     memory budget (or, when CacheBudget is set, the cache, which is
+//     the paper's section 7.5 cache-partitioning comparator).
+//  2. Build: each build partition is inserted into a flat hash table
+//     laid out for cache-line locality: 32-byte bucket headers (two per
+//     64-byte line) embedding the first cell inline, with overflow cells
+//     in one shared slab addressed by index.
+//  3. Probe: the per-tuple dependence chain (header -> overflow cells ->
+//     matching build tuple) is restructured exactly as the paper's
+//     sections 4-5 do — strip-mined G-tuple groups or a D-distance
+//     software pipeline — issuing real PREFETCHT0 instructions on amd64
+//     (pure-Go no-op fallback elsewhere; see prefetch_amd64.s).
+//
+// Partition pairs are joined under morsel-driven parallelism: a worker
+// pool claims pairs from a shared atomic queue, so a skewed partition
+// occupies one worker while the others drain the rest — unlike the
+// round-robin assignment of internal/core.JoinPartitionsParallel, whose
+// skew pathology is documented (and tested) there.
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hashjoin/internal/storage"
+)
+
+// Scheme selects a probe/build loop restructuring. The values mirror the
+// simulator's core.Scheme for the three schemes that have a native
+// meaning; simple prefetching (whole-page prefetch after a disk read)
+// has no native analog beyond the hardware's own next-line prefetcher
+// and is treated as Baseline by the engine.
+type Scheme int
+
+const (
+	// Baseline processes one tuple's full dependence chain at a time.
+	Baseline Scheme = iota
+	// Group strip-mines the loop into G-tuple groups processed in
+	// stages, prefetching each stage's references one stage ahead.
+	Group
+	// Pipelined runs stage s of tuple i-s*D in iteration i, keeping the
+	// prefetch pipeline full across the whole input.
+	Pipelined
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case Group:
+		return "group"
+	case Pipelined:
+		return "pipelined"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme maps a command-line name to a Scheme. It reports ok=false
+// for unknown names; Schemes lists the accepted values.
+func ParseScheme(name string) (Scheme, bool) {
+	switch name {
+	case "baseline":
+		return Baseline, true
+	case "group":
+		return Group, true
+	case "pipelined":
+		return Pipelined, true
+	}
+	return 0, false
+}
+
+// Schemes returns the accepted ParseScheme names.
+func Schemes() []string { return []string{"baseline", "group", "pipelined"} }
+
+// Config tunes a native join. The zero value selects Group with the
+// native default parameters, a memory-budget fan-out, and one worker per
+// CPU.
+type Config struct {
+	Scheme Scheme
+
+	// G is the group size for Scheme Group; 0 selects DefaultG. The
+	// native optimum is bounded by the CPU's miss-handling parallelism
+	// (~10-16 outstanding line fills), not by the paper's Theorem 1.
+	G int
+	// D is the prefetch distance for Scheme Pipelined; 0 selects
+	// DefaultD.
+	D int
+
+	// Fanout forces the partition count (rounded up to a power of two).
+	// 0 derives it from MemBudget. 1 joins the relations as one pair —
+	// the paper's join-phase experiment setup.
+	Fanout int
+
+	// MemBudget is the GRACE memory budget in bytes: a build partition's
+	// entries plus its hash table must fit. 0 defaults to 256 MB, which
+	// keeps workloads up to tens of millions of tuples at fan-out 1 so
+	// the probe loops face real cache misses, as in the paper's join
+	// phase. Set it (or Fanout) low to reproduce cache-sized
+	// partitioning, the section 7.5 comparator.
+	MemBudget int
+
+	// Workers bounds the morsel worker pool; 0 means GOMAXPROCS. The
+	// pool never exceeds the partition count.
+	Workers int
+}
+
+// Native default tuning parameters. Chosen empirically for modern amd64
+// parts: G covers the ~dozen simultaneous line fills the memory system
+// sustains; D spaces a prefetch far enough ahead of its visit to cover a
+// DRAM access across 3 pipeline stages.
+const (
+	DefaultG = 24
+	DefaultD = 8
+)
+
+func (c Config) normalized() Config {
+	if c.Fanout > 1 {
+		c.Fanout = nextPow2(c.Fanout)
+	}
+	if c.G < 1 {
+		c.G = DefaultG
+	}
+	if c.D < 1 {
+		c.D = DefaultD
+	}
+	if c.MemBudget <= 0 {
+		c.MemBudget = 256 << 20
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Result reports a native join with its wall-clock phase breakdown.
+type Result struct {
+	NOutput int    // output tuples (matches) produced
+	KeySum  uint64 // sum of build keys over all outputs, as in the simulator
+
+	NPartitions int // partition pairs joined
+	Workers     int // workers that served the morsel queue
+
+	PartitionTime time.Duration // flatten + radix scatter, both relations
+	JoinTime      time.Duration // all build+probe pairs (wall clock)
+	Elapsed       time.Duration // end-to-end
+}
+
+// Joiner is a resident join executor: it owns the partition scratch,
+// hash tables, and per-worker state, and recycles them across Join
+// calls. A process that joins repeatedly (benchmark repetitions, a
+// query loop) should reuse one Joiner — allocating the tens of
+// megabytes of entries and table afresh per join churns the garbage
+// collector and, worse, pays the kernel's fresh-page population cost on
+// every first touch, which can triple join times on virtualized hosts.
+// A Joiner is not safe for concurrent use; its internal morsel workers
+// are the intended parallelism.
+type Joiner struct {
+	bp, pp  partitions
+	workers []*pairJoiner
+}
+
+// NewJoiner returns an empty Joiner; buffers grow on first use.
+func NewJoiner() *Joiner { return &Joiner{} }
+
+// Join runs a native hash join of build and probe. The relations must
+// share one arena (they do when built through the public hashjoin API).
+func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) Result {
+	if build.Arena() != probe.Arena() {
+		panic("native: build and probe relations use different arenas")
+	}
+	cfg = cfg.normalized()
+	data := build.Arena().Data()
+
+	start := time.Now()
+	fanout := cfg.Fanout
+	if fanout == 0 {
+		fanout = fanoutFor(build.NTuples, cfg.MemBudget)
+	}
+	jn.bp.fill(data, build, fanout)
+	jn.pp.fill(data, probe, fanout)
+	partDone := time.Now()
+
+	r := jn.joinPairs(data, cfg)
+	end := time.Now()
+
+	r.NPartitions = jn.bp.fanout()
+	r.PartitionTime = partDone.Sub(start)
+	r.JoinTime = end.Sub(partDone)
+	r.Elapsed = end.Sub(start)
+	return r
+}
+
+// Join is the convenience one-shot form: a throwaway Joiner. Prefer a
+// reused Joiner when joining more than once.
+func Join(build, probe *storage.Relation, cfg Config) Result {
+	return NewJoiner().Join(build, probe, cfg)
+}
+
+// fanoutFor picks the smallest power-of-two partition count such that a
+// build partition's entries plus its hash table fit budget bytes.
+func fanoutFor(nBuild, budget int) int {
+	perTuple := entrySize + headerSize + cellSize/2 // entries + headers + amortized overflow
+	need := nBuild * perTuple
+	f := 1
+	for f < 1<<20 && need > budget*f {
+		f <<= 1
+	}
+	return f
+}

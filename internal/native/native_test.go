@@ -1,0 +1,197 @@
+package native
+
+import (
+	"fmt"
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/workload"
+)
+
+// expected computes a workload's ground truth for direct comparison.
+func run(t *testing.T, spec workload.Spec, cfg Config) (Result, *workload.Pair) {
+	t.Helper()
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+	r := Join(pair.Build, pair.Probe, cfg)
+	return r, pair
+}
+
+func TestJoinAllSchemes(t *testing.T) {
+	spec := workload.Spec{NBuild: 5000, TupleSize: 36, MatchesPerBuild: 2, PctMatched: 90, Seed: 3}
+	for _, scheme := range []Scheme{Baseline, Group, Pipelined} {
+		for _, fanout := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%v/fanout%d", scheme, fanout), func(t *testing.T) {
+				r, pair := run(t, spec, Config{Scheme: scheme, Fanout: fanout, Workers: 2})
+				if r.NOutput != pair.ExpectedMatches {
+					t.Fatalf("NOutput = %d, want %d", r.NOutput, pair.ExpectedMatches)
+				}
+				if r.KeySum != pair.KeySum {
+					t.Fatalf("KeySum = %d, want %d", r.KeySum, pair.KeySum)
+				}
+			})
+		}
+	}
+}
+
+func TestJoinSkewed(t *testing.T) {
+	// Repeated build keys grow bucket chains, exercising the overflow
+	// slab on every scheme.
+	spec := workload.Spec{NBuild: 4000, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 9, Skew: 16}
+	for _, scheme := range []Scheme{Baseline, Group, Pipelined} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			r, pair := run(t, spec, Config{Scheme: scheme})
+			if r.NOutput != pair.ExpectedMatches || r.KeySum != pair.KeySum {
+				t.Fatalf("got (%d, %d), want (%d, %d)",
+					r.NOutput, r.KeySum, pair.ExpectedMatches, pair.KeySum)
+			}
+		})
+	}
+}
+
+func TestJoinTinyAndEmpty(t *testing.T) {
+	// Degenerate sizes stress the pipelined prologue/epilogue (inputs
+	// shorter than 3D) and empty-partition skipping.
+	for _, n := range []int{0, 1, 2, 3, 7} {
+		for _, scheme := range []Scheme{Baseline, Group, Pipelined} {
+			t.Run(fmt.Sprintf("n%d/%v", n, scheme), func(t *testing.T) {
+				spec := workload.Spec{NBuild: n, NProbe: max(2*n, 1), TupleSize: 16, MatchesPerBuild: 2, Seed: 1}
+				if n == 0 {
+					// workload.Generate requires NBuild >= 1; make an
+					// empty build relation by hand instead.
+					a := arena.New(4 << 20)
+					p := workload.Generate(a, workload.Spec{NBuild: 1, NProbe: 2, TupleSize: 16, Seed: 1})
+					empty := storage.NewRelation(a, p.Build.Schema, p.Build.PageSize)
+					r := Join(empty, p.Probe, Config{Scheme: scheme})
+					if r.NOutput != 0 || r.KeySum != 0 {
+						t.Fatalf("empty build produced output: %+v", r)
+					}
+					return
+				}
+				r, pair := run(t, spec, Config{Scheme: scheme, G: 5, D: 3})
+				if r.NOutput != pair.ExpectedMatches || r.KeySum != pair.KeySum {
+					t.Fatalf("got (%d, %d), want (%d, %d)",
+						r.NOutput, r.KeySum, pair.ExpectedMatches, pair.KeySum)
+				}
+			})
+		}
+	}
+}
+
+func TestMorselWorkersDeterministic(t *testing.T) {
+	// The same workload must produce identical results at every worker
+	// count: claim order is nondeterministic, the sums are not.
+	spec := workload.Spec{NBuild: 20000, TupleSize: 24, MatchesPerBuild: 2, PctMatched: 80, Seed: 5}
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+	for _, workers := range []int{1, 2, 4, 16} {
+		r := Join(pair.Build, pair.Probe, Config{Scheme: Group, Fanout: 32, Workers: workers})
+		if r.NOutput != pair.ExpectedMatches || r.KeySum != pair.KeySum {
+			t.Fatalf("workers=%d: got (%d, %d), want (%d, %d)",
+				workers, r.NOutput, r.KeySum, pair.ExpectedMatches, pair.KeySum)
+		}
+	}
+}
+
+func TestPartitionPreservesEntries(t *testing.T) {
+	spec := workload.Spec{NBuild: 3000, TupleSize: 16, MatchesPerBuild: 1, Seed: 2}
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+	data := a.Data()
+
+	flat := flatten(data, pair.Build, nil)
+	if len(flat) != pair.Build.NTuples {
+		t.Fatalf("flatten produced %d entries, want %d", len(flat), pair.Build.NTuples)
+	}
+
+	p := new(partitions)
+	p.fill(data, pair.Build, 16)
+	if got := len(p.entries); got != len(flat) {
+		t.Fatalf("partitioning kept %d entries, want %d", got, len(flat))
+	}
+	// Every entry must land in the partition its code selects, and the
+	// multiset of keys must survive the scatter.
+	var flatSum, partSum uint64
+	for _, e := range flat {
+		flatSum += uint64(e.Key)
+	}
+	for i := 0; i < p.fanout(); i++ {
+		for _, e := range p.part(i) {
+			if int(e.Code&uint32(p.fanout()-1)) != i {
+				t.Fatalf("entry with code %#x in partition %d", e.Code, i)
+			}
+			partSum += uint64(e.Key)
+		}
+	}
+	if flatSum != partSum {
+		t.Fatalf("key sum changed across partitioning: %d vs %d", flatSum, partSum)
+	}
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	tbl := NewTable(64, 0)
+	type kv struct {
+		code uint32
+		ref  uint64
+	}
+	oracle := map[uint32][]uint64{}
+	var items []kv
+	// Deliberate collisions: few distinct codes, many refs.
+	for i := 0; i < 500; i++ {
+		c := uint32(i % 17 * 0x9E3779B9)
+		items = append(items, kv{c, uint64(arena.Base) + uint64(i)*8})
+	}
+	for _, it := range items {
+		tbl.Insert(it.code, it.ref)
+		oracle[it.code] = append(oracle[it.code], it.ref)
+	}
+	if got, want := tbl.TotalCells(), len(items); got != want {
+		t.Fatalf("TotalCells = %d, want %d", got, want)
+	}
+	for code, want := range oracle {
+		var got []uint64
+		tbl.Lookup(code, func(ref uint64) { got = append(got, ref) })
+		if len(got) < len(want) {
+			t.Fatalf("code %#x: %d refs, want >= %d", code, len(got), len(want))
+		}
+		// Hash codes are only a filter, so Lookup may yield extra refs
+		// from colliding codes; every expected ref must be present.
+		seen := map[uint64]bool{}
+		for _, r := range got {
+			seen[r] = true
+		}
+		for _, r := range want {
+			if !seen[r] {
+				t.Fatalf("code %#x: missing ref %#x", code, r)
+			}
+		}
+	}
+}
+
+func TestTableResetReuse(t *testing.T) {
+	tbl := NewTable(1024, 0)
+	for i := 0; i < 2000; i++ {
+		tbl.Insert(uint32(i)*2654435761, uint64(arena.Base)+uint64(i))
+	}
+	tbl.Reset(16, 2)
+	if got := tbl.TotalCells(); got != 0 {
+		t.Fatalf("reset table has %d cells", got)
+	}
+	tbl.Insert(0xFF00, uint64(arena.Base))
+	found := 0
+	tbl.Lookup(0xFF00, func(uint64) { found++ })
+	if found != 1 {
+		t.Fatalf("lookup after reset found %d", found)
+	}
+}
+
+func TestFanoutFor(t *testing.T) {
+	if f := fanoutFor(1000, 256<<20); f != 1 {
+		t.Fatalf("small build should not partition, got fanout %d", f)
+	}
+	f := fanoutFor(10_000_000, 1<<20)
+	if f < 64 || f&(f-1) != 0 {
+		t.Fatalf("cache-budget fanout = %d, want a power of two covering the build", f)
+	}
+}

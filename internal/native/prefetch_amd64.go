@@ -1,0 +1,19 @@
+//go:build amd64 && !purego
+
+package native
+
+import "unsafe"
+
+// HavePrefetch reports whether prefetchT0 issues a real prefetch
+// instruction on this build.
+const HavePrefetch = true
+
+// prefetchT0 issues PREFETCHT0 for the cache line containing p: a
+// non-binding hint that retires immediately, exactly the primitive the
+// paper's schemes assume (gcc's __builtin_prefetch). Go has no prefetch
+// intrinsic, so this is a one-instruction assembly stub; the call
+// overhead (~1-2 ns, the stub cannot be inlined) is amortized by group/
+// pipelined batching and is far below the DRAM miss it hides.
+//
+//go:noescape
+func prefetchT0(p unsafe.Pointer)

@@ -1,0 +1,15 @@
+//go:build !amd64 || purego
+
+package native
+
+import "unsafe"
+
+// HavePrefetch reports whether prefetchT0 issues a real prefetch
+// instruction on this build.
+const HavePrefetch = false
+
+// prefetchT0 is a no-op on platforms without an assembly stub (or under
+// the purego tag). The group and pipelined loops still help there: each
+// stage issues a burst of independent loads, which the out-of-order core
+// overlaps better than the baseline's per-tuple dependent chain.
+func prefetchT0(p unsafe.Pointer) { _ = p }

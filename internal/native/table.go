@@ -1,0 +1,148 @@
+package native
+
+import "math/bits"
+
+// The native hash table keeps the paper's Figure 2 shape — an array of
+// bucket headers, each embedding its first hash cell inline and pointing
+// at a dynamically grown overflow array — but lays it out for real
+// cache-line locality:
+//
+//   - headers are 32-byte structs, two per 64-byte line, in one flat
+//     slice, so a single prefetch of the header address covers the
+//     count, the inline cell, and the overflow pointer;
+//   - overflow cells live in one shared slab addressed by index (not
+//     pointer), so per-bucket arrays stay contiguous and the slab can be
+//     grown with append without invalidating references.
+//
+// Bucket numbers come from the hash code's bits *above* the radix bits
+// consumed by the partitioner, so partitioning does not starve the
+// table's index distribution.
+
+type header struct {
+	count  uint32 // cells in the bucket (inline cell included)
+	code0  uint32 // inline cell: hash code
+	tuple0 uint64 // inline cell: build tuple address
+	cells  uint32 // slab index of the overflow array; 0 = none
+	cap_   uint32 // capacity of the overflow array, in cells
+	_      uint64 // pad to 32 bytes: two headers per cache line
+}
+
+type cell struct {
+	code uint32
+	_    uint32
+	ref  uint64 // build tuple address
+}
+
+const (
+	headerSize = 32
+	cellSize   = 16
+
+	// initialCellCap matches the simulator's hash.InitialCellCap.
+	initialCellCap = 4
+)
+
+// Table is the native flat hash table.
+type Table struct {
+	headers []header
+	cells   []cell // shared overflow slab; index 0 is a reserved sentinel
+	shift   uint   // radix bits consumed by the partitioner
+	mask    uint32 // len(headers)-1
+}
+
+// NewTable sizes a table for nTuples build tuples: the next power of two
+// buckets (load factor <= 1), indexed by hash code bits above shift.
+func NewTable(nTuples int, shift uint) *Table {
+	t := &Table{}
+	t.Reset(nTuples, shift)
+	return t
+}
+
+// Reset re-sizes and clears the table for reuse across partition pairs,
+// keeping allocations when the new partition is no larger.
+func (t *Table) Reset(nTuples int, shift uint) {
+	if nTuples < 1 {
+		nTuples = 1
+	}
+	nb := 1 << uint(bits.Len(uint(nTuples-1)))
+	if nb <= cap(t.headers) {
+		t.headers = t.headers[:nb]
+		clear(t.headers)
+	} else {
+		t.headers = make([]header, nb)
+	}
+	if cap(t.cells) > 0 {
+		t.cells = t.cells[:1]
+	} else {
+		t.cells = make([]cell, 1, 1+nTuples/4)
+	}
+	t.shift = shift
+	t.mask = uint32(nb - 1)
+}
+
+// NBuckets returns the bucket count.
+func (t *Table) NBuckets() int { return len(t.headers) }
+
+// bucket maps a hash code to its bucket index.
+func (t *Table) bucket(code uint32) uint32 { return (code >> t.shift) & t.mask }
+
+// Insert adds (code, ref) to the table. The caller passes the build
+// tuple's arena address; probes re-read the key through it.
+func (t *Table) Insert(code uint32, ref uint64) {
+	h := &t.headers[t.bucket(code)]
+	if h.count == 0 {
+		h.code0 = code
+		h.tuple0 = ref
+		h.count = 1
+		return
+	}
+	over := h.count - 1
+	if h.cells == 0 || over == h.cap_ {
+		t.grow(h, over)
+	}
+	t.cells[h.cells+over] = cell{code: code, ref: ref}
+	h.count++
+}
+
+// grow allocates or doubles a bucket's overflow array inside the slab,
+// copying the existing cells.
+func (t *Table) grow(h *header, over uint32) {
+	newCap := uint32(initialCellCap)
+	if h.cap_ > 0 {
+		newCap = h.cap_ * 2
+	}
+	idx := uint32(len(t.cells))
+	t.cells = append(t.cells, make([]cell, newCap)...)
+	if h.cells != 0 && over > 0 {
+		copy(t.cells[idx:idx+over], t.cells[h.cells:h.cells+over])
+	}
+	h.cells = idx
+	h.cap_ = newCap
+}
+
+// Lookup calls fn for every build tuple address in code's bucket whose
+// cell code equals code. Exported for tests and the fuzz oracle; the
+// measured probe loops in join.go inline this walk.
+func (t *Table) Lookup(code uint32, fn func(ref uint64)) {
+	h := &t.headers[t.bucket(code)]
+	if h.count == 0 {
+		return
+	}
+	if h.code0 == code {
+		fn(h.tuple0)
+	}
+	for i := uint32(0); i < h.count-1; i++ {
+		c := &t.cells[h.cells+i]
+		if c.code == code {
+			fn(c.ref)
+		}
+	}
+}
+
+// TotalCells sums all bucket counts; for invariant checks.
+func (t *Table) TotalCells() int {
+	total := 0
+	for i := range t.headers {
+		total += int(t.headers[i].count)
+	}
+	return total
+}
