@@ -2,7 +2,10 @@
 // cycle simulator, and — with -engine native — benchmarks the same join
 // schemes on the host hardware, reporting wall-clock speedups of group
 // and software-pipelined prefetching over the baseline the same way the
-// simulator reports cycle speedups.
+// simulator reports cycle speedups. With -pipeline it benchmarks the
+// full Scan -> HashJoin -> HashAggregate operator pipeline instead of
+// the monolithic join, on either engine — the same shared plan hjquery
+// runs.
 //
 // Usage:
 //
@@ -10,6 +13,7 @@
 //	hjbench -fig fig10a [-scale small|full|tiny] [-csv]
 //	hjbench -all [-scale small]
 //	hjbench -engine native [-build 500000] [-tuple 100] [-schemes baseline,group,pipelined]
+//	hjbench -pipeline -engine native [-build 200000] [-schemes baseline,group,pipelined]
 //
 // Full scale reproduces the paper's exact setup (1 MB L2, 50 MB join
 // memory) and takes minutes per figure; small scale preserves the 50:1
@@ -25,37 +29,55 @@ import (
 	"time"
 
 	"hashjoin/internal/arena"
+	"hashjoin/internal/cli"
+	"hashjoin/internal/core"
+	"hashjoin/internal/engine"
 	"hashjoin/internal/exp"
 	"hashjoin/internal/native"
 	"hashjoin/internal/workload"
 )
 
+const prog = "hjbench"
+
 func main() {
 	var (
-		engine  = flag.String("engine", "sim", "execution engine: sim (reproduce figures) or native (host-hardware benchmark)")
-		fig     = flag.String("fig", "", "experiment id to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment ids")
-		scale   = flag.String("scale", "small", "scale: tiny, small, or full")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		nBuild  = flag.Int("build", 500000, "native: build relation tuple count")
-		tuple   = flag.Int("tuple", 100, "native: tuple size in bytes")
-		matches = flag.Int("matches", 2, "native: probe tuples per build tuple")
-		schemes = flag.String("schemes", "baseline,group,pipelined", "native: comma-separated schemes to compare")
-		fanout  = flag.Int("fanout", 1, "native: partition fan-out (1 = single pair, the paper's join-phase setup)")
-		workers = flag.Int("workers", 0, "native: morsel workers (0 = all CPUs)")
-		reps    = flag.Int("reps", 3, "native: repetitions per scheme (medians reported)")
-		seed    = flag.Int64("seed", 42, "native: workload seed")
+		engineArg = flag.String("engine", "sim", "execution engine: sim (reproduce figures) or native (host-hardware benchmark)")
+		pipeMode  = flag.Bool("pipeline", false, "benchmark the full scan-join-aggregate operator pipeline instead of the monolithic join")
+		fig       = flag.String("fig", "", "experiment id to run (see -list)")
+		all       = flag.Bool("all", false, "run every experiment")
+		list      = flag.Bool("list", false, "list experiment ids")
+		scale     = flag.String("scale", "small", "scale: tiny, small, or full")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		nBuild    = flag.Int("build", 500000, "native/pipeline: build relation tuple count")
+		tuple     = flag.Int("tuple", 100, "native/pipeline: tuple size in bytes")
+		matches   = flag.Int("matches", 2, "native/pipeline: probe tuples per build tuple")
+		schemes   = flag.String("schemes", "baseline,group,pipelined", "native/pipeline: comma-separated schemes to compare")
+		fanout    = flag.Int("fanout", 1, "native/pipeline: partition fan-out (1 = single pair, the paper's join-phase setup)")
+		workers   = flag.Int("workers", 0, "native: morsel workers (0 = all CPUs)")
+		reps      = flag.Int("reps", 3, "native/pipeline: repetitions per scheme (medians reported)")
+		seed      = flag.Int64("seed", 42, "native/pipeline: workload seed")
 	)
 	flag.Parse()
 
-	switch *engine {
-	case "sim":
-	case "native":
-		runNative(*nBuild, *tuple, *matches, *schemes, *fanout, *workers, *reps, *seed)
+	backend, err := cli.ParseEngine(*engineArg)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
+	}
+	spec := workload.Spec{
+		NBuild:          *nBuild,
+		TupleSize:       *tuple,
+		MatchesPerBuild: *matches,
+		PctMatched:      100,
+		Seed:            *seed,
+	}
+
+	if *pipeMode {
+		runPipeline(backend, spec, *schemes, *fanout, *workers, *reps)
 		return
-	default:
-		fatalf("unknown engine %q (accepted: sim, native)", *engine)
+	}
+	if backend == engine.Native {
+		runNative(spec, *schemes, *fanout, *workers, *reps)
+		return
 	}
 
 	if *list {
@@ -66,7 +88,7 @@ func main() {
 	}
 	sc, ok := exp.ByName(*scale)
 	if !ok {
-		fatalf("unknown scale %q (accepted: tiny, small, full)", *scale)
+		cli.Fatalf(prog, "unknown scale %q (accepted: tiny, small, full)", *scale)
 	}
 
 	switch {
@@ -77,7 +99,7 @@ func main() {
 	case *fig != "":
 		e, ok := exp.Lookup(strings.ToLower(*fig))
 		if !ok {
-			fatalf("unknown experiment %q; try -list", *fig)
+			cli.Fatalf(prog, "unknown experiment %q; try -list", *fig)
 		}
 		runOne(e, sc, *csv)
 	default:
@@ -86,33 +108,106 @@ func main() {
 	}
 }
 
-// runNative benchmarks the requested schemes on the host hardware and
-// prints a wall-clock speedup table.
-func runNative(nBuild, tuple, matches int, schemeList string, fanout, workers, reps int, seed int64) {
-	names := strings.Split(schemeList, ",")
-	schemes := make([]native.Scheme, 0, len(names))
-	for _, n := range names {
-		s, ok := native.ParseScheme(strings.TrimSpace(n))
-		if !ok {
-			fatalf("unknown scheme %q (accepted: %s)", n, strings.Join(native.Schemes(), ", "))
+// runPipeline benchmarks the shared operator pipeline per scheme on the
+// selected engine. Each run uses a fresh arena (same seed, identical
+// workload bytes); native repetitions interleave the schemes so host
+// drift lands on all of them alike, and medians are compared. The
+// simulator is deterministic, so one rep suffices there.
+func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, fanout, workers, reps int) {
+	parsed, err := cli.ParseSchemeList(schemeList)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
+	}
+	if backend == engine.Sim || reps < 1 {
+		reps = 1
+	}
+	fanout = cli.NormalizeFanout(fanout)
+
+	fmt.Printf("pipeline benchmark (%v engine): scan -> join -> aggregate, %d build tuples, %d B each, fanout %d\n",
+		backend, spec.NBuild, spec.TupleSize, fanout)
+
+	run := func(scheme core.Scheme) cli.PipelineResult {
+		p := &cli.Pipeline{
+			Engine: backend, Spec: spec, Scheme: scheme,
+			Params: core.DefaultParams(), Fanout: fanout, Workers: workers,
 		}
-		schemes = append(schemes, s)
+		if backend == engine.Native {
+			p.Params = core.Params{} // native defaults
+		}
+		res, err := p.Run()
+		if err != nil {
+			cli.Dief(prog, "scheme %v: %v", scheme, err)
+		}
+		return res
+	}
+
+	results := make([][]cli.PipelineResult, len(parsed))
+	for r := 0; r < reps; r++ {
+		for i, s := range parsed {
+			results[i] = append(results[i], run(s))
+		}
+	}
+
+	if backend == engine.Sim {
+		var base uint64
+		fmt.Printf("%-10s %14s %10s\n", "scheme", "Mcycles", "speedup")
+		for i, s := range parsed {
+			cycles := results[i][0].Stats.Total()
+			speedup := "1.00x"
+			if base == 0 {
+				base = cycles
+			} else {
+				speedup = fmt.Sprintf("%.2fx", float64(base)/float64(cycles))
+			}
+			fmt.Printf("%-10v %14.2f %10s\n", s, float64(cycles)/1e6, speedup)
+		}
+		return
+	}
+	var base time.Duration
+	fmt.Printf("%-10s %12s %10s %12s\n", "scheme", "total", "speedup", "Mprobe/s")
+	for i, s := range parsed {
+		med := medianElapsed(results[i])
+		speedup := "1.00x"
+		if base == 0 {
+			base = med
+		} else {
+			speedup = fmt.Sprintf("%.2fx", base.Seconds()/med.Seconds())
+		}
+		nProbe := spec.NBuild * spec.MatchesPerBuild
+		fmt.Printf("%-10v %10.2fms %10s %12.1f\n", s, med.Seconds()*1e3,
+			speedup, float64(nProbe)/med.Seconds()/1e6)
+	}
+	fmt.Printf("(speedup = first scheme's elapsed / scheme's elapsed; medians of %d interleaved reps; all results validated)\n", reps)
+}
+
+func medianElapsed(rs []cli.PipelineResult) time.Duration {
+	sorted := make([]time.Duration, len(rs))
+	for i, r := range rs {
+		sorted[i] = r.Elapsed
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+// runNative benchmarks the requested schemes as monolithic native joins
+// and prints a wall-clock speedup table.
+func runNative(spec workload.Spec, schemeList string, fanout, workers, reps int) {
+	parsed, err := cli.ParseSchemeList(schemeList)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
+	}
+	schemes := make([]native.Scheme, len(parsed))
+	for i, s := range parsed {
+		schemes[i] = cli.NativeScheme(s)
 	}
 	if reps < 1 {
 		reps = 1
 	}
 
-	spec := workload.Spec{
-		NBuild:          nBuild,
-		TupleSize:       tuple,
-		MatchesPerBuild: matches,
-		PctMatched:      100,
-		Seed:            seed,
-	}
 	a := arena.New(workload.ArenaBytesFor(spec))
 	pair := workload.Generate(a, spec)
 	fmt.Printf("native join benchmark: %d build x %d probe tuples, %d B each, fanout %d, prefetch asm %v\n",
-		pair.Build.NTuples, pair.Probe.NTuples, tuple, fanout, native.HavePrefetch)
+		pair.Build.NTuples, pair.Probe.NTuples, spec.TupleSize, fanout, native.HavePrefetch)
 
 	// One resident Joiner serves every measurement, so all schemes run
 	// on the same recycled memory; an untimed warmup join pays the
@@ -129,7 +224,7 @@ func runNative(nBuild, tuple, matches int, schemeList string, fanout, workers, r
 			Scheme: s, Fanout: fanout, Workers: workers,
 		})
 		if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
-			die("scheme %v: result mismatch: (%d, %d) vs (%d, %d) expected",
+			cli.Dief(prog, "scheme %v: result mismatch: (%d, %d) vs (%d, %d) expected",
 				s, res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
 		}
 		return res
@@ -174,16 +269,4 @@ func runOne(e exp.Experiment, sc exp.Scale, csv bool) {
 	start := time.Now()
 	exp.RunAndPrint(os.Stdout, e, sc, csv)
 	fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
-}
-
-// fatalf reports a usage error (bad flag value): exit code 2.
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hjbench: %s\n", fmt.Sprintf(format, args...))
-	os.Exit(2)
-}
-
-// die reports a runtime failure: exit code 1.
-func die(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hjbench: %s\n", fmt.Sprintf(format, args...))
-	os.Exit(1)
 }

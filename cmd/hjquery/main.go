@@ -1,45 +1,47 @@
-// Command hjquery generates a synthetic workload, plans a GRACE join
-// from catalog statistics, executes it, and reports the result — the
-// full paper pipeline in one invocation. Two execution engines are
-// available: the cycle-level simulator (default), which reports a
-// simulated cycle breakdown, and the native engine, which runs the same
-// join schemes directly on the host hardware and reports wall-clock
-// times.
+// Command hjquery generates a synthetic workload and runs the paper's
+// full query pipeline — Scan -> HashJoin -> HashAggregate — through the
+// batch-oriented operator engine. The -engine flag selects the backend
+// for the SAME logical plan: the cycle-level simulator (default), which
+// reports a simulated cycle breakdown, or the native engine, which runs
+// the pipeline on the host hardware — prefetched join feeding prefetched
+// aggregation — and reports wall-clock time. Both engines print
+// identical result and group lines for the same workload.
 //
 // Usage:
 //
 //	hjquery -build 100000 -tuple 100 -matches 2 -mem 6553600 \
-//	        -scheme group -catalog out.json
-//	hjquery -engine native -build 500000 -scheme pipelined -workers 4
+//	        -scheme plan -catalog out.json
+//	hjquery -engine native -build 500000 -scheme pipelined -fanout 64
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"hashjoin/internal/arena"
 	"hashjoin/internal/catalog"
+	"hashjoin/internal/cli"
 	"hashjoin/internal/core"
+	"hashjoin/internal/engine"
 	"hashjoin/internal/memsim"
 	"hashjoin/internal/native"
-	"hashjoin/internal/vmem"
 	"hashjoin/internal/workload"
 )
 
+const prog = "hjquery"
+
 func main() {
 	var (
-		engine    = flag.String("engine", "sim", "execution engine: sim or native")
+		engineArg = flag.String("engine", "sim", "execution engine: sim or native")
 		nBuild    = flag.Int("build", 50000, "build relation tuple count")
 		tupleSize = flag.Int("tuple", 100, "tuple size in bytes")
 		matches   = flag.Int("matches", 2, "probe tuples per build tuple")
 		pct       = flag.Int("pct", 100, "percent of build tuples with matches")
-		mem       = flag.Int("mem", 6400<<10, "join memory budget in bytes")
+		mem       = flag.Int("mem", 6400<<10, "join memory budget in bytes (planner input)")
 		schemeArg = flag.String("scheme", "plan", "baseline, simple, group, pipelined, or plan (use planner)")
-		hierarchy = flag.String("hier", "small", "memory hierarchy: small or es40 (sim engine)")
+		hierArg   = flag.String("hier", "small", "memory hierarchy: small or es40 (sim engine)")
 		workers   = flag.Int("workers", 0, "native engine: morsel workers (0 = all CPUs)")
-		fanout    = flag.Int("fanout", 0, "native engine: partition fan-out (0 = derive from -mem)")
+		fanout    = flag.Int("fanout", 1, "native engine: partition fan-out (1 = stream through one table)")
 		catPath   = flag.String("catalog", "", "write the catalog description file here")
 		seed      = flag.Int64("seed", 1, "workload seed")
 	)
@@ -47,136 +49,85 @@ func main() {
 
 	// Validate enumerated flags up front: an unknown value must fail
 	// loudly with the accepted list, never fall through to a default.
-	var cfg memsim.Config
-	switch *hierarchy {
-	case "small":
-		cfg = memsim.SmallConfig()
-	case "es40":
-		cfg = memsim.ES40Config()
-	default:
-		fatalf("unknown hierarchy %q (accepted: small, es40)", *hierarchy)
+	backend, err := cli.ParseEngine(*engineArg)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
 	}
-	switch *engine {
-	case "sim", "native":
-	default:
-		fatalf("unknown engine %q (accepted: sim, native)", *engine)
+	hier, err := cli.ParseHierarchy(*hierArg)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
 	}
-	switch *schemeArg {
-	case "plan", "baseline", "simple", "group", "pipelined":
-	default:
-		fatalf("unknown scheme %q (accepted: plan, baseline, simple, group, pipelined)", *schemeArg)
+	scheme, usePlan, err := cli.ParsePlanScheme(*schemeArg)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
 	}
 
-	spec := workload.Spec{
-		NBuild:          *nBuild,
-		TupleSize:       *tupleSize,
-		MatchesPerBuild: *matches,
-		PctMatched:      *pct,
-		Seed:            *seed,
+	p := &cli.Pipeline{
+		Engine: backend,
+		Spec: workload.Spec{
+			NBuild:          *nBuild,
+			TupleSize:       *tupleSize,
+			MatchesPerBuild: *matches,
+			PctMatched:      *pct,
+			Seed:            *seed,
+		},
+		Hier:    hier,
+		Fanout:  cli.NormalizeFanout(*fanout),
+		Workers: *workers,
 	}
-	a := arena.New(workload.ArenaBytesFor(spec) * 2)
-	pair := workload.Generate(a, spec)
+	p.Materialize()
 
-	desc := catalog.Describe("build", pair.Build)
-	cat := catalog.New()
-	cat.Put(desc)
-	cat.Put(catalog.Describe("probe", pair.Probe))
+	desc := catalog.Describe("build", p.Pair.Build)
 	if *catPath != "" {
+		cat := catalog.New()
+		cat.Put(desc)
+		cat.Put(catalog.Describe("probe", p.Pair.Probe))
 		f, err := os.Create(*catPath)
 		if err != nil {
-			die("%v", err)
+			cli.Dief(prog, "%v", err)
 		}
 		if err := cat.Save(f); err != nil {
-			die("%v", err)
+			cli.Dief(prog, "%v", err)
 		}
 		f.Close()
 		fmt.Printf("catalog written to %s\n", *catPath)
 	}
 
-	if *engine == "native" {
-		runNative(pair, *schemeArg, *mem, *fanout, *workers)
-		return
+	p.Scheme, p.Params = scheme, core.DefaultParams()
+	if usePlan {
+		// The planner targets the simulator's cost model; the native
+		// engine reuses its scheme choice with the native default G/D.
+		plan := catalog.PlanGrace(desc, *mem, hier)
+		p.Scheme = plan.JoinScheme
+		p.Params = plan.Params
+		if backend == engine.Native {
+			p.Params = core.Params{}
+		}
+		fmt.Printf("plan: scheme=%v G=%d D=%d (catalog planner)\n",
+			p.Scheme, plan.Params.G, plan.Params.D)
 	}
 
-	plan := catalog.PlanGrace(desc, *mem, cfg)
-	gcfg := core.GraceConfig{
-		MemBudget:  *mem,
-		PartScheme: plan.PartScheme,
-		JoinScheme: plan.JoinScheme,
-		PartParams: plan.Params,
-		JoinParams: plan.Params,
-	}
-	switch *schemeArg {
-	case "plan":
-		// keep the planner's choice
-	case "baseline":
-		gcfg.PartScheme, gcfg.JoinScheme = core.SchemeBaseline, core.SchemeBaseline
-	case "simple":
-		gcfg.JoinScheme = core.SchemeSimple
-	case "group":
-		gcfg.JoinScheme = core.SchemeGroup
-	case "pipelined":
-		gcfg.JoinScheme = core.SchemePipelined
+	res, err := p.Run()
+	if err != nil {
+		cli.Dief(prog, "%v", err)
 	}
 
-	fmt.Printf("plan: %d partitions, table %d buckets, partition=%v join=%v G=%d D=%d\n",
-		plan.NPartitions, plan.TableSize, gcfg.PartScheme, gcfg.JoinScheme,
-		gcfg.JoinParams.G, gcfg.JoinParams.D)
-
-	m := vmem.New(a, memsim.NewSim(cfg))
-	res := core.Grace(m, pair.Build, pair.Probe, gcfg)
-
-	if res.NOutput != pair.ExpectedMatches {
-		die("result mismatch: %d vs %d expected", res.NOutput, pair.ExpectedMatches)
-	}
+	// These two lines are engine-independent: same workload, same plan,
+	// same logical result on either backend.
 	fmt.Printf("result: %d output tuples (validated)\n", res.NOutput)
-	printPhase("partition", res.PartBuildStats.Add(res.PartProbeStats))
-	printPhase("join", res.JoinStats)
-	fmt.Printf("total: %.2f Mcycles\n", float64(res.TotalCycles())/1e6)
-}
+	fmt.Printf("groups: %d groups, keysum %d\n", len(res.Groups), res.KeySum)
 
-// runNative executes the workload on the native engine and reports the
-// wall-clock breakdown.
-func runNative(pair *workload.Pair, schemeArg string, mem, fanout, workers int) {
-	// The catalog planner targets the simulator's cost model; on the
-	// native engine "plan" and "simple" resolve to the schemes they
-	// would select there (group; baseline).
-	var scheme native.Scheme
-	switch schemeArg {
-	case "plan", "group":
-		scheme = native.Group
-	case "baseline", "simple":
-		scheme = native.Baseline
-	case "pipelined":
-		scheme = native.Pipelined
+	switch backend {
+	case engine.Sim:
+		printPhase("pipeline", res.Stats)
+		fmt.Printf("total: %.2f Mcycles\n", float64(res.Stats.Total())/1e6)
+	case engine.Native:
+		rate := float64(p.Pair.Probe.NTuples) / res.Elapsed.Seconds() / 1e6
+		fmt.Printf("native: scheme %v, fanout %d, prefetch asm %v\n",
+			cli.NativeScheme(p.Scheme), p.Fanout, native.HavePrefetch)
+		fmt.Printf("total: %.2f ms  (%.1f Mprobe tuples/s)\n",
+			res.Elapsed.Seconds()*1e3, rate)
 	}
-	cfg := native.Config{Scheme: scheme, MemBudget: mem, Fanout: fanout, Workers: workers}
-	r := native.Join(pair.Build, pair.Probe, cfg)
-	if r.NOutput != pair.ExpectedMatches || r.KeySum != pair.KeySum {
-		die("native result mismatch: (%d, %d) vs (%d, %d) expected",
-			r.NOutput, r.KeySum, pair.ExpectedMatches, pair.KeySum)
-	}
-	fmt.Printf("native: scheme %v, %d partitions, %d workers, prefetch asm %v\n",
-		scheme, r.NPartitions, r.Workers, native.HavePrefetch)
-	fmt.Printf("result: %d output tuples (validated)\n", r.NOutput)
-	fmt.Printf("%-10s %10.2f ms\n", "partition", ms(r.PartitionTime))
-	fmt.Printf("%-10s %10.2f ms\n", "join", ms(r.JoinTime))
-	rate := float64(pair.Probe.NTuples) / r.Elapsed.Seconds() / 1e6
-	fmt.Printf("total: %.2f ms  (%.1f Mprobe tuples/s)\n", ms(r.Elapsed), rate)
-}
-
-func ms(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1e3 }
-
-// fatalf reports a usage error (bad flag value): exit code 2.
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hjquery: %s\n", strings.TrimSuffix(fmt.Sprintf(format, args...), "\n"))
-	os.Exit(2)
-}
-
-// die reports a runtime failure: exit code 1.
-func die(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hjquery: %s\n", fmt.Sprintf(format, args...))
-	os.Exit(1)
 }
 
 func printPhase(name string, s memsim.Stats) {

@@ -1,8 +1,14 @@
 // Analytics: a composed query pipeline — scan, filter, group-prefetched
 // hash join, and hash aggregation — demonstrating the paper's section
 // 5.4 observation that group prefetching suits pipelined query
-// processing: the join pauses at each group boundary of G probe tuples
-// and streams its matches upward, instead of materializing everything.
+// processing: operator batches are sized to the prefetch group G, so
+// the join pauses at each group boundary of G probe tuples and streams
+// its matches upward instead of materializing everything.
+//
+// The same logical plan is compiled twice: once for the cycle-level
+// simulator backend (every access timed by the memory-hierarchy model)
+// and once for the native backend (real PREFETCHT0 on the host CPU).
+// Both must produce the identical group list.
 //
 // Query (SQL-ish):
 //
@@ -16,12 +22,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hashjoin/internal/arena"
-	"hashjoin/internal/core"
+	"hashjoin/internal/engine"
 	"hashjoin/internal/hash"
 	"hashjoin/internal/memsim"
-	"hashjoin/internal/ops"
+	"hashjoin/internal/native"
 	"hashjoin/internal/storage"
 	"hashjoin/internal/vmem"
 )
@@ -31,6 +38,7 @@ const (
 	orderWidth = 32
 	lineWidth  = 16
 	linesPer   = 2
+	nGroups    = 30000 // orders surviving the filter
 )
 
 func main() {
@@ -52,28 +60,50 @@ func main() {
 		}
 	}
 
-	// Pipeline: filter(orders) ⋈ lineitems, aggregated by key.
-	filtered := ops.NewFilter(m, ops.NewScan(m, orders), ops.KeyBetween(1, 30000))
-	join := ops.NewHashJoin(m, filtered, ops.NewScan(m, lineitems),
-		orderWidth, lineWidth, core.DefaultParams())
-	agg := ops.NewHashAggregate(m, join, orderWidth+lineWidth, orderWidth+4, 30000,
-		core.SchemeGroup, core.DefaultParams())
+	// One logical plan: filter(orders) ⋈ lineitems, grouped by key.
+	// The lineitem amount sits at offset 4 of the probe tuple, which is
+	// orderWidth+4 within the joined (build ++ probe) row.
+	plan := engine.HashAggregate(
+		engine.HashJoin(
+			engine.Filter(engine.Scan(orders), engine.KeyBetween(1, nGroups)),
+			engine.Scan(lineitems)),
+		orderWidth+4, nGroups)
 
-	groups := ops.Collect(agg)
-	var rows, total uint64
-	for _, g := range groups {
-		rows += m.A.U64(g.Addr + 8)
-		total += m.A.U64(g.Addr + 16)
-	}
+	// Backend 1: the cycle-level simulator.
+	sim := engine.Compile(plan, engine.Config{Backend: engine.Sim, Mem: m})
+	simGroups := engine.Groups(sim, m.A)
 	st := m.S.Stats()
-	fmt.Printf("pipeline: %d groups, %d joined rows, total amount %d\n", len(groups), rows, total)
+	rows, total := summarize(simGroups)
+	fmt.Printf("pipeline: %d groups, %d joined rows, total amount %d\n", len(simGroups), rows, total)
 	fmt.Printf("simulated: %.1f Mcycles (busy %.0f%%, dcache %.0f%%, dtlb %.0f%%)\n",
 		float64(st.Total())/1e6,
 		100*float64(st.Busy)/float64(st.Total()),
 		100*float64(st.DCacheStall)/float64(st.Total()),
 		100*float64(st.TLBStall)/float64(st.Total()))
 
-	if len(groups) != 30000 || rows != 30000*linesPer {
+	// Backend 2: the same plan on the host CPU with real prefetches.
+	start := time.Now()
+	nat := engine.Compile(plan, engine.Config{Backend: engine.Native, A: m.A})
+	natGroups := engine.Groups(nat, m.A)
+	elapsed := time.Since(start)
+	fmt.Printf("native: %d groups in %.2f ms (prefetch asm: %v)\n",
+		len(natGroups), float64(elapsed.Microseconds())/1e3, native.HavePrefetch)
+
+	if len(simGroups) != nGroups || rows != nGroups*linesPer {
 		panic("pipeline result incorrect")
 	}
+	for i := range simGroups {
+		if simGroups[i] != natGroups[i] {
+			panic("sim and native backends disagree")
+		}
+	}
+	fmt.Println("parity: sim and native group lists identical")
+}
+
+func summarize(groups []engine.Group) (rows int, total uint64) {
+	for _, g := range groups {
+		rows += int(g.Count)
+		total += g.Sum
+	}
+	return rows, total
 }

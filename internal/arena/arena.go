@@ -79,6 +79,17 @@ func (a *Arena) AllocZeroed(size, align uint64) Addr {
 // Reset discards all allocations, keeping the backing storage.
 func (a *Arena) Reset() { a.next = 0 }
 
+// Truncate discards every allocation made after Used() returned mark,
+// keeping the backing storage. It lets callers that interleave durable
+// data (relations) with per-run scratch (operator output rings,
+// staged aggregation rows) reclaim the scratch between runs.
+func (a *Arena) Truncate(mark uint64) {
+	if mark > a.next {
+		panic(fmt.Sprintf("arena: Truncate(%d) beyond used %d", mark, a.next))
+	}
+	a.next = mark
+}
+
 // Bytes returns the backing slice for [addr, addr+size). The slice aliases
 // arena storage; writes through it are visible to subsequent reads.
 func (a *Arena) Bytes(addr Addr, size uint64) []byte {

@@ -127,3 +127,23 @@ func TestQuickAllocMonotonic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTruncateToMark(t *testing.T) {
+	a := New(128)
+	a.Alloc(32, 1)
+	mark := a.Used()
+	p1 := a.Alloc(64, 1)
+	a.Truncate(mark)
+	if a.Used() != mark {
+		t.Fatalf("Used() = %d after Truncate, want %d", a.Used(), mark)
+	}
+	if p2 := a.Alloc(64, 1); p2 != p1 {
+		t.Fatalf("post-Truncate allocation at %#x, want %#x", p2, p1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Truncate beyond Used() should panic")
+		}
+	}()
+	a.Truncate(1 << 20)
+}

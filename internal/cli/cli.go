@@ -1,0 +1,239 @@
+// Package cli is the shared front end of the hjquery and hjbench
+// commands: one place that parses engine, scheme, and hierarchy flag
+// values, rounds partition fan-outs, and runs the common
+// Scan -> HashJoin -> HashAggregate pipeline on either backend of the
+// operator engine. Both commands report flag mistakes with exit code 2
+// (usage) and runtime failures with exit code 1, through Fatalf and
+// Dief.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/engine"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/native"
+	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
+)
+
+// ParseEngine maps an -engine flag value onto an engine backend.
+func ParseEngine(s string) (engine.Backend, error) {
+	switch s {
+	case "sim":
+		return engine.Sim, nil
+	case "native":
+		return engine.Native, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (accepted: sim, native)", s)
+	}
+}
+
+// EngineNames lists the accepted -engine values.
+func EngineNames() []string { return []string{"sim", "native"} }
+
+// ParseHierarchy maps a -hier flag value onto a simulated memory
+// hierarchy.
+func ParseHierarchy(s string) (memsim.Config, error) {
+	switch s {
+	case "small":
+		return memsim.SmallConfig(), nil
+	case "es40":
+		return memsim.ES40Config(), nil
+	default:
+		return memsim.Config{}, fmt.Errorf("unknown hierarchy %q (accepted: %s)",
+			s, strings.Join(HierarchyNames(), ", "))
+	}
+}
+
+// HierarchyNames lists the accepted -hier values.
+func HierarchyNames() []string { return []string{"small", "es40"} }
+
+// ParseScheme maps a -scheme flag value onto a prefetching scheme.
+func ParseScheme(s string) (core.Scheme, error) {
+	switch s {
+	case "baseline":
+		return core.SchemeBaseline, nil
+	case "simple":
+		return core.SchemeSimple, nil
+	case "group":
+		return core.SchemeGroup, nil
+	case "pipelined":
+		return core.SchemePipelined, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (accepted: %s)",
+			s, strings.Join(SchemeNames(), ", "))
+	}
+}
+
+// SchemeNames lists the accepted -scheme values (without "plan").
+func SchemeNames() []string { return []string{"baseline", "simple", "group", "pipelined"} }
+
+// ParsePlanScheme is ParseScheme plus the "plan" value, which defers
+// the choice to the catalog planner; it returns usePlan = true in that
+// case.
+func ParsePlanScheme(s string) (scheme core.Scheme, usePlan bool, err error) {
+	if s == "plan" {
+		return 0, true, nil
+	}
+	scheme, err = ParseScheme(s)
+	if err != nil {
+		err = fmt.Errorf("unknown scheme %q (accepted: plan, %s)",
+			s, strings.Join(SchemeNames(), ", "))
+	}
+	return scheme, false, err
+}
+
+// ParseSchemeList parses a comma-separated -schemes flag value,
+// trimming whitespace around each name.
+func ParseSchemeList(csv string) ([]core.Scheme, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]core.Scheme, 0, len(parts))
+	for _, p := range parts {
+		s, err := ParseScheme(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// NativeScheme maps a simulator scheme onto the native engine's: Simple
+// runs as Baseline (its whole-page prefetch has no native analog) and
+// Combined as Group.
+func NativeScheme(s core.Scheme) native.Scheme {
+	switch s {
+	case core.SchemeGroup, core.SchemeCombined:
+		return native.Group
+	case core.SchemePipelined:
+		return native.Pipelined
+	default:
+		return native.Baseline
+	}
+}
+
+// NormalizeFanout rounds a requested partition fan-out the way the
+// native partitioner does: values above one round up to the next power
+// of two; zero and one are passed through (0 = derive, 1 = single pair).
+func NormalizeFanout(n int) int {
+	if n <= 1 {
+		return n
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Fatalf reports a usage error (bad flag value) for prog: exit code 2.
+func Fatalf(prog, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, strings.TrimSuffix(fmt.Sprintf(format, args...), "\n"))
+	osExit(2)
+}
+
+// Dief reports a runtime failure for prog: exit code 1.
+func Dief(prog, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
+	osExit(1)
+}
+
+// osExit is swapped out by tests.
+var osExit = os.Exit
+
+// Pipeline is the shared query both commands run: generate a workload,
+// then Scan(build) ⋈ Scan(probe) feeding a group-by on the join key,
+// compiled onto the selected backend of the operator engine. The same
+// logical plan, and therefore the same logical result, on either
+// engine.
+type Pipeline struct {
+	Engine  engine.Backend
+	Spec    workload.Spec
+	Scheme  core.Scheme
+	Params  core.Params
+	Hier    memsim.Config // Sim backend; zero value selects SmallConfig
+	Fanout  int           // Native backend join strategy
+	Workers int
+
+	// Pair and A hold the generated workload; Materialize fills them
+	// (idempotently), letting callers inspect the relations — catalog
+	// statistics, planning — before Run.
+	Pair *workload.Pair
+	A    *arena.Arena
+}
+
+// PipelineResult is the outcome of one pipeline run. NOutput and KeySum
+// are the join's totals, recovered from the group-by (every join output
+// row lands in exactly one group): NOutput = Σ count, KeySum = Σ
+// key·count.
+type PipelineResult struct {
+	NOutput int
+	KeySum  uint64
+	Groups  []engine.Group
+
+	Stats   memsim.Stats  // Sim: cycle breakdown of the whole pipeline
+	Elapsed time.Duration // Native: wall clock of the whole pipeline
+}
+
+// Materialize generates the workload into a fresh arena if it has not
+// been generated yet.
+func (p *Pipeline) Materialize() {
+	if p.Pair != nil {
+		return
+	}
+	p.A = arena.New(workload.ArenaBytesFor(p.Spec) * 2)
+	p.Pair = workload.Generate(p.A, p.Spec)
+}
+
+// Run executes the pipeline on the configured backend and validates the
+// derived join totals against the workload's ground truth.
+func (p *Pipeline) Run() (PipelineResult, error) {
+	p.Materialize()
+	spec := p.Pair.Spec
+	plan := engine.HashAggregate(
+		engine.HashJoin(engine.Scan(p.Pair.Build), engine.Scan(p.Pair.Probe)),
+		4, spec.NBuild)
+
+	cfg := engine.Config{
+		Backend: p.Engine,
+		A:       p.A,
+		Scheme:  p.Scheme,
+		Params:  p.Params,
+		Fanout:  p.Fanout,
+		Workers: p.Workers,
+	}
+	var res PipelineResult
+	switch p.Engine {
+	case engine.Sim:
+		hier := p.Hier
+		if hier == (memsim.Config{}) {
+			hier = memsim.SmallConfig()
+		}
+		m := vmem.New(p.A, memsim.NewSim(hier))
+		cfg.Mem = m
+		res.Groups = engine.Groups(engine.Compile(plan, cfg), p.A)
+		res.Stats = m.S.Stats()
+	case engine.Native:
+		start := time.Now()
+		res.Groups = engine.Groups(engine.Compile(plan, cfg), p.A)
+		res.Elapsed = time.Since(start)
+	default:
+		return res, fmt.Errorf("unknown backend %v", p.Engine)
+	}
+
+	for _, g := range res.Groups {
+		res.NOutput += int(g.Count)
+		res.KeySum += uint64(g.Key) * g.Count
+	}
+	if res.NOutput != p.Pair.ExpectedMatches || res.KeySum != p.Pair.KeySum {
+		return res, fmt.Errorf("%v result mismatch: (%d, %d) vs (%d, %d) expected",
+			p.Engine, res.NOutput, res.KeySum, p.Pair.ExpectedMatches, p.Pair.KeySum)
+	}
+	return res, nil
+}

@@ -1,0 +1,216 @@
+package cli
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"hashjoin/internal/core"
+	"hashjoin/internal/engine"
+	"hashjoin/internal/memsim"
+	"hashjoin/internal/native"
+	"hashjoin/internal/workload"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    engine.Backend
+		wantErr bool
+	}{
+		{"sim", engine.Sim, false},
+		{"native", engine.Native, false},
+		{"", 0, true},
+		{"SIM", 0, true},
+		{"hardware", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseEngine(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseEngine(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseHierarchy(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    memsim.Config
+		wantErr bool
+	}{
+		{"small", memsim.SmallConfig(), false},
+		{"es40", memsim.ES40Config(), false},
+		{"", memsim.Config{}, true},
+		{"ES40", memsim.Config{}, true},
+		{"big", memsim.Config{}, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseHierarchy(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseHierarchy(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseHierarchy(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    core.Scheme
+		wantErr bool
+	}{
+		{"baseline", core.SchemeBaseline, false},
+		{"simple", core.SchemeSimple, false},
+		{"group", core.SchemeGroup, false},
+		{"pipelined", core.SchemePipelined, false},
+		{"plan", 0, true}, // plan is only valid through ParsePlanScheme
+		{"combined", 0, true},
+		{"Group", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseScheme(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseScheme(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseScheme(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParsePlanScheme(t *testing.T) {
+	if _, usePlan, err := ParsePlanScheme("plan"); err != nil || !usePlan {
+		t.Errorf("ParsePlanScheme(plan) = usePlan %v, err %v; want true, nil", usePlan, err)
+	}
+	if s, usePlan, err := ParsePlanScheme("group"); err != nil || usePlan || s != core.SchemeGroup {
+		t.Errorf("ParsePlanScheme(group) = (%v, %v, %v); want (group, false, nil)", s, usePlan, err)
+	}
+	if _, _, err := ParsePlanScheme("bogus"); err == nil {
+		t.Error("ParsePlanScheme(bogus): expected error")
+	}
+}
+
+func TestParseSchemeList(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []core.Scheme
+		wantErr bool
+	}{
+		{"baseline,group,pipelined", []core.Scheme{core.SchemeBaseline, core.SchemeGroup, core.SchemePipelined}, false},
+		{" group , baseline ", []core.Scheme{core.SchemeGroup, core.SchemeBaseline}, false},
+		{"group", []core.Scheme{core.SchemeGroup}, false},
+		{"group,bogus", nil, true},
+		{"", nil, true},
+		{"group,,baseline", nil, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseSchemeList(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseSchemeList(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseSchemeList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNativeScheme(t *testing.T) {
+	cases := []struct {
+		in   core.Scheme
+		want native.Scheme
+	}{
+		{core.SchemeBaseline, native.Baseline},
+		{core.SchemeSimple, native.Baseline}, // no native analog of page prefetch
+		{core.SchemeGroup, native.Group},
+		{core.SchemeCombined, native.Group},
+		{core.SchemePipelined, native.Pipelined},
+	}
+	for _, tc := range cases {
+		if got := NativeScheme(tc.in); got != tc.want {
+			t.Errorf("NativeScheme(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizeFanout(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {9, 16}, {64, 64}, {65, 128},
+	}
+	for _, tc := range cases {
+		if got := NormalizeFanout(tc.in); got != tc.want {
+			t.Errorf("NormalizeFanout(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestFatalfExitCodes pins the exit-code convention: 2 for usage
+// errors, 1 for runtime failures.
+func TestFatalfExitCodes(t *testing.T) {
+	var code int
+	osExit = func(c int) { code = c }
+	defer func() { osExit = os.Exit }()
+
+	Fatalf("prog", "bad flag %q", "x")
+	if code != 2 {
+		t.Errorf("Fatalf exit code = %d, want 2", code)
+	}
+	Dief("prog", "runtime failure")
+	if code != 1 {
+		t.Errorf("Dief exit code = %d, want 1", code)
+	}
+}
+
+// TestPipelineBothEngines runs the shared pipeline on both backends and
+// checks they agree with each other and the ground truth (Run validates
+// against ExpectedMatches/KeySum internally).
+func TestPipelineBothEngines(t *testing.T) {
+	spec := workload.Spec{NBuild: 500, TupleSize: 20, MatchesPerBuild: 2, PctMatched: 80, Seed: 21}
+	var results []PipelineResult
+	for _, backend := range []engine.Backend{engine.Sim, engine.Native} {
+		p := Pipeline{
+			Engine: backend,
+			Spec:   spec,
+			Scheme: core.SchemeGroup,
+			Params: core.DefaultParams(),
+			Fanout: 1,
+		}
+		res, err := p.Run()
+		if err != nil {
+			t.Fatalf("%v pipeline: %v", backend, err)
+		}
+		if backend == engine.Sim && res.Stats.Total() == 0 {
+			t.Errorf("sim pipeline reported zero cycles")
+		}
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0].Groups, results[1].Groups) {
+		t.Fatalf("sim and native pipelines produced different groups (%d vs %d)",
+			len(results[0].Groups), len(results[1].Groups))
+	}
+}
+
+// TestPipelineMismatchError forces a result mismatch by corrupting the
+// ground truth, checking Run's validation path.
+func TestPipelineMismatchError(t *testing.T) {
+	p := Pipeline{
+		Engine: engine.Native,
+		Spec:   workload.Spec{NBuild: 100, TupleSize: 16, MatchesPerBuild: 1, Seed: 22},
+		Scheme: core.SchemeGroup,
+		Fanout: 1,
+	}
+	p.Materialize()
+	p.Pair.ExpectedMatches++ // corrupt
+	if _, err := p.Run(); err == nil {
+		t.Fatal("expected a result-mismatch error")
+	}
+}

@@ -1,0 +1,371 @@
+// Package engine is the backend-neutral, batch-oriented operator layer:
+// one logical query plan (Scan -> Filter -> HashJoin -> HashAggregate)
+// compiled onto either execution backend — the cycle-level simulator
+// (every access timed against vmem.Mem) or the native engine (real
+// memory, real caches, PREFETCHT0 on amd64).
+//
+// Operators follow an Open / NextBatch / Close protocol and exchange
+// Batches of row descriptors. Batches are sized to the prefetch group
+// size G, the paper's section 5.4 design rule: group prefetching's
+// natural G-tuple boundaries are where the prefetched join can pause
+// and hand output to its parent, so making the batch the group means a
+// probe batch is exactly one group-prefetched probe pass — latency
+// hiding inside a batch is identical to the monolithic loop's.
+//
+// Both backends address tuples in the same arena, so a Row is
+// backend-neutral: the simulator reads it through timed loads, the
+// native backend through the arena's backing bytes. Untimed result
+// inspection (Run, Groups, Collect) reads the arena directly and is
+// therefore backend-neutral too: for the same workload the two backends
+// produce identical logical results, row for row.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/native"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// Row is one tuple flowing through a pipeline: the arena address of its
+// bytes, its width, and the memoized hash code of its join key.
+type Row struct {
+	Addr arena.Addr
+	Code uint32
+	Len  int32
+}
+
+// Batch is a reusable container of rows. Operators fill it via
+// NextBatch; the rows (and the bytes they point at) remain valid until
+// the producing operator's next NextBatch or Close call.
+type Batch struct {
+	Rows []Row
+}
+
+// Reset empties the batch, keeping its capacity.
+func (b *Batch) Reset() { b.Rows = b.Rows[:0] }
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.Rows) }
+
+// Operator is a batch-pull iterator. Open prepares state and may do
+// pipeline-breaking work (materializing a build side, aggregating);
+// NextBatch fills b with up to BatchSize rows and reports whether it
+// produced any; Close releases the operator and its children. Close is
+// idempotent towards children: an operator closes each child exactly
+// once, whether the child was drained during Open or streamed until
+// Close.
+type Operator interface {
+	Open()
+	NextBatch(b *Batch) bool
+	Close()
+}
+
+// Backend selects an execution backend for a compiled plan.
+type Backend int
+
+const (
+	// Sim executes under the cycle-level memory-hierarchy simulator;
+	// every access is timed against Config.Mem.
+	Sim Backend = iota
+	// Native executes on the host hardware with real prefetches.
+	Native
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case Sim:
+		return "sim"
+	case Native:
+		return "native"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Config selects and tunes a backend for Compile.
+type Config struct {
+	Backend Backend
+
+	// Mem is the timed memory view; required for the Sim backend. Its
+	// arena must hold every relation referenced by the plan.
+	Mem *vmem.Mem
+
+	// A is the arena holding the plan's relations; required for the
+	// Native backend (Sim defaults it to Mem.A). Operator scratch —
+	// join output rings, aggregate records — is allocated from it.
+	A *arena.Arena
+
+	// Scheme selects the prefetching strategy for joins and aggregates.
+	// The simulator's pipelined join operator always probes with group
+	// prefetching (the pipeline-friendly scheme, section 5.4); Scheme
+	// still selects the simulated aggregation variant. The native
+	// backend restructures both loops per the scheme, with Simple and
+	// Combined running as Baseline (no native analog).
+	Scheme core.Scheme
+
+	// Params tunes G and D. G is also the batch size: zero selects the
+	// backend default (the paper's tuned G=19 under simulation,
+	// native.DefaultG natively).
+	Params core.Params
+
+	// Fanout, for the native backend, selects the join strategy: <= 1
+	// streams probe batches through one resident hash table; > 1 radix-
+	// partitions both inputs (rounded up to a power of two) and joins
+	// the pairs under morsel-driven parallelism, workers feeding output
+	// batches into the pipeline.
+	Fanout int
+
+	// Workers bounds the native morsel worker pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// batchSize returns the batch capacity (= G) for the config's backend.
+func (c Config) batchSize() int {
+	if c.Params.G > 0 {
+		return c.Params.G
+	}
+	if c.Backend == Native {
+		return native.DefaultG
+	}
+	return core.DefaultParams().G
+}
+
+// nativeScheme maps the config's scheme onto the native engine's.
+func (c Config) nativeScheme() native.Scheme {
+	switch c.Scheme {
+	case core.SchemeGroup:
+		return native.Group
+	case core.SchemePipelined:
+		return native.Pipelined
+	default:
+		return native.Baseline
+	}
+}
+
+// --- Logical plan ---
+
+type nodeKind int
+
+const (
+	scanNode nodeKind = iota
+	filterNode
+	joinNode
+	aggNode
+)
+
+// Node is one logical plan operator. Build plans with Scan, Filter,
+// HashJoin, and HashAggregate, then Compile against a Config.
+type Node struct {
+	kind nodeKind
+
+	rel *storage.Relation // scanNode
+
+	pred Pred // filterNode
+
+	build *Node // joinNode: build side
+	input *Node // filter/join (probe side)/agg child
+
+	valueOff int // aggNode: byte offset of the summed 4-byte value
+	groups   int // aggNode: expected group count (table sizing)
+}
+
+// Pred is a declarative row predicate both backends can evaluate: it
+// selects rows whose join key lies in [Lo, Hi].
+type Pred struct {
+	Lo, Hi uint32
+}
+
+// Scan reads a relation in storage order.
+func Scan(rel *storage.Relation) *Node {
+	if rel.Schema.HasVar() {
+		panic("engine: scans require fixed-width schemas")
+	}
+	return &Node{kind: scanNode, rel: rel}
+}
+
+// Filter passes through input rows whose key satisfies pred.
+func Filter(input *Node, pred Pred) *Node {
+	return &Node{kind: filterNode, input: input, pred: pred}
+}
+
+// KeyBetween selects lo <= key <= hi.
+func KeyBetween(lo, hi uint32) Pred { return Pred{Lo: lo, Hi: hi} }
+
+// HashJoin equi-joins build and probe on their 4-byte keys; output rows
+// are the concatenated build||probe tuples.
+func HashJoin(build, probe *Node) *Node {
+	return &Node{kind: joinNode, build: build, input: probe}
+}
+
+// AggTupleWidth is the width of HashAggregate's output rows: u32 group
+// key, u64 count, u64 sum at offsets 0, 8, 16.
+const AggTupleWidth = 24
+
+// HashAggregate groups input rows by key, counting rows and summing the
+// 4-byte value at valueOff within each row. expectedGroups sizes the
+// hash table.
+func HashAggregate(input *Node, valueOff, expectedGroups int) *Node {
+	if valueOff < 4 {
+		panic("engine: aggregation value offset overlaps the key")
+	}
+	return &Node{kind: aggNode, input: input, valueOff: valueOff, groups: expectedGroups}
+}
+
+// Width returns the node's fixed output row width in bytes.
+func (n *Node) Width() int {
+	switch n.kind {
+	case scanNode:
+		return n.rel.Schema.FixedWidth()
+	case filterNode:
+		return n.input.Width()
+	case joinNode:
+		return n.build.Width() + n.input.Width()
+	case aggNode:
+		return AggTupleWidth
+	default:
+		panic("engine: unknown node kind")
+	}
+}
+
+// scanRel returns the node's relation when it is a plain scan (no
+// filter), letting both backends build directly over base relations
+// instead of re-materializing them.
+func (n *Node) scanRel() *storage.Relation {
+	if n.kind == scanNode {
+		return n.rel
+	}
+	return nil
+}
+
+// Compile lowers the logical plan onto cfg's backend, returning the
+// root operator. It panics on an invalid configuration — a missing
+// Mem for the Sim backend, a missing arena for Native — because those
+// are setup bugs, not runtime conditions.
+func Compile(n *Node, cfg Config) Operator {
+	switch cfg.Backend {
+	case Sim:
+		if cfg.Mem == nil {
+			panic("engine: Sim backend requires Config.Mem")
+		}
+		if cfg.A == nil {
+			cfg.A = cfg.Mem.A
+		}
+	case Native:
+		if cfg.A == nil {
+			panic("engine: Native backend requires Config.A")
+		}
+	default:
+		panic(fmt.Sprintf("engine: unknown backend %v", cfg.Backend))
+	}
+	return compileNode(n, cfg)
+}
+
+func compileNode(n *Node, cfg Config) Operator {
+	switch n.kind {
+	case scanNode:
+		if cfg.Backend == Sim {
+			return newSimScan(cfg.Mem, n.rel, cfg.batchSize())
+		}
+		return newNativeScan(cfg.A, n.rel, cfg.batchSize())
+	case filterNode:
+		child := compileNode(n.input, cfg)
+		if cfg.Backend == Sim {
+			return newSimFilter(cfg.Mem, child, n.pred, cfg.batchSize())
+		}
+		return newNativeFilter(cfg.A, child, n.pred, cfg.batchSize())
+	case joinNode:
+		build := compileNode(n.build, cfg)
+		probe := compileNode(n.input, cfg)
+		if cfg.Backend == Sim {
+			return newSimHashJoin(cfg.Mem, build, probe,
+				n.build.scanRel(), n.build.Width(), n.input.Width(), cfg.Params)
+		}
+		return newNativeHashJoin(cfg, build, probe,
+			n.build.scanRel(), n.input.scanRel(), n.build.Width(), n.input.Width())
+	case aggNode:
+		child := compileNode(n.input, cfg)
+		if cfg.Backend == Sim {
+			return newSimHashAggregate(cfg.Mem, child, n.input.scanRel(),
+				n.input.Width(), n.valueOff, n.groups, cfg.Scheme, cfg.Params)
+		}
+		return newNativeHashAggregate(cfg, child, n.input.Width(), n.valueOff, n.groups)
+	default:
+		panic("engine: unknown node kind")
+	}
+}
+
+// --- Result helpers (untimed, backend-neutral) ---
+
+// Result summarizes a drained pipeline.
+type Result struct {
+	NRows  int    // rows produced by the root operator
+	KeySum uint64 // sum over rows of the u32 key at offset 0
+}
+
+// Run opens, drains, and closes root, reading each row's leading u32
+// key through the arena (untimed — result inspection, not measured
+// work). For a join root this yields the join's NOutput and KeySum.
+func Run(root Operator, a *arena.Arena) Result {
+	var r Result
+	root.Open()
+	defer root.Close()
+	var b Batch
+	for root.NextBatch(&b) {
+		r.NRows += len(b.Rows)
+		for i := range b.Rows {
+			r.KeySum += uint64(a.U32(b.Rows[i].Addr))
+		}
+	}
+	return r
+}
+
+// Group is one aggregation result row.
+type Group struct {
+	Key        uint32
+	Count, Sum uint64
+}
+
+// Groups opens, drains, and closes an aggregation root, decoding its
+// 24-byte rows and returning the groups sorted by key — a deterministic
+// order shared by both backends, so equal workloads yield byte-identical
+// group lists regardless of engine or hash-table iteration order.
+func Groups(root Operator, a *arena.Arena) []Group {
+	var out []Group
+	root.Open()
+	defer root.Close()
+	var b Batch
+	for root.NextBatch(&b) {
+		for i := range b.Rows {
+			addr := b.Rows[i].Addr
+			out = append(out, Group{
+				Key:   a.U32(addr),
+				Count: a.U64(addr + 8),
+				Sum:   a.U64(addr + 16),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Collect opens, drains, and closes root, returning an untimed copy of
+// every row's bytes. For tests and result sinks.
+func Collect(root Operator, a *arena.Arena) [][]byte {
+	var out [][]byte
+	root.Open()
+	defer root.Close()
+	var b Batch
+	for root.NextBatch(&b) {
+		for i := range b.Rows {
+			r := b.Rows[i]
+			out = append(out, append([]byte(nil), a.Bytes(r.Addr, uint64(r.Len))...))
+		}
+	}
+	return out
+}

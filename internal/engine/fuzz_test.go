@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"hashjoin/internal/core"
+	"hashjoin/internal/workload"
+)
+
+// FuzzPipelineParity fuzzes the batch geometry of the full pipeline:
+// group size G down to 1, pipeline depth D, scheme, native fanout, and
+// relation sizes that do not divide the batch size. For every input the
+// two backends must produce identical sorted group lists, and the
+// derived join totals must match the workload's ground truth.
+func FuzzPipelineParity(f *testing.F) {
+	f.Add(uint8(19), uint8(1), uint8(1), uint8(0), uint8(40), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(33), int64(2))  // G=1 degenerate groups
+	f.Add(uint8(3), uint8(2), uint8(2), uint8(2), uint8(50), int64(3))  // G does not divide |R|
+	f.Add(uint8(8), uint8(4), uint8(0), uint8(2), uint8(21), int64(4))  // baseline, morsel
+	f.Add(uint8(25), uint8(3), uint8(2), uint8(0), uint8(64), int64(5)) // G > default
+
+	f.Fuzz(func(t *testing.T, gRaw, dRaw, schemeRaw, fanoutRaw, nRaw uint8, seed int64) {
+		g := 1 + int(gRaw)%32
+		d := 1 + int(dRaw)%4
+		scheme := []core.Scheme{core.SchemeBaseline, core.SchemeGroup, core.SchemePipelined}[int(schemeRaw)%3]
+		fanout := 1 << (int(fanoutRaw) % 3) // 1 (streaming), 2, 4 (morsel)
+		nBuild := 1 + int(nRaw)             // 1..256, rarely divisible by g
+
+		spec := workload.Spec{
+			NBuild:          nBuild,
+			TupleSize:       16,
+			MatchesPerBuild: 1 + int(seed%3+3)%3,
+			PctMatched:      80,
+			Skew:            1 + int(nRaw)%2,
+			Seed:            seed,
+		}
+		pair, a, m := testEnv(t, spec)
+		params := core.Params{G: g, D: d}
+		plan := HashAggregate(HashJoin(Scan(pair.Build), Scan(pair.Probe)), 4, nBuild)
+
+		sim := Groups(Compile(plan, simCfg(m, scheme, params)), a)
+		nat := Groups(Compile(plan, nativeCfg(a, scheme, params, fanout)), a)
+		if !reflect.DeepEqual(sim, nat) {
+			t.Fatalf("G=%d D=%d %v fanout=%d n=%d: groups differ (sim %d, native %d)",
+				g, d, scheme, fanout, nBuild, len(sim), len(nat))
+		}
+		var nOut, keySum uint64
+		for _, grp := range sim {
+			nOut += grp.Count
+			keySum += uint64(grp.Key) * grp.Count
+		}
+		if nOut != uint64(pair.ExpectedMatches) || keySum != pair.KeySum {
+			t.Fatalf("G=%d D=%d %v fanout=%d n=%d: derived (%d, %d), want (%d, %d)",
+				g, d, scheme, fanout, nBuild, nOut, keySum, pair.ExpectedMatches, pair.KeySum)
+		}
+	})
+}

@@ -1,0 +1,503 @@
+package engine
+
+// Native backend: the batch operators run on real memory with real
+// prefetches, reusing the native engine's radix partitioner, flat
+// cache-line hash table, and PREFETCHT0 probe loops. A join compiles to
+// one of two physical strategies: with Fanout <= 1 the probe side
+// streams through a resident table one batch (= one prefetch group) at
+// a time; with Fanout > 1 both sides are radix-partitioned and joined
+// under morsel-driven parallelism, the workers packing matches into
+// output batches that feed the downstream pipeline.
+
+import (
+	"encoding/binary"
+	"runtime"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/native"
+	"hashjoin/internal/storage"
+)
+
+// nativeScan reads a relation's slot areas directly from the arena's
+// backing bytes, yielding batches of up to batch rows.
+type nativeScan struct {
+	a     *arena.Arena
+	rel   *storage.Relation
+	batch int
+
+	pageIdx int
+	slotIdx int
+	nslots  int
+	page    arena.Addr
+}
+
+func newNativeScan(a *arena.Arena, rel *storage.Relation, batch int) *nativeScan {
+	return &nativeScan{a: a, rel: rel, batch: batch, pageIdx: -1}
+}
+
+func (s *nativeScan) Open() { s.pageIdx = -1; s.slotIdx = 0; s.nslots = 0 }
+
+func (s *nativeScan) NextBatch(b *Batch) bool {
+	b.Reset()
+	for len(b.Rows) < s.batch {
+		for s.pageIdx < 0 || s.slotIdx >= s.nslots {
+			s.pageIdx++
+			if s.pageIdx >= s.rel.NPages() {
+				return len(b.Rows) > 0
+			}
+			s.page = s.rel.Pages[s.pageIdx]
+			s.nslots = int(s.a.U16(storage.NSlotsAddr(s.page)))
+			s.slotIdx = 0
+		}
+		slot := storage.SlotAddr(s.page, s.rel.PageSize, s.slotIdx)
+		s.slotIdx++
+		b.Rows = append(b.Rows, Row{
+			Addr: s.page + arena.Addr(s.a.U16(slot+storage.SlotOffOffset)),
+			Code: s.a.U32(slot + storage.SlotOffHash),
+			Len:  int32(s.a.U16(slot + storage.SlotOffLength)),
+		})
+	}
+	return true
+}
+
+func (s *nativeScan) Close() {}
+
+// nativeFilter passes through rows whose key lies in [lo, hi].
+type nativeFilter struct {
+	a     *arena.Arena
+	child Operator
+	pred  Pred
+	batch int
+
+	in   Batch
+	next int
+	done bool
+}
+
+func newNativeFilter(a *arena.Arena, child Operator, pred Pred, batch int) *nativeFilter {
+	return &nativeFilter{a: a, child: child, pred: pred, batch: batch}
+}
+
+func (f *nativeFilter) Open() { f.child.Open(); f.in.Reset(); f.next = 0; f.done = false }
+
+func (f *nativeFilter) NextBatch(b *Batch) bool {
+	b.Reset()
+	data := f.a.Data()
+	for len(b.Rows) < f.batch {
+		if f.next >= f.in.Len() {
+			if f.done || !f.child.NextBatch(&f.in) {
+				f.done = true
+				break
+			}
+			f.next = 0
+		}
+		r := f.in.Rows[f.next]
+		f.next++
+		k := binary.LittleEndian.Uint32(data[r.Addr-arena.Base:])
+		if k >= f.pred.Lo && k <= f.pred.Hi {
+			b.Rows = append(b.Rows, r)
+		}
+	}
+	return len(b.Rows) > 0
+}
+
+func (f *nativeFilter) Close() { f.child.Close() }
+
+// materializeNative drains op into a fresh relation of fixed width
+// (plain byte copies, no timing) and closes op.
+func materializeNative(a *arena.Arena, op Operator, width int) *storage.Relation {
+	rel := storage.NewRelation(a, storage.KeyPayloadSchema(width), 8<<10)
+	op.Open()
+	defer op.Close()
+	var b Batch
+	for op.NextBatch(&b) {
+		for i := range b.Rows {
+			r := b.Rows[i]
+			tup := a.Bytes(r.Addr, uint64(r.Len))
+			code := r.Code
+			if code == 0 {
+				code = hash.Code(tup[:4])
+			}
+			rel.Append(tup, code)
+		}
+	}
+	return rel
+}
+
+// pipeBuf is one in-flight output batch of the morsel join: its rows
+// plus the arena scratch block their bytes live in. Buffers circulate
+// between a free list and the output channel; a buffer's rows stay
+// valid until it returns to the free list.
+type pipeBuf struct {
+	rows    []Row
+	scratch arena.Addr
+}
+
+// nativeHashJoin joins natively in one of two modes (see the file
+// comment). Both deliver the concatenated build||probe rows in batches
+// of at most G.
+type nativeHashJoin struct {
+	cfg        Config
+	a          *arena.Arena
+	data       []byte
+	buildChild Operator
+	probeChild Operator
+	buildRel   *storage.Relation // non-nil: build child is a plain scan
+	probeRel   *storage.Relation // non-nil: probe child is a plain scan
+	buildWidth int
+	probeWidth int
+	outWidth   int
+	batch      int
+
+	buildClosed bool
+	probeClosed bool
+
+	// Streaming mode (fanout <= 1).
+	prober       *native.Prober
+	buildEntries []native.Entry
+	probeEntries []native.Entry
+	out          []arena.Addr // output ring, grown on demand
+	outSlot      int
+	sink         func(bref, pref uint64) // persistent emit closure (allocation-free probing)
+	pending      []Row
+	next         int
+	in           Batch
+	done         bool
+
+	// Morsel mode (fanout > 1).
+	morsel bool
+	free   chan *pipeBuf
+	outc   chan *pipeBuf
+	last   *pipeBuf
+	emits  []pipeEmitter
+}
+
+func newNativeHashJoin(cfg Config, build, probe Operator, buildRel, probeRel *storage.Relation,
+	buildWidth, probeWidth int) *nativeHashJoin {
+	return &nativeHashJoin{
+		cfg: cfg, a: cfg.A, buildChild: build, probeChild: probe,
+		buildRel: buildRel, probeRel: probeRel,
+		buildWidth: buildWidth, probeWidth: probeWidth,
+		outWidth: buildWidth + probeWidth, batch: cfg.batchSize(),
+		morsel: cfg.Fanout > 1,
+	}
+}
+
+// resolveBuild returns the build side as a relation, materializing a
+// non-scan child; either way the build child ends closed.
+func (h *nativeHashJoin) resolveBuild() *storage.Relation {
+	if h.buildRel != nil {
+		h.buildChild.Close()
+		h.buildClosed = true
+		return h.buildRel
+	}
+	rel := materializeNative(h.a, h.buildChild, h.buildWidth)
+	h.buildClosed = true
+	return rel
+}
+
+func (h *nativeHashJoin) Open() {
+	h.data = h.a.Data()
+	h.buildClosed, h.probeClosed = false, false
+	if h.morsel {
+		h.openMorsel()
+		return
+	}
+	rel := h.resolveBuild()
+	h.buildEntries = native.Flatten(rel, h.buildEntries)
+	h.prober = native.NewProber(h.data, h.buildEntries, h.cfg.nativeScheme(),
+		h.cfg.Params.G, h.cfg.Params.D)
+	h.probeChild.Open()
+	h.out = h.out[:0]
+	h.sink = func(bref, pref uint64) {
+		if h.outSlot >= len(h.out) {
+			h.out = append(h.out, h.a.Alloc(uint64(h.outWidth), 8))
+		}
+		dst := h.out[h.outSlot]
+		h.outSlot++
+		h.pending = append(h.pending, h.writeMatch(dst, bref, pref))
+	}
+	h.pending = h.pending[:0]
+	h.next = 0
+	h.done = false
+}
+
+func (h *nativeHashJoin) NextBatch(b *Batch) bool {
+	if h.morsel {
+		return h.nextMorsel(b)
+	}
+	b.Reset()
+	for h.next >= len(h.pending) {
+		if h.done {
+			return false
+		}
+		h.fillPending()
+	}
+	for len(b.Rows) < h.batch && h.next < len(h.pending) {
+		b.Rows = append(b.Rows, h.pending[h.next])
+		h.next++
+	}
+	return len(b.Rows) > 0
+}
+
+// fillPending pulls one probe child batch, converts it to entries, and
+// runs one prefetched probe pass, materializing matches into the ring.
+func (h *nativeHashJoin) fillPending() {
+	h.pending = h.pending[:0]
+	h.next = 0
+	if !h.probeChild.NextBatch(&h.in) {
+		h.done = true
+		return
+	}
+	h.probeEntries = h.probeEntries[:0]
+	for i := range h.in.Rows {
+		r := h.in.Rows[i]
+		key := binary.LittleEndian.Uint32(h.data[r.Addr-arena.Base:])
+		code := r.Code
+		if code == 0 {
+			code = hash.CodeU32(key)
+		}
+		h.probeEntries = append(h.probeEntries, native.Entry{Code: code, Key: key, Ref: r.Addr})
+	}
+	h.outSlot = 0
+	h.prober.ProbeBatch(h.probeEntries, h.sink)
+}
+
+// writeMatch materializes one concatenated build||probe row at dst.
+func (h *nativeHashJoin) writeMatch(dst arena.Addr, bref, pref uint64) Row {
+	d := h.data[dst-arena.Base:]
+	copy(d[:h.buildWidth], h.data[bref-arena.Base:])
+	copy(d[h.buildWidth:h.outWidth], h.data[pref-arena.Base:])
+	key := binary.LittleEndian.Uint32(d)
+	return Row{Addr: dst, Len: int32(h.outWidth), Code: hash.CodeU32(key)}
+}
+
+func (h *nativeHashJoin) Close() {
+	if h.morsel {
+		h.closeMorsel()
+	}
+	if !h.buildClosed {
+		h.buildChild.Close()
+		h.buildClosed = true
+	}
+	if !h.probeClosed {
+		h.probeChild.Close()
+		h.probeClosed = true
+	}
+}
+
+// --- Morsel mode ---
+
+// pipeEmitter packs one worker's matches into pipe buffers. Each worker
+// owns one emitter, so no locking is needed on the buffer itself; the
+// free list and output channel provide the cross-goroutine handoff.
+type pipeEmitter struct {
+	h   *nativeHashJoin
+	cur *pipeBuf
+}
+
+func (e *pipeEmitter) emit(bref, pref uint64) {
+	if e.cur == nil {
+		e.cur = <-e.h.free
+		e.cur.rows = e.cur.rows[:0]
+	}
+	buf := e.cur
+	dst := buf.scratch + arena.Addr(len(buf.rows)*e.h.outWidth)
+	buf.rows = append(buf.rows, e.h.writeMatch(dst, bref, pref))
+	if len(buf.rows) == e.h.batch {
+		e.h.outc <- buf
+		e.cur = nil
+	}
+}
+
+// flush sends a partially filled buffer downstream (or recycles an
+// empty one). Called after all workers have finished.
+func (e *pipeEmitter) flush() {
+	if e.cur == nil {
+		return
+	}
+	if len(e.cur.rows) > 0 {
+		e.h.outc <- e.cur
+	} else {
+		e.h.free <- e.cur
+	}
+	e.cur = nil
+}
+
+// openMorsel resolves both children to relations (the partitioned join
+// is a pipeline breaker on both sides), then starts the native morsel
+// join in the background: radix partitioning, one pair-joiner per
+// worker, matches streaming into pipe buffers.
+func (h *nativeHashJoin) openMorsel() {
+	buildRel := h.resolveBuild()
+	probeRel := h.probeRel
+	if probeRel != nil {
+		h.probeChild.Close()
+	} else {
+		probeRel = materializeNative(h.a, h.probeChild, h.probeWidth)
+	}
+	h.probeClosed = true
+
+	workers := h.cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nbuf := 2*workers + 4
+	h.free = make(chan *pipeBuf, nbuf)
+	h.outc = make(chan *pipeBuf, nbuf)
+	for i := 0; i < nbuf; i++ {
+		h.free <- &pipeBuf{
+			rows:    make([]Row, 0, h.batch),
+			scratch: h.a.Alloc(uint64(h.batch*h.outWidth), 8),
+		}
+	}
+	h.emits = make([]pipeEmitter, workers)
+	for i := range h.emits {
+		h.emits[i] = pipeEmitter{h: h}
+	}
+	h.last = nil
+
+	jcfg := native.Config{
+		Scheme: h.cfg.nativeScheme(),
+		G:      h.cfg.Params.G, D: h.cfg.Params.D,
+		Fanout: h.cfg.Fanout, Workers: workers,
+	}
+	go func() {
+		native.NewJoiner().JoinStream(buildRel, probeRel, jcfg, func(w int) func(uint64, uint64) {
+			return h.emits[w].emit
+		})
+		// All workers are done; partial buffers can be flushed from this
+		// single goroutine without racing anyone.
+		for i := range h.emits {
+			h.emits[i].flush()
+		}
+		close(h.outc)
+	}()
+}
+
+func (h *nativeHashJoin) nextMorsel(b *Batch) bool {
+	b.Reset()
+	if h.last != nil {
+		h.free <- h.last
+		h.last = nil
+	}
+	buf, ok := <-h.outc
+	if !ok {
+		return false
+	}
+	b.Rows = append(b.Rows, buf.rows...)
+	h.last = buf
+	return true
+}
+
+// closeMorsel drains the output channel so the background join (which
+// may be blocked on the free list) runs to completion before the
+// operator is torn down.
+func (h *nativeHashJoin) closeMorsel() {
+	if h.outc == nil {
+		return
+	}
+	if h.last != nil {
+		h.free <- h.last
+		h.last = nil
+	}
+	for buf := range h.outc {
+		h.free <- buf
+	}
+	h.outc = nil
+}
+
+// nativeHashAggregate is the native group-by pipeline breaker: Open
+// drains the child into the flat native AggTable (header prefetches
+// batched per the scheme) and stages one 24-byte row per group.
+type nativeHashAggregate struct {
+	cfg        Config
+	a          *arena.Arena
+	child      Operator
+	childWidth int
+	valueOff   int
+	groups     int
+
+	rows        []Row
+	next        int
+	batch       int
+	childClosed bool
+	inputs      []native.AggInput
+}
+
+func newNativeHashAggregate(cfg Config, child Operator, childWidth, valueOff, groups int) *nativeHashAggregate {
+	if valueOff < 4 || childWidth < valueOff+4 {
+		panic("engine: aggregation value offset outside the row")
+	}
+	return &nativeHashAggregate{
+		cfg: cfg, a: cfg.A, child: child, childWidth: childWidth,
+		valueOff: valueOff, groups: groups, batch: cfg.batchSize(),
+	}
+}
+
+func (ha *nativeHashAggregate) Open() {
+	data := ha.a.Data()
+	table := native.NewAggTable(ha.groups)
+	scheme := ha.cfg.nativeScheme()
+	g := ha.batch
+
+	ha.childClosed = false
+	ha.child.Open()
+	var b Batch
+	for ha.child.NextBatch(&b) {
+		ha.inputs = ha.inputs[:0]
+		for i := range b.Rows {
+			r := b.Rows[i]
+			base := r.Addr - arena.Base
+			key := binary.LittleEndian.Uint32(data[base:])
+			code := r.Code
+			if code == 0 {
+				code = hash.CodeU32(key)
+			}
+			ha.inputs = append(ha.inputs, native.AggInput{
+				Code:  code,
+				Key:   key,
+				Value: binary.LittleEndian.Uint32(data[base+uint64(ha.valueOff):]),
+			})
+		}
+		table.UpsertBatch(ha.inputs, scheme, g)
+	}
+	ha.child.Close()
+	ha.childClosed = true
+
+	// Stage the group rows in one arena block.
+	n := table.NGroups()
+	ha.rows = ha.rows[:0]
+	ha.next = 0
+	if n == 0 {
+		return
+	}
+	block := ha.a.Alloc(uint64(n)*AggTupleWidth, 8)
+	addr := block
+	table.Each(func(key uint32, count, sum uint64) {
+		ha.a.PutU32(addr, key)
+		ha.a.PutU64(addr+8, count)
+		ha.a.PutU64(addr+16, sum)
+		ha.rows = append(ha.rows, Row{Addr: addr, Len: AggTupleWidth, Code: hash.CodeU32(key)})
+		addr += AggTupleWidth
+	})
+}
+
+func (ha *nativeHashAggregate) NextBatch(b *Batch) bool {
+	b.Reset()
+	for len(b.Rows) < ha.batch && ha.next < len(ha.rows) {
+		b.Rows = append(b.Rows, ha.rows[ha.next])
+		ha.next++
+	}
+	return len(b.Rows) > 0
+}
+
+// Close closes the child exactly once (it is normally closed at the end
+// of Open's drain).
+func (ha *nativeHashAggregate) Close() {
+	if !ha.childClosed {
+		ha.child.Close()
+		ha.childClosed = true
+	}
+}

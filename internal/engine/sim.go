@@ -1,0 +1,334 @@
+package engine
+
+// Simulator backend: the batch operators run against vmem.Mem, so every
+// data access is timed by the cycle-level memory-hierarchy simulator —
+// the batch port of the former per-tuple internal/ops layer. The join
+// probes through core.Prober, whose group-prefetched pass is the
+// pipeline-friendly scheme of section 5.4: one child batch (<= G rows)
+// is exactly one group-prefetched probe pass.
+
+import (
+	"fmt"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/core"
+	"hashjoin/internal/hash"
+	"hashjoin/internal/storage"
+	"hashjoin/internal/vmem"
+)
+
+// simScan reads a relation in storage order, charging page and slot
+// reads, and yields batches of up to batch rows.
+type simScan struct {
+	m     *vmem.Mem
+	rel   *storage.Relation
+	batch int
+
+	pageIdx int
+	slotIdx int
+	nslots  int
+	page    arena.Addr
+}
+
+func newSimScan(m *vmem.Mem, rel *storage.Relation, batch int) *simScan {
+	return &simScan{m: m, rel: rel, batch: batch, pageIdx: -1}
+}
+
+func (s *simScan) Open() { s.pageIdx = -1; s.slotIdx = 0; s.nslots = 0 }
+
+func (s *simScan) NextBatch(b *Batch) bool {
+	b.Reset()
+	for len(b.Rows) < s.batch {
+		for s.pageIdx < 0 || s.slotIdx >= s.nslots {
+			s.pageIdx++
+			if s.pageIdx >= s.rel.NPages() {
+				return len(b.Rows) > 0
+			}
+			s.page = s.rel.Pages[s.pageIdx]
+			s.m.PrefetchRange(s.page, s.rel.PageSize)
+			s.nslots = int(s.m.ReadU16(storage.NSlotsAddr(s.page)))
+			s.slotIdx = 0
+		}
+		slot := storage.SlotAddr(s.page, s.rel.PageSize, s.slotIdx)
+		s.slotIdx++
+		s.m.S.Read(slot, storage.SlotSize)
+		off := s.m.A.U16(slot + storage.SlotOffOffset)
+		length := s.m.A.U16(slot + storage.SlotOffLength)
+		code := s.m.A.U32(slot + storage.SlotOffHash)
+		b.Rows = append(b.Rows, Row{
+			Addr: s.page + arena.Addr(off),
+			Code: code,
+			Len:  int32(length),
+		})
+	}
+	return true
+}
+
+func (s *simScan) Close() {}
+
+// simFilter passes through rows whose key lies in [lo, hi], with a
+// timed key load and compare per row.
+type simFilter struct {
+	m     *vmem.Mem
+	child Operator
+	pred  Pred
+	batch int
+
+	in   Batch
+	next int
+	done bool
+}
+
+func newSimFilter(m *vmem.Mem, child Operator, pred Pred, batch int) *simFilter {
+	return &simFilter{m: m, child: child, pred: pred, batch: batch}
+}
+
+func (f *simFilter) Open() { f.child.Open(); f.in.Reset(); f.next = 0; f.done = false }
+
+func (f *simFilter) NextBatch(b *Batch) bool {
+	b.Reset()
+	for len(b.Rows) < f.batch {
+		if f.next >= f.in.Len() {
+			if f.done || !f.child.NextBatch(&f.in) {
+				f.done = true
+				break
+			}
+			f.next = 0
+		}
+		r := f.in.Rows[f.next]
+		f.next++
+		k := f.m.ReadU32(r.Addr)
+		f.m.Compute(core.CostCompare)
+		if k >= f.pred.Lo && k <= f.pred.Hi {
+			b.Rows = append(b.Rows, r)
+		}
+	}
+	return len(b.Rows) > 0
+}
+
+func (f *simFilter) Close() { f.child.Close() }
+
+// materializeSim drains op into a fresh relation of fixed width with
+// timed copies — the pipeline-breaking step of build sides and
+// aggregations — and closes op.
+func materializeSim(m *vmem.Mem, op Operator, width, pageSize int) *storage.Relation {
+	rel := storage.NewRelation(m.A, storage.KeyPayloadSchema(width), pageSize)
+	op.Open()
+	defer op.Close()
+	buf := make([]byte, width)
+	var b Batch
+	for op.NextBatch(&b) {
+		for i := range b.Rows {
+			r := b.Rows[i]
+			if int(r.Len) != width {
+				panic(fmt.Sprintf("engine: materializing %d-byte row into %d-byte relation", r.Len, width))
+			}
+			src := m.ReadBytes(r.Addr, width)
+			copy(buf, src)
+			code := r.Code
+			if code == 0 {
+				code = hash.Code(buf[:4])
+			}
+			rel.Append(buf, code)
+			// Charge the store at the tuple's landing spot plus its slot.
+			last := rel.Page(rel.NPages() - 1)
+			addr, n := last.TupleAddr(last.NSlots() - 1)
+			m.S.Write(addr, n)
+			m.S.Write(storage.SlotAddr(last.Addr, last.Size, last.NSlots()-1), storage.SlotSize)
+		}
+	}
+	return rel
+}
+
+// simHashJoin is the pipelined, group-prefetched hash join. Open
+// resolves the build side — the build child's base relation when it is
+// a plain scan, otherwise a timed materialization (closing the build
+// child either way) — and constructs the hash table; NextBatch then
+// probes one child batch per group-prefetched pass and yields the
+// concatenated build||probe rows.
+type simHashJoin struct {
+	m          *vmem.Mem
+	buildChild Operator
+	probeChild Operator
+	buildRel   *storage.Relation // non-nil: build child is a plain scan
+	buildWidth int
+	probeWidth int
+	params     core.Params
+
+	prober *core.Prober
+
+	out         []arena.Addr // output ring, grown on demand
+	pending     []Row
+	next        int
+	in          Batch
+	batch       []core.ProbeTuple
+	done        bool
+	buildClosed bool
+	probeClosed bool
+}
+
+func newSimHashJoin(m *vmem.Mem, build, probe Operator, buildRel *storage.Relation,
+	buildWidth, probeWidth int, params core.Params) *simHashJoin {
+	return &simHashJoin{
+		m: m, buildChild: build, probeChild: probe, buildRel: buildRel,
+		buildWidth: buildWidth, probeWidth: probeWidth, params: params,
+	}
+}
+
+func (h *simHashJoin) Open() {
+	rel := h.buildRel
+	if rel == nil {
+		rel = materializeSim(h.m, h.buildChild, h.buildWidth, 8<<10)
+	} else {
+		h.buildChild.Close()
+	}
+	h.buildClosed = true
+	h.probeClosed = false
+	h.prober = core.NewProber(h.m, rel, h.params)
+	h.probeChild.Open()
+	h.batch = h.batch[:0]
+	h.out = h.out[:0]
+	h.pending = h.pending[:0]
+	h.next = 0
+	h.done = false
+}
+
+func (h *simHashJoin) NextBatch(b *Batch) bool {
+	b.Reset()
+	g := h.prober.BatchSize()
+	for h.next >= len(h.pending) {
+		if h.done {
+			return false
+		}
+		h.fillPending()
+	}
+	for len(b.Rows) < g && h.next < len(h.pending) {
+		b.Rows = append(b.Rows, h.pending[h.next])
+		h.next++
+	}
+	return len(b.Rows) > 0
+}
+
+// fillPending pulls one probe child batch and runs group-prefetched
+// probe passes over it, materializing matches into the output ring.
+// Child batches are at most G rows by the engine's batch rule, so one
+// batch is one pass; oversized batches are strip-mined defensively.
+func (h *simHashJoin) fillPending() {
+	h.pending = h.pending[:0]
+	h.next = 0
+	if !h.probeChild.NextBatch(&h.in) {
+		h.done = true
+		return
+	}
+	g := h.prober.BatchSize()
+	outWidth := h.buildWidth + h.probeWidth
+	slot := 0
+	emit := func(build arena.Addr, buildLen int, probe core.ProbeTuple) {
+		if slot >= len(h.out) {
+			h.out = append(h.out, h.m.Alloc(uint64(outWidth), 8))
+		}
+		dst := h.out[slot]
+		slot++
+		h.m.Copy(dst, build, buildLen)
+		h.m.Copy(dst+arena.Addr(buildLen), probe.Addr, probe.Len)
+		h.pending = append(h.pending, Row{Addr: dst, Len: int32(outWidth), Code: probe.Code})
+	}
+	rows := h.in.Rows
+	for lo := 0; lo < len(rows); lo += g {
+		hi := min(lo+g, len(rows))
+		h.batch = h.batch[:0]
+		for _, r := range rows[lo:hi] {
+			h.batch = append(h.batch, core.ProbeTuple{Addr: r.Addr, Len: int(r.Len), Code: r.Code})
+		}
+		h.prober.ProbeBatch(h.batch, emit)
+	}
+}
+
+// Close closes both children exactly once: the build child is normally
+// closed during Open (after materialization), the probe child here.
+func (h *simHashJoin) Close() {
+	if !h.buildClosed {
+		h.buildChild.Close()
+		h.buildClosed = true
+	}
+	if !h.probeClosed {
+		h.probeChild.Close()
+		h.probeClosed = true
+	}
+}
+
+// simHashAggregate is the group-by pipeline breaker: Open drains the
+// child (or uses its base relation directly when it is a plain scan),
+// aggregates with the configured scheme, and stages one 24-byte row per
+// group; NextBatch deals them out G at a time.
+type simHashAggregate struct {
+	m          *vmem.Mem
+	child      Operator
+	childRel   *storage.Relation // non-nil: child is a plain scan
+	childWidth int
+	valueOff   int
+	groups     int
+	scheme     core.Scheme
+	params     core.Params
+
+	rows        []Row
+	next        int
+	childClosed bool
+}
+
+func newSimHashAggregate(m *vmem.Mem, child Operator, childRel *storage.Relation,
+	childWidth, valueOff, groups int, scheme core.Scheme, params core.Params) *simHashAggregate {
+	return &simHashAggregate{
+		m: m, child: child, childRel: childRel, childWidth: childWidth,
+		valueOff: valueOff, groups: groups, scheme: scheme, params: params,
+	}
+}
+
+func (ha *simHashAggregate) Open() {
+	rel := ha.childRel
+	if rel == nil {
+		rel = materializeSim(ha.m, ha.child, ha.childWidth, 8<<10)
+	} else {
+		ha.child.Close()
+	}
+	ha.childClosed = true
+	scheme := ha.scheme
+	if scheme == core.SchemeCombined {
+		scheme = core.SchemeGroup
+	}
+	res := core.AggregateAt(ha.m, rel, ha.groups, ha.valueOff, scheme, ha.params)
+	ha.rows = ha.rows[:0]
+	m := ha.m
+	res.Each(func(key uint32, count, sum uint64) {
+		addr := m.Alloc(AggTupleWidth, 8)
+		m.S.Write(addr, AggTupleWidth)
+		m.A.PutU32(addr, key)
+		m.A.PutU64(addr+8, count)
+		m.A.PutU64(addr+16, sum)
+		ha.rows = append(ha.rows, Row{Addr: addr, Len: AggTupleWidth, Code: hash.CodeU32(key)})
+	})
+	ha.next = 0
+}
+
+func (ha *simHashAggregate) NextBatch(b *Batch) bool {
+	b.Reset()
+	g := ha.params
+	batch := g.G
+	if batch < 1 {
+		batch = core.DefaultParams().G
+	}
+	for len(b.Rows) < batch && ha.next < len(ha.rows) {
+		b.Rows = append(b.Rows, ha.rows[ha.next])
+		ha.next++
+	}
+	return len(b.Rows) > 0
+}
+
+// Close closes the child exactly once — drained children were already
+// closed during Open (the former per-tuple operator leaked this).
+func (ha *simHashAggregate) Close() {
+	if !ha.childClosed {
+		ha.child.Close()
+		ha.childClosed = true
+	}
+}

@@ -107,6 +107,14 @@ func (p *partitions) fill(data []byte, rel *storage.Relation, fanout int) {
 	})
 }
 
+// Flatten appends one Entry per tuple of rel, in storage order, reusing
+// dst's backing array. It is the entry-construction step of the native
+// engine exposed for the batch operator layer, which flattens a
+// materialized build side before constructing a Prober over it.
+func Flatten(rel *storage.Relation, dst []Entry) []Entry {
+	return flatten(rel.Arena().Data(), rel, dst[:0])
+}
+
 // flatten appends one Entry per tuple of rel, in storage order.
 func flatten(data []byte, rel *storage.Relation, dst []Entry) []Entry {
 	eachSlot(data, rel, func(tuple uint64, code uint32, _ uint16) {

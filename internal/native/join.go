@@ -17,6 +17,11 @@ type pairJoiner struct {
 
 	states []groupState // group/pipeline stage state, reused
 
+	// sink, when set, receives every validated match (build tuple
+	// address, probe tuple address). It lets the probe loops feed a
+	// batch pipeline; nil keeps the counting-only fast path.
+	sink func(buildRef, probeRef uint64)
+
 	nOutput int
 	keySum  uint64
 }
@@ -51,10 +56,13 @@ func (j *pairJoiner) prefetchTuple(ref uint64) {
 
 // emit records one join match: the build key re-read from memory must
 // equal the probe key (the hash code was only a filter).
-func (j *pairJoiner) emit(ref uint64, probeKey uint32) {
-	if k := j.buildKey(ref); k == probeKey {
+func (j *pairJoiner) emit(buildRef, probeRef uint64, probeKey uint32) {
+	if k := j.buildKey(buildRef); k == probeKey {
 		j.nOutput++
 		j.keySum += uint64(k)
+		if j.sink != nil {
+			j.sink(buildRef, probeRef)
+		}
 	}
 }
 
@@ -99,12 +107,12 @@ func (j *pairJoiner) probeBaseline(probe []Entry) {
 			continue
 		}
 		if h.code0 == e.Code {
-			j.emit(h.tuple0, e.Key)
+			j.emit(h.tuple0, e.Ref, e.Key)
 		}
 		for k := uint32(0); k < h.count-1; k++ {
 			c := &t.cells[h.cells+k]
 			if c.code == e.Code {
-				j.emit(c.ref, e.Key)
+				j.emit(c.ref, e.Ref, e.Key)
 			}
 		}
 	}
@@ -116,6 +124,7 @@ func (j *pairJoiner) probeBaseline(probe []Entry) {
 type groupState struct {
 	key     uint32
 	code    uint32
+	ref     uint64 // probe tuple address, for match emission
 	hdr     *header
 	count   uint32
 	cells   uint32
@@ -142,7 +151,7 @@ func (j *pairJoiner) probeGroup(probe []Entry) {
 		for i := 0; i < n; i++ {
 			e := &probe[lo+i]
 			st := &states[i]
-			st.key, st.code = e.Key, e.Code
+			st.key, st.code, st.ref = e.Key, e.Code, e.Ref
 			st.hdr = &t.headers[t.bucket(e.Code)]
 			st.matches = st.matches[:0]
 			prefetchT0(unsafe.Pointer(st.hdr))
@@ -187,7 +196,7 @@ func (j *pairJoiner) probeGroup(probe []Entry) {
 		for i := 0; i < n; i++ {
 			st := &states[i]
 			for _, ref := range st.matches {
-				j.emit(ref, st.key)
+				j.emit(ref, st.ref, st.key)
 			}
 		}
 	}
@@ -245,7 +254,7 @@ func (j *pairJoiner) probePipelined(probe []Entry) {
 		if it < total {
 			e := &probe[it]
 			st := &states[it&mask]
-			st.key, st.code = e.Key, e.Code
+			st.key, st.code, st.ref = e.Key, e.Code, e.Ref
 			st.hdr = &t.headers[t.bucket(e.Code)]
 			st.matches = st.matches[:0]
 			prefetchT0(unsafe.Pointer(st.hdr))
@@ -287,7 +296,7 @@ func (j *pairJoiner) probePipelined(probe []Entry) {
 		if k := it - 3*d; k >= 0 && k < total {
 			st := &states[k&mask]
 			for _, ref := range st.matches {
-				j.emit(ref, st.key)
+				j.emit(ref, st.ref, st.key)
 			}
 		}
 	}

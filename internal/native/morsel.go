@@ -26,6 +26,10 @@ func (jn *Joiner) worker(w int, data []byte, cfg Config) *pairJoiner {
 	j.data = data
 	j.g, j.d = cfg.G, cfg.D
 	j.nOutput, j.keySum = 0, 0
+	j.sink = nil
+	if jn.sinkFor != nil {
+		j.sink = jn.sinkFor(w)
+	}
 	return j
 }
 

@@ -179,6 +179,10 @@ type Result struct {
 type Joiner struct {
 	bp, pp  partitions
 	workers []*pairJoiner
+
+	// sinkFor, when set, provides each morsel worker with a match sink
+	// (see JoinStream). Sinks are per-worker, so they need no locking.
+	sinkFor func(worker int) func(buildRef, probeRef uint64)
 }
 
 // NewJoiner returns an empty Joiner; buffers grow on first use.
@@ -216,6 +220,20 @@ func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) Result {
 // reused Joiner when joining more than once.
 func Join(build, probe *storage.Relation, cfg Config) Result {
 	return NewJoiner().Join(build, probe, cfg)
+}
+
+// JoinStream is Join with match emission: sinkFor(w) returns worker w's
+// sink, which receives every validated (build tuple address, probe tuple
+// address) match that worker produces. Each worker calls only its own
+// sink, so sinks need no synchronization among themselves; JoinStream
+// returns only after all workers (and therefore all sink calls) have
+// finished. This is how the batch engine runs a partitioned native join
+// inside an operator pipeline: the sinks pack matches into output
+// batches for the parent operator.
+func (jn *Joiner) JoinStream(build, probe *storage.Relation, cfg Config, sinkFor func(worker int) func(buildRef, probeRef uint64)) Result {
+	jn.sinkFor = sinkFor
+	defer func() { jn.sinkFor = nil }()
+	return jn.Join(build, probe, cfg)
 }
 
 // fanoutFor picks the smallest power-of-two partition count such that a

@@ -1,0 +1,70 @@
+package native
+
+// Prober is the streaming face of the native join: the hash table is
+// built once over the build side's entries, then the caller probes it
+// one batch at a time, receiving matches through a callback at each
+// batch boundary. It is the native analog of the simulator's
+// core.Prober — the section 5.4 shape that makes the prefetched join
+// pipeline-friendly: with batches sized to the group size G, batch
+// boundaries coincide with prefetch-group boundaries, so latency hiding
+// inside a batch is exactly what it would be in the monolithic loop.
+//
+// A Prober holds the whole build side in one table (no partitioning);
+// partitioned pipelines use Joiner.JoinStream instead.
+type Prober struct {
+	j      *pairJoiner
+	scheme Scheme
+}
+
+// NewProber builds the flat cache-line hash table over build with the
+// scheme's build loop (group-batched inserts for Group, pipelined header
+// prefetches for Pipelined). data must be the arena backing slice the
+// entries' Refs point into. Zero G/D select the native defaults.
+func NewProber(data []byte, build []Entry, scheme Scheme, g, d int) *Prober {
+	cfg := Config{Scheme: scheme, G: g, D: d}.normalized()
+	p := &Prober{j: newPairJoiner(), scheme: scheme}
+	p.j.data = data
+	p.j.g, p.j.d = cfg.G, cfg.D
+	p.j.t.Reset(len(build), 0)
+	switch scheme {
+	case Group:
+		p.j.buildGroup(build)
+	case Pipelined:
+		p.j.buildPipelined(build)
+	default:
+		p.j.buildBaseline(build)
+	}
+	return p
+}
+
+// G returns the group size the probe loops run with; callers that want
+// batch boundaries to coincide with group boundaries feed ProbeBatch at
+// most G entries per call (larger batches are strip-mined internally).
+func (p *Prober) G() int { return p.j.g }
+
+// ProbeBatch probes one batch of entries with the Prober's scheme,
+// calling emit for every validated match (build key re-read from the
+// tuple bytes and compared, as in the paper's final stage). Matches are
+// delivered in probe order within a batch.
+func (p *Prober) ProbeBatch(batch []Entry, emit func(buildRef, probeRef uint64)) {
+	if len(batch) == 0 {
+		return
+	}
+	p.j.sink = emit
+	switch p.scheme {
+	case Group:
+		p.j.probeGroup(batch)
+	case Pipelined:
+		p.j.probePipelined(batch)
+	default:
+		p.j.probeBaseline(batch)
+	}
+	p.j.sink = nil
+}
+
+// NOutput returns the validated matches emitted so far.
+func (p *Prober) NOutput() int { return p.j.nOutput }
+
+// KeySum returns the running sum of matched build keys, the same
+// order-independent checksum the monolithic join reports.
+func (p *Prober) KeySum() uint64 { return p.j.keySum }

@@ -1,0 +1,163 @@
+package hashjoin
+
+// The public face of the batch-oriented operator engine: one logical
+// pipeline — scan, optional build-side filter, hash join, optional
+// hash aggregation — that runs unchanged on either execution backend.
+// WithEngine selects the backend; everything else about the plan, and
+// the logical result, is backend-neutral. This replaces the former
+// split where simulated joins and native joins were separate APIs with
+// no way to compose either into a larger query.
+
+import (
+	"time"
+
+	"hashjoin/internal/core"
+	"hashjoin/internal/engine"
+)
+
+// Engine selects the execution backend for RunPipeline.
+type Engine = engine.Backend
+
+const (
+	// EngineSim runs the pipeline under the cycle-level simulator; the
+	// result carries the simulated cycle breakdown.
+	EngineSim = engine.Sim
+	// EngineNative runs the pipeline on the host hardware with real
+	// prefetches; the result carries wall-clock time.
+	EngineNative = engine.Native
+)
+
+// PipelineOption configures RunPipeline.
+type PipelineOption func(*pipelineConfig)
+
+type pipelineConfig struct {
+	engine  Engine
+	scheme  Scheme
+	params  Params
+	fanout  int
+	workers int
+
+	filterLo, filterHi uint32
+	hasFilter          bool
+
+	aggValueOff int
+	aggGroups   int
+	hasAgg      bool
+}
+
+// WithEngine selects the execution backend (default EngineSim).
+func WithEngine(e Engine) PipelineOption {
+	return func(c *pipelineConfig) { c.engine = e }
+}
+
+// WithPipelineScheme selects the prefetching scheme for the pipeline's
+// join and aggregation (default Group).
+func WithPipelineScheme(s Scheme) PipelineOption {
+	return func(c *pipelineConfig) { c.scheme = s }
+}
+
+// WithPipelineParams tunes the group size G — which is also the
+// operator batch size — and prefetch distance D. Zero fields keep the
+// backend defaults.
+func WithPipelineParams(p Params) PipelineOption {
+	return func(c *pipelineConfig) { c.params = p }
+}
+
+// WithBuildFilter keeps only build tuples whose key lies in [lo, hi]
+// before the join.
+func WithBuildFilter(lo, hi uint32) PipelineOption {
+	return func(c *pipelineConfig) { c.filterLo, c.filterHi, c.hasFilter = lo, hi, true }
+}
+
+// WithAggregation appends a group-by on the join key: COUNT(*) and
+// SUM of the 4-byte value at valueOff within each joined row (build
+// bytes first, then probe bytes). expectedGroups sizes the hash table.
+func WithAggregation(valueOff, expectedGroups int) PipelineOption {
+	return func(c *pipelineConfig) { c.aggValueOff, c.aggGroups, c.hasAgg = valueOff, expectedGroups, true }
+}
+
+// WithPipelineFanout selects the native join strategy: 1 (default)
+// streams probe batches through one resident hash table; larger values
+// radix-partition both inputs (rounded up to a power of two) and join
+// under morsel-driven parallelism. The simulator backend ignores it.
+func WithPipelineFanout(n int) PipelineOption {
+	return func(c *pipelineConfig) { c.fanout = n }
+}
+
+// WithPipelineWorkers bounds the native morsel worker pool (default
+// GOMAXPROCS).
+func WithPipelineWorkers(n int) PipelineOption {
+	return func(c *pipelineConfig) { c.workers = n }
+}
+
+// PipelineResult reports one pipeline run. NOutput and KeySum describe
+// the join's output whether or not aggregation ran (with aggregation
+// they are recovered from the groups, which partition the join output).
+type PipelineResult struct {
+	NOutput int    // join output rows
+	KeySum  uint64 // order-independent checksum of output build keys
+
+	// Groups holds the aggregation result, sorted by key, when
+	// WithAggregation was given; nil otherwise. Equal workloads produce
+	// identical Groups on both engines.
+	Groups []GroupStat
+
+	Stats   Stats         // EngineSim: cycle breakdown of this run
+	Elapsed time.Duration // EngineNative: wall clock of this run
+}
+
+// RunPipeline executes build ⋈ probe — optionally filtered and
+// aggregated — as a batch-operator pipeline on the selected engine.
+// Both relations must belong to this Env. Batches are sized to the
+// prefetch group size G, so operator handoff happens exactly at
+// prefetch-group boundaries (the paper's section 5.4 observation).
+func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) PipelineResult {
+	if build.env != e || probe.env != e {
+		panic("hashjoin: relations belong to a different Env")
+	}
+	pc := pipelineConfig{engine: EngineSim, scheme: Group, params: core.DefaultParams(), fanout: 1}
+	for _, o := range opts {
+		o(&pc)
+	}
+
+	buildNode := engine.Scan(build.rel)
+	if pc.hasFilter {
+		buildNode = engine.Filter(buildNode, engine.KeyBetween(pc.filterLo, pc.filterHi))
+	}
+	plan := engine.HashJoin(buildNode, engine.Scan(probe.rel))
+	if pc.hasAgg {
+		plan = engine.HashAggregate(plan, pc.aggValueOff, pc.aggGroups)
+	}
+
+	cfg := engine.Config{
+		Backend: pc.engine,
+		Mem:     e.mem,
+		A:       e.mem.A,
+		Scheme:  pc.scheme,
+		Params:  pc.params,
+		Fanout:  pc.fanout,
+		Workers: pc.workers,
+	}
+
+	var res PipelineResult
+	before := e.mem.S.Stats()
+	start := time.Now()
+	root := engine.Compile(plan, cfg)
+	if pc.hasAgg {
+		for _, g := range engine.Groups(root, e.mem.A) {
+			res.Groups = append(res.Groups, GroupStat{Key: g.Key, Count: g.Count, Sum: g.Sum})
+			res.NOutput += int(g.Count)
+			res.KeySum += uint64(g.Key) * g.Count
+		}
+	} else {
+		r := engine.Run(root, e.mem.A)
+		res.NOutput, res.KeySum = r.NRows, r.KeySum
+	}
+	switch pc.engine {
+	case EngineSim:
+		res.Stats = e.mem.S.Stats().Sub(before)
+	case EngineNative:
+		res.Elapsed = time.Since(start)
+	}
+	return res
+}

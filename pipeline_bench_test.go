@@ -1,0 +1,167 @@
+package hashjoin
+
+// Pipeline benchmarks: the full Scan -> HashJoin -> HashAggregate
+// operator pipeline on the native engine — the paper's join schemes
+// composed with a downstream prefetched aggregation, running on real
+// hardware. The workload is the pivot configuration at 200k build
+// tuples (400k probe), streamed through one resident hash table
+// (fanout 1) so batch handoff, not partitioning, is what is measured.
+//
+// BenchmarkPipelineSpeedup additionally writes BENCH_pipeline.json, a
+// machine-readable trajectory point (end-to-end pipeline wall clock per
+// scheme plus speedups over baseline):
+//
+//	go test -run=^$ -bench 'BenchmarkPipeline' -benchtime=3x .
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hashjoin/internal/workload"
+)
+
+var pipelineBenchSpec = workload.Spec{
+	NBuild:          200_000,
+	TupleSize:       100,
+	MatchesPerBuild: 2,
+	PctMatched:      100,
+	Seed:            42,
+}
+
+var (
+	pipelineBenchOnce  sync.Once
+	pipelineBenchEnv   *Env
+	pipelineBenchBuild *Relation
+	pipelineBenchProbe *Relation
+	pipelineBenchPair  *workload.Pair
+	pipelineBenchMark  uint64 // arena watermark after workload generation
+)
+
+// pipelineBenchRelations generates the benchmark workload once. Each
+// pipeline run stages scratch (join output ring, aggregation rows) in
+// the Env's arena; runs truncate back to the post-generation watermark
+// so repetitions never exhaust it.
+func pipelineBenchRelations(tb testing.TB) (*Relation, *Relation, *workload.Pair) {
+	pipelineBenchOnce.Do(func() {
+		spec := pipelineBenchSpec
+		pipelineBenchEnv = NewEnv(WithSmallHierarchy(),
+			WithCapacity(workload.ArenaBytesFor(spec)*2))
+		pipelineBenchPair = workload.Generate(pipelineBenchEnv.mem.A, spec)
+		pipelineBenchBuild = &Relation{rel: pipelineBenchPair.Build, env: pipelineBenchEnv}
+		pipelineBenchProbe = &Relation{rel: pipelineBenchPair.Probe, env: pipelineBenchEnv}
+		pipelineBenchMark = pipelineBenchEnv.mem.A.Used()
+		// Untimed warmup: populate arena pages and operator scratch.
+		runPipelineBenchOnce(tb, Baseline, 1)
+	})
+	return pipelineBenchBuild, pipelineBenchProbe, pipelineBenchPair
+}
+
+// runPipelineBenchOnce runs one validated pipeline and reclaims its
+// arena scratch, returning the elapsed wall clock.
+func runPipelineBenchOnce(tb testing.TB, scheme Scheme, fanout int) time.Duration {
+	res := pipelineBenchEnv.RunPipeline(pipelineBenchBuild, pipelineBenchProbe,
+		WithEngine(EngineNative), WithPipelineScheme(scheme),
+		WithAggregation(4, pipelineBenchSpec.NBuild), WithPipelineFanout(fanout))
+	pipelineBenchEnv.mem.A.Truncate(pipelineBenchMark)
+	if res.NOutput != pipelineBenchPair.ExpectedMatches || res.KeySum != pipelineBenchPair.KeySum {
+		tb.Fatalf("scheme %v: wrong result (%d, %d), want (%d, %d)",
+			scheme, res.NOutput, res.KeySum,
+			pipelineBenchPair.ExpectedMatches, pipelineBenchPair.KeySum)
+	}
+	return res.Elapsed
+}
+
+func benchmarkPipeline(b *testing.B, scheme Scheme) {
+	_, probe, _ := pipelineBenchRelations(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last time.Duration
+	for i := 0; i < b.N; i++ {
+		last = runPipelineBenchOnce(b, scheme, 1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(probe.Len())/last.Seconds()/1e6, "Mprobe/s")
+}
+
+func BenchmarkPipelineBaseline(b *testing.B)  { benchmarkPipeline(b, Baseline) }
+func BenchmarkPipelineGroup(b *testing.B)     { benchmarkPipeline(b, Group) }
+func BenchmarkPipelinePipelined(b *testing.B) { benchmarkPipeline(b, Pipelined) }
+
+// BenchmarkPipelineMorsel runs the same pipeline with the join radix-
+// partitioned and morsel-parallel, its workers feeding output batches
+// into the downstream aggregation.
+func BenchmarkPipelineMorsel(b *testing.B) {
+	pipelineBenchRelations(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPipelineBenchOnce(b, Group, 64)
+	}
+}
+
+// pipelineTrajectory is the BENCH_pipeline.json document.
+type pipelineTrajectory struct {
+	NBuild      int  `json:"n_build"`
+	NProbe      int  `json:"n_probe"`
+	TupleSize   int  `json:"tuple_size"`
+	Fanout      int  `json:"fanout"`
+	GOMAXPROCS  int  `json:"gomaxprocs"`
+	PrefetchASM bool `json:"prefetch_asm"`
+	// End-to-end pipeline wall clocks (scan, join, and aggregation —
+	// unlike BENCH_native.json's join-phase-only times), medians over
+	// interleaved repetitions.
+	BaselineMs  float64 `json:"baseline_ms"`
+	GroupMs     float64 `json:"group_ms"`
+	PipelinedMs float64 `json:"pipelined_ms"`
+	// Speedups are baseline elapsed over scheme elapsed.
+	GroupSpeedup     float64 `json:"group_speedup"`
+	PipelinedSpeedup float64 `json:"pipelined_speedup"`
+}
+
+// BenchmarkPipelineSpeedup measures all three schemes end to end,
+// reports the pipeline wall-clock speedups of Group and Pipelined over
+// Baseline, and emits BENCH_pipeline.json. Repetitions interleave the
+// schemes so host drift lands on all of them alike, and per-scheme
+// medians are compared (see BenchmarkNativeSpeedup for why medians).
+func BenchmarkPipelineSpeedup(b *testing.B) {
+	pipelineBenchRelations(b)
+	const reps = 9
+	var base, grp, pipe time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bs, gs, ps []time.Duration
+		for rep := 0; rep < reps; rep++ {
+			bs = append(bs, runPipelineBenchOnce(b, Baseline, 1))
+			gs = append(gs, runPipelineBenchOnce(b, Group, 1))
+			ps = append(ps, runPipelineBenchOnce(b, Pipelined, 1))
+		}
+		base, grp, pipe = medianDuration(bs), medianDuration(gs), medianDuration(ps)
+	}
+	b.StopTimer()
+
+	traj := pipelineTrajectory{
+		NBuild:           pipelineBenchBuild.Len(),
+		NProbe:           pipelineBenchProbe.Len(),
+		TupleSize:        pipelineBenchSpec.TupleSize,
+		Fanout:           1,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		PrefetchASM:      NativeHasPrefetch(),
+		BaselineMs:       float64(base.Microseconds()) / 1e3,
+		GroupMs:          float64(grp.Microseconds()) / 1e3,
+		PipelinedMs:      float64(pipe.Microseconds()) / 1e3,
+		GroupSpeedup:     base.Seconds() / grp.Seconds(),
+		PipelinedSpeedup: base.Seconds() / pipe.Seconds(),
+	}
+	b.ReportMetric(traj.GroupSpeedup, "group-speedup")
+	b.ReportMetric(traj.PipelinedSpeedup, "pipelined-speedup")
+
+	if doc, err := json.MarshalIndent(traj, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_pipeline.json", append(doc, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_pipeline.json not written: %v", err)
+		}
+	}
+}

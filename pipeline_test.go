@@ -1,0 +1,114 @@
+package hashjoin
+
+// Public-API tests of the unified operator pipeline: the same Env, the
+// same relations, the same plan — only WithEngine differs — must yield
+// identical logical results on the simulator and on the host hardware.
+
+import (
+	"reflect"
+	"testing"
+
+	"hashjoin/internal/workload"
+)
+
+func pipelineTestEnv(t *testing.T, spec workload.Spec) (*Env, *Relation, *Relation, *workload.Pair) {
+	t.Helper()
+	env := NewEnv(WithSmallHierarchy(), WithCapacity(workload.ArenaBytesFor(spec)*3))
+	pair := workload.Generate(env.mem.A, spec)
+	return env,
+		&Relation{rel: pair.Build, env: env},
+		&Relation{rel: pair.Probe, env: env},
+		pair
+}
+
+func TestRunPipelineJoinParity(t *testing.T) {
+	spec := workload.Spec{NBuild: 600, TupleSize: 24, MatchesPerBuild: 2, PctMatched: 85, Seed: 31}
+	for _, scheme := range []Scheme{Baseline, Group, Pipelined} {
+		env, build, probe, pair := pipelineTestEnv(t, spec)
+		for _, eng := range []Engine{EngineSim, EngineNative} {
+			res := env.RunPipeline(build, probe,
+				WithEngine(eng), WithPipelineScheme(scheme))
+			if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
+				t.Errorf("%v/%v: got (%d, %d), want (%d, %d)",
+					eng, scheme, res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
+			}
+		}
+	}
+}
+
+func TestRunPipelineAggregationParity(t *testing.T) {
+	spec := workload.Spec{NBuild: 500, TupleSize: 24, MatchesPerBuild: 2, Seed: 32}
+	env, build, probe, pair := pipelineTestEnv(t, spec)
+
+	sim := env.RunPipeline(build, probe,
+		WithEngine(EngineSim), WithAggregation(4, spec.NBuild))
+	nat := env.RunPipeline(build, probe,
+		WithEngine(EngineNative), WithAggregation(4, spec.NBuild))
+
+	if len(sim.Groups) == 0 || !reflect.DeepEqual(sim.Groups, nat.Groups) {
+		t.Fatalf("groups differ between engines (sim %d, native %d)", len(sim.Groups), len(nat.Groups))
+	}
+	if sim.NOutput != pair.ExpectedMatches || nat.NOutput != pair.ExpectedMatches {
+		t.Fatalf("NOutput sim=%d native=%d, want %d", sim.NOutput, nat.NOutput, pair.ExpectedMatches)
+	}
+	if sim.Stats.Total() == 0 {
+		t.Error("sim pipeline reported zero cycles")
+	}
+	if nat.Elapsed <= 0 {
+		t.Error("native pipeline reported zero elapsed time")
+	}
+}
+
+func TestRunPipelineFilter(t *testing.T) {
+	spec := workload.Spec{NBuild: 400, TupleSize: 20, MatchesPerBuild: 2, Seed: 33}
+	env, build, probe, pair := pipelineTestEnv(t, spec)
+
+	// A full-range filter must not change the result.
+	full := env.RunPipeline(build, probe,
+		WithEngine(EngineNative), WithBuildFilter(0, ^uint32(0)))
+	if full.NOutput != pair.ExpectedMatches {
+		t.Fatalf("full-range filter: NOutput = %d, want %d", full.NOutput, pair.ExpectedMatches)
+	}
+	// A half-range filter must shrink it identically on both engines.
+	sim := env.RunPipeline(build, probe,
+		WithEngine(EngineSim), WithBuildFilter(0, 1<<31))
+	nat := env.RunPipeline(build, probe,
+		WithEngine(EngineNative), WithBuildFilter(0, 1<<31))
+	if sim.NOutput == 0 || sim.NOutput >= pair.ExpectedMatches {
+		t.Fatalf("half-range filter should be selective, got %d of %d", sim.NOutput, pair.ExpectedMatches)
+	}
+	if sim.NOutput != nat.NOutput || sim.KeySum != nat.KeySum {
+		t.Fatalf("filtered results differ: sim (%d, %d) vs native (%d, %d)",
+			sim.NOutput, sim.KeySum, nat.NOutput, nat.KeySum)
+	}
+}
+
+func TestRunPipelineMorsel(t *testing.T) {
+	spec := workload.Spec{NBuild: 800, TupleSize: 20, MatchesPerBuild: 2, Seed: 34}
+	env, build, probe, pair := pipelineTestEnv(t, spec)
+
+	sim := env.RunPipeline(build, probe,
+		WithEngine(EngineSim), WithAggregation(4, spec.NBuild))
+	nat := env.RunPipeline(build, probe,
+		WithEngine(EngineNative), WithAggregation(4, spec.NBuild),
+		WithPipelineFanout(8), WithPipelineWorkers(4))
+	if !reflect.DeepEqual(sim.Groups, nat.Groups) {
+		t.Fatalf("morsel-mode groups differ from sim (sim %d, native %d)", len(sim.Groups), len(nat.Groups))
+	}
+	if nat.NOutput != pair.ExpectedMatches || nat.KeySum != pair.KeySum {
+		t.Fatalf("morsel pipeline: got (%d, %d), want (%d, %d)",
+			nat.NOutput, nat.KeySum, pair.ExpectedMatches, pair.KeySum)
+	}
+}
+
+func TestRunPipelineForeignRelationPanics(t *testing.T) {
+	spec := workload.Spec{NBuild: 16, TupleSize: 16, MatchesPerBuild: 1, Seed: 35}
+	env1, build, _, _ := pipelineTestEnv(t, spec)
+	_, _, probe2, _ := pipelineTestEnv(t, spec)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for relations from different Envs")
+		}
+	}()
+	env1.RunPipeline(build, probe2)
+}
