@@ -114,7 +114,10 @@ func BenchmarkModelVsSim(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := NewEnv(WithHierarchy(sc.Cfg), WithCapacity(64<<20))
 		build, probe := benchRelations(env, 4000, 60)
-		res := env.Join(build, probe, WithParams(params))
+		res, err := env.Join(build, probe, WithParams(params))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.NOutput == 0 {
 			b.Fatal("no output")
 		}
@@ -278,7 +281,10 @@ func BenchmarkPublicAPIQuickstart(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := NewEnv(WithSmallHierarchy(), WithCapacity(64<<20))
 		build, probe := benchRelations(env, 5000, 100)
-		res := env.Join(build, probe, WithScheme(Group))
+		res, err := env.Join(build, probe, WithScheme(Group))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.NOutput != 10000 {
 			b.Fatalf("NOutput = %d", res.NOutput)
 		}

@@ -54,6 +54,7 @@ func main() {
 		schemes   = flag.String("schemes", "baseline,group,pipelined", "native/pipeline: comma-separated schemes to compare")
 		fanout    = flag.Int("fanout", 1, "native/pipeline: partition fan-out (1 = single pair, the paper's join-phase setup)")
 		workers   = flag.Int("workers", 0, "native: morsel workers (0 = all CPUs)")
+		memBudget = flag.Int("mem-budget", 0, "native/pipeline: resident build-side budget in bytes (0 = unbudgeted); oversized pairs re-partition recursively")
 		reps      = flag.Int("reps", 3, "native/pipeline: repetitions per scheme (medians reported)")
 		seed      = flag.Int64("seed", 42, "native/pipeline: workload seed")
 	)
@@ -72,11 +73,11 @@ func main() {
 	}
 
 	if *pipeMode {
-		runPipeline(backend, spec, *schemes, *fanout, *workers, *reps)
+		runPipeline(backend, spec, *schemes, *fanout, *workers, *memBudget, *reps)
 		return
 	}
 	if backend == engine.Native {
-		runNative(spec, *schemes, *fanout, *workers, *reps)
+		runNative(spec, *schemes, *fanout, *workers, *memBudget, *reps)
 		return
 	}
 
@@ -113,7 +114,7 @@ func main() {
 // workload bytes); native repetitions interleave the schemes so host
 // drift lands on all of them alike, and medians are compared. The
 // simulator is deterministic, so one rep suffices there.
-func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, fanout, workers, reps int) {
+func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, fanout, workers, memBudget, reps int) {
 	parsed, err := cli.ParseSchemeList(schemeList)
 	if err != nil {
 		cli.Fatalf(prog, "%v", err)
@@ -123,13 +124,18 @@ func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, 
 	}
 	fanout = cli.NormalizeFanout(fanout)
 
-	fmt.Printf("pipeline benchmark (%v engine): scan -> join -> aggregate, %d build tuples, %d B each, fanout %d\n",
+	fmt.Printf("pipeline benchmark (%v engine): scan -> join -> aggregate, %d build tuples, %d B each, fanout %d",
 		backend, spec.NBuild, spec.TupleSize, fanout)
+	if memBudget > 0 {
+		fmt.Printf(", budget %d B", memBudget)
+	}
+	fmt.Println()
 
 	run := func(scheme core.Scheme) cli.PipelineResult {
 		p := &cli.Pipeline{
 			Engine: backend, Spec: spec, Scheme: scheme,
 			Params: core.DefaultParams(), Fanout: fanout, Workers: workers,
+			MemBudget: memBudget,
 		}
 		if backend == engine.Native {
 			p.Params = core.Params{} // native defaults
@@ -177,6 +183,11 @@ func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, 
 		fmt.Printf("%-10v %10.2fms %10s %12.1f\n", s, med.Seconds()*1e3,
 			speedup, float64(nProbe)/med.Seconds()/1e6)
 	}
+	if memBudget > 0 && len(results) > 0 && len(results[0]) > 0 {
+		r := results[0][0]
+		fmt.Printf("(budget governor: join fanout %d, recursion depth %d)\n",
+			r.JoinFanout, r.JoinRecursionDepth)
+	}
 	fmt.Printf("(speedup = first scheme's elapsed / scheme's elapsed; medians of %d interleaved reps; all results validated)\n", reps)
 }
 
@@ -191,7 +202,7 @@ func medianElapsed(rs []cli.PipelineResult) time.Duration {
 
 // runNative benchmarks the requested schemes as monolithic native joins
 // and prints a wall-clock speedup table.
-func runNative(spec workload.Spec, schemeList string, fanout, workers, reps int) {
+func runNative(spec workload.Spec, schemeList string, fanout, workers, memBudget, reps int) {
 	parsed, err := cli.ParseSchemeList(schemeList)
 	if err != nil {
 		cli.Fatalf(prog, "%v", err)
@@ -219,10 +230,19 @@ func runNative(spec workload.Spec, schemeList string, fanout, workers, reps int)
 	// outliers), which destabilizes a best-of comparison but not the
 	// median.
 	jn := native.NewJoiner()
+	jcfg := native.Config{Fanout: fanout, Workers: workers}
+	if memBudget > 0 {
+		jcfg.MemBudget = memBudget
+		if fanout == 1 {
+			jcfg.Fanout = 0 // let the budget derive the fan-out
+		}
+	}
 	run := func(s native.Scheme) native.Result {
-		res := jn.Join(pair.Build, pair.Probe, native.Config{
-			Scheme: s, Fanout: fanout, Workers: workers,
-		})
+		jcfg.Scheme = s
+		res, err := jn.Join(pair.Build, pair.Probe, jcfg)
+		if err != nil {
+			cli.Dief(prog, "scheme %v: %v", s, err)
+		}
 		if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
 			cli.Dief(prog, "scheme %v: result mismatch: (%d, %d) vs (%d, %d) expected",
 				s, res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
@@ -251,6 +271,11 @@ func runNative(spec workload.Spec, schemeList string, fanout, workers, reps int)
 		fmt.Printf("%-10v %10.2fms %10.2fms %10.2fms %10s %12.1f\n",
 			s, secsMS(b.PartitionTime), secsMS(b.JoinTime), secsMS(b.Elapsed),
 			speedup, float64(pair.Probe.NTuples)/b.JoinTime.Seconds()/1e6)
+	}
+	if memBudget > 0 {
+		b := results[0][0]
+		fmt.Printf("(budget governor: %d B budget, %d partitions, recursion depth %d)\n",
+			memBudget, b.NPartitions, b.RecursionDepth)
 	}
 	fmt.Printf("(speedup = first scheme's elapsed / scheme's elapsed; medians of %d interleaved reps; all results validated)\n", reps)
 }

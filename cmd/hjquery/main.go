@@ -42,6 +42,7 @@ func main() {
 		hierArg   = flag.String("hier", "small", "memory hierarchy: small or es40 (sim engine)")
 		workers   = flag.Int("workers", 0, "native engine: morsel workers (0 = all CPUs)")
 		fanout    = flag.Int("fanout", 1, "native engine: partition fan-out (1 = stream through one table)")
+		memBudget = flag.Int("mem-budget", 0, "native engine: resident build-side budget in bytes (0 = unbudgeted); a streaming join over budget degrades to partitioned, oversized pairs re-partition recursively")
 		catPath   = flag.String("catalog", "", "write the catalog description file here")
 		seed      = flag.Int64("seed", 1, "workload seed")
 	)
@@ -71,9 +72,10 @@ func main() {
 			PctMatched:      *pct,
 			Seed:            *seed,
 		},
-		Hier:    hier,
-		Fanout:  cli.NormalizeFanout(*fanout),
-		Workers: *workers,
+		Hier:      hier,
+		Fanout:    cli.NormalizeFanout(*fanout),
+		Workers:   *workers,
+		MemBudget: *memBudget,
 	}
 	p.Materialize()
 
@@ -124,7 +126,10 @@ func main() {
 	case engine.Native:
 		rate := float64(p.Pair.Probe.NTuples) / res.Elapsed.Seconds() / 1e6
 		fmt.Printf("native: scheme %v, fanout %d, prefetch asm %v\n",
-			cli.NativeScheme(p.Scheme), p.Fanout, native.HavePrefetch)
+			cli.NativeScheme(p.Scheme), res.JoinFanout, native.HavePrefetch)
+		if *memBudget > 0 {
+			fmt.Printf("budget: %d B, recursion depth %d\n", *memBudget, res.JoinRecursionDepth)
+		}
 		fmt.Printf("total: %.2f ms  (%.1f Mprobe tuples/s)\n",
 			res.Elapsed.Seconds()*1e3, rate)
 	}

@@ -17,7 +17,10 @@ func ExampleEnv_Join() {
 		events.Append(i, []byte("click"))
 		events.Append(i, []byte("view"))
 	}
-	res := env.Join(users, events, hashjoin.WithScheme(hashjoin.Group))
+	res, err := env.Join(users, events, hashjoin.WithScheme(hashjoin.Group))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(res.NOutput, "matches across", res.NPartitions, "partition")
 	// Output: 200 matches across 1 partition
 }
@@ -32,9 +35,12 @@ func ExampleEnv_Join_grace() {
 		build.Append(i*2654435761|1, nil)
 		probe.Append(i*2654435761|1, nil)
 	}
-	res := env.Join(build, probe,
+	res, err := env.Join(build, probe,
 		hashjoin.WithScheme(hashjoin.Pipelined),
 		hashjoin.WithMemBudget(128<<10))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(res.NOutput, "matches,", res.NPartitions > 1, "= partitioned")
 	// Output: 4000 matches, true = partitioned
 }

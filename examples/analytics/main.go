@@ -70,8 +70,10 @@ func main() {
 		orderWidth+4, nGroups)
 
 	// Backend 1: the cycle-level simulator.
-	sim := engine.Compile(plan, engine.Config{Backend: engine.Sim, Mem: m})
-	simGroups := engine.Groups(sim, m.A)
+	sim, err := engine.Compile(plan, engine.Config{Backend: engine.Sim, Mem: m})
+	check(err)
+	simGroups, err := engine.Groups(sim, m.A)
+	check(err)
 	st := m.S.Stats()
 	rows, total := summarize(simGroups)
 	fmt.Printf("pipeline: %d groups, %d joined rows, total amount %d\n", len(simGroups), rows, total)
@@ -83,8 +85,10 @@ func main() {
 
 	// Backend 2: the same plan on the host CPU with real prefetches.
 	start := time.Now()
-	nat := engine.Compile(plan, engine.Config{Backend: engine.Native, A: m.A})
-	natGroups := engine.Groups(nat, m.A)
+	nat, err := engine.Compile(plan, engine.Config{Backend: engine.Native, A: m.A})
+	check(err)
+	natGroups, err := engine.Groups(nat, m.A)
+	check(err)
 	elapsed := time.Since(start)
 	fmt.Printf("native: %d groups in %.2f ms (prefetch asm: %v)\n",
 		len(natGroups), float64(elapsed.Microseconds())/1e3, native.HavePrefetch)
@@ -98,6 +102,12 @@ func main() {
 		}
 	}
 	fmt.Println("parity: sim and native group lists identical")
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
 }
 
 func summarize(groups []engine.Group) (rows int, total uint64) {

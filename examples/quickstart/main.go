@@ -39,7 +39,10 @@ func main() {
 			probe.Append(key, payload)
 		}
 
-		res := env.Join(build, probe, hashjoin.WithScheme(s.scheme))
+		res, err := env.Join(build, probe, hashjoin.WithScheme(s.scheme))
+		if err != nil {
+			panic(err)
+		}
 		if s.scheme == hashjoin.Baseline {
 			baseline = res.TotalCycles()
 		}

@@ -36,10 +36,14 @@ func run(scheme hashjoin.Scheme, flushEvery uint64, budget int) uint64 {
 		probe.Append(key, payload)
 	}
 	var res hashjoin.Result
+	var err error
 	if budget > 0 {
-		res = env.Join(build, probe, hashjoin.WithScheme(scheme), hashjoin.WithMemBudget(budget))
+		res, err = env.Join(build, probe, hashjoin.WithScheme(scheme), hashjoin.WithMemBudget(budget))
 	} else {
-		res = env.Join(build, probe, hashjoin.WithScheme(scheme))
+		res, err = env.Join(build, probe, hashjoin.WithScheme(scheme))
+	}
+	if err != nil {
+		panic(err)
 	}
 	// Figure 18 compares join-phase time only; the I/O partition phase
 	// streams sequentially and is insensitive to cache interference.

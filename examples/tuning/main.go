@@ -28,7 +28,10 @@ func measure(scheme hashjoin.Scheme, p hashjoin.Params) float64 {
 		probe.Append(key, payload)
 		probe.Append(key, payload)
 	}
-	res := env.Join(build, probe, hashjoin.WithScheme(scheme), hashjoin.WithParams(p))
+	res, err := env.Join(build, probe, hashjoin.WithScheme(scheme), hashjoin.WithParams(p))
+	if err != nil {
+		panic(err)
+	}
 	return float64(res.TotalCycles()) / 1e6
 }
 

@@ -53,9 +53,12 @@ func main() {
 		{"GRACE baseline", hashjoin.Baseline},
 		{"group prefetch", hashjoin.Group},
 	} {
-		res := env.Join(orders, lineitems,
+		res, err := env.Join(orders, lineitems,
 			hashjoin.WithScheme(s.scheme),
 			hashjoin.WithMemBudget(joinMemBytes))
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-16s %d partitions, %d matches\n", s.name, res.NPartitions, res.NOutput)
 		fmt.Printf("  partition phase %8.2f Mcycles\n", float64(res.PartitionStats.Total())/1e6)
 		fmt.Printf("  join phase      %8.2f Mcycles\n", float64(res.JoinStats.Total())/1e6)

@@ -17,7 +17,8 @@
 //	build := env.NewRelation(100)
 //	probe := env.NewRelation(100)
 //	build.Append(42, []byte("...payload...")) // etc.
-//	res := env.Join(build, probe, hashjoin.WithScheme(hashjoin.Group))
+//	res, err := env.Join(build, probe, hashjoin.WithScheme(hashjoin.Group))
+//	if err != nil { ... } // arena exhaustion surfaces here, never as a panic
 //	fmt.Println(res.NOutput, res.Breakdown())
 //
 // The experiments of the paper's section 7 are exposed through
@@ -28,6 +29,7 @@ import (
 	"fmt"
 	"io"
 
+	"hashjoin/internal/arena"
 	"hashjoin/internal/core"
 	"hashjoin/internal/exp"
 	jhash "hashjoin/internal/hash"
@@ -76,6 +78,7 @@ type Option func(*envConfig)
 type envConfig struct {
 	hierarchy memsim.Config
 	capacity  uint64
+	budget    uint64
 }
 
 // WithHierarchy selects the simulated memory hierarchy (default: the
@@ -103,16 +106,29 @@ func WithCacheFlushing(interval uint64) Option {
 	return func(e *envConfig) { e.hierarchy.FlushInterval = interval }
 }
 
+// WithArenaBudget installs a soft allocation ceiling, in bytes, below
+// the Env's physical capacity. Runs that would push the arena past it
+// fail with an error carrying a usage breakdown instead of growing
+// toward the capacity panic — the knob for operating an Env as a
+// resident service with a firm memory envelope.
+func WithArenaBudget(bytes uint64) Option {
+	return func(e *envConfig) { e.budget = bytes }
+}
+
 // NewEnv creates an environment.
 func NewEnv(opts ...Option) *Env {
 	ec := envConfig{hierarchy: memsim.ES40Config(), capacity: 256 << 20}
 	for _, o := range opts {
 		o(&ec)
 	}
-	return &Env{
+	env := &Env{
 		mem: vmem.NewSized(ec.capacity, ec.hierarchy),
 		cfg: ec.hierarchy,
 	}
+	if ec.budget > 0 {
+		env.mem.A.SetBudget(ec.budget)
+	}
+	return env
 }
 
 // Stats returns the cumulative simulation statistics of the Env.
@@ -221,8 +237,12 @@ func (r Result) EachOutput(fn func(tuple []byte)) {
 	r.output.Each(func(t []byte, _ uint32) { fn(t) })
 }
 
-// Join joins two relations built in this Env.
-func (e *Env) Join(build, probe *Relation, opts ...JoinOption) Result {
+// Join joins two relations built in this Env. Join scratch (hash
+// tables, partitions) is scoped to the call and reclaimed before it
+// returns — unless KeepOutput materializes the joined tuples, which
+// then stay resident. Arena exhaustion (capacity or WithArenaBudget)
+// surfaces as an error with a usage breakdown, not a panic.
+func (e *Env) Join(build, probe *Relation, opts ...JoinOption) (res Result, err error) {
 	jc := joinConfig{scheme: Group, params: core.DefaultParams()}
 	for _, o := range opts {
 		o(&jc)
@@ -230,6 +250,11 @@ func (e *Env) Join(build, probe *Relation, opts ...JoinOption) Result {
 	if build.env != e || probe.env != e {
 		panic("hashjoin: relations belong to a different Env")
 	}
+	if !jc.keepOutput {
+		scope := e.mem.A.Scope()
+		defer scope.Release()
+	}
+	defer arena.RecoverOOM(&err)
 	if jc.endToEnd {
 		gr := core.Grace(e.mem, build.rel, probe.rel, core.GraceConfig{
 			MemBudget:  jc.memBudget,
@@ -245,7 +270,7 @@ func (e *Env) Join(build, probe *Relation, opts ...JoinOption) Result {
 			NPartitions:    gr.NPartitions,
 			PartitionStats: gr.PartBuildStats.Add(gr.PartProbeStats),
 			JoinStats:      gr.JoinStats,
-		}
+		}, nil
 	}
 	jr := core.JoinPair(e.mem, build.rel, probe.rel, jc.scheme, jc.params, 1, jc.keepOutput)
 	return Result{
@@ -254,7 +279,7 @@ func (e *Env) Join(build, probe *Relation, opts ...JoinOption) Result {
 		NPartitions: 1,
 		JoinStats:   jr.Stats(),
 		output:      jr.Output,
-	}
+	}, nil
 }
 
 // Partition divides a relation into n hash partitions, returning the

@@ -26,13 +26,23 @@ func fillPair(build, probe *Relation, n, misses, tupleSize int) {
 	}
 }
 
+// mustJoin drains the Join error for tests that assert on the result.
+func mustJoin(tb testing.TB, env *Env, build, probe *Relation, opts ...JoinOption) Result {
+	tb.Helper()
+	res, err := env.Join(build, probe, opts...)
+	if err != nil {
+		tb.Fatalf("Join: %v", err)
+	}
+	return res
+}
+
 func TestJoinAPISchemes(t *testing.T) {
 	for _, scheme := range []Scheme{Baseline, Simple, Group, Pipelined} {
 		env := smallEnv()
 		build := env.NewRelation(60)
 		probe := env.NewRelation(60)
 		fillPair(build, probe, 500, 100, 60)
-		res := env.Join(build, probe, WithScheme(scheme))
+		res := mustJoin(t, env, build, probe, WithScheme(scheme))
 		if res.NOutput != 1000 {
 			t.Errorf("%v: NOutput = %d, want 1000", scheme, res.NOutput)
 		}
@@ -50,7 +60,7 @@ func TestJoinAPIEndToEnd(t *testing.T) {
 	build := env.NewRelation(100)
 	probe := env.NewRelation(100)
 	fillPair(build, probe, 5000, 0, 100)
-	res := env.Join(build, probe, WithScheme(Group), WithMemBudget(128<<10))
+	res := mustJoin(t, env, build, probe, WithScheme(Group), WithMemBudget(128<<10))
 	if res.NOutput != 10000 {
 		t.Fatalf("NOutput = %d, want 10000", res.NOutput)
 	}
@@ -67,7 +77,7 @@ func TestKeepOutputIteration(t *testing.T) {
 	build := env.NewRelation(20)
 	probe := env.NewRelation(20)
 	fillPair(build, probe, 50, 0, 20)
-	res := env.Join(build, probe, WithScheme(Group), KeepOutput())
+	res := mustJoin(t, env, build, probe, WithScheme(Group), KeepOutput())
 	count := 0
 	res.EachOutput(func(tuple []byte) {
 		if len(tuple) != 40 {
@@ -109,7 +119,7 @@ func TestJoinRejectsForeignRelation(t *testing.T) {
 			t.Fatal("joining relations from different Envs should panic")
 		}
 	}()
-	env1.Join(r1, r2)
+	env1.Join(r1, r2) //nolint:errcheck // must panic before returning
 }
 
 func TestBreakdownFormat(t *testing.T) {
@@ -117,7 +127,7 @@ func TestBreakdownFormat(t *testing.T) {
 	build := env.NewRelation(60)
 	probe := env.NewRelation(60)
 	fillPair(build, probe, 300, 0, 60)
-	res := env.Join(build, probe)
+	res := mustJoin(t, env, build, probe)
 	s := res.Breakdown()
 	for _, want := range []string{"busy", "dcache", "dtlb", "other"} {
 		if !strings.Contains(s, want) {
@@ -151,7 +161,7 @@ func TestGroupBeatsBaselineViaAPI(t *testing.T) {
 		build := env.NewRelation(100)
 		probe := env.NewRelation(100)
 		fillPair(build, probe, 8000, 0, 100)
-		cycles[scheme] = env.Join(build, probe, WithScheme(scheme)).TotalCycles()
+		cycles[scheme] = mustJoin(t, env, build, probe, WithScheme(scheme)).TotalCycles()
 	}
 	if s := float64(cycles[Baseline]) / float64(cycles[Group]); s < 1.5 {
 		t.Errorf("group speedup via API = %.2f, want >= 1.5", s)
@@ -163,7 +173,7 @@ func TestCacheFlushingOption(t *testing.T) {
 	build := env.NewRelation(60)
 	probe := env.NewRelation(60)
 	fillPair(build, probe, 2000, 0, 60)
-	res := env.Join(build, probe, WithScheme(Group))
+	res := mustJoin(t, env, build, probe, WithScheme(Group))
 	if res.NOutput != 4000 {
 		t.Fatalf("flushed join produced %d outputs", res.NOutput)
 	}

@@ -21,11 +21,36 @@ const Base uint64 = 1 << 16
 // Addr is a simulated address. The zero value is the nil address.
 type Addr = uint64
 
+// OOMError reports an allocation that would exceed the arena's effective
+// ceiling (the budget if one is set, else the physical capacity). It
+// carries a usage breakdown so the failure is diagnosable at the API
+// boundary rather than as a bare "out of space".
+type OOMError struct {
+	Need   uint64 // bytes requested (after alignment padding)
+	Align  uint64 // requested alignment
+	Used   uint64 // bytes allocated when the request failed
+	Budget uint64 // configured budget, 0 if none
+	Cap    uint64 // physical capacity of the backing slice
+}
+
+func (e *OOMError) Error() string {
+	limit := e.Cap
+	kind := "capacity"
+	if e.Budget != 0 && e.Budget < e.Cap {
+		limit = e.Budget
+		kind = "budget"
+	}
+	return fmt.Sprintf(
+		"arena: out of memory: need %d bytes (align %d), used %d of %d byte %s (cap %d)",
+		e.Need, e.Align, e.Used, limit, kind, e.Cap)
+}
+
 // Arena is a bump allocator over a contiguous simulated address space.
 // The zero value is not usable; call New.
 type Arena struct {
-	data []byte
-	next uint64 // next free offset relative to Base
+	data   []byte
+	next   uint64 // next free offset relative to Base
+	budget uint64 // soft ceiling on next; 0 means capacity only
 }
 
 // New creates an arena able to hold capacity bytes. The backing memory
@@ -46,11 +71,39 @@ func (a *Arena) Cap() uint64 { return uint64(len(a.data)) }
 // Used returns the number of bytes allocated so far.
 func (a *Arena) Used() uint64 { return a.next }
 
-// Alloc reserves size bytes aligned to align (a power of two) and returns
-// the address of the first byte. It panics if the arena is exhausted:
-// exhaustion is a sizing bug in the experiment setup, not a runtime
-// condition a caller could recover from.
-func (a *Arena) Alloc(size, align uint64) Addr {
+// SetBudget installs a soft ceiling, in bytes, below the physical
+// capacity. Allocations that would push Used() past the effective
+// ceiling — min(budget, Cap()) — fail with an *OOMError. A budget of 0
+// removes the ceiling, leaving only the physical capacity. Lowering the
+// budget below Used() is allowed: existing data stays valid and further
+// allocation fails until scratch is released.
+func (a *Arena) SetBudget(bytes uint64) { a.budget = bytes }
+
+// Budget returns the configured soft ceiling, 0 if none.
+func (a *Arena) Budget() uint64 { return a.budget }
+
+// limit returns the effective allocation ceiling in backing-slice offsets.
+func (a *Arena) limit() uint64 {
+	if a.budget != 0 && a.budget < uint64(len(a.data)) {
+		return a.budget
+	}
+	return uint64(len(a.data))
+}
+
+// Remaining returns how many bytes can still be allocated before the
+// effective ceiling (ignoring alignment padding).
+func (a *Arena) Remaining() uint64 {
+	if lim := a.limit(); lim > a.next {
+		return lim - a.next
+	}
+	return 0
+}
+
+// TryAlloc reserves size bytes aligned to align (a power of two) and
+// returns the address of the first byte, or an *OOMError if the request
+// would exceed the effective ceiling. Misaligned align values still
+// panic: that is a programming error, not a sizing condition.
+func (a *Arena) TryAlloc(size, align uint64) (Addr, error) {
 	if align == 0 {
 		align = 1
 	}
@@ -58,11 +111,56 @@ func (a *Arena) Alloc(size, align uint64) Addr {
 		panic(fmt.Sprintf("arena: alignment %d is not a power of two", align))
 	}
 	off := (a.next + align - 1) &^ (align - 1)
-	if off+size > uint64(len(a.data)) {
-		panic(fmt.Sprintf("arena: out of space: need %d bytes at offset %d, cap %d", size, off, len(a.data)))
+	if off+size > a.limit() || off+size < off {
+		return 0, &OOMError{
+			Need: size, Align: align, Used: a.next,
+			Budget: a.budget, Cap: uint64(len(a.data)),
+		}
 	}
 	a.next = off + size
-	return Base + off
+	return Base + off, nil
+}
+
+// TryAllocZeroed is TryAlloc followed by clearing the returned region.
+func (a *Arena) TryAllocZeroed(size, align uint64) (Addr, error) {
+	addr, err := a.TryAlloc(size, align)
+	if err != nil {
+		return 0, err
+	}
+	b := a.Bytes(addr, size)
+	for i := range b {
+		b[i] = 0
+	}
+	return addr, nil
+}
+
+// Reserve reports whether size more bytes (at the given alignment) would
+// fit under the effective ceiling, without allocating them. Operators
+// call it up front to fail a pipeline before building partial state.
+func (a *Arena) Reserve(size, align uint64) error {
+	if align == 0 {
+		align = 1
+	}
+	off := (a.next + align - 1) &^ (align - 1)
+	if off+size > a.limit() || off+size < off {
+		return &OOMError{
+			Need: size, Align: align, Used: a.next,
+			Budget: a.budget, Cap: uint64(len(a.data)),
+		}
+	}
+	return nil
+}
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the address of the first byte. It panics with an *OOMError if the
+// request exceeds the effective ceiling; pipeline boundaries recover the
+// typed value via RecoverOOM and surface it as an ordinary error.
+func (a *Arena) Alloc(size, align uint64) Addr {
+	addr, err := a.TryAlloc(size, align)
+	if err != nil {
+		panic(err)
+	}
+	return addr
 }
 
 // AllocZeroed is Alloc followed by clearing the returned region. Regions
@@ -74,6 +172,21 @@ func (a *Arena) AllocZeroed(size, align uint64) Addr {
 		b[i] = 0
 	}
 	return addr
+}
+
+// RecoverOOM converts an in-flight *OOMError panic into an error
+// assignment. Deep allocation layers (relation append, hash-table build,
+// simulated loads) report exhaustion by panicking with the typed error;
+// the owner of a pipeline defers RecoverOOM(&err) so exhaustion surfaces
+// as a Go error at the API boundary. Panics of any other type propagate.
+func RecoverOOM(err *error) {
+	switch r := recover().(type) {
+	case nil:
+	case *OOMError:
+		*err = r
+	default:
+		panic(r)
+	}
 }
 
 // Reset discards all allocations, keeping the backing storage.
@@ -89,6 +202,33 @@ func (a *Arena) Truncate(mark uint64) {
 	}
 	a.next = mark
 }
+
+// Scope opens a scratch region: every allocation made between Scope and
+// the matching Release belongs to the scope and is reclaimed by Release.
+// It formalizes the mark/Truncate pattern so per-run operator scratch
+// (output rings, pipe buffers, staged aggregation rows) is owned by the
+// pipeline that allocated it, keeping a resident arena stable across
+// unlimited runs. Scopes nest LIFO; releasing an outer scope reclaims
+// inner ones with it.
+func (a *Arena) Scope() Scope { return Scope{a: a, mark: a.next} }
+
+// Scope is a handle to a scratch region opened by Arena.Scope.
+type Scope struct {
+	a    *Arena
+	mark uint64
+}
+
+// Release reclaims every allocation made since the scope was opened.
+// Releasing twice, or releasing after an outer scope already reclaimed
+// the region, is a no-op.
+func (s Scope) Release() {
+	if s.a != nil && s.mark <= s.a.next {
+		s.a.next = s.mark
+	}
+}
+
+// Mark returns the arena watermark captured when the scope was opened.
+func (s Scope) Mark() uint64 { return s.mark }
 
 // Bytes returns the backing slice for [addr, addr+size). The slice aliases
 // arena storage; writes through it are visible to subsequent reads.

@@ -40,11 +40,133 @@ func TestAllocDisjoint(t *testing.T) {
 func TestAllocExhaustionPanics(t *testing.T) {
 	a := New(64)
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatalf("expected panic on exhaustion")
+		}
+		oom, ok := r.(*OOMError)
+		if !ok {
+			t.Fatalf("panic value %T, want *OOMError", r)
+		}
+		if oom.Need != 128 || oom.Cap != 64 {
+			t.Fatalf("OOMError = %+v, want Need=128 Cap=64", oom)
 		}
 	}()
 	a.Alloc(128, 1)
+}
+
+func TestTryAllocReturnsOOM(t *testing.T) {
+	a := New(64)
+	if _, err := a.TryAlloc(32, 8); err != nil {
+		t.Fatalf("TryAlloc(32) within capacity failed: %v", err)
+	}
+	_, err := a.TryAlloc(64, 8)
+	if err == nil {
+		t.Fatalf("TryAlloc beyond capacity should fail")
+	}
+	var oom *OOMError
+	if !errorsAs(err, &oom) {
+		t.Fatalf("error %T, want *OOMError", err)
+	}
+	if oom.Used != 32 || oom.Need != 64 {
+		t.Fatalf("OOMError = %+v, want Used=32 Need=64", oom)
+	}
+	if a.Used() != 32 {
+		t.Fatalf("failed TryAlloc moved the bump pointer to %d", a.Used())
+	}
+}
+
+func errorsAs(err error, target **OOMError) bool {
+	oom, ok := err.(*OOMError)
+	if ok {
+		*target = oom
+	}
+	return ok
+}
+
+func TestBudgetCeiling(t *testing.T) {
+	a := New(1 << 12)
+	a.SetBudget(128)
+	if a.Remaining() != 128 {
+		t.Fatalf("Remaining() = %d, want 128", a.Remaining())
+	}
+	if _, err := a.TryAlloc(100, 1); err != nil {
+		t.Fatalf("alloc under budget failed: %v", err)
+	}
+	_, err := a.TryAlloc(100, 1)
+	if err == nil {
+		t.Fatalf("alloc over budget should fail despite physical room")
+	}
+	var oom *OOMError
+	if !errorsAs(err, &oom) || oom.Budget != 128 {
+		t.Fatalf("error %v, want *OOMError with Budget=128", err)
+	}
+	if err := a.Reserve(100, 1); err == nil {
+		t.Fatalf("Reserve over budget should fail")
+	}
+	if err := a.Reserve(20, 1); err != nil {
+		t.Fatalf("Reserve under budget failed: %v", err)
+	}
+	if a.Used() != 100 {
+		t.Fatalf("Reserve allocated: Used() = %d", a.Used())
+	}
+	a.SetBudget(0) // lift the ceiling
+	if _, err := a.TryAlloc(100, 1); err != nil {
+		t.Fatalf("alloc after lifting budget failed: %v", err)
+	}
+}
+
+func TestBudgetAboveCapClampsToCap(t *testing.T) {
+	a := New(64)
+	a.SetBudget(1 << 20)
+	if a.Remaining() != 64 {
+		t.Fatalf("Remaining() = %d, want physical cap 64", a.Remaining())
+	}
+}
+
+func TestScopeReleaseReclaims(t *testing.T) {
+	a := New(1 << 12)
+	a.Alloc(64, 1)
+	durable := a.Used()
+	s := a.Scope()
+	a.Alloc(256, 8)
+	inner := a.Scope()
+	a.Alloc(128, 8)
+	inner.Release()
+	s.Release()
+	if a.Used() != durable {
+		t.Fatalf("Used() = %d after Release, want %d", a.Used(), durable)
+	}
+	// Double release and release after outer reclaim are no-ops.
+	inner.Release()
+	s.Release()
+	if a.Used() != durable {
+		t.Fatalf("redundant Release moved the pointer to %d", a.Used())
+	}
+}
+
+func TestRecoverOOM(t *testing.T) {
+	run := func() (err error) {
+		defer RecoverOOM(&err)
+		a := New(64)
+		a.Alloc(128, 1)
+		return nil
+	}
+	err := run()
+	var oom *OOMError
+	if !errorsAs(err, &oom) {
+		t.Fatalf("RecoverOOM surfaced %v, want *OOMError", err)
+	}
+	// Non-OOM panics must propagate.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("RecoverOOM swallowed a foreign panic")
+		}
+	}()
+	func() (err error) {
+		defer RecoverOOM(&err)
+		panic("unrelated")
+	}()
 }
 
 func TestBadAlignmentPanics(t *testing.T) {

@@ -10,6 +10,7 @@ package cli
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -153,13 +154,14 @@ var osExit = os.Exit
 // logical plan, and therefore the same logical result, on either
 // engine.
 type Pipeline struct {
-	Engine  engine.Backend
-	Spec    workload.Spec
-	Scheme  core.Scheme
-	Params  core.Params
-	Hier    memsim.Config // Sim backend; zero value selects SmallConfig
-	Fanout  int           // Native backend join strategy
-	Workers int
+	Engine    engine.Backend
+	Spec      workload.Spec
+	Scheme    core.Scheme
+	Params    core.Params
+	Hier      memsim.Config // Sim backend; zero value selects SmallConfig
+	Fanout    int           // Native backend join strategy
+	Workers   int
+	MemBudget int // Native: bound on the join's resident build footprint; 0 = unbudgeted
 
 	// Pair and A hold the generated workload; Materialize fills them
 	// (idempotently), letting callers inspect the relations — catalog
@@ -179,16 +181,56 @@ type PipelineResult struct {
 
 	Stats   memsim.Stats  // Sim: cycle breakdown of the whole pipeline
 	Elapsed time.Duration // Native: wall clock of the whole pipeline
+
+	// JoinFanout is the partition count the native join actually used
+	// (1: streaming); JoinRecursionDepth is how deep the budget governor
+	// had to re-partition oversized pairs (0: none).
+	JoinFanout         int
+	JoinRecursionDepth int
 }
 
 // Materialize generates the workload into a fresh arena if it has not
-// been generated yet.
+// been generated yet. The arena is sized from the plan — the workload's
+// own footprint plus the scratch the compiled pipeline allocates per
+// run — rather than a blanket capacity multiplier.
 func (p *Pipeline) Materialize() {
 	if p.Pair != nil {
 		return
 	}
-	p.A = arena.New(workload.ArenaBytesFor(p.Spec) * 2)
+	p.A = arena.New(workload.ArenaBytesFor(p.Spec) + p.scratchBytes())
 	p.Pair = workload.Generate(p.A, p.Spec)
+}
+
+// scratchBytes estimates the per-run arena scratch of the compiled
+// Scan ⋈ Scan -> HashAggregate plan beyond the workload itself: the
+// streaming join's output ring (one probe batch's matches), the morsel
+// pipe buffers (2·workers+4 batches of concatenated rows), and the
+// aggregate's staging block (one AggTupleWidth row per possible group),
+// with slack for page rounding. Scoped allocation reclaims all of it
+// between runs, so this bounds the steady-state high-water mark, not a
+// per-run leak.
+func (p *Pipeline) scratchBytes() uint64 {
+	tupleSize := p.Spec.TupleSize
+	if tupleSize < 8 {
+		tupleSize = 8
+	}
+	outWidth := uint64(2 * tupleSize)
+	batch := p.Params.G
+	if batch < native.DefaultG {
+		batch = native.DefaultG // covers both backends' default G
+	}
+	workers := p.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mpb := p.Spec.MatchesPerBuild
+	if mpb < 1 {
+		mpb = 1
+	}
+	ring := uint64(batch*mpb) * outWidth
+	pipeBufs := uint64(2*workers+4) * uint64(batch) * outWidth
+	aggStaging := uint64(p.Spec.NBuild) * engine.AggTupleWidth
+	return ring + pipeBufs + aggStaging + (64 << 10)
 }
 
 // Run executes the pipeline on the configured backend and validates the
@@ -200,13 +242,16 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		engine.HashJoin(engine.Scan(p.Pair.Build), engine.Scan(p.Pair.Probe)),
 		4, spec.NBuild)
 
+	var report engine.Report
 	cfg := engine.Config{
-		Backend: p.Engine,
-		A:       p.A,
-		Scheme:  p.Scheme,
-		Params:  p.Params,
-		Fanout:  p.Fanout,
-		Workers: p.Workers,
+		Backend:   p.Engine,
+		A:         p.A,
+		Scheme:    p.Scheme,
+		Params:    p.Params,
+		Fanout:    p.Fanout,
+		Workers:   p.Workers,
+		MemBudget: p.MemBudget,
+		Report:    &report,
 	}
 	var res PipelineResult
 	switch p.Engine {
@@ -217,15 +262,31 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		}
 		m := vmem.New(p.A, memsim.NewSim(hier))
 		cfg.Mem = m
-		res.Groups = engine.Groups(engine.Compile(plan, cfg), p.A)
+		root, err := engine.Compile(plan, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.Groups, err = engine.Groups(root, p.A)
+		if err != nil {
+			return res, err
+		}
 		res.Stats = m.S.Stats()
 	case engine.Native:
 		start := time.Now()
-		res.Groups = engine.Groups(engine.Compile(plan, cfg), p.A)
+		root, err := engine.Compile(plan, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.Groups, err = engine.Groups(root, p.A)
+		if err != nil {
+			return res, err
+		}
 		res.Elapsed = time.Since(start)
 	default:
 		return res, fmt.Errorf("unknown backend %v", p.Engine)
 	}
+	res.JoinFanout = report.JoinFanout
+	res.JoinRecursionDepth = report.JoinRecursionDepth
 
 	for _, g := range res.Groups {
 		res.NOutput += int(g.Count)

@@ -59,9 +59,18 @@ func (b *Batch) Len() int { return len(b.Rows) }
 // idempotent towards children: an operator closes each child exactly
 // once, whether the child was drained during Open or streamed until
 // Close.
+//
+// Open and NextBatch return an error for conditions that are not
+// programming bugs: a memory budget a partition pair cannot be split
+// under, or a failure reported by a background morsel worker. Deep
+// allocation layers still panic with *arena.OOMError on exhaustion; the
+// drain helpers (Run, Groups, Collect) recover that panic into an error,
+// so callers of the helpers see every out-of-memory condition as an
+// ordinary error. After a non-nil error the operator must still be
+// Closed; Close remains safe and releases any background work.
 type Operator interface {
-	Open()
-	NextBatch(b *Batch) bool
+	Open() error
+	NextBatch(b *Batch) (bool, error)
 	Close()
 }
 
@@ -123,6 +132,28 @@ type Config struct {
 
 	// Workers bounds the native morsel worker pool (0 = GOMAXPROCS).
 	Workers int
+
+	// MemBudget, when > 0, bounds the resident footprint of a native
+	// join's build side in bytes. A streaming join (Fanout <= 1) whose
+	// build would exceed it falls back to the partitioned morsel
+	// strategy, and a partition pair that still exceeds it is
+	// re-partitioned recursively (bounded depth). 0 means unbudgeted.
+	MemBudget int
+
+	// Report, when non-nil, receives execution detail the result rows
+	// cannot carry — the join's effective fan-out and how deep the
+	// budget degradation had to recurse. Written when the join finishes.
+	Report *Report
+}
+
+// Report carries per-run execution detail out of a compiled pipeline.
+type Report struct {
+	// JoinFanout is the partition count the native join actually used
+	// (1 for the streaming strategy).
+	JoinFanout int
+	// JoinRecursionDepth is the deepest recursive re-partitioning any
+	// pair needed to fit MemBudget; 0 when every pair fit directly.
+	JoinRecursionDepth int
 }
 
 // batchSize returns the batch capacity (= G) for the config's backend.
@@ -244,26 +275,51 @@ func (n *Node) scanRel() *storage.Relation {
 }
 
 // Compile lowers the logical plan onto cfg's backend, returning the
-// root operator. It panics on an invalid configuration — a missing
-// Mem for the Sim backend, a missing arena for Native — because those
-// are setup bugs, not runtime conditions.
-func Compile(n *Node, cfg Config) Operator {
+// root operator. An invalid configuration — a missing Mem for the Sim
+// backend, a missing arena for Native, negative tuning parameters — is
+// reported as an error: configurations cross the public API boundary
+// (options, CLI flags), so validating here is what keeps a bad flag
+// from surfacing as a panic or a silent misbehavior deep in a run.
+// Zero-valued Params fields are merged with the backend defaults.
+func Compile(n *Node, cfg Config) (Operator, error) {
 	switch cfg.Backend {
 	case Sim:
 		if cfg.Mem == nil {
-			panic("engine: Sim backend requires Config.Mem")
+			return nil, fmt.Errorf("engine: Sim backend requires Config.Mem")
 		}
 		if cfg.A == nil {
 			cfg.A = cfg.Mem.A
 		}
 	case Native:
 		if cfg.A == nil {
-			panic("engine: Native backend requires Config.A")
+			return nil, fmt.Errorf("engine: Native backend requires Config.A")
 		}
 	default:
-		panic(fmt.Sprintf("engine: unknown backend %v", cfg.Backend))
+		return nil, fmt.Errorf("engine: unknown backend %v", cfg.Backend)
 	}
-	return compileNode(n, cfg)
+	if cfg.Params.G < 0 || cfg.Params.D < 0 {
+		return nil, fmt.Errorf("engine: params G=%d, D=%d: must be >= 1 (0 selects the backend default)",
+			cfg.Params.G, cfg.Params.D)
+	}
+	if cfg.MemBudget < 0 {
+		return nil, fmt.Errorf("engine: negative MemBudget %d", cfg.MemBudget)
+	}
+	// Merge zero fields with the backend defaults up front, so every
+	// operator sees G >= 1 and D >= 1 no matter which layer reads them.
+	if cfg.Params.G == 0 {
+		cfg.Params.G = cfg.batchSize()
+	}
+	if cfg.Params.D == 0 {
+		if cfg.Backend == Native {
+			cfg.Params.D = native.DefaultD
+		} else {
+			cfg.Params.D = core.DefaultParams().D
+		}
+	}
+	if cfg.Report != nil {
+		*cfg.Report = Report{}
+	}
+	return compileNode(n, cfg), nil
 }
 
 func compileNode(n *Node, cfg Config) Operator {
@@ -311,18 +367,36 @@ type Result struct {
 // Run opens, drains, and closes root, reading each row's leading u32
 // key through the arena (untimed — result inspection, not measured
 // work). For a join root this yields the join's NOutput and KeySum.
-func Run(root Operator, a *arena.Arena) Result {
-	var r Result
-	root.Open()
+//
+// Run owns the pipeline's arena scratch: it opens a scope before Open
+// and releases it after Close, so per-run allocations (join output
+// rings, morsel pipe buffers, staged aggregation rows, materialized
+// intermediates) are reclaimed and a resident arena's Used() is stable
+// across unlimited runs. An *arena.OOMError panic from any depth of the
+// pipeline is recovered into the returned error.
+func Run(root Operator, a *arena.Arena) (res Result, err error) {
+	scope := a.Scope()
+	defer scope.Release()
+	defer arena.RecoverOOM(&err)
+	if err = root.Open(); err != nil {
+		root.Close()
+		return Result{}, err
+	}
 	defer root.Close()
 	var b Batch
-	for root.NextBatch(&b) {
-		r.NRows += len(b.Rows)
+	for {
+		ok, berr := root.NextBatch(&b)
+		if berr != nil {
+			return Result{}, berr
+		}
+		if !ok {
+			return res, nil
+		}
+		res.NRows += len(b.Rows)
 		for i := range b.Rows {
-			r.KeySum += uint64(a.U32(b.Rows[i].Addr))
+			res.KeySum += uint64(a.U32(b.Rows[i].Addr))
 		}
 	}
-	return r
 }
 
 // Group is one aggregation result row.
@@ -335,12 +409,27 @@ type Group struct {
 // 24-byte rows and returning the groups sorted by key — a deterministic
 // order shared by both backends, so equal workloads yield byte-identical
 // group lists regardless of engine or hash-table iteration order.
-func Groups(root Operator, a *arena.Arena) []Group {
-	var out []Group
-	root.Open()
+// Like Run, it scopes the pipeline's arena scratch (the groups are
+// copied out before the scope is released) and recovers arena
+// exhaustion into the returned error.
+func Groups(root Operator, a *arena.Arena) (out []Group, err error) {
+	scope := a.Scope()
+	defer scope.Release()
+	defer arena.RecoverOOM(&err)
+	if err = root.Open(); err != nil {
+		root.Close()
+		return nil, err
+	}
 	defer root.Close()
 	var b Batch
-	for root.NextBatch(&b) {
+	for {
+		ok, berr := root.NextBatch(&b)
+		if berr != nil {
+			return nil, berr
+		}
+		if !ok {
+			break
+		}
 		for i := range b.Rows {
 			addr := b.Rows[i].Addr
 			out = append(out, Group{
@@ -351,21 +440,33 @@ func Groups(root Operator, a *arena.Arena) []Group {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
+	return out, nil
 }
 
 // Collect opens, drains, and closes root, returning an untimed copy of
-// every row's bytes. For tests and result sinks.
-func Collect(root Operator, a *arena.Arena) [][]byte {
-	var out [][]byte
-	root.Open()
+// every row's bytes. For tests and result sinks. Scratch scoping and
+// OOM recovery as in Run.
+func Collect(root Operator, a *arena.Arena) (out [][]byte, err error) {
+	scope := a.Scope()
+	defer scope.Release()
+	defer arena.RecoverOOM(&err)
+	if err = root.Open(); err != nil {
+		root.Close()
+		return nil, err
+	}
 	defer root.Close()
 	var b Batch
-	for root.NextBatch(&b) {
+	for {
+		ok, berr := root.NextBatch(&b)
+		if berr != nil {
+			return nil, berr
+		}
+		if !ok {
+			return out, nil
+		}
 		for i := range b.Rows {
 			r := b.Rows[i]
 			out = append(out, append([]byte(nil), a.Bytes(r.Addr, uint64(r.Len))...))
 		}
 	}
-	return out
 }

@@ -26,6 +26,44 @@ func simCfg(m *vmem.Mem, scheme core.Scheme, params core.Params) Config {
 	return Config{Backend: Sim, Mem: m, Scheme: scheme, Params: params}
 }
 
+// mustCompile / mustRun / mustGroups / mustCollect are the test-side
+// drains: any error is fatal, so parity assertions stay one-liners.
+func mustCompile(tb testing.TB, plan *Node, cfg Config) Operator {
+	tb.Helper()
+	op, err := Compile(plan, cfg)
+	if err != nil {
+		tb.Fatalf("Compile: %v", err)
+	}
+	return op
+}
+
+func mustRun(tb testing.TB, plan *Node, cfg Config, a *arena.Arena) Result {
+	tb.Helper()
+	r, err := Run(mustCompile(tb, plan, cfg), a)
+	if err != nil {
+		tb.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func mustGroups(tb testing.TB, plan *Node, cfg Config, a *arena.Arena) []Group {
+	tb.Helper()
+	g, err := Groups(mustCompile(tb, plan, cfg), a)
+	if err != nil {
+		tb.Fatalf("Groups: %v", err)
+	}
+	return g
+}
+
+func mustCollect(tb testing.TB, plan *Node, cfg Config, a *arena.Arena) [][]byte {
+	tb.Helper()
+	rows, err := Collect(mustCompile(tb, plan, cfg), a)
+	if err != nil {
+		tb.Fatalf("Collect: %v", err)
+	}
+	return rows
+}
+
 func nativeCfg(a *arena.Arena, scheme core.Scheme, params core.Params, fanout int) Config {
 	return Config{Backend: Native, A: a, Scheme: scheme, Params: params, Fanout: fanout}
 }
@@ -34,8 +72,8 @@ func TestScanParity(t *testing.T) {
 	pair, a, m := testEnv(t, workload.Spec{NBuild: 100, TupleSize: 16, MatchesPerBuild: 1, Seed: 3})
 	plan := Scan(pair.Probe)
 
-	sim := Collect(Compile(plan, simCfg(m, core.SchemeGroup, core.DefaultParams())), a)
-	nat := Collect(Compile(plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1)), a)
+	sim := mustCollect(t, plan, simCfg(m, core.SchemeGroup, core.DefaultParams()), a)
+	nat := mustCollect(t, plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1), a)
 	if len(sim) != pair.Spec.NProbe {
 		t.Fatalf("sim scan rows = %d, want %d", len(sim), pair.Spec.NProbe)
 	}
@@ -48,8 +86,8 @@ func TestFilterParity(t *testing.T) {
 	pair, a, m := testEnv(t, workload.Spec{NBuild: 200, TupleSize: 16, MatchesPerBuild: 1, Seed: 4})
 	plan := Filter(Scan(pair.Build), KeyBetween(0, 1<<30))
 
-	sim := Collect(Compile(plan, simCfg(m, core.SchemeGroup, core.DefaultParams())), a)
-	nat := Collect(Compile(plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1)), a)
+	sim := mustCollect(t, plan, simCfg(m, core.SchemeGroup, core.DefaultParams()), a)
+	nat := mustCollect(t, plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1), a)
 	if len(sim) == 0 || len(sim) == pair.Spec.NBuild {
 		t.Fatalf("filter should be selective but not empty, got %d of %d rows", len(sim), pair.Spec.NBuild)
 	}
@@ -68,8 +106,8 @@ func TestJoinParity(t *testing.T) {
 			pair, a, m := testEnv(t, spec)
 			plan := HashJoin(Scan(pair.Build), Scan(pair.Probe))
 
-			sim := Run(Compile(plan, simCfg(m, scheme, core.DefaultParams())), a)
-			nat := Run(Compile(plan, nativeCfg(a, scheme, core.DefaultParams(), fanout)), a)
+			sim := mustRun(t, plan, simCfg(m, scheme, core.DefaultParams()), a)
+			nat := mustRun(t, plan, nativeCfg(a, scheme, core.DefaultParams(), fanout), a)
 
 			for name, r := range map[string]Result{"sim": sim, "native": nat} {
 				if r.NRows != pair.ExpectedMatches {
@@ -89,8 +127,8 @@ func TestJoinSkewParity(t *testing.T) {
 	pair, a, m := testEnv(t, spec)
 	plan := HashJoin(Scan(pair.Build), Scan(pair.Probe))
 
-	sim := Run(Compile(plan, simCfg(m, core.SchemeGroup, core.DefaultParams())), a)
-	nat := Run(Compile(plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 2)), a)
+	sim := mustRun(t, plan, simCfg(m, core.SchemeGroup, core.DefaultParams()), a)
+	nat := mustRun(t, plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 2), a)
 	if sim.NRows != pair.ExpectedMatches || nat.NRows != pair.ExpectedMatches {
 		t.Fatalf("NRows sim=%d native=%d, want %d", sim.NRows, nat.NRows, pair.ExpectedMatches)
 	}
@@ -110,9 +148,9 @@ func TestJoinMaterializedBuild(t *testing.T) {
 		Filter(Scan(pair.Probe), KeyBetween(0, ^uint32(0))),
 	)
 
-	sim := Run(Compile(plan, simCfg(m, core.SchemeGroup, core.DefaultParams())), a)
-	nat := Run(Compile(plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1)), a)
-	natM := Run(Compile(plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 4)), a)
+	sim := mustRun(t, plan, simCfg(m, core.SchemeGroup, core.DefaultParams()), a)
+	nat := mustRun(t, plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1), a)
+	natM := mustRun(t, plan, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 4), a)
 	for name, r := range map[string]Result{"sim": sim, "native": nat, "native-morsel": natM} {
 		if r.NRows != pair.ExpectedMatches || r.KeySum != pair.KeySum {
 			t.Errorf("%s: got (%d, %d), want (%d, %d)", name, r.NRows, r.KeySum, pair.ExpectedMatches, pair.KeySum)
@@ -127,8 +165,8 @@ func TestAggregateParity(t *testing.T) {
 		pair, a, m := testEnv(t, spec)
 		plan := HashAggregate(Scan(pair.Probe), 4, pair.Spec.NBuild)
 
-		sim := Groups(Compile(plan, simCfg(m, scheme, core.DefaultParams())), a)
-		nat := Groups(Compile(plan, nativeCfg(a, scheme, core.DefaultParams(), 1)), a)
+		sim := mustGroups(t, plan, simCfg(m, scheme, core.DefaultParams()), a)
+		nat := mustGroups(t, plan, nativeCfg(a, scheme, core.DefaultParams(), 1), a)
 		if !reflect.DeepEqual(sim, nat) {
 			t.Fatalf("%v: groups differ between backends (sim %d, native %d groups)", scheme, len(sim), len(nat))
 		}
@@ -154,8 +192,8 @@ func TestPipelineParity(t *testing.T) {
 				HashJoin(Scan(pair.Build), Scan(pair.Probe)),
 				4, pair.Spec.NBuild)
 
-			sim := Groups(Compile(plan, simCfg(m, scheme, core.DefaultParams())), a)
-			nat := Groups(Compile(plan, nativeCfg(a, scheme, core.DefaultParams(), fanout)), a)
+			sim := mustGroups(t, plan, simCfg(m, scheme, core.DefaultParams()), a)
+			nat := mustGroups(t, plan, nativeCfg(a, scheme, core.DefaultParams(), fanout), a)
 			if !reflect.DeepEqual(sim, nat) {
 				t.Fatalf("%v/fanout=%d: pipeline groups differ (sim %d, native %d groups)",
 					scheme, fanout, len(sim), len(nat))
@@ -180,9 +218,9 @@ type countingOp struct {
 	closes int
 }
 
-func (c *countingOp) Open()                   { c.opens++; c.inner.Open() }
-func (c *countingOp) NextBatch(b *Batch) bool { return c.inner.NextBatch(b) }
-func (c *countingOp) Close()                  { c.closes++; c.inner.Close() }
+func (c *countingOp) Open() error                      { c.opens++; return c.inner.Open() }
+func (c *countingOp) NextBatch(b *Batch) (bool, error) { return c.inner.NextBatch(b) }
+func (c *countingOp) Close()                           { c.closes++; c.inner.Close() }
 
 // TestJoinClosesBuildChild pins the fix for the per-tuple layer's leak:
 // HashJoin must close its build child exactly once (it used to close
@@ -211,7 +249,9 @@ func TestJoinClosesBuildChild(t *testing.T) {
 		build := &countingOp{inner: newNativeScan(a, pair.Build, 19)}
 		probe := &countingOp{inner: newNativeScan(a, pair.Probe, 19)}
 		join := tc.mk(build, probe)
-		Run(join, a)
+		if _, err := Run(join, a); err != nil {
+			t.Fatalf("%s: Run: %v", tc.name, err)
+		}
 		join.Close() // redundant; children must not be closed again
 		if build.closes != 1 {
 			t.Errorf("%s: build child closed %d times, want 1", tc.name, build.closes)
@@ -243,7 +283,9 @@ func TestAggregateClosesChild(t *testing.T) {
 	for _, tc := range cases {
 		child := &countingOp{inner: newNativeScan(a, pair.Probe, 19)}
 		agg := tc.mk(child)
-		Groups(agg, a)
+		if _, err := Groups(agg, a); err != nil {
+			t.Fatalf("%s: Groups: %v", tc.name, err)
+		}
 		agg.Close()
 		if child.closes != 1 {
 			t.Errorf("%s: child closed %d times, want 1", tc.name, child.closes)
@@ -270,10 +312,19 @@ func TestBatchRule(t *testing.T) {
 			simCfg(m, core.SchemeGroup, params),
 			nativeCfg(a, core.SchemeGroup, params, 1),
 		} {
-			op := Compile(plan, cfg)
-			op.Open()
+			op := mustCompile(t, plan, cfg)
+			if err := op.Open(); err != nil {
+				t.Fatalf("%s (%v): Open: %v", name, cfg.Backend, err)
+			}
 			var b Batch
-			for op.NextBatch(&b) {
+			for {
+				ok, err := op.NextBatch(&b)
+				if err != nil {
+					t.Fatalf("%s (%v): NextBatch: %v", name, cfg.Backend, err)
+				}
+				if !ok {
+					break
+				}
 				if b.Len() > g {
 					t.Fatalf("%s (%v): batch of %d rows exceeds G=%d", name, cfg.Backend, b.Len(), g)
 				}
@@ -283,20 +334,58 @@ func TestBatchRule(t *testing.T) {
 	}
 }
 
-// TestCompileValidation covers the setup panics.
+// TestCompileValidation covers the setup failures: configuration
+// mistakes surface as Compile errors (they used to panic), and plan
+// construction mistakes still panic at plan-build time.
 func TestCompileValidation(t *testing.T) {
-	mustPanic := func(name string, fn func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		fn()
-	}
 	spec := workload.Spec{NBuild: 8, TupleSize: 16, MatchesPerBuild: 1, Seed: 13}
-	pair, _, _ := testEnv(t, spec)
-	mustPanic("sim without Mem", func() { Compile(Scan(pair.Build), Config{Backend: Sim}) })
-	mustPanic("native without arena", func() { Compile(Scan(pair.Build), Config{Backend: Native}) })
-	mustPanic("agg value overlapping key", func() { HashAggregate(Scan(pair.Build), 2, 8) })
+	pair, a, m := testEnv(t, spec)
+
+	for name, cfg := range map[string]Config{
+		"sim without Mem":      {Backend: Sim},
+		"native without arena": {Backend: Native},
+		"unknown backend":      {Backend: Backend(99), A: a},
+		"negative G":           {Backend: Native, A: a, Params: core.Params{G: -1}},
+		"negative D":           {Backend: Native, A: a, Params: core.Params{D: -1}},
+		"negative MemBudget":   {Backend: Native, A: a, MemBudget: -1},
+	} {
+		if _, err := Compile(Scan(pair.Build), cfg); err == nil {
+			t.Errorf("%s: expected a Compile error", name)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Errorf("agg value overlapping key: expected panic")
+		}
+	}()
+	_ = m
+	HashAggregate(Scan(pair.Build), 2, 8)
+}
+
+// TestCompileMergesZeroParams pins the zero-field contract: a partially
+// filled Params gets the unset fields from the backend defaults rather
+// than reaching an operator loop as a zero (which used to make the
+// pipelined probe spin or degenerate to batch size 0).
+func TestCompileMergesZeroParams(t *testing.T) {
+	spec := workload.Spec{NBuild: 120, TupleSize: 16, MatchesPerBuild: 2, Seed: 14}
+	pair, a, m := testEnv(t, spec)
+	plan := HashJoin(Scan(pair.Build), Scan(pair.Probe))
+
+	for name, cfg := range map[string]Config{
+		"sim zero params":     simCfg(m, core.SchemePipelined, core.Params{}),
+		"sim only D":          simCfg(m, core.SchemePipelined, core.Params{D: 8}),
+		"sim only G":          simCfg(m, core.SchemeGroup, core.Params{G: 5}),
+		"native zero params":  nativeCfg(a, core.SchemePipelined, core.Params{}, 1),
+		"native only D":       nativeCfg(a, core.SchemePipelined, core.Params{D: 3}, 1),
+		"native morsel zeros": nativeCfg(a, core.SchemeGroup, core.Params{}, 4),
+	} {
+		r, err := Run(mustCompile(t, plan, cfg), a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.NRows != pair.ExpectedMatches || r.KeySum != pair.KeySum {
+			t.Errorf("%s: got (%d, %d), want (%d, %d)", name, r.NRows, r.KeySum, pair.ExpectedMatches, pair.KeySum)
+		}
+	}
 }

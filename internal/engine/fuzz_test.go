@@ -39,8 +39,8 @@ func FuzzPipelineParity(f *testing.F) {
 		params := core.Params{G: g, D: d}
 		plan := HashAggregate(HashJoin(Scan(pair.Build), Scan(pair.Probe)), 4, nBuild)
 
-		sim := Groups(Compile(plan, simCfg(m, scheme, params)), a)
-		nat := Groups(Compile(plan, nativeCfg(a, scheme, params, fanout)), a)
+		sim := mustGroups(t, plan, simCfg(m, scheme, params), a)
+		nat := mustGroups(t, plan, nativeCfg(a, scheme, params, fanout), a)
 		if !reflect.DeepEqual(sim, nat) {
 			t.Fatalf("G=%d D=%d %v fanout=%d n=%d: groups differ (sim %d, native %d)",
 				g, d, scheme, fanout, nBuild, len(sim), len(nat))

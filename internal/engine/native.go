@@ -36,15 +36,15 @@ func newNativeScan(a *arena.Arena, rel *storage.Relation, batch int) *nativeScan
 	return &nativeScan{a: a, rel: rel, batch: batch, pageIdx: -1}
 }
 
-func (s *nativeScan) Open() { s.pageIdx = -1; s.slotIdx = 0; s.nslots = 0 }
+func (s *nativeScan) Open() error { s.pageIdx = -1; s.slotIdx = 0; s.nslots = 0; return nil }
 
-func (s *nativeScan) NextBatch(b *Batch) bool {
+func (s *nativeScan) NextBatch(b *Batch) (bool, error) {
 	b.Reset()
 	for len(b.Rows) < s.batch {
 		for s.pageIdx < 0 || s.slotIdx >= s.nslots {
 			s.pageIdx++
 			if s.pageIdx >= s.rel.NPages() {
-				return len(b.Rows) > 0
+				return len(b.Rows) > 0, nil
 			}
 			s.page = s.rel.Pages[s.pageIdx]
 			s.nslots = int(s.a.U16(storage.NSlotsAddr(s.page)))
@@ -58,7 +58,7 @@ func (s *nativeScan) NextBatch(b *Batch) bool {
 			Len:  int32(s.a.U16(slot + storage.SlotOffLength)),
 		})
 	}
-	return true
+	return true, nil
 }
 
 func (s *nativeScan) Close() {}
@@ -79,14 +79,29 @@ func newNativeFilter(a *arena.Arena, child Operator, pred Pred, batch int) *nati
 	return &nativeFilter{a: a, child: child, pred: pred, batch: batch}
 }
 
-func (f *nativeFilter) Open() { f.child.Open(); f.in.Reset(); f.next = 0; f.done = false }
+func (f *nativeFilter) Open() error {
+	if err := f.child.Open(); err != nil {
+		return err
+	}
+	f.in.Reset()
+	f.next = 0
+	f.done = false
+	return nil
+}
 
-func (f *nativeFilter) NextBatch(b *Batch) bool {
+func (f *nativeFilter) NextBatch(b *Batch) (bool, error) {
 	b.Reset()
 	data := f.a.Data()
 	for len(b.Rows) < f.batch {
 		if f.next >= f.in.Len() {
-			if f.done || !f.child.NextBatch(&f.in) {
+			if f.done {
+				break
+			}
+			ok, err := f.child.NextBatch(&f.in)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
 				f.done = true
 				break
 			}
@@ -99,19 +114,29 @@ func (f *nativeFilter) NextBatch(b *Batch) bool {
 			b.Rows = append(b.Rows, r)
 		}
 	}
-	return len(b.Rows) > 0
+	return len(b.Rows) > 0, nil
 }
 
 func (f *nativeFilter) Close() { f.child.Close() }
 
 // materializeNative drains op into a fresh relation of fixed width
 // (plain byte copies, no timing) and closes op.
-func materializeNative(a *arena.Arena, op Operator, width int) *storage.Relation {
+func materializeNative(a *arena.Arena, op Operator, width int) (*storage.Relation, error) {
 	rel := storage.NewRelation(a, storage.KeyPayloadSchema(width), 8<<10)
-	op.Open()
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
 	defer op.Close()
 	var b Batch
-	for op.NextBatch(&b) {
+	for {
+		ok, err := op.NextBatch(&b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rel, nil
+		}
 		for i := range b.Rows {
 			r := b.Rows[i]
 			tup := a.Bytes(r.Addr, uint64(r.Len))
@@ -122,7 +147,6 @@ func materializeNative(a *arena.Arena, op Operator, width int) *storage.Relation
 			rel.Append(tup, code)
 		}
 	}
-	return rel
 }
 
 // pipeBuf is one in-flight output batch of the morsel join: its rows
@@ -165,12 +189,15 @@ type nativeHashJoin struct {
 	in           Batch
 	done         bool
 
-	// Morsel mode (fanout > 1).
-	morsel bool
-	free   chan *pipeBuf
-	outc   chan *pipeBuf
-	last   *pipeBuf
-	emits  []pipeEmitter
+	// Morsel mode (fanout > 1, or a streaming build over MemBudget).
+	morsel    bool
+	free      chan *pipeBuf
+	outc      chan *pipeBuf
+	last      *pipeBuf
+	emits     []pipeEmitter
+	morselRes native.Result // written by the background join, read after outc closes
+	morselErr error         // ditto
+	reported  bool
 }
 
 func newNativeHashJoin(cfg Config, build, probe Operator, buildRel, probeRel *storage.Relation,
@@ -186,29 +213,49 @@ func newNativeHashJoin(cfg Config, build, probe Operator, buildRel, probeRel *st
 
 // resolveBuild returns the build side as a relation, materializing a
 // non-scan child; either way the build child ends closed.
-func (h *nativeHashJoin) resolveBuild() *storage.Relation {
+func (h *nativeHashJoin) resolveBuild() (*storage.Relation, error) {
 	if h.buildRel != nil {
 		h.buildChild.Close()
 		h.buildClosed = true
-		return h.buildRel
+		return h.buildRel, nil
 	}
-	rel := materializeNative(h.a, h.buildChild, h.buildWidth)
+	rel, err := materializeNative(h.a, h.buildChild, h.buildWidth)
 	h.buildClosed = true
-	return rel
+	return rel, err
 }
 
-func (h *nativeHashJoin) Open() {
+func (h *nativeHashJoin) Open() error {
 	h.data = h.a.Data()
 	h.buildClosed, h.probeClosed = false, false
-	if h.morsel {
-		h.openMorsel()
-		return
+	h.morselErr = nil
+	h.reported = false
+	h.morsel = h.cfg.Fanout > 1
+
+	rel, err := h.resolveBuild()
+	if err != nil {
+		return err
 	}
-	rel := h.resolveBuild()
+	// Budget governor: a streaming join keeps the whole build side
+	// resident in one table; when that footprint exceeds MemBudget,
+	// degrade to the partitioned morsel strategy, whose fan-out (and,
+	// if a pair is still oversized, recursive re-partitioning) bounds
+	// the per-pair resident set the way the paper's GRACE partition
+	// phase does.
+	if !h.morsel && h.cfg.MemBudget > 0 && native.BuildFootprint(rel.NTuples) > h.cfg.MemBudget {
+		h.morsel = true
+	}
+	if h.morsel {
+		return h.openMorsel(rel)
+	}
+	if h.cfg.Report != nil {
+		h.cfg.Report.JoinFanout = 1
+	}
 	h.buildEntries = native.Flatten(rel, h.buildEntries)
 	h.prober = native.NewProber(h.data, h.buildEntries, h.cfg.nativeScheme(),
 		h.cfg.Params.G, h.cfg.Params.D)
-	h.probeChild.Open()
+	if err := h.probeChild.Open(); err != nil {
+		return err
+	}
 	h.out = h.out[:0]
 	h.sink = func(bref, pref uint64) {
 		if h.outSlot >= len(h.out) {
@@ -221,34 +268,41 @@ func (h *nativeHashJoin) Open() {
 	h.pending = h.pending[:0]
 	h.next = 0
 	h.done = false
+	return nil
 }
 
-func (h *nativeHashJoin) NextBatch(b *Batch) bool {
+func (h *nativeHashJoin) NextBatch(b *Batch) (bool, error) {
 	if h.morsel {
 		return h.nextMorsel(b)
 	}
 	b.Reset()
 	for h.next >= len(h.pending) {
 		if h.done {
-			return false
+			return false, nil
 		}
-		h.fillPending()
+		if err := h.fillPending(); err != nil {
+			return false, err
+		}
 	}
 	for len(b.Rows) < h.batch && h.next < len(h.pending) {
 		b.Rows = append(b.Rows, h.pending[h.next])
 		h.next++
 	}
-	return len(b.Rows) > 0
+	return len(b.Rows) > 0, nil
 }
 
 // fillPending pulls one probe child batch, converts it to entries, and
 // runs one prefetched probe pass, materializing matches into the ring.
-func (h *nativeHashJoin) fillPending() {
+func (h *nativeHashJoin) fillPending() error {
 	h.pending = h.pending[:0]
 	h.next = 0
-	if !h.probeChild.NextBatch(&h.in) {
+	ok, err := h.probeChild.NextBatch(&h.in)
+	if err != nil {
+		return err
+	}
+	if !ok {
 		h.done = true
-		return
+		return nil
 	}
 	h.probeEntries = h.probeEntries[:0]
 	for i := range h.in.Rows {
@@ -262,6 +316,7 @@ func (h *nativeHashJoin) fillPending() {
 	}
 	h.outSlot = 0
 	h.prober.ProbeBatch(h.probeEntries, h.sink)
+	return nil
 }
 
 // writeMatch materializes one concatenated build||probe row at dst.
@@ -325,17 +380,25 @@ func (e *pipeEmitter) flush() {
 	e.cur = nil
 }
 
-// openMorsel resolves both children to relations (the partitioned join
-// is a pipeline breaker on both sides), then starts the native morsel
-// join in the background: radix partitioning, one pair-joiner per
-// worker, matches streaming into pipe buffers.
-func (h *nativeHashJoin) openMorsel() {
-	buildRel := h.resolveBuild()
+// openMorsel resolves the probe child to a relation (the build side was
+// already resolved by Open; the partitioned join is a pipeline breaker
+// on both sides), then starts the native morsel join in the background:
+// radix partitioning, one pair-joiner per worker, matches streaming
+// into pipe buffers. A failure inside the background join — a budget an
+// irreducible pair cannot meet, or arena exhaustion recovered from a
+// worker — is stored and surfaced by nextMorsel after the output
+// channel closes, never panicking across the goroutine boundary.
+func (h *nativeHashJoin) openMorsel(buildRel *storage.Relation) error {
 	probeRel := h.probeRel
 	if probeRel != nil {
 		h.probeChild.Close()
 	} else {
-		probeRel = materializeNative(h.a, h.probeChild, h.probeWidth)
+		var err error
+		probeRel, err = materializeNative(h.a, h.probeChild, h.probeWidth)
+		if err != nil {
+			h.probeClosed = true
+			return err
+		}
 	}
 	h.probeClosed = true
 
@@ -362,21 +425,31 @@ func (h *nativeHashJoin) openMorsel() {
 		Scheme: h.cfg.nativeScheme(),
 		G:      h.cfg.Params.G, D: h.cfg.Params.D,
 		Fanout: h.cfg.Fanout, Workers: workers,
+		MemBudget: h.cfg.MemBudget,
 	}
 	go func() {
-		native.NewJoiner().JoinStream(buildRel, probeRel, jcfg, func(w int) func(uint64, uint64) {
-			return h.emits[w].emit
-		})
-		// All workers are done; partial buffers can be flushed from this
-		// single goroutine without racing anyone.
-		for i := range h.emits {
-			h.emits[i].flush()
+		var res native.Result
+		var err error
+		func() {
+			defer arena.RecoverOOM(&err)
+			res, err = native.NewJoiner().JoinStream(buildRel, probeRel, jcfg, func(w int) func(uint64, uint64) {
+				return h.emits[w].emit
+			})
+		}()
+		if err == nil {
+			// All workers are done; partial buffers can be flushed from
+			// this single goroutine without racing anyone.
+			for i := range h.emits {
+				h.emits[i].flush()
+			}
 		}
-		close(h.outc)
+		h.morselRes, h.morselErr = res, err
+		close(h.outc) // publishes morselRes/morselErr to the foreground
 	}()
+	return nil
 }
 
-func (h *nativeHashJoin) nextMorsel(b *Batch) bool {
+func (h *nativeHashJoin) nextMorsel(b *Batch) (bool, error) {
 	b.Reset()
 	if h.last != nil {
 		h.free <- h.last
@@ -384,11 +457,26 @@ func (h *nativeHashJoin) nextMorsel(b *Batch) bool {
 	}
 	buf, ok := <-h.outc
 	if !ok {
-		return false
+		if h.morselErr != nil {
+			return false, h.morselErr
+		}
+		h.report()
+		return false, nil
 	}
 	b.Rows = append(b.Rows, buf.rows...)
 	h.last = buf
-	return true
+	return true, nil
+}
+
+// report copies the finished morsel join's execution detail into the
+// config's Report, once.
+func (h *nativeHashJoin) report() {
+	if h.cfg.Report == nil || h.reported {
+		return
+	}
+	h.reported = true
+	h.cfg.Report.JoinFanout = h.morselRes.NPartitions
+	h.cfg.Report.JoinRecursionDepth = h.morselRes.RecursionDepth
 }
 
 // closeMorsel drains the output channel so the background join (which
@@ -404,6 +492,9 @@ func (h *nativeHashJoin) closeMorsel() {
 	}
 	for buf := range h.outc {
 		h.free <- buf
+	}
+	if h.morselErr == nil {
+		h.report()
 	}
 	h.outc = nil
 }
@@ -436,16 +527,25 @@ func newNativeHashAggregate(cfg Config, child Operator, childWidth, valueOff, gr
 	}
 }
 
-func (ha *nativeHashAggregate) Open() {
+func (ha *nativeHashAggregate) Open() error {
 	data := ha.a.Data()
 	table := native.NewAggTable(ha.groups)
 	scheme := ha.cfg.nativeScheme()
 	g := ha.batch
 
 	ha.childClosed = false
-	ha.child.Open()
+	if err := ha.child.Open(); err != nil {
+		return err
+	}
 	var b Batch
-	for ha.child.NextBatch(&b) {
+	for {
+		ok, err := ha.child.NextBatch(&b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
 		ha.inputs = ha.inputs[:0]
 		for i := range b.Rows {
 			r := b.Rows[i]
@@ -471,7 +571,7 @@ func (ha *nativeHashAggregate) Open() {
 	ha.rows = ha.rows[:0]
 	ha.next = 0
 	if n == 0 {
-		return
+		return nil
 	}
 	block := ha.a.Alloc(uint64(n)*AggTupleWidth, 8)
 	addr := block
@@ -482,15 +582,16 @@ func (ha *nativeHashAggregate) Open() {
 		ha.rows = append(ha.rows, Row{Addr: addr, Len: AggTupleWidth, Code: hash.CodeU32(key)})
 		addr += AggTupleWidth
 	})
+	return nil
 }
 
-func (ha *nativeHashAggregate) NextBatch(b *Batch) bool {
+func (ha *nativeHashAggregate) NextBatch(b *Batch) (bool, error) {
 	b.Reset()
 	for len(b.Rows) < ha.batch && ha.next < len(ha.rows) {
 		b.Rows = append(b.Rows, ha.rows[ha.next])
 		ha.next++
 	}
-	return len(b.Rows) > 0
+	return len(b.Rows) > 0, nil
 }
 
 // Close closes the child exactly once (it is normally closed at the end

@@ -34,15 +34,15 @@ func newSimScan(m *vmem.Mem, rel *storage.Relation, batch int) *simScan {
 	return &simScan{m: m, rel: rel, batch: batch, pageIdx: -1}
 }
 
-func (s *simScan) Open() { s.pageIdx = -1; s.slotIdx = 0; s.nslots = 0 }
+func (s *simScan) Open() error { s.pageIdx = -1; s.slotIdx = 0; s.nslots = 0; return nil }
 
-func (s *simScan) NextBatch(b *Batch) bool {
+func (s *simScan) NextBatch(b *Batch) (bool, error) {
 	b.Reset()
 	for len(b.Rows) < s.batch {
 		for s.pageIdx < 0 || s.slotIdx >= s.nslots {
 			s.pageIdx++
 			if s.pageIdx >= s.rel.NPages() {
-				return len(b.Rows) > 0
+				return len(b.Rows) > 0, nil
 			}
 			s.page = s.rel.Pages[s.pageIdx]
 			s.m.PrefetchRange(s.page, s.rel.PageSize)
@@ -61,7 +61,7 @@ func (s *simScan) NextBatch(b *Batch) bool {
 			Len:  int32(length),
 		})
 	}
-	return true
+	return true, nil
 }
 
 func (s *simScan) Close() {}
@@ -83,13 +83,28 @@ func newSimFilter(m *vmem.Mem, child Operator, pred Pred, batch int) *simFilter 
 	return &simFilter{m: m, child: child, pred: pred, batch: batch}
 }
 
-func (f *simFilter) Open() { f.child.Open(); f.in.Reset(); f.next = 0; f.done = false }
+func (f *simFilter) Open() error {
+	if err := f.child.Open(); err != nil {
+		return err
+	}
+	f.in.Reset()
+	f.next = 0
+	f.done = false
+	return nil
+}
 
-func (f *simFilter) NextBatch(b *Batch) bool {
+func (f *simFilter) NextBatch(b *Batch) (bool, error) {
 	b.Reset()
 	for len(b.Rows) < f.batch {
 		if f.next >= f.in.Len() {
-			if f.done || !f.child.NextBatch(&f.in) {
+			if f.done {
+				break
+			}
+			ok, err := f.child.NextBatch(&f.in)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
 				f.done = true
 				break
 			}
@@ -103,7 +118,7 @@ func (f *simFilter) NextBatch(b *Batch) bool {
 			b.Rows = append(b.Rows, r)
 		}
 	}
-	return len(b.Rows) > 0
+	return len(b.Rows) > 0, nil
 }
 
 func (f *simFilter) Close() { f.child.Close() }
@@ -111,13 +126,23 @@ func (f *simFilter) Close() { f.child.Close() }
 // materializeSim drains op into a fresh relation of fixed width with
 // timed copies — the pipeline-breaking step of build sides and
 // aggregations — and closes op.
-func materializeSim(m *vmem.Mem, op Operator, width, pageSize int) *storage.Relation {
+func materializeSim(m *vmem.Mem, op Operator, width, pageSize int) (*storage.Relation, error) {
 	rel := storage.NewRelation(m.A, storage.KeyPayloadSchema(width), pageSize)
-	op.Open()
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
 	defer op.Close()
 	buf := make([]byte, width)
 	var b Batch
-	for op.NextBatch(&b) {
+	for {
+		ok, err := op.NextBatch(&b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		for i := range b.Rows {
 			r := b.Rows[i]
 			if int(r.Len) != width {
@@ -137,7 +162,7 @@ func materializeSim(m *vmem.Mem, op Operator, width, pageSize int) *storage.Rela
 			m.S.Write(storage.SlotAddr(last.Addr, last.Size, last.NSlots()-1), storage.SlotSize)
 		}
 	}
-	return rel
+	return rel, nil
 }
 
 // simHashJoin is the pipelined, group-prefetched hash join. Open
@@ -175,50 +200,64 @@ func newSimHashJoin(m *vmem.Mem, build, probe Operator, buildRel *storage.Relati
 	}
 }
 
-func (h *simHashJoin) Open() {
+func (h *simHashJoin) Open() error {
 	rel := h.buildRel
 	if rel == nil {
-		rel = materializeSim(h.m, h.buildChild, h.buildWidth, 8<<10)
+		var err error
+		rel, err = materializeSim(h.m, h.buildChild, h.buildWidth, 8<<10)
+		h.buildClosed = true
+		if err != nil {
+			return err
+		}
 	} else {
 		h.buildChild.Close()
+		h.buildClosed = true
 	}
-	h.buildClosed = true
 	h.probeClosed = false
 	h.prober = core.NewProber(h.m, rel, h.params)
-	h.probeChild.Open()
+	if err := h.probeChild.Open(); err != nil {
+		return err
+	}
 	h.batch = h.batch[:0]
 	h.out = h.out[:0]
 	h.pending = h.pending[:0]
 	h.next = 0
 	h.done = false
+	return nil
 }
 
-func (h *simHashJoin) NextBatch(b *Batch) bool {
+func (h *simHashJoin) NextBatch(b *Batch) (bool, error) {
 	b.Reset()
 	g := h.prober.BatchSize()
 	for h.next >= len(h.pending) {
 		if h.done {
-			return false
+			return false, nil
 		}
-		h.fillPending()
+		if err := h.fillPending(); err != nil {
+			return false, err
+		}
 	}
 	for len(b.Rows) < g && h.next < len(h.pending) {
 		b.Rows = append(b.Rows, h.pending[h.next])
 		h.next++
 	}
-	return len(b.Rows) > 0
+	return len(b.Rows) > 0, nil
 }
 
 // fillPending pulls one probe child batch and runs group-prefetched
 // probe passes over it, materializing matches into the output ring.
 // Child batches are at most G rows by the engine's batch rule, so one
 // batch is one pass; oversized batches are strip-mined defensively.
-func (h *simHashJoin) fillPending() {
+func (h *simHashJoin) fillPending() error {
 	h.pending = h.pending[:0]
 	h.next = 0
-	if !h.probeChild.NextBatch(&h.in) {
+	ok, err := h.probeChild.NextBatch(&h.in)
+	if err != nil {
+		return err
+	}
+	if !ok {
 		h.done = true
-		return
+		return nil
 	}
 	g := h.prober.BatchSize()
 	outWidth := h.buildWidth + h.probeWidth
@@ -242,6 +281,7 @@ func (h *simHashJoin) fillPending() {
 		}
 		h.prober.ProbeBatch(h.batch, emit)
 	}
+	return nil
 }
 
 // Close closes both children exactly once: the build child is normally
@@ -284,14 +324,19 @@ func newSimHashAggregate(m *vmem.Mem, child Operator, childRel *storage.Relation
 	}
 }
 
-func (ha *simHashAggregate) Open() {
+func (ha *simHashAggregate) Open() error {
 	rel := ha.childRel
 	if rel == nil {
-		rel = materializeSim(ha.m, ha.child, ha.childWidth, 8<<10)
+		var err error
+		rel, err = materializeSim(ha.m, ha.child, ha.childWidth, 8<<10)
+		ha.childClosed = true
+		if err != nil {
+			return err
+		}
 	} else {
 		ha.child.Close()
+		ha.childClosed = true
 	}
-	ha.childClosed = true
 	scheme := ha.scheme
 	if scheme == core.SchemeCombined {
 		scheme = core.SchemeGroup
@@ -308,12 +353,12 @@ func (ha *simHashAggregate) Open() {
 		ha.rows = append(ha.rows, Row{Addr: addr, Len: AggTupleWidth, Code: hash.CodeU32(key)})
 	})
 	ha.next = 0
+	return nil
 }
 
-func (ha *simHashAggregate) NextBatch(b *Batch) bool {
+func (ha *simHashAggregate) NextBatch(b *Batch) (bool, error) {
 	b.Reset()
-	g := ha.params
-	batch := g.G
+	batch := ha.params.G
 	if batch < 1 {
 		batch = core.DefaultParams().G
 	}
@@ -321,7 +366,7 @@ func (ha *simHashAggregate) NextBatch(b *Batch) bool {
 		b.Rows = append(b.Rows, ha.rows[ha.next])
 		ha.next++
 	}
-	return len(b.Rows) > 0
+	return len(b.Rows) > 0, nil
 }
 
 // Close closes the child exactly once — drained children were already

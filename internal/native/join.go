@@ -2,6 +2,7 @@ package native
 
 import (
 	"encoding/binary"
+	"math/bits"
 	"unsafe"
 
 	"hashjoin/internal/arena"
@@ -64,6 +65,91 @@ func (j *pairJoiner) emit(buildRef, probeRef uint64, probeKey uint32) {
 			j.sink(buildRef, probeRef)
 		}
 	}
+}
+
+// maxRepartitionDepth bounds recursive re-partitioning of an oversized
+// pair. Each level multiplies the fan-out by at least 2, so 8 levels on
+// top of the initial fan-out split a pair at least 256-fold; a pair
+// still over budget after that is dominated by duplicate hash codes that
+// no amount of radix splitting can separate.
+const maxRepartitionDepth = 8
+
+// joinPairBudget joins one partition pair under a memory budget: a pair
+// whose estimated footprint fits cfg.MemBudget is joined directly; an
+// oversized pair is radix-split on the hash bits above shift — the GRACE
+// degradation the paper's partition phase applies when a partition
+// exceeds memory — and each sub-pair joined recursively. It returns the
+// deepest recursion level used, or a *BudgetError when the depth bound
+// or the hash bits run out before the pair fits.
+func (j *pairJoiner) joinPairBudget(build, probe []Entry, shift uint, cfg Config, depth int) (int, error) {
+	if len(build) == 0 || len(probe) == 0 {
+		return depth, nil
+	}
+	need := pairFootprint(len(build))
+	if need <= cfg.MemBudget {
+		j.joinPair(build, probe, shift, cfg.Scheme)
+		return depth, nil
+	}
+	bitsLeft := 32 - int(shift)
+	if depth >= maxRepartitionDepth || bitsLeft <= 0 {
+		return depth, &BudgetError{Budget: cfg.MemBudget, Need: need, Depth: depth}
+	}
+	// Smallest power-of-two sub-fan-out that brings an average sub-pair
+	// under budget, capped by the hash bits still unconsumed above shift.
+	sub := 2
+	for sub < 256 && need > cfg.MemBudget*sub {
+		sub <<= 1
+	}
+	if maxSub := 1 << uint(min(bitsLeft, 8)); sub > maxSub {
+		sub = maxSub
+	}
+	subBits := uint(bits.TrailingZeros(uint(sub)))
+	bsub := scatterEntries(build, shift, sub)
+	psub := scatterEntries(probe, shift, sub)
+	maxDepth := depth
+	for i := 0; i < sub; i++ {
+		d, err := j.joinPairBudget(bsub[i], psub[i], shift+subBits, cfg, depth+1)
+		if err != nil {
+			return d, err
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return maxDepth, nil
+}
+
+// scatterEntries radix-partitions entries on fanout's worth of hash-code
+// bits starting at shift: counting pass, prefix sum, scatter. The
+// sub-partition buffers live on the Go heap, not the arena — this is the
+// oversized-pair slow path, and its scratch must not count against the
+// very budget it is trying to meet.
+func scatterEntries(entries []Entry, shift uint, fanout int) [][]Entry {
+	mask := uint32(fanout - 1)
+	hist := make([]int, fanout)
+	for i := range entries {
+		hist[(entries[i].Code>>shift)&mask]++
+	}
+	offs := make([]int, fanout+1)
+	sum := 0
+	for i, h := range hist {
+		offs[i] = sum
+		sum += h
+	}
+	offs[fanout] = sum
+	out := make([]Entry, len(entries))
+	cursor := hist
+	copy(cursor, offs[:fanout])
+	for i := range entries {
+		d := (entries[i].Code >> shift) & mask
+		out[cursor[d]] = entries[i]
+		cursor[d]++
+	}
+	parts := make([][]Entry, fanout)
+	for i := 0; i < fanout; i++ {
+		parts[i] = out[offs[i]:offs[i+1]]
+	}
+	return parts
 }
 
 // joinPair builds a table over build and probes it with probe. shift is

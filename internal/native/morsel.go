@@ -3,6 +3,8 @@ package native
 import (
 	"sync"
 	"sync/atomic"
+
+	"hashjoin/internal/arena"
 )
 
 // Morsel-driven join phase: partition pairs are the morsels, and a
@@ -34,8 +36,12 @@ func (jn *Joiner) worker(w int, data []byte, cfg Config) *pairJoiner {
 }
 
 // joinPairs joins corresponding partition pairs of jn.bp and jn.pp on
-// up to cfg.Workers goroutines.
-func (jn *Joiner) joinPairs(data []byte, cfg Config) Result {
+// up to cfg.Workers goroutines. The first error any worker hits — a
+// *BudgetError from an irreducible pair, or arena exhaustion recovered
+// from a sink — makes the remaining workers stop claiming pairs, and
+// joinPairs returns it after every worker has exited; a failure never
+// panics across a goroutine boundary and never leaks a worker.
+func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 	bp, pp := &jn.bp, &jn.pp
 	n := bp.fanout()
 	workers := cfg.Workers
@@ -48,34 +54,64 @@ func (jn *Joiner) joinPairs(data []byte, cfg Config) Result {
 
 	if workers == 1 {
 		j := jn.worker(0, data, cfg)
-		for i := 0; i < n; i++ {
-			j.joinPair(bp.part(i), pp.part(i), bp.bits, cfg.Scheme)
+		maxDepth := 0
+		var err error
+		func() {
+			defer arena.RecoverOOM(&err)
+			for i := 0; i < n; i++ {
+				var d int
+				if d, err = j.joinPairBudget(bp.part(i), pp.part(i), bp.bits, cfg, 0); err != nil {
+					return
+				}
+				if d > maxDepth {
+					maxDepth = d
+				}
+			}
+		}()
+		if err != nil {
+			return Result{Workers: 1}, err
 		}
-		return Result{NOutput: j.nOutput, KeySum: j.keySum, Workers: 1}
+		return Result{NOutput: j.nOutput, KeySum: j.keySum, Workers: 1, RecursionDepth: maxDepth}, nil
 	}
 
 	type acc struct {
 		nOutput int
 		keySum  uint64
-		_       [48]byte // pad accumulators to distinct cache lines
+		depth   int
+		err     error
+		_       [24]byte // pad accumulators to distinct cache lines
 	}
 	accs := make([]acc, workers)
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		j := jn.worker(w, data, cfg)
 		wg.Add(1)
 		go func(w int, j *pairJoiner) {
 			defer wg.Done()
-			for {
+			var err error
+			maxDepth := 0
+			defer func() {
+				accs[w] = acc{nOutput: j.nOutput, keySum: j.keySum, depth: maxDepth, err: err}
+				if err != nil {
+					failed.Store(true)
+				}
+			}()
+			defer arena.RecoverOOM(&err)
+			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					break
 				}
-				j.joinPair(bp.part(i), pp.part(i), bp.bits, cfg.Scheme)
+				var d int
+				if d, err = j.joinPairBudget(bp.part(i), pp.part(i), bp.bits, cfg, 0); err != nil {
+					return
+				}
+				if d > maxDepth {
+					maxDepth = d
+				}
 			}
-			accs[w].nOutput = j.nOutput
-			accs[w].keySum = j.keySum
 		}(w, j)
 	}
 	wg.Wait()
@@ -83,8 +119,14 @@ func (jn *Joiner) joinPairs(data []byte, cfg Config) Result {
 	var r Result
 	r.Workers = workers
 	for w := range accs {
+		if accs[w].err != nil {
+			return Result{Workers: workers}, accs[w].err
+		}
 		r.NOutput += accs[w].nOutput
 		r.KeySum += accs[w].keySum
+		if accs[w].depth > r.RecursionDepth {
+			r.RecursionDepth = accs[w].depth
+		}
 	}
-	return r
+	return r, nil
 }

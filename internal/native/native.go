@@ -162,9 +162,29 @@ type Result struct {
 	NPartitions int // partition pairs joined
 	Workers     int // workers that served the morsel queue
 
+	// RecursionDepth is the deepest recursive re-partitioning any pair
+	// needed to fit MemBudget; 0 means every first-level pair fit.
+	RecursionDepth int
+
 	PartitionTime time.Duration // flatten + radix scatter, both relations
 	JoinTime      time.Duration // all build+probe pairs (wall clock)
 	Elapsed       time.Duration // end-to-end
+}
+
+// BudgetError reports a partition pair that could not be brought under
+// the memory budget: recursive re-partitioning either hit its depth
+// bound or ran out of hash bits (heavy key skew — identical codes cannot
+// be split further).
+type BudgetError struct {
+	Budget int // configured MemBudget, bytes
+	Need   int // estimated footprint of the irreducible pair
+	Depth  int // recursion depth at which splitting gave up
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf(
+		"native: partition pair needs ~%d bytes, budget %d: re-partitioning gave up at depth %d (skewed or infeasible budget)",
+		e.Need, e.Budget, e.Depth)
 }
 
 // Joiner is a resident join executor: it owns the partition scratch,
@@ -190,7 +210,10 @@ func NewJoiner() *Joiner { return &Joiner{} }
 
 // Join runs a native hash join of build and probe. The relations must
 // share one arena (they do when built through the public hashjoin API).
-func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) Result {
+// A pair that exceeds cfg.MemBudget is re-partitioned recursively (see
+// joinPairBudget); Join fails with a *BudgetError only when splitting
+// cannot bring a pair under budget.
+func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) (Result, error) {
 	if build.Arena() != probe.Arena() {
 		panic("native: build and probe relations use different arenas")
 	}
@@ -206,19 +229,22 @@ func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) Result {
 	jn.pp.fill(data, probe, fanout)
 	partDone := time.Now()
 
-	r := jn.joinPairs(data, cfg)
+	r, err := jn.joinPairs(data, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	end := time.Now()
 
 	r.NPartitions = jn.bp.fanout()
 	r.PartitionTime = partDone.Sub(start)
 	r.JoinTime = end.Sub(partDone)
 	r.Elapsed = end.Sub(start)
-	return r
+	return r, nil
 }
 
 // Join is the convenience one-shot form: a throwaway Joiner. Prefer a
 // reused Joiner when joining more than once.
-func Join(build, probe *storage.Relation, cfg Config) Result {
+func Join(build, probe *storage.Relation, cfg Config) (Result, error) {
 	return NewJoiner().Join(build, probe, cfg)
 }
 
@@ -230,17 +256,31 @@ func Join(build, probe *storage.Relation, cfg Config) Result {
 // finished. This is how the batch engine runs a partitioned native join
 // inside an operator pipeline: the sinks pack matches into output
 // batches for the parent operator.
-func (jn *Joiner) JoinStream(build, probe *storage.Relation, cfg Config, sinkFor func(worker int) func(buildRef, probeRef uint64)) Result {
+func (jn *Joiner) JoinStream(build, probe *storage.Relation, cfg Config, sinkFor func(worker int) func(buildRef, probeRef uint64)) (Result, error) {
 	jn.sinkFor = sinkFor
 	defer func() { jn.sinkFor = nil }()
 	return jn.Join(build, probe, cfg)
 }
 
+// pairFootprint estimates the resident bytes a build partition of n
+// tuples needs during its join: the entry array, the bucket headers, and
+// an amortized half-cell of overflow per tuple. fanoutFor and the
+// recursive re-partitioner share this estimate so the initial fan-out
+// and the degradation path agree on what "fits" means.
+func pairFootprint(nBuild int) int {
+	return nBuild * (entrySize + headerSize + cellSize/2)
+}
+
+// BuildFootprint estimates the resident bytes a build side of nBuild
+// tuples needs while being joined: entries plus hash table. The batch
+// engine consults it to decide whether a streaming (single-table) join
+// fits a memory budget or must degrade to the partitioned strategy.
+func BuildFootprint(nBuild int) int { return pairFootprint(nBuild) }
+
 // fanoutFor picks the smallest power-of-two partition count such that a
 // build partition's entries plus its hash table fit budget bytes.
 func fanoutFor(nBuild, budget int) int {
-	perTuple := entrySize + headerSize + cellSize/2 // entries + headers + amortized overflow
-	need := nBuild * perTuple
+	need := pairFootprint(nBuild)
 	f := 1
 	for f < 1<<20 && need > budget*f {
 		f <<= 1

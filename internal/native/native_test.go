@@ -2,7 +2,9 @@ package native
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"hashjoin/internal/arena"
 	"hashjoin/internal/storage"
@@ -14,7 +16,10 @@ func run(t *testing.T, spec workload.Spec, cfg Config) (Result, *workload.Pair) 
 	t.Helper()
 	a := arena.New(workload.ArenaBytesFor(spec))
 	pair := workload.Generate(a, spec)
-	r := Join(pair.Build, pair.Probe, cfg)
+	r, err := Join(pair.Build, pair.Probe, cfg)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
 	return r, pair
 }
 
@@ -63,7 +68,10 @@ func TestJoinTinyAndEmpty(t *testing.T) {
 					a := arena.New(4 << 20)
 					p := workload.Generate(a, workload.Spec{NBuild: 1, NProbe: 2, TupleSize: 16, Seed: 1})
 					empty := storage.NewRelation(a, p.Build.Schema, p.Build.PageSize)
-					r := Join(empty, p.Probe, Config{Scheme: scheme})
+					r, err := Join(empty, p.Probe, Config{Scheme: scheme})
+					if err != nil {
+						t.Fatalf("Join: %v", err)
+					}
 					if r.NOutput != 0 || r.KeySum != 0 {
 						t.Fatalf("empty build produced output: %+v", r)
 					}
@@ -86,7 +94,10 @@ func TestMorselWorkersDeterministic(t *testing.T) {
 	a := arena.New(workload.ArenaBytesFor(spec))
 	pair := workload.Generate(a, spec)
 	for _, workers := range []int{1, 2, 4, 16} {
-		r := Join(pair.Build, pair.Probe, Config{Scheme: Group, Fanout: 32, Workers: workers})
+		r, err := Join(pair.Build, pair.Probe, Config{Scheme: Group, Fanout: 32, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
 		if r.NOutput != pair.ExpectedMatches || r.KeySum != pair.KeySum {
 			t.Fatalf("workers=%d: got (%d, %d), want (%d, %d)",
 				workers, r.NOutput, r.KeySum, pair.ExpectedMatches, pair.KeySum)
@@ -183,6 +194,76 @@ func TestTableResetReuse(t *testing.T) {
 	tbl.Lookup(0xFF00, func(uint64) { found++ })
 	if found != 1 {
 		t.Fatalf("lookup after reset found %d", found)
+	}
+}
+
+func TestBudgetRecursionParity(t *testing.T) {
+	// A budget far below the workload's footprint at a forced small
+	// fan-out must trigger recursive re-partitioning, and the result must
+	// be byte-identical to the unbudgeted run.
+	spec := workload.Spec{NBuild: 30000, TupleSize: 24, MatchesPerBuild: 2, PctMatched: 90, Seed: 7}
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+
+	want, err := Join(pair.Build, pair.Probe, Config{Scheme: Group, Fanout: 1})
+	if err != nil {
+		t.Fatalf("unbudgeted Join: %v", err)
+	}
+	if want.RecursionDepth != 0 {
+		t.Fatalf("unbudgeted join recursed to depth %d", want.RecursionDepth)
+	}
+
+	// footprint(30000) ≈ 1.7 MB; a 256 KB budget forces ~3 levels of
+	// splitting at sub-fanout 2..8 per level.
+	for _, workers := range []int{1, 4} {
+		got, err := Join(pair.Build, pair.Probe,
+			Config{Scheme: Group, Fanout: 1, MemBudget: 256 << 10, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: budgeted Join: %v", workers, err)
+		}
+		if got.RecursionDepth < 1 {
+			t.Fatalf("workers=%d: budget %d did not recurse (depth %d)", workers, 256<<10, got.RecursionDepth)
+		}
+		if got.NOutput != want.NOutput || got.KeySum != want.KeySum {
+			t.Fatalf("workers=%d: budgeted join got (%d, %d), want (%d, %d)",
+				workers, got.NOutput, got.KeySum, want.NOutput, want.KeySum)
+		}
+	}
+}
+
+func TestBudgetInfeasibleReturnsError(t *testing.T) {
+	// Maximum skew: every build tuple shares one key, hence one hash
+	// code. No radix split separates identical codes, so an undersized
+	// budget must surface a *BudgetError — not a panic, not a hang.
+	spec := workload.Spec{NBuild: 5000, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 11, Skew: 5000}
+	a := arena.New(workload.ArenaBytesFor(spec))
+	pair := workload.Generate(a, spec)
+	before := runtime.NumGoroutine()
+	_, err := Join(pair.Build, pair.Probe,
+		Config{Scheme: Group, Fanout: 4, MemBudget: 4 << 10, Workers: 4})
+	if err == nil {
+		t.Fatalf("infeasible budget did not fail")
+	}
+	if _, ok := err.(*BudgetError); !ok {
+		t.Fatalf("error %T (%v), want *BudgetError", err, err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines asserts the goroutine count settles back to at most
+// base: a failed join must not leak morsel workers. The retry loop
+// absorbs runtime-internal goroutines winding down.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, want <= %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

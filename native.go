@@ -18,6 +18,10 @@ type NativeResult struct {
 	NPartitions int // partition pairs joined
 	Workers     int // morsel workers that served the join phase
 
+	// RecursionDepth is the deepest recursive re-partitioning any pair
+	// needed to fit the memory budget; 0 means every first-level pair fit.
+	RecursionDepth int
+
 	PartitionTime time.Duration // flatten + radix partition, both relations
 	JoinTime      time.Duration // build + probe of all partition pairs
 	Elapsed       time.Duration // end-to-end wall clock
@@ -107,7 +111,10 @@ func NewNativeJoiner() *NativeJoiner {
 // simulator. The relations must belong to the same Env. For the same
 // workload, native Join and Env.Join produce identical NOutput and
 // KeySum for every scheme; the native result's times are wall clock.
-func (e *NativeJoiner) Join(build, probe *Relation, opts ...NativeOption) NativeResult {
+// A partition pair over the memory budget is re-partitioned recursively;
+// Join returns a *native.BudgetError only when no partitioning can bring
+// a pair under budget (heavy key skew).
+func (e *NativeJoiner) Join(build, probe *Relation, opts ...NativeOption) (NativeResult, error) {
 	if build.env == nil || build.env != probe.env {
 		panic("hashjoin: NativeJoin relations must share an Env")
 	}
@@ -115,20 +122,24 @@ func (e *NativeJoiner) Join(build, probe *Relation, opts ...NativeOption) Native
 	for _, o := range opts {
 		o(&cfg)
 	}
-	r := e.jn.Join(build.rel, probe.rel, cfg)
-	return NativeResult{
-		NOutput:       r.NOutput,
-		KeySum:        r.KeySum,
-		NPartitions:   r.NPartitions,
-		Workers:       r.Workers,
-		PartitionTime: r.PartitionTime,
-		JoinTime:      r.JoinTime,
-		Elapsed:       r.Elapsed,
+	r, err := e.jn.Join(build.rel, probe.rel, cfg)
+	if err != nil {
+		return NativeResult{}, err
 	}
+	return NativeResult{
+		NOutput:        r.NOutput,
+		KeySum:         r.KeySum,
+		NPartitions:    r.NPartitions,
+		Workers:        r.Workers,
+		RecursionDepth: r.RecursionDepth,
+		PartitionTime:  r.PartitionTime,
+		JoinTime:       r.JoinTime,
+		Elapsed:        r.Elapsed,
+	}, nil
 }
 
 // NativeJoin is the one-shot form of NativeJoiner.Join.
-func NativeJoin(build, probe *Relation, opts ...NativeOption) NativeResult {
+func NativeJoin(build, probe *Relation, opts ...NativeOption) (NativeResult, error) {
 	return NewNativeJoiner().Join(build, probe, opts...)
 }
 

@@ -65,8 +65,10 @@ func nativeBenchRelations(tb testing.TB) (*Relation, *Relation, *workload.Pair) 
 		nativeBenchBuild = &Relation{rel: nativeBenchPair.Build, env: nativeBenchEnv}
 		nativeBenchProbe = &Relation{rel: nativeBenchPair.Probe, env: nativeBenchEnv}
 		nativeBenchJoiner = NewNativeJoiner()
-		nativeBenchJoiner.Join(nativeBenchBuild, nativeBenchProbe,
-			WithNativeScheme(Baseline), WithNativeFanout(1))
+		if _, err := nativeBenchJoiner.Join(nativeBenchBuild, nativeBenchProbe,
+			WithNativeScheme(Baseline), WithNativeFanout(1)); err != nil {
+			panic(err)
+		}
 	})
 	if nativeBenchProbe.Len() < 1_000_000 {
 		tb.Fatalf("benchmark probe relation has %d tuples, want >= 1M", nativeBenchProbe.Len())
@@ -81,7 +83,11 @@ func benchmarkNative(b *testing.B, scheme Scheme) {
 	b.ResetTimer()
 	var last NativeResult
 	for i := 0; i < b.N; i++ {
-		last = nativeBenchJoiner.Join(build, probe, WithNativeScheme(scheme), WithNativeFanout(1))
+		var err error
+		last, err = nativeBenchJoiner.Join(build, probe, WithNativeScheme(scheme), WithNativeFanout(1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if last.NOutput != pair.ExpectedMatches || last.KeySum != pair.KeySum {
 			b.Fatalf("wrong result: (%d, %d) want (%d, %d)",
 				last.NOutput, last.KeySum, pair.ExpectedMatches, pair.KeySum)
@@ -104,7 +110,10 @@ func BenchmarkNativeMorsel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := nativeBenchJoiner.Join(build, probe, WithNativeScheme(Group), WithNativeFanout(64))
+		r, err := nativeBenchJoiner.Join(build, probe, WithNativeScheme(Group), WithNativeFanout(64))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.NOutput != pair.ExpectedMatches || r.KeySum != pair.KeySum {
 			b.Fatal("wrong result")
 		}
@@ -119,6 +128,11 @@ type nativeTrajectory struct {
 	Fanout      int  `json:"fanout"`
 	GOMAXPROCS  int  `json:"gomaxprocs"`
 	PrefetchASM bool `json:"prefetch_asm"`
+	// Budget governor state: the configured memory budget (0 when
+	// unbudgeted, as here) and the deepest recursive re-partitioning any
+	// pair needed to fit it.
+	MemBudget      int `json:"mem_budget"`
+	RecursionDepth int `json:"recursion_depth"`
 	// Per-scheme join-phase wall clocks (partitioning excluded — it is
 	// identical work for every scheme), medians over interleaved
 	// repetitions.
@@ -155,10 +169,17 @@ func medianDuration(ds []time.Duration) time.Duration {
 // best-of-N an unstable estimator but leaves the median steady.
 func BenchmarkNativeSpeedup(b *testing.B) {
 	build, probe, pair := nativeBenchRelations(b)
+	var maxDepth int
 	run := func(s Scheme) time.Duration {
-		r := nativeBenchJoiner.Join(build, probe, WithNativeScheme(s), WithNativeFanout(1))
+		r, err := nativeBenchJoiner.Join(build, probe, WithNativeScheme(s), WithNativeFanout(1))
+		if err != nil {
+			b.Fatalf("scheme %v: %v", s, err)
+		}
 		if r.NOutput != pair.ExpectedMatches || r.KeySum != pair.KeySum {
 			b.Fatalf("scheme %v: wrong result", s)
+		}
+		if r.RecursionDepth > maxDepth {
+			maxDepth = r.RecursionDepth
 		}
 		return r.JoinTime
 	}
@@ -183,6 +204,7 @@ func BenchmarkNativeSpeedup(b *testing.B) {
 		Fanout:           1,
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		PrefetchASM:      NativeHasPrefetch(),
+		RecursionDepth:   maxDepth,
 		BaselineMs:       float64(base.Microseconds()) / 1e3,
 		GroupMs:          float64(grp.Microseconds()) / 1e3,
 		PipelinedMs:      float64(pipe.Microseconds()) / 1e3,

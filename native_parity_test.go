@@ -49,9 +49,15 @@ func TestNativeSimParity(t *testing.T) {
 		for _, scheme := range []Scheme{Baseline, Simple, Group, Pipelined} {
 			t.Run(fmt.Sprintf("spec%d/%v", si, scheme), func(t *testing.T) {
 				env, build, probe, pair := relationsFor(t, spec)
-				sim := env.Join(build, probe, WithScheme(scheme))
-				nat := NativeJoin(build, probe,
+				sim, err := env.Join(build, probe, WithScheme(scheme))
+				if err != nil {
+					t.Fatalf("sim join: %v", err)
+				}
+				nat, err := NativeJoin(build, probe,
 					WithNativeScheme(scheme), WithNativeWorkers(4))
+				if err != nil {
+					t.Fatalf("native join: %v", err)
+				}
 				if sim.NOutput != pair.ExpectedMatches || sim.KeySum != pair.KeySum {
 					t.Fatalf("simulator diverges from ground truth: (%d, %d) vs (%d, %d)",
 						sim.NOutput, sim.KeySum, pair.ExpectedMatches, pair.KeySum)
@@ -74,12 +80,18 @@ func TestNativeSimParityPartitioned(t *testing.T) {
 	for _, scheme := range []Scheme{Baseline, Group, Pipelined} {
 		t.Run(scheme.String(), func(t *testing.T) {
 			env, build, probe, pair := relationsFor(t, spec)
-			sim := env.Join(build, probe, WithScheme(scheme), WithMemBudget(64<<10))
+			sim, err := env.Join(build, probe, WithScheme(scheme), WithMemBudget(64<<10))
+			if err != nil {
+				t.Fatalf("sim join: %v", err)
+			}
 			if sim.NPartitions < 2 {
 				t.Fatalf("budget did not force partitioning (%d partitions)", sim.NPartitions)
 			}
-			nat := NativeJoin(build, probe,
+			nat, err := NativeJoin(build, probe,
 				WithNativeScheme(scheme), WithNativeFanout(16), WithNativeWorkers(8))
+			if err != nil {
+				t.Fatalf("native join: %v", err)
+			}
 			if nat.NPartitions != 16 {
 				t.Fatalf("native fanout = %d, want 16", nat.NPartitions)
 			}
@@ -110,7 +122,10 @@ func TestNativeJoinPublicAPI(t *testing.T) {
 		probe.Append(k, payload)
 		wantSum += 2 * uint64(k)
 	}
-	r := NativeJoin(build, probe)
+	r, err := NativeJoin(build, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.NOutput != 10000 || r.KeySum != wantSum {
 		t.Fatalf("NativeJoin = (%d, %d), want (10000, %d)", r.NOutput, r.KeySum, wantSum)
 	}

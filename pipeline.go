@@ -11,7 +11,6 @@ package hashjoin
 import (
 	"time"
 
-	"hashjoin/internal/core"
 	"hashjoin/internal/engine"
 )
 
@@ -31,11 +30,12 @@ const (
 type PipelineOption func(*pipelineConfig)
 
 type pipelineConfig struct {
-	engine  Engine
-	scheme  Scheme
-	params  Params
-	fanout  int
-	workers int
+	engine    Engine
+	scheme    Scheme
+	params    Params
+	fanout    int
+	workers   int
+	memBudget int
 
 	filterLo, filterHi uint32
 	hasFilter          bool
@@ -58,7 +58,9 @@ func WithPipelineScheme(s Scheme) PipelineOption {
 
 // WithPipelineParams tunes the group size G — which is also the
 // operator batch size — and prefetch distance D. Zero fields keep the
-// backend defaults.
+// backend defaults (the merge happens at the engine boundary, so a
+// partially filled Params never reaches an operator loop as a zero);
+// negative fields make RunPipeline return an error.
 func WithPipelineParams(p Params) PipelineOption {
 	return func(c *pipelineConfig) { c.params = p }
 }
@@ -90,6 +92,17 @@ func WithPipelineWorkers(n int) PipelineOption {
 	return func(c *pipelineConfig) { c.workers = n }
 }
 
+// WithPipelineMemBudget bounds the resident footprint of the native
+// join's build side in bytes. A streaming join whose build would exceed
+// the budget degrades to the partitioned morsel strategy, and an
+// oversized partition pair is re-partitioned recursively — the GRACE
+// answer to a partition that does not fit memory. If no partitioning
+// can satisfy the budget (heavy key skew), RunPipeline returns an
+// error. 0 (the default) means unbudgeted.
+func WithPipelineMemBudget(bytes int) PipelineOption {
+	return func(c *pipelineConfig) { c.memBudget = bytes }
+}
+
 // PipelineResult reports one pipeline run. NOutput and KeySum describe
 // the join's output whether or not aggregation ran (with aggregation
 // they are recovered from the groups, which partition the join output).
@@ -104,6 +117,12 @@ type PipelineResult struct {
 
 	Stats   Stats         // EngineSim: cycle breakdown of this run
 	Elapsed time.Duration // EngineNative: wall clock of this run
+
+	// JoinFanout is the partition count the native join actually used
+	// (1 for the streaming strategy); JoinRecursionDepth is how deep the
+	// budget degradation had to re-partition oversized pairs (0: none).
+	JoinFanout         int
+	JoinRecursionDepth int
 }
 
 // RunPipeline executes build ⋈ probe — optionally filtered and
@@ -111,11 +130,19 @@ type PipelineResult struct {
 // Both relations must belong to this Env. Batches are sized to the
 // prefetch group size G, so operator handoff happens exactly at
 // prefetch-group boundaries (the paper's section 5.4 observation).
-func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) PipelineResult {
+//
+// Per-run scratch (join output rings, morsel pipe buffers, staged
+// aggregation rows) is scoped to the run and reclaimed before
+// RunPipeline returns, so a resident Env sustains unlimited runs with
+// stable arena usage. Memory exhaustion — the Env's capacity or a
+// WithPipelineMemBudget no partitioning can satisfy — surfaces as an
+// error with a usage breakdown, never a panic, including from morsel
+// worker goroutines.
+func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) (PipelineResult, error) {
 	if build.env != e || probe.env != e {
 		panic("hashjoin: relations belong to a different Env")
 	}
-	pc := pipelineConfig{engine: EngineSim, scheme: Group, params: core.DefaultParams(), fanout: 1}
+	pc := pipelineConfig{engine: EngineSim, scheme: Group, fanout: 1}
 	for _, o := range opts {
 		o(&pc)
 	}
@@ -129,28 +156,41 @@ func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) Pipeli
 		plan = engine.HashAggregate(plan, pc.aggValueOff, pc.aggGroups)
 	}
 
+	var report engine.Report
 	cfg := engine.Config{
-		Backend: pc.engine,
-		Mem:     e.mem,
-		A:       e.mem.A,
-		Scheme:  pc.scheme,
-		Params:  pc.params,
-		Fanout:  pc.fanout,
-		Workers: pc.workers,
+		Backend:   pc.engine,
+		Mem:       e.mem,
+		A:         e.mem.A,
+		Scheme:    pc.scheme,
+		Params:    pc.params,
+		Fanout:    pc.fanout,
+		Workers:   pc.workers,
+		MemBudget: pc.memBudget,
+		Report:    &report,
 	}
 
 	var res PipelineResult
 	before := e.mem.S.Stats()
 	start := time.Now()
-	root := engine.Compile(plan, cfg)
+	root, err := engine.Compile(plan, cfg)
+	if err != nil {
+		return PipelineResult{}, err
+	}
 	if pc.hasAgg {
-		for _, g := range engine.Groups(root, e.mem.A) {
+		groups, err := engine.Groups(root, e.mem.A)
+		if err != nil {
+			return PipelineResult{}, err
+		}
+		for _, g := range groups {
 			res.Groups = append(res.Groups, GroupStat{Key: g.Key, Count: g.Count, Sum: g.Sum})
 			res.NOutput += int(g.Count)
 			res.KeySum += uint64(g.Key) * g.Count
 		}
 	} else {
-		r := engine.Run(root, e.mem.A)
+		r, err := engine.Run(root, e.mem.A)
+		if err != nil {
+			return PipelineResult{}, err
+		}
 		res.NOutput, res.KeySum = r.NRows, r.KeySum
 	}
 	switch pc.engine {
@@ -159,5 +199,7 @@ func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) Pipeli
 	case EngineNative:
 		res.Elapsed = time.Since(start)
 	}
-	return res
+	res.JoinFanout = report.JoinFanout
+	res.JoinRecursionDepth = report.JoinRecursionDepth
+	return res, nil
 }

@@ -38,13 +38,12 @@ var (
 	pipelineBenchBuild *Relation
 	pipelineBenchProbe *Relation
 	pipelineBenchPair  *workload.Pair
-	pipelineBenchMark  uint64 // arena watermark after workload generation
 )
 
 // pipelineBenchRelations generates the benchmark workload once. Each
 // pipeline run stages scratch (join output ring, aggregation rows) in
-// the Env's arena; runs truncate back to the post-generation watermark
-// so repetitions never exhaust it.
+// the Env's arena; RunPipeline's scope reclaims it, so repetitions
+// never exhaust the arena.
 func pipelineBenchRelations(tb testing.TB) (*Relation, *Relation, *workload.Pair) {
 	pipelineBenchOnce.Do(func() {
 		spec := pipelineBenchSpec
@@ -53,20 +52,23 @@ func pipelineBenchRelations(tb testing.TB) (*Relation, *Relation, *workload.Pair
 		pipelineBenchPair = workload.Generate(pipelineBenchEnv.mem.A, spec)
 		pipelineBenchBuild = &Relation{rel: pipelineBenchPair.Build, env: pipelineBenchEnv}
 		pipelineBenchProbe = &Relation{rel: pipelineBenchPair.Probe, env: pipelineBenchEnv}
-		pipelineBenchMark = pipelineBenchEnv.mem.A.Used()
 		// Untimed warmup: populate arena pages and operator scratch.
 		runPipelineBenchOnce(tb, Baseline, 1)
 	})
 	return pipelineBenchBuild, pipelineBenchProbe, pipelineBenchPair
 }
 
-// runPipelineBenchOnce runs one validated pipeline and reclaims its
-// arena scratch, returning the elapsed wall clock.
+// runPipelineBenchOnce runs one validated pipeline, returning the
+// elapsed wall clock. Per-run arena scratch is reclaimed by
+// RunPipeline's own scope — the manual Truncate this helper used to do
+// is now the engine's job (pinned by TestRunPipelineArenaStable).
 func runPipelineBenchOnce(tb testing.TB, scheme Scheme, fanout int) time.Duration {
-	res := pipelineBenchEnv.RunPipeline(pipelineBenchBuild, pipelineBenchProbe,
+	res, err := pipelineBenchEnv.RunPipeline(pipelineBenchBuild, pipelineBenchProbe,
 		WithEngine(EngineNative), WithPipelineScheme(scheme),
 		WithAggregation(4, pipelineBenchSpec.NBuild), WithPipelineFanout(fanout))
-	pipelineBenchEnv.mem.A.Truncate(pipelineBenchMark)
+	if err != nil {
+		tb.Fatalf("scheme %v: %v", scheme, err)
+	}
 	if res.NOutput != pipelineBenchPair.ExpectedMatches || res.KeySum != pipelineBenchPair.KeySum {
 		tb.Fatalf("scheme %v: wrong result (%d, %d), want (%d, %d)",
 			scheme, res.NOutput, res.KeySum,
@@ -111,6 +113,11 @@ type pipelineTrajectory struct {
 	Fanout      int  `json:"fanout"`
 	GOMAXPROCS  int  `json:"gomaxprocs"`
 	PrefetchASM bool `json:"prefetch_asm"`
+	// Budget governor state: the configured memory budget (0 when
+	// unbudgeted, as here) and the deepest recursive re-partitioning any
+	// pair needed to fit it.
+	MemBudget      int `json:"mem_budget"`
+	RecursionDepth int `json:"recursion_depth"`
 	// End-to-end pipeline wall clocks (scan, join, and aggregation —
 	// unlike BENCH_native.json's join-phase-only times), medians over
 	// interleaved repetitions.

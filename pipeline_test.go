@@ -21,12 +21,22 @@ func pipelineTestEnv(t *testing.T, spec workload.Spec) (*Env, *Relation, *Relati
 		pair
 }
 
+// mustRunPipeline fails the test on any pipeline error.
+func mustRunPipeline(tb testing.TB, env *Env, build, probe *Relation, opts ...PipelineOption) PipelineResult {
+	tb.Helper()
+	res, err := env.RunPipeline(build, probe, opts...)
+	if err != nil {
+		tb.Fatalf("RunPipeline: %v", err)
+	}
+	return res
+}
+
 func TestRunPipelineJoinParity(t *testing.T) {
 	spec := workload.Spec{NBuild: 600, TupleSize: 24, MatchesPerBuild: 2, PctMatched: 85, Seed: 31}
 	for _, scheme := range []Scheme{Baseline, Group, Pipelined} {
 		env, build, probe, pair := pipelineTestEnv(t, spec)
 		for _, eng := range []Engine{EngineSim, EngineNative} {
-			res := env.RunPipeline(build, probe,
+			res := mustRunPipeline(t, env, build, probe,
 				WithEngine(eng), WithPipelineScheme(scheme))
 			if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
 				t.Errorf("%v/%v: got (%d, %d), want (%d, %d)",
@@ -40,9 +50,9 @@ func TestRunPipelineAggregationParity(t *testing.T) {
 	spec := workload.Spec{NBuild: 500, TupleSize: 24, MatchesPerBuild: 2, Seed: 32}
 	env, build, probe, pair := pipelineTestEnv(t, spec)
 
-	sim := env.RunPipeline(build, probe,
+	sim := mustRunPipeline(t, env, build, probe,
 		WithEngine(EngineSim), WithAggregation(4, spec.NBuild))
-	nat := env.RunPipeline(build, probe,
+	nat := mustRunPipeline(t, env, build, probe,
 		WithEngine(EngineNative), WithAggregation(4, spec.NBuild))
 
 	if len(sim.Groups) == 0 || !reflect.DeepEqual(sim.Groups, nat.Groups) {
@@ -64,15 +74,15 @@ func TestRunPipelineFilter(t *testing.T) {
 	env, build, probe, pair := pipelineTestEnv(t, spec)
 
 	// A full-range filter must not change the result.
-	full := env.RunPipeline(build, probe,
+	full := mustRunPipeline(t, env, build, probe,
 		WithEngine(EngineNative), WithBuildFilter(0, ^uint32(0)))
 	if full.NOutput != pair.ExpectedMatches {
 		t.Fatalf("full-range filter: NOutput = %d, want %d", full.NOutput, pair.ExpectedMatches)
 	}
 	// A half-range filter must shrink it identically on both engines.
-	sim := env.RunPipeline(build, probe,
+	sim := mustRunPipeline(t, env, build, probe,
 		WithEngine(EngineSim), WithBuildFilter(0, 1<<31))
-	nat := env.RunPipeline(build, probe,
+	nat := mustRunPipeline(t, env, build, probe,
 		WithEngine(EngineNative), WithBuildFilter(0, 1<<31))
 	if sim.NOutput == 0 || sim.NOutput >= pair.ExpectedMatches {
 		t.Fatalf("half-range filter should be selective, got %d of %d", sim.NOutput, pair.ExpectedMatches)
@@ -87,11 +97,14 @@ func TestRunPipelineMorsel(t *testing.T) {
 	spec := workload.Spec{NBuild: 800, TupleSize: 20, MatchesPerBuild: 2, Seed: 34}
 	env, build, probe, pair := pipelineTestEnv(t, spec)
 
-	sim := env.RunPipeline(build, probe,
+	sim := mustRunPipeline(t, env, build, probe,
 		WithEngine(EngineSim), WithAggregation(4, spec.NBuild))
-	nat := env.RunPipeline(build, probe,
+	nat := mustRunPipeline(t, env, build, probe,
 		WithEngine(EngineNative), WithAggregation(4, spec.NBuild),
 		WithPipelineFanout(8), WithPipelineWorkers(4))
+	if nat.JoinFanout != 8 {
+		t.Errorf("JoinFanout = %d, want 8", nat.JoinFanout)
+	}
 	if !reflect.DeepEqual(sim.Groups, nat.Groups) {
 		t.Fatalf("morsel-mode groups differ from sim (sim %d, native %d)", len(sim.Groups), len(nat.Groups))
 	}
@@ -110,5 +123,5 @@ func TestRunPipelineForeignRelationPanics(t *testing.T) {
 			t.Fatal("expected panic for relations from different Envs")
 		}
 	}()
-	env1.RunPipeline(build, probe2)
+	env1.RunPipeline(build, probe2) //nolint:errcheck // must panic before returning
 }
