@@ -9,6 +9,7 @@ package hashjoin
 
 import (
 	"errors"
+	"os"
 	"reflect"
 	"runtime"
 	"testing"
@@ -110,8 +111,10 @@ func waitForGoroutines(t *testing.T, base int) {
 
 // TestRunPipelineBudgetInfeasible joins a fully skewed build side (one
 // key, one hash code — no partitioning can split it) under a budget it
-// cannot meet: RunPipeline must return a *native.BudgetError, not
-// panic, and every morsel worker must exit.
+// cannot meet, with the out-of-core tier disabled: RunPipeline must
+// return a *native.BudgetError, not panic, and every morsel worker must
+// exit. (With spilling left on, the same join completes — see
+// TestRunPipelineSpillsToDisk.)
 func TestRunPipelineBudgetInfeasible(t *testing.T) {
 	spec := workload.Spec{NBuild: 4000, TupleSize: 20, MatchesPerBuild: 1, Skew: 4000, Seed: 43}
 	env, build, probe, _ := pipelineTestEnv(t, spec)
@@ -119,7 +122,8 @@ func TestRunPipelineBudgetInfeasible(t *testing.T) {
 
 	_, err := env.RunPipeline(build, probe,
 		WithEngine(EngineNative), WithPipelineFanout(4),
-		WithPipelineWorkers(4), WithPipelineMemBudget(4<<10))
+		WithPipelineWorkers(4), WithPipelineMemBudget(4<<10),
+		WithPipelineNoSpill())
 	var be *native.BudgetError
 	if !errors.As(err, &be) {
 		t.Fatalf("err = %v, want *native.BudgetError", err)
@@ -134,6 +138,58 @@ func TestRunPipelineBudgetInfeasible(t *testing.T) {
 	if _, err := env.RunPipeline(build, probe, WithEngine(EngineNative)); err != nil {
 		t.Fatalf("retry after budget failure: %v", err)
 	}
+}
+
+// TestRunPipelineSpillsToDisk is the final tier of the degradation
+// ladder end to end: a fully skewed join that recursion cannot split,
+// under an infeasible budget, completes out of core with groups
+// byte-identical to the unbudgeted run — and repeated spilling runs on
+// one Env keep arena usage stable and leave no files behind.
+func TestRunPipelineSpillsToDisk(t *testing.T) {
+	spec := workload.Spec{NBuild: 1200, TupleSize: 20, MatchesPerBuild: 1, Skew: 1200, Seed: 45}
+	env := NewEnv(WithSmallHierarchy(), WithCapacity(workload.ArenaBytesFor(spec)*3+(1<<20)))
+	pair := workload.Generate(env.mem.A, spec)
+	build := &Relation{rel: pair.Build, env: env}
+	probe := &Relation{rel: pair.Probe, env: env}
+	dir := t.TempDir()
+	base := runtime.NumGoroutine()
+
+	free := mustRunPipeline(t, env, build, probe,
+		WithEngine(EngineNative), WithAggregation(4, spec.NBuild))
+
+	spillOpts := []PipelineOption{
+		WithEngine(EngineNative), WithAggregation(4, spec.NBuild),
+		WithPipelineFanout(4), WithPipelineWorkers(4),
+		WithPipelineMemBudget(4 << 10),
+		WithPipelineSpillDir(dir), WithPipelineSpillWorkers(2),
+	}
+	first := mustRunPipeline(t, env, build, probe, spillOpts...)
+	if first.SpilledPartitions == 0 || first.SpillBytesWritten == 0 || first.SpillBytesRead == 0 {
+		t.Fatalf("infeasible skewed budget did not spill: %+v", first)
+	}
+	if first.NOutput != pair.ExpectedMatches || first.KeySum != pair.KeySum {
+		t.Fatalf("spilled run: got (%d, %d), want (%d, %d)",
+			first.NOutput, first.KeySum, pair.ExpectedMatches, pair.KeySum)
+	}
+	if !reflect.DeepEqual(free.Groups, first.Groups) {
+		t.Fatal("spilled groups differ from unbudgeted groups")
+	}
+
+	used := env.mem.A.Used()
+	for i := 2; i <= 4; i++ {
+		res := mustRunPipeline(t, env, build, probe, spillOpts...)
+		if got := env.mem.A.Used(); got != used {
+			t.Fatalf("run %d: arena Used() = %d, want %d (spill scratch leaked)", i, got, used)
+		}
+		if !reflect.DeepEqual(res.Groups, first.Groups) {
+			t.Fatalf("run %d: groups differ from run 1", i)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil || len(ents) != 0 {
+			t.Fatalf("run %d: orphaned spill files: %v %v", i, ents, err)
+		}
+	}
+	waitForGoroutines(t, base)
 }
 
 // TestRunPipelineArenaExhaustionReturnsError drives the Env's own

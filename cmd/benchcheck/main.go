@@ -1,0 +1,134 @@
+// Command benchcheck validates the repo's machine-readable benchmark
+// trajectories — BENCH_native.json, BENCH_pipeline.json, and
+// BENCH_spill.json — so CI fails fast when a benchmark stops emitting
+// its document or emits one with missing keys, non-positive timings, or
+// (for the spill trajectory) an empty or malformed worker sweep. It
+// checks shape and sanity, not performance: timing values must be
+// positive, not fast.
+//
+// Usage:
+//
+//	benchcheck [-dir .]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const prog = "benchcheck"
+
+// numKeys lists the keys every trajectory document must carry with a
+// positive numeric value; zero or missing is a broken benchmark run.
+var numKeys = map[string][]string{
+	"BENCH_native.json": {
+		"n_build", "n_probe", "tuple_size", "gomaxprocs",
+		"baseline_ms", "group_ms", "pipelined_ms",
+		"group_speedup", "pipelined_speedup",
+	},
+	"BENCH_pipeline.json": {
+		"n_build", "n_probe", "tuple_size", "gomaxprocs",
+		"baseline_ms", "group_ms", "pipelined_ms",
+		"group_speedup", "pipelined_speedup",
+	},
+	"BENCH_spill.json": {
+		"n_build", "n_probe", "tuple_size", "skew", "fanout",
+		"mem_budget", "page_size", "gomaxprocs",
+		"spilled_pairs", "bytes_written", "bytes_read",
+	},
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the BENCH_*.json files")
+	flag.Parse()
+
+	failed := false
+	for _, name := range []string{"BENCH_native.json", "BENCH_pipeline.json", "BENCH_spill.json"} {
+		if errs := checkFile(filepath.Join(*dir, name), numKeys[name]); len(errs) > 0 {
+			failed = true
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "%s: %s: %v\n", prog, name, e)
+			}
+		} else {
+			fmt.Printf("%s: %s ok\n", prog, name)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkFile parses one trajectory document and returns every problem
+// found, so a broken file reports all its defects in one CI run.
+func checkFile(path string, keys []string) []error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return []error{err}
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return []error{fmt.Errorf("not a JSON object: %v", err)}
+	}
+	var errs []error
+	for _, k := range keys {
+		if v, ok := num(doc[k]); !ok {
+			errs = append(errs, fmt.Errorf("key %q missing or not a number", k))
+		} else if v <= 0 {
+			errs = append(errs, fmt.Errorf("key %q must be positive, got %v", k, v))
+		}
+	}
+	if _, ok := doc["prefetch_asm"].(bool); !ok {
+		errs = append(errs, fmt.Errorf("key %q missing or not a bool", "prefetch_asm"))
+	}
+	if filepath.Base(path) == "BENCH_spill.json" {
+		errs = append(errs, checkSpillPoints(doc)...)
+	}
+	return errs
+}
+
+// checkSpillPoints validates the spill trajectory's worker sweep: at
+// least one point, positive timings, and strictly ascending worker
+// counts (the sweep is meaningless if a count repeats or regresses).
+func checkSpillPoints(doc map[string]any) []error {
+	points, ok := doc["points"].([]any)
+	if !ok || len(points) == 0 {
+		return []error{fmt.Errorf("key %q missing or empty", "points")}
+	}
+	var errs []error
+	prev := 0.0
+	for i, p := range points {
+		pt, ok := p.(map[string]any)
+		if !ok {
+			errs = append(errs, fmt.Errorf("points[%d]: not an object", i))
+			continue
+		}
+		w, ok := num(pt["workers"])
+		if !ok || w <= 0 {
+			errs = append(errs, fmt.Errorf("points[%d]: workers missing or non-positive", i))
+		} else if w <= prev {
+			errs = append(errs, fmt.Errorf("points[%d]: workers %v not ascending (prev %v)", i, w, prev))
+		} else {
+			prev = w
+		}
+		if ms, ok := num(pt["elapsed_ms"]); !ok || ms <= 0 {
+			errs = append(errs, fmt.Errorf("points[%d]: elapsed_ms missing or non-positive", i))
+		}
+		// Stall times are legitimately zero when overlap hides all I/O;
+		// only their presence and sign are checked.
+		for _, k := range []string{"write_stall_ms", "read_stall_ms"} {
+			if ms, ok := num(pt[k]); !ok || ms < 0 {
+				errs = append(errs, fmt.Errorf("points[%d]: %s missing or negative", i, k))
+			}
+		}
+	}
+	return errs
+}
+
+// num unwraps encoding/json's number representation.
+func num(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}

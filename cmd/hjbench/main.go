@@ -34,6 +34,7 @@ import (
 	"hashjoin/internal/engine"
 	"hashjoin/internal/exp"
 	"hashjoin/internal/native"
+	"hashjoin/internal/spill"
 	"hashjoin/internal/workload"
 )
 
@@ -51,10 +52,14 @@ func main() {
 		nBuild    = flag.Int("build", 500000, "native/pipeline: build relation tuple count")
 		tuple     = flag.Int("tuple", 100, "native/pipeline: tuple size in bytes")
 		matches   = flag.Int("matches", 2, "native/pipeline: probe tuples per build tuple")
+		skew      = flag.Int("skew", 0, "native/pipeline: repeat each build key this many times (0/1 = unique keys); high skew defeats partitioning and exercises the spill tier")
 		schemes   = flag.String("schemes", "baseline,group,pipelined", "native/pipeline: comma-separated schemes to compare")
 		fanout    = flag.Int("fanout", 1, "native/pipeline: partition fan-out (1 = single pair, the paper's join-phase setup)")
 		workers   = flag.Int("workers", 0, "native: morsel workers (0 = all CPUs)")
-		memBudget = flag.Int("mem-budget", 0, "native/pipeline: resident build-side budget in bytes (0 = unbudgeted); oversized pairs re-partition recursively")
+		memBudget = flag.Int("mem-budget", 0, "native/pipeline: resident build-side budget in bytes (0 = unbudgeted); oversized pairs re-partition recursively, irreducible pairs spill to disk")
+		spillDir  = flag.String("spill-dir", "", "native/pipeline: parent directory for the out-of-core spill area (default: OS temp dir)")
+		spillWork = flag.Int("spill-workers", 0, "native/pipeline: write-behind workers for the spill tier (0 = default)")
+		noSpill   = flag.Bool("no-spill", false, "native/pipeline: disable the spill tier; an irreducible over-budget pair fails instead")
 		reps      = flag.Int("reps", 3, "native/pipeline: repetitions per scheme (medians reported)")
 		seed      = flag.Int64("seed", 42, "native/pipeline: workload seed")
 	)
@@ -64,20 +69,25 @@ func main() {
 	if err != nil {
 		cli.Fatalf(prog, "%v", err)
 	}
+	if *spillWork < 0 {
+		cli.Fatalf(prog, "negative -spill-workers %d", *spillWork)
+	}
+	sp := spillOpts{dir: *spillDir, workers: *spillWork, off: *noSpill}
 	spec := workload.Spec{
 		NBuild:          *nBuild,
 		TupleSize:       *tuple,
 		MatchesPerBuild: *matches,
 		PctMatched:      100,
+		Skew:            *skew,
 		Seed:            *seed,
 	}
 
 	if *pipeMode {
-		runPipeline(backend, spec, *schemes, *fanout, *workers, *memBudget, *reps)
+		runPipeline(backend, spec, *schemes, *fanout, *workers, *memBudget, sp, *reps)
 		return
 	}
 	if backend == engine.Native {
-		runNative(spec, *schemes, *fanout, *workers, *memBudget, *reps)
+		runNative(spec, *schemes, *fanout, *workers, *memBudget, sp, *reps)
 		return
 	}
 
@@ -109,12 +119,37 @@ func main() {
 	}
 }
 
+// spillOpts carries the out-of-core tier's flags into the native runs.
+type spillOpts struct {
+	dir     string
+	workers int
+	off     bool
+}
+
+// arenaHeadroom over-approximates the spill tier's page-pool claim on
+// the arena (zero when the tier cannot engage), mirroring the cli
+// package's scratch estimate for the monolithic-join path.
+func (s spillOpts) arenaHeadroom(memBudget int) uint64 {
+	if memBudget <= 0 || s.off {
+		return 0
+	}
+	sw := s.workers
+	if sw < 1 {
+		sw = spill.DefaultWorkers
+	}
+	chunk := memBudget/spill.DefaultPageSize + 1
+	if chunk > 256 {
+		chunk = 256
+	}
+	return uint64(chunk+3*sw+4)*uint64(spill.DefaultPageSize) + (64 << 10)
+}
+
 // runPipeline benchmarks the shared operator pipeline per scheme on the
 // selected engine. Each run uses a fresh arena (same seed, identical
 // workload bytes); native repetitions interleave the schemes so host
 // drift lands on all of them alike, and medians are compared. The
 // simulator is deterministic, so one rep suffices there.
-func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, fanout, workers, memBudget, reps int) {
+func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, fanout, workers, memBudget int, sp spillOpts, reps int) {
 	parsed, err := cli.ParseSchemeList(schemeList)
 	if err != nil {
 		cli.Fatalf(prog, "%v", err)
@@ -136,13 +171,14 @@ func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, 
 			Engine: backend, Spec: spec, Scheme: scheme,
 			Params: core.DefaultParams(), Fanout: fanout, Workers: workers,
 			MemBudget: memBudget,
+			SpillDir:  sp.dir, SpillWorkers: sp.workers, NoSpill: sp.off,
 		}
 		if backend == engine.Native {
 			p.Params = core.Params{} // native defaults
 		}
 		res, err := p.Run()
 		if err != nil {
-			cli.Dief(prog, "scheme %v: %v", scheme, err)
+			cli.DiePipeline(prog, fmt.Errorf("scheme %v: %w", scheme, err))
 		}
 		return res
 	}
@@ -187,6 +223,11 @@ func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, 
 		r := results[0][0]
 		fmt.Printf("(budget governor: join fanout %d, recursion depth %d)\n",
 			r.JoinFanout, r.JoinRecursionDepth)
+		if r.SpilledPartitions > 0 {
+			fmt.Printf("(spill: %d pair(s), %d B written, %d B read, stalls write %v read %v)\n",
+				r.SpilledPartitions, r.SpillBytesWritten, r.SpillBytesRead,
+				r.SpillWriteStall, r.SpillReadStall)
+		}
 	}
 	fmt.Printf("(speedup = first scheme's elapsed / scheme's elapsed; medians of %d interleaved reps; all results validated)\n", reps)
 }
@@ -202,7 +243,7 @@ func medianElapsed(rs []cli.PipelineResult) time.Duration {
 
 // runNative benchmarks the requested schemes as monolithic native joins
 // and prints a wall-clock speedup table.
-func runNative(spec workload.Spec, schemeList string, fanout, workers, memBudget, reps int) {
+func runNative(spec workload.Spec, schemeList string, fanout, workers, memBudget int, sp spillOpts, reps int) {
 	parsed, err := cli.ParseSchemeList(schemeList)
 	if err != nil {
 		cli.Fatalf(prog, "%v", err)
@@ -215,7 +256,7 @@ func runNative(spec workload.Spec, schemeList string, fanout, workers, memBudget
 		reps = 1
 	}
 
-	a := arena.New(workload.ArenaBytesFor(spec))
+	a := arena.New(workload.ArenaBytesFor(spec) + sp.arenaHeadroom(memBudget))
 	pair := workload.Generate(a, spec)
 	fmt.Printf("native join benchmark: %d build x %d probe tuples, %d B each, fanout %d, prefetch asm %v\n",
 		pair.Build.NTuples, pair.Probe.NTuples, spec.TupleSize, fanout, native.HavePrefetch)
@@ -230,18 +271,25 @@ func runNative(spec workload.Spec, schemeList string, fanout, workers, memBudget
 	// outliers), which destabilizes a best-of comparison but not the
 	// median.
 	jn := native.NewJoiner()
-	jcfg := native.Config{Fanout: fanout, Workers: workers}
+	jcfg := native.Config{
+		Fanout: fanout, Workers: workers,
+		SpillDir: sp.dir, SpillWorkers: sp.workers, NoSpill: sp.off,
+	}
 	if memBudget > 0 {
 		jcfg.MemBudget = memBudget
 		if fanout == 1 {
 			jcfg.Fanout = 0 // let the budget derive the fan-out
 		}
 	}
+	// Spill pool pages are per-Join scratch; reclaim them between reps so
+	// repeated budgeted runs don't accumulate arena usage.
+	joinMark := a.Used()
 	run := func(s native.Scheme) native.Result {
+		a.Truncate(joinMark)
 		jcfg.Scheme = s
 		res, err := jn.Join(pair.Build, pair.Probe, jcfg)
 		if err != nil {
-			cli.Dief(prog, "scheme %v: %v", s, err)
+			cli.DiePipeline(prog, fmt.Errorf("scheme %v: %w", s, err))
 		}
 		if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
 			cli.Dief(prog, "scheme %v: result mismatch: (%d, %d) vs (%d, %d) expected",
@@ -276,6 +324,11 @@ func runNative(spec workload.Spec, schemeList string, fanout, workers, memBudget
 		b := results[0][0]
 		fmt.Printf("(budget governor: %d B budget, %d partitions, recursion depth %d)\n",
 			memBudget, b.NPartitions, b.RecursionDepth)
+		if b.SpilledPartitions > 0 {
+			fmt.Printf("(spill: %d pair(s), %d B written, %d B read, stalls write %v read %v)\n",
+				b.SpilledPartitions, b.SpillBytesWritten, b.SpillBytesRead,
+				b.SpillWriteStall, b.SpillReadStall)
+		}
 	}
 	fmt.Printf("(speedup = first scheme's elapsed / scheme's elapsed; medians of %d interleaved reps; all results validated)\n", reps)
 }

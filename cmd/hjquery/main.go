@@ -37,12 +37,16 @@ func main() {
 		tupleSize = flag.Int("tuple", 100, "tuple size in bytes")
 		matches   = flag.Int("matches", 2, "probe tuples per build tuple")
 		pct       = flag.Int("pct", 100, "percent of build tuples with matches")
+		skew      = flag.Int("skew", 0, "repeat each build key this many times (0/1 = unique keys); high skew defeats partitioning and exercises the spill tier")
 		mem       = flag.Int("mem", 6400<<10, "join memory budget in bytes (planner input)")
 		schemeArg = flag.String("scheme", "plan", "baseline, simple, group, pipelined, or plan (use planner)")
 		hierArg   = flag.String("hier", "small", "memory hierarchy: small or es40 (sim engine)")
 		workers   = flag.Int("workers", 0, "native engine: morsel workers (0 = all CPUs)")
 		fanout    = flag.Int("fanout", 1, "native engine: partition fan-out (1 = stream through one table)")
-		memBudget = flag.Int("mem-budget", 0, "native engine: resident build-side budget in bytes (0 = unbudgeted); a streaming join over budget degrades to partitioned, oversized pairs re-partition recursively")
+		memBudget = flag.Int("mem-budget", 0, "native engine: resident build-side budget in bytes (0 = unbudgeted); a streaming join over budget degrades to partitioned, oversized pairs re-partition recursively, and irreducible pairs spill to disk")
+		spillDir  = flag.String("spill-dir", "", "native engine: parent directory for the out-of-core spill area (default: OS temp dir)")
+		spillWork = flag.Int("spill-workers", 0, "native engine: write-behind workers for the spill tier (0 = default)")
+		noSpill   = flag.Bool("no-spill", false, "native engine: disable the spill tier; an irreducible over-budget pair fails instead")
 		catPath   = flag.String("catalog", "", "write the catalog description file here")
 		seed      = flag.Int64("seed", 1, "workload seed")
 	)
@@ -70,12 +74,19 @@ func main() {
 			TupleSize:       *tupleSize,
 			MatchesPerBuild: *matches,
 			PctMatched:      *pct,
+			Skew:            *skew,
 			Seed:            *seed,
 		},
-		Hier:      hier,
-		Fanout:    cli.NormalizeFanout(*fanout),
-		Workers:   *workers,
-		MemBudget: *memBudget,
+		Hier:         hier,
+		Fanout:       cli.NormalizeFanout(*fanout),
+		Workers:      *workers,
+		MemBudget:    *memBudget,
+		SpillDir:     *spillDir,
+		SpillWorkers: *spillWork,
+		NoSpill:      *noSpill,
+	}
+	if *spillWork < 0 {
+		cli.Fatalf(prog, "negative -spill-workers %d", *spillWork)
 	}
 	p.Materialize()
 
@@ -111,7 +122,7 @@ func main() {
 
 	res, err := p.Run()
 	if err != nil {
-		cli.Dief(prog, "%v", err)
+		cli.DiePipeline(prog, err)
 	}
 
 	// These two lines are engine-independent: same workload, same plan,
@@ -129,6 +140,11 @@ func main() {
 			cli.NativeScheme(p.Scheme), res.JoinFanout, native.HavePrefetch)
 		if *memBudget > 0 {
 			fmt.Printf("budget: %d B, recursion depth %d\n", *memBudget, res.JoinRecursionDepth)
+		}
+		if res.SpilledPartitions > 0 {
+			fmt.Printf("spill: %d partition pair(s), %d B written, %d B read, stalls write %v read %v\n",
+				res.SpilledPartitions, res.SpillBytesWritten, res.SpillBytesRead,
+				res.SpillWriteStall, res.SpillReadStall)
 		}
 		fmt.Printf("total: %.2f ms  (%.1f Mprobe tuples/s)\n",
 			res.Elapsed.Seconds()*1e3, rate)

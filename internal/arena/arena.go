@@ -11,6 +11,7 @@ package arena
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Base is the first valid address handed out by an Arena. Address values
@@ -23,14 +24,25 @@ type Addr = uint64
 
 // OOMError reports an allocation that would exceed the arena's effective
 // ceiling (the budget if one is set, else the physical capacity). It
-// carries a usage breakdown so the failure is diagnosable at the API
-// boundary rather than as a bare "out of space".
+// carries a usage breakdown — including the scratch held by each open
+// Scope — so the failure is diagnosable at the API boundary rather than
+// as a bare "out of space".
 type OOMError struct {
 	Need   uint64 // bytes requested (after alignment padding)
 	Align  uint64 // requested alignment
 	Used   uint64 // bytes allocated when the request failed
 	Budget uint64 // configured budget, 0 if none
 	Cap    uint64 // physical capacity of the backing slice
+
+	// Durable is the bytes allocated before the outermost open scope —
+	// data that outlives any in-flight run (relations, catalogs). With no
+	// open scope it equals Used.
+	Durable uint64
+	// ScopeHeld is the bytes held by each open scope at failure time,
+	// outermost first: entry i covers allocations made after scope i
+	// opened and before scope i+1 did (the innermost entry extends to the
+	// failing allocation point). Σ ScopeHeld + Durable = Used.
+	ScopeHeld []uint64
 }
 
 func (e *OOMError) Error() string {
@@ -40,17 +52,31 @@ func (e *OOMError) Error() string {
 		limit = e.Budget
 		kind = "budget"
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"arena: out of memory: need %d bytes (align %d), used %d of %d byte %s (cap %d)",
 		e.Need, e.Align, e.Used, limit, kind, e.Cap)
+	if len(e.ScopeHeld) > 0 {
+		s += fmt.Sprintf("; %d durable, %d open scope(s) holding %v bytes of scratch",
+			e.Durable, len(e.ScopeHeld), e.ScopeHeld)
+	}
+	return s
 }
 
 // Arena is a bump allocator over a contiguous simulated address space.
 // The zero value is not usable; call New.
+//
+// Allocation (TryAlloc and friends) is safe for concurrent use: the bump
+// pointer advances with a CAS loop, so a background producer — the spill
+// subsystem's write-behind pool, a morsel worker's sink — can allocate
+// while the foreground materializes an intermediate. The boundary
+// operations (SetBudget, Reset, Truncate, Scope, Release) are not
+// concurrent-safe; they belong to the single goroutine that owns the
+// pipeline lifecycle, and run only when no background allocator is live.
 type Arena struct {
 	data   []byte
-	next   uint64 // next free offset relative to Base
-	budget uint64 // soft ceiling on next; 0 means capacity only
+	next   atomic.Uint64 // next free offset relative to Base
+	budget uint64        // soft ceiling on next; 0 means capacity only
+	scopes []uint64      // marks of the open scopes, outermost first
 }
 
 // New creates an arena able to hold capacity bytes. The backing memory
@@ -69,7 +95,7 @@ func New(capacity uint64) *Arena {
 func (a *Arena) Cap() uint64 { return uint64(len(a.data)) }
 
 // Used returns the number of bytes allocated so far.
-func (a *Arena) Used() uint64 { return a.next }
+func (a *Arena) Used() uint64 { return a.next.Load() }
 
 // SetBudget installs a soft ceiling, in bytes, below the physical
 // capacity. Allocations that would push Used() past the effective
@@ -93,8 +119,8 @@ func (a *Arena) limit() uint64 {
 // Remaining returns how many bytes can still be allocated before the
 // effective ceiling (ignoring alignment padding).
 func (a *Arena) Remaining() uint64 {
-	if lim := a.limit(); lim > a.next {
-		return lim - a.next
+	if used := a.next.Load(); a.limit() > used {
+		return a.limit() - used
 	}
 	return 0
 }
@@ -110,15 +136,43 @@ func (a *Arena) TryAlloc(size, align uint64) (Addr, error) {
 	if align&(align-1) != 0 {
 		panic(fmt.Sprintf("arena: alignment %d is not a power of two", align))
 	}
-	off := (a.next + align - 1) &^ (align - 1)
-	if off+size > a.limit() || off+size < off {
-		return 0, &OOMError{
-			Need: size, Align: align, Used: a.next,
-			Budget: a.budget, Cap: uint64(len(a.data)),
+	for {
+		used := a.next.Load()
+		off := (used + align - 1) &^ (align - 1)
+		if off+size > a.limit() || off+size < off {
+			return 0, a.oomError(used, size, align)
+		}
+		if a.next.CompareAndSwap(used, off+size) {
+			return Base + off, nil
 		}
 	}
-	a.next = off + size
-	return Base + off, nil
+}
+
+// oomError builds the usage breakdown for a failed request: how much of
+// the used space predates any open scope (durable) and how much each
+// open scope holds. Reading the scope marks here is safe because scopes
+// open and close only at pipeline boundaries, when no background
+// allocator is live.
+func (a *Arena) oomError(used, size, align uint64) *OOMError {
+	e := &OOMError{
+		Need: size, Align: align, Used: used,
+		Budget: a.budget, Cap: uint64(len(a.data)),
+		Durable: used,
+	}
+	if n := len(a.scopes); n > 0 {
+		e.Durable = a.scopes[0]
+		e.ScopeHeld = make([]uint64, n)
+		for i, mark := range a.scopes {
+			end := used
+			if i+1 < n {
+				end = a.scopes[i+1]
+			}
+			if end > mark {
+				e.ScopeHeld[i] = end - mark
+			}
+		}
+	}
+	return e
 }
 
 // TryAllocZeroed is TryAlloc followed by clearing the returned region.
@@ -141,12 +195,10 @@ func (a *Arena) Reserve(size, align uint64) error {
 	if align == 0 {
 		align = 1
 	}
-	off := (a.next + align - 1) &^ (align - 1)
+	used := a.next.Load()
+	off := (used + align - 1) &^ (align - 1)
 	if off+size > a.limit() || off+size < off {
-		return &OOMError{
-			Need: size, Align: align, Used: a.next,
-			Budget: a.budget, Cap: uint64(len(a.data)),
-		}
+		return a.oomError(used, size, align)
 	}
 	return nil
 }
@@ -190,17 +242,23 @@ func RecoverOOM(err *error) {
 }
 
 // Reset discards all allocations, keeping the backing storage.
-func (a *Arena) Reset() { a.next = 0 }
+func (a *Arena) Reset() {
+	a.next.Store(0)
+	a.scopes = a.scopes[:0]
+}
 
 // Truncate discards every allocation made after Used() returned mark,
 // keeping the backing storage. It lets callers that interleave durable
 // data (relations) with per-run scratch (operator output rings,
 // staged aggregation rows) reclaim the scratch between runs.
 func (a *Arena) Truncate(mark uint64) {
-	if mark > a.next {
-		panic(fmt.Sprintf("arena: Truncate(%d) beyond used %d", mark, a.next))
+	if used := a.next.Load(); mark > used {
+		panic(fmt.Sprintf("arena: Truncate(%d) beyond used %d", mark, used))
 	}
-	a.next = mark
+	a.next.Store(mark)
+	for len(a.scopes) > 0 && a.scopes[len(a.scopes)-1] > mark {
+		a.scopes = a.scopes[:len(a.scopes)-1]
+	}
 }
 
 // Scope opens a scratch region: every allocation made between Scope and
@@ -209,8 +267,13 @@ func (a *Arena) Truncate(mark uint64) {
 // (output rings, pipe buffers, staged aggregation rows) is owned by the
 // pipeline that allocated it, keeping a resident arena stable across
 // unlimited runs. Scopes nest LIFO; releasing an outer scope reclaims
-// inner ones with it.
-func (a *Arena) Scope() Scope { return Scope{a: a, mark: a.next} }
+// inner ones with it. Open scopes are tracked so an OOMError can report
+// how much scratch each holds.
+func (a *Arena) Scope() Scope {
+	mark := a.next.Load()
+	a.scopes = append(a.scopes, mark)
+	return Scope{a: a, mark: mark}
+}
 
 // Scope is a handle to a scratch region opened by Arena.Scope.
 type Scope struct {
@@ -222,8 +285,14 @@ type Scope struct {
 // Releasing twice, or releasing after an outer scope already reclaimed
 // the region, is a no-op.
 func (s Scope) Release() {
-	if s.a != nil && s.mark <= s.a.next {
-		s.a.next = s.mark
+	if s.a == nil {
+		return
+	}
+	if s.mark <= s.a.next.Load() {
+		s.a.next.Store(s.mark)
+	}
+	for n := len(s.a.scopes); n > 0 && s.a.scopes[n-1] >= s.mark; n-- {
+		s.a.scopes = s.a.scopes[:n-1]
 	}
 }
 

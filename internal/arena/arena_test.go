@@ -1,6 +1,7 @@
 package arena
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -268,4 +269,53 @@ func TestTruncateToMark(t *testing.T) {
 		}
 	}()
 	a.Truncate(1 << 20)
+}
+
+func TestOOMScopeBreakdown(t *testing.T) {
+	// 32 durable bytes, then two nested scopes holding 16 and 8 bytes
+	// when a 128-byte request fails: the OOMError must split usage into
+	// durable + per-scope scratch, outermost first, summing to Used.
+	a := New(64)
+	a.Alloc(32, 1)
+	outer := a.Scope()
+	a.Alloc(16, 1)
+	inner := a.Scope()
+	a.Alloc(8, 1)
+	_, err := a.TryAlloc(128, 1)
+	var oom *OOMError
+	if !errorsAs(err, &oom) {
+		t.Fatalf("error %T, want *OOMError", err)
+	}
+	if oom.Durable != 32 {
+		t.Fatalf("Durable = %d, want 32", oom.Durable)
+	}
+	want := []uint64{16, 8}
+	if len(oom.ScopeHeld) != 2 || oom.ScopeHeld[0] != want[0] || oom.ScopeHeld[1] != want[1] {
+		t.Fatalf("ScopeHeld = %v, want %v", oom.ScopeHeld, want)
+	}
+	if sum := oom.Durable + oom.ScopeHeld[0] + oom.ScopeHeld[1]; sum != oom.Used {
+		t.Fatalf("durable + scopes = %d, want Used %d", sum, oom.Used)
+	}
+	if msg := oom.Error(); !strings.Contains(msg, "open scope(s)") {
+		t.Fatalf("Error() lacks scope breakdown: %q", msg)
+	}
+
+	// Releasing the inner scope narrows the breakdown; with every scope
+	// closed the failure reports all bytes as durable again.
+	inner.Release()
+	_, err = a.TryAlloc(128, 1)
+	if !errorsAs(err, &oom) {
+		t.Fatalf("error %T, want *OOMError", err)
+	}
+	if len(oom.ScopeHeld) != 1 || oom.ScopeHeld[0] != 16 || oom.Durable != 32 {
+		t.Fatalf("after inner release: Durable=%d ScopeHeld=%v, want 32 [16]", oom.Durable, oom.ScopeHeld)
+	}
+	outer.Release()
+	_, err = a.TryAlloc(128, 1)
+	if !errorsAs(err, &oom) {
+		t.Fatalf("error %T, want *OOMError", err)
+	}
+	if len(oom.ScopeHeld) != 0 || oom.Durable != 32 {
+		t.Fatalf("with no open scope: Durable=%d ScopeHeld=%v, want 32 []", oom.Durable, oom.ScopeHeld)
+	}
 }

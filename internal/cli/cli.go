@@ -8,7 +8,9 @@
 package cli
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -19,6 +21,7 @@ import (
 	"hashjoin/internal/engine"
 	"hashjoin/internal/memsim"
 	"hashjoin/internal/native"
+	"hashjoin/internal/spill"
 	"hashjoin/internal/vmem"
 	"hashjoin/internal/workload"
 )
@@ -141,12 +144,59 @@ func Fatalf(prog, format string, args ...any) {
 
 // Dief reports a runtime failure for prog: exit code 1.
 func Dief(prog, format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
+	fmt.Fprintf(stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
 	osExit(1)
 }
 
-// osExit is swapped out by tests.
-var osExit = os.Exit
+// DiePipeline reports a pipeline failure for prog and exits 1. Beyond
+// the error itself it prints the breakdown lines of PipelineErrorDetail,
+// so a budget or arena failure arrives with its numbers instead of one
+// opaque message.
+func DiePipeline(prog string, err error) {
+	fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+	for _, line := range PipelineErrorDetail(err) {
+		fmt.Fprintf(stderr, "%s:   %s\n", prog, line)
+	}
+	osExit(1)
+}
+
+// PipelineErrorDetail returns human-readable breakdown lines for the
+// failure modes a pipeline run can hit under memory pressure: the
+// budget governor giving up (*native.BudgetError, only reachable with
+// spilling disabled) and arena exhaustion (*arena.OOMError, with its
+// durable/scope usage split). Other errors yield no extra lines.
+func PipelineErrorDetail(err error) []string {
+	var lines []string
+	var be *native.BudgetError
+	if errors.As(err, &be) {
+		lines = append(lines,
+			fmt.Sprintf("budget: %d bytes; irreducible pair needs ~%d (%.1fx over)",
+				be.Budget, be.Need, float64(be.Need)/float64(max(be.Budget, 1))),
+			fmt.Sprintf("re-partitioning gave up at depth %d; duplicate join keys defeat radix splitting", be.Depth),
+			"hint: raise -budget, or drop -no-spill so the pair joins out of core")
+	}
+	var oe *arena.OOMError
+	if errors.As(err, &oe) {
+		lines = append(lines,
+			fmt.Sprintf("arena: %d bytes used of %d capacity; allocation of %d (align %d) failed",
+				oe.Used, oe.Cap, oe.Need, oe.Align))
+		if oe.Budget != 0 {
+			lines = append(lines, fmt.Sprintf("arena budget: %d bytes", oe.Budget))
+		}
+		if n := len(oe.ScopeHeld); n > 0 {
+			lines = append(lines,
+				fmt.Sprintf("usage: %d bytes durable, %d open scope(s) holding %v bytes of scratch",
+					oe.Durable, n, oe.ScopeHeld))
+		}
+	}
+	return lines
+}
+
+// osExit and stderr are swapped out by tests.
+var (
+	osExit           = os.Exit
+	stderr io.Writer = os.Stderr
+)
 
 // Pipeline is the shared query both commands run: generate a workload,
 // then Scan(build) ⋈ Scan(probe) feeding a group-by on the join key,
@@ -162,6 +212,10 @@ type Pipeline struct {
 	Fanout    int           // Native backend join strategy
 	Workers   int
 	MemBudget int // Native: bound on the join's resident build footprint; 0 = unbudgeted
+
+	SpillDir     string // Native: parent dir for the out-of-core spill area ("" = OS temp)
+	SpillWorkers int    // Native: write-behind workers for the spill tier (0 = default)
+	NoSpill      bool   // Native: fail with *native.BudgetError instead of spilling
 
 	// Pair and A hold the generated workload; Materialize fills them
 	// (idempotently), letting callers inspect the relations — catalog
@@ -187,6 +241,15 @@ type PipelineResult struct {
 	// had to re-partition oversized pairs (0: none).
 	JoinFanout         int
 	JoinRecursionDepth int
+
+	// SpilledPartitions counts partition pairs the native join completed
+	// out of core; the remaining fields total the spill tier's file I/O
+	// and the latency its write-behind/read-ahead overlap failed to hide.
+	SpilledPartitions int
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	SpillWriteStall   time.Duration
+	SpillReadStall    time.Duration
 }
 
 // Materialize generates the workload into a fresh arena if it has not
@@ -230,7 +293,29 @@ func (p *Pipeline) scratchBytes() uint64 {
 	ring := uint64(batch*mpb) * outWidth
 	pipeBufs := uint64(2*workers+4) * uint64(batch) * outWidth
 	aggStaging := uint64(p.Spec.NBuild) * engine.AggTupleWidth
-	return ring + pipeBufs + aggStaging + (64 << 10)
+	return ring + pipeBufs + aggStaging + p.spillPoolBytes() + (64 << 10)
+}
+
+// spillPoolBytes over-approximates the arena scratch the native join's
+// out-of-core tier may claim for its page buffer pool: chunk pages plus
+// write/read working buffers, all DefaultPageSize-sized. Zero when the
+// tier cannot engage (unbudgeted or disabled).
+func (p *Pipeline) spillPoolBytes() uint64 {
+	if p.Engine != engine.Native || p.MemBudget <= 0 || p.NoSpill {
+		return 0
+	}
+	sw := p.SpillWorkers
+	if sw < 1 {
+		sw = spill.DefaultWorkers
+	}
+	// The real chunk count divides the budget by page size plus per-tuple
+	// table overhead; dividing by page size alone over-counts, which is
+	// the safe direction. 256 mirrors the native tier's chunk-page cap.
+	chunk := p.MemBudget/spill.DefaultPageSize + 1
+	if chunk > 256 {
+		chunk = 256
+	}
+	return uint64(chunk+3*sw+4)*uint64(spill.DefaultPageSize) + (64 << 10)
 }
 
 // Run executes the pipeline on the configured backend and validates the
@@ -244,14 +329,17 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 
 	var report engine.Report
 	cfg := engine.Config{
-		Backend:   p.Engine,
-		A:         p.A,
-		Scheme:    p.Scheme,
-		Params:    p.Params,
-		Fanout:    p.Fanout,
-		Workers:   p.Workers,
-		MemBudget: p.MemBudget,
-		Report:    &report,
+		Backend:      p.Engine,
+		A:            p.A,
+		Scheme:       p.Scheme,
+		Params:       p.Params,
+		Fanout:       p.Fanout,
+		Workers:      p.Workers,
+		MemBudget:    p.MemBudget,
+		SpillDir:     p.SpillDir,
+		SpillWorkers: p.SpillWorkers,
+		NoSpill:      p.NoSpill,
+		Report:       &report,
 	}
 	var res PipelineResult
 	switch p.Engine {
@@ -287,6 +375,11 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 	}
 	res.JoinFanout = report.JoinFanout
 	res.JoinRecursionDepth = report.JoinRecursionDepth
+	res.SpilledPartitions = report.SpilledPartitions
+	res.SpillBytesWritten = report.SpillBytesWritten
+	res.SpillBytesRead = report.SpillBytesRead
+	res.SpillWriteStall = report.SpillWriteStall
+	res.SpillReadStall = report.SpillReadStall
 
 	for _, g := range res.Groups {
 		res.NOutput += int(g.Count)

@@ -1,9 +1,14 @@
 package cli
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"reflect"
+	"strings"
 	"testing"
+
+	"hashjoin/internal/arena"
 
 	"hashjoin/internal/core"
 	"hashjoin/internal/engine"
@@ -212,5 +217,84 @@ func TestPipelineMismatchError(t *testing.T) {
 	p.Pair.ExpectedMatches++ // corrupt
 	if _, err := p.Run(); err == nil {
 		t.Fatal("expected a result-mismatch error")
+	}
+}
+
+func TestDiePipelineBudgetBreakdown(t *testing.T) {
+	var code int
+	var buf bytes.Buffer
+	osExit = func(c int) { code = c }
+	stderr = &buf
+	defer func() { osExit, stderr = os.Exit, os.Stderr }()
+
+	err := fmt.Errorf("scheme group: %w",
+		&native.BudgetError{Budget: 4096, Need: 112000, Depth: 8})
+	DiePipeline("prog", err)
+	if code != 1 {
+		t.Errorf("DiePipeline exit code = %d, want 1", code)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scheme group",
+		"irreducible pair needs ~112000",
+		"depth 8",
+		"-no-spill",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stderr missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiePipelineOOMBreakdown(t *testing.T) {
+	var code int
+	var buf bytes.Buffer
+	osExit = func(c int) { code = c }
+	stderr = &buf
+	defer func() { osExit, stderr = os.Exit, os.Stderr }()
+
+	DiePipeline("prog", &arena.OOMError{
+		Need: 4096, Align: 64, Used: 60000, Cap: 65536,
+		Durable: 40000, ScopeHeld: []uint64{12000, 8000},
+	})
+	if code != 1 {
+		t.Errorf("DiePipeline exit code = %d, want 1", code)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"60000 bytes used of 65536",
+		"40000 bytes durable",
+		"2 open scope(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stderr missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPipelineErrorDetailPlainError(t *testing.T) {
+	if lines := PipelineErrorDetail(fmt.Errorf("plain failure")); len(lines) != 0 {
+		t.Errorf("plain error produced detail lines: %v", lines)
+	}
+}
+
+// TestPipelineSpillRun drives the shared pipeline through the spill
+// tier: an irreducibly skewed workload under an infeasible budget must
+// validate and report spill I/O.
+func TestPipelineSpillRun(t *testing.T) {
+	p := &Pipeline{
+		Engine: engine.Native,
+		Spec:   workload.Spec{NBuild: 800, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Skew: 800, Seed: 7},
+		Scheme: core.SchemeGroup,
+		Fanout: 2, Workers: 2,
+		MemBudget: 4 << 10,
+		SpillDir:  t.TempDir(),
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.SpilledPartitions == 0 || res.SpillBytesWritten == 0 {
+		t.Fatalf("skewed budgeted run did not spill: %+v", res)
 	}
 }

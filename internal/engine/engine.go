@@ -23,6 +23,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hashjoin/internal/arena"
 	"hashjoin/internal/core"
@@ -137,12 +138,30 @@ type Config struct {
 	// join's build side in bytes. A streaming join (Fanout <= 1) whose
 	// build would exceed it falls back to the partitioned morsel
 	// strategy, and a partition pair that still exceeds it is
-	// re-partitioned recursively (bounded depth). 0 means unbudgeted.
+	// re-partitioned recursively (bounded depth). A pair recursion
+	// cannot split — irreducible duplicate-key skew — is joined out of
+	// core through internal/spill rather than failing. 0 means
+	// unbudgeted.
 	MemBudget int
 
+	// SpillDir is the parent directory for the native join's out-of-core
+	// spill area; "" means the OS temp directory. The spill tier creates
+	// and removes its own subdirectory per run.
+	SpillDir string
+
+	// SpillWorkers is the write-behind worker count for the spill tier;
+	// 0 selects the spill package default. Negative is a Compile error.
+	SpillWorkers int
+
+	// NoSpill disables the out-of-core tier: a partition pair still over
+	// MemBudget at maximum recursion depth fails with *native.BudgetError
+	// instead of spilling to disk.
+	NoSpill bool
+
 	// Report, when non-nil, receives execution detail the result rows
-	// cannot carry — the join's effective fan-out and how deep the
-	// budget degradation had to recurse. Written when the join finishes.
+	// cannot carry — the join's effective fan-out, how deep the budget
+	// degradation had to recurse, and what the spill tier did. Written
+	// when the join finishes.
 	Report *Report
 }
 
@@ -154,6 +173,19 @@ type Report struct {
 	// JoinRecursionDepth is the deepest recursive re-partitioning any
 	// pair needed to fit MemBudget; 0 when every pair fit directly.
 	JoinRecursionDepth int
+	// SpilledPartitions counts the partition pairs the out-of-core tier
+	// joined from disk; 0 when everything fit in memory.
+	SpilledPartitions int
+	// SpillBytesWritten and SpillBytesRead total the spill tier's file
+	// I/O. Reads can exceed writes: the probe partition is re-read once
+	// per build chunk.
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	// SpillWriteStall is time the spill tier's encode path waited for a
+	// free buffer (write-behind fell behind); SpillReadStall is time the
+	// join waited for an in-flight page read (read-ahead fell behind).
+	SpillWriteStall time.Duration
+	SpillReadStall  time.Duration
 }
 
 // batchSize returns the batch capacity (= G) for the config's backend.
@@ -303,6 +335,9 @@ func Compile(n *Node, cfg Config) (Operator, error) {
 	}
 	if cfg.MemBudget < 0 {
 		return nil, fmt.Errorf("engine: negative MemBudget %d", cfg.MemBudget)
+	}
+	if cfg.SpillWorkers < 0 {
+		return nil, fmt.Errorf("engine: negative SpillWorkers %d", cfg.SpillWorkers)
 	}
 	// Merge zero fields with the backend defaults up front, so every
 	// operator sees G >= 1 and D >= 1 no matter which layer reads them.

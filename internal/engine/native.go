@@ -426,6 +426,7 @@ func (h *nativeHashJoin) openMorsel(buildRel *storage.Relation) error {
 		G:      h.cfg.Params.G, D: h.cfg.Params.D,
 		Fanout: h.cfg.Fanout, Workers: workers,
 		MemBudget: h.cfg.MemBudget,
+		SpillDir:  h.cfg.SpillDir, SpillWorkers: h.cfg.SpillWorkers, NoSpill: h.cfg.NoSpill,
 	}
 	go func() {
 		var res native.Result
@@ -477,6 +478,11 @@ func (h *nativeHashJoin) report() {
 	h.reported = true
 	h.cfg.Report.JoinFanout = h.morselRes.NPartitions
 	h.cfg.Report.JoinRecursionDepth = h.morselRes.RecursionDepth
+	h.cfg.Report.SpilledPartitions = h.morselRes.SpilledPartitions
+	h.cfg.Report.SpillBytesWritten = h.morselRes.SpillBytesWritten
+	h.cfg.Report.SpillBytesRead = h.morselRes.SpillBytesRead
+	h.cfg.Report.SpillWriteStall = h.morselRes.SpillWriteStall
+	h.cfg.Report.SpillReadStall = h.morselRes.SpillReadStall
 }
 
 // closeMorsel drains the output channel so the background join (which

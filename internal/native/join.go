@@ -6,6 +6,7 @@ import (
 	"unsafe"
 
 	"hashjoin/internal/arena"
+	"hashjoin/internal/spill"
 )
 
 // pairJoiner joins one build/probe partition pair natively. One lives in
@@ -22,6 +23,15 @@ type pairJoiner struct {
 	// address, probe tuple address). It lets the probe loops feed a
 	// batch pipeline; nil keeps the counting-only fast path.
 	sink func(buildRef, probeRef uint64)
+
+	// spill, when set, is the join's shared out-of-core coordinator: an
+	// irreducible over-budget pair goes to disk instead of failing (see
+	// spill.go). The entry and page scratch below is recycled across
+	// spilled chunks.
+	spill       *spillState
+	spillBuild  []Entry
+	spillProbe  []Entry
+	spillPinned []spill.Page
 
 	nOutput int
 	keySum  uint64
@@ -92,6 +102,13 @@ func (j *pairJoiner) joinPairBudget(build, probe []Entry, shift uint, cfg Config
 	}
 	bitsLeft := 32 - int(shift)
 	if depth >= maxRepartitionDepth || bitsLeft <= 0 {
+		// Irreducible: duplicate hash codes no radix split can separate.
+		// The final tier of the ladder joins the pair out of core in
+		// budget-sized build chunks; only Config.NoSpill (or a schema
+		// that cannot round-trip through slotted pages) still fails.
+		if j.spill != nil {
+			return depth, j.joinPairSpill(build, probe, shift, cfg)
+		}
 		return depth, &BudgetError{Budget: cfg.MemBudget, Need: need, Depth: depth}
 	}
 	// Smallest power-of-two sub-fan-out that brings an average sub-pair
@@ -159,15 +176,36 @@ func (j *pairJoiner) joinPair(build, probe []Entry, shift uint, scheme Scheme) {
 		return
 	}
 	j.t.Reset(len(build), shift)
+	j.buildFor(build, scheme)
+	j.probeFor(probe, scheme)
+}
+
+// buildFor inserts build into the (already Reset) table with the
+// scheme's loop restructuring. Split out of joinPair because the spill
+// tier builds over chunks of one partition and probes each chunk with
+// the whole probe stream.
+func (j *pairJoiner) buildFor(build []Entry, scheme Scheme) {
 	switch scheme {
 	case Group:
 		j.buildGroup(build)
-		j.probeGroup(probe)
 	case Pipelined:
 		j.buildPipelined(build)
-		j.probePipelined(probe)
 	default:
 		j.buildBaseline(build)
+	}
+}
+
+// probeFor probes the current table with the scheme's restructuring.
+func (j *pairJoiner) probeFor(probe []Entry, scheme Scheme) {
+	if len(probe) == 0 {
+		return
+	}
+	switch scheme {
+	case Group:
+		j.probeGroup(probe)
+	case Pipelined:
+		j.probePipelined(probe)
+	default:
 		j.probeBaseline(probe)
 	}
 }

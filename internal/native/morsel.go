@@ -32,6 +32,7 @@ func (jn *Joiner) worker(w int, data []byte, cfg Config) *pairJoiner {
 	if jn.sinkFor != nil {
 		j.sink = jn.sinkFor(w)
 	}
+	j.spill = jn.spillSt
 	return j
 }
 

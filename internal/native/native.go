@@ -124,6 +124,19 @@ type Config struct {
 	// Workers bounds the morsel worker pool; 0 means GOMAXPROCS. The
 	// pool never exceeds the partition count.
 	Workers int
+
+	// SpillDir is the parent directory for the out-of-core tier's temp
+	// files; "" means the OS temp directory. A pair that recursive
+	// re-partitioning cannot bring under MemBudget (irreducible
+	// duplicate-code skew) is spilled there and joined in budget-sized
+	// build chunks instead of failing.
+	SpillDir string
+	// SpillWorkers is the write-behind worker count for spilled
+	// partitions; <1 selects spill.DefaultWorkers.
+	SpillWorkers int
+	// NoSpill disables the disk tier: an irreducible over-budget pair
+	// then fails with *BudgetError, the pre-spill behavior.
+	NoSpill bool
 }
 
 // Native default tuning parameters. Chosen empirically for modern amd64
@@ -166,6 +179,17 @@ type Result struct {
 	// needed to fit MemBudget; 0 means every first-level pair fit.
 	RecursionDepth int
 
+	// SpilledPartitions counts the partition pairs the out-of-core tier
+	// handled; 0 means the join stayed in memory. The byte counters and
+	// stall times below are the spill subsystem's I/O totals: WriteStall
+	// is encode-side waiting the write-behind workers failed to hide,
+	// ReadStall the probe-side waiting read-ahead failed to hide.
+	SpilledPartitions int
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	SpillWriteStall   time.Duration
+	SpillReadStall    time.Duration
+
 	PartitionTime time.Duration // flatten + radix scatter, both relations
 	JoinTime      time.Duration // all build+probe pairs (wall clock)
 	Elapsed       time.Duration // end-to-end
@@ -174,7 +198,9 @@ type Result struct {
 // BudgetError reports a partition pair that could not be brought under
 // the memory budget: recursive re-partitioning either hit its depth
 // bound or ran out of hash bits (heavy key skew — identical codes cannot
-// be split further).
+// be split further). With the spill tier enabled (the default) such a
+// pair is joined out of core instead; this error now occurs only under
+// Config.NoSpill or for schemas slotted pages cannot round-trip.
 type BudgetError struct {
 	Budget int // configured MemBudget, bytes
 	Need   int // estimated footprint of the irreducible pair
@@ -203,6 +229,10 @@ type Joiner struct {
 	// sinkFor, when set, provides each morsel worker with a match sink
 	// (see JoinStream). Sinks are per-worker, so they need no locking.
 	sinkFor func(worker int) func(buildRef, probeRef uint64)
+
+	// spillSt coordinates the out-of-core tier for the Join call in
+	// flight; nil between calls and when spilling is disabled.
+	spillSt *spillState
 }
 
 // NewJoiner returns an empty Joiner; buffers grow on first use.
@@ -211,14 +241,26 @@ func NewJoiner() *Joiner { return &Joiner{} }
 // Join runs a native hash join of build and probe. The relations must
 // share one arena (they do when built through the public hashjoin API).
 // A pair that exceeds cfg.MemBudget is re-partitioned recursively (see
-// joinPairBudget); Join fails with a *BudgetError only when splitting
-// cannot bring a pair under budget.
+// joinPairBudget); a pair that recursion cannot split — irreducible
+// duplicate-code skew — is joined out of core through internal/spill,
+// so Join fails with a *BudgetError only under cfg.NoSpill.
 func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) (Result, error) {
 	if build.Arena() != probe.Arena() {
 		panic("native: build and probe relations use different arenas")
 	}
 	cfg = cfg.normalized()
 	data := build.Arena().Data()
+
+	sp := newSpillState(build, probe, cfg)
+	jn.spillSt = sp
+	// The deferred finish covers the panic path (arena exhaustion
+	// unwinding through a sink): temp files are removed before the panic
+	// crosses the Joiner boundary. On the normal path the explicit
+	// finish below already closed the Manager, and this one is a no-op.
+	defer func() {
+		jn.spillSt = nil
+		sp.finish()
+	}()
 
 	start := time.Now()
 	fanout := cfg.Fanout
@@ -230,12 +272,21 @@ func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) (Result, erro
 	partDone := time.Now()
 
 	r, err := jn.joinPairs(data, cfg)
+	spStats, spPairs, spErr := sp.finish()
+	if err == nil {
+		err = spErr
+	}
 	if err != nil {
 		return Result{}, err
 	}
 	end := time.Now()
 
 	r.NPartitions = jn.bp.fanout()
+	r.SpilledPartitions = spPairs
+	r.SpillBytesWritten = spStats.BytesWritten
+	r.SpillBytesRead = spStats.BytesRead
+	r.SpillWriteStall = spStats.WriteStall
+	r.SpillReadStall = spStats.ReadStall
 	r.PartitionTime = partDone.Sub(start)
 	r.JoinTime = end.Sub(partDone)
 	r.Elapsed = end.Sub(start)

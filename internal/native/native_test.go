@@ -233,14 +233,16 @@ func TestBudgetRecursionParity(t *testing.T) {
 
 func TestBudgetInfeasibleReturnsError(t *testing.T) {
 	// Maximum skew: every build tuple shares one key, hence one hash
-	// code. No radix split separates identical codes, so an undersized
-	// budget must surface a *BudgetError — not a panic, not a hang.
+	// code. No radix split separates identical codes, so with the spill
+	// tier disabled an undersized budget must surface a *BudgetError —
+	// not a panic, not a hang. (With spilling enabled the same join
+	// completes out of core; see spill_test.go.)
 	spec := workload.Spec{NBuild: 5000, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 11, Skew: 5000}
 	a := arena.New(workload.ArenaBytesFor(spec))
 	pair := workload.Generate(a, spec)
 	before := runtime.NumGoroutine()
 	_, err := Join(pair.Build, pair.Probe,
-		Config{Scheme: Group, Fanout: 4, MemBudget: 4 << 10, Workers: 4})
+		Config{Scheme: Group, Fanout: 4, MemBudget: 4 << 10, Workers: 4, NoSpill: true})
 	if err == nil {
 		t.Fatalf("infeasible budget did not fail")
 	}

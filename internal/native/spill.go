@@ -1,0 +1,244 @@
+package native
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/spill"
+	"hashjoin/internal/storage"
+)
+
+// Out-of-core tier of the degradation ladder. A pair that is still over
+// budget when recursive re-partitioning runs out of depth or hash bits —
+// irreducible duplicate-code skew — no longer fails: it is spilled to
+// disk through internal/spill and joined in build-side chunks, each
+// chunk's hash table sized to the budget, with the probe partition
+// streamed past every chunk (the classic GRACE fallback, §2 of the
+// paper, with the write-behind/read-ahead overlap iosim models). The
+// reducible path therefore never returns *BudgetError; only Config.
+// NoSpill restores the old failure mode.
+
+// spillChunkPagesCap bounds how many build pages one chunk pins, so a
+// huge budget does not translate into a huge buffer pool.
+const spillChunkPagesCap = 256
+
+// spillState is the per-Join spill coordinator, shared by all morsel
+// workers of one Joiner.Join call. The Manager (and its temp directory)
+// is created lazily on the first spill; mu serializes spilled pairs —
+// one spilled pair joins at a time, while other workers keep draining
+// in-memory pairs. That serialization is what makes the buffer pool
+// sizing safe and the spill path's arena allocations single-threaded
+// relative to each other.
+type spillState struct {
+	a          *arena.Arena
+	dir        string
+	workers    int
+	buildWidth int
+	probeWidth int
+	budget     int
+
+	mu    sync.Mutex
+	m     *spill.Manager
+	merr  error // sticky Manager creation failure
+	pairs int   // partition pairs that went through the spill tier
+}
+
+// newSpillState returns the spill coordinator for a join, or nil when
+// spilling is disabled or the schemas cannot round-trip through slotted
+// pages (variable width, or no leading 4-byte key to re-decode).
+func newSpillState(build, probe *storage.Relation, cfg Config) *spillState {
+	if cfg.NoSpill {
+		return nil
+	}
+	bs, ps := build.Schema, probe.Schema
+	if bs.HasVar() || ps.HasVar() || bs.FixedWidth() < 4 || ps.FixedWidth() < 4 {
+		return nil
+	}
+	workers := cfg.SpillWorkers
+	if workers < 1 {
+		workers = spill.DefaultWorkers
+	}
+	return &spillState{
+		a:          build.Arena(),
+		dir:        cfg.SpillDir,
+		workers:    workers,
+		buildWidth: bs.FixedWidth(),
+		probeWidth: ps.FixedWidth(),
+		budget:     cfg.MemBudget,
+	}
+}
+
+// chunkPages returns how many build pages one chunk pins: the largest
+// count whose tuples' pages + entries + hash table fit the budget,
+// clamped to [1, spillChunkPagesCap]. Even chunkPages == 1 always makes
+// progress — that is why the spill tier cannot fail on size.
+func (sp *spillState) chunkPages() int {
+	perPage := spill.DefaultPageSize +
+		storage.CapacityFor(spill.DefaultPageSize, sp.buildWidth)*(entrySize+headerSize+cellSize/2)
+	n := sp.budget / perPage
+	if n < 1 {
+		n = 1
+	}
+	if n > spillChunkPagesCap {
+		n = spillChunkPagesCap
+	}
+	return n
+}
+
+// manager lazily creates the spill Manager; the failure is sticky so
+// every spilled pair after a failed creation reports the same error
+// instead of retrying the filesystem.
+func (sp *spillState) manager() (*spill.Manager, error) {
+	if sp.m == nil && sp.merr == nil {
+		sp.m, sp.merr = spill.NewManager(spill.Config{
+			Dir:       sp.dir,
+			Workers:   sp.workers,
+			PoolPages: sp.chunkPages() + 3*sp.workers + 4,
+			A:         sp.a,
+		})
+	}
+	return sp.m, sp.merr
+}
+
+// finish closes the Manager — removing every spill file — and reports
+// the harvested I/O stats and spilled pair count. Safe on a nil
+// spillState and idempotent, so Joiner.Join can call it on both the
+// normal return and the panic-unwind path.
+func (sp *spillState) finish() (spill.Stats, int, error) {
+	if sp == nil || sp.m == nil {
+		return spill.Stats{}, 0, nil
+	}
+	st := sp.m.Stats()
+	err := sp.m.Close()
+	sp.m = nil
+	return st, sp.pairs, err
+}
+
+// joinPairSpill joins one irreducible over-budget pair out of core:
+// write both sides to disk partitions (write-behind), then for each
+// build chunk that fits the budget, pin its pages, build a table over
+// the decoded entries, and stream the probe partition past it
+// (read-ahead). Output refs point into pinned pool pages, so the
+// emit/sink path is identical to the in-memory join's.
+func (j *pairJoiner) joinPairSpill(build, probe []Entry, shift uint, cfg Config) error {
+	sp := j.spill
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	m, err := sp.manager()
+	if err != nil {
+		return err
+	}
+	sp.pairs++
+
+	bw, err := sp.spillPartition(m, j.data, build, sp.buildWidth)
+	if err != nil {
+		return err
+	}
+	pw, err := sp.spillPartition(m, j.data, probe, sp.probeWidth)
+	if err != nil {
+		return err
+	}
+
+	chunkPages := sp.chunkPages()
+	br := bw.OpenReader()
+	defer br.Close()
+	pinned := j.spillPinned[:0]
+	defer func() {
+		for _, p := range pinned {
+			m.Release(p)
+		}
+		j.spillPinned = pinned[:0]
+	}()
+	var pr *spill.Reader
+	defer func() {
+		if pr != nil {
+			pr.Close()
+		}
+	}()
+
+	for {
+		pinned = pinned[:0]
+		j.spillBuild = j.spillBuild[:0]
+		for len(pinned) < chunkPages {
+			pg, ok, err := br.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			pinned = append(pinned, pg)
+			j.spillBuild = appendPageEntries(j.spillBuild, j.data, pg)
+		}
+		if len(j.spillBuild) == 0 {
+			return nil
+		}
+		j.t.Reset(len(j.spillBuild), shift)
+		j.buildFor(j.spillBuild, cfg.Scheme)
+
+		pr = pw.OpenReader()
+		for {
+			pg, ok, err := pr.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			j.spillProbe = appendPageEntries(j.spillProbe[:0], j.data, pg)
+			j.probeFor(j.spillProbe, cfg.Scheme)
+			m.Release(pg)
+		}
+		pr.Close()
+		pr = nil
+		for _, p := range pinned {
+			m.Release(p)
+		}
+	}
+}
+
+// spillPartition writes one side's entries to a disk partition: tuple
+// bytes plus the memoized hash code, exactly the slot layout the
+// in-memory partition phase uses (§7.1), so nothing is recomputed on
+// the way back in.
+func (sp *spillState) spillPartition(m *spill.Manager, data []byte, entries []Entry, width int) (*spill.Writer, error) {
+	w, err := m.NewWriter()
+	if err != nil {
+		return nil, err
+	}
+	for i := range entries {
+		e := &entries[i]
+		base := e.Ref - arena.Base
+		if err := w.Append(data[base:base+uint64(width)], e.Code); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// appendPageEntries decodes a spilled page's slot area back into join
+// entries. Refs address the pool buffer the page sits in, so they are
+// valid exactly while the page is held — the chunk loop's pin
+// discipline.
+func appendPageEntries(dst []Entry, data []byte, pg spill.Page) []Entry {
+	v := pg.View()
+	base := v.Addr - arena.Base
+	n := int(binary.LittleEndian.Uint16(data[base:]))
+	slot := base + uint64(v.Size) - uint64(storage.SlotSize)
+	for i := 0; i < n; i++ {
+		off := binary.LittleEndian.Uint16(data[slot+storage.SlotOffOffset:])
+		code := binary.LittleEndian.Uint32(data[slot+storage.SlotOffHash:])
+		ref := v.Addr + arena.Addr(off)
+		dst = append(dst, Entry{
+			Code: code,
+			Key:  binary.LittleEndian.Uint32(data[ref-arena.Base:]),
+			Ref:  ref,
+		})
+		slot -= uint64(storage.SlotSize)
+	}
+	return dst
+}

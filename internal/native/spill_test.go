@@ -1,0 +1,190 @@
+package native
+
+import (
+	"encoding/binary"
+	"os"
+	"runtime"
+	"testing"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/workload"
+)
+
+// mkEntries writes one 8-byte tuple per code into the arena (a unique
+// key in the first 4 bytes) and returns join entries over them. Build
+// and probe share the tuples, so entry i on one side matches exactly
+// entry i on the other: same code, same key.
+func mkEntries(t *testing.T, a *arena.Arena, codes []uint32) []Entry {
+	t.Helper()
+	es := make([]Entry, len(codes))
+	for i, c := range codes {
+		addr, err := a.TryAlloc(8, 1)
+		if err != nil {
+			t.Fatalf("TryAlloc: %v", err)
+		}
+		key := uint32(1000 + i)
+		binary.LittleEndian.PutUint32(a.Bytes(addr, 4), key)
+		es[i] = Entry{Code: c, Key: key, Ref: addr}
+	}
+	return es
+}
+
+// ladderCodes builds the recursion ladder: nZero entries with hash code
+// zero plus one entry per low bit (1<<0 .. 1<<7). Each radix level
+// splits off exactly one power-of-two code; the zero-code entries are
+// inseparable by any split.
+func ladderCodes(nZero int) []uint32 {
+	codes := make([]uint32, 0, nZero+8)
+	for j := 0; j < 8; j++ {
+		codes = append(codes, 1<<uint(j))
+	}
+	for i := 0; i < nZero; i++ {
+		codes = append(codes, 0)
+	}
+	return codes
+}
+
+// TestRecursionDepthBoundary drives joinPairBudget to the exact edge of
+// maxRepartitionDepth. With 8 zero-code entries the pair first fits the
+// budget at depth exactly 8 and must succeed; with 9 it is still over
+// budget there, so the NoSpill path must fail with a depth-8
+// *BudgetError while the spill path completes the join out of core.
+func TestRecursionDepthBoundary(t *testing.T) {
+	budget := pairFootprint(8) // 8 zero-code entries fit, 9 do not
+
+	t.Run("depth8-succeeds", func(t *testing.T) {
+		a := arena.New(1 << 20)
+		es := mkEntries(t, a, ladderCodes(8))
+		j := newPairJoiner()
+		j.data = a.Data()
+		cfg := Config{Scheme: Group, MemBudget: budget, NoSpill: true}.normalized()
+		j.g, j.d = cfg.G, cfg.D
+		depth, err := j.joinPairBudget(es, es, 0, cfg, 0)
+		if err != nil {
+			t.Fatalf("depth-8 pair failed: %v", err)
+		}
+		if depth != maxRepartitionDepth {
+			t.Fatalf("depth = %d, want %d", depth, maxRepartitionDepth)
+		}
+		if j.nOutput != len(es) {
+			t.Fatalf("NOutput = %d, want %d", j.nOutput, len(es))
+		}
+	})
+
+	t.Run("depth9-errors-without-spill", func(t *testing.T) {
+		a := arena.New(1 << 20)
+		es := mkEntries(t, a, ladderCodes(9))
+		j := newPairJoiner()
+		j.data = a.Data()
+		cfg := Config{Scheme: Group, MemBudget: budget, NoSpill: true}.normalized()
+		j.g, j.d = cfg.G, cfg.D
+		_, err := j.joinPairBudget(es, es, 0, cfg, 0)
+		be, ok := err.(*BudgetError)
+		if !ok {
+			t.Fatalf("error %T (%v), want *BudgetError", err, err)
+		}
+		if be.Depth != maxRepartitionDepth {
+			t.Fatalf("BudgetError.Depth = %d, want %d", be.Depth, maxRepartitionDepth)
+		}
+	})
+
+	t.Run("depth9-spills", func(t *testing.T) {
+		a := arena.New(1 << 20)
+		es := mkEntries(t, a, ladderCodes(9))
+		j := newPairJoiner()
+		j.data = a.Data()
+		cfg := Config{Scheme: Group, MemBudget: budget}.normalized()
+		j.g, j.d = cfg.G, cfg.D
+		dir := t.TempDir()
+		j.spill = &spillState{a: a, dir: dir, workers: 2, buildWidth: 8, probeWidth: 8, budget: budget}
+		_, err := j.joinPairBudget(es, es, 0, cfg, 0)
+		if err != nil {
+			t.Fatalf("spill-tier pair failed: %v", err)
+		}
+		st, pairs, err := j.spill.finish()
+		if err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		if pairs != 1 || st.BytesWritten == 0 || st.BytesRead == 0 {
+			t.Fatalf("spill stats = %+v pairs=%d, want one spilled pair with I/O", st, pairs)
+		}
+		if j.nOutput != len(es) {
+			t.Fatalf("NOutput = %d, want %d", j.nOutput, len(es))
+		}
+		ents, rerr := os.ReadDir(dir)
+		if rerr != nil || len(ents) != 0 {
+			t.Fatalf("spill dir not cleaned up: %v %v", ents, rerr)
+		}
+	})
+}
+
+// TestJoinSpillParity runs a join whose single shared key defeats radix
+// partitioning entirely, under a budget that forces the out-of-core
+// tier, and checks the result tuple-for-tuple against the unbudgeted
+// in-memory join for every scheme.
+func TestJoinSpillParity(t *testing.T) {
+	spec := workload.Spec{NBuild: 2000, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 17, Skew: 2000}
+	for _, scheme := range []Scheme{Baseline, Group, Pipelined} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			a := arena.New(workload.ArenaBytesFor(spec) + 1<<20)
+			pair := workload.Generate(a, spec)
+			want, err := Join(pair.Build, pair.Probe, Config{Scheme: scheme, Workers: 2})
+			if err != nil {
+				t.Fatalf("in-memory join: %v", err)
+			}
+
+			dir := t.TempDir()
+			before := runtime.NumGoroutine()
+			got, err := Join(pair.Build, pair.Probe, Config{
+				Scheme: scheme, Fanout: 4, MemBudget: 4 << 10, Workers: 4, SpillDir: dir,
+			})
+			if err != nil {
+				t.Fatalf("spill join: %v", err)
+			}
+			if got.NOutput != want.NOutput || got.KeySum != want.KeySum {
+				t.Fatalf("spill join = (%d, %d), in-memory = (%d, %d)",
+					got.NOutput, got.KeySum, want.NOutput, want.KeySum)
+			}
+			if got.SpilledPartitions == 0 || got.SpillBytesWritten == 0 || got.SpillBytesRead == 0 {
+				t.Fatalf("budgeted skew join did not spill: %+v", got)
+			}
+			// The probe partition is re-read once per build chunk; total
+			// reads can exceed writes but never fall below them.
+			if got.SpillBytesRead < got.SpillBytesWritten {
+				t.Fatalf("read %d bytes < wrote %d", got.SpillBytesRead, got.SpillBytesWritten)
+			}
+			ents, rerr := os.ReadDir(dir)
+			if rerr != nil || len(ents) != 0 {
+				t.Fatalf("orphaned spill files: %v %v", ents, rerr)
+			}
+			waitForGoroutines(t, before)
+		})
+	}
+}
+
+// TestJoinSpillRepeatedNoOrphans re-runs a spilling join on one Joiner
+// and checks that no temp files accumulate across runs — the Manager is
+// created and torn down per Join call.
+func TestJoinSpillRepeatedNoOrphans(t *testing.T) {
+	spec := workload.Spec{NBuild: 1000, TupleSize: 20, MatchesPerBuild: 1, PctMatched: 100, Seed: 5, Skew: 1000}
+	a := arena.New(workload.ArenaBytesFor(spec) + 1<<20)
+	pair := workload.Generate(a, spec)
+	dir := t.TempDir()
+	jn := NewJoiner()
+	mark := a.Used()
+	for i := 0; i < 3; i++ {
+		a.Truncate(mark) // reclaim the previous run's buffer pool
+		r, err := jn.Join(pair.Build, pair.Probe,
+			Config{Scheme: Group, Fanout: 2, MemBudget: 4 << 10, Workers: 2, SpillDir: dir})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if r.SpilledPartitions == 0 {
+			t.Fatalf("run %d did not spill", i)
+		}
+		ents, rerr := os.ReadDir(dir)
+		if rerr != nil || len(ents) != 0 {
+			t.Fatalf("run %d left files behind: %v %v", i, ents, rerr)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package spill
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"hashjoin/internal/arena"
+)
+
+// FuzzSpillRoundTrip drives a whole partition lifecycle from one fuzzed
+// byte string: the input is chopped into tuples whose sizes and contents
+// it dictates, spilled through a Writer onto a deliberately tiny page
+// size (so a few hundred bytes of input already spans pages), and read
+// back through a Reader. Every tuple must come back byte-identical, in
+// order, with its hash code.
+func FuzzSpillRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(16))
+	f.Add([]byte("hello spill"), uint8(4))
+	f.Add(bytes.Repeat([]byte{0xab}, 3000), uint8(40))
+	f.Add(bytes.Repeat([]byte{0x01, 0x02, 0x03}, 500), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, widthSeed uint8) {
+		// Derive a tuple width in [1, 200]; anything bigger than the page
+		// payload is rejected by Append, which is its own contract.
+		width := int(widthSeed)%200 + 1
+		m, err := NewManager(Config{
+			Dir:      t.TempDir(),
+			PageSize: minPageSize,
+			A:        arena.New(1 << 20),
+		})
+		if err != nil {
+			t.Fatalf("NewManager: %v", err)
+		}
+		defer m.Close()
+
+		w, err := m.NewWriter()
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		var tuples [][]byte
+		for off := 0; off+width <= len(data); off += width {
+			tup := data[off : off+width]
+			code := binary.LittleEndian.Uint32(append(append([]byte{}, tup...), 0, 0, 0, 0))
+			if err := w.Append(tup, code); err != nil {
+				t.Fatalf("Append(%d bytes): %v", width, err)
+			}
+			tuples = append(tuples, tup)
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		if w.NTuples() != len(tuples) {
+			t.Fatalf("NTuples = %d, want %d", w.NTuples(), len(tuples))
+		}
+
+		r := w.OpenReader()
+		defer r.Close()
+		got := 0
+		for {
+			pg, ok, err := r.Next()
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			if !ok {
+				break
+			}
+			v := pg.View()
+			for i := 0; i < pg.NTuples(); i++ {
+				if got >= len(tuples) {
+					t.Fatalf("read more tuples than written")
+				}
+				want := tuples[got]
+				tup := v.Tuple(i)
+				if len(tup) < width || !bytes.Equal(tup[:width], want) {
+					t.Fatalf("tuple %d mismatch: %x != %x", got, tup, want)
+				}
+				wantCode := binary.LittleEndian.Uint32(append(append([]byte{}, want...), 0, 0, 0, 0))
+				if code := v.HashCode(i); code != wantCode {
+					t.Fatalf("tuple %d code = %d, want %d", got, code, wantCode)
+				}
+				got++
+			}
+			m.Release(pg)
+		}
+		if got != len(tuples) {
+			t.Fatalf("read %d tuples, want %d", got, len(tuples))
+		}
+	})
+}

@@ -1,0 +1,278 @@
+// Package spill is the out-of-core tier of the native join's degradation
+// ladder: disk-backed GRACE partitions with asynchronous write-behind and
+// double-buffered read-ahead — the overlap structure internal/iosim
+// models cycle-by-cycle (the paper's Figure 9 claim that partition I/O
+// hides behind compute), realized here on real files.
+//
+// A Manager owns one temporary directory and a fixed pool of reusable
+// page-sized buffers allocated from the join's arena. Partition Writers
+// encode tuples into internal/storage slotted pages — reusing the
+// memoized-hash-code slot layout of section 7.1, so spilled partitions
+// carry their hash codes back without recomputation — and hand full
+// pages to background writer goroutines (write-behind). Readers stream
+// a partition back with one page of read-ahead in flight, so the next
+// page's disk latency overlaps the current page's probe work.
+//
+// Buffers live in the arena rather than on the Go heap for one load-
+// bearing reason: the native engine addresses every tuple by arena
+// address (Entry.Ref indexes the arena's backing slice), so a tuple read
+// back from disk into an arena-backed page is immediately joinable — its
+// refs flow through the same emit/sink path as resident tuples, and the
+// pool is reclaimed by the run's arena scope like any other scratch.
+package spill
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hashjoin/internal/arena"
+)
+
+const (
+	// DefaultPageSize is the spill page size. Slotted pages address
+	// tuples with u16 offsets, so pages must stay under 64 KiB; 32 KiB
+	// amortizes syscall cost while keeping the buffer pool small.
+	DefaultPageSize = 32 << 10
+	// DefaultWorkers is the write-behind worker count: enough to overlap
+	// one partition's writes with the next page's encoding without
+	// claiming many buffers.
+	DefaultWorkers = 2
+	// minPageSize bounds PageSize from below (tests shrink pages to
+	// force multi-page partitions).
+	minPageSize = 256
+	// maxPageSize keeps every slot offset and the free pointer
+	// representable as u16.
+	maxPageSize = 63 << 10
+)
+
+// Config sizes a Manager.
+type Config struct {
+	// Dir is the parent directory for the spill area; "" means the OS
+	// temp directory. The Manager creates (and removes on Close) its own
+	// subdirectory inside it.
+	Dir string
+	// PageSize is the spill page size in bytes; 0 selects
+	// DefaultPageSize.
+	PageSize int
+	// Workers is the write-behind goroutine count; <1 selects
+	// DefaultWorkers.
+	Workers int
+	// PoolPages is the buffer pool size; it is raised to at least what
+	// the write and read paths need to make progress.
+	PoolPages int
+	// A is the arena the buffer pool is allocated from. Required.
+	A *arena.Arena
+}
+
+// Stats is a snapshot of a Manager's I/O counters.
+type Stats struct {
+	Partitions   int // partition files created
+	PagesWritten int64
+	BytesWritten int64
+	PagesRead    int64
+	BytesRead    int64
+
+	// WriteStall is time spent waiting for a free pool buffer on the
+	// encode path — the time write-behind failed to hide. ReadStall is
+	// time spent waiting for an in-flight read — the time read-ahead
+	// failed to hide.
+	WriteStall time.Duration
+	ReadStall  time.Duration
+}
+
+// Manager owns a spill area: the temp directory, the buffer pool, and
+// the write-behind workers. Close is idempotent and removes every file
+// the Manager created; callers defer it on both the normal and the
+// panic path, so a crashed join leaves no orphans.
+type Manager struct {
+	a        *arena.Arena
+	dir      string
+	pageSize int
+
+	pool   chan pageBuf
+	writeq chan writeReq
+	wwg    sync.WaitGroup // write-behind workers
+	rwg    sync.WaitGroup // in-flight read-ahead goroutines
+
+	mu     sync.Mutex
+	files  []*os.File
+	nfiles int
+	closed bool
+
+	partitions   atomic.Int64
+	pagesWritten atomic.Int64
+	bytesWritten atomic.Int64
+	pagesRead    atomic.Int64
+	bytesRead    atomic.Int64
+	writeStallNs atomic.Int64
+	readStallNs  atomic.Int64
+}
+
+// writeReq is one full page travelling to a write-behind worker.
+type writeReq struct {
+	w   *Writer
+	off int64
+	buf pageBuf
+}
+
+// NewManager creates the spill area and starts the write-behind workers.
+// The buffer pool is allocated from cfg.A up front, so a join that
+// cannot afford its spill scratch fails here, before any file exists.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.A == nil {
+		return nil, fmt.Errorf("spill: Config.A is required")
+	}
+	pageSize := cfg.PageSize
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < minPageSize || pageSize > maxPageSize {
+		return nil, fmt.Errorf("spill: page size %d outside [%d, %d]", pageSize, minPageSize, maxPageSize)
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = DefaultWorkers
+	}
+	// The pool must let the write path (one page being encoded + the
+	// write queue + in-flight writes) and the read path (one read-ahead
+	// per open reader) all hold a buffer without starving each other.
+	poolPages := cfg.PoolPages
+	if floor := 3*workers + 4; poolPages < floor {
+		poolPages = floor
+	}
+
+	dir, err := os.MkdirTemp(cfg.Dir, "hjspill-")
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	m := &Manager{
+		a:        cfg.A,
+		dir:      dir,
+		pageSize: pageSize,
+		pool:     make(chan pageBuf, poolPages),
+		writeq:   make(chan writeReq, 2*workers),
+	}
+	for i := 0; i < poolPages; i++ {
+		addr, err := cfg.A.TryAlloc(uint64(pageSize), 64)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		m.pool <- pageBuf{addr: addr, b: cfg.A.Bytes(addr, uint64(pageSize))}
+	}
+	m.wwg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.writeWorker()
+	}
+	return m, nil
+}
+
+// Dir returns the Manager's temp directory (removed by Close).
+func (m *Manager) Dir() string { return m.dir }
+
+// PageSize returns the spill page size in bytes.
+func (m *Manager) PageSize() int { return m.pageSize }
+
+// Stats snapshots the I/O counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Partitions:   int(m.partitions.Load()),
+		PagesWritten: m.pagesWritten.Load(),
+		BytesWritten: m.bytesWritten.Load(),
+		PagesRead:    m.pagesRead.Load(),
+		BytesRead:    m.bytesRead.Load(),
+		WriteStall:   time.Duration(m.writeStallNs.Load()),
+		ReadStall:    time.Duration(m.readStallNs.Load()),
+	}
+}
+
+// Close drains the write-behind queue, waits for in-flight reads,
+// closes every partition file, and removes the temp directory. It is
+// idempotent; the first error encountered is returned. Writers must not
+// be appended to after Close begins (the join's spill path is
+// serialized, so the panicking goroutine is the appending one).
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	close(m.writeq)
+	m.wwg.Wait()
+	m.rwg.Wait()
+
+	var first error
+	for _, f := range m.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := os.RemoveAll(m.dir); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// writeWorker is the write-behind loop: pop a full page, write it at its
+// partition offset, return the buffer to the pool.
+func (m *Manager) writeWorker() {
+	defer m.wwg.Done()
+	for req := range m.writeq {
+		if _, err := req.w.f.WriteAt(req.buf.b, req.off); err != nil {
+			req.w.setErr(err)
+		} else {
+			m.pagesWritten.Add(1)
+			m.bytesWritten.Add(int64(len(req.buf.b)))
+		}
+		m.release(req.buf)
+		req.w.pending.Done()
+	}
+}
+
+// acquire takes a buffer from the pool, charging any wait to stallNs —
+// the write path passes the write-stall counter, the read path the
+// read-stall counter, so the stats separate "write-behind fell behind"
+// from "read-ahead fell behind".
+func (m *Manager) acquire(stallNs *atomic.Int64) pageBuf {
+	select {
+	case b := <-m.pool:
+		return b
+	default:
+	}
+	t0 := time.Now()
+	b := <-m.pool
+	stallNs.Add(int64(time.Since(t0)))
+	return b
+}
+
+// Release returns a page delivered by a Reader to the buffer pool.
+// Every page from Reader.Next must be released exactly once; holding a
+// page pins its bytes (a chunk of spilled build tuples stays addressable
+// while its hash table is probed).
+func (m *Manager) Release(p Page) { m.release(p.buf) }
+
+func (m *Manager) release(b pageBuf) { m.pool <- b }
+
+// newFile creates the next partition file under the spill directory.
+func (m *Manager) newFile() (*os.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("spill: manager closed")
+	}
+	f, err := os.Create(filepath.Join(m.dir, fmt.Sprintf("part-%04d.spill", m.nfiles)))
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	m.nfiles++
+	m.files = append(m.files, f)
+	m.partitions.Add(1)
+	return f, nil
+}

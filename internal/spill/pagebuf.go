@@ -1,0 +1,13 @@
+package spill
+
+import "hashjoin/internal/arena"
+
+// pageBuf is one pool buffer: a page-sized arena region and its byte
+// view. The address matters as much as the bytes — tuples decoded from a
+// spilled page are handed to the join as arena addresses into this
+// region, so they flow through the same emit/sink path as resident
+// tuples.
+type pageBuf struct {
+	addr arena.Addr
+	b    []byte
+}

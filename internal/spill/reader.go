@@ -1,0 +1,119 @@
+package spill
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"hashjoin/internal/storage"
+)
+
+// Page is one spilled page delivered by a Reader: a slotted-page view
+// over an arena-backed pool buffer. The caller must hand it back with
+// Manager.Release exactly once; until then its tuples stay addressable
+// by arena address.
+type Page struct {
+	buf  pageBuf
+	view storage.Page
+}
+
+// View returns the slotted-page view (arena, address, size).
+func (p Page) View() storage.Page { return p.view }
+
+// NTuples returns the number of tuples on the page.
+func (p Page) NTuples() int { return p.view.NSlots() }
+
+// readRes is one completed read-ahead.
+type readRes struct {
+	buf pageBuf
+	err error
+}
+
+// Reader streams a finished partition back with double buffering: while
+// the caller consumes page n, page n+1's read is in flight in a
+// background goroutine. Only the wait for an unfinished read is charged
+// to ReadStall — that is the latency read-ahead failed to hide.
+type Reader struct {
+	m      *Manager
+	f      *os.File
+	npages int
+	next   int // next page index to deliver
+	issued int // next page index to start reading
+	ahead  chan readRes
+}
+
+// OpenReader starts streaming the partition from the beginning. The
+// Writer must be Finished. Multiple sequential read passes over one
+// partition are allowed (the chunked join re-reads the probe partition
+// once per build chunk); each pass uses its own Reader.
+func (w *Writer) OpenReader() *Reader {
+	return &Reader{m: w.m, f: w.f, npages: w.npages, ahead: make(chan readRes, 1)}
+}
+
+// Next delivers the next page, issuing the following page's read before
+// returning. ok is false at end of partition. The caller owns the page
+// until Manager.Release.
+func (r *Reader) Next() (Page, bool, error) {
+	if r.next >= r.npages {
+		return Page{}, false, nil
+	}
+	if r.issued == r.next {
+		r.issue()
+	}
+	var res readRes
+	select {
+	case res = <-r.ahead:
+	default:
+		t0 := time.Now()
+		res = <-r.ahead
+		r.m.readStallNs.Add(int64(time.Since(t0)))
+	}
+	if res.err != nil {
+		r.m.release(res.buf)
+		r.next = r.npages // poison: further Next calls return done
+		return Page{}, false, res.err
+	}
+	idx := r.next
+	r.next++
+	if r.issued < r.npages {
+		r.issue()
+	}
+	view := storage.Page{A: r.m.a, Addr: res.buf.addr, Size: r.m.pageSize}
+	if got := view.PageID(); got != uint32(idx) {
+		r.m.release(res.buf)
+		r.next = r.npages
+		return Page{}, false, fmt.Errorf("spill: page %d of %s decoded id %d (corrupt spill file)",
+			idx, r.f.Name(), got)
+	}
+	return Page{buf: res.buf, view: view}, true, nil
+}
+
+// issue starts the read of page r.issued into a fresh pool buffer. The
+// goroutine is tracked by the Manager so Close never races a live read
+// into a reclaimed buffer.
+func (r *Reader) issue() {
+	buf := r.m.acquire(&r.m.readStallNs)
+	off := int64(r.issued) * int64(r.m.pageSize)
+	r.issued++
+	r.m.rwg.Add(1)
+	go func() {
+		defer r.m.rwg.Done()
+		_, err := r.f.ReadAt(buf.b, off)
+		if err == nil {
+			r.m.pagesRead.Add(1)
+			r.m.bytesRead.Add(int64(len(buf.b)))
+		}
+		r.ahead <- readRes{buf: buf, err: err}
+	}()
+}
+
+// Close releases the in-flight read-ahead buffer, if any. It does not
+// touch the partition file (the Manager owns it) and is required even
+// after Next returned done or an error.
+func (r *Reader) Close() {
+	if r.issued > r.next && r.issued <= r.npages {
+		res := <-r.ahead
+		r.m.release(res.buf)
+	}
+	r.next, r.issued = r.npages, r.npages
+}

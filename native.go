@@ -25,6 +25,16 @@ type NativeResult struct {
 	PartitionTime time.Duration // flatten + radix partition, both relations
 	JoinTime      time.Duration // build + probe of all partition pairs
 	Elapsed       time.Duration // end-to-end wall clock
+
+	// SpilledPartitions counts partition pairs joined out of core (0:
+	// everything fit the budget in memory). The byte totals cover the
+	// spill tier's file I/O; the stalls are the latency its write-behind
+	// and read-ahead overlap failed to hide.
+	SpilledPartitions int
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	SpillWriteStall   time.Duration
+	SpillReadStall    time.Duration
 }
 
 // Breakdown formats the wall-clock phase decomposition.
@@ -69,9 +79,30 @@ func WithNativeFanout(f int) NativeOption {
 // WithNativeMemBudget sets the GRACE memory budget in bytes that derives
 // the fan-out (default 256 MB). Setting it near the cache size turns the
 // partitioner into the paper's section 7.5 cache-partitioning
-// comparator.
+// comparator. A pair no partitioning can bring under budget is joined
+// out of core through disk-backed spill partitions.
 func WithNativeMemBudget(bytes int) NativeOption {
 	return func(c *native.Config) { c.MemBudget = bytes }
+}
+
+// WithNativeSpillDir sets the parent directory for the out-of-core spill
+// area (default: the OS temp directory). The spill tier creates its own
+// subdirectory per join and removes it afterwards.
+func WithNativeSpillDir(dir string) NativeOption {
+	return func(c *native.Config) { c.SpillDir = dir }
+}
+
+// WithNativeSpillWorkers sets the spill tier's write-behind worker count
+// (default: the spill subsystem's own default).
+func WithNativeSpillWorkers(n int) NativeOption {
+	return func(c *native.Config) { c.SpillWorkers = n }
+}
+
+// WithNativeNoSpill disables the out-of-core tier: a partition pair
+// still over budget at maximum recursion depth makes Join return a
+// *native.BudgetError instead of spilling to disk.
+func WithNativeNoSpill() NativeOption {
+	return func(c *native.Config) { c.NoSpill = true }
 }
 
 // nativeScheme maps the public (simulator) Scheme to the native engine's.
@@ -111,9 +142,10 @@ func NewNativeJoiner() *NativeJoiner {
 // simulator. The relations must belong to the same Env. For the same
 // workload, native Join and Env.Join produce identical NOutput and
 // KeySum for every scheme; the native result's times are wall clock.
-// A partition pair over the memory budget is re-partitioned recursively;
-// Join returns a *native.BudgetError only when no partitioning can bring
-// a pair under budget (heavy key skew).
+// A partition pair over the memory budget is re-partitioned recursively,
+// and a pair no partitioning can shrink (heavy key skew) is joined out
+// of core through disk-backed spill partitions; Join returns a
+// *native.BudgetError only under WithNativeNoSpill.
 func (e *NativeJoiner) Join(build, probe *Relation, opts ...NativeOption) (NativeResult, error) {
 	if build.env == nil || build.env != probe.env {
 		panic("hashjoin: NativeJoin relations must share an Env")
@@ -127,14 +159,19 @@ func (e *NativeJoiner) Join(build, probe *Relation, opts ...NativeOption) (Nativ
 		return NativeResult{}, err
 	}
 	return NativeResult{
-		NOutput:        r.NOutput,
-		KeySum:         r.KeySum,
-		NPartitions:    r.NPartitions,
-		Workers:        r.Workers,
-		RecursionDepth: r.RecursionDepth,
-		PartitionTime:  r.PartitionTime,
-		JoinTime:       r.JoinTime,
-		Elapsed:        r.Elapsed,
+		NOutput:           r.NOutput,
+		KeySum:            r.KeySum,
+		NPartitions:       r.NPartitions,
+		Workers:           r.Workers,
+		RecursionDepth:    r.RecursionDepth,
+		PartitionTime:     r.PartitionTime,
+		JoinTime:          r.JoinTime,
+		Elapsed:           r.Elapsed,
+		SpilledPartitions: r.SpilledPartitions,
+		SpillBytesWritten: r.SpillBytesWritten,
+		SpillBytesRead:    r.SpillBytesRead,
+		SpillWriteStall:   r.SpillWriteStall,
+		SpillReadStall:    r.SpillReadStall,
 	}, nil
 }
 

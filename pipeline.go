@@ -37,6 +37,10 @@ type pipelineConfig struct {
 	workers   int
 	memBudget int
 
+	spillDir     string
+	spillWorkers int
+	noSpill      bool
+
 	filterLo, filterHi uint32
 	hasFilter          bool
 
@@ -94,13 +98,34 @@ func WithPipelineWorkers(n int) PipelineOption {
 
 // WithPipelineMemBudget bounds the resident footprint of the native
 // join's build side in bytes. A streaming join whose build would exceed
-// the budget degrades to the partitioned morsel strategy, and an
-// oversized partition pair is re-partitioned recursively — the GRACE
-// answer to a partition that does not fit memory. If no partitioning
-// can satisfy the budget (heavy key skew), RunPipeline returns an
-// error. 0 (the default) means unbudgeted.
+// the budget degrades to the partitioned morsel strategy, an oversized
+// partition pair is re-partitioned recursively — the GRACE answer to a
+// partition that does not fit memory — and a pair no partitioning can
+// shrink (heavy key skew) is joined out of core through disk-backed
+// spill partitions. 0 (the default) means unbudgeted.
 func WithPipelineMemBudget(bytes int) PipelineOption {
 	return func(c *pipelineConfig) { c.memBudget = bytes }
+}
+
+// WithPipelineSpillDir sets the parent directory for the native join's
+// out-of-core spill area (default: the OS temp directory). The spill
+// tier creates its own subdirectory per run and removes it afterwards.
+func WithPipelineSpillDir(dir string) PipelineOption {
+	return func(c *pipelineConfig) { c.spillDir = dir }
+}
+
+// WithPipelineSpillWorkers sets the spill tier's write-behind worker
+// count (default: the spill subsystem's own default). Negative values
+// make RunPipeline return an error.
+func WithPipelineSpillWorkers(n int) PipelineOption {
+	return func(c *pipelineConfig) { c.spillWorkers = n }
+}
+
+// WithPipelineNoSpill disables the out-of-core tier: a partition pair
+// still over the memory budget at maximum recursion depth makes
+// RunPipeline return a *native.BudgetError instead of spilling to disk.
+func WithPipelineNoSpill() PipelineOption {
+	return func(c *pipelineConfig) { c.noSpill = true }
 }
 
 // PipelineResult reports one pipeline run. NOutput and KeySum describe
@@ -123,6 +148,18 @@ type PipelineResult struct {
 	// budget degradation had to re-partition oversized pairs (0: none).
 	JoinFanout         int
 	JoinRecursionDepth int
+
+	// SpilledPartitions counts the partition pairs the native join
+	// completed out of core (0: everything fit in memory). The byte
+	// totals cover the spill tier's file I/O — reads can exceed writes
+	// because the probe partition is re-read once per build chunk — and
+	// the stalls are the latency write-behind and read-ahead failed to
+	// hide.
+	SpilledPartitions int
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	SpillWriteStall   time.Duration
+	SpillReadStall    time.Duration
 }
 
 // RunPipeline executes build ⋈ probe — optionally filtered and
@@ -158,15 +195,18 @@ func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) (Pipel
 
 	var report engine.Report
 	cfg := engine.Config{
-		Backend:   pc.engine,
-		Mem:       e.mem,
-		A:         e.mem.A,
-		Scheme:    pc.scheme,
-		Params:    pc.params,
-		Fanout:    pc.fanout,
-		Workers:   pc.workers,
-		MemBudget: pc.memBudget,
-		Report:    &report,
+		Backend:      pc.engine,
+		Mem:          e.mem,
+		A:            e.mem.A,
+		Scheme:       pc.scheme,
+		Params:       pc.params,
+		Fanout:       pc.fanout,
+		Workers:      pc.workers,
+		MemBudget:    pc.memBudget,
+		SpillDir:     pc.spillDir,
+		SpillWorkers: pc.spillWorkers,
+		NoSpill:      pc.noSpill,
+		Report:       &report,
 	}
 
 	var res PipelineResult
@@ -201,5 +241,10 @@ func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) (Pipel
 	}
 	res.JoinFanout = report.JoinFanout
 	res.JoinRecursionDepth = report.JoinRecursionDepth
+	res.SpilledPartitions = report.SpilledPartitions
+	res.SpillBytesWritten = report.SpillBytesWritten
+	res.SpillBytesRead = report.SpillBytesRead
+	res.SpillWriteStall = report.SpillWriteStall
+	res.SpillReadStall = report.SpillReadStall
 	return res, nil
 }

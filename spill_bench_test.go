@@ -1,0 +1,192 @@
+package hashjoin
+
+// Out-of-core benchmark: a heavily skewed join whose partition pairs no
+// re-partitioning can bring under the memory budget, so every pair goes
+// through the disk-backed spill tier. BenchmarkSpillOverlap sweeps the
+// spill tier's write-behind worker count and records the end-to-end
+// wall clock per count — the real-hardware analog of the paper's
+// Figure 9 question: how much latency does asynchronous I/O overlap
+// hide? More write-behind workers should shorten (or at least not
+// lengthen) the run until the device or the CPU side saturates.
+//
+// BenchmarkSpillOverlap writes BENCH_spill.json, a machine-readable
+// trajectory (elapsed and unhidden stall time per worker count):
+//
+//	go test -run=^$ -bench BenchmarkSpillOverlap -benchtime=1x .
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hashjoin/internal/spill"
+	"hashjoin/internal/workload"
+)
+
+// Four distinct keys, each repeated 1000 times on both sides: fanout
+// separates the keys, but a single-key partition pair is irreducible —
+// every pair lands in the spill tier. 256-byte tuples keep the spilled
+// byte volume (and thus the I/O overlap opportunity) large relative to
+// the 4M-match probe work.
+var spillBenchSpec = workload.Spec{
+	NBuild:          4000,
+	TupleSize:       256,
+	MatchesPerBuild: 1,
+	PctMatched:      100,
+	Skew:            1000,
+	Seed:            7,
+}
+
+const (
+	spillBenchBudget = 16 << 10
+	spillBenchFanout = 4
+)
+
+var (
+	spillBenchOnce  sync.Once
+	spillBenchEnv   *Env
+	spillBenchBuild *Relation
+	spillBenchProbe *Relation
+	spillBenchWant  PipelineResult // unbudgeted reference for parity
+)
+
+// spillBenchRelations generates the skewed workload once and runs the
+// unbudgeted in-memory join as the parity reference. Per-run spill
+// scratch (page pool, chunk tables) is scoped to the run and reclaimed
+// by RunPipeline, so repetitions never grow the arena.
+func spillBenchRelations(tb testing.TB) {
+	spillBenchOnce.Do(func() {
+		spec := spillBenchSpec
+		spillBenchEnv = NewEnv(WithSmallHierarchy(),
+			WithCapacity(workload.ArenaBytesFor(spec)*3+8<<20))
+		pair := workload.Generate(spillBenchEnv.mem.A, spec)
+		spillBenchBuild = &Relation{rel: pair.Build, env: spillBenchEnv}
+		spillBenchProbe = &Relation{rel: pair.Probe, env: spillBenchEnv}
+		want, err := spillBenchEnv.RunPipeline(spillBenchBuild, spillBenchProbe,
+			WithEngine(EngineNative), WithPipelineFanout(spillBenchFanout))
+		if err != nil {
+			tb.Fatalf("reference join: %v", err)
+		}
+		spillBenchWant = want
+	})
+}
+
+// runSpillBenchOnce runs one budgeted, spilling, validated join and
+// returns the full result (elapsed plus spill I/O accounting).
+func runSpillBenchOnce(tb testing.TB, dir string, workers int) PipelineResult {
+	res, err := spillBenchEnv.RunPipeline(spillBenchBuild, spillBenchProbe,
+		WithEngine(EngineNative), WithPipelineFanout(spillBenchFanout),
+		WithPipelineMemBudget(spillBenchBudget),
+		WithPipelineSpillDir(dir), WithPipelineSpillWorkers(workers))
+	if err != nil {
+		tb.Fatalf("spill join (%d workers): %v", workers, err)
+	}
+	if res.NOutput != spillBenchWant.NOutput || res.KeySum != spillBenchWant.KeySum {
+		tb.Fatalf("spill join (%d workers): wrong result (%d, %d), want (%d, %d)",
+			workers, res.NOutput, res.KeySum, spillBenchWant.NOutput, spillBenchWant.KeySum)
+	}
+	if res.SpilledPartitions == 0 {
+		tb.Fatalf("spill join (%d workers): nothing spilled — benchmark measures nothing", workers)
+	}
+	return res
+}
+
+// spillPoint is one worker-count sample in BENCH_spill.json.
+type spillPoint struct {
+	Workers   int     `json:"workers"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Unhidden I/O latency: time the partition phase blocked for a free
+	// page buffer (write side) and the probe phase blocked on a page not
+	// yet read (read side). Medians over interleaved repetitions, like
+	// ElapsedMs.
+	WriteStallMs float64 `json:"write_stall_ms"`
+	ReadStallMs  float64 `json:"read_stall_ms"`
+}
+
+// spillTrajectory is the BENCH_spill.json document.
+type spillTrajectory struct {
+	NBuild      int  `json:"n_build"`
+	NProbe      int  `json:"n_probe"`
+	TupleSize   int  `json:"tuple_size"`
+	Skew        int  `json:"skew"`
+	Fanout      int  `json:"fanout"`
+	MemBudget   int  `json:"mem_budget"`
+	PageSize    int  `json:"page_size"`
+	GOMAXPROCS  int  `json:"gomaxprocs"`
+	PrefetchASM bool `json:"prefetch_asm"`
+	// Spill volume of one run (identical across worker counts — the
+	// worker count changes when I/O happens, not how much).
+	SpilledPairs int   `json:"spilled_pairs"`
+	BytesWritten int64 `json:"bytes_written"`
+	BytesRead    int64 `json:"bytes_read"`
+	// One point per write-behind worker count, ascending.
+	Points []spillPoint `json:"points"`
+}
+
+// BenchmarkSpillOverlap sweeps the write-behind worker count over the
+// spilling workload and emits BENCH_spill.json. Repetitions interleave
+// the worker counts so host and filesystem drift land on all of them
+// alike, and per-count medians are reported (see BenchmarkNativeSpeedup
+// for why medians).
+func BenchmarkSpillOverlap(b *testing.B) {
+	spillBenchRelations(b)
+	dir := b.TempDir()
+	workerCounts := []int{1, 2, 4, 8}
+
+	// Untimed warmup: create the spill pool growth path once.
+	warm := runSpillBenchOnce(b, dir, workerCounts[0])
+
+	const reps = 5
+	elapsed := make([][]time.Duration, len(workerCounts))
+	wstall := make([][]time.Duration, len(workerCounts))
+	rstall := make([][]time.Duration, len(workerCounts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range elapsed {
+			elapsed[j], wstall[j], rstall[j] = nil, nil, nil
+		}
+		for rep := 0; rep < reps; rep++ {
+			for j, w := range workerCounts {
+				res := runSpillBenchOnce(b, dir, w)
+				elapsed[j] = append(elapsed[j], res.Elapsed)
+				wstall[j] = append(wstall[j], res.SpillWriteStall)
+				rstall[j] = append(rstall[j], res.SpillReadStall)
+			}
+		}
+	}
+	b.StopTimer()
+
+	traj := spillTrajectory{
+		NBuild:       spillBenchBuild.Len(),
+		NProbe:       spillBenchProbe.Len(),
+		TupleSize:    spillBenchSpec.TupleSize,
+		Skew:         spillBenchSpec.Skew,
+		Fanout:       spillBenchFanout,
+		MemBudget:    spillBenchBudget,
+		PageSize:     spill.DefaultPageSize,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		PrefetchASM:  NativeHasPrefetch(),
+		SpilledPairs: warm.SpilledPartitions,
+		BytesWritten: warm.SpillBytesWritten,
+		BytesRead:    warm.SpillBytesRead,
+	}
+	for j, w := range workerCounts {
+		traj.Points = append(traj.Points, spillPoint{
+			Workers:      w,
+			ElapsedMs:    float64(medianDuration(elapsed[j]).Microseconds()) / 1e3,
+			WriteStallMs: float64(medianDuration(wstall[j]).Microseconds()) / 1e3,
+			ReadStallMs:  float64(medianDuration(rstall[j]).Microseconds()) / 1e3,
+		})
+	}
+	b.ReportMetric(traj.Points[0].ElapsedMs, "ms@1worker")
+	b.ReportMetric(traj.Points[len(traj.Points)-1].ElapsedMs, "ms@8workers")
+
+	if doc, err := json.MarshalIndent(traj, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_spill.json", append(doc, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_spill.json not written: %v", err)
+		}
+	}
+}
