@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +63,7 @@ func main() {
 		noSpill   = flag.Bool("no-spill", false, "native/pipeline: disable the spill tier; an irreducible over-budget pair fails instead")
 		reps      = flag.Int("reps", 3, "native/pipeline: repetitions per scheme (medians reported)")
 		seed      = flag.Int64("seed", 42, "native/pipeline: workload seed")
+		timeout   = flag.Duration("timeout", 0, "native/pipeline: abort the benchmark after this long (0 = no limit); a timed-out run exits with code 4")
 	)
 	flag.Parse()
 
@@ -71,6 +73,15 @@ func main() {
 	}
 	if *spillWork < 0 {
 		cli.Fatalf(prog, "negative -spill-workers %d", *spillWork)
+	}
+	if *timeout < 0 {
+		cli.Fatalf(prog, "negative -timeout %v", *timeout)
+	}
+	ctx := context.Context(nil) // nil: no deadline
+	if *timeout > 0 {
+		c, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		ctx = c
 	}
 	sp := spillOpts{dir: *spillDir, workers: *spillWork, off: *noSpill}
 	spec := workload.Spec{
@@ -83,11 +94,11 @@ func main() {
 	}
 
 	if *pipeMode {
-		runPipeline(backend, spec, *schemes, *fanout, *workers, *memBudget, sp, *reps)
+		runPipeline(ctx, backend, spec, *schemes, *fanout, *workers, *memBudget, sp, *reps)
 		return
 	}
 	if backend == engine.Native {
-		runNative(spec, *schemes, *fanout, *workers, *memBudget, sp, *reps)
+		runNative(ctx, spec, *schemes, *fanout, *workers, *memBudget, sp, *reps)
 		return
 	}
 
@@ -149,7 +160,7 @@ func (s spillOpts) arenaHeadroom(memBudget int) uint64 {
 // workload bytes); native repetitions interleave the schemes so host
 // drift lands on all of them alike, and medians are compared. The
 // simulator is deterministic, so one rep suffices there.
-func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, fanout, workers, memBudget int, sp spillOpts, reps int) {
+func runPipeline(ctx context.Context, backend engine.Backend, spec workload.Spec, schemeList string, fanout, workers, memBudget int, sp spillOpts, reps int) {
 	parsed, err := cli.ParseSchemeList(schemeList)
 	if err != nil {
 		cli.Fatalf(prog, "%v", err)
@@ -172,6 +183,7 @@ func runPipeline(backend engine.Backend, spec workload.Spec, schemeList string, 
 			Params: core.DefaultParams(), Fanout: fanout, Workers: workers,
 			MemBudget: memBudget,
 			SpillDir:  sp.dir, SpillWorkers: sp.workers, NoSpill: sp.off,
+			Ctx: ctx,
 		}
 		if backend == engine.Native {
 			p.Params = core.Params{} // native defaults
@@ -243,7 +255,7 @@ func medianElapsed(rs []cli.PipelineResult) time.Duration {
 
 // runNative benchmarks the requested schemes as monolithic native joins
 // and prints a wall-clock speedup table.
-func runNative(spec workload.Spec, schemeList string, fanout, workers, memBudget int, sp spillOpts, reps int) {
+func runNative(ctx context.Context, spec workload.Spec, schemeList string, fanout, workers, memBudget int, sp spillOpts, reps int) {
 	parsed, err := cli.ParseSchemeList(schemeList)
 	if err != nil {
 		cli.Fatalf(prog, "%v", err)
@@ -274,6 +286,7 @@ func runNative(spec workload.Spec, schemeList string, fanout, workers, memBudget
 	jcfg := native.Config{
 		Fanout: fanout, Workers: workers,
 		SpillDir: sp.dir, SpillWorkers: sp.workers, NoSpill: sp.off,
+		Ctx: ctx,
 	}
 	if memBudget > 0 {
 		jcfg.MemBudget = memBudget

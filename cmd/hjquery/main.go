@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,7 @@ func main() {
 		noSpill   = flag.Bool("no-spill", false, "native engine: disable the spill tier; an irreducible over-budget pair fails instead")
 		catPath   = flag.String("catalog", "", "write the catalog description file here")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a timed-out run exits with code 4")
 	)
 	flag.Parse()
 
@@ -88,7 +90,17 @@ func main() {
 	if *spillWork < 0 {
 		cli.Fatalf(prog, "negative -spill-workers %d", *spillWork)
 	}
+	if *timeout < 0 {
+		cli.Fatalf(prog, "negative -timeout %v", *timeout)
+	}
 	p.Materialize()
+	if *timeout > 0 {
+		// The deadline starts after workload generation: a slow generator
+		// should not eat the query's time box.
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		p.Ctx = ctx
+	}
 
 	desc := catalog.Describe("build", p.Pair.Build)
 	if *catPath != "" {

@@ -26,8 +26,10 @@
 package hashjoin
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"hashjoin/internal/arena"
 	"hashjoin/internal/core"
@@ -242,7 +244,16 @@ func (r Result) EachOutput(fn func(tuple []byte)) {
 // returns — unless KeepOutput materializes the joined tuples, which
 // then stay resident. Arena exhaustion (capacity or WithArenaBudget)
 // surfaces as an error with a usage breakdown, not a panic.
-func (e *Env) Join(build, probe *Relation, opts ...JoinOption) (res Result, err error) {
+func (e *Env) Join(build, probe *Relation, opts ...JoinOption) (Result, error) {
+	return e.JoinContext(context.Background(), build, probe, opts...)
+}
+
+// JoinContext is Join under a context: the run checks ctx before each
+// partitioning pass and before each partition-pair join, so it stops
+// within one pair of cancellation or deadline expiry. A cancelled join
+// returns a *CancelError that matches both ErrCancelled and the
+// context's own error, and reports how many pairs had completed.
+func (e *Env) JoinContext(ctx context.Context, build, probe *Relation, opts ...JoinOption) (res Result, err error) {
 	jc := joinConfig{scheme: Group, params: core.DefaultParams()}
 	for _, o := range opts {
 		o(&jc)
@@ -255,6 +266,7 @@ func (e *Env) Join(build, probe *Relation, opts ...JoinOption) (res Result, err 
 		defer scope.Release()
 	}
 	defer arena.RecoverOOM(&err)
+	start := time.Now()
 	if jc.endToEnd {
 		gr := core.Grace(e.mem, build.rel, probe.rel, core.GraceConfig{
 			MemBudget:  jc.memBudget,
@@ -263,7 +275,17 @@ func (e *Env) Join(build, probe *Relation, opts ...JoinOption) (res Result, err 
 			PartParams: jc.params,
 			JoinParams: jc.params,
 			Keep:       jc.keepOutput,
+			Check:      ctx.Err,
 		})
+		if gr.Err != nil {
+			return Result{}, &CancelError{
+				Cause:      gr.Err,
+				PairsDone:  gr.PairsJoined,
+				PairsTotal: gr.NPartitions,
+				RowsOut:    gr.NOutput,
+				Elapsed:    time.Since(start),
+			}
+		}
 		return Result{
 			NOutput:        gr.NOutput,
 			KeySum:         gr.KeySum,
@@ -271,6 +293,9 @@ func (e *Env) Join(build, probe *Relation, opts ...JoinOption) (res Result, err 
 			PartitionStats: gr.PartBuildStats.Add(gr.PartProbeStats),
 			JoinStats:      gr.JoinStats,
 		}, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return Result{}, &CancelError{Cause: cerr, PairsTotal: 1, Elapsed: time.Since(start)}
 	}
 	jr := core.JoinPair(e.mem, build.rel, probe.rel, jc.scheme, jc.params, 1, jc.keepOutput)
 	return Result{

@@ -10,8 +10,11 @@ package arena
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"hashjoin/internal/fault"
 )
 
 // Base is the first valid address handed out by an Arena. Address values
@@ -21,6 +24,10 @@ const Base uint64 = 1 << 16
 
 // Addr is a simulated address. The zero value is the nil address.
 type Addr = uint64
+
+// ErrOutOfMemory is the sentinel every *OOMError unwraps to, so callers
+// can classify exhaustion with errors.Is without naming the struct.
+var ErrOutOfMemory = errors.New("arena: out of memory")
 
 // OOMError reports an allocation that would exceed the arena's effective
 // ceiling (the budget if one is set, else the physical capacity). It
@@ -61,6 +68,8 @@ func (e *OOMError) Error() string {
 	}
 	return s
 }
+
+func (e *OOMError) Unwrap() error { return ErrOutOfMemory }
 
 // Arena is a bump allocator over a contiguous simulated address space.
 // The zero value is not usable; call New.
@@ -135,6 +144,11 @@ func (a *Arena) TryAlloc(size, align uint64) (Addr, error) {
 	}
 	if align&(align-1) != 0 {
 		panic(fmt.Sprintf("arena: alignment %d is not a power of two", align))
+	}
+	if ferr := fault.Hit(fault.SiteArenaAlloc); ferr != nil {
+		// An injected allocation fault presents as exhaustion: the
+		// caller-visible contract of this site is "the arena said no".
+		return 0, a.oomError(a.next.Load(), size, align)
 	}
 	for {
 		used := a.next.Load()
@@ -230,13 +244,20 @@ func (a *Arena) AllocZeroed(size, align uint64) Addr {
 // assignment. Deep allocation layers (relation append, hash-table build,
 // simulated loads) report exhaustion by panicking with the typed error;
 // the owner of a pipeline defers RecoverOOM(&err) so exhaustion surfaces
-// as a Go error at the API boundary. Panics of any other type propagate.
+// as a Go error at the API boundary. Fault-injected panics (KindPanic
+// failpoints) are contained the same way, so teardown tests can prove a
+// panic anywhere under a boundary still yields one typed error. Panics
+// of any other type propagate.
 func RecoverOOM(err *error) {
 	switch r := recover().(type) {
 	case nil:
 	case *OOMError:
 		*err = r
 	default:
+		if e, ok := fault.AsInjected(r); ok {
+			*err = e
+			return
+		}
 		panic(r)
 	}
 }

@@ -2,12 +2,13 @@
 // commands: one place that parses engine, scheme, and hierarchy flag
 // values, rounds partition fan-outs, and runs the common
 // Scan -> HashJoin -> HashAggregate pipeline on either backend of the
-// operator engine. Both commands report flag mistakes with exit code 2
-// (usage) and runtime failures with exit code 1, through Fatalf and
-// Dief.
+// operator engine. Both commands share one exit-code taxonomy (see
+// ExitCodeFor): 2 for flag mistakes through Fatalf, and 1/3/4 for
+// runtime failures by class through Dief and DiePipeline.
 package cli
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -136,28 +137,76 @@ func NormalizeFanout(n int) int {
 	return p
 }
 
+// Exit codes shared by hjbench and hjquery, so scripts can tell a
+// query that ran out of time from one that ran out of memory without
+// parsing stderr.
+const (
+	ExitOK        = 0
+	ExitFailure   = 1 // runtime failure of no more specific class
+	ExitUsage     = 2 // bad flag value
+	ExitMemory    = 3 // arena exhaustion or irreducible over-budget pair
+	ExitCancelled = 4 // -timeout expiry or context cancellation
+)
+
+// ExitCodeFor classifies a runtime error into the exit-code taxonomy.
+// Cancellation is checked first: a join cut short by a deadline may
+// surface secondary errors from other layers, and "it was cancelled"
+// is the truth the caller acts on.
+func ExitCodeFor(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	if errors.Is(err, native.ErrCancelled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ExitCancelled
+	}
+	if errors.Is(err, arena.ErrOutOfMemory) || errors.Is(err, native.ErrOverBudget) {
+		return ExitMemory
+	}
+	return ExitFailure
+}
+
+// wrapCancel normalizes a raw context error noticed deep in a pipeline
+// (scans return ctx.Err() unwrapped) into the typed *native.CancelError
+// that PipelineErrorDetail and ExitCodeFor key on; errors that already
+// carry the type, and non-cancellation errors, pass through.
+func wrapCancel(err error, elapsed time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	var ce *native.CancelError
+	if errors.As(err, &ce) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &native.CancelError{Cause: err, Elapsed: elapsed}
+	}
+	return err
+}
+
 // Fatalf reports a usage error (bad flag value) for prog: exit code 2.
 func Fatalf(prog, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, strings.TrimSuffix(fmt.Sprintf(format, args...), "\n"))
-	osExit(2)
+	osExit(ExitUsage)
 }
 
 // Dief reports a runtime failure for prog: exit code 1.
 func Dief(prog, format string, args ...any) {
 	fmt.Fprintf(stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
-	osExit(1)
+	osExit(ExitFailure)
 }
 
-// DiePipeline reports a pipeline failure for prog and exits 1. Beyond
-// the error itself it prints the breakdown lines of PipelineErrorDetail,
-// so a budget or arena failure arrives with its numbers instead of one
-// opaque message.
+// DiePipeline reports a pipeline failure for prog and exits with the
+// ExitCodeFor class of the error. Beyond the error itself it prints the
+// breakdown lines of PipelineErrorDetail, so a budget, arena, timeout,
+// or corruption failure arrives with its numbers instead of one opaque
+// message.
 func DiePipeline(prog string, err error) {
 	fmt.Fprintf(stderr, "%s: %v\n", prog, err)
 	for _, line := range PipelineErrorDetail(err) {
 		fmt.Fprintf(stderr, "%s:   %s\n", prog, line)
 	}
-	osExit(1)
+	osExit(ExitCodeFor(err))
 }
 
 // PipelineErrorDetail returns human-readable breakdown lines for the
@@ -167,6 +216,22 @@ func DiePipeline(prog string, err error) {
 // durable/scope usage split). Other errors yield no extra lines.
 func PipelineErrorDetail(err error) []string {
 	var lines []string
+	var ce *native.CancelError
+	if errors.As(err, &ce) {
+		lines = append(lines,
+			fmt.Sprintf("cancelled after %v: %d of %d partition pairs joined, %d output rows discarded",
+				ce.Elapsed.Round(time.Millisecond), ce.PairsDone, ce.PairsTotal, ce.RowsOut))
+		if errors.Is(err, context.DeadlineExceeded) {
+			lines = append(lines, "hint: raise -timeout, or shrink the workload")
+		}
+	}
+	var cpe *spill.CorruptPageError
+	if errors.As(err, &cpe) {
+		lines = append(lines,
+			fmt.Sprintf("spill corruption: %s page %d (offset %d): %s",
+				cpe.File, cpe.Page, cpe.Offset, cpe.Reason),
+			"the spill file was damaged between write and read; the join was abandoned, not silently truncated")
+	}
 	var be *native.BudgetError
 	if errors.As(err, &be) {
 		lines = append(lines,
@@ -216,6 +281,11 @@ type Pipeline struct {
 	SpillDir     string // Native: parent dir for the out-of-core spill area ("" = OS temp)
 	SpillWorkers int    // Native: write-behind workers for the spill tier (0 = default)
 	NoSpill      bool   // Native: fail with *native.BudgetError instead of spilling
+
+	// Ctx, when non-nil, bounds the run: scans check it at batch
+	// boundaries, the native morsel join before each pair claim, and the
+	// spill tier at page boundaries. Both commands wire -timeout here.
+	Ctx context.Context
 
 	// Pair and A hold the generated workload; Materialize fills them
 	// (idempotently), letting callers inspect the relations — catalog
@@ -340,8 +410,10 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		SpillWorkers: p.SpillWorkers,
 		NoSpill:      p.NoSpill,
 		Report:       &report,
+		Ctx:          p.Ctx,
 	}
 	var res PipelineResult
+	start := time.Now()
 	switch p.Engine {
 	case engine.Sim:
 		hier := p.Hier
@@ -356,18 +428,17 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		}
 		res.Groups, err = engine.Groups(root, p.A)
 		if err != nil {
-			return res, err
+			return res, wrapCancel(err, time.Since(start))
 		}
 		res.Stats = m.S.Stats()
 	case engine.Native:
-		start := time.Now()
 		root, err := engine.Compile(plan, cfg)
 		if err != nil {
 			return res, err
 		}
 		res.Groups, err = engine.Groups(root, p.A)
 		if err != nil {
-			return res, err
+			return res, wrapCancel(err, time.Since(start))
 		}
 		res.Elapsed = time.Since(start)
 	default:

@@ -2,11 +2,13 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"hashjoin/internal/arena"
 
@@ -230,8 +232,8 @@ func TestDiePipelineBudgetBreakdown(t *testing.T) {
 	err := fmt.Errorf("scheme group: %w",
 		&native.BudgetError{Budget: 4096, Need: 112000, Depth: 8})
 	DiePipeline("prog", err)
-	if code != 1 {
-		t.Errorf("DiePipeline exit code = %d, want 1", code)
+	if code != ExitMemory {
+		t.Errorf("DiePipeline exit code = %d, want %d (memory)", code, ExitMemory)
 	}
 	out := buf.String()
 	for _, want := range []string{
@@ -257,8 +259,8 @@ func TestDiePipelineOOMBreakdown(t *testing.T) {
 		Need: 4096, Align: 64, Used: 60000, Cap: 65536,
 		Durable: 40000, ScopeHeld: []uint64{12000, 8000},
 	})
-	if code != 1 {
-		t.Errorf("DiePipeline exit code = %d, want 1", code)
+	if code != ExitMemory {
+		t.Errorf("DiePipeline exit code = %d, want %d (memory)", code, ExitMemory)
 	}
 	out := buf.String()
 	for _, want := range []string{
@@ -275,6 +277,80 @@ func TestDiePipelineOOMBreakdown(t *testing.T) {
 func TestPipelineErrorDetailPlainError(t *testing.T) {
 	if lines := PipelineErrorDetail(fmt.Errorf("plain failure")); len(lines) != 0 {
 		t.Errorf("plain error produced detail lines: %v", lines)
+	}
+}
+
+// TestExitCodeFor pins the exit-code taxonomy: cancellation and memory
+// failures are distinguishable from each other and from generic
+// failures without parsing stderr.
+func TestExitCodeFor(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"plain", fmt.Errorf("boom"), ExitFailure},
+		{"mismatch", fmt.Errorf("result mismatch"), ExitFailure},
+		{"budget", &native.BudgetError{Budget: 1, Need: 2, Depth: 8}, ExitMemory},
+		{"oom", &arena.OOMError{Need: 1, Cap: 1}, ExitMemory},
+		{"wrapped oom", fmt.Errorf("run: %w", &arena.OOMError{Need: 1, Cap: 1}), ExitMemory},
+		{"raw ctx", context.Canceled, ExitCancelled},
+		{"deadline", context.DeadlineExceeded, ExitCancelled},
+		{"cancel error", &native.CancelError{Cause: context.DeadlineExceeded}, ExitCancelled},
+	}
+	for _, tc := range cases {
+		if got := ExitCodeFor(tc.err); got != tc.want {
+			t.Errorf("ExitCodeFor(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDiePipelineCancelBreakdown checks a deadline failure exits with
+// the cancellation code and prints the progress detail.
+func TestDiePipelineCancelBreakdown(t *testing.T) {
+	var code int
+	var buf bytes.Buffer
+	osExit = func(c int) { code = c }
+	stderr = &buf
+	defer func() { osExit, stderr = os.Exit, os.Stderr }()
+
+	DiePipeline("prog", &native.CancelError{
+		Cause: context.DeadlineExceeded, PairsDone: 3, PairsTotal: 8,
+		RowsOut: 120, Elapsed: 250 * time.Millisecond,
+	})
+	if code != ExitCancelled {
+		t.Errorf("DiePipeline exit code = %d, want %d (cancelled)", code, ExitCancelled)
+	}
+	out := buf.String()
+	for _, want := range []string{"3 of 8 partition pairs", "-timeout"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stderr missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPipelineRunTimeout drives the shared pipeline with an expired
+// context on both backends: the run must fail with a cancellation-class
+// error, never report a result mismatch.
+func TestPipelineRunTimeout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, backend := range []engine.Backend{engine.Sim, engine.Native} {
+		p := Pipeline{
+			Engine: backend,
+			Spec:   workload.Spec{NBuild: 300, TupleSize: 16, MatchesPerBuild: 1, Seed: 5},
+			Scheme: core.SchemeGroup,
+			Fanout: 1,
+			Ctx:    ctx,
+		}
+		_, err := p.Run()
+		if err == nil {
+			t.Fatalf("%v: cancelled run returned nil error", backend)
+		}
+		if ExitCodeFor(err) != ExitCancelled {
+			t.Errorf("%v: ExitCodeFor(%v) = %d, want %d", backend, err, ExitCodeFor(err), ExitCancelled)
+		}
 	}
 }
 

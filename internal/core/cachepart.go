@@ -58,8 +58,14 @@ func TwoStepCache(m *vmem.Mem, build, probe *storage.Relation, cfg GraceConfig) 
 	pc := cfg
 	pc.PartScheme = SchemeCombined
 
+	if r.Err = check(cfg); r.Err != nil {
+		return r
+	}
 	pb := PartitionRelation(m, build, n, pc.PartScheme, pc.PartParams)
 	r.PartBuildStats = pb.Stats
+	if r.Err = check(cfg); r.Err != nil {
+		return r
+	}
 	pp := PartitionRelation(m, probe, n, pc.PartScheme, pc.PartParams)
 	r.PartProbeStats = pp.Stats
 
@@ -70,10 +76,14 @@ func TwoStepCache(m *vmem.Mem, build, probe *storage.Relation, cfg GraceConfig) 
 		sb := PartitionRelation(m, pb.Partitions[i], sub, SchemeCombined, cfg.PartParams)
 		sp := PartitionRelation(m, pp.Partitions[i], sub, SchemeCombined, cfg.PartParams)
 		for k := 0; k < sub; k++ {
+			if r.Err = check(cfg); r.Err != nil {
+				return r
+			}
 			jr := JoinPair(m, sb.Partitions[k], sp.Partitions[k], SchemeSimple, cfg.JoinParams, n*sub, cfg.Keep)
 			r.NOutput += jr.NOutput
 			r.KeySum += jr.KeySum
 			r.JoinStats = r.JoinStats.Add(jr.Stats())
+			r.PairsJoined++
 		}
 		r.JoinStats = r.JoinStats.Add(sb.Stats).Add(sp.Stats)
 	}

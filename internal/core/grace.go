@@ -24,6 +24,13 @@ type GraceConfig struct {
 
 	// Keep materializes output tuples for validation.
 	Keep bool
+
+	// Check, when non-nil, is consulted before each partitioning pass
+	// and before each partition-pair join. A non-nil return stops the
+	// run: the result carries the error and the pairs joined so far.
+	// This is how the engine layer plumbs context cancellation into the
+	// simulated join without the simulator knowing about contexts.
+	Check func() error
 }
 
 // GraceResult aggregates an end-to-end run.
@@ -36,6 +43,14 @@ type GraceResult struct {
 
 	NOutput int
 	KeySum  uint64
+
+	// PairsJoined counts completed partition-pair joins; it equals
+	// NPartitions (or NPartitions×sub-partitions for two-step cache)
+	// unless Err is set.
+	PairsJoined int
+
+	// Err is the first Check failure, if the run was cut short.
+	Err error
 }
 
 // PartitionCycles returns the partition-phase total.
@@ -76,17 +91,35 @@ func Grace(m *vmem.Mem, build, probe *storage.Relation, cfg GraceConfig) GraceRe
 // directly by the cache-partitioning comparators).
 func graceWithPartitions(m *vmem.Mem, build, probe *storage.Relation, n int, cfg GraceConfig) GraceResult {
 	r := GraceResult{NPartitions: n}
+	if r.Err = check(cfg); r.Err != nil {
+		return r
+	}
 
 	pb := PartitionRelation(m, build, n, cfg.PartScheme, cfg.PartParams)
 	r.PartBuildStats = pb.Stats
+	if r.Err = check(cfg); r.Err != nil {
+		return r
+	}
 	pp := PartitionRelation(m, probe, n, cfg.PartScheme, cfg.PartParams)
 	r.PartProbeStats = pp.Stats
 
 	for i := 0; i < n; i++ {
+		if r.Err = check(cfg); r.Err != nil {
+			return r
+		}
 		jr := JoinPair(m, pb.Partitions[i], pp.Partitions[i], cfg.JoinScheme, cfg.JoinParams, n, cfg.Keep)
 		r.JoinStats = r.JoinStats.Add(jr.Stats())
 		r.NOutput += jr.NOutput
 		r.KeySum += jr.KeySum
+		r.PairsJoined++
 	}
 	return r
+}
+
+// check consults cfg.Check, treating a nil hook as "keep going".
+func check(cfg GraceConfig) error {
+	if cfg.Check == nil {
+		return nil
+	}
+	return cfg.Check()
 }

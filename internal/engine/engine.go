@@ -21,6 +21,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -163,6 +164,12 @@ type Config struct {
 	// degradation had to recurse, and what the spill tier did. Written
 	// when the join finishes.
 	Report *Report
+
+	// Ctx cancels a compiled pipeline cooperatively: scans check it at
+	// batch boundaries, the native morsel join before each partition-pair
+	// claim, and the spill tier at page boundaries. nil means
+	// context.Background (never cancelled).
+	Ctx context.Context
 }
 
 // Report carries per-run execution detail out of a compiled pipeline.
@@ -354,6 +361,9 @@ func Compile(n *Node, cfg Config) (Operator, error) {
 	if cfg.Report != nil {
 		*cfg.Report = Report{}
 	}
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
 	return compileNode(n, cfg), nil
 }
 
@@ -361,9 +371,13 @@ func compileNode(n *Node, cfg Config) Operator {
 	switch n.kind {
 	case scanNode:
 		if cfg.Backend == Sim {
-			return newSimScan(cfg.Mem, n.rel, cfg.batchSize())
+			s := newSimScan(cfg.Mem, n.rel, cfg.batchSize())
+			s.ctx = cfg.Ctx
+			return s
 		}
-		return newNativeScan(cfg.A, n.rel, cfg.batchSize())
+		s := newNativeScan(cfg.A, n.rel, cfg.batchSize())
+		s.ctx = cfg.Ctx
+		return s
 	case filterNode:
 		child := compileNode(n.input, cfg)
 		if cfg.Backend == Sim {

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hashjoin/internal/core"
+	"hashjoin/internal/fault"
+	"hashjoin/internal/native"
+	"hashjoin/internal/workload"
+)
+
+// Cancellation and fault containment at the engine layer: every
+// compiled plan — scan-only, join, aggregate, either backend, either
+// native strategy — must stop on a cancelled context with an error that
+// matches the context's own sentinel, and injected worker faults must
+// surface through Run/Groups as one typed error.
+
+// TestCancelledContextBothBackends runs the full plan shapes under a
+// pre-cancelled context on both backends: every drain must fail with a
+// cancellation-class error, never return a partial result as success.
+func TestCancelledContextBothBackends(t *testing.T) {
+	spec := workload.Spec{NBuild: 300, TupleSize: 16, MatchesPerBuild: 1, Seed: 8}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, backend := range []Backend{Sim, Native} {
+		for _, agg := range []bool{false, true} {
+			pair, a, m := testEnv(t, spec)
+			plan := HashJoin(Scan(pair.Build), Scan(pair.Probe))
+			if agg {
+				plan = HashAggregate(plan, 4, spec.NBuild)
+			}
+			var cfg Config
+			if backend == Sim {
+				cfg = simCfg(m, core.SchemeGroup, core.DefaultParams())
+			} else {
+				cfg = nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 2)
+			}
+			cfg.Ctx = ctx
+			op := mustCompile(t, plan, cfg)
+			var err error
+			if agg {
+				_, err = Groups(op, a)
+			} else {
+				_, err = Run(op, a)
+			}
+			if err == nil {
+				t.Fatalf("%v agg=%v: cancelled run returned nil error", backend, agg)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%v agg=%v: error %v does not match context.Canceled", backend, agg, err)
+			}
+		}
+	}
+}
+
+// TestCancelMorselJoinTyped checks the native morsel strategy surfaces
+// cancellation as the typed *native.CancelError through the engine's
+// drains, so the public API's error contract holds for compiled plans
+// too.
+func TestCancelMorselJoinTyped(t *testing.T) {
+	spec := workload.Spec{NBuild: 300, TupleSize: 16, MatchesPerBuild: 1, Seed: 9}
+	pair, a, _ := testEnv(t, spec)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cfg := nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 4)
+	cfg.Ctx = ctx
+	_, err := Run(mustCompile(t, HashJoin(Scan(pair.Build), Scan(pair.Probe)), cfg), a)
+	var ce *native.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T (%v), want *native.CancelError", err, err)
+	}
+	if !errors.Is(err, native.ErrCancelled) {
+		t.Fatalf("error %v does not match ErrCancelled", err)
+	}
+}
+
+// TestNilContextUnbounded pins the zero-value contract: a Config with
+// no Ctx compiles and runs exactly as before.
+func TestNilContextUnbounded(t *testing.T) {
+	spec := workload.Spec{NBuild: 200, TupleSize: 16, MatchesPerBuild: 1, Seed: 10}
+	pair, a, _ := testEnv(t, spec)
+	r := mustRun(t, HashJoin(Scan(pair.Build), Scan(pair.Probe)),
+		nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1), a)
+	if r.NRows != pair.ExpectedMatches {
+		t.Fatalf("NRows = %d, want %d", r.NRows, pair.ExpectedMatches)
+	}
+}
+
+// TestWorkerFaultThroughEngine: an injected morsel-worker fault inside
+// a compiled plan surfaces as one typed error from the drain, with no
+// goroutines left behind.
+func TestWorkerFaultThroughEngine(t *testing.T) {
+	defer fault.Reset()
+	spec := workload.Spec{NBuild: 1000, TupleSize: 16, MatchesPerBuild: 1, Seed: 12}
+	pair, a, _ := testEnv(t, spec)
+	base := fault.Goroutines()
+
+	fault.Enable(fault.SiteMorselWorker, fault.Fault{Kind: fault.KindError, Count: 1})
+	cfg := nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 4)
+	cfg.Workers = 2
+	_, err := Run(mustCompile(t, HashJoin(Scan(pair.Build), Scan(pair.Probe)), cfg), a)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error %v, want injected-fault class", err)
+	}
+	fault.CheckGoroutines(t, base)
+}
+
+// TestWorkerPanicThroughEngine: same proof for an injected panic — the
+// morsel pipe's background drain must recover it into an error, not
+// crash the process or deadlock the operator.
+func TestWorkerPanicThroughEngine(t *testing.T) {
+	defer fault.Reset()
+	spec := workload.Spec{NBuild: 1000, TupleSize: 16, MatchesPerBuild: 1, Seed: 13}
+	pair, a, _ := testEnv(t, spec)
+	base := fault.Goroutines()
+
+	fault.Enable(fault.SiteMorselWorker, fault.Fault{Kind: fault.KindPanic, Count: 1})
+	cfg := nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 4)
+	cfg.Workers = 2
+	_, err := Run(mustCompile(t, HashJoin(Scan(pair.Build), Scan(pair.Probe)), cfg), a)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error %v, want injected-fault class", err)
+	}
+	fault.CheckGoroutines(t, base)
+}

@@ -10,6 +10,7 @@ package engine
 // output batches that feed the downstream pipeline.
 
 import (
+	"context"
 	"encoding/binary"
 	"runtime"
 
@@ -25,6 +26,7 @@ type nativeScan struct {
 	a     *arena.Arena
 	rel   *storage.Relation
 	batch int
+	ctx   context.Context // nil: never cancelled
 
 	pageIdx int
 	slotIdx int
@@ -39,6 +41,13 @@ func newNativeScan(a *arena.Arena, rel *storage.Relation, batch int) *nativeScan
 func (s *nativeScan) Open() error { s.pageIdx = -1; s.slotIdx = 0; s.nslots = 0; return nil }
 
 func (s *nativeScan) NextBatch(b *Batch) (bool, error) {
+	// The scan is every pipeline's data pump, so a per-batch check here
+	// bounds how far past cancellation any compiled plan can run.
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return false, err
+		}
+	}
 	b.Reset()
 	for len(b.Rows) < s.batch {
 		for s.pageIdx < 0 || s.slotIdx >= s.nslots {
@@ -427,6 +436,7 @@ func (h *nativeHashJoin) openMorsel(buildRel *storage.Relation) error {
 		Fanout: h.cfg.Fanout, Workers: workers,
 		MemBudget: h.cfg.MemBudget,
 		SpillDir:  h.cfg.SpillDir, SpillWorkers: h.cfg.SpillWorkers, NoSpill: h.cfg.NoSpill,
+		Ctx: h.cfg.Ctx,
 	}
 	go func() {
 		var res native.Result

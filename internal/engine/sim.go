@@ -8,6 +8,7 @@ package engine
 // is exactly one group-prefetched probe pass.
 
 import (
+	"context"
 	"fmt"
 
 	"hashjoin/internal/arena"
@@ -23,6 +24,7 @@ type simScan struct {
 	m     *vmem.Mem
 	rel   *storage.Relation
 	batch int
+	ctx   context.Context // nil: never cancelled
 
 	pageIdx int
 	slotIdx int
@@ -37,6 +39,13 @@ func newSimScan(m *vmem.Mem, rel *storage.Relation, batch int) *simScan {
 func (s *simScan) Open() error { s.pageIdx = -1; s.slotIdx = 0; s.nslots = 0; return nil }
 
 func (s *simScan) NextBatch(b *Batch) (bool, error) {
+	// The scan is every pipeline's data pump, so a per-batch check here
+	// bounds how far past cancellation any compiled plan can run.
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return false, err
+		}
+	}
 	b.Reset()
 	for len(b.Rows) < s.batch {
 		for s.pageIdx < 0 || s.slotIdx >= s.nslots {

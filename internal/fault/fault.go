@@ -1,0 +1,207 @@
+// Package fault provides named failpoints for fault-injection testing.
+//
+// Production code marks interesting failure sites with fault.Hit(site).
+// When no faults are armed the call is a single atomic load; tests arm a
+// site with Enable to make it return an injected error, sleep, or panic,
+// deterministically or with a given probability. The site catalog below
+// is the authoritative list of wired failpoints (see DESIGN.md "Failure
+// model").
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names wired into the execution stack. Keeping the catalog here
+// (rather than in each host package) gives tests and docs one place to
+// look; the string is also what Enable and error messages use.
+const (
+	SiteArenaAlloc   = "arena.alloc"   // arena.TryAlloc admission
+	SiteSpillCreate  = "spill.create"  // spill partition file creation
+	SiteSpillWrite   = "spill.write"   // write-behind page write
+	SiteSpillRead    = "spill.read"    // read-ahead page read
+	SiteSpillSync    = "spill.sync"    // writer finish barrier
+	SiteSpillRemove  = "spill.remove"  // temp-dir removal at close
+	SiteMorselWorker = "native.worker" // morsel worker pair claim
+)
+
+// Kind selects what an armed failpoint does when it fires.
+type Kind int
+
+const (
+	// KindError makes Hit return the configured error.
+	KindError Kind = iota
+	// KindDelay makes Hit sleep for the configured duration, then
+	// return nil (the operation proceeds).
+	KindDelay
+	// KindPanic makes Hit panic with a *PanicValue carrying the site.
+	KindPanic
+)
+
+// ErrInjected is the sentinel all injected errors unwrap to, so tests
+// can assert errors.Is(err, fault.ErrInjected) across wrapping layers.
+var ErrInjected = errors.New("fault: injected error")
+
+// InjectedError is what Hit returns for a KindError fault with no
+// explicit Err, and what AsInjected converts recovered panics into.
+type InjectedError struct {
+	Site string
+}
+
+func (e *InjectedError) Error() string { return "fault: injected failure at " + e.Site }
+
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// PanicValue is the value a KindPanic failpoint panics with. Recovery
+// sites use AsInjected to convert it back into a typed error.
+type PanicValue struct {
+	Site string
+}
+
+func (p *PanicValue) String() string { return "fault: injected panic at " + p.Site }
+
+// AsInjected reports whether a recovered panic value came from a
+// KindPanic failpoint, and if so returns it as a typed injected error.
+func AsInjected(r any) (error, bool) {
+	pv, ok := r.(*PanicValue)
+	if !ok {
+		return nil, false
+	}
+	return fmt.Errorf("recovered %s: %w", pv.String(), &InjectedError{Site: pv.Site}), true
+}
+
+// Fault configures an armed failpoint.
+type Fault struct {
+	Kind  Kind
+	Err   error         // KindError: error to return; nil means a fresh *InjectedError
+	Delay time.Duration // KindDelay: how long to sleep
+	Prob  float64       // firing probability per Hit; <=0 or >=1 means always
+	Count int64         // fire at most this many times; <=0 means unlimited
+	Seed  int64         // seed for the probability roll; 0 means 1
+}
+
+type point struct {
+	mu        sync.Mutex
+	f         Fault
+	rng       *rand.Rand
+	remaining int64
+	hits      atomic.Int64
+}
+
+var (
+	armed  atomic.Int32 // number of armed sites: fast-path gate
+	mu     sync.RWMutex
+	points = map[string]*point{}
+)
+
+// Enable arms a failpoint at the named site. Re-enabling a site
+// replaces its previous configuration.
+func Enable(site string, f Fault) {
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	p := &point{f: f, rng: rand.New(rand.NewSource(seed)), remaining: f.Count}
+	mu.Lock()
+	if _, ok := points[site]; !ok {
+		armed.Add(1)
+	}
+	points[site] = p
+	mu.Unlock()
+}
+
+// Disable disarms the named site. Disabling an unarmed site is a no-op.
+func Disable(site string) {
+	mu.Lock()
+	if _, ok := points[site]; ok {
+		delete(points, site)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every site. Tests should defer this after arming.
+func Reset() {
+	mu.Lock()
+	for site := range points {
+		delete(points, site)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Hits returns how many times the named site has fired since it was
+// last (re-)enabled. Returns 0 for unarmed sites.
+func Hits(site string) int64 {
+	mu.RLock()
+	p := points[site]
+	mu.RUnlock()
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// Hit is the production-side hook. With nothing armed it is a single
+// atomic load. With the site armed it rolls the probability, honors the
+// count budget, and then errors, sleeps, or panics per the fault kind.
+func Hit(site string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	p := points[site]
+	mu.RUnlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	if p.f.Count > 0 && p.remaining <= 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	if p.f.Prob > 0 && p.f.Prob < 1 && p.rng.Float64() >= p.f.Prob {
+		p.mu.Unlock()
+		return nil
+	}
+	if p.f.Count > 0 {
+		p.remaining--
+	}
+	f := p.f
+	p.mu.Unlock()
+	p.hits.Add(1)
+	switch f.Kind {
+	case KindDelay:
+		time.Sleep(f.Delay)
+		return nil
+	case KindPanic:
+		panic(&PanicValue{Site: site})
+	default:
+		if f.Err != nil {
+			return fmt.Errorf("fault at %s: %w", site, f.Err)
+		}
+		return &InjectedError{Site: site}
+	}
+}
+
+// ProbFromEnv reads the HJ_FAULT_PROB environment variable, used by the
+// CI fault matrix to sweep firing probability. Unset or invalid values
+// default to 1 (always fire).
+func ProbFromEnv() float64 {
+	s := os.Getenv("HJ_FAULT_PROB")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 || v > 1 {
+		return 1
+	}
+	return v
+}

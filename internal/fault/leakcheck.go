@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"os"
+	"runtime"
+	"time"
+)
+
+// TB is the subset of *testing.T the leak checkers need. Taking an
+// interface keeps the production import graph free of package testing.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Goroutines returns the current goroutine count, for use as a baseline
+// before the code under test runs.
+func Goroutines() int { return runtime.NumGoroutine() }
+
+// CheckGoroutines fails the test if the goroutine count has not
+// returned to the baseline within a grace period. Background workers
+// (write-behind, read-ahead, morsel pool) may still be draining when
+// the operation under test returns, so the check polls briefly before
+// declaring a leak and dumping all stacks.
+func CheckGoroutines(t TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	m := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d at baseline, %d after teardown\n%s", baseline, n, buf[:m])
+}
+
+// CheckNoFiles fails the test if the directory contains any entries —
+// used to prove a spill area left no orphan partition files or per-join
+// temp dirs behind. A missing directory counts as clean (the whole area
+// was removed).
+func CheckNoFiles(t TB, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return
+		}
+		t.Fatalf("leak check: reading %s: %v", dir, err)
+	}
+	if len(ents) == 0 {
+		return
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	t.Fatalf("leaked temp files in %s: %v", dir, names)
+}

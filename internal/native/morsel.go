@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"hashjoin/internal/arena"
+	"hashjoin/internal/fault"
 )
 
 // Morsel-driven join phase: partition pairs are the morsels, and a
@@ -36,12 +37,24 @@ func (jn *Joiner) worker(w int, data []byte, cfg Config) *pairJoiner {
 	return j
 }
 
+// claimCheck is the cooperative gate a worker passes before claiming a
+// partition pair: cancellation first, then the worker failpoint (so
+// fault tests can kill one claim deterministically).
+func claimCheck(cfg Config) error {
+	if err := cfg.Ctx.Err(); err != nil {
+		return err
+	}
+	return fault.Hit(fault.SiteMorselWorker)
+}
+
 // joinPairs joins corresponding partition pairs of jn.bp and jn.pp on
 // up to cfg.Workers goroutines. The first error any worker hits — a
-// *BudgetError from an irreducible pair, or arena exhaustion recovered
-// from a sink — makes the remaining workers stop claiming pairs, and
-// joinPairs returns it after every worker has exited; a failure never
-// panics across a goroutine boundary and never leaks a worker.
+// *BudgetError from an irreducible pair, arena exhaustion recovered
+// from a sink, cancellation, or an injected fault — makes the remaining
+// workers stop claiming pairs, and joinPairs returns it after every
+// worker has exited; a failure never panics across a goroutine boundary
+// and never leaks a worker. Cancellation-class errors come back as a
+// *CancelError carrying how many pairs completed.
 func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 	bp, pp := &jn.bp, &jn.pp
 	n := bp.fanout()
@@ -55,22 +68,26 @@ func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 
 	if workers == 1 {
 		j := jn.worker(0, data, cfg)
-		maxDepth := 0
+		maxDepth, pairsDone := 0, 0
 		var err error
 		func() {
 			defer arena.RecoverOOM(&err)
 			for i := 0; i < n; i++ {
+				if err = claimCheck(cfg); err != nil {
+					return
+				}
 				var d int
 				if d, err = j.joinPairBudget(bp.part(i), pp.part(i), bp.bits, cfg, 0); err != nil {
 					return
 				}
+				pairsDone++
 				if d > maxDepth {
 					maxDepth = d
 				}
 			}
 		}()
 		if err != nil {
-			return Result{Workers: 1}, err
+			return Result{Workers: 1}, asCancel(err, pairsDone, n, j.nOutput)
 		}
 		return Result{NOutput: j.nOutput, KeySum: j.keySum, Workers: 1, RecursionDepth: maxDepth}, nil
 	}
@@ -79,8 +96,9 @@ func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 		nOutput int
 		keySum  uint64
 		depth   int
+		pairs   int
 		err     error
-		_       [24]byte // pad accumulators to distinct cache lines
+		_       [16]byte // pad accumulators to distinct cache lines
 	}
 	accs := make([]acc, workers)
 	var next atomic.Int64
@@ -92,15 +110,18 @@ func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 		go func(w int, j *pairJoiner) {
 			defer wg.Done()
 			var err error
-			maxDepth := 0
+			maxDepth, pairsDone := 0, 0
 			defer func() {
-				accs[w] = acc{nOutput: j.nOutput, keySum: j.keySum, depth: maxDepth, err: err}
+				accs[w] = acc{nOutput: j.nOutput, keySum: j.keySum, depth: maxDepth, pairs: pairsDone, err: err}
 				if err != nil {
 					failed.Store(true)
 				}
 			}()
 			defer arena.RecoverOOM(&err)
 			for !failed.Load() {
+				if err = claimCheck(cfg); err != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					break
@@ -109,6 +130,7 @@ func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 				if d, err = j.joinPairBudget(bp.part(i), pp.part(i), bp.bits, cfg, 0); err != nil {
 					return
 				}
+				pairsDone++
 				if d > maxDepth {
 					maxDepth = d
 				}
@@ -119,15 +141,21 @@ func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 
 	var r Result
 	r.Workers = workers
+	var firstErr error
+	pairsDone := 0
 	for w := range accs {
-		if accs[w].err != nil {
-			return Result{Workers: workers}, accs[w].err
+		if accs[w].err != nil && firstErr == nil {
+			firstErr = accs[w].err
 		}
 		r.NOutput += accs[w].nOutput
 		r.KeySum += accs[w].keySum
+		pairsDone += accs[w].pairs
 		if accs[w].depth > r.RecursionDepth {
 			r.RecursionDepth = accs[w].depth
 		}
+	}
+	if firstErr != nil {
+		return Result{Workers: workers}, asCancel(firstErr, pairsDone, n, r.NOutput)
 	}
 	return r, nil
 }

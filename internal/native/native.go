@@ -38,6 +38,8 @@
 package native
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -137,6 +139,13 @@ type Config struct {
 	// NoSpill disables the disk tier: an irreducible over-budget pair
 	// then fails with *BudgetError, the pre-spill behavior.
 	NoSpill bool
+
+	// Ctx cancels the join cooperatively: morsel workers check it before
+	// claiming each partition pair and the spill tier checks it at page
+	// boundaries, so a cancelled join stops within one pair claim or one
+	// spill page of the signal and returns a *CancelError with partial
+	// progress. nil means context.Background (never cancelled).
+	Ctx context.Context
 }
 
 // Native default tuning parameters. Chosen empirically for modern amd64
@@ -163,6 +172,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Workers < 1 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
 	}
 	return c
 }
@@ -212,6 +224,8 @@ func (e *BudgetError) Error() string {
 		"native: partition pair needs ~%d bytes, budget %d: re-partitioning gave up at depth %d (skewed or infeasible budget)",
 		e.Need, e.Budget, e.Depth)
 }
+
+func (e *BudgetError) Unwrap() error { return ErrOverBudget }
 
 // Joiner is a resident join executor: it owns the partition scratch,
 // hash tables, and per-worker state, and recycles them across Join
@@ -263,6 +277,9 @@ func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) (Result, erro
 	}()
 
 	start := time.Now()
+	if err := cfg.Ctx.Err(); err != nil {
+		return Result{}, asCancel(err, 0, 0, 0)
+	}
 	fanout := cfg.Fanout
 	if fanout == 0 {
 		fanout = fanoutFor(build.NTuples, cfg.MemBudget)
@@ -277,6 +294,10 @@ func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) (Result, erro
 		err = spErr
 	}
 	if err != nil {
+		var ce *CancelError
+		if errors.As(err, &ce) {
+			ce.Elapsed = time.Since(start)
+		}
 		return Result{}, err
 	}
 	end := time.Now()

@@ -1,6 +1,7 @@
 package native
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
 
@@ -37,6 +38,7 @@ type spillState struct {
 	buildWidth int
 	probeWidth int
 	budget     int
+	ctx        context.Context // nil: never cancelled
 
 	mu    sync.Mutex
 	m     *spill.Manager
@@ -66,6 +68,7 @@ func newSpillState(build, probe *storage.Relation, cfg Config) *spillState {
 		buildWidth: bs.FixedWidth(),
 		probeWidth: ps.FixedWidth(),
 		budget:     cfg.MemBudget,
+		ctx:        cfg.Ctx,
 	}
 }
 
@@ -75,7 +78,7 @@ func newSpillState(build, probe *storage.Relation, cfg Config) *spillState {
 // progress — that is why the spill tier cannot fail on size.
 func (sp *spillState) chunkPages() int {
 	perPage := spill.DefaultPageSize +
-		storage.CapacityFor(spill.DefaultPageSize, sp.buildWidth)*(entrySize+headerSize+cellSize/2)
+		spill.PageCapacity(spill.DefaultPageSize, sp.buildWidth)*(entrySize+headerSize+cellSize/2)
 	n := sp.budget / perPage
 	if n < 1 {
 		n = 1
@@ -96,6 +99,7 @@ func (sp *spillState) manager() (*spill.Manager, error) {
 			Workers:   sp.workers,
 			PoolPages: sp.chunkPages() + 3*sp.workers + 4,
 			A:         sp.a,
+			Ctx:       sp.ctx,
 		})
 	}
 	return sp.m, sp.merr

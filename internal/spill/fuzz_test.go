@@ -3,6 +3,8 @@ package spill
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"os"
 	"testing"
 
 	"hashjoin/internal/arena"
@@ -84,6 +86,97 @@ func FuzzSpillRoundTrip(f *testing.F) {
 		}
 		if got != len(tuples) {
 			t.Fatalf("read %d tuples, want %d", got, len(tuples))
+		}
+	})
+}
+
+// FuzzPageCorruption flips one fuzzer-chosen byte anywhere in a spilled
+// partition file and asserts the integrity check rejects it: the read
+// must fail with a *CorruptPageError naming exactly the page that holds
+// the flipped byte, every page before it must decode intact, and no
+// page at or after it may ever be delivered (no false accepts).
+func FuzzPageCorruption(f *testing.F) {
+	f.Add(uint16(300), uint32(0), uint8(0x01))
+	f.Add(uint16(50), uint32(700), uint8(0x80))
+	f.Add(uint16(1), uint32(20), uint8(0xff))
+	f.Fuzz(func(t *testing.T, nTuples uint16, flipOff uint32, xor uint8) {
+		if xor == 0 {
+			return // not a corruption
+		}
+		const width = 24
+		m, err := NewManager(Config{
+			Dir:      t.TempDir(),
+			PageSize: minPageSize,
+			A:        arena.New(1 << 20),
+		})
+		if err != nil {
+			t.Fatalf("NewManager: %v", err)
+		}
+		defer m.Close()
+		w, err := m.NewWriter()
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		n := int(nTuples)%1000 + 1
+		for i := 0; i < n; i++ {
+			if err := w.Append(tupleFor(i, width), uint32(i)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+
+		fileSize := int64(w.NPages()) * int64(minPageSize)
+		off := int64(flipOff) % fileSize
+		target := int(off / minPageSize)
+		fl, err := os.OpenFile(w.Path(), os.O_RDWR, 0)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		b := make([]byte, 1)
+		if _, err := fl.ReadAt(b, off); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+		b[0] ^= xor
+		if _, err := fl.WriteAt(b, off); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+		fl.Close()
+
+		r := w.OpenReader()
+		defer r.Close()
+		page := 0
+		for {
+			pg, ok, err := r.Next()
+			if err != nil {
+				var cpe *CorruptPageError
+				if !errors.As(err, &cpe) {
+					t.Fatalf("page %d: err = %T %v, want *CorruptPageError", page, err, err)
+				}
+				if cpe.Page != target {
+					t.Fatalf("corruption reported at page %d, flipped byte is in page %d", cpe.Page, target)
+				}
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("errors.Is(ErrCorrupt) = false for %v", err)
+				}
+				return
+			}
+			if !ok {
+				t.Fatalf("partition with a flipped byte in page %d read to completion", target)
+			}
+			if page >= target {
+				t.Fatalf("page %d delivered past the corrupted page %d (false accept)", page, target)
+			}
+			// Intact prefix pages must decode their original tuples.
+			v := pg.View()
+			for i := 0; i < pg.NTuples(); i++ {
+				if v.HashCode(i) >= uint32(n) {
+					t.Fatalf("page %d slot %d decoded foreign hash code %d", page, i, v.HashCode(i))
+				}
+			}
+			m.Release(pg)
+			page++
 		}
 	})
 }

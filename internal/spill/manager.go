@@ -22,6 +22,7 @@
 package spill
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"hashjoin/internal/arena"
+	"hashjoin/internal/fault"
 )
 
 const (
@@ -66,6 +68,10 @@ type Config struct {
 	PoolPages int
 	// A is the arena the buffer pool is allocated from. Required.
 	A *arena.Arena
+	// Ctx, when non-nil, cancels spilling cooperatively: Writers check it
+	// at page boundaries and Readers before each delivered page, so a
+	// cancelled join stops within one page of I/O.
+	Ctx context.Context
 }
 
 // Stats is a snapshot of a Manager's I/O counters.
@@ -75,6 +81,12 @@ type Stats struct {
 	BytesWritten int64
 	PagesRead    int64
 	BytesRead    int64
+
+	// WriteRetries and ReadRetries count page I/Os that were retried
+	// after a transient error (bounded retry with backoff); permanent
+	// errors skip retry and fail the join via the sticky first error.
+	WriteRetries int64
+	ReadRetries  int64
 
 	// WriteStall is time spent waiting for a free pool buffer on the
 	// encode path — the time write-behind failed to hide. ReadStall is
@@ -92,6 +104,7 @@ type Manager struct {
 	a        *arena.Arena
 	dir      string
 	pageSize int
+	ctx      context.Context // nil: never cancelled
 
 	pool   chan pageBuf
 	writeq chan writeReq
@@ -108,6 +121,8 @@ type Manager struct {
 	bytesWritten atomic.Int64
 	pagesRead    atomic.Int64
 	bytesRead    atomic.Int64
+	writeRetries atomic.Int64
+	readRetries  atomic.Int64
 	writeStallNs atomic.Int64
 	readStallNs  atomic.Int64
 }
@@ -115,6 +130,7 @@ type Manager struct {
 // writeReq is one full page travelling to a write-behind worker.
 type writeReq struct {
 	w   *Writer
+	idx int // page index within the partition, sealed into the header
 	off int64
 	buf pageBuf
 }
@@ -153,6 +169,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		a:        cfg.A,
 		dir:      dir,
 		pageSize: pageSize,
+		ctx:      cfg.Ctx,
 		pool:     make(chan pageBuf, poolPages),
 		writeq:   make(chan writeReq, 2*workers),
 	}
@@ -185,6 +202,8 @@ func (m *Manager) Stats() Stats {
 		BytesWritten: m.bytesWritten.Load(),
 		PagesRead:    m.pagesRead.Load(),
 		BytesRead:    m.bytesRead.Load(),
+		WriteRetries: m.writeRetries.Load(),
+		ReadRetries:  m.readRetries.Load(),
 		WriteStall:   time.Duration(m.writeStallNs.Load()),
 		ReadStall:    time.Duration(m.readStallNs.Load()),
 	}
@@ -214,10 +233,23 @@ func (m *Manager) Close() error {
 			first = err
 		}
 	}
-	if err := os.RemoveAll(m.dir); err != nil && first == nil {
+	if err := fault.Hit(fault.SiteSpillRemove); err != nil {
+		if first == nil {
+			first = fmt.Errorf("spill: removing %s: %w", m.dir, err)
+		}
+	} else if err := os.RemoveAll(m.dir); err != nil && first == nil {
 		first = err
 	}
 	return first
+}
+
+// ctxErr reports the Manager's cancellation state; nil Ctx never
+// cancels.
+func (m *Manager) ctxErr() error {
+	if m.ctx == nil {
+		return nil
+	}
+	return m.ctx.Err()
 }
 
 // writeWorker is the write-behind loop: pop a full page, write it at its
@@ -225,15 +257,40 @@ func (m *Manager) Close() error {
 func (m *Manager) writeWorker() {
 	defer m.wwg.Done()
 	for req := range m.writeq {
-		if _, err := req.w.f.WriteAt(req.buf.b, req.off); err != nil {
-			req.w.setErr(err)
-		} else {
-			m.pagesWritten.Add(1)
-			m.bytesWritten.Add(int64(len(req.buf.b)))
+		m.writePage(req)
+	}
+}
+
+// writePage seals and writes one page. Panics (fault-injected or
+// otherwise) are contained into the writer's sticky error so the buffer
+// still returns to the pool and pending.Done still runs — a failed write
+// must never deadlock Finish or Close.
+func (m *Manager) writePage(req writeReq) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := fault.AsInjected(r); ok {
+				req.w.setErr(e)
+			} else {
+				req.w.setErr(fmt.Errorf("spill: write worker panic: %v", r))
+			}
 		}
 		m.release(req.buf)
 		req.w.pending.Done()
+	}()
+	sealPage(req.buf.b, uint32(req.idx))
+	err := retryIO(&m.writeRetries, func() error {
+		if err := fault.Hit(fault.SiteSpillWrite); err != nil {
+			return err
+		}
+		_, err := req.w.f.WriteAt(req.buf.b, req.off)
+		return err
+	})
+	if err != nil {
+		req.w.setErr(err)
+		return
 	}
+	m.pagesWritten.Add(1)
+	m.bytesWritten.Add(int64(len(req.buf.b)))
 }
 
 // acquire takes a buffer from the pool, charging any wait to stallNs —
@@ -266,6 +323,9 @@ func (m *Manager) newFile() (*os.File, error) {
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, fmt.Errorf("spill: manager closed")
+	}
+	if err := fault.Hit(fault.SiteSpillCreate); err != nil {
+		return nil, fmt.Errorf("spill: creating partition: %w", err)
 	}
 	f, err := os.Create(filepath.Join(m.dir, fmt.Sprintf("part-%04d.spill", m.nfiles)))
 	if err != nil {

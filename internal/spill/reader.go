@@ -5,6 +5,7 @@ import (
 	"os"
 	"time"
 
+	"hashjoin/internal/fault"
 	"hashjoin/internal/storage"
 )
 
@@ -52,10 +53,16 @@ func (w *Writer) OpenReader() *Reader {
 
 // Next delivers the next page, issuing the following page's read before
 // returning. ok is false at end of partition. The caller owns the page
-// until Manager.Release.
+// until Manager.Release. Every page is integrity-checked (magic,
+// version, index, CRC32C) before its payload is decoded; a failed check
+// returns a *CorruptPageError and poisons the reader. Cancellation is
+// checked before each delivered page.
 func (r *Reader) Next() (Page, bool, error) {
 	if r.next >= r.npages {
 		return Page{}, false, nil
+	}
+	if err := r.m.ctxErr(); err != nil {
+		return Page{}, false, err
 	}
 	if r.issued == r.next {
 		r.issue()
@@ -78,14 +85,29 @@ func (r *Reader) Next() (Page, bool, error) {
 	if r.issued < r.npages {
 		r.issue()
 	}
-	view := storage.Page{A: r.m.a, Addr: res.buf.addr, Size: r.m.pageSize}
+	if reason := verifyPage(res.buf.b, uint32(idx)); reason != "" {
+		return Page{}, false, r.corrupt(res.buf, idx, reason)
+	}
+	view := storage.Page{A: r.m.a, Addr: res.buf.addr + HeaderSize, Size: r.m.pageSize - HeaderSize}
 	if got := view.PageID(); got != uint32(idx) {
-		r.m.release(res.buf)
-		r.next = r.npages
-		return Page{}, false, fmt.Errorf("spill: page %d of %s decoded id %d (corrupt spill file)",
-			idx, r.f.Name(), got)
+		return Page{}, false, r.corrupt(res.buf, idx,
+			fmt.Sprintf("payload decoded page id %d (want %d)", got, idx))
 	}
 	return Page{buf: res.buf, view: view}, true, nil
+}
+
+// corrupt releases the failed page's buffer, abandons the already-
+// issued read-ahead, poisons the reader, and builds the typed
+// corruption error.
+func (r *Reader) corrupt(buf pageBuf, idx int, reason string) error {
+	r.m.release(buf)
+	r.abandon()
+	return &CorruptPageError{
+		File:   r.f.Name(),
+		Page:   idx,
+		Offset: int64(idx) * int64(r.m.pageSize),
+		Reason: reason,
+	}
 }
 
 // issue starts the read of page r.issued into a fresh pool buffer. The
@@ -98,7 +120,25 @@ func (r *Reader) issue() {
 	r.m.rwg.Add(1)
 	go func() {
 		defer r.m.rwg.Done()
-		_, err := r.f.ReadAt(buf.b, off)
+		// Contain panics (fault-injected or otherwise) into the result:
+		// the buffer must reach the ahead channel either way, or Next and
+		// Close would deadlock waiting for it.
+		defer func() {
+			if rec := recover(); rec != nil {
+				err, ok := fault.AsInjected(rec)
+				if !ok {
+					err = fmt.Errorf("spill: read worker panic: %v", rec)
+				}
+				r.ahead <- readRes{buf: buf, err: err}
+			}
+		}()
+		err := retryIO(&r.m.readRetries, func() error {
+			if err := fault.Hit(fault.SiteSpillRead); err != nil {
+				return err
+			}
+			_, err := r.f.ReadAt(buf.b, off)
+			return err
+		})
 		if err == nil {
 			r.m.pagesRead.Add(1)
 			r.m.bytesRead.Add(int64(len(buf.b)))
@@ -110,7 +150,11 @@ func (r *Reader) issue() {
 // Close releases the in-flight read-ahead buffer, if any. It does not
 // touch the partition file (the Manager owns it) and is required even
 // after Next returned done or an error.
-func (r *Reader) Close() {
+func (r *Reader) Close() { r.abandon() }
+
+// abandon drains any in-flight read-ahead back into the pool and
+// poisons the reader so further Next calls return done.
+func (r *Reader) abandon() {
 	if r.issued > r.next && r.issued <= r.npages {
 		res := <-r.ahead
 		r.m.release(res.buf)

@@ -5,6 +5,7 @@ import (
 	"os"
 	"sync"
 
+	"hashjoin/internal/fault"
 	"hashjoin/internal/storage"
 )
 
@@ -35,15 +36,25 @@ func (m *Manager) NewWriter() (*Writer, error) {
 	return &Writer{m: m, f: f}, nil
 }
 
+// Path returns the partition file's path (for error reporting).
+func (w *Writer) Path() string { return w.f.Name() }
+
 // Append encodes one tuple with its memoized hash code. A page that
 // fills is handed to the write-behind queue and a fresh buffer taken
 // from the pool; the only wait on this path is pool pressure (charged
-// to WriteStall).
+// to WriteStall). Cancellation is checked at page boundaries, so a
+// cancelled join stops spilling within one page.
 func (w *Writer) Append(tuple []byte, code uint32) error {
 	if !w.hasCur {
+		if err := w.m.ctxErr(); err != nil {
+			return err
+		}
 		w.newPage()
 	}
 	if !w.page.Append(tuple, code) {
+		if err := w.m.ctxErr(); err != nil {
+			return err
+		}
 		w.flush()
 		w.newPage()
 		if !w.page.Append(tuple, code) {
@@ -81,12 +92,18 @@ func (w *Writer) Finish() error {
 		}
 	}
 	w.pending.Wait()
+	if err := fault.Hit(fault.SiteSpillSync); err != nil {
+		w.setErr(fmt.Errorf("spill: finishing %s: %w", w.f.Name(), err))
+	}
 	return w.firstErr()
 }
 
+// newPage takes a pool buffer and initializes a slotted page in its
+// payload region, past the integrity header (sealed at write time).
 func (w *Writer) newPage() {
 	w.cur = w.m.acquire(&w.m.writeStallNs)
-	w.page = storage.InitPage(w.m.a, w.cur.addr, w.m.pageSize, uint32(w.npages))
+	w.page = storage.InitPage(w.m.a, w.cur.addr+HeaderSize,
+		w.m.pageSize-HeaderSize, uint32(w.npages))
 	w.hasCur = true
 }
 
@@ -95,7 +112,7 @@ func (w *Writer) newPage() {
 // the valid region), so reads can fetch fixed-size pages.
 func (w *Writer) flush() {
 	w.pending.Add(1)
-	w.m.writeq <- writeReq{w: w, off: int64(w.npages) * int64(w.m.pageSize), buf: w.cur}
+	w.m.writeq <- writeReq{w: w, idx: w.npages, off: int64(w.npages) * int64(w.m.pageSize), buf: w.cur}
 	w.npages++
 	w.hasCur = false
 }

@@ -1,6 +1,7 @@
 package hashjoin
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -147,10 +148,20 @@ func NewNativeJoiner() *NativeJoiner {
 // of core through disk-backed spill partitions; Join returns a
 // *native.BudgetError only under WithNativeNoSpill.
 func (e *NativeJoiner) Join(build, probe *Relation, opts ...NativeOption) (NativeResult, error) {
+	return e.JoinContext(context.Background(), build, probe, opts...)
+}
+
+// JoinContext is Join under a context: morsel workers check it before
+// claiming each partition pair and the spill tier checks it at page
+// boundaries, so cancellation or deadline expiry stops the join within
+// one pair claim or spill page. A cancelled join returns a *CancelError
+// that matches both ErrCancelled and the context's own error, and
+// reports how many partition pairs had completed.
+func (e *NativeJoiner) JoinContext(ctx context.Context, build, probe *Relation, opts ...NativeOption) (NativeResult, error) {
 	if build.env == nil || build.env != probe.env {
 		panic("hashjoin: NativeJoin relations must share an Env")
 	}
-	cfg := native.Config{Scheme: native.Group}
+	cfg := native.Config{Scheme: native.Group, Ctx: ctx}
 	for _, o := range opts {
 		o(&cfg)
 	}

@@ -9,6 +9,7 @@ package hashjoin
 // no way to compose either into a larger query.
 
 import (
+	"context"
 	"time"
 
 	"hashjoin/internal/engine"
@@ -176,6 +177,17 @@ type PipelineResult struct {
 // error with a usage breakdown, never a panic, including from morsel
 // worker goroutines.
 func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) (PipelineResult, error) {
+	return e.RunPipelineContext(context.Background(), build, probe, opts...)
+}
+
+// RunPipelineContext is RunPipeline under a context. Scans check it at
+// every batch boundary (both backends), the native morsel join before
+// each partition-pair claim, and the spill tier at page boundaries —
+// so cancellation or deadline expiry stops the run within one batch or
+// page of the event. A cancelled run returns a *CancelError that
+// matches both ErrCancelled and the context's own error; the native
+// join's cancellation also reports partition-pair progress.
+func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, opts ...PipelineOption) (PipelineResult, error) {
 	if build.env != e || probe.env != e {
 		panic("hashjoin: relations belong to a different Env")
 	}
@@ -207,6 +219,7 @@ func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) (Pipel
 		SpillWorkers: pc.spillWorkers,
 		NoSpill:      pc.noSpill,
 		Report:       &report,
+		Ctx:          ctx,
 	}
 
 	var res PipelineResult
@@ -219,7 +232,7 @@ func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) (Pipel
 	if pc.hasAgg {
 		groups, err := engine.Groups(root, e.mem.A)
 		if err != nil {
-			return PipelineResult{}, err
+			return PipelineResult{}, wrapCancel(err, time.Since(start))
 		}
 		for _, g := range groups {
 			res.Groups = append(res.Groups, GroupStat{Key: g.Key, Count: g.Count, Sum: g.Sum})
@@ -229,7 +242,7 @@ func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) (Pipel
 	} else {
 		r, err := engine.Run(root, e.mem.A)
 		if err != nil {
-			return PipelineResult{}, err
+			return PipelineResult{}, wrapCancel(err, time.Since(start))
 		}
 		res.NOutput, res.KeySum = r.NRows, r.KeySum
 	}
