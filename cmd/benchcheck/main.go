@@ -1,10 +1,10 @@
 // Command benchcheck validates the repo's machine-readable benchmark
-// trajectories — BENCH_native.json, BENCH_pipeline.json, and
-// BENCH_spill.json — so CI fails fast when a benchmark stops emitting
-// its document or emits one with missing keys, non-positive timings, or
-// (for the spill trajectory) an empty or malformed worker sweep. It
-// checks shape and sanity, not performance: timing values must be
-// positive, not fast.
+// trajectories — BENCH_native.json, BENCH_pipeline.json,
+// BENCH_spill.json, and BENCH_serve.json — so CI fails fast when a
+// benchmark stops emitting its document or emits one with missing keys,
+// non-positive timings, or (for the spill and serve trajectories) an
+// empty or malformed sweep. It checks shape and sanity, not
+// performance: timing values must be positive, not fast.
 //
 // Usage:
 //
@@ -39,6 +39,10 @@ var numKeys = map[string][]string{
 		"mem_budget", "page_size", "gomaxprocs",
 		"spilled_pairs", "bytes_written", "bytes_read",
 	},
+	"BENCH_serve.json": {
+		"n_build", "n_probe", "tuple_size", "fanout",
+		"max_in_flight", "gomaxprocs",
+	},
 }
 
 func main() {
@@ -46,7 +50,7 @@ func main() {
 	flag.Parse()
 
 	failed := false
-	for _, name := range []string{"BENCH_native.json", "BENCH_pipeline.json", "BENCH_spill.json"} {
+	for _, name := range []string{"BENCH_native.json", "BENCH_pipeline.json", "BENCH_spill.json", "BENCH_serve.json"} {
 		if errs := checkFile(filepath.Join(*dir, name), numKeys[name]); len(errs) > 0 {
 			failed = true
 			for _, e := range errs {
@@ -83,8 +87,44 @@ func checkFile(path string, keys []string) []error {
 	if _, ok := doc["prefetch_asm"].(bool); !ok {
 		errs = append(errs, fmt.Errorf("key %q missing or not a bool", "prefetch_asm"))
 	}
-	if filepath.Base(path) == "BENCH_spill.json" {
+	switch filepath.Base(path) {
+	case "BENCH_spill.json":
 		errs = append(errs, checkSpillPoints(doc)...)
+	case "BENCH_serve.json":
+		errs = append(errs, checkServePoints(doc)...)
+	}
+	return errs
+}
+
+// checkServePoints validates the concurrency sweep: at least one point,
+// strictly ascending concurrency levels, and positive wall clock,
+// throughput, and per-query timings at every level.
+func checkServePoints(doc map[string]any) []error {
+	points, ok := doc["points"].([]any)
+	if !ok || len(points) == 0 {
+		return []error{fmt.Errorf("key %q missing or empty", "points")}
+	}
+	var errs []error
+	prev := 0.0
+	for i, p := range points {
+		pt, ok := p.(map[string]any)
+		if !ok {
+			errs = append(errs, fmt.Errorf("points[%d]: not an object", i))
+			continue
+		}
+		c, ok := num(pt["concurrency"])
+		if !ok || c <= 0 {
+			errs = append(errs, fmt.Errorf("points[%d]: concurrency missing or non-positive", i))
+		} else if c <= prev {
+			errs = append(errs, fmt.Errorf("points[%d]: concurrency %v not ascending (prev %v)", i, c, prev))
+		} else {
+			prev = c
+		}
+		for _, k := range []string{"wave_ms", "queries_per_second", "query_ms"} {
+			if v, ok := num(pt[k]); !ok || v <= 0 {
+				errs = append(errs, fmt.Errorf("points[%d]: %s missing or non-positive", i, k))
+			}
+		}
 	}
 	return errs
 }

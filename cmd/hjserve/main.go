@@ -1,0 +1,92 @@
+// Command hjserve runs the hash-join laboratory as a long-lived
+// multi-tenant service: one resident Env in service mode, shared by
+// every connection, with admission control arbitrating the arena and a
+// shared worker pool scheduling morsels fairly across tenants.
+//
+// It speaks a line-oriented TCP protocol — one command per line, one
+// response line per command:
+//
+//	pair name=t1 build=10000 probe=20000 tuple=40 seed=1
+//	query pair=t1 fanout=8 agg=1 timeout=2s
+//	stats
+//	ping
+//	quit
+//
+// Successful commands answer "ok k=v ...". Failures answer
+//
+//	err status=<word> code=<n> msg="..."
+//
+// where status/code carry the same taxonomy the batch tools exit with:
+// ok=0, failure=1, usage=2, memory=3, cancelled=4. A query shed for
+// size reports memory; one shed by queue timeout reports cancelled; a
+// full queue or a draining server reports failure (retryable).
+//
+// An HTTP side door serves GET /healthz (503 while draining) and GET
+// /stats (JSON counters). SIGINT/SIGTERM drains gracefully: queued
+// queries are shed, in-flight queries finish, then the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hashjoin"
+	"hashjoin/internal/cli"
+)
+
+const prog = "hjserve"
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7411", "protocol listen address (port 0 picks a free port)")
+		httpAddr   = flag.String("http", "127.0.0.1:7412", "HTTP health/stats listen address (port 0 picks a free port)")
+		capacity   = flag.Uint64("capacity", 256<<20, "arena capacity in bytes")
+		budget     = flag.Uint64("budget", 0, "arena soft budget in bytes (0 = capacity only)")
+		maxConc    = flag.Int("max-concurrent", 0, "queries in flight at once (0 = 8)")
+		queueDepth = flag.Int("queue-depth", 0, "admission queue bound (0 = 64)")
+		queueWait  = flag.Duration("queue-timeout", 0, "shed queries queued longer than this (0 = no server-side bound)")
+		workers    = flag.Int("workers", 0, "shared morsel pool size (0 = all CPUs)")
+		queryCap   = flag.Duration("query-timeout", time.Minute, "cap on per-query timeout= requests (0 = uncapped)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Fatalf(prog, "unexpected arguments: %v", flag.Args())
+	}
+	if *capacity == 0 {
+		cli.Fatalf(prog, "-capacity must be positive")
+	}
+
+	s := newServer(serverOptions{
+		addr:     *addr,
+		httpAddr: *httpAddr,
+		capacity: *capacity,
+		budget:   *budget,
+		service: hashjoin.ServiceConfig{
+			MaxConcurrent: *maxConc,
+			QueueDepth:    *queueDepth,
+			QueueTimeout:  *queueWait,
+			Workers:       *workers,
+		},
+		queryTimeout: *queryCap,
+	})
+	if err := s.listen(); err != nil {
+		cli.Dief(prog, "%v", err)
+	}
+	fmt.Printf("%s: listening addr=%s http=%s\n", prog, s.ln.Addr(), s.hln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Printf("%s: draining\n", prog)
+		s.shutdown()
+	}()
+
+	s.serve()    // returns when the listener closes
+	s.shutdown() // idempotent: waits for the drain either way
+	fmt.Printf("%s: drained\n", prog)
+}

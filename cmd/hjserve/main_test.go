@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"hashjoin"
+	"hashjoin/internal/fault"
+)
+
+// startServer runs a server on free ports and returns it with a
+// cleanup that drains it.
+func startServer(t *testing.T, opts serverOptions) *server {
+	t.Helper()
+	if opts.addr == "" {
+		opts.addr = "127.0.0.1:0"
+	}
+	if opts.httpAddr == "" {
+		opts.httpAddr = "127.0.0.1:0"
+	}
+	if opts.capacity == 0 {
+		opts.capacity = 128 << 20
+	}
+	s := newServer(opts)
+	if err := s.listen(); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.serve()
+		close(done)
+	}()
+	t.Cleanup(func() {
+		s.shutdown()
+		<-done
+	})
+	return s
+}
+
+// client is one protocol connection.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, s *server) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// roundTrip sends one command and returns the response line.
+func (c *client) roundTrip(t *testing.T, cmd string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(c.conn, cmd); err != nil {
+		t.Fatalf("send %q: %v", cmd, err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read response to %q: %v", cmd, err)
+	}
+	return strings.TrimSpace(line)
+}
+
+// kv parses an "ok k=v ..." or "err k=v ..." response line.
+func kv(t *testing.T, line string) (string, map[string]string) {
+	t.Helper()
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		t.Fatalf("empty response")
+	}
+	m := make(map[string]string)
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			// msg="..." may contain spaces; keep whatever parses.
+			continue
+		}
+		m[k] = v
+	}
+	return fields[0], m
+}
+
+func mustInt(t *testing.T, m map[string]string, key string) int {
+	t.Helper()
+	n, err := strconv.Atoi(m[key])
+	if err != nil {
+		t.Fatalf("response key %s=%q is not an integer", key, m[key])
+	}
+	return n
+}
+
+func TestServeProtocolBasics(t *testing.T) {
+	s := startServer(t, serverOptions{})
+	c := dial(t, s)
+
+	if line := c.roundTrip(t, "ping"); line != "ok" {
+		t.Fatalf("ping: %q", line)
+	}
+
+	status, m := kv(t, c.roundTrip(t, "pair name=t1 build=2000 probe=4000 tuple=40 seed=7"))
+	if status != "ok" {
+		t.Fatalf("pair: %v %v", status, m)
+	}
+	wantRows := mustInt(t, m, "matches")
+	wantSum := m["keysum"]
+
+	status, m = kv(t, c.roundTrip(t, "query pair=t1 fanout=4 agg=1"))
+	if status != "ok" {
+		t.Fatalf("query: %v %v", status, m)
+	}
+	if got := mustInt(t, m, "rows"); got != wantRows {
+		t.Fatalf("rows = %d, want %d", got, wantRows)
+	}
+	if m["keysum"] != wantSum {
+		t.Fatalf("keysum = %s, want %s", m["keysum"], wantSum)
+	}
+	if mustInt(t, m, "morsels") == 0 {
+		t.Fatal("morsels = 0 for a fanout-4 query")
+	}
+	if mustInt(t, m, "admitted_bytes") == 0 {
+		t.Fatal("admitted_bytes = 0: query did not get a window")
+	}
+
+	// The sim engine answers the same logical result.
+	status, m = kv(t, c.roundTrip(t, "query pair=t1 engine=sim agg=1"))
+	if status != "ok" || mustInt(t, m, "rows") != wantRows {
+		t.Fatalf("sim query: %v %v", status, m)
+	}
+
+	status, m = kv(t, c.roundTrip(t, "stats"))
+	if status != "ok" || mustInt(t, m, "queries_ok") != 2 || mustInt(t, m, "in_flight") != 0 {
+		t.Fatalf("stats: %v %v", status, m)
+	}
+
+	if line := c.roundTrip(t, "quit"); !strings.HasPrefix(line, "ok") {
+		t.Fatalf("quit: %q", line)
+	}
+}
+
+// TestServeStatusTaxonomy pins the wire statuses onto the exit-code
+// taxonomy: usage=2 for protocol mistakes, memory=3 for an impossible
+// footprint, cancelled=4 for a timeout.
+func TestServeStatusTaxonomy(t *testing.T) {
+	s := startServer(t, serverOptions{
+		capacity: 64 << 20,
+		budget:   8 << 20,
+		service:  hashjoin.ServiceConfig{MaxConcurrent: 1},
+	})
+	c := dial(t, s)
+	if status, _ := kv(t, c.roundTrip(t, "pair name=t1 build=1000 tuple=40")); status != "ok" {
+		t.Fatal("pair failed")
+	}
+
+	cases := []struct {
+		cmd    string
+		status string
+		code   int
+	}{
+		{"bogus", "usage", 2},
+		{"query pair=missing", "usage", 2},
+		{"query pair=t1 fanout=abc", "usage", 2},
+		{"query pair=t1 nonsense=1", "usage", 2},
+		{"pair name=t2 build=1000 tuple=4", "usage", 2},
+		{"query pair=t1 planned=33554432", "memory", 3}, // 32 MB window > 8 MB budget
+		{"query pair=t1 timeout=1ns", "cancelled", 4},
+	}
+	for _, tc := range cases {
+		status, m := kv(t, c.roundTrip(t, tc.cmd))
+		if status != "err" || m["status"] != tc.status || mustInt(t, m, "code") != tc.code {
+			t.Errorf("%q -> %s %v, want err status=%s code=%d", tc.cmd, status, m, tc.status, tc.code)
+		}
+	}
+
+	// Errors did not wedge the slot: a clean query still runs.
+	if status, _ := kv(t, c.roundTrip(t, "query pair=t1")); status != "ok" {
+		t.Fatal("post-error query failed")
+	}
+}
+
+// TestServeConcurrentClients drives parallel connections through the
+// same pair and checks every one gets the exact result while the HTTP
+// side door stays responsive.
+func TestServeConcurrentClients(t *testing.T) {
+	base := fault.Goroutines()
+	s := startServer(t, serverOptions{service: hashjoin.ServiceConfig{MaxConcurrent: 4}})
+	setup := dial(t, s)
+	status, m := kv(t, setup.roundTrip(t, "pair name=t1 build=3000 probe=6000 tuple=40 seed=3"))
+	if status != "ok" {
+		t.Fatal("pair failed")
+	}
+	wantRows := mustInt(t, m, "matches")
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.ln.Addr().String())
+			if err != nil {
+				t.Errorf("client %d dial: %v", i, err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for q := 0; q < 3; q++ {
+				fmt.Fprintf(conn, "query pair=t1 fanout=4 weight=%d agg=1\n", 1+i%3)
+				line, err := r.ReadString('\n')
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				fields := strings.Fields(strings.TrimSpace(line))
+				if len(fields) == 0 || fields[0] != "ok" {
+					t.Errorf("client %d: %q", i, line)
+					return
+				}
+				for _, f := range fields[1:] {
+					if k, v, _ := strings.Cut(f, "="); k == "rows" && v != strconv.Itoa(wantRows) {
+						t.Errorf("client %d: rows=%s, want %d", i, v, wantRows)
+					}
+				}
+			}
+		}(i)
+	}
+
+	// Health and stats under load.
+	hurl := "http://" + s.hln.Addr().String()
+	resp, err := http.Get(hurl + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under load: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	wg.Wait()
+
+	resp, err = http.Get(hurl + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	resp.Body.Close()
+	if got := stats["queries_ok"].(float64); got != clients*3 {
+		t.Fatalf("queries_ok = %v, want %d", got, clients*3)
+	}
+	if got := stats["in_flight"].(float64); got != 0 {
+		t.Fatalf("in_flight = %v after the wave", got)
+	}
+
+	// Drain: later connections are refused, health turns 503, no
+	// goroutines leak.
+	s.shutdown()
+	if _, err := net.Dial("tcp", s.ln.Addr().String()); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
+	resp, err = http.Get(hurl + "/healthz")
+	if err == nil {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("healthz after drain: %d, want 503", resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	fault.CheckGoroutines(t, base)
+}

@@ -1,0 +1,384 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hashjoin"
+	"hashjoin/internal/cli"
+)
+
+// server is the long-lived join service: one resident Env in service
+// mode, a line-oriented TCP protocol for loading workload pairs and
+// running queries, and an HTTP side door for health and stats.
+type server struct {
+	env  *hashjoin.Env
+	opts serverOptions
+
+	mu    sync.Mutex
+	pairs map[string]*hashjoin.Workload
+	open  map[net.Conn]struct{} // live protocol connections, for drain
+
+	ln   net.Listener
+	hln  net.Listener
+	hsrv *http.Server
+
+	conns    sync.WaitGroup
+	draining atomic.Bool
+
+	// Server-level counters, alongside the Env's admission counters.
+	queriesOK  atomic.Uint64
+	queriesErr atomic.Uint64
+}
+
+type serverOptions struct {
+	addr, httpAddr string
+	capacity       uint64
+	budget         uint64
+	service        hashjoin.ServiceConfig
+	queryTimeout   time.Duration // cap on per-query timeout= requests
+}
+
+func newServer(opts serverOptions) *server {
+	envOpts := []hashjoin.Option{
+		hashjoin.WithSmallHierarchy(),
+		hashjoin.WithCapacity(opts.capacity),
+		hashjoin.WithService(opts.service),
+	}
+	if opts.budget > 0 {
+		envOpts = append(envOpts, hashjoin.WithArenaBudget(opts.budget))
+	}
+	return &server{
+		env:   hashjoin.NewEnv(envOpts...),
+		opts:  opts,
+		pairs: make(map[string]*hashjoin.Workload),
+		open:  make(map[net.Conn]struct{}),
+	}
+}
+
+// listen binds both listeners and reports the resolved addresses (the
+// flags accept port 0 so tests and scripts can bind anywhere free).
+func (s *server) listen() error {
+	ln, err := net.Listen("tcp", s.opts.addr)
+	if err != nil {
+		return fmt.Errorf("protocol listener: %w", err)
+	}
+	hln, err := net.Listen("tcp", s.opts.httpAddr)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("http listener: %w", err)
+	}
+	s.ln, s.hln = ln, hln
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	s.hsrv = &http.Server{Handler: mux}
+	return nil
+}
+
+// serve accepts protocol connections until shutdown; it returns after
+// the listener closes. The HTTP server runs on its own goroutine.
+func (s *server) serve() {
+	go s.hsrv.Serve(s.hln)
+	for id := 1; ; id++ {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: shutting down
+		}
+		s.mu.Lock()
+		s.open[conn] = struct{}{}
+		s.mu.Unlock()
+		if s.draining.Load() {
+			// Raced a drain that already swept the open set: expire the
+			// read deadline ourselves so the handler cannot park in Scan.
+			conn.SetReadDeadline(time.Now())
+		}
+		s.conns.Add(1)
+		go func(id int, conn net.Conn) {
+			defer s.conns.Done()
+			s.handleConn(id, conn)
+			s.mu.Lock()
+			delete(s.open, conn)
+			s.mu.Unlock()
+		}(id, conn)
+	}
+}
+
+// shutdown drains the server: stop accepting, shed queued queries, let
+// in-flight queries and open connections finish, then release the
+// Env's worker pool. Safe to call more than once.
+func (s *server) shutdown() {
+	if s.draining.Swap(true) {
+		s.env.Close() // second caller still waits for the drain
+		return
+	}
+	s.ln.Close()
+	s.env.Close() // sheds the admission queue, waits out in-flight queries
+	// Wake handlers parked in Scan on idle connections: an expired read
+	// deadline fails the next read but leaves writes alone, so a handler
+	// mid-command still delivers its response before exiting.
+	s.mu.Lock()
+	for conn := range s.open {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.conns.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.hsrv.Shutdown(ctx)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	sc := s.env.ServiceStats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"queries_ok":       s.queriesOK.Load(),
+		"queries_err":      s.queriesErr.Load(),
+		"admitted":         sc.Admitted,
+		"completed":        sc.Completed,
+		"failed":           sc.Failed,
+		"waited":           sc.Waited,
+		"shed_too_large":   sc.ShedTooLarge,
+		"shed_queue_full":  sc.ShedQueueFull,
+		"shed_timeout":     sc.ShedTimeout,
+		"shed_draining":    sc.ShedDraining,
+		"queue_wait_ns":    sc.QueueWaitTotal.Nanoseconds(),
+		"morsels_executed": sc.MorselsExecuted,
+		"reclaims":         sc.Reclaims,
+		"in_flight":        sc.InFlight,
+		"queued":           sc.Queued,
+		"reserved_bytes":   sc.ReservedBytes,
+	})
+}
+
+// handleConn speaks the line protocol: one command per line, one
+// response line per command ("ok k=v ..." or `err status=<word>
+// code=<n> msg=<quoted>`), until quit, EOF, or server drain.
+func (s *server) handleConn(id int, conn net.Conn) {
+	defer conn.Close()
+	tenant := fmt.Sprintf("conn-%d", id)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	out := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		var resp string
+		switch cmd {
+		case "ping":
+			resp = "ok"
+		case "pair":
+			resp = s.cmdPair(args)
+		case "query":
+			resp = s.cmdQuery(tenant, args)
+		case "stats":
+			resp = s.cmdStats()
+		case "quit":
+			fmt.Fprintln(out, "ok bye=1")
+			out.Flush()
+			return
+		default:
+			resp = errLine(cli.ExitUsage, fmt.Errorf("unknown command %q (have: ping, pair, query, stats, quit)", cmd))
+		}
+		fmt.Fprintln(out, resp)
+		if out.Flush() != nil {
+			return
+		}
+	}
+}
+
+// kvArgs parses k=v tokens; unknown keys fail so typos cannot silently
+// select defaults.
+func kvArgs(args, allowed []string) (map[string]string, error) {
+	kv := make(map[string]string, len(args))
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok || v == "" {
+			return nil, fmt.Errorf("malformed argument %q (want key=value)", a)
+		}
+		found := false
+		for _, want := range allowed {
+			if k == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown key %q (accepted: %s)", k, strings.Join(allowed, ", "))
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate key %q", k)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func kvInt(kv map[string]string, key string, def int) (int, error) {
+	v, ok := kv[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s=%q (want a non-negative integer)", key, v)
+	}
+	return n, nil
+}
+
+// cmdPair generates a named workload pair: a durable, exclusive load
+// that is safe while queries are in flight.
+func (s *server) cmdPair(args []string) string {
+	kv, err := kvArgs(args, []string{"name", "build", "probe", "tuple", "seed"})
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	name := kv["name"]
+	if name == "" {
+		return errLine(cli.ExitUsage, errors.New("pair needs name="))
+	}
+	nBuild, err := kvInt(kv, "build", 0)
+	if err != nil || nBuild == 0 {
+		return errLine(cli.ExitUsage, errors.New("pair needs build=<tuples>"))
+	}
+	nProbe, err := kvInt(kv, "probe", 0)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	tuple, err := kvInt(kv, "tuple", 40)
+	if err != nil || tuple < 8 {
+		return errLine(cli.ExitUsage, errors.New("pair needs tuple=<bytes> >= 8"))
+	}
+	seed, err := kvInt(kv, "seed", 1)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+
+	w, err := s.env.GenerateWorkload(context.Background(), nBuild, nProbe, tuple, int64(seed))
+	if err != nil {
+		return errLine(cli.ExitCodeFor(err), err)
+	}
+	s.mu.Lock()
+	s.pairs[name] = w
+	s.mu.Unlock()
+	return fmt.Sprintf("ok name=%s build=%d probe=%d matches=%d keysum=%d",
+		name, w.Build.Len(), w.Probe.Len(), w.ExpectedMatches, w.KeySum)
+}
+
+// cmdQuery runs one admitted pipeline over a named pair.
+func (s *server) cmdQuery(tenant string, args []string) string {
+	kv, err := kvArgs(args, []string{"pair", "engine", "fanout", "workers", "weight", "planned", "agg", "timeout", "tenant"})
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	s.mu.Lock()
+	w := s.pairs[kv["pair"]]
+	s.mu.Unlock()
+	if w == nil {
+		return errLine(cli.ExitUsage, fmt.Errorf("unknown pair %q (create it with the pair command)", kv["pair"]))
+	}
+	if t := kv["tenant"]; t != "" {
+		tenant = t
+	}
+	opts := []hashjoin.PipelineOption{hashjoin.WithTenant(tenant)}
+	switch kv["engine"] {
+	case "", "native":
+		opts = append(opts, hashjoin.WithEngine(hashjoin.EngineNative))
+	case "sim":
+		opts = append(opts, hashjoin.WithEngine(hashjoin.EngineSim))
+	default:
+		return errLine(cli.ExitUsage, fmt.Errorf("bad engine=%q (want native or sim)", kv["engine"]))
+	}
+	fanout, err := kvInt(kv, "fanout", 4)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	workers, err := kvInt(kv, "workers", 0)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	weight, err := kvInt(kv, "weight", 0)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	planned, err := kvInt(kv, "planned", 0)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	agg, err := kvInt(kv, "agg", 0)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	opts = append(opts,
+		hashjoin.WithPipelineFanout(fanout),
+		hashjoin.WithPipelineWorkers(workers),
+		hashjoin.WithTenantWeight(weight),
+	)
+	if planned > 0 {
+		opts = append(opts, hashjoin.WithPlannedScratch(uint64(planned)))
+	}
+	if agg != 0 {
+		opts = append(opts, hashjoin.WithAggregation(4, w.Build.Len()))
+	}
+
+	ctx := context.Background()
+	if v := kv["timeout"]; v != "" {
+		d, perr := time.ParseDuration(v)
+		if perr != nil || d <= 0 {
+			return errLine(cli.ExitUsage, fmt.Errorf("bad timeout=%q (want a positive duration)", v))
+		}
+		if s.opts.queryTimeout > 0 && d > s.opts.queryTimeout {
+			d = s.opts.queryTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	res, err := s.env.RunPipelineContext(ctx, w.Build, w.Probe, opts...)
+	if err != nil {
+		s.queriesErr.Add(1)
+		return errLine(cli.ExitCodeFor(err), err)
+	}
+	s.queriesOK.Add(1)
+	return fmt.Sprintf("ok rows=%d keysum=%d elapsed_us=%d queue_wait_us=%d admitted_bytes=%d morsels=%d fanout=%d",
+		res.NOutput, res.KeySum, res.Elapsed.Microseconds(), res.QueueWait.Microseconds(),
+		res.AdmittedBytes, res.MorselsExecuted, res.JoinFanout)
+}
+
+func (s *server) cmdStats() string {
+	sc := s.env.ServiceStats()
+	return fmt.Sprintf("ok queries_ok=%d queries_err=%d admitted=%d completed=%d failed=%d shed=%d in_flight=%d queued=%d reserved_bytes=%d morsels=%d reclaims=%d",
+		s.queriesOK.Load(), s.queriesErr.Load(), sc.Admitted, sc.Completed, sc.Failed,
+		sc.Shed(), sc.InFlight, sc.Queued, sc.ReservedBytes, sc.MorselsExecuted, sc.Reclaims)
+}
+
+// errLine renders a failure response carrying the exit-code taxonomy:
+// the stable status word, the numeric code (the exit code an hjquery
+// run hitting the same error would return), and the message.
+func errLine(code int, err error) string {
+	return fmt.Sprintf("err status=%s code=%d msg=%q", cli.StatusName(code), code, err.Error())
+}

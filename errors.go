@@ -20,6 +20,7 @@ import (
 
 	"hashjoin/internal/arena"
 	"hashjoin/internal/native"
+	"hashjoin/internal/sched"
 	"hashjoin/internal/spill"
 )
 
@@ -43,6 +44,12 @@ var (
 	// header verification on the way back from disk. The concrete error
 	// is a *CorruptPageError locating the damage.
 	ErrCorruptSpill = spill.ErrCorrupt
+
+	// ErrAdmission classifies a query a service-mode Env declined to
+	// run: shed for size, a full queue, a queue timeout, or a draining
+	// Env. The concrete error is a *AdmissionError carrying the reason;
+	// a queue-timeout shed also matches context.DeadlineExceeded.
+	ErrAdmission = sched.ErrAdmission
 )
 
 // Typed errors for errors.As.
@@ -61,6 +68,28 @@ type (
 	// CorruptPageError reports the file, page index, and byte offset of
 	// a spill page that failed verification.
 	CorruptPageError = spill.CorruptPageError
+
+	// AdmissionError reports a query shed by a service-mode Env: the
+	// tenant, the Reason, the planned and grantable footprints, and how
+	// long the query waited before rejection.
+	AdmissionError = sched.AdmissionError
+
+	// AdmissionReason enumerates why an admission was rejected.
+	AdmissionReason = sched.Reason
+)
+
+// Admission rejection reasons (AdmissionError.Reason).
+const (
+	// AdmissionTooLarge: the planned footprint exceeds what the arena
+	// could ever grant; waiting would not help.
+	AdmissionTooLarge = sched.TooLarge
+	// AdmissionQueueFull: the bounded admission queue was at capacity.
+	AdmissionQueueFull = sched.QueueFull
+	// AdmissionTimeout: the query's context expired, or the service's
+	// queue timeout elapsed, while waiting for admission.
+	AdmissionTimeout = sched.Timeout
+	// AdmissionDraining: the Env is shutting down and admits nothing new.
+	AdmissionDraining = sched.Draining
 )
 
 // wrapCancel normalizes a cancellation-class error crossing the public

@@ -29,6 +29,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hashjoin/internal/arena"
@@ -37,8 +39,10 @@ import (
 	jhash "hashjoin/internal/hash"
 	"hashjoin/internal/memsim"
 	"hashjoin/internal/model"
+	"hashjoin/internal/sched"
 	"hashjoin/internal/storage"
 	"hashjoin/internal/vmem"
+	"hashjoin/internal/workload"
 )
 
 // Scheme selects a prefetching strategy.
@@ -67,11 +71,25 @@ type Params = core.Params
 type Stats = memsim.Stats
 
 // Env owns a simulated address space and memory hierarchy. Relations
-// built in an Env can be joined and partitioned under simulation. An
-// Env is not safe for concurrent use.
+// built in an Env can be joined and partitioned under simulation.
+//
+// A plain Env is not safe for concurrent use. WithService turns it
+// into a multi-tenant join service: RunPipelineContext calls from any
+// number of goroutines are admitted against the arena budget, run on
+// private scratch windows with a shared fairly-scheduled worker pool,
+// and Join / Partition / Aggregate / Durable serialize as exclusive
+// tenants. Stats is then safe to call at any time.
 type Env struct {
 	mem *vmem.Mem
 	cfg memsim.Config
+
+	svc *sched.Controller // nil unless WithService
+
+	// simMu serializes every user of the cycle simulator (its counters
+	// are plain fields); Stats TryLocks it and falls back to the last
+	// published snapshot when a simulated run is in flight.
+	simMu     sync.Mutex
+	lastStats atomic.Pointer[memsim.Stats]
 }
 
 // Option configures an Env.
@@ -81,7 +99,31 @@ type envConfig struct {
 	hierarchy memsim.Config
 	capacity  uint64
 	budget    uint64
+	service   *ServiceConfig
 }
+
+// ServiceConfig tunes multi-tenant service mode (WithService).
+type ServiceConfig struct {
+	// MaxConcurrent bounds the queries in flight at once; further
+	// admissible queries queue FIFO. 0 selects 8.
+	MaxConcurrent int
+	// QueueDepth bounds the admission queue; one more query is shed
+	// with a *AdmissionError (QueueFull). 0 selects 64.
+	QueueDepth int
+	// QueueTimeout sheds a query still queued after this long with a
+	// *AdmissionError that matches context.DeadlineExceeded. 0 means
+	// no server-side bound (each query's own context still applies).
+	QueueTimeout time.Duration
+	// Workers sizes the shared morsel worker pool that executes every
+	// admitted native join. 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// ServiceCounters are the aggregate counters of a service-mode Env:
+// admissions, sheds by reason, queue-wait totals, morsels executed by
+// the shared pool, window reclamations, and instantaneous in-flight /
+// queued / reserved-bytes gauges.
+type ServiceCounters = sched.Counters
 
 // WithHierarchy selects the simulated memory hierarchy (default: the
 // paper's Table 2 / Compaq ES40 configuration).
@@ -117,6 +159,16 @@ func WithArenaBudget(bytes uint64) Option {
 	return func(e *envConfig) { e.budget = bytes }
 }
 
+// WithService enables multi-tenant service mode: concurrent
+// RunPipelineContext calls are arbitrated by an admission controller
+// (queue, admit on a private scratch window, or shed with a typed
+// *AdmissionError) and executed on a shared, fairly scheduled morsel
+// worker pool. A service Env must be Closed when done to release the
+// pool's goroutines.
+func WithService(sc ServiceConfig) Option {
+	return func(e *envConfig) { e.service = &sc }
+}
+
 // NewEnv creates an environment.
 func NewEnv(opts ...Option) *Env {
 	ec := envConfig{hierarchy: memsim.ES40Config(), capacity: 256 << 20}
@@ -130,11 +182,97 @@ func NewEnv(opts ...Option) *Env {
 	if ec.budget > 0 {
 		env.mem.A.SetBudget(ec.budget)
 	}
+	if ec.service != nil {
+		env.svc = sched.NewController(sched.Config{
+			Arena:         env.mem.A,
+			MaxConcurrent: ec.service.MaxConcurrent,
+			QueueDepth:    ec.service.QueueDepth,
+			QueueTimeout:  ec.service.QueueTimeout,
+			Workers:       ec.service.Workers,
+		})
+	}
 	return env
 }
 
-// Stats returns the cumulative simulation statistics of the Env.
-func (e *Env) Stats() Stats { return e.mem.S.Stats() }
+// Close drains a service-mode Env: queued queries are shed, in-flight
+// queries run to completion, later admissions fail with a Draining
+// *AdmissionError, and the shared worker pool exits. A non-service Env
+// has nothing to release; Close is then a no-op. Idempotent.
+func (e *Env) Close() {
+	if e.svc != nil {
+		e.svc.Close()
+	}
+}
+
+// ServiceStats snapshots the service-mode aggregate counters; the zero
+// value for a non-service Env.
+func (e *Env) ServiceStats() ServiceCounters {
+	if e.svc == nil {
+		return ServiceCounters{}
+	}
+	return e.svc.Stats()
+}
+
+// Durable runs fn while the Env is exclusively held — no query in
+// flight, every reclaimed scratch window truncated — so allocations fn
+// makes (NewRelation, Append) are durable and safe even while the
+// service is live. On a non-service Env it just runs fn. It returns
+// fn's error, or the *AdmissionError if exclusive admission failed.
+func (e *Env) Durable(ctx context.Context, fn func() error) error {
+	release, err := e.admitExclusive(ctx, "durable")
+	if err != nil {
+		return err
+	}
+	ferr := fn()
+	release(ferr)
+	return ferr
+}
+
+// exclusiveSim is admitExclusive plus the simulator lock, for the
+// error-less legacy entry points (Partition, Aggregate). The only way
+// admission can fail without a caller deadline is a closed Env, which
+// is a programming error: it panics.
+func (e *Env) exclusiveSim(tenant string) func() {
+	release, err := e.admitExclusive(context.Background(), tenant)
+	if err != nil {
+		panic("hashjoin: " + err.Error())
+	}
+	e.simMu.Lock()
+	return func() {
+		e.simMu.Unlock()
+		release(nil)
+	}
+}
+
+// admitExclusive acquires exclusive use of a service Env; a no-op on a
+// plain Env. The returned release must be called exactly once.
+func (e *Env) admitExclusive(ctx context.Context, tenant string) (func(error), error) {
+	if e.svc == nil {
+		return func(error) {}, nil
+	}
+	g, err := e.svc.Admit(ctx, sched.Request{Tenant: tenant, Exclusive: true})
+	if err != nil {
+		return nil, err
+	}
+	return func(ferr error) { g.Release(ferr) }, nil
+}
+
+// Stats returns the cumulative simulation statistics of the Env. It is
+// safe to call while queries run: if the simulator is busy (its
+// counters are not atomic), the last published snapshot is returned
+// instead of torn counters.
+func (e *Env) Stats() Stats {
+	if e.simMu.TryLock() {
+		s := e.mem.S.Stats()
+		e.simMu.Unlock()
+		e.lastStats.Store(&s)
+		return s
+	}
+	if s := e.lastStats.Load(); s != nil {
+		return *s
+	}
+	return Stats{}
+}
 
 // Relation is a simulated table: fixed-width tuples of a 4-byte join
 // key plus payload, stored in slotted pages.
@@ -170,6 +308,43 @@ func (r *Relation) Len() int { return r.rel.NTuples }
 
 // Bytes returns the storage footprint.
 func (r *Relation) Bytes() int { return r.rel.ByteSize() }
+
+// Workload is a generated build/probe relation pair with ground truth
+// about the join they produce, for benchmarks and service smoke tests.
+type Workload struct {
+	Build, Probe *Relation
+
+	// ExpectedMatches and KeySum are the exact output row count and
+	// order-independent key checksum an equijoin of the pair must yield.
+	ExpectedMatches int
+	KeySum          uint64
+}
+
+// GenerateWorkload materializes a deterministic benchmark pair into
+// the Env: nBuild build tuples with unique keys, nProbe probe tuples
+// of which the first nBuild match one build tuple each (0 derives
+// nProbe = nBuild), all tupleSize bytes wide. On a service Env the
+// load runs under Durable, so it is safe while queries are in flight.
+func (e *Env) GenerateWorkload(ctx context.Context, nBuild, nProbe, tupleSize int, seed int64) (*Workload, error) {
+	var w *Workload
+	err := e.Durable(ctx, func() (ferr error) {
+		defer arena.RecoverOOM(&ferr)
+		pair := workload.Generate(e.mem.A, workload.Spec{
+			NBuild: nBuild, NProbe: nProbe, TupleSize: tupleSize, Seed: seed,
+		})
+		w = &Workload{
+			Build:           &Relation{rel: pair.Build, env: e},
+			Probe:           &Relation{rel: pair.Probe, env: e},
+			ExpectedMatches: pair.ExpectedMatches,
+			KeySum:          pair.KeySum,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
 
 // JoinOption configures a join.
 type JoinOption func(*joinConfig)
@@ -261,6 +436,16 @@ func (e *Env) JoinContext(ctx context.Context, build, probe *Relation, opts ...J
 	if build.env != e || probe.env != e {
 		panic("hashjoin: relations belong to a different Env")
 	}
+	// Simulated joins are exclusive tenants on a service Env: the cycle
+	// simulator is single-threaded and the join's scratch scopes on the
+	// shared arena must not interleave with carved windows.
+	release, aerr := e.admitExclusive(ctx, "join")
+	if aerr != nil {
+		return Result{}, aerr
+	}
+	defer func() { release(err) }()
+	e.simMu.Lock()
+	defer e.simMu.Unlock()
 	if !jc.keepOutput {
 		scope := e.mem.A.Scope()
 		defer scope.Release()
@@ -314,6 +499,7 @@ func (e *Env) Partition(r *Relation, n int, opts ...JoinOption) (counts []int, s
 	for _, o := range opts {
 		o(&jc)
 	}
+	defer e.exclusiveSim("partition")()
 	res := core.PartitionRelation(e.mem, r.rel, n, jc.scheme, jc.params)
 	counts = make([]int, n)
 	for i, p := range res.Partitions {
@@ -339,6 +525,7 @@ func (e *Env) Aggregate(r *Relation, expectedGroups int, opts ...JoinOption) ([]
 	for _, o := range opts {
 		o(&jc)
 	}
+	defer e.exclusiveSim("aggregate")()
 	res := core.Aggregate(e.mem, r.rel, expectedGroups, jc.scheme, jc.params)
 	groups := make([]GroupStat, 0, res.NGroups)
 	res.Each(func(key uint32, count, sum uint64) {

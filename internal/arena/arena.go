@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"hashjoin/internal/fault"
@@ -77,15 +78,28 @@ func (e *OOMError) Unwrap() error { return ErrOutOfMemory }
 // Allocation (TryAlloc and friends) is safe for concurrent use: the bump
 // pointer advances with a CAS loop, so a background producer — the spill
 // subsystem's write-behind pool, a morsel worker's sink — can allocate
-// while the foreground materializes an intermediate. The boundary
-// operations (SetBudget, Reset, Truncate, Scope, Release) are not
-// concurrent-safe; they belong to the single goroutine that owns the
-// pipeline lifecycle, and run only when no background allocator is live.
+// while the foreground materializes an intermediate. SetBudget/Budget
+// are atomic, and the scope list is mutex-guarded, so budget changes and
+// OOM breakdowns are safe against concurrent allocators. The remaining
+// boundary operations (Reset, Truncate, Scope, Release) still belong to
+// the single goroutine that owns this arena's lifecycle: with carved
+// child arenas (see Carve) that owner is one query, so "single owner"
+// composes with concurrent queries.
 type Arena struct {
-	data   []byte
-	next   atomic.Uint64 // next free offset relative to Base
-	budget uint64        // soft ceiling on next; 0 means capacity only
-	scopes []uint64      // marks of the open scopes, outermost first
+	data []byte
+	next atomic.Uint64 // next free offset into data
+
+	// lo and hi bound the allocation window within data. A root arena
+	// from New covers [0, len(data)); a child from Carve covers its
+	// carved slice. Children share data with their parent, so an Addr
+	// allocated from any arena of the family dereferences identically
+	// through all of them — Bytes and Data stay whole-space.
+	lo, hi uint64
+
+	budget atomic.Uint64 // soft ceiling on Used(); 0 means window only
+
+	scopeMu sync.Mutex
+	scopes  []uint64 // marks (absolute offsets) of open scopes, outermost first
 }
 
 // New creates an arena able to hold capacity bytes. The backing memory
@@ -97,32 +111,58 @@ type Arena struct {
 func New(capacity uint64) *Arena {
 	data := make([]byte, capacity)
 	adviseHugePages(data)
-	return &Arena{data: data}
+	return &Arena{data: data, hi: capacity}
 }
 
-// Cap returns the arena capacity in bytes.
-func (a *Arena) Cap() uint64 { return uint64(len(a.data)) }
+// Cap returns the arena capacity in bytes: the window size for a carved
+// child, the backing-slice size for a root arena.
+func (a *Arena) Cap() uint64 { return a.hi - a.lo }
 
-// Used returns the number of bytes allocated so far.
-func (a *Arena) Used() uint64 { return a.next.Load() }
+// Used returns the number of bytes allocated so far (within this
+// arena's window).
+func (a *Arena) Used() uint64 { return a.next.Load() - a.lo }
 
 // SetBudget installs a soft ceiling, in bytes, below the physical
 // capacity. Allocations that would push Used() past the effective
 // ceiling — min(budget, Cap()) — fail with an *OOMError. A budget of 0
 // removes the ceiling, leaving only the physical capacity. Lowering the
 // budget below Used() is allowed: existing data stays valid and further
-// allocation fails until scratch is released.
-func (a *Arena) SetBudget(bytes uint64) { a.budget = bytes }
+// allocation fails until scratch is released. Safe to call while
+// allocators are live.
+func (a *Arena) SetBudget(bytes uint64) { a.budget.Store(bytes) }
 
 // Budget returns the configured soft ceiling, 0 if none.
-func (a *Arena) Budget() uint64 { return a.budget }
+func (a *Arena) Budget() uint64 { return a.budget.Load() }
 
 // limit returns the effective allocation ceiling in backing-slice offsets.
 func (a *Arena) limit() uint64 {
-	if a.budget != 0 && a.budget < uint64(len(a.data)) {
-		return a.budget
+	if b := a.budget.Load(); b != 0 && a.lo+b < a.hi {
+		return a.lo + b
 	}
-	return uint64(len(a.data))
+	return a.hi
+}
+
+// Carve allocates size bytes (aligned to align) from a and returns a
+// child arena whose allocations live inside that window. The child
+// shares a's backing slice — addresses from the child dereference
+// through the parent and vice versa — but bumps its own pointer, so N
+// children carved from one parent give N queries private, concurrently
+// usable scratch regions inside one address space. The child's lifetime
+// is the caller's contract: release the whole family of windows at once
+// by truncating the parent to a mark taken before the carves, when no
+// child is in use.
+func (a *Arena) Carve(size, align uint64) (*Arena, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("arena: Carve of zero bytes")
+	}
+	addr, err := a.TryAlloc(size, align)
+	if err != nil {
+		return nil, err
+	}
+	lo := addr - Base
+	child := &Arena{data: a.data, lo: lo, hi: lo + size}
+	child.next.Store(lo)
+	return child, nil
 }
 
 // Remaining returns how many bytes can still be allocated before the
@@ -164,17 +204,20 @@ func (a *Arena) TryAlloc(size, align uint64) (Addr, error) {
 
 // oomError builds the usage breakdown for a failed request: how much of
 // the used space predates any open scope (durable) and how much each
-// open scope holds. Reading the scope marks here is safe because scopes
-// open and close only at pipeline boundaries, when no background
-// allocator is live.
+// open scope holds. used is the absolute bump-pointer value at failure;
+// the report is in window-relative bytes. The scope list is read under
+// its mutex so a concurrent scope boundary on another arena sharing the
+// allocator path cannot corrupt the walk.
 func (a *Arena) oomError(used, size, align uint64) *OOMError {
 	e := &OOMError{
-		Need: size, Align: align, Used: used,
-		Budget: a.budget, Cap: uint64(len(a.data)),
-		Durable: used,
+		Need: size, Align: align, Used: used - a.lo,
+		Budget: a.budget.Load(), Cap: a.hi - a.lo,
+		Durable: used - a.lo,
 	}
+	a.scopeMu.Lock()
+	defer a.scopeMu.Unlock()
 	if n := len(a.scopes); n > 0 {
-		e.Durable = a.scopes[0]
+		e.Durable = a.scopes[0] - a.lo
 		e.ScopeHeld = make([]uint64, n)
 		for i, mark := range a.scopes {
 			end := used
@@ -264,8 +307,10 @@ func RecoverOOM(err *error) {
 
 // Reset discards all allocations, keeping the backing storage.
 func (a *Arena) Reset() {
-	a.next.Store(0)
+	a.next.Store(a.lo)
+	a.scopeMu.Lock()
 	a.scopes = a.scopes[:0]
+	a.scopeMu.Unlock()
 }
 
 // Truncate discards every allocation made after Used() returned mark,
@@ -273,13 +318,16 @@ func (a *Arena) Reset() {
 // data (relations) with per-run scratch (operator output rings,
 // staged aggregation rows) reclaim the scratch between runs.
 func (a *Arena) Truncate(mark uint64) {
-	if used := a.next.Load(); mark > used {
-		panic(fmt.Sprintf("arena: Truncate(%d) beyond used %d", mark, used))
+	abs := a.lo + mark
+	if used := a.next.Load(); abs > used {
+		panic(fmt.Sprintf("arena: Truncate(%d) beyond used %d", mark, used-a.lo))
 	}
-	a.next.Store(mark)
-	for len(a.scopes) > 0 && a.scopes[len(a.scopes)-1] > mark {
+	a.next.Store(abs)
+	a.scopeMu.Lock()
+	for len(a.scopes) > 0 && a.scopes[len(a.scopes)-1] > abs {
 		a.scopes = a.scopes[:len(a.scopes)-1]
 	}
+	a.scopeMu.Unlock()
 }
 
 // Scope opens a scratch region: every allocation made between Scope and
@@ -292,7 +340,9 @@ func (a *Arena) Truncate(mark uint64) {
 // how much scratch each holds.
 func (a *Arena) Scope() Scope {
 	mark := a.next.Load()
+	a.scopeMu.Lock()
 	a.scopes = append(a.scopes, mark)
+	a.scopeMu.Unlock()
 	return Scope{a: a, mark: mark}
 }
 
@@ -312,13 +362,16 @@ func (s Scope) Release() {
 	if s.mark <= s.a.next.Load() {
 		s.a.next.Store(s.mark)
 	}
+	s.a.scopeMu.Lock()
 	for n := len(s.a.scopes); n > 0 && s.a.scopes[n-1] >= s.mark; n-- {
 		s.a.scopes = s.a.scopes[:n-1]
 	}
+	s.a.scopeMu.Unlock()
 }
 
-// Mark returns the arena watermark captured when the scope was opened.
-func (s Scope) Mark() uint64 { return s.mark }
+// Mark returns the arena watermark captured when the scope was opened,
+// in the same window-relative coordinates Used() and Truncate use.
+func (s Scope) Mark() uint64 { return s.mark - s.a.lo }
 
 // Bytes returns the backing slice for [addr, addr+size). The slice aliases
 // arena storage; writes through it are visible to subsequent reads.

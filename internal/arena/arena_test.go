@@ -2,6 +2,7 @@ package arena
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -318,4 +319,113 @@ func TestOOMScopeBreakdown(t *testing.T) {
 	if len(oom.ScopeHeld) != 0 || oom.Durable != 32 {
 		t.Fatalf("with no open scope: Durable=%d ScopeHeld=%v, want 32 []", oom.Durable, oom.ScopeHeld)
 	}
+}
+
+func TestCarveWindows(t *testing.T) {
+	a := New(1 << 16)
+	durable := a.Alloc(100, 8)
+	a.Bytes(durable, 100)[0] = 0x5A
+	mark := a.Used()
+
+	c1, err := a.Carve(1024, 64)
+	if err != nil {
+		t.Fatalf("Carve: %v", err)
+	}
+	c2, err := a.Carve(1024, 64)
+	if err != nil {
+		t.Fatalf("Carve: %v", err)
+	}
+	if c1.Cap() != 1024 || c1.Used() != 0 {
+		t.Fatalf("child Cap=%d Used=%d, want 1024, 0", c1.Cap(), c1.Used())
+	}
+
+	// Addresses from a child dereference identically through the parent
+	// (shared address space), and the two children never overlap.
+	p := c1.Alloc(64, 8)
+	q := c2.Alloc(64, 8)
+	a.Bytes(p, 64)[0] = 0xC1
+	if c1.Bytes(p, 64)[0] != 0xC1 {
+		t.Fatalf("child and parent views of %#x disagree", p)
+	}
+	if p+64 > q && q+64 > p {
+		t.Fatalf("child windows overlap: %#x and %#x", p, q)
+	}
+
+	// A child is bounded by its window, not the parent's remaining space.
+	if _, err := c1.TryAlloc(2048, 8); err == nil {
+		t.Fatalf("child alloc beyond window succeeded")
+	}
+	var oom *OOMError
+	if _, err := c1.TryAlloc(2048, 8); !errorsAs(err, &oom) || oom.Cap != 1024 {
+		t.Fatalf("child OOM = %v, want window cap 1024", err)
+	}
+
+	// Child scratch is scoped like any arena's.
+	sc := c2.Scope()
+	c2.Alloc(256, 8)
+	sc.Release()
+	if c2.Used() != 64 {
+		t.Fatalf("child Used=%d after scope release, want 64", c2.Used())
+	}
+
+	// Truncating the parent to the pre-carve mark reclaims the windows
+	// without touching durable data.
+	a.Truncate(mark)
+	if a.Used() != mark {
+		t.Fatalf("parent Used=%d after Truncate, want %d", a.Used(), mark)
+	}
+	if a.Bytes(durable, 100)[0] != 0x5A {
+		t.Fatalf("durable data clobbered by window reclaim")
+	}
+}
+
+func TestCarveRespectsBudget(t *testing.T) {
+	a := New(1 << 16)
+	a.SetBudget(4096)
+	if _, err := a.Carve(8192, 64); err == nil {
+		t.Fatalf("Carve over budget succeeded")
+	}
+	if _, err := a.Carve(2048, 64); err != nil {
+		t.Fatalf("Carve under budget failed: %v", err)
+	}
+	if _, err := a.Carve(0, 64); err == nil {
+		t.Fatalf("zero-byte Carve succeeded")
+	}
+}
+
+func TestConcurrentCarvedAllocations(t *testing.T) {
+	a := New(1 << 20)
+	const children, allocs = 8, 200
+	kids := make([]*Arena, children)
+	for i := range kids {
+		c, err := a.Carve(64<<10, 64)
+		if err != nil {
+			t.Fatalf("Carve: %v", err)
+		}
+		kids[i] = c
+	}
+	var wg sync.WaitGroup
+	for i, c := range kids {
+		wg.Add(1)
+		go func(i int, c *Arena) {
+			defer wg.Done()
+			sc := c.Scope()
+			defer sc.Release()
+			for j := 0; j < allocs; j++ {
+				addr := c.Alloc(64, 8)
+				b := c.Bytes(addr, 64)
+				for k := range b {
+					b[k] = byte(i)
+				}
+				// Nobody else's writes may land in our window.
+				for k := range b {
+					if b[k] != byte(i) {
+						t.Errorf("window %d corrupted", i)
+						return
+					}
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
 }

@@ -22,6 +22,7 @@ import (
 	"hashjoin/internal/engine"
 	"hashjoin/internal/memsim"
 	"hashjoin/internal/native"
+	"hashjoin/internal/sched"
 	"hashjoin/internal/spill"
 	"hashjoin/internal/vmem"
 	"hashjoin/internal/workload"
@@ -151,7 +152,11 @@ const (
 // ExitCodeFor classifies a runtime error into the exit-code taxonomy.
 // Cancellation is checked first: a join cut short by a deadline may
 // surface secondary errors from other layers, and "it was cancelled"
-// is the truth the caller acts on.
+// is the truth the caller acts on. (An admission queue timeout unwraps
+// to context.DeadlineExceeded and so lands there too.) An admission
+// shed for size is a memory-class failure — the query could never fit —
+// while queue-full and draining sheds are plain failures: retryable,
+// nothing about the query itself was wrong.
 func ExitCodeFor(err error) int {
 	if err == nil {
 		return ExitOK
@@ -160,10 +165,31 @@ func ExitCodeFor(err error) int {
 		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return ExitCancelled
 	}
+	var ae *sched.AdmissionError
+	if errors.As(err, &ae) && ae.Reason == sched.TooLarge {
+		return ExitMemory
+	}
 	if errors.Is(err, arena.ErrOutOfMemory) || errors.Is(err, native.ErrOverBudget) {
 		return ExitMemory
 	}
 	return ExitFailure
+}
+
+// StatusName maps an exit code to the stable status word the hjserve
+// wire protocol and its clients use.
+func StatusName(code int) string {
+	switch code {
+	case ExitOK:
+		return "ok"
+	case ExitUsage:
+		return "usage"
+	case ExitMemory:
+		return "memory"
+	case ExitCancelled:
+		return "cancelled"
+	default:
+		return "failure"
+	}
 }
 
 // wrapCancel normalizes a raw context error noticed deep in a pipeline
@@ -223,6 +249,22 @@ func PipelineErrorDetail(err error) []string {
 				ce.Elapsed.Round(time.Millisecond), ce.PairsDone, ce.PairsTotal, ce.RowsOut))
 		if errors.Is(err, context.DeadlineExceeded) {
 			lines = append(lines, "hint: raise -timeout, or shrink the workload")
+		}
+	}
+	var ae *sched.AdmissionError
+	if errors.As(err, &ae) {
+		switch ae.Reason {
+		case sched.TooLarge:
+			lines = append(lines,
+				fmt.Sprintf("admission: planned %d bytes of scratch, but at most %d is ever grantable", ae.Planned, ae.Limit),
+				"hint: raise the arena budget, or declare a smaller planned scratch")
+		case sched.QueueFull:
+			lines = append(lines, "admission: queue full; retry when load drops")
+		case sched.Timeout:
+			lines = append(lines,
+				fmt.Sprintf("admission: still queued after %v; the service is saturated", ae.Waited.Round(time.Millisecond)))
+		case sched.Draining:
+			lines = append(lines, "admission: the service is draining and admits nothing new")
 		}
 	}
 	var cpe *spill.CorruptPageError

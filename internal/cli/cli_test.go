@@ -16,6 +16,7 @@ import (
 	"hashjoin/internal/engine"
 	"hashjoin/internal/memsim"
 	"hashjoin/internal/native"
+	"hashjoin/internal/sched"
 	"hashjoin/internal/workload"
 )
 
@@ -298,10 +299,43 @@ func TestExitCodeFor(t *testing.T) {
 		{"raw ctx", context.Canceled, ExitCancelled},
 		{"deadline", context.DeadlineExceeded, ExitCancelled},
 		{"cancel error", &native.CancelError{Cause: context.DeadlineExceeded}, ExitCancelled},
+		{"shed too-large", &sched.AdmissionError{Reason: sched.TooLarge, Planned: 2, Limit: 1}, ExitMemory},
+		{"shed queue-full", &sched.AdmissionError{Reason: sched.QueueFull}, ExitFailure},
+		{"shed draining", &sched.AdmissionError{Reason: sched.Draining}, ExitFailure},
+		{"shed timeout", &sched.AdmissionError{Reason: sched.Timeout, Cause: context.DeadlineExceeded}, ExitCancelled},
 	}
 	for _, tc := range cases {
 		if got := ExitCodeFor(tc.err); got != tc.want {
 			t.Errorf("ExitCodeFor(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestStatusName pins the wire-protocol status words onto the exit
+// codes, both directions of the hjserve mapping.
+func TestStatusName(t *testing.T) {
+	want := map[int]string{
+		ExitOK:        "ok",
+		ExitFailure:   "failure",
+		ExitUsage:     "usage",
+		ExitMemory:    "memory",
+		ExitCancelled: "cancelled",
+		99:            "failure",
+	}
+	for code, name := range want {
+		if got := StatusName(code); got != name {
+			t.Errorf("StatusName(%d) = %q, want %q", code, got, name)
+		}
+	}
+}
+
+// TestPipelineErrorDetailAdmission checks each shed reason yields a
+// diagnostic line.
+func TestPipelineErrorDetailAdmission(t *testing.T) {
+	for _, reason := range []sched.Reason{sched.TooLarge, sched.QueueFull, sched.Timeout, sched.Draining} {
+		lines := PipelineErrorDetail(&sched.AdmissionError{Reason: reason, Planned: 2, Limit: 1})
+		if len(lines) == 0 {
+			t.Errorf("no detail for shed reason %v", reason)
 		}
 	}
 }

@@ -133,7 +133,17 @@ type Config struct {
 	Fanout int
 
 	// Workers bounds the native morsel worker pool (0 = GOMAXPROCS).
+	// With a shared Pool installed it bounds this plan's concurrent
+	// slots within the pool instead.
 	Workers int
+
+	// Pool, when non-nil, executes the native morsel join on a shared
+	// worker pool (the multi-tenant scheduler) instead of per-plan
+	// goroutines. Tenant and Weight label the plan's morsel jobs for the
+	// pool's weighted round-robin interleaving.
+	Pool   native.Pool
+	Tenant string
+	Weight int
 
 	// MemBudget, when > 0, bounds the resident footprint of a native
 	// join's build side in bytes. A streaming join (Fanout <= 1) whose
@@ -180,6 +190,9 @@ type Report struct {
 	// JoinRecursionDepth is the deepest recursive re-partitioning any
 	// pair needed to fit MemBudget; 0 when every pair fit directly.
 	JoinRecursionDepth int
+	// MorselsExecuted counts the partition-pair morsels the native join
+	// actually ran (0 for the streaming strategy and the Sim backend).
+	MorselsExecuted int
 	// SpilledPartitions counts the partition pairs the out-of-core tier
 	// joined from disk; 0 when everything fit in memory.
 	SpilledPartitions int

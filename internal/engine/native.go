@@ -434,6 +434,8 @@ func (h *nativeHashJoin) openMorsel(buildRel *storage.Relation) error {
 		Scheme: h.cfg.nativeScheme(),
 		G:      h.cfg.Params.G, D: h.cfg.Params.D,
 		Fanout: h.cfg.Fanout, Workers: workers,
+		Pool: h.cfg.Pool, Tenant: h.cfg.Tenant, Weight: h.cfg.Weight,
+		Arena:     h.a,
 		MemBudget: h.cfg.MemBudget,
 		SpillDir:  h.cfg.SpillDir, SpillWorkers: h.cfg.SpillWorkers, NoSpill: h.cfg.NoSpill,
 		Ctx: h.cfg.Ctx,
@@ -488,6 +490,7 @@ func (h *nativeHashJoin) report() {
 	h.reported = true
 	h.cfg.Report.JoinFanout = h.morselRes.NPartitions
 	h.cfg.Report.JoinRecursionDepth = h.morselRes.RecursionDepth
+	h.cfg.Report.MorselsExecuted = h.morselRes.PairsJoined
 	h.cfg.Report.SpilledPartitions = h.morselRes.SpilledPartitions
 	h.cfg.Report.SpillBytesWritten = h.morselRes.SpillBytesWritten
 	h.cfg.Report.SpillBytesRead = h.morselRes.SpillBytesRead

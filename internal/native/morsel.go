@@ -1,9 +1,6 @@
 package native
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"hashjoin/internal/arena"
 	"hashjoin/internal/fault"
 )
@@ -47,13 +44,15 @@ func claimCheck(cfg Config) error {
 	return fault.Hit(fault.SiteMorselWorker)
 }
 
-// joinPairs joins corresponding partition pairs of jn.bp and jn.pp on
-// up to cfg.Workers goroutines. The first error any worker hits — a
+// joinPairs joins corresponding partition pairs of jn.bp and jn.pp
+// through a morsel Pool: cfg.Pool when a shared pool is installed (the
+// multi-tenant scheduler), else a localPool spanning up to cfg.Workers
+// dedicated goroutines. The first error any morsel hits — a
 // *BudgetError from an irreducible pair, arena exhaustion recovered
-// from a sink, cancellation, or an injected fault — makes the remaining
-// workers stop claiming pairs, and joinPairs returns it after every
-// worker has exited; a failure never panics across a goroutine boundary
-// and never leaks a worker. Cancellation-class errors come back as a
+// from a sink, cancellation, or an injected fault — stops further
+// morsel issue, and joinPairs returns it after every in-flight morsel
+// has finished; a failure never panics across a goroutine boundary and
+// never leaks a worker. Cancellation-class errors come back as a
 // *CancelError carrying how many pairs completed.
 func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 	bp, pp := &jn.bp, &jn.pp
@@ -66,96 +65,60 @@ func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 		workers = 1
 	}
 
-	if workers == 1 {
-		j := jn.worker(0, data, cfg)
-		maxDepth, pairsDone := 0, 0
-		var err error
-		func() {
-			defer arena.RecoverOOM(&err)
-			for i := 0; i < n; i++ {
-				if err = claimCheck(cfg); err != nil {
-					return
-				}
-				var d int
-				if d, err = j.joinPairBudget(bp.part(i), pp.part(i), bp.bits, cfg, 0); err != nil {
-					return
-				}
-				pairsDone++
-				if d > maxDepth {
-					maxDepth = d
-				}
-			}
-		}()
-		if err != nil {
-			return Result{Workers: 1}, asCancel(err, pairsDone, n, j.nOutput)
-		}
-		return Result{NOutput: j.nOutput, KeySum: j.keySum, Workers: 1, RecursionDepth: maxDepth}, nil
+	// Per-slot progress accounting, padded to distinct cache lines. The
+	// pool contract (one Run in flight per slot) makes slot-indexed
+	// writes race-free; output accumulators live in the pairJoiners.
+	type slotAcc struct {
+		depth int
+		pairs int
+		_     [48]byte
 	}
-
-	type acc struct {
-		nOutput int
-		keySum  uint64
-		depth   int
-		pairs   int
-		err     error
-		_       [16]byte // pad accumulators to distinct cache lines
-	}
-	accs := make([]acc, workers)
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
+	accs := make([]slotAcc, workers)
+	js := make([]*pairJoiner, workers)
 	for w := 0; w < workers; w++ {
-		j := jn.worker(w, data, cfg)
-		wg.Add(1)
-		go func(w int, j *pairJoiner) {
-			defer wg.Done()
-			var err error
-			maxDepth, pairsDone := 0, 0
-			defer func() {
-				accs[w] = acc{nOutput: j.nOutput, keySum: j.keySum, depth: maxDepth, pairs: pairsDone, err: err}
-				if err != nil {
-					failed.Store(true)
-				}
-			}()
-			defer arena.RecoverOOM(&err)
-			for !failed.Load() {
-				if err = claimCheck(cfg); err != nil {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					break
-				}
-				var d int
-				if d, err = j.joinPairBudget(bp.part(i), pp.part(i), bp.bits, cfg, 0); err != nil {
-					return
-				}
-				pairsDone++
-				if d > maxDepth {
-					maxDepth = d
-				}
-			}
-		}(w, j)
+		js[w] = jn.worker(w, data, cfg)
 	}
-	wg.Wait()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = localPool{}
+	}
+	err := pool.Do(&MorselJob{
+		Tenant: cfg.Tenant,
+		Weight: cfg.Weight,
+		N:      n,
+		Slots:  workers,
+		Run: func(slot, i int) (err error) {
+			defer arena.RecoverOOM(&err)
+			if err = claimCheck(cfg); err != nil {
+				return err
+			}
+			d, err := js[slot].joinPairBudget(bp.part(i), pp.part(i), bp.bits, cfg, 0)
+			if err != nil {
+				return err
+			}
+			accs[slot].pairs++
+			if d > accs[slot].depth {
+				accs[slot].depth = d
+			}
+			return nil
+		},
+	})
 
 	var r Result
 	r.Workers = workers
-	var firstErr error
-	pairsDone := 0
 	for w := range accs {
-		if accs[w].err != nil && firstErr == nil {
-			firstErr = accs[w].err
-		}
-		r.NOutput += accs[w].nOutput
-		r.KeySum += accs[w].keySum
-		pairsDone += accs[w].pairs
+		r.PairsJoined += accs[w].pairs
 		if accs[w].depth > r.RecursionDepth {
 			r.RecursionDepth = accs[w].depth
 		}
 	}
-	if firstErr != nil {
-		return Result{Workers: workers}, asCancel(firstErr, pairsDone, n, r.NOutput)
+	for _, j := range js {
+		r.NOutput += j.nOutput
+		r.KeySum += j.keySum
+	}
+	if err != nil {
+		return Result{Workers: workers, PairsJoined: r.PairsJoined},
+			asCancel(err, r.PairsJoined, n, r.NOutput)
 	}
 	return r, nil
 }

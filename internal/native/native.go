@@ -44,6 +44,7 @@ import (
 	"runtime"
 	"time"
 
+	"hashjoin/internal/arena"
 	"hashjoin/internal/storage"
 )
 
@@ -127,6 +128,24 @@ type Config struct {
 	// pool never exceeds the partition count.
 	Workers int
 
+	// Pool, when non-nil, executes the morsel phase on a shared worker
+	// pool instead of per-join goroutines — the multi-tenant scheduler's
+	// hook. Workers then bounds this join's concurrent slots within the
+	// shared pool, not a goroutine count.
+	Pool Pool
+
+	// Tenant and Weight identify the owning query for a shared Pool's
+	// weighted round-robin interleaving. Ignored without a Pool.
+	Tenant string
+	Weight int
+
+	// Arena, when non-nil, is the scratch arena for the join's own
+	// allocations (the spill tier's page pool). nil uses the build
+	// relation's arena — correct when one query owns that arena, wrong
+	// under multi-tenancy, where scratch must come from the query's
+	// carved window so one tenant's spill cannot eat a neighbor's budget.
+	Arena *arena.Arena
+
 	// SpillDir is the parent directory for the out-of-core tier's temp
 	// files; "" means the OS temp directory. A pair that recursive
 	// re-partitioning cannot bring under MemBudget (irreducible
@@ -185,7 +204,13 @@ type Result struct {
 	KeySum  uint64 // sum of build keys over all outputs, as in the simulator
 
 	NPartitions int // partition pairs joined
-	Workers     int // workers that served the morsel queue
+	Workers     int // worker slots that served the morsel queue
+
+	// PairsJoined counts the partition-pair morsels actually executed:
+	// equal to NPartitions on success, fewer when an error or
+	// cancellation cut the join short. The multi-tenant accounting
+	// surfaces it as "morsels executed".
+	PairsJoined int
 
 	// RecursionDepth is the deepest recursive re-partitioning any pair
 	// needed to fit MemBudget; 0 means every first-level pair fit.

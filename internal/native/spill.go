@@ -61,8 +61,15 @@ func newSpillState(build, probe *storage.Relation, cfg Config) *spillState {
 	if workers < 1 {
 		workers = spill.DefaultWorkers
 	}
+	// The spill tier's page pool comes from the query's scratch arena
+	// when one is set (multi-tenant: the carved window), else from the
+	// arena the relations live in (single-query: same thing).
+	scratch := cfg.Arena
+	if scratch == nil {
+		scratch = build.Arena()
+	}
 	return &spillState{
-		a:          build.Arena(),
+		a:          scratch,
 		dir:        cfg.SpillDir,
 		workers:    workers,
 		buildWidth: bs.FixedWidth(),

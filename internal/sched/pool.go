@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hashjoin/internal/native"
+)
+
+// ErrPoolClosed reports a morsel job submitted to, or cut short by, a
+// closed pool.
+var ErrPoolClosed = errors.New("sched: worker pool closed")
+
+// Pool is the shared morsel executor: a fixed set of worker goroutines
+// serving every admitted query's partition-pair morsels. Fairness is
+// weighted round-robin over the active jobs — each pass around the job
+// ring a job may claim morsels up to its weight, so a query with a
+// thousand pairs and a query with four interleave instead of the big
+// one monopolizing the workers. Within a job, the native layer's slot
+// exclusivity is preserved: a slot (pairJoiner) never runs two morsels
+// concurrently.
+//
+// Pool implements native.Pool.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*poolJob
+	rr     int // round-robin scan start
+	closed bool
+	wg     sync.WaitGroup
+
+	morsels atomic.Uint64
+}
+
+type poolJob struct {
+	j       *native.MorselJob
+	next    int   // next unissued morsel
+	running int   // morsels in flight
+	free    []int // idle slot indexes (stack)
+	credit  int   // remaining claims this round-robin epoch
+	err     error // first error; stops further issue
+	done    chan struct{}
+}
+
+// NewPool starts a pool of workers goroutines (0 = GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Morsels returns how many morsels the pool has executed in total.
+func (p *Pool) Morsels() uint64 { return p.morsels.Load() }
+
+// Do enqueues job and blocks until every issued morsel has finished,
+// returning the job's first error (see the native.MorselJob contract).
+// Many goroutines may call Do concurrently; that is the point.
+func (p *Pool) Do(job *native.MorselJob) error {
+	if job.N <= 0 {
+		return nil
+	}
+	slots := job.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	weight := job.Weight
+	if weight < 1 {
+		weight = 1
+	}
+	pj := &poolJob{j: job, free: make([]int, slots), credit: weight, done: make(chan struct{})}
+	for i := range pj.free {
+		pj.free[i] = i
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	p.jobs = append(p.jobs, pj)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	<-pj.done
+	return pj.err
+}
+
+// worker claims (job, slot, morsel) triples until the pool closes.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		pj, slot, morsel := p.pickLocked()
+		if pj == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		p.mu.Unlock()
+
+		err := pj.j.Run(slot, morsel)
+		p.morsels.Add(1)
+
+		p.mu.Lock()
+		pj.running--
+		pj.free = append(pj.free, slot)
+		if err != nil && pj.err == nil {
+			pj.err = err
+		}
+		if pj.err != nil {
+			pj.next = pj.j.N // stop issuing the rest
+		}
+		if pj.next >= pj.j.N && pj.running == 0 {
+			p.removeLocked(pj)
+			close(pj.done)
+		}
+		// A freed slot or a finished job may unblock siblings.
+		p.cond.Broadcast()
+	}
+}
+
+// pickLocked chooses the next claim by weighted round-robin: scan the
+// job ring from the cursor for an eligible job with credit left; if
+// every eligible job is out of credit, refill all credits (a new epoch)
+// and take the first eligible. Eligible means morsels remain, a slot is
+// free, and no error has stopped the job.
+func (p *Pool) pickLocked() (*poolJob, int, int) {
+	n := len(p.jobs)
+	var fallback *poolJob
+	fallbackIdx := 0
+	for k := 0; k < n; k++ {
+		idx := (p.rr + k) % n
+		pj := p.jobs[idx]
+		if pj.next >= pj.j.N || len(pj.free) == 0 || pj.err != nil {
+			continue
+		}
+		if pj.credit > 0 {
+			return p.issueLocked(pj, idx)
+		}
+		if fallback == nil {
+			fallback = pj
+			fallbackIdx = idx
+		}
+	}
+	if fallback == nil {
+		return nil, 0, 0
+	}
+	for _, pj := range p.jobs {
+		w := pj.j.Weight
+		if w < 1 {
+			w = 1
+		}
+		pj.credit = w
+	}
+	return p.issueLocked(fallback, fallbackIdx)
+}
+
+func (p *Pool) issueLocked(pj *poolJob, idx int) (*poolJob, int, int) {
+	pj.credit--
+	morsel := pj.next
+	pj.next++
+	slot := pj.free[len(pj.free)-1]
+	pj.free = pj.free[:len(pj.free)-1]
+	pj.running++
+	p.rr = idx + 1
+	return pj, slot, morsel
+}
+
+func (p *Pool) removeLocked(pj *poolJob) {
+	for i, q := range p.jobs {
+		if q == pj {
+			p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Close stops the workers. Jobs with unissued morsels fail with
+// ErrPoolClosed (their in-flight morsels finish first); new Do calls
+// fail immediately. Idempotent; blocks until every worker has exited.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	live := p.jobs[:0]
+	for _, pj := range p.jobs {
+		if pj.err == nil {
+			pj.err = ErrPoolClosed
+		}
+		pj.next = pj.j.N
+		if pj.running == 0 {
+			close(pj.done)
+		} else {
+			live = append(live, pj)
+		}
+	}
+	p.jobs = live
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

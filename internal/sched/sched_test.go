@@ -1,0 +1,370 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hashjoin/internal/arena"
+)
+
+func newTestController(t *testing.T, arenaBytes uint64, cfg Config) (*Controller, *arena.Arena) {
+	t.Helper()
+	a := arena.New(arenaBytes)
+	cfg.Arena = a
+	c := NewController(cfg)
+	t.Cleanup(c.Close)
+	return c, a
+}
+
+func TestAdmitFastPath(t *testing.T) {
+	c, a := newTestController(t, 8<<20, Config{MaxConcurrent: 2})
+
+	g, err := c.Admit(context.Background(), Request{Tenant: "t1", Planned: 1 << 20})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if g.Arena() == a {
+		t.Fatal("non-exclusive grant got the shared arena")
+	}
+	if got := g.Arena().Cap(); got != 1<<20 {
+		t.Fatalf("window cap = %d, want %d", got, 1<<20)
+	}
+	if got := g.Planned(); got != 1<<20 {
+		t.Fatalf("Planned() = %d, want %d", got, 1<<20)
+	}
+	// The window is writable and window-relative.
+	if _, err := g.Arena().TryAlloc(512, 8); err != nil {
+		t.Fatalf("alloc in window: %v", err)
+	}
+	g.Release(nil)
+
+	s := c.Stats()
+	if s.Admitted != 1 || s.Completed != 1 || s.InFlight != 0 {
+		t.Fatalf("counters = %+v", s)
+	}
+}
+
+func TestAdmitFloorsTinyPlans(t *testing.T) {
+	c, _ := newTestController(t, 8<<20, Config{})
+	g, err := c.Admit(context.Background(), Request{Tenant: "t", Planned: 1})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	defer g.Release(nil)
+	if got := g.Arena().Cap(); got != minPlanned {
+		t.Fatalf("window cap = %d, want floor %d", got, minPlanned)
+	}
+}
+
+func TestShedTooLarge(t *testing.T) {
+	c, a := newTestController(t, 4<<20, Config{})
+	a.SetBudget(2 << 20)
+
+	_, err := c.Admit(context.Background(), Request{Tenant: "big", Planned: 3 << 20})
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *AdmissionError", err)
+	}
+	if ae.Reason != TooLarge {
+		t.Fatalf("reason = %v, want TooLarge", ae.Reason)
+	}
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatal("does not unwrap to ErrAdmission")
+	}
+	if ae.Limit == 0 || ae.Limit > 2<<20 {
+		t.Fatalf("limit = %d, want (0, %d]", ae.Limit, 2<<20)
+	}
+	if got := c.Stats().ShedTooLarge; got != 1 {
+		t.Fatalf("ShedTooLarge = %d", got)
+	}
+}
+
+func TestQueueFIFOAndQueueFull(t *testing.T) {
+	c, _ := newTestController(t, 32<<20, Config{MaxConcurrent: 1, QueueDepth: 2})
+
+	g0, err := c.Admit(context.Background(), Request{Tenant: "hold", Planned: 1 << 20})
+	if err != nil {
+		t.Fatalf("Admit hold: %v", err)
+	}
+
+	// Two waiters fill the queue.
+	type res struct {
+		id  int
+		g   *Grant
+		err error
+	}
+	resc := make(chan res, 2)
+	admitted := make(chan int, 2)
+	for i := 1; i <= 2; i++ {
+		i := i
+		go func() {
+			g, err := c.Admit(context.Background(), Request{Tenant: fmt.Sprintf("w%d", i), Planned: 1 << 20})
+			admitted <- i
+			resc <- res{i, g, err}
+		}()
+		// Deterministic arrival order for the FIFO check.
+		waitFor(t, func() bool { return c.Stats().Queued == i })
+	}
+
+	// Third waiter sheds QueueFull.
+	_, err = c.Admit(context.Background(), Request{Tenant: "w3", Planned: 1 << 20})
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != QueueFull {
+		t.Fatalf("err = %v, want QueueFull", err)
+	}
+
+	// Release the holder: waiter 1 must be admitted before waiter 2.
+	g0.Release(nil)
+	if first := <-admitted; first != 1 {
+		t.Fatalf("admitted %d first, want FIFO order 1", first)
+	}
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("waiter %d: %v", r.id, r.err)
+	}
+	if r.g.QueueWait() <= 0 {
+		t.Fatal("queued grant reports zero wait")
+	}
+	r.g.Release(nil)
+	r2 := <-resc
+	if r2.err != nil {
+		t.Fatalf("waiter %d: %v", r2.id, r2.err)
+	}
+	r2.g.Release(nil)
+
+	s := c.Stats()
+	if s.Waited != 2 || s.QueueWaitTotal <= 0 {
+		t.Fatalf("wait counters = %+v", s)
+	}
+}
+
+func TestQueueTimeoutAndContextCancel(t *testing.T) {
+	c, _ := newTestController(t, 32<<20, Config{MaxConcurrent: 1, QueueTimeout: 30 * time.Millisecond})
+
+	g0, err := c.Admit(context.Background(), Request{Tenant: "hold", Planned: 1 << 20})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	defer g0.Release(nil)
+
+	// Controller-side queue timeout.
+	_, err = c.Admit(context.Background(), Request{Tenant: "slow", Planned: 1 << 20})
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != Timeout {
+		t.Fatalf("err = %v, want Timeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("queue timeout does not unwrap to DeadlineExceeded")
+	}
+	if ae.Waited <= 0 {
+		t.Fatal("timeout error reports zero wait")
+	}
+
+	// Caller-side context cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, Request{Tenant: "cancelled", Planned: 1 << 20})
+		done <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+	cancel()
+	err = <-done
+	if !errors.As(err, &ae) || ae.Reason != Timeout || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Timeout wrapping context.Canceled", err)
+	}
+	if got := c.Stats().ShedTimeout; got != 2 {
+		t.Fatalf("ShedTimeout = %d, want 2", got)
+	}
+}
+
+func TestQuiescentReclaim(t *testing.T) {
+	c, a := newTestController(t, 8<<20, Config{MaxConcurrent: 4})
+	before := a.Used()
+
+	var grants []*Grant
+	for i := 0; i < 3; i++ {
+		g, err := c.Admit(context.Background(), Request{Tenant: "t", Planned: 1 << 20})
+		if err != nil {
+			t.Fatalf("Admit %d: %v", i, err)
+		}
+		grants = append(grants, g)
+	}
+	if a.Used() <= before {
+		t.Fatal("carves did not consume the arena")
+	}
+	// Release all but one: windows burn, no reclaim yet.
+	grants[0].Release(nil)
+	grants[1].Release(nil)
+	if a.Used() <= before {
+		t.Fatal("premature reclaim while a grant is outstanding")
+	}
+	grants[2].Release(nil)
+	if got := a.Used(); got != before {
+		t.Fatalf("after quiescence Used = %d, want %d", got, before)
+	}
+	if got := c.Stats().Reclaims; got == 0 {
+		t.Fatal("no reclaim counted")
+	}
+}
+
+func TestReclaimSkippedWhenForeignAllocationAboveWindows(t *testing.T) {
+	c, a := newTestController(t, 8<<20, Config{})
+	g, err := c.Admit(context.Background(), Request{Tenant: "t", Planned: 1 << 20})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	// A durable allocation lands on the shared arena above the window
+	// (e.g. the caller loaded a relation mid-service).
+	addr, err := a.TryAlloc(4096, 8)
+	if err != nil {
+		t.Fatalf("TryAlloc: %v", err)
+	}
+	mark := a.Used()
+	g.Release(nil)
+	// The window must be leaked, not truncated out from under addr.
+	if got := a.Used(); got != mark {
+		t.Fatalf("Used = %d, want %d (no truncation past a durable allocation)", got, mark)
+	}
+	_ = addr
+	// The next quiescent wave resumes reclaiming.
+	g2, err := c.Admit(context.Background(), Request{Tenant: "t", Planned: 1 << 20})
+	if err != nil {
+		t.Fatalf("Admit 2: %v", err)
+	}
+	after := a.Used()
+	if after <= mark {
+		t.Fatal("second carve did not extend the arena")
+	}
+	g2.Release(nil)
+	if got := a.Used(); got != mark {
+		t.Fatalf("second wave: Used = %d, want %d", got, mark)
+	}
+}
+
+func TestExclusiveGrant(t *testing.T) {
+	c, a := newTestController(t, 8<<20, Config{MaxConcurrent: 4})
+
+	g, err := c.Admit(context.Background(), Request{Tenant: "n", Planned: 1 << 20})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+
+	// Exclusive waits for the in-flight query.
+	done := make(chan *Grant, 1)
+	go func() {
+		ge, err := c.Admit(context.Background(), Request{Tenant: "x", Exclusive: true})
+		if err != nil {
+			t.Errorf("Admit exclusive: %v", err)
+			done <- nil
+			return
+		}
+		done <- ge
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+	g.Release(nil)
+	ge := <-done
+	if ge == nil {
+		t.FailNow()
+	}
+	if ge.Arena() != a {
+		t.Fatal("exclusive grant did not get the shared arena")
+	}
+	if ge.Planned() != 0 {
+		t.Fatalf("exclusive Planned() = %d, want 0", ge.Planned())
+	}
+
+	// While exclusive holds, nothing else is admitted.
+	done2 := make(chan error, 1)
+	go func() {
+		g2, err := c.Admit(context.Background(), Request{Tenant: "n2", Planned: 1 << 20})
+		if err == nil {
+			g2.Release(nil)
+		}
+		done2 <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+	ge.Release(nil)
+	if err := <-done2; err != nil {
+		t.Fatalf("post-exclusive admit: %v", err)
+	}
+}
+
+func TestCloseShedsQueueAndDrains(t *testing.T) {
+	c, _ := newTestController(t, 8<<20, Config{MaxConcurrent: 1})
+	g, err := c.Admit(context.Background(), Request{Tenant: "hold", Planned: 1 << 20})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(context.Background(), Request{Tenant: "q", Planned: 1 << 20})
+		queuedErr <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+
+	closed := make(chan struct{})
+	go func() {
+		c.Close()
+		close(closed)
+	}()
+
+	err = <-queuedErr
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != Draining {
+		t.Fatalf("queued waiter err = %v, want Draining", err)
+	}
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a grant was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release(nil)
+	<-closed
+
+	_, err = c.Admit(context.Background(), Request{Tenant: "late", Planned: 1 << 20})
+	if !errors.As(err, &ae) || ae.Reason != Draining {
+		t.Fatalf("post-Close admit err = %v, want Draining", err)
+	}
+}
+
+func TestConcurrentAdmitReleaseRace(t *testing.T) {
+	c, _ := newTestController(t, 16<<20, Config{MaxConcurrent: 4, QueueDepth: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := c.Admit(context.Background(), Request{Tenant: fmt.Sprintf("t%d", i%5), Planned: 1 << 20})
+			if err != nil {
+				t.Errorf("Admit: %v", err)
+				return
+			}
+			if _, err := g.Arena().TryAlloc(1024, 8); err != nil {
+				t.Errorf("alloc: %v", err)
+			}
+			g.Release(nil)
+		}(i)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Admitted != 32 || s.Completed != 32 || s.InFlight != 0 || s.ReservedBytes != 0 {
+		t.Fatalf("counters = %+v", s)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -10,9 +10,13 @@ package hashjoin
 
 import (
 	"context"
+	"runtime"
 	"time"
 
 	"hashjoin/internal/engine"
+	"hashjoin/internal/native"
+	"hashjoin/internal/sched"
+	"hashjoin/internal/spill"
 )
 
 // Engine selects the execution backend for RunPipeline.
@@ -48,6 +52,10 @@ type pipelineConfig struct {
 	aggValueOff int
 	aggGroups   int
 	hasAgg      bool
+
+	tenant  string
+	weight  int
+	planned uint64
 }
 
 // WithEngine selects the execution backend (default EngineSim).
@@ -129,6 +137,29 @@ func WithPipelineNoSpill() PipelineOption {
 	return func(c *pipelineConfig) { c.noSpill = true }
 }
 
+// WithTenant labels the run for the service Env's admission and
+// fairness accounting (counters, shed errors, pool interleaving).
+func WithTenant(name string) PipelineOption {
+	return func(c *pipelineConfig) { c.tenant = name }
+}
+
+// WithTenantWeight biases the shared worker pool's round-robin toward
+// this run's morsels: a weight-3 tenant claims up to three morsels per
+// scheduling round where a weight-1 tenant claims one. Values < 1 mean
+// 1. Ignored outside service mode.
+func WithTenantWeight(w int) PipelineOption {
+	return func(c *pipelineConfig) { c.weight = w }
+}
+
+// WithPlannedScratch declares the run's scratch footprint in bytes for
+// admission on a service Env: the admitted query runs on a private
+// arena window of exactly this size. 0 (the default) estimates the
+// footprint from the plan and relations. A run that outgrows its
+// window fails alone with an *OOMError; neighbors are unaffected.
+func WithPlannedScratch(bytes uint64) PipelineOption {
+	return func(c *pipelineConfig) { c.planned = bytes }
+}
+
 // PipelineResult reports one pipeline run. NOutput and KeySum describe
 // the join's output whether or not aggregation ran (with aggregation
 // they are recovered from the groups, which partition the join output).
@@ -161,6 +192,14 @@ type PipelineResult struct {
 	SpillBytesRead    int64
 	SpillWriteStall   time.Duration
 	SpillReadStall    time.Duration
+
+	// Service-mode accounting: how long admission queued the run, the
+	// scratch window it was granted (0 for exclusive/simulated runs),
+	// and how many partition-pair morsels the shared pool executed for
+	// it. All zero outside service mode.
+	QueueWait       time.Duration
+	AdmittedBytes   uint64
+	MorselsExecuted int
 }
 
 // RunPipeline executes build ⋈ probe — optionally filtered and
@@ -187,13 +226,44 @@ func (e *Env) RunPipeline(build, probe *Relation, opts ...PipelineOption) (Pipel
 // page of the event. A cancelled run returns a *CancelError that
 // matches both ErrCancelled and the context's own error; the native
 // join's cancellation also reports partition-pair progress.
-func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, opts ...PipelineOption) (PipelineResult, error) {
+func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, opts ...PipelineOption) (res PipelineResult, err error) {
 	if build.env != e || probe.env != e {
 		panic("hashjoin: relations belong to a different Env")
 	}
 	pc := pipelineConfig{engine: EngineSim, scheme: Group, fanout: 1}
 	for _, o := range opts {
 		o(&pc)
+	}
+
+	// Service mode routes the run through admission. Native runs are
+	// granted a private scratch window and the shared worker pool;
+	// simulated runs are exclusive tenants (the cycle simulator is
+	// single-threaded and they scope scratch on the shared arena).
+	a := e.mem.A
+	var pool native.Pool
+	if e.svc != nil {
+		req := sched.Request{Tenant: pc.tenant, Weight: pc.weight, Exclusive: pc.engine == EngineSim}
+		if !req.Exclusive {
+			req.Planned = pc.planned
+			if req.Planned == 0 {
+				req.Planned = e.plannedScratch(&pc, build, probe)
+			}
+		}
+		g, aerr := e.svc.Admit(ctx, req)
+		if aerr != nil {
+			return PipelineResult{}, aerr
+		}
+		defer func() { g.Release(err) }()
+		a = g.Arena()
+		res.QueueWait = g.QueueWait()
+		res.AdmittedBytes = g.Planned()
+		if pc.engine == EngineNative {
+			pool = e.svc.Pool()
+		}
+	}
+	if pc.engine == EngineSim {
+		e.simMu.Lock()
+		defer e.simMu.Unlock()
 	}
 
 	buildNode := engine.Scan(build.rel)
@@ -209,11 +279,14 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 	cfg := engine.Config{
 		Backend:      pc.engine,
 		Mem:          e.mem,
-		A:            e.mem.A,
+		A:            a,
 		Scheme:       pc.scheme,
 		Params:       pc.params,
 		Fanout:       pc.fanout,
 		Workers:      pc.workers,
+		Pool:         pool,
+		Tenant:       pc.tenant,
+		Weight:       pc.weight,
 		MemBudget:    pc.memBudget,
 		SpillDir:     pc.spillDir,
 		SpillWorkers: pc.spillWorkers,
@@ -222,17 +295,20 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 		Ctx:          ctx,
 	}
 
-	var res PipelineResult
-	before := e.mem.S.Stats()
+	var before Stats
+	if pc.engine == EngineSim {
+		before = e.mem.S.Stats()
+	}
 	start := time.Now()
 	root, err := engine.Compile(plan, cfg)
 	if err != nil {
 		return PipelineResult{}, err
 	}
 	if pc.hasAgg {
-		groups, err := engine.Groups(root, e.mem.A)
-		if err != nil {
-			return PipelineResult{}, wrapCancel(err, time.Since(start))
+		groups, gerr := engine.Groups(root, a)
+		if gerr != nil {
+			err = wrapCancel(gerr, time.Since(start))
+			return PipelineResult{}, err
 		}
 		for _, g := range groups {
 			res.Groups = append(res.Groups, GroupStat{Key: g.Key, Count: g.Count, Sum: g.Sum})
@@ -240,9 +316,10 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 			res.KeySum += uint64(g.Key) * g.Count
 		}
 	} else {
-		r, err := engine.Run(root, e.mem.A)
-		if err != nil {
-			return PipelineResult{}, wrapCancel(err, time.Since(start))
+		r, rerr := engine.Run(root, a)
+		if rerr != nil {
+			err = wrapCancel(rerr, time.Since(start))
+			return PipelineResult{}, err
 		}
 		res.NOutput, res.KeySum = r.NRows, r.KeySum
 	}
@@ -259,5 +336,47 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 	res.SpillBytesRead = report.SpillBytesRead
 	res.SpillWriteStall = report.SpillWriteStall
 	res.SpillReadStall = report.SpillReadStall
+	res.MorselsExecuted = report.MorselsExecuted
 	return res, nil
+}
+
+// plannedScratch estimates a native pipeline run's arena scratch for
+// admission, mirroring the cli planner's model: the streaming join's
+// output ring, the morsel pipe buffers (2·workers+4 batches of
+// concatenated rows), aggregate staging, the spill tier's page pool
+// when it can engage, and page-rounding slack. The admission floor
+// (256 KB) covers the small end; WithPlannedScratch overrides the
+// whole estimate.
+func (e *Env) plannedScratch(pc *pipelineConfig, build, probe *Relation) uint64 {
+	outWidth := uint64(build.rel.Schema.FixedWidth() + probe.rel.Schema.FixedWidth())
+	batch := pc.params.G
+	if batch < native.DefaultG {
+		batch = native.DefaultG
+	}
+	workers := pc.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The output ring holds one probe batch's matches; without the
+	// workload's ground truth assume a moderately skewed 8 matches per
+	// probe tuple. Heavier skew should declare WithPlannedScratch.
+	ring := uint64(batch*8) * outWidth
+	pipeBufs := uint64(2*workers+4) * uint64(batch) * outWidth
+	var aggStaging uint64
+	if pc.hasAgg {
+		aggStaging = uint64(build.rel.NTuples) * engine.AggTupleWidth
+	}
+	var spillPool uint64
+	if pc.memBudget > 0 && !pc.noSpill {
+		sw := pc.spillWorkers
+		if sw < 1 {
+			sw = spill.DefaultWorkers
+		}
+		chunk := pc.memBudget/spill.DefaultPageSize + 1
+		if chunk > 256 {
+			chunk = 256
+		}
+		spillPool = uint64(chunk+3*sw+4)*uint64(spill.DefaultPageSize) + (64 << 10)
+	}
+	return ring + pipeBufs + aggStaging + spillPool + (64 << 10)
 }

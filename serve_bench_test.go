@@ -1,0 +1,160 @@
+package hashjoin
+
+// Multi-tenant throughput benchmark: one service Env, N goroutines each
+// running the same validated morsel join concurrently, swept over
+// N = 1, 2, 4, 8. The interesting curve is wall clock per query as
+// concurrency grows: admission windows and the shared weighted
+// round-robin pool should turn N neighbors into graceful interleaving
+// (sub-linear slowdown per query, rising aggregate throughput), not a
+// pile-up. BenchmarkServeConcurrency writes BENCH_serve.json:
+//
+//	go test -run=^$ -bench BenchmarkServeConcurrency -benchtime=1x .
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+const (
+	serveBenchTenants = 8 // workloads resident in the Env (max concurrency)
+	serveBenchNBuild  = 20000
+	serveBenchTuple   = 40
+	serveBenchFanout  = 8
+)
+
+var (
+	serveBenchOnce sync.Once
+	serveBenchEnv  *Env
+	serveBenchWs   []*Workload
+)
+
+// serveBenchSetup builds the resident service Env once: 8 tenants'
+// workloads loaded durably, admission sized so the largest sweep level
+// runs without queueing.
+func serveBenchSetup(tb testing.TB) {
+	serveBenchOnce.Do(func() {
+		serveBenchEnv = NewEnv(WithSmallHierarchy(), WithCapacity(512<<20),
+			WithService(ServiceConfig{MaxConcurrent: serveBenchTenants}))
+		ctx := context.Background()
+		for i := 0; i < serveBenchTenants; i++ {
+			w, err := serveBenchEnv.GenerateWorkload(ctx, serveBenchNBuild, 2*serveBenchNBuild, serveBenchTuple, int64(1+i))
+			if err != nil {
+				tb.Fatalf("workload %d: %v", i, err)
+			}
+			serveBenchWs = append(serveBenchWs, w)
+		}
+	})
+}
+
+// runServeWave runs n concurrent validated queries (one per tenant) and
+// returns the wave's wall clock plus each query's own elapsed time.
+func runServeWave(tb testing.TB, n int) (time.Duration, []time.Duration) {
+	var wg sync.WaitGroup
+	perQuery := make([]time.Duration, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := serveBenchWs[i]
+			res, err := serveBenchEnv.RunPipelineContext(context.Background(), w.Build, w.Probe,
+				WithEngine(EngineNative), WithPipelineFanout(serveBenchFanout),
+				WithTenant("bench"), WithPipelineWorkers(0))
+			if err != nil {
+				tb.Errorf("tenant %d: %v", i, err)
+				return
+			}
+			if res.NOutput != w.ExpectedMatches || res.KeySum != w.KeySum {
+				tb.Errorf("tenant %d: result %d/%d, want %d/%d",
+					i, res.NOutput, res.KeySum, w.ExpectedMatches, w.KeySum)
+			}
+			perQuery[i] = res.Elapsed
+		}(i)
+	}
+	wg.Wait()
+	return time.Since(start), perQuery
+}
+
+// servePoint is one concurrency level in BENCH_serve.json.
+type servePoint struct {
+	Concurrency int `json:"concurrency"`
+	// Wave wall clock and the resulting aggregate throughput.
+	WaveMs           float64 `json:"wave_ms"`
+	QueriesPerSecond float64 `json:"queries_per_second"`
+	// Median single-query elapsed inside the wave: how much a query
+	// slows down when N-1 neighbors share the Env.
+	QueryMs float64 `json:"query_ms"`
+}
+
+// serveTrajectory is the BENCH_serve.json document.
+type serveTrajectory struct {
+	NBuild      int          `json:"n_build"`
+	NProbe      int          `json:"n_probe"`
+	TupleSize   int          `json:"tuple_size"`
+	Fanout      int          `json:"fanout"`
+	MaxInFlight int          `json:"max_in_flight"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	PrefetchASM bool         `json:"prefetch_asm"`
+	Points      []servePoint `json:"points"`
+}
+
+// BenchmarkServeConcurrency sweeps 1, 2, 4, 8 concurrent queries over
+// one service Env and emits BENCH_serve.json. Levels interleave across
+// repetitions so host drift lands on all of them alike; medians are
+// reported per level.
+func BenchmarkServeConcurrency(b *testing.B) {
+	serveBenchSetup(b)
+	levels := []int{1, 2, 4, 8}
+
+	runServeWave(b, levels[len(levels)-1]) // untimed warmup
+
+	const reps = 5
+	waves := make([][]time.Duration, len(levels))
+	queries := make([][]time.Duration, len(levels))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range waves {
+			waves[j], queries[j] = nil, nil
+		}
+		for rep := 0; rep < reps; rep++ {
+			for j, n := range levels {
+				wave, per := runServeWave(b, n)
+				waves[j] = append(waves[j], wave)
+				queries[j] = append(queries[j], per...)
+			}
+		}
+	}
+	b.StopTimer()
+
+	traj := serveTrajectory{
+		NBuild:      serveBenchNBuild,
+		NProbe:      2 * serveBenchNBuild,
+		TupleSize:   serveBenchTuple,
+		Fanout:      serveBenchFanout,
+		MaxInFlight: serveBenchTenants,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		PrefetchASM: NativeHasPrefetch(),
+	}
+	for j, n := range levels {
+		wave := medianDuration(waves[j])
+		traj.Points = append(traj.Points, servePoint{
+			Concurrency:      n,
+			WaveMs:           float64(wave.Microseconds()) / 1e3,
+			QueriesPerSecond: float64(n) / wave.Seconds(),
+			QueryMs:          float64(medianDuration(queries[j]).Microseconds()) / 1e3,
+		})
+	}
+	b.ReportMetric(traj.Points[0].WaveMs, "ms@1query")
+	b.ReportMetric(traj.Points[len(traj.Points)-1].QueriesPerSecond, "qps@8queries")
+
+	if doc, err := json.MarshalIndent(traj, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_serve.json", append(doc, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_serve.json not written: %v", err)
+		}
+	}
+}
