@@ -76,9 +76,9 @@ func TestRunPipelineBudgetRepartitions(t *testing.T) {
 	}
 
 	budget := 256 << 10
-	if native.BuildFootprint(spec.NBuild) <= budget {
+	if native.BuildFootprint(spec.NBuild, spec.TupleSize) <= budget {
 		t.Fatalf("test budget %d does not undercut the build footprint %d",
-			budget, native.BuildFootprint(spec.NBuild))
+			budget, native.BuildFootprint(spec.NBuild, spec.TupleSize))
 	}
 	tight := mustRunPipeline(t, env, build, probe,
 		WithEngine(EngineNative), WithAggregation(4, spec.NBuild),

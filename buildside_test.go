@@ -1,0 +1,158 @@
+package hashjoin
+
+// The cached build-side contract: PrepareBuildSide's concurrently
+// built table, probed through WithBuildSide, produces exactly the
+// results a per-query build produces — including with 8 concurrent
+// tenants sharing one handle on a service Env, under -race — and the
+// option's preconditions fail loudly instead of probing garbage.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"hashjoin/internal/fault"
+)
+
+func TestBuildSideReuseParity(t *testing.T) {
+	env := NewEnv(WithSmallHierarchy(), WithCapacity(64<<20))
+	ctx := context.Background()
+	w, err := env.GenerateWorkload(ctx, 4000, 8000, 40, 7)
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+
+	ref, err := env.RunPipeline(w.Build, w.Probe, WithEngine(EngineNative))
+	if err != nil {
+		t.Fatalf("per-query build run: %v", err)
+	}
+	if ref.NOutput != w.ExpectedMatches || ref.KeySum != w.KeySum {
+		t.Fatalf("reference run = (%d, %d), want (%d, %d)", ref.NOutput, ref.KeySum, w.ExpectedMatches, w.KeySum)
+	}
+
+	b, err := env.PrepareBuildSide(ctx, w.Build, WithPipelineWorkers(4))
+	if err != nil {
+		t.Fatalf("PrepareBuildSide: %v", err)
+	}
+	if b.Rows() != w.Build.Len() || b.Bytes() == 0 {
+		t.Fatalf("handle reports %d rows / %d bytes for a %d-tuple build", b.Rows(), b.Bytes(), w.Build.Len())
+	}
+
+	// Every scheme probes the one shared table; aggregation composes.
+	for _, scheme := range []Scheme{Baseline, Group, Pipelined} {
+		got, err := env.RunPipeline(w.Build, w.Probe,
+			WithEngine(EngineNative), WithBuildSide(b), WithPipelineScheme(scheme))
+		if err != nil {
+			t.Fatalf("%v cached run: %v", scheme, err)
+		}
+		if got.NOutput != ref.NOutput || got.KeySum != ref.KeySum {
+			t.Fatalf("%v cached run = (%d, %d), want (%d, %d)", scheme, got.NOutput, got.KeySum, ref.NOutput, ref.KeySum)
+		}
+	}
+	agg, err := env.RunPipeline(w.Build, w.Probe,
+		WithEngine(EngineNative), WithBuildSide(b), WithAggregation(4, 8192))
+	if err != nil {
+		t.Fatalf("cached aggregation run: %v", err)
+	}
+	if agg.NOutput != ref.NOutput || agg.KeySum != ref.KeySum || len(agg.Groups) == 0 {
+		t.Fatalf("cached aggregation = (%d, %d, %d groups), want (%d, %d)",
+			agg.NOutput, agg.KeySum, len(agg.Groups), ref.NOutput, ref.KeySum)
+	}
+}
+
+// TestBuildSideConcurrentTenants is the satellite-3 service proof: one
+// cached BuildSide probed by 8 concurrent tenants on a service Env
+// matches the serialized runs exactly, across repeat rounds and a
+// quiescent reclamation between them (the heap-resident table must
+// survive arena truncation).
+func TestBuildSideConcurrentTenants(t *testing.T) {
+	base := fault.Goroutines()
+	env := NewEnv(WithSmallHierarchy(), WithCapacity(128<<20),
+		WithService(ServiceConfig{MaxConcurrent: 4, Workers: 4}))
+	defer env.Close()
+	ctx := context.Background()
+
+	w, err := env.GenerateWorkload(ctx, 5000, 10000, 40, 11)
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+	b, err := env.PrepareBuildSide(ctx, w.Build, WithTenant("prep"), WithPipelineWorkers(4))
+	if err != nil {
+		t.Fatalf("PrepareBuildSide: %v", err)
+	}
+
+	const tenants = 8
+	for round := 0; round < 2; round++ {
+		var wg sync.WaitGroup
+		results := make([]PipelineResult, tenants)
+		errs := make([]error, tenants)
+		for i := 0; i < tenants; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				scheme := []Scheme{Baseline, Group, Pipelined}[i%3]
+				results[i], errs[i] = env.RunPipelineContext(ctx, w.Build, w.Probe,
+					WithEngine(EngineNative), WithBuildSide(b),
+					WithPipelineScheme(scheme), WithTenantWeight(1+i%3),
+					WithTenant("tenant"))
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < tenants; i++ {
+			if errs[i] != nil {
+				t.Fatalf("round %d tenant %d: %v", round, i, errs[i])
+			}
+			if results[i].NOutput != w.ExpectedMatches || results[i].KeySum != w.KeySum {
+				t.Fatalf("round %d tenant %d: (%d, %d), want (%d, %d)",
+					round, i, results[i].NOutput, results[i].KeySum, w.ExpectedMatches, w.KeySum)
+			}
+		}
+	}
+	if s := env.ServiceStats(); s.Reclaims == 0 {
+		t.Error("no quiescent reclamation between rounds; the survival claim went untested")
+	}
+
+	env.Close()
+	fault.CheckGoroutines(t, base)
+}
+
+func TestBuildSideValidation(t *testing.T) {
+	env := NewEnv(WithSmallHierarchy(), WithCapacity(64<<20))
+	ctx := context.Background()
+	w, err := env.GenerateWorkload(ctx, 200, 400, 24, 3)
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+	b, err := env.PrepareBuildSide(ctx, w.Build)
+	if err != nil {
+		t.Fatalf("PrepareBuildSide: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		opts []PipelineOption
+		want string
+	}{
+		{"sim-engine", []PipelineOption{WithEngine(EngineSim), WithBuildSide(b)}, "native engine"},
+		{"filter", []PipelineOption{WithEngine(EngineNative), WithBuildSide(b), WithBuildFilter(1, 2)}, "WithBuildFilter"},
+		{"fanout", []PipelineOption{WithEngine(EngineNative), WithBuildSide(b), WithPipelineFanout(4)}, "fanout"},
+	}
+	for _, tc := range cases {
+		_, err := env.RunPipeline(w.Build, w.Probe, tc.opts...)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Wrong relation: the handle snapshots one build side only.
+	if _, err := env.RunPipeline(w.Probe, w.Build, WithEngine(EngineNative), WithBuildSide(b)); err == nil ||
+		!strings.Contains(err.Error(), "different relation") {
+		t.Errorf("wrong-relation err = %v", err)
+	}
+
+	// PrepareBuildSide itself rejects the sim engine.
+	if _, err := env.PrepareBuildSide(ctx, w.Build, WithEngine(EngineSim)); err == nil {
+		t.Error("PrepareBuildSide accepted the sim engine")
+	}
+}

@@ -1,10 +1,11 @@
 // Command benchcheck validates the repo's machine-readable benchmark
 // trajectories — BENCH_native.json, BENCH_pipeline.json,
-// BENCH_spill.json, and BENCH_serve.json — so CI fails fast when a
-// benchmark stops emitting its document or emits one with missing keys,
-// non-positive timings, or (for the spill and serve trajectories) an
-// empty or malformed sweep. It checks shape and sanity, not
-// performance: timing values must be positive, not fast.
+// BENCH_spill.json, BENCH_serve.json, and BENCH_table.json — so CI
+// fails fast when a benchmark stops emitting its document or emits one
+// with missing keys, non-positive timings, or (for the spill, serve,
+// and table trajectories) an empty or malformed sweep. It checks shape
+// and sanity, not performance: timing values must be positive, not
+// fast.
 //
 // Usage:
 //
@@ -43,6 +44,11 @@ var numKeys = map[string][]string{
 		"n_build", "n_probe", "tuple_size", "fanout",
 		"max_in_flight", "gomaxprocs",
 	},
+	"BENCH_table.json": {
+		"n_build", "n_probe", "tuple_size", "gomaxprocs",
+		"serial_build_ms",
+		"probe_rebuild_ms", "probe_cached_ms", "cached_speedup",
+	},
 }
 
 func main() {
@@ -50,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	failed := false
-	for _, name := range []string{"BENCH_native.json", "BENCH_pipeline.json", "BENCH_spill.json", "BENCH_serve.json"} {
+	for _, name := range []string{"BENCH_native.json", "BENCH_pipeline.json", "BENCH_spill.json", "BENCH_serve.json", "BENCH_table.json"} {
 		if errs := checkFile(filepath.Join(*dir, name), numKeys[name]); len(errs) > 0 {
 			failed = true
 			for _, e := range errs {
@@ -92,6 +98,43 @@ func checkFile(path string, keys []string) []error {
 		errs = append(errs, checkSpillPoints(doc)...)
 	case "BENCH_serve.json":
 		errs = append(errs, checkServePoints(doc)...)
+	case "BENCH_table.json":
+		errs = append(errs, checkTablePoints(doc)...)
+	}
+	return errs
+}
+
+// checkTablePoints validates the concurrent-build worker sweep: at
+// least one point, strictly ascending worker counts, and positive
+// build time and speedup at every count. Speedup must be positive, not
+// above one: on a single-core host the concurrent build legitimately
+// ties or loses to serial, and benchcheck gates shape, not hardware.
+func checkTablePoints(doc map[string]any) []error {
+	points, ok := doc["build_points"].([]any)
+	if !ok || len(points) == 0 {
+		return []error{fmt.Errorf("key %q missing or empty", "build_points")}
+	}
+	var errs []error
+	prev := 0.0
+	for i, p := range points {
+		pt, ok := p.(map[string]any)
+		if !ok {
+			errs = append(errs, fmt.Errorf("build_points[%d]: not an object", i))
+			continue
+		}
+		w, ok := num(pt["workers"])
+		if !ok || w <= 0 {
+			errs = append(errs, fmt.Errorf("build_points[%d]: workers missing or non-positive", i))
+		} else if w <= prev {
+			errs = append(errs, fmt.Errorf("build_points[%d]: workers %v not ascending (prev %v)", i, w, prev))
+		} else {
+			prev = w
+		}
+		for _, k := range []string{"build_ms", "speedup"} {
+			if v, ok := num(pt[k]); !ok || v <= 0 {
+				errs = append(errs, fmt.Errorf("build_points[%d]: %s missing or non-positive", i, k))
+			}
+		}
 	}
 	return errs
 }

@@ -1,13 +1,18 @@
 // Command hjplot renders an experiment's first series as ASCII bar
 // charts, a quick visual check of the curve shapes the paper reports
-// (concave tuning curves, crossovers, flattening elapsed times).
+// (concave tuning curves, crossovers, flattening elapsed times). It
+// also plots the measured table trajectory (BENCH_table.json): the
+// concurrent-build worker sweep against the serial baseline, and the
+// rebuild-per-query join against the cached-BuildSide one.
 //
 // Usage:
 //
 //	hjplot -fig fig12 [-scale tiny]
+//	hjplot -bench BENCH_table.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		fig   = fs.String("fig", "", "experiment id (see hjbench -list)")
+		bench = fs.String("bench", "", "plot a measured trajectory instead (path to BENCH_table.json)")
 		scale = fs.String("scale", "tiny", "scale: tiny, small, or full")
 		width = fs.Int("width", 60, "max bar width in characters (1..400)")
 	)
@@ -42,13 +48,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hjplot: unexpected arguments: %v\n", fs.Args())
 		return cli.ExitUsage
 	}
-	if *fig == "" {
-		fmt.Fprintf(stderr, "hjplot: -fig is required (one of %s)\n", strings.Join(exp.IDs(), ", "))
+	if (*fig == "") == (*bench == "") {
+		fmt.Fprintf(stderr, "hjplot: exactly one of -fig (one of %s) or -bench is required\n", strings.Join(exp.IDs(), ", "))
 		return cli.ExitUsage
 	}
 	if *width < 1 || *width > 400 {
 		fmt.Fprintf(stderr, "hjplot: -width %d out of range [1, 400]\n", *width)
 		return cli.ExitUsage
+	}
+	if *bench != "" {
+		tables, err := benchTables(*bench)
+		if err != nil {
+			fmt.Fprintf(stderr, "hjplot: %v\n", err)
+			return cli.ExitFailure
+		}
+		for _, t := range tables {
+			plot(stdout, t, *width)
+		}
+		return cli.ExitOK
 	}
 	sc, ok := exp.ByName(*scale)
 	if !ok {
@@ -64,6 +81,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		plot(stdout, t, *width)
 	}
 	return cli.ExitOK
+}
+
+// benchTables loads a BENCH_table.json trajectory and shapes it into
+// plot's table form: one chart for the build-worker sweep (serial
+// baseline first) and one for rebuild-vs-cached probe time.
+func benchTables(path string) ([]*exp.Table, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		NBuild      int     `json:"n_build"`
+		TupleSize   int     `json:"tuple_size"`
+		SerialMs    float64 `json:"serial_build_ms"`
+		BuildPoints []struct {
+			Workers int     `json:"workers"`
+			BuildMs float64 `json:"build_ms"`
+		} `json:"build_points"`
+		ProbeRebuildMs float64 `json:"probe_rebuild_ms"`
+		ProbeCachedMs  float64 `json:"probe_cached_ms"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(doc.BuildPoints) == 0 || doc.SerialMs <= 0 || doc.ProbeCachedMs <= 0 {
+		return nil, fmt.Errorf("%s: not a table trajectory (missing build_points / serial_build_ms / probe_cached_ms)", path)
+	}
+	build := &exp.Table{
+		ID:       "table-build",
+		Title:    fmt.Sprintf("row-table build, %d tuples x %dB", doc.NBuild, doc.TupleSize),
+		RowLabel: "build path",
+		Columns:  []string{"build_ms"},
+	}
+	build.AddRow("serial", doc.SerialMs)
+	for _, p := range doc.BuildPoints {
+		build.AddRow(fmt.Sprintf("%d workers", p.Workers), p.BuildMs)
+	}
+	probe := &exp.Table{
+		ID:       "table-probe",
+		Title:    "streaming query: rebuild vs cached build side",
+		RowLabel: "build source",
+		Columns:  []string{"query_ms"},
+	}
+	probe.AddRow("rebuild", doc.ProbeRebuildMs)
+	probe.AddRow("cached", doc.ProbeCachedMs)
+	return []*exp.Table{build, probe}, nil
 }
 
 func plot(w io.Writer, t *exp.Table, width int) {

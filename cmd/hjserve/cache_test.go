@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"hashjoin"
+)
+
+// prepared builds n distinct BuildSides on one plain Env for driving
+// the cache deterministically (no server, no scheduler).
+func prepared(t *testing.T, n int) []*hashjoin.BuildSide {
+	t.Helper()
+	env := hashjoin.NewEnv(hashjoin.WithSmallHierarchy(), hashjoin.WithCapacity(64<<20))
+	ctx := context.Background()
+	out := make([]*hashjoin.BuildSide, n)
+	for i := range out {
+		w, err := env.GenerateWorkload(ctx, 1000, 1000, 24, int64(i+1))
+		if err != nil {
+			t.Fatalf("workload %d: %v", i, err)
+		}
+		b, err := env.PrepareBuildSide(ctx, w.Build)
+		if err != nil {
+			t.Fatalf("prepare %d: %v", i, err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func cachedGet(t *testing.T, c *buildCache, name string, b *hashjoin.BuildSide) bool {
+	t.Helper()
+	got, hit, err := c.get(name, nil, func() (*hashjoin.BuildSide, error) { return b, nil })
+	if err != nil {
+		t.Fatalf("get %s: %v", name, err)
+	}
+	if got != b && !hit {
+		t.Fatalf("get %s returned a different handle on a miss", name)
+	}
+	return hit
+}
+
+// TestBuildCacheLRUEviction pins the byte-budget behavior: inserting
+// past the limit evicts the least-recently-used entry, and a re-get of
+// the evicted name misses while the survivor still hits.
+func TestBuildCacheLRUEviction(t *testing.T) {
+	bs := prepared(t, 3)
+	per := int64(bs[0].Bytes())
+	c := newBuildCache(2*per + per/2) // room for two tables, not three
+
+	cachedGet(t, c, "a", bs[0])
+	cachedGet(t, c, "b", bs[1])
+	if !cachedGet(t, c, "a", bs[0]) {
+		t.Fatal("a missed while resident")
+	}
+	cachedGet(t, c, "c", bs[2]) // over budget: evicts b (LRU), not a
+
+	hits, misses, evicts, resident := c.counters()
+	if evicts != 1 {
+		t.Fatalf("evictions = %d, want 1", evicts)
+	}
+	if resident > c.limit {
+		t.Fatalf("resident %d over limit %d", resident, c.limit)
+	}
+	if !cachedGet(t, c, "a", bs[0]) {
+		t.Fatal("a was evicted; LRU should have chosen b")
+	}
+	if cachedGet(t, c, "b", bs[1]) {
+		t.Fatal("b hit after eviction")
+	}
+	hits, misses, _, _ = c.counters()
+	if hits != 2 || misses != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 2/4", hits, misses)
+	}
+}
+
+// TestBuildCacheTrimDecay pins the reclaim wiring: an entry untouched
+// for cacheIdleGenerations trim calls is evicted; one hit in between
+// resets its age.
+func TestBuildCacheTrimDecay(t *testing.T) {
+	bs := prepared(t, 1)
+	c := newBuildCache(int64(bs[0].Bytes()) * 4)
+	cachedGet(t, c, "a", bs[0])
+
+	for i := 0; i < cacheIdleGenerations-1; i++ {
+		c.trim()
+	}
+	if !cachedGet(t, c, "a", bs[0]) {
+		t.Fatal("entry evicted before the idle threshold")
+	}
+	for i := 0; i < cacheIdleGenerations-1; i++ {
+		c.trim()
+	}
+	if !cachedGet(t, c, "a", bs[0]) {
+		t.Fatal("hit did not reset the entry's idle age")
+	}
+	// The first trim after a hit only resets the age baseline; the
+	// entry then needs cacheIdleGenerations cold trims to die.
+	for i := 0; i < cacheIdleGenerations+1; i++ {
+		c.trim()
+	}
+	if cachedGet(t, c, "a", bs[0]) {
+		t.Fatal("cold entry survived the full idle decay")
+	}
+	if _, _, _, resident := c.counters(); resident != int64(bs[0].Bytes()) {
+		t.Fatalf("resident = %d after re-build, want one table", resident)
+	}
+}
+
+// TestBuildCacheInvalidate covers both invalidation paths: a ready
+// entry is dropped with its bytes, and a stale-relation lookup under a
+// reused name rebuilds instead of serving the old table.
+func TestBuildCacheInvalidate(t *testing.T) {
+	bs := prepared(t, 2)
+	c := newBuildCache(1 << 30)
+	cachedGet(t, c, "a", bs[0])
+	c.invalidate("a")
+	if _, _, evicts, resident := c.counters(); evicts != 1 || resident != 0 {
+		t.Fatalf("after invalidate: evicts=%d resident=%d, want 1/0", evicts, resident)
+	}
+	if cachedGet(t, c, "a", bs[0]) {
+		t.Fatal("hit after invalidate")
+	}
+
+	// Same name, different relation identity: must rebuild.
+	fake := &hashjoin.Relation{}
+	got, hit, err := c.get("a", fake, func() (*hashjoin.BuildSide, error) { return bs[1], nil })
+	if err != nil || hit || got != bs[1] {
+		t.Fatalf("stale-relation get = (%v, hit=%v, %v), want rebuild", got, hit, err)
+	}
+}

@@ -51,6 +51,7 @@ func main() {
 		queueWait  = flag.Duration("queue-timeout", 0, "shed queries queued longer than this (0 = no server-side bound)")
 		workers    = flag.Int("workers", 0, "shared morsel pool size (0 = all CPUs)")
 		queryCap   = flag.Duration("query-timeout", time.Minute, "cap on per-query timeout= requests (0 = uncapped)")
+		buildCache = flag.Int64("build-cache", 64<<20, "build-side cache byte budget for streaming native queries (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -72,6 +73,7 @@ func main() {
 			Workers:       *workers,
 		},
 		queryTimeout: *queryCap,
+		buildCache:   *buildCache,
 	})
 	if err := s.listen(); err != nil {
 		cli.Dief(prog, "%v", err)

@@ -150,6 +150,145 @@ func TestServeProtocolBasics(t *testing.T) {
 	}
 }
 
+// TestServeBuildCache exercises the build-side cache end to end: the
+// first streaming query against a pair builds and caches the table,
+// later ones hit it (same exact results), overwriting the pair
+// invalidates it, and the counters surface on both stats doors.
+func TestServeBuildCache(t *testing.T) {
+	s := startServer(t, serverOptions{buildCache: 64 << 20})
+	c := dial(t, s)
+
+	status, m := kv(t, c.roundTrip(t, "pair name=c1 build=3000 probe=6000 tuple=40 seed=4"))
+	if status != "ok" {
+		t.Fatalf("pair: %v %v", status, m)
+	}
+	wantRows := mustInt(t, m, "matches")
+	wantSum := m["keysum"]
+
+	status, m = kv(t, c.roundTrip(t, "query pair=c1 fanout=1"))
+	if status != "ok" || m["cache"] != "miss" {
+		t.Fatalf("first streaming query: %v %v, want ok cache=miss", status, m)
+	}
+	if mustInt(t, m, "rows") != wantRows || m["keysum"] != wantSum {
+		t.Fatalf("first query result %v, want rows=%d keysum=%s", m, wantRows, wantSum)
+	}
+	for i := 0; i < 3; i++ {
+		status, m = kv(t, c.roundTrip(t, "query pair=c1 fanout=1"))
+		if status != "ok" || m["cache"] != "hit" {
+			t.Fatalf("repeat query %d: %v %v, want ok cache=hit", i, status, m)
+		}
+		if mustInt(t, m, "rows") != wantRows || m["keysum"] != wantSum {
+			t.Fatalf("cached query %d result %v, want rows=%d keysum=%s", i, m, wantRows, wantSum)
+		}
+	}
+
+	// Partitioned and sim queries bypass the cache entirely.
+	status, m = kv(t, c.roundTrip(t, "query pair=c1 fanout=4"))
+	if status != "ok" {
+		t.Fatalf("fanout-4 query: %v %v", status, m)
+	}
+	if _, ok := m["cache"]; ok {
+		t.Fatalf("partitioned query touched the cache: %v", m)
+	}
+
+	status, m = kv(t, c.roundTrip(t, "stats"))
+	if status != "ok" {
+		t.Fatalf("stats: %v", m)
+	}
+	if mustInt(t, m, "build_cache_hits") != 3 || mustInt(t, m, "build_cache_misses") != 1 {
+		t.Fatalf("cache counters = hits %s misses %s, want 3/1", m["build_cache_hits"], m["build_cache_misses"])
+	}
+	if mustInt(t, m, "build_cache_resident_bytes") == 0 {
+		t.Fatal("build_cache_resident_bytes = 0 with a cached table")
+	}
+
+	// Regenerating the pair under the same name must evict the stale
+	// table: the next streaming query rebuilds over the new relation.
+	status, m = kv(t, c.roundTrip(t, "pair name=c1 build=2000 probe=4000 tuple=40 seed=9"))
+	if status != "ok" {
+		t.Fatalf("pair overwrite: %v %v", status, m)
+	}
+	newRows := mustInt(t, m, "matches")
+	status, m = kv(t, c.roundTrip(t, "query pair=c1 fanout=1"))
+	if status != "ok" || m["cache"] != "miss" || mustInt(t, m, "rows") != newRows {
+		t.Fatalf("post-overwrite query: %v %v, want cache=miss rows=%d", status, m, newRows)
+	}
+
+	status, m = kv(t, c.roundTrip(t, "stats"))
+	if status != "ok" || mustInt(t, m, "build_cache_evictions") == 0 {
+		t.Fatalf("stats after overwrite: %v, want evictions > 0", m)
+	}
+
+	// The HTTP door carries the same counters.
+	resp, err := http.Get("http://" + s.hln.Addr().String() + "/stats")
+	if err != nil {
+		t.Fatalf("http stats: %v", err)
+	}
+	var js map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if js["build_cache_hits"].(float64) != 3 || js["build_cache_misses"].(float64) != 2 {
+		t.Fatalf("http cache counters = %v/%v, want 3/2", js["build_cache_hits"], js["build_cache_misses"])
+	}
+}
+
+// TestServeBuildCacheConcurrent has 8 tenants hammer one pair with
+// streaming queries: the table is built at most a handful of times
+// (single flight), every result is exact, and the counters balance.
+func TestServeBuildCacheConcurrent(t *testing.T) {
+	s := startServer(t, serverOptions{
+		buildCache: 64 << 20,
+		service:    hashjoin.ServiceConfig{MaxConcurrent: 4},
+	})
+	setup := dial(t, s)
+	status, m := kv(t, setup.roundTrip(t, "pair name=t1 build=3000 probe=6000 tuple=40 seed=3"))
+	if status != "ok" {
+		t.Fatal("pair failed")
+	}
+	wantRows := strconv.Itoa(mustInt(t, m, "matches"))
+
+	const clients, queries = 8, 3
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.ln.Addr().String())
+			if err != nil {
+				t.Errorf("client %d dial: %v", i, err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for q := 0; q < queries; q++ {
+				fmt.Fprintf(conn, "query pair=t1 fanout=1 weight=%d\n", 1+i%3)
+				line, err := r.ReadString('\n')
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				_, m := kv(t, strings.TrimSpace(line))
+				if m["rows"] != wantRows {
+					t.Errorf("client %d: %q, want rows=%s", i, line, wantRows)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	_, m = kv(t, setup.roundTrip(t, "stats"))
+	hits, misses := mustInt(t, m, "build_cache_hits"), mustInt(t, m, "build_cache_misses")
+	if hits+misses != clients*queries {
+		t.Fatalf("hits %d + misses %d != %d streaming queries", hits, misses, clients*queries)
+	}
+	if misses < 1 || hits < 1 {
+		t.Fatalf("cache did not share the build: hits=%d misses=%d", hits, misses)
+	}
+}
+
 // TestServeStatusTaxonomy pins the wire statuses onto the exit-code
 // taxonomy: usage=2 for protocol mistakes, memory=3 for an impossible
 // footprint, cancelled=4 for a timeout.

@@ -22,8 +22,9 @@ import (
 // mode, a line-oriented TCP protocol for loading workload pairs and
 // running queries, and an HTTP side door for health and stats.
 type server struct {
-	env  *hashjoin.Env
-	opts serverOptions
+	env   *hashjoin.Env
+	opts  serverOptions
+	cache *buildCache
 
 	mu    sync.Mutex
 	pairs map[string]*hashjoin.Workload
@@ -47,6 +48,7 @@ type serverOptions struct {
 	budget         uint64
 	service        hashjoin.ServiceConfig
 	queryTimeout   time.Duration // cap on per-query timeout= requests
+	buildCache     int64         // build-side cache byte budget (0 disables)
 }
 
 func newServer(opts serverOptions) *server {
@@ -58,12 +60,17 @@ func newServer(opts serverOptions) *server {
 	if opts.budget > 0 {
 		envOpts = append(envOpts, hashjoin.WithArenaBudget(opts.budget))
 	}
-	return &server{
+	s := &server{
 		env:   hashjoin.NewEnv(envOpts...),
 		opts:  opts,
+		cache: newBuildCache(opts.buildCache),
 		pairs: make(map[string]*hashjoin.Workload),
 		open:  make(map[net.Conn]struct{}),
 	}
+	// Decay the build cache in step with the scheduler's quiescent
+	// window reclamations: a service gone idle sheds cold tables too.
+	s.env.OnReclaim(s.cache.trim)
+	return s
 }
 
 // listen binds both listeners and reports the resolved addresses (the
@@ -149,8 +156,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	sc := s.env.ServiceStats()
+	hits, misses, evicts, resident := s.cache.counters()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
+		"build_cache_hits":           hits,
+		"build_cache_misses":         misses,
+		"build_cache_evictions":      evicts,
+		"build_cache_resident_bytes": resident,
+
 		"queries_ok":       s.queriesOK.Load(),
 		"queries_err":      s.queriesErr.Load(),
 		"admitted":         sc.Admitted,
@@ -284,6 +297,7 @@ func (s *server) cmdPair(args []string) string {
 	s.mu.Lock()
 	s.pairs[name] = w
 	s.mu.Unlock()
+	s.cache.invalidate(name) // a reused name must not serve the old build
 	return fmt.Sprintf("ok name=%s build=%d probe=%d matches=%d keysum=%d",
 		name, w.Build.Len(), w.Probe.Len(), w.ExpectedMatches, w.KeySum)
 }
@@ -304,8 +318,10 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 		tenant = t
 	}
 	opts := []hashjoin.PipelineOption{hashjoin.WithTenant(tenant)}
+	nativeEngine := false
 	switch kv["engine"] {
 	case "", "native":
+		nativeEngine = true
 		opts = append(opts, hashjoin.WithEngine(hashjoin.EngineNative))
 	case "sim":
 		opts = append(opts, hashjoin.WithEngine(hashjoin.EngineSim))
@@ -358,22 +374,47 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 		defer cancel()
 	}
 
+	// Streaming native queries (fanout <= 1) probe through the build
+	// cache: the first query for a pair prepares the shared row table
+	// (single-flight), later ones skip the build phase entirely.
+	cacheNote := ""
+	if nativeEngine && fanout <= 1 && s.cache.enabled() {
+		b, hit, berr := s.cache.get(kv["pair"], w.Build, func() (*hashjoin.BuildSide, error) {
+			return s.env.PrepareBuildSide(ctx, w.Build,
+				hashjoin.WithTenant(tenant),
+				hashjoin.WithTenantWeight(weight),
+				hashjoin.WithPipelineWorkers(workers))
+		})
+		if berr != nil {
+			s.queriesErr.Add(1)
+			return errLine(cli.ExitCodeFor(berr), berr)
+		}
+		opts = append(opts, hashjoin.WithBuildSide(b))
+		if hit {
+			cacheNote = " cache=hit"
+		} else {
+			cacheNote = " cache=miss"
+		}
+	}
+
 	res, err := s.env.RunPipelineContext(ctx, w.Build, w.Probe, opts...)
 	if err != nil {
 		s.queriesErr.Add(1)
 		return errLine(cli.ExitCodeFor(err), err)
 	}
 	s.queriesOK.Add(1)
-	return fmt.Sprintf("ok rows=%d keysum=%d elapsed_us=%d queue_wait_us=%d admitted_bytes=%d morsels=%d fanout=%d",
+	return fmt.Sprintf("ok rows=%d keysum=%d elapsed_us=%d queue_wait_us=%d admitted_bytes=%d morsels=%d fanout=%d%s",
 		res.NOutput, res.KeySum, res.Elapsed.Microseconds(), res.QueueWait.Microseconds(),
-		res.AdmittedBytes, res.MorselsExecuted, res.JoinFanout)
+		res.AdmittedBytes, res.MorselsExecuted, res.JoinFanout, cacheNote)
 }
 
 func (s *server) cmdStats() string {
 	sc := s.env.ServiceStats()
-	return fmt.Sprintf("ok queries_ok=%d queries_err=%d admitted=%d completed=%d failed=%d shed=%d in_flight=%d queued=%d reserved_bytes=%d morsels=%d reclaims=%d",
+	hits, misses, evicts, resident := s.cache.counters()
+	return fmt.Sprintf("ok queries_ok=%d queries_err=%d admitted=%d completed=%d failed=%d shed=%d in_flight=%d queued=%d reserved_bytes=%d morsels=%d reclaims=%d build_cache_hits=%d build_cache_misses=%d build_cache_evictions=%d build_cache_resident_bytes=%d",
 		s.queriesOK.Load(), s.queriesErr.Load(), sc.Admitted, sc.Completed, sc.Failed,
-		sc.Shed(), sc.InFlight, sc.Queued, sc.ReservedBytes, sc.MorselsExecuted, sc.Reclaims)
+		sc.Shed(), sc.InFlight, sc.Queued, sc.ReservedBytes, sc.MorselsExecuted, sc.Reclaims,
+		hits, misses, evicts, resident)
 }
 
 // errLine renders a failure response carrying the exit-code taxonomy:

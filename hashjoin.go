@@ -213,6 +213,19 @@ func (e *Env) ServiceStats() ServiceCounters {
 	return e.svc.Stats()
 }
 
+// OnReclaim registers fn to run — on its own goroutine — each time a
+// quiescent service-mode Env reclaims its arena back to the durable
+// base. Long-lived holders of Env-derived state (a server caching
+// prepared build sides, say) use it to trim in step with memory
+// pressure easing. Pass nil to clear. A no-op on a non-service Env,
+// which never reclaims. Set it before serving traffic; it is not
+// synchronized against in-flight reclamations.
+func (e *Env) OnReclaim(fn func()) {
+	if e.svc != nil {
+		e.svc.SetReclaimHook(fn)
+	}
+}
+
 // Durable runs fn while the Env is exclusively held — no query in
 // flight, every reclaimed scratch window truncated — so allocations fn
 // makes (NewRelation, Append) are durable and safe even while the

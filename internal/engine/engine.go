@@ -169,6 +169,16 @@ type Config struct {
 	// instead of spilling to disk.
 	NoSpill bool
 
+	// Build, when non-nil, supplies the join's build side as a pre-built
+	// immutable row table: the plan's build child is never opened, and
+	// the probe side streams through fresh probe scratch over the shared
+	// table (Fanout and the MemBudget build degradation are ignored for
+	// the join — the table is already resident, accounted to its owner).
+	// Native backend only; the handle's width must match the plan's
+	// build width. This is how the service probes one cached build side
+	// from many concurrent queries without rebuilding.
+	Build *native.BuildSide
+
 	// Report, when non-nil, receives execution detail the result rows
 	// cannot carry — the join's effective fan-out, how deep the budget
 	// degradation had to recurse, and what the spill tier did. Written
@@ -326,6 +336,17 @@ func (n *Node) scanRel() *storage.Relation {
 	return nil
 }
 
+// buildWidthOf returns the build-side width of the plan's single join,
+// or -1 when the plan has no join (Config.Build is then simply unused).
+func buildWidthOf(n *Node) int {
+	for ; n != nil; n = n.input {
+		if n.kind == joinNode {
+			return n.build.Width()
+		}
+	}
+	return -1
+}
+
 // Compile lowers the logical plan onto cfg's backend, returning the
 // root operator. An invalid configuration — a missing Mem for the Sim
 // backend, a missing arena for Native, negative tuning parameters — is
@@ -358,6 +379,15 @@ func Compile(n *Node, cfg Config) (Operator, error) {
 	}
 	if cfg.SpillWorkers < 0 {
 		return nil, fmt.Errorf("engine: negative SpillWorkers %d", cfg.SpillWorkers)
+	}
+	if cfg.Build != nil {
+		if cfg.Backend != Native {
+			return nil, fmt.Errorf("engine: Config.Build requires the Native backend")
+		}
+		if w := buildWidthOf(n); w >= 0 && w != cfg.Build.Width() {
+			return nil, fmt.Errorf("engine: Config.Build width %d does not match the plan's build width %d",
+				cfg.Build.Width(), w)
+		}
 	}
 	// Merge zero fields with the backend defaults up front, so every
 	// operator sees G >= 1 and D >= 1 no matter which layer reads them.

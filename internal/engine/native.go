@@ -192,7 +192,7 @@ type nativeHashJoin struct {
 	probeEntries []native.Entry
 	out          []arena.Addr // output ring, grown on demand
 	outSlot      int
-	sink         func(bref, pref uint64) // persistent emit closure (allocation-free probing)
+	sink         func(build []byte, pref uint64) // persistent emit closure (allocation-free probing)
 	pending      []Row
 	next         int
 	in           Batch
@@ -238,41 +238,55 @@ func (h *nativeHashJoin) Open() error {
 	h.buildClosed, h.probeClosed = false, false
 	h.morselErr = nil
 	h.reported = false
-	h.morsel = h.cfg.Fanout > 1
+	h.morsel = h.cfg.Fanout > 1 && h.cfg.Build == nil
 
-	rel, err := h.resolveBuild()
-	if err != nil {
-		return err
-	}
-	// Budget governor: a streaming join keeps the whole build side
-	// resident in one table; when that footprint exceeds MemBudget,
-	// degrade to the partitioned morsel strategy, whose fan-out (and,
-	// if a pair is still oversized, recursive re-partitioning) bounds
-	// the per-pair resident set the way the paper's GRACE partition
-	// phase does.
-	if !h.morsel && h.cfg.MemBudget > 0 && native.BuildFootprint(rel.NTuples) > h.cfg.MemBudget {
-		h.morsel = true
-	}
-	if h.morsel {
-		return h.openMorsel(rel)
+	if h.cfg.Build != nil {
+		// A pre-built immutable BuildSide replaces the whole build
+		// phase: the build child is never opened, nothing is flattened
+		// or inserted, and the table's memory is accounted to whoever
+		// owns the handle (the service's build cache), not this query's
+		// budget. The probe side streams through fresh probe scratch
+		// over the shared table.
+		h.buildChild.Close()
+		h.buildClosed = true
+		h.prober = h.cfg.Build.NewProber(h.cfg.nativeScheme(),
+			h.cfg.Params.G, h.cfg.Params.D)
+	} else {
+		rel, err := h.resolveBuild()
+		if err != nil {
+			return err
+		}
+		// Budget governor: a streaming join keeps the whole build side
+		// resident in one table; when that footprint exceeds MemBudget,
+		// degrade to the partitioned morsel strategy, whose fan-out (and,
+		// if a pair is still oversized, recursive re-partitioning) bounds
+		// the per-pair resident set the way the paper's GRACE partition
+		// phase does.
+		if !h.morsel && h.cfg.MemBudget > 0 &&
+			native.BuildFootprint(rel.NTuples, h.buildWidth) > h.cfg.MemBudget {
+			h.morsel = true
+		}
+		if h.morsel {
+			return h.openMorsel(rel)
+		}
+		h.buildEntries = native.Flatten(rel, h.buildEntries)
+		h.prober = native.NewProber(h.data, h.buildEntries, h.buildWidth,
+			h.cfg.nativeScheme(), h.cfg.Params.G, h.cfg.Params.D)
 	}
 	if h.cfg.Report != nil {
 		h.cfg.Report.JoinFanout = 1
 	}
-	h.buildEntries = native.Flatten(rel, h.buildEntries)
-	h.prober = native.NewProber(h.data, h.buildEntries, h.cfg.nativeScheme(),
-		h.cfg.Params.G, h.cfg.Params.D)
 	if err := h.probeChild.Open(); err != nil {
 		return err
 	}
 	h.out = h.out[:0]
-	h.sink = func(bref, pref uint64) {
+	h.sink = func(build []byte, pref uint64) {
 		if h.outSlot >= len(h.out) {
 			h.out = append(h.out, h.a.Alloc(uint64(h.outWidth), 8))
 		}
 		dst := h.out[h.outSlot]
 		h.outSlot++
-		h.pending = append(h.pending, h.writeMatch(dst, bref, pref))
+		h.pending = append(h.pending, h.writeMatch(dst, build, pref))
 	}
 	h.pending = h.pending[:0]
 	h.next = 0
@@ -328,10 +342,12 @@ func (h *nativeHashJoin) fillPending() error {
 	return nil
 }
 
-// writeMatch materializes one concatenated build||probe row at dst.
-func (h *nativeHashJoin) writeMatch(dst arena.Addr, bref, pref uint64) Row {
+// writeMatch materializes one concatenated build||probe row at dst. The
+// build bytes come straight from the row table's serialized row — the
+// build relation is never touched on the probe path.
+func (h *nativeHashJoin) writeMatch(dst arena.Addr, build []byte, pref uint64) Row {
 	d := h.data[dst-arena.Base:]
-	copy(d[:h.buildWidth], h.data[bref-arena.Base:])
+	copy(d[:h.buildWidth], build)
 	copy(d[h.buildWidth:h.outWidth], h.data[pref-arena.Base:])
 	key := binary.LittleEndian.Uint32(d)
 	return Row{Addr: dst, Len: int32(h.outWidth), Code: hash.CodeU32(key)}
@@ -361,14 +377,14 @@ type pipeEmitter struct {
 	cur *pipeBuf
 }
 
-func (e *pipeEmitter) emit(bref, pref uint64) {
+func (e *pipeEmitter) emit(build []byte, pref uint64) {
 	if e.cur == nil {
 		e.cur = <-e.h.free
 		e.cur.rows = e.cur.rows[:0]
 	}
 	buf := e.cur
 	dst := buf.scratch + arena.Addr(len(buf.rows)*e.h.outWidth)
-	buf.rows = append(buf.rows, e.h.writeMatch(dst, bref, pref))
+	buf.rows = append(buf.rows, e.h.writeMatch(dst, build, pref))
 	if len(buf.rows) == e.h.batch {
 		e.h.outc <- buf
 		e.cur = nil
@@ -445,7 +461,7 @@ func (h *nativeHashJoin) openMorsel(buildRel *storage.Relation) error {
 		var err error
 		func() {
 			defer arena.RecoverOOM(&err)
-			res, err = native.NewJoiner().JoinStream(buildRel, probeRel, jcfg, func(w int) func(uint64, uint64) {
+			res, err = native.NewJoiner().JoinStream(buildRel, probeRel, jcfg, func(w int) func([]byte, uint64) {
 				return h.emits[w].emit
 			})
 		}()

@@ -5,24 +5,30 @@ import (
 	"math/bits"
 	"unsafe"
 
-	"hashjoin/internal/arena"
 	"hashjoin/internal/spill"
 )
 
 // pairJoiner joins one build/probe partition pair natively. One lives in
-// each morsel worker; the table and stage-state scratch are recycled
+// each morsel worker; the row table and stage-state scratch are recycled
 // across pairs and across joins (see Joiner.worker).
 type pairJoiner struct {
-	data []byte
-	t    *Table
-	g, d int
+	data  []byte
+	t     *RowTable
+	width int // serialized build key+payload bytes per row
+	g, d  int
 
-	states []groupState // group/pipeline stage state, reused
+	states []probeState // group/pipeline stage state, reused
 
-	// sink, when set, receives every validated match (build tuple
-	// address, probe tuple address). It lets the probe loops feed a
+	// sink, when set, receives every validated match: the build row's
+	// serialized key+payload bytes (valid only for the duration of the
+	// call) and the probe tuple address. It lets the probe loops feed a
 	// batch pipeline; nil keeps the counting-only fast path.
-	sink func(buildRef, probeRef uint64)
+	sink func(build []byte, probeRef uint64)
+
+	// matched, when non-nil, is the per-batch match bitmask a Prober
+	// arms before each ProbeBatch: bit i set means probe tuple i of the
+	// batch had at least one validated match. nil on the morsel path.
+	matched []uint64
 
 	// spill, when set, is the join's shared out-of-core coordinator: an
 	// irreducible over-budget pair goes to disk instead of failing (see
@@ -38,42 +44,54 @@ type pairJoiner struct {
 }
 
 func newPairJoiner() *pairJoiner {
-	return &pairJoiner{t: NewTable(1, 0)}
+	return &pairJoiner{t: &RowTable{}}
 }
 
-// statesFor returns n stage-state slots, reusing the scratch array and
-// the match buffers inside it; each slot's matches is reset to empty.
-func (j *pairJoiner) statesFor(n int) []groupState {
-	for len(j.states) < n {
-		j.states = append(j.states, groupState{matches: make([]uint64, 0, 4)})
+// probeState carries one probe tuple's state across the probe stages.
+// Unlike the v1 states there is no per-tuple match buffer: the chain
+// walk compares keys in-row and emits directly.
+type probeState struct {
+	key  uint32
+	code uint32
+	ref  uint64 // probe tuple address, for match emission
+	row  uint64 // chain head row offset after stage 1
+	slot uint32 // directory slot after stage 0
+	idx  int32  // batch-relative index, for the match bitmask
+}
+
+// statesFor returns n stage-state slots, reusing the scratch array.
+func (j *pairJoiner) statesFor(n int) []probeState {
+	if cap(j.states) < n {
+		j.states = make([]probeState, n)
 	}
-	s := j.states[:n]
-	for i := range s {
-		s[i].matches = s[i].matches[:0]
-	}
-	return s
+	return j.states[:n]
 }
 
-// buildKey loads the join key from the build tuple bytes — the dependent
-// random access the probe's final stage must make, as in the paper.
-func (j *pairJoiner) buildKey(ref uint64) uint32 {
-	return binary.LittleEndian.Uint32(j.data[ref-arena.Base:])
-}
-
-// prefetchTuple hints the cache line holding the tuple's key.
-func (j *pairJoiner) prefetchTuple(ref uint64) {
-	prefetchT0(unsafe.Pointer(&j.data[ref-arena.Base]))
-}
-
-// emit records one join match: the build key re-read from memory must
-// equal the probe key (the hash code was only a filter).
-func (j *pairJoiner) emit(buildRef, probeRef uint64, probeKey uint32) {
-	if k := j.buildKey(buildRef); k == probeKey {
-		j.nOutput++
-		j.keySum += uint64(k)
-		if j.sink != nil {
-			j.sink(buildRef, probeRef)
+// walkChain is the probe's final stage: follow the bucket chain from
+// st.row, prefetching the next row one step ahead, filter on the stored
+// hash code, and validate by comparing the probe key against the key
+// serialized in the row — no storage.Relation access, the win of the
+// compact row layout.
+func (j *pairJoiner) walkChain(st *probeState) {
+	rows := j.t.rows
+	w := uint64(j.width)
+	for off := st.row; off != 0; {
+		next := binary.LittleEndian.Uint64(rows[off:])
+		if next != 0 {
+			prefetchT0(unsafe.Pointer(&rows[next]))
 		}
+		if binary.LittleEndian.Uint32(rows[off+rowCodeOff:]) == st.code &&
+			binary.LittleEndian.Uint32(rows[off+rowKeyOff:]) == st.key {
+			j.nOutput++
+			j.keySum += uint64(st.key)
+			if j.matched != nil {
+				j.matched[st.idx>>6] |= 1 << uint(st.idx&63)
+			}
+			if j.sink != nil {
+				j.sink(rows[off+rowHdrSize:off+rowHdrSize+w], st.ref)
+			}
+		}
+		off = next
 	}
 }
 
@@ -95,7 +113,7 @@ func (j *pairJoiner) joinPairBudget(build, probe []Entry, shift uint, cfg Config
 	if len(build) == 0 || len(probe) == 0 {
 		return depth, nil
 	}
-	need := pairFootprint(len(build))
+	need := pairFootprint(len(build), j.width)
 	if need <= cfg.MemBudget {
 		j.joinPair(build, probe, shift, cfg.Scheme)
 		return depth, nil
@@ -169,30 +187,24 @@ func scatterEntries(entries []Entry, shift uint, fanout int) [][]Entry {
 	return parts
 }
 
-// joinPair builds a table over build and probes it with probe. shift is
-// the partitioner's radix width, so bucket numbers use untouched bits.
+// joinPair builds a row table over build and probes it with probe.
+// shift is the partitioner's radix width, so bucket numbers use
+// untouched bits.
 func (j *pairJoiner) joinPair(build, probe []Entry, shift uint, scheme Scheme) {
 	if len(build) == 0 || len(probe) == 0 {
 		return
 	}
-	j.t.Reset(len(build), shift)
-	j.buildFor(build, scheme)
+	j.buildSerial(build, shift, scheme)
 	j.probeFor(probe, scheme)
 }
 
-// buildFor inserts build into the (already Reset) table with the
-// scheme's loop restructuring. Split out of joinPair because the spill
-// tier builds over chunks of one partition and probes each chunk with
-// the whole probe stream.
-func (j *pairJoiner) buildFor(build []Entry, scheme Scheme) {
-	switch scheme {
-	case Group:
-		j.buildGroup(build)
-	case Pipelined:
-		j.buildPipelined(build)
-	default:
-		j.buildBaseline(build)
-	}
+// buildSerial resets the worker's table and serializes + inserts build
+// with the scheme's loop restructuring. Split out of joinPair because
+// the spill tier builds over chunks of one partition and probes each
+// chunk with the whole probe stream.
+func (j *pairJoiner) buildSerial(build []Entry, shift uint, scheme Scheme) {
+	j.t.Reset(len(build), j.width, shift)
+	j.t.BuildSerial(j.data, build, scheme, j.g, j.d)
 }
 
 // probeFor probes the current table with the scheme's restructuring.
@@ -212,53 +224,28 @@ func (j *pairJoiner) probeFor(probe []Entry, scheme Scheme) {
 
 // --- Baseline ---
 
-// buildBaseline inserts one tuple at a time, the unmodified GRACE loop.
-func (j *pairJoiner) buildBaseline(build []Entry) {
-	for i := range build {
-		j.t.Insert(build[i].Code, build[i].Ref)
-	}
-}
-
-// probeBaseline walks each probe tuple's full dependence chain — bucket
-// header, overflow cells, matching build tuples — before touching the
+// probeBaseline walks each probe tuple's full dependence chain — the
+// directory slot, then every row on the chain — before touching the
 // next tuple. Every step can miss, and the misses serialize.
 func (j *pairJoiner) probeBaseline(probe []Entry) {
 	t := j.t
+	var st probeState
 	for i := range probe {
 		e := &probe[i]
-		h := &t.headers[t.bucket(e.Code)]
-		if h.count == 0 {
-			continue
-		}
-		if h.code0 == e.Code {
-			j.emit(h.tuple0, e.Ref, e.Key)
-		}
-		for k := uint32(0); k < h.count-1; k++ {
-			c := &t.cells[h.cells+k]
-			if c.code == e.Code {
-				j.emit(c.ref, e.Ref, e.Key)
-			}
-		}
+		st.key, st.code, st.ref, st.idx = e.Key, e.Code, e.Ref, int32(i)
+		st.row = t.dir[t.bucket(e.Code)]
+		j.walkChain(&st)
 	}
 }
 
 // --- Group prefetching (paper section 4) ---
 
-// groupState carries one tuple's state across the probe stages.
-type groupState struct {
-	key     uint32
-	code    uint32
-	ref     uint64 // probe tuple address, for match emission
-	hdr     *header
-	count   uint32
-	cells   uint32
-	matches []uint64
-}
-
-// probeGroup strip-mines the probe loop into G-tuple groups processed in
-// stages; each stage performs one dependent reference per tuple and
+// probeGroup strip-mines the probe loop into G-tuple groups processed
+// in stages; each stage performs one dependent reference per tuple and
 // prefetches the next stage's references, so one tuple's cache misses
-// overlap with the computation and misses of the other G-1.
+// overlap with the computation and misses of the other G-1. The row
+// layout needs one stage fewer than v1: chain rows are self-contained,
+// so there is no final "visit the build tuple" stage.
 func (j *pairJoiner) probeGroup(probe []Entry) {
 	t := j.t
 	g := j.g
@@ -271,79 +258,29 @@ func (j *pairJoiner) probeGroup(probe []Entry) {
 		}
 		n := hi - lo
 
-		// Stage 0: compute bucket numbers; prefetch the headers.
+		// Stage 0: compute directory slots; prefetch them.
 		for i := 0; i < n; i++ {
 			e := &probe[lo+i]
 			st := &states[i]
-			st.key, st.code, st.ref = e.Key, e.Code, e.Ref
-			st.hdr = &t.headers[t.bucket(e.Code)]
-			st.matches = st.matches[:0]
-			prefetchT0(unsafe.Pointer(st.hdr))
+			st.key, st.code, st.ref, st.idx = e.Key, e.Code, e.Ref, int32(lo+i)
+			st.slot = t.bucket(e.Code)
+			prefetchT0(unsafe.Pointer(&t.dir[st.slot]))
 		}
 
-		// Stage 1: visit the headers; prefetch overflow arrays and
-		// inline-matched build tuples.
+		// Stage 1: load chain heads; prefetch the first row of each.
 		for i := 0; i < n; i++ {
 			st := &states[i]
-			h := st.hdr
-			st.count = h.count
-			st.cells = 0
-			if h.count == 0 {
-				continue
-			}
-			if h.code0 == st.code {
-				st.matches = append(st.matches, h.tuple0)
-				j.prefetchTuple(h.tuple0)
-			}
-			if h.count > 1 {
-				st.cells = h.cells
-				prefetchT0(unsafe.Pointer(&t.cells[h.cells]))
+			st.row = t.dir[st.slot]
+			if st.row != 0 {
+				prefetchT0(unsafe.Pointer(&t.rows[st.row]))
 			}
 		}
 
-		// Stage 2: visit the overflow cells; prefetch matched tuples.
+		// Stage 2: walk chains, compare keys in-row, emit.
 		for i := 0; i < n; i++ {
-			st := &states[i]
-			if st.cells == 0 {
-				continue
+			if states[i].row != 0 {
+				j.walkChain(&states[i])
 			}
-			for k := uint32(0); k < st.count-1; k++ {
-				c := &t.cells[st.cells+k]
-				if c.code == st.code {
-					st.matches = append(st.matches, c.ref)
-					j.prefetchTuple(c.ref)
-				}
-			}
-		}
-
-		// Stage 3: visit the matching build tuples, compare keys, emit.
-		for i := 0; i < n; i++ {
-			st := &states[i]
-			for _, ref := range st.matches {
-				j.emit(ref, st.ref, st.key)
-			}
-		}
-	}
-}
-
-// buildGroup batches hash-table inserts: prefetch the G headers of a
-// group, then perform the G inserts against warm lines. The native build
-// needs no busy flags — unlike the simulator, where a group's visits
-// interleave, each native insert completes before the next begins; the
-// batching only moves the header fetches off the critical path.
-func (j *pairJoiner) buildGroup(build []Entry) {
-	t := j.t
-	g := j.g
-	for lo := 0; lo < len(build); lo += g {
-		hi := lo + g
-		if hi > len(build) {
-			hi = len(build)
-		}
-		for i := lo; i < hi; i++ {
-			prefetchT0(unsafe.Pointer(&t.headers[t.bucket(build[i].Code)]))
-		}
-		for i := lo; i < hi; i++ {
-			t.Insert(build[i].Code, build[i].Ref)
 		}
 	}
 }
@@ -361,80 +298,44 @@ func nextPow2(v int) int {
 
 // probePipelined combines different stages of different tuples in one
 // iteration: iteration it runs stage 0 for tuple it, stage 1 for tuple
-// it-D, stage 2 for it-2D, stage 3 for it-3D, so subsequent stages of
-// one tuple sit D iterations apart and the prefetch pipeline never
-// drains between groups. State lives in a circular array sized to a
-// power of two of at least 3D+1 entries (section 5.3).
+// it-D, stage 2 for it-2D, so subsequent stages of one tuple sit D
+// iterations apart and the prefetch pipeline never drains between
+// groups. State lives in a circular array sized to a power of two of at
+// least 2D+1 entries (section 5.3; the row layout has three stages, not
+// four).
 func (j *pairJoiner) probePipelined(probe []Entry) {
 	t := j.t
 	d := j.d
-	size := nextPow2(3*d + 1)
+	size := nextPow2(2*d + 1)
 	mask := size - 1
 	states := j.statesFor(size)
 	total := len(probe)
 
-	for it := 0; it-3*d < total; it++ {
-		// Stage 0 for tuple it: bucket number, prefetch header.
+	for it := 0; it-2*d < total; it++ {
+		// Stage 0 for tuple it: directory slot, prefetch it.
 		if it < total {
 			e := &probe[it]
 			st := &states[it&mask]
-			st.key, st.code, st.ref = e.Key, e.Code, e.Ref
-			st.hdr = &t.headers[t.bucket(e.Code)]
-			st.matches = st.matches[:0]
-			prefetchT0(unsafe.Pointer(st.hdr))
+			st.key, st.code, st.ref, st.idx = e.Key, e.Code, e.Ref, int32(it)
+			st.slot = t.bucket(e.Code)
+			prefetchT0(unsafe.Pointer(&t.dir[st.slot]))
 		}
 
-		// Stage 1 for tuple it-D: visit header, prefetch cells/tuples.
+		// Stage 1 for tuple it-D: chain head, prefetch its row.
 		if k := it - d; k >= 0 && k < total {
 			st := &states[k&mask]
-			h := st.hdr
-			st.count = h.count
-			st.cells = 0
-			if h.count != 0 {
-				if h.code0 == st.code {
-					st.matches = append(st.matches, h.tuple0)
-					j.prefetchTuple(h.tuple0)
-				}
-				if h.count > 1 {
-					st.cells = h.cells
-					prefetchT0(unsafe.Pointer(&t.cells[h.cells]))
-				}
+			st.row = t.dir[st.slot]
+			if st.row != 0 {
+				prefetchT0(unsafe.Pointer(&t.rows[st.row]))
 			}
 		}
 
-		// Stage 2 for tuple it-2D: visit cells, prefetch matched tuples.
+		// Stage 2 for tuple it-2D: walk the chain, compare in-row, emit.
 		if k := it - 2*d; k >= 0 && k < total {
 			st := &states[k&mask]
-			if st.cells != 0 {
-				for c := uint32(0); c < st.count-1; c++ {
-					cl := &t.cells[st.cells+c]
-					if cl.code == st.code {
-						st.matches = append(st.matches, cl.ref)
-						j.prefetchTuple(cl.ref)
-					}
-				}
+			if st.row != 0 {
+				j.walkChain(st)
 			}
 		}
-
-		// Stage 3 for tuple it-3D: visit build tuples, compare, emit.
-		if k := it - 3*d; k >= 0 && k < total {
-			st := &states[k&mask]
-			for _, ref := range st.matches {
-				j.emit(ref, st.ref, st.key)
-			}
-		}
-	}
-}
-
-// buildPipelined inserts tuple i while prefetching the header tuple i+D
-// will visit, keeping D header fetches in flight across the whole build.
-func (j *pairJoiner) buildPipelined(build []Entry) {
-	t := j.t
-	d := j.d
-	for i := range build {
-		if n := i + d; n < len(build) {
-			prefetchT0(unsafe.Pointer(&t.headers[t.bucket(build[n].Code)]))
-		}
-		t.Insert(build[i].Code, build[i].Ref)
 	}
 }

@@ -18,12 +18,13 @@ import (
 // and re-arming it (data pointer, tuning, zeroed accumulators) for this
 // join. Tables and match buffers carry over, so repeated joins run on
 // recycled memory.
-func (jn *Joiner) worker(w int, data []byte, cfg Config) *pairJoiner {
+func (jn *Joiner) worker(w int, data []byte, width int, cfg Config) *pairJoiner {
 	for len(jn.workers) <= w {
 		jn.workers = append(jn.workers, newPairJoiner())
 	}
 	j := jn.workers[w]
 	j.data = data
+	j.width = width
 	j.g, j.d = cfg.G, cfg.D
 	j.nOutput, j.keySum = 0, 0
 	j.sink = nil
@@ -54,7 +55,7 @@ func claimCheck(cfg Config) error {
 // has finished; a failure never panics across a goroutine boundary and
 // never leaks a worker. Cancellation-class errors come back as a
 // *CancelError carrying how many pairs completed.
-func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
+func (jn *Joiner) joinPairs(data []byte, width int, cfg Config) (Result, error) {
 	bp, pp := &jn.bp, &jn.pp
 	n := bp.fanout()
 	workers := cfg.Workers
@@ -76,7 +77,7 @@ func (jn *Joiner) joinPairs(data []byte, cfg Config) (Result, error) {
 	accs := make([]slotAcc, workers)
 	js := make([]*pairJoiner, workers)
 	for w := 0; w < workers; w++ {
-		js[w] = jn.worker(w, data, cfg)
+		js[w] = jn.worker(w, data, width, cfg)
 	}
 	pool := cfg.Pool
 	if pool == nil {

@@ -267,7 +267,7 @@ type Joiner struct {
 
 	// sinkFor, when set, provides each morsel worker with a match sink
 	// (see JoinStream). Sinks are per-worker, so they need no locking.
-	sinkFor func(worker int) func(buildRef, probeRef uint64)
+	sinkFor func(worker int) func(build []byte, probeRef uint64)
 
 	// spillSt coordinates the out-of-core tier for the Join call in
 	// flight; nil between calls and when spilling is disabled.
@@ -287,8 +287,12 @@ func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) (Result, erro
 	if build.Arena() != probe.Arena() {
 		panic("native: build and probe relations use different arenas")
 	}
+	if build.Schema.HasVar() || build.Schema.FixedWidth() < 4 {
+		panic("native: row storage requires a fixed-width build schema with a leading uint32 key")
+	}
 	cfg = cfg.normalized()
 	data := build.Arena().Data()
+	width := build.Schema.FixedWidth()
 
 	sp := newSpillState(build, probe, cfg)
 	jn.spillSt = sp
@@ -307,13 +311,13 @@ func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) (Result, erro
 	}
 	fanout := cfg.Fanout
 	if fanout == 0 {
-		fanout = fanoutFor(build.NTuples, cfg.MemBudget)
+		fanout = fanoutFor(build.NTuples, width, cfg.MemBudget)
 	}
 	jn.bp.fill(data, build, fanout)
 	jn.pp.fill(data, probe, fanout)
 	partDone := time.Now()
 
-	r, err := jn.joinPairs(data, cfg)
+	r, err := jn.joinPairs(data, width, cfg)
 	spStats, spPairs, spErr := sp.finish()
 	if err == nil {
 		err = spErr
@@ -346,38 +350,42 @@ func Join(build, probe *storage.Relation, cfg Config) (Result, error) {
 }
 
 // JoinStream is Join with match emission: sinkFor(w) returns worker w's
-// sink, which receives every validated (build tuple address, probe tuple
-// address) match that worker produces. Each worker calls only its own
-// sink, so sinks need no synchronization among themselves; JoinStream
-// returns only after all workers (and therefore all sink calls) have
-// finished. This is how the batch engine runs a partitioned native join
-// inside an operator pipeline: the sinks pack matches into output
-// batches for the parent operator.
-func (jn *Joiner) JoinStream(build, probe *storage.Relation, cfg Config, sinkFor func(worker int) func(buildRef, probeRef uint64)) (Result, error) {
+// sink, which receives every validated match that worker produces — the
+// build row's serialized key+payload bytes (valid only for the duration
+// of the call) and the probe tuple's address. Each worker calls only
+// its own sink, so sinks need no synchronization among themselves;
+// JoinStream returns only after all workers (and therefore all sink
+// calls) have finished. This is how the batch engine runs a partitioned
+// native join inside an operator pipeline: the sinks pack matches into
+// output batches for the parent operator.
+func (jn *Joiner) JoinStream(build, probe *storage.Relation, cfg Config, sinkFor func(worker int) func(build []byte, probeRef uint64)) (Result, error) {
 	jn.sinkFor = sinkFor
 	defer func() { jn.sinkFor = nil }()
 	return jn.Join(build, probe, cfg)
 }
 
 // pairFootprint estimates the resident bytes a build partition of n
-// tuples needs during its join: the entry array, the bucket headers, and
-// an amortized half-cell of overflow per tuple. fanoutFor and the
-// recursive re-partitioner share this estimate so the initial fan-out
-// and the degradation path agree on what "fits" means.
-func pairFootprint(nBuild int) int {
-	return nBuild * (entrySize + headerSize + cellSize/2)
+// tuples of width serialized bytes needs during its join: the entry
+// array, the row (header + key + payload), and an amortized two
+// directory slots per tuple (the directory is the next power of two
+// above the row count). fanoutFor and the recursive re-partitioner
+// share this estimate so the initial fan-out and the degradation path
+// agree on what "fits" means.
+func pairFootprint(nBuild, width int) int {
+	return nBuild * (entrySize + rowHdrSize + width + 16)
 }
 
 // BuildFootprint estimates the resident bytes a build side of nBuild
-// tuples needs while being joined: entries plus hash table. The batch
-// engine consults it to decide whether a streaming (single-table) join
-// fits a memory budget or must degrade to the partitioned strategy.
-func BuildFootprint(nBuild int) int { return pairFootprint(nBuild) }
+// tuples of width serialized bytes needs while being joined: entries
+// plus row table. The batch engine consults it to decide whether a
+// streaming (single-table) join fits a memory budget or must degrade to
+// the partitioned strategy.
+func BuildFootprint(nBuild, width int) int { return pairFootprint(nBuild, width) }
 
 // fanoutFor picks the smallest power-of-two partition count such that a
-// build partition's entries plus its hash table fit budget bytes.
-func fanoutFor(nBuild, budget int) int {
-	need := pairFootprint(nBuild)
+// build partition's entries plus its row table fit budget bytes.
+func fanoutFor(nBuild, width, budget int) int {
+	need := pairFootprint(nBuild, width)
 	f := 1
 	for f < 1<<20 && need > budget*f {
 		f <<= 1

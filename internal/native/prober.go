@@ -1,6 +1,6 @@
 package native
 
-// Prober is the streaming face of the native join: the hash table is
+// Prober is the streaming face of the native join: the row table is
 // built once over the build side's entries, then the caller probes it
 // one batch at a time, receiving matches through a callback at each
 // batch boundary. It is the native analog of the simulator's
@@ -9,31 +9,34 @@ package native
 // boundaries coincide with prefetch-group boundaries, so latency hiding
 // inside a batch is exactly what it would be in the monolithic loop.
 //
+// Per-batch probe state persists across ProbeBatch calls instead of
+// being recomputed: entries arrive with their keys and hash codes
+// already memoized from the partition phase, the stage-state scratch is
+// reused batch over batch, and the match bitmask is retained (readable
+// through Matched until the next batch overwrites it).
+//
 // A Prober holds the whole build side in one table (no partitioning);
-// partitioned pipelines use Joiner.JoinStream instead.
+// partitioned pipelines use Joiner.JoinStream instead. Probing mutates
+// only the Prober's own scratch, never the table, so any number of
+// Probers created from one BuildSide may run concurrently.
 type Prober struct {
 	j      *pairJoiner
 	scheme Scheme
 }
 
-// NewProber builds the flat cache-line hash table over build with the
-// scheme's build loop (group-batched inserts for Group, pipelined header
-// prefetches for Pipelined). data must be the arena backing slice the
-// entries' Refs point into. Zero G/D select the native defaults.
-func NewProber(data []byte, build []Entry, scheme Scheme, g, d int) *Prober {
+// NewProber serializes build into a row table with the scheme's build
+// loop (group-batched directory prefetches for Group, pipelined for
+// Pipelined). data must be the arena backing slice the entries' Refs
+// point into, and width the build schema's fixed tuple width. Zero G/D
+// select the native defaults.
+func NewProber(data []byte, build []Entry, width int, scheme Scheme, g, d int) *Prober {
 	cfg := Config{Scheme: scheme, G: g, D: d}.normalized()
 	p := &Prober{j: newPairJoiner(), scheme: scheme}
 	p.j.data = data
+	p.j.width = width
 	p.j.g, p.j.d = cfg.G, cfg.D
-	p.j.t.Reset(len(build), 0)
-	switch scheme {
-	case Group:
-		p.j.buildGroup(build)
-	case Pipelined:
-		p.j.buildPipelined(build)
-	default:
-		p.j.buildBaseline(build)
-	}
+	p.j.t.Reset(len(build), width, 0)
+	p.j.t.BuildSerial(data, build, scheme, cfg.G, cfg.D)
 	return p
 }
 
@@ -43,24 +46,32 @@ func NewProber(data []byte, build []Entry, scheme Scheme, g, d int) *Prober {
 func (p *Prober) G() int { return p.j.g }
 
 // ProbeBatch probes one batch of entries with the Prober's scheme,
-// calling emit for every validated match (build key re-read from the
-// tuple bytes and compared, as in the paper's final stage). Matches are
-// delivered in probe order within a batch.
-func (p *Prober) ProbeBatch(batch []Entry, emit func(buildRef, probeRef uint64)) {
+// calling emit for every validated match with the build row's
+// serialized key+payload bytes (valid only for the duration of the
+// call) and the probe tuple address. The key comparison happens in-row;
+// the build relation is never touched. Matches are delivered in probe
+// order within a batch when the table was built serially.
+func (p *Prober) ProbeBatch(batch []Entry, emit func(build []byte, probeRef uint64)) {
 	if len(batch) == 0 {
 		return
 	}
-	p.j.sink = emit
-	switch p.scheme {
-	case Group:
-		p.j.probeGroup(batch)
-	case Pipelined:
-		p.j.probePipelined(batch)
-	default:
-		p.j.probeBaseline(batch)
+	need := (len(batch) + 63) / 64
+	if cap(p.j.matched) < need {
+		p.j.matched = make([]uint64, need)
+	} else {
+		p.j.matched = p.j.matched[:need]
+		clear(p.j.matched)
 	}
+	p.j.sink = emit
+	p.j.probeFor(batch, p.scheme)
 	p.j.sink = nil
 }
+
+// Matched returns the previous batch's match bitmask: bit i set means
+// batch entry i produced at least one validated match. The slice is
+// overwritten by the next ProbeBatch call. Outer/semi/anti joins will
+// consume this to emit non-matching or at-most-once rows.
+func (p *Prober) Matched() []uint64 { return p.j.matched }
 
 // NOutput returns the validated matches emitted so far.
 func (p *Prober) NOutput() int { return p.j.nOutput }

@@ -85,7 +85,7 @@ func newSpillState(build, probe *storage.Relation, cfg Config) *spillState {
 // progress — that is why the spill tier cannot fail on size.
 func (sp *spillState) chunkPages() int {
 	perPage := spill.DefaultPageSize +
-		spill.PageCapacity(spill.DefaultPageSize, sp.buildWidth)*(entrySize+headerSize+cellSize/2)
+		spill.PageCapacity(spill.DefaultPageSize, sp.buildWidth)*(entrySize+rowHdrSize+sp.buildWidth+16)
 	n := sp.budget / perPage
 	if n < 1 {
 		n = 1
@@ -185,8 +185,7 @@ func (j *pairJoiner) joinPairSpill(build, probe []Entry, shift uint, cfg Config)
 		if len(j.spillBuild) == 0 {
 			return nil
 		}
-		j.t.Reset(len(j.spillBuild), shift)
-		j.buildFor(j.spillBuild, cfg.Scheme)
+		j.buildSerial(j.spillBuild, shift, cfg.Scheme)
 
 		pr = pw.OpenReader()
 		for {

@@ -50,13 +50,14 @@ func ladderCodes(nZero int) []uint32 {
 // budget there, so the NoSpill path must fail with a depth-8
 // *BudgetError while the spill path completes the join out of core.
 func TestRecursionDepthBoundary(t *testing.T) {
-	budget := pairFootprint(8) // 8 zero-code entries fit, 9 do not
+	budget := pairFootprint(8, 8) // 8 zero-code 8-byte entries fit, 9 do not
 
 	t.Run("depth8-succeeds", func(t *testing.T) {
 		a := arena.New(1 << 20)
 		es := mkEntries(t, a, ladderCodes(8))
 		j := newPairJoiner()
 		j.data = a.Data()
+		j.width = 8
 		cfg := Config{Scheme: Group, MemBudget: budget, NoSpill: true}.normalized()
 		j.g, j.d = cfg.G, cfg.D
 		depth, err := j.joinPairBudget(es, es, 0, cfg, 0)
@@ -76,6 +77,7 @@ func TestRecursionDepthBoundary(t *testing.T) {
 		es := mkEntries(t, a, ladderCodes(9))
 		j := newPairJoiner()
 		j.data = a.Data()
+		j.width = 8
 		cfg := Config{Scheme: Group, MemBudget: budget, NoSpill: true}.normalized()
 		j.g, j.d = cfg.G, cfg.D
 		_, err := j.joinPairBudget(es, es, 0, cfg, 0)
@@ -93,6 +95,7 @@ func TestRecursionDepthBoundary(t *testing.T) {
 		es := mkEntries(t, a, ladderCodes(9))
 		j := newPairJoiner()
 		j.data = a.Data()
+		j.width = 8
 		cfg := Config{Scheme: Group, MemBudget: budget}.normalized()
 		j.g, j.d = cfg.G, cfg.D
 		dir := t.TempDir()

@@ -41,12 +41,23 @@ const (
 	initialCellCap = 4
 )
 
-// Table is the native flat hash table.
+// Table is the v1 native flat hash table. The join path now runs on
+// RowTable (compact row storage); Table remains the reference
+// implementation the parity and fuzz suites check the row layout
+// against.
 type Table struct {
 	headers []header
 	cells   []cell // shared overflow slab; index 0 is a reserved sentinel
 	shift   uint   // radix bits consumed by the partitioner
 	mask    uint32 // len(headers)-1
+
+	// free heads one recycling list of abandoned overflow regions per
+	// power-of-two size class (free[k] holds regions of 1<<k cells;
+	// 0 = empty). Doubling a bucket used to abandon its old region in
+	// the slab permanently — a worst-case ~half of the slab wasted;
+	// recycled regions keep the waste bounded (see SlabUtilization).
+	// A freed region's first cell's ref field links to the next region.
+	free [32]uint32
 }
 
 // NewTable sizes a table for nTuples build tuples: the next power of two
@@ -57,26 +68,46 @@ func NewTable(nTuples int, shift uint) *Table {
 	return t
 }
 
+// Reset shrink thresholds: capacity retained across pairs is released
+// once it exceeds tableShrinkFactor times the new need and the floor —
+// one skewed pair must not pin its peak allocation for the rest of the
+// worker's life.
+const (
+	tableShrinkFactor = 4
+	tableHeaderFloor  = 1 << 9  // headers
+	tableCellFloor    = 1 << 10 // slab cells
+)
+
 // Reset re-sizes and clears the table for reuse across partition pairs,
-// keeping allocations when the new partition is no larger.
+// keeping allocations when the new partition is of comparable size and
+// releasing them when the capacity is far above the new need.
 func (t *Table) Reset(nTuples int, shift uint) {
 	if nTuples < 1 {
 		nTuples = 1
 	}
 	nb := 1 << uint(bits.Len(uint(nTuples-1)))
-	if nb <= cap(t.headers) {
+	if nb <= cap(t.headers) && cap(t.headers) <= max(tableShrinkFactor*nb, tableHeaderFloor) {
 		t.headers = t.headers[:nb]
 		clear(t.headers)
 	} else {
 		t.headers = make([]header, nb)
 	}
-	if cap(t.cells) > 0 {
+	cellCap := 1 + nTuples/4
+	if cap(t.cells) > 0 && cap(t.cells) <= max(tableShrinkFactor*cellCap, tableCellFloor) {
 		t.cells = t.cells[:1]
 	} else {
-		t.cells = make([]cell, 1, 1+nTuples/4)
+		t.cells = make([]cell, 1, cellCap)
 	}
+	t.free = [32]uint32{}
 	t.shift = shift
 	t.mask = uint32(nb - 1)
+}
+
+// MemFootprint returns the bytes the table currently pins: header array
+// plus the overflow slab's full capacity. The accounting tests use it
+// to prove Reset releases a skewed pair's peak.
+func (t *Table) MemFootprint() int {
+	return cap(t.headers)*headerSize + cap(t.cells)*cellSize
 }
 
 // NBuckets returns the bucket count.
@@ -104,19 +135,54 @@ func (t *Table) Insert(code uint32, ref uint64) {
 }
 
 // grow allocates or doubles a bucket's overflow array inside the slab,
-// copying the existing cells.
+// copying the existing cells. The new region is recycled from the free
+// list when a region of that size class was abandoned earlier, and the
+// outgrown region is pushed onto its own class's list — so slab waste
+// stays bounded instead of accumulating one dead region per doubling.
 func (t *Table) grow(h *header, over uint32) {
 	newCap := uint32(initialCellCap)
 	if h.cap_ > 0 {
 		newCap = h.cap_ * 2
 	}
-	idx := uint32(len(t.cells))
-	t.cells = append(t.cells, make([]cell, newCap)...)
+	class := bits.TrailingZeros32(newCap)
+	idx := t.free[class]
+	if idx != 0 {
+		t.free[class] = uint32(t.cells[idx].ref)
+	} else {
+		idx = uint32(len(t.cells))
+		t.cells = append(t.cells, make([]cell, newCap)...)
+	}
 	if h.cells != 0 && over > 0 {
 		copy(t.cells[idx:idx+over], t.cells[h.cells:h.cells+over])
 	}
+	if h.cells != 0 {
+		old := bits.TrailingZeros32(h.cap_)
+		t.cells[h.cells].ref = uint64(t.free[old])
+		t.free[old] = h.cells
+	}
 	h.cells = idx
 	h.cap_ = newCap
+}
+
+// SlabUtilization reports the fraction of allocated overflow-slab cells
+// holding live data: live overflow cells (bucket counts beyond the
+// inline cell) over the slab's length. With free-list recycling the
+// worst case is bounded (each bucket wastes at most its current region,
+// which is at most ~2x its live cells, plus at most one parked region
+// per size class); before recycling, repeated doublings could strand an
+// unbounded pile of dead regions. 1.0 when no overflow was allocated.
+func (t *Table) SlabUtilization() float64 {
+	allocated := len(t.cells) - 1
+	if allocated <= 0 {
+		return 1.0
+	}
+	live := 0
+	for i := range t.headers {
+		if c := int(t.headers[i].count); c > 1 {
+			live += c - 1
+		}
+	}
+	return float64(live) / float64(allocated)
 }
 
 // Lookup calls fn for every build tuple address in code's bucket whose

@@ -1,0 +1,96 @@
+package native
+
+import (
+	"testing"
+
+	"hashjoin/internal/arena"
+)
+
+// TestTableSlabUtilizationBounded proves the overflow slab's waste
+// stays bounded under repeated chain growth. Eight buckets are filled
+// one after another, so every chain walks the full doubling ladder;
+// with free-list recycling each outgrown region is reused by the next
+// chain's growth, and utilization stays high. Before recycling, every
+// doubling stranded its old region forever: this workload allocated
+// ~2x the live cells (utilization ~0.49) and got worse with every
+// additional doubling.
+func TestTableSlabUtilizationBounded(t *testing.T) {
+	const buckets, perBucket = 8, 1000
+	tbl := NewTable(buckets, 0)
+	for b := uint32(0); b < buckets; b++ {
+		for i := 0; i < perBucket; i++ {
+			tbl.Insert(b, uint64(arena.Base)+uint64(b)*perBucket+uint64(i))
+		}
+	}
+	if got := tbl.TotalCells(); got != buckets*perBucket {
+		t.Fatalf("TotalCells = %d, want %d", got, buckets*perBucket)
+	}
+	if u := tbl.SlabUtilization(); u < 0.8 {
+		t.Fatalf("SlabUtilization = %.3f, want >= 0.8 (recycling bounds the waste)", u)
+	}
+	// The chains themselves are intact after all the region moves.
+	for b := uint32(0); b < buckets; b++ {
+		found := 0
+		tbl.Lookup(b, func(uint64) { found++ })
+		if found != perBucket {
+			t.Fatalf("bucket %d: %d refs after recycled growth, want %d", b, found, perBucket)
+		}
+	}
+}
+
+// TestTableSlabRecyclingReusesRegions pins the mechanism, not just the
+// ratio: growing a second chain through the same size classes a first
+// chain abandoned must not extend the slab at all.
+func TestTableSlabRecyclingReusesRegions(t *testing.T) {
+	tbl := NewTable(4, 0)
+	for i := 0; i < 500; i++ {
+		tbl.Insert(0, uint64(arena.Base)+uint64(i))
+	}
+	grown := len(tbl.cells)
+	for i := 0; i < 200; i++ { // 200 < the first chain's final region cap
+		tbl.Insert(1, uint64(arena.Base)+1000+uint64(i))
+	}
+	if len(tbl.cells) != grown {
+		t.Fatalf("second chain extended the slab %d -> %d; its growth should recycle the first chain's abandoned regions",
+			grown, len(tbl.cells))
+	}
+}
+
+// TestTableResetReleasesPeak is the satellite-2 accounting proof: one
+// skewed pair must not pin its peak allocation across Reset, while a
+// comparable-size Reset keeps the capacity (no churn).
+func TestTableResetReleasesPeak(t *testing.T) {
+	tbl := NewTable(100, 0)
+	for i := 0; i < 50_000; i++ {
+		tbl.Insert(0, uint64(arena.Base)+uint64(i)) // one giant chain
+	}
+	peak := tbl.MemFootprint()
+
+	// Far smaller need: the slab and headers must actually be released.
+	tbl.Reset(16, 0)
+	small := tbl.MemFootprint()
+	bound := tableHeaderFloor*headerSize + tableCellFloor*cellSize
+	if small > bound {
+		t.Fatalf("MemFootprint after small Reset = %d, want <= %d (floors)", small, bound)
+	}
+	if small >= peak/10 {
+		t.Fatalf("small Reset kept %d of peak %d bytes", small, peak)
+	}
+
+	// And the shrunken table still behaves.
+	tbl.Insert(3, uint64(arena.Base)+7)
+	found := 0
+	tbl.Lookup(3, func(uint64) { found++ })
+	if found != 1 {
+		t.Fatalf("lookup after shrink found %d", found)
+	}
+
+	// A capacity comparable to the new need is retained — Reset must
+	// not churn allocations between similar-size pairs.
+	even := NewTable(5000, 0)
+	steady := even.MemFootprint()
+	even.Reset(4000, 0)
+	if got := even.MemFootprint(); got != steady {
+		t.Fatalf("similar-size Reset changed footprint %d -> %d; want retained capacity", steady, got)
+	}
+}

@@ -225,6 +225,13 @@ type Controller struct {
 	base, tail  uint64
 	reserved    uint64
 
+	// reclaimHook, when set, runs (on its own goroutine, without the
+	// controller lock) after each successful quiescent reclamation. The
+	// service layer uses it to trim caches sized against the arena's
+	// headroom — e.g. evicting resident build sides — at exactly the
+	// moments capacity turns over.
+	reclaimHook func()
+
 	c Counters
 }
 
@@ -241,6 +248,16 @@ func NewController(cfg Config) *Controller {
 
 // Pool returns the shared morsel pool, for wiring into engine configs.
 func (c *Controller) Pool() *Pool { return c.pool }
+
+// SetReclaimHook installs fn to run after each quiescent window
+// reclamation (asynchronously, off the controller lock, so fn may call
+// back into the controller). Pass nil to clear. Set it before serving
+// traffic; the hook is read under the controller lock.
+func (c *Controller) SetReclaimHook(fn func()) {
+	c.mu.Lock()
+	c.reclaimHook = fn
+	c.mu.Unlock()
+}
 
 // grantable returns the largest footprint a request could ever carve:
 // the arena's effective ceiling minus what is durably used at the best
@@ -419,6 +436,9 @@ func (c *Controller) reclaimLocked() {
 	if c.cfg.Arena.Used() == c.tail {
 		c.cfg.Arena.Truncate(c.base)
 		c.c.Reclaims++
+		if c.reclaimHook != nil {
+			go c.reclaimHook()
+		}
 	}
 	// Either reclaimed, or foreign durable data pinned the windows (the
 	// caller allocated on the shared arena mid-flight); in both cases

@@ -10,6 +10,7 @@ package hashjoin
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"time"
 
@@ -56,6 +57,8 @@ type pipelineConfig struct {
 	tenant  string
 	weight  int
 	planned uint64
+
+	build *BuildSide
 }
 
 // WithEngine selects the execution backend (default EngineSim).
@@ -135,6 +138,18 @@ func WithPipelineSpillWorkers(n int) PipelineOption {
 // RunPipeline return a *native.BudgetError instead of spilling to disk.
 func WithPipelineNoSpill() PipelineOption {
 	return func(c *pipelineConfig) { c.noSpill = true }
+}
+
+// WithBuildSide supplies a pre-built hash table (PrepareBuildSide) as
+// the join's build side, skipping the run's build phase entirely: the
+// probe stream runs over the shared, immutable table through private
+// probe scratch, so any number of concurrent runs may pass the same
+// handle. Native engine, streaming strategy only — RunPipeline returns
+// an error if the engine is simulated, the fanout exceeds 1, or a
+// build filter is present (the table was built unfiltered) — and the
+// build relation must be the one the handle was prepared over.
+func WithBuildSide(b *BuildSide) PipelineOption {
+	return func(c *pipelineConfig) { c.build = b }
 }
 
 // WithTenant labels the run for the service Env's admission and
@@ -234,6 +249,22 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 	for _, o := range opts {
 		o(&pc)
 	}
+	var cachedBuild *native.BuildSide
+	if pc.build != nil {
+		switch {
+		case pc.build.env != e:
+			panic("hashjoin: BuildSide belongs to a different Env")
+		case pc.build.rel != build:
+			return PipelineResult{}, fmt.Errorf("hashjoin: WithBuildSide handle was prepared over a different relation")
+		case pc.engine != EngineNative:
+			return PipelineResult{}, fmt.Errorf("hashjoin: WithBuildSide requires the native engine")
+		case pc.hasFilter:
+			return PipelineResult{}, fmt.Errorf("hashjoin: WithBuildSide cannot combine with WithBuildFilter (the table was built unfiltered)")
+		case pc.fanout > 1:
+			return PipelineResult{}, fmt.Errorf("hashjoin: WithBuildSide requires the streaming strategy (fanout 1), got fanout %d", pc.fanout)
+		}
+		cachedBuild = pc.build.bs
+	}
 
 	// Service mode routes the run through admission. Native runs are
 	// granted a private scratch window and the shared worker pool;
@@ -291,6 +322,7 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 		SpillDir:     pc.spillDir,
 		SpillWorkers: pc.spillWorkers,
 		NoSpill:      pc.noSpill,
+		Build:        cachedBuild,
 		Report:       &report,
 		Ctx:          ctx,
 	}
