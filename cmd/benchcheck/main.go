@@ -1,11 +1,13 @@
 // Command benchcheck validates the repo's machine-readable benchmark
 // trajectories — BENCH_native.json, BENCH_pipeline.json,
-// BENCH_spill.json, BENCH_serve.json, and BENCH_table.json — so CI
-// fails fast when a benchmark stops emitting its document or emits one
-// with missing keys, non-positive timings, or (for the spill, serve,
-// and table trajectories) an empty or malformed sweep. It checks shape
-// and sanity, not performance: timing values must be positive, not
-// fast.
+// BENCH_spill.json, BENCH_serve.json, BENCH_table.json, and
+// BENCH_hybrid.json — so CI fails fast when a benchmark stops emitting
+// its document or emits one with missing keys, non-positive timings,
+// or (for the swept trajectories) an empty or malformed sweep. It
+// checks shape and sanity, not performance: timing values must be
+// positive, not fast. The one exception is the hybrid trajectory,
+// where hybrid spill I/O exceeding the spill-everything volume is a
+// deterministic policy regression and fails the check.
 //
 // Usage:
 //
@@ -49,6 +51,10 @@ var numKeys = map[string][]string{
 		"serial_build_ms",
 		"probe_rebuild_ms", "probe_cached_ms", "cached_speedup",
 	},
+	"BENCH_hybrid.json": {
+		"n_build", "n_probe", "tuple_size", "zipf_keys", "fanout",
+		"page_size", "gomaxprocs",
+	},
 }
 
 func main() {
@@ -56,7 +62,7 @@ func main() {
 	flag.Parse()
 
 	failed := false
-	for _, name := range []string{"BENCH_native.json", "BENCH_pipeline.json", "BENCH_spill.json", "BENCH_serve.json", "BENCH_table.json"} {
+	for _, name := range []string{"BENCH_native.json", "BENCH_pipeline.json", "BENCH_spill.json", "BENCH_serve.json", "BENCH_table.json", "BENCH_hybrid.json"} {
 		if errs := checkFile(filepath.Join(*dir, name), numKeys[name]); len(errs) > 0 {
 			failed = true
 			for _, e := range errs {
@@ -100,6 +106,51 @@ func checkFile(path string, keys []string) []error {
 		errs = append(errs, checkServePoints(doc)...)
 	case "BENCH_table.json":
 		errs = append(errs, checkTablePoints(doc)...)
+	case "BENCH_hybrid.json":
+		errs = append(errs, checkHybridPoints(doc)...)
+	}
+	return errs
+}
+
+// checkHybridPoints validates the hybrid-vs-GRACE skew sweep: at least
+// one point, strictly ascending Zipf parameters, positive budgets and
+// timings, and — the real gate — hybrid spill I/O that never exceeds
+// the spill-everything volume at the same point. A hybrid policy that
+// writes more than the tier it replaces is a regression even when every
+// test passes, and byte volumes are deterministic for the benchmark's
+// fixed seeds, so the comparison is safe to enforce in CI.
+func checkHybridPoints(doc map[string]any) []error {
+	points, ok := doc["points"].([]any)
+	if !ok || len(points) == 0 {
+		return []error{fmt.Errorf("key %q missing or empty", "points")}
+	}
+	var errs []error
+	prev := 0.0
+	for i, p := range points {
+		pt, ok := p.(map[string]any)
+		if !ok {
+			errs = append(errs, fmt.Errorf("points[%d]: not an object", i))
+			continue
+		}
+		z, ok := num(pt["zipf"])
+		if !ok || z <= 0 {
+			errs = append(errs, fmt.Errorf("points[%d]: zipf missing or non-positive", i))
+		} else if z <= prev {
+			errs = append(errs, fmt.Errorf("points[%d]: zipf %v not ascending (prev %v)", i, z, prev))
+		} else {
+			prev = z
+		}
+		for _, k := range []string{"mem_budget", "spill_io_bytes", "spill_elapsed_ms", "hybrid_elapsed_ms", "resident_pairs", "spilled_pairs"} {
+			if v, ok := num(pt[k]); !ok || v <= 0 {
+				errs = append(errs, fmt.Errorf("points[%d]: %s missing or non-positive", i, k))
+			}
+		}
+		hio, ok := num(pt["hybrid_io_bytes"])
+		if !ok || hio < 0 {
+			errs = append(errs, fmt.Errorf("points[%d]: hybrid_io_bytes missing or negative", i))
+		} else if sio, ok := num(pt["spill_io_bytes"]); ok && hio > sio {
+			errs = append(errs, fmt.Errorf("points[%d]: hybrid_io_bytes %v exceeds spill_io_bytes %v", i, hio, sio))
+		}
 	}
 	return errs
 }

@@ -61,6 +61,9 @@ func main() {
 		spillDir  = flag.String("spill-dir", "", "native/pipeline: parent directory for the out-of-core spill area (default: OS temp dir)")
 		spillWork = flag.Int("spill-workers", 0, "native/pipeline: write-behind workers for the spill tier (0 = default)")
 		noSpill   = flag.Bool("no-spill", false, "native/pipeline: disable the spill tier; an irreducible over-budget pair fails instead")
+		hybrid    = flag.Bool("hybrid", false, "native/pipeline: adaptive hybrid hash join — keep the partition pairs that fit -mem-budget resident and spill only the overflow, splitting skewed victims by key-code frequency")
+		zipfS     = flag.Float64("zipf", 0, "native/pipeline: Zipf skew parameter s for build keys (0 = uniform keys); probe keys stay uniform over the same universe")
+		zipfKeys  = flag.Int("zipf-keys", 0, "native/pipeline: distinct-key universe for -zipf (0 = default 256)")
 		reps      = flag.Int("reps", 3, "native/pipeline: repetitions per scheme (medians reported)")
 		seed      = flag.Int64("seed", 42, "native/pipeline: workload seed")
 		timeout   = flag.Duration("timeout", 0, "native/pipeline: abort the benchmark after this long (0 = no limit); a timed-out run exits with code 4")
@@ -83,13 +86,18 @@ func main() {
 		defer cancel()
 		ctx = c
 	}
-	sp := spillOpts{dir: *spillDir, workers: *spillWork, off: *noSpill}
+	if *hybrid && *memBudget <= 0 {
+		cli.Fatalf(prog, "-hybrid requires a positive -mem-budget")
+	}
+	sp := spillOpts{dir: *spillDir, workers: *spillWork, off: *noSpill, hybrid: *hybrid}
 	spec := workload.Spec{
 		NBuild:          *nBuild,
 		TupleSize:       *tuple,
 		MatchesPerBuild: *matches,
 		PctMatched:      100,
 		Skew:            *skew,
+		ZipfS:           *zipfS,
+		ZipfKeys:        *zipfKeys,
 		Seed:            *seed,
 	}
 
@@ -135,6 +143,7 @@ type spillOpts struct {
 	dir     string
 	workers int
 	off     bool
+	hybrid  bool
 }
 
 // arenaHeadroom over-approximates the spill tier's page-pool claim on
@@ -183,7 +192,8 @@ func runPipeline(ctx context.Context, backend engine.Backend, spec workload.Spec
 			Params: core.DefaultParams(), Fanout: fanout, Workers: workers,
 			MemBudget: memBudget,
 			SpillDir:  sp.dir, SpillWorkers: sp.workers, NoSpill: sp.off,
-			Ctx: ctx,
+			Hybrid: sp.hybrid,
+			Ctx:    ctx,
 		}
 		if backend == engine.Native {
 			p.Params = core.Params{} // native defaults
@@ -240,6 +250,10 @@ func runPipeline(ctx context.Context, backend engine.Backend, spec workload.Spec
 				r.SpilledPartitions, r.SpillBytesWritten, r.SpillBytesRead,
 				r.SpillWriteStall, r.SpillReadStall)
 		}
+		if sp.hybrid {
+			fmt.Printf("(hybrid: %d resident pair(s), %d demoted, %d B demoted)\n",
+				r.ResidentPartitions, r.DemotedPartitions, r.BytesDemoted)
+		}
 	}
 	fmt.Printf("(speedup = first scheme's elapsed / scheme's elapsed; medians of %d interleaved reps; all results validated)\n", reps)
 }
@@ -286,7 +300,8 @@ func runNative(ctx context.Context, spec workload.Spec, schemeList string, fanou
 	jcfg := native.Config{
 		Fanout: fanout, Workers: workers,
 		SpillDir: sp.dir, SpillWorkers: sp.workers, NoSpill: sp.off,
-		Ctx: ctx,
+		Hybrid: sp.hybrid,
+		Ctx:    ctx,
 	}
 	if memBudget > 0 {
 		jcfg.MemBudget = memBudget
@@ -341,6 +356,10 @@ func runNative(ctx context.Context, spec workload.Spec, schemeList string, fanou
 			fmt.Printf("(spill: %d pair(s), %d B written, %d B read, stalls write %v read %v)\n",
 				b.SpilledPartitions, b.SpillBytesWritten, b.SpillBytesRead,
 				b.SpillWriteStall, b.SpillReadStall)
+		}
+		if sp.hybrid {
+			fmt.Printf("(hybrid: %d resident pair(s), %d spilled, %d demoted, %d B demoted)\n",
+				b.Hybrid.ResidentPairs, b.Hybrid.SpilledPairs, b.Hybrid.DemotedPairs, b.Hybrid.BytesDemoted)
 		}
 	}
 	fmt.Printf("(speedup = first scheme's elapsed / scheme's elapsed; medians of %d interleaved reps; all results validated)\n", reps)

@@ -1,14 +1,18 @@
 // Command hjplot renders an experiment's first series as ASCII bar
 // charts, a quick visual check of the curve shapes the paper reports
 // (concave tuning curves, crossovers, flattening elapsed times). It
-// also plots the measured table trajectory (BENCH_table.json): the
+// also plots measured trajectories: BENCH_table.json (the
 // concurrent-build worker sweep against the serial baseline, and the
-// rebuild-per-query join against the cached-BuildSide one.
+// rebuild-per-query join against the cached-BuildSide one) and
+// BENCH_hybrid.json (spill I/O volume and wall clock of the adaptive
+// hybrid policy against the spill-everything tier across Zipf skew
+// levels). The trajectory kind is detected from the document shape.
 //
 // Usage:
 //
 //	hjplot -fig fig12 [-scale tiny]
 //	hjplot -bench BENCH_table.json
+//	hjplot -bench BENCH_hybrid.json
 package main
 
 import (
@@ -57,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cli.ExitUsage
 	}
 	if *bench != "" {
-		tables, err := benchTables(*bench)
+		tables, err := benchCharts(*bench)
 		if err != nil {
 			fmt.Fprintf(stderr, "hjplot: %v\n", err)
 			return cli.ExitFailure
@@ -83,14 +87,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return cli.ExitOK
 }
 
-// benchTables loads a BENCH_table.json trajectory and shapes it into
-// plot's table form: one chart for the build-worker sweep (serial
-// baseline first) and one for rebuild-vs-cached probe time.
-func benchTables(path string) ([]*exp.Table, error) {
+// benchCharts loads a measured trajectory and dispatches on its shape:
+// a document carrying zipf_keys is the hybrid skew sweep, anything
+// else is parsed as a table trajectory.
+func benchCharts(path string) ([]*exp.Table, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	var kind struct {
+		ZipfKeys int `json:"zipf_keys"`
+	}
+	if err := json.Unmarshal(raw, &kind); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if kind.ZipfKeys > 0 {
+		return hybridCharts(path, raw)
+	}
+	return benchTables(path, raw)
+}
+
+// hybridCharts shapes a BENCH_hybrid.json trajectory into two charts:
+// spill I/O volume and wall clock, each comparing the spill-everything
+// tier against the hybrid policy at every Zipf skew level.
+func hybridCharts(path string, raw []byte) ([]*exp.Table, error) {
+	var doc struct {
+		NBuild    int `json:"n_build"`
+		TupleSize int `json:"tuple_size"`
+		Points    []struct {
+			Zipf            float64 `json:"zipf"`
+			SpillIOBytes    float64 `json:"spill_io_bytes"`
+			HybridIOBytes   float64 `json:"hybrid_io_bytes"`
+			SpillElapsedMs  float64 `json:"spill_elapsed_ms"`
+			HybridElapsedMs float64 `json:"hybrid_elapsed_ms"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(doc.Points) == 0 {
+		return nil, fmt.Errorf("%s: not a hybrid trajectory (empty points)", path)
+	}
+	vol := &exp.Table{
+		ID:       "hybrid-io",
+		Title:    fmt.Sprintf("spill I/O, spill-everything vs hybrid, %d tuples x %dB", doc.NBuild, doc.TupleSize),
+		RowLabel: "zipf s",
+		Columns:  []string{"spill_io_kb", "hybrid_io_kb"},
+	}
+	clock := &exp.Table{
+		ID:       "hybrid-ms",
+		Title:    "join wall clock, spill-everything vs hybrid",
+		RowLabel: "zipf s",
+		Columns:  []string{"spill_ms", "hybrid_ms"},
+	}
+	for _, p := range doc.Points {
+		label := fmt.Sprintf("zipf %.1f", p.Zipf)
+		vol.AddRow(label, p.SpillIOBytes/1024, p.HybridIOBytes/1024)
+		clock.AddRow(label, p.SpillElapsedMs, p.HybridElapsedMs)
+	}
+	return []*exp.Table{vol, clock}, nil
+}
+
+// benchTables shapes a BENCH_table.json trajectory into plot's table
+// form: one chart for the build-worker sweep (serial baseline first)
+// and one for rebuild-vs-cached probe time.
+func benchTables(path string, raw []byte) ([]*exp.Table, error) {
 	var doc struct {
 		NBuild      int     `json:"n_build"`
 		TupleSize   int     `json:"tuple_size"`

@@ -90,6 +90,36 @@ func TestRunRendersBenchTrajectory(t *testing.T) {
 	}
 }
 
+// TestRunRendersHybridTrajectory checks the -bench mode detects the
+// hybrid skew sweep by shape and renders both comparison charts with
+// Zipf-labeled rows.
+func TestRunRendersHybridTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hybrid.json")
+	doc := `{
+		"n_build": 16384, "tuple_size": 64, "zipf_keys": 1024,
+		"points": [
+			{"zipf": 0.5, "spill_io_bytes": 57344, "hybrid_io_bytes": 16384,
+			 "spill_elapsed_ms": 4.1, "hybrid_elapsed_ms": 3.2},
+			{"zipf": 1.0, "spill_io_bytes": 335872, "hybrid_io_bytes": 106496,
+			 "spill_elapsed_ms": 6.8, "hybrid_elapsed_ms": 4.9}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", path, "-width", "20"}, &stdout, &stderr)
+	if code != cli.ExitOK {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"hybrid-io", "hybrid-ms", "zipf 0.5", "zipf 1.0", "spill_io_kb", "hybrid_io_kb"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestRunBenchErrors pins the failure paths: a missing file and a JSON
 // document of the wrong shape both exit with the runtime-failure code
 // and a diagnostic, never a partial chart.
@@ -98,11 +128,16 @@ func TestRunBenchErrors(t *testing.T) {
 	if err := os.WriteFile(wrongShape, []byte(`{"points": []}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	emptyHybrid := filepath.Join(t.TempDir(), "BENCH_hybrid.json")
+	if err := os.WriteFile(emptyHybrid, []byte(`{"zipf_keys": 1024, "points": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	for _, tc := range []struct {
 		name, path, wantMsg string
 	}{
 		{"missing file", filepath.Join(t.TempDir(), "nope.json"), "no such file"},
 		{"wrong shape", wrongShape, "not a table trajectory"},
+		{"empty hybrid sweep", emptyHybrid, "not a hybrid trajectory"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer

@@ -48,6 +48,9 @@ func main() {
 		spillDir  = flag.String("spill-dir", "", "native engine: parent directory for the out-of-core spill area (default: OS temp dir)")
 		spillWork = flag.Int("spill-workers", 0, "native engine: write-behind workers for the spill tier (0 = default)")
 		noSpill   = flag.Bool("no-spill", false, "native engine: disable the spill tier; an irreducible over-budget pair fails instead")
+		hybrid    = flag.Bool("hybrid", false, "native engine: adaptive hybrid hash join — keep the partition pairs that fit -mem-budget resident and spill only the overflow")
+		zipfS     = flag.Float64("zipf", 0, "Zipf skew parameter s for build keys (0 = uniform keys); probe keys stay uniform over the same universe")
+		zipfKeys  = flag.Int("zipf-keys", 0, "distinct-key universe for -zipf (0 = default 256)")
 		catPath   = flag.String("catalog", "", "write the catalog description file here")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a timed-out run exits with code 4")
@@ -77,6 +80,8 @@ func main() {
 			MatchesPerBuild: *matches,
 			PctMatched:      *pct,
 			Skew:            *skew,
+			ZipfS:           *zipfS,
+			ZipfKeys:        *zipfKeys,
 			Seed:            *seed,
 		},
 		Hier:         hier,
@@ -86,9 +91,13 @@ func main() {
 		SpillDir:     *spillDir,
 		SpillWorkers: *spillWork,
 		NoSpill:      *noSpill,
+		Hybrid:       *hybrid,
 	}
 	if *spillWork < 0 {
 		cli.Fatalf(prog, "negative -spill-workers %d", *spillWork)
+	}
+	if *hybrid && *memBudget <= 0 {
+		cli.Fatalf(prog, "-hybrid requires a positive -mem-budget")
 	}
 	if *timeout < 0 {
 		cli.Fatalf(prog, "negative -timeout %v", *timeout)
@@ -157,6 +166,10 @@ func main() {
 			fmt.Printf("spill: %d partition pair(s), %d B written, %d B read, stalls write %v read %v\n",
 				res.SpilledPartitions, res.SpillBytesWritten, res.SpillBytesRead,
 				res.SpillWriteStall, res.SpillReadStall)
+		}
+		if *hybrid {
+			fmt.Printf("hybrid: %d resident pair(s), %d demoted, %d B demoted\n",
+				res.ResidentPartitions, res.DemotedPartitions, res.BytesDemoted)
 		}
 		fmt.Printf("total: %.2f ms  (%.1f Mprobe tuples/s)\n",
 			res.Elapsed.Seconds()*1e3, rate)

@@ -304,7 +304,7 @@ func (s *server) cmdPair(args []string) string {
 
 // cmdQuery runs one admitted pipeline over a named pair.
 func (s *server) cmdQuery(tenant string, args []string) string {
-	kv, err := kvArgs(args, []string{"pair", "engine", "fanout", "workers", "weight", "planned", "agg", "timeout", "tenant"})
+	kv, err := kvArgs(args, []string{"pair", "engine", "fanout", "workers", "weight", "planned", "agg", "timeout", "tenant", "budget", "hybrid"})
 	if err != nil {
 		return errLine(cli.ExitUsage, err)
 	}
@@ -348,6 +348,17 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 	if err != nil {
 		return errLine(cli.ExitUsage, err)
 	}
+	budget, err := kvInt(kv, "budget", 0)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	hybrid, err := kvInt(kv, "hybrid", 0)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	if hybrid != 0 && budget <= 0 {
+		return errLine(cli.ExitUsage, errors.New("hybrid=1 needs budget=<bytes>"))
+	}
 	opts = append(opts,
 		hashjoin.WithPipelineFanout(fanout),
 		hashjoin.WithPipelineWorkers(workers),
@@ -355,6 +366,12 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 	)
 	if planned > 0 {
 		opts = append(opts, hashjoin.WithPlannedScratch(uint64(planned)))
+	}
+	if budget > 0 {
+		opts = append(opts, hashjoin.WithPipelineMemBudget(budget))
+	}
+	if hybrid != 0 {
+		opts = append(opts, hashjoin.WithPipelineHybrid())
 	}
 	if agg != 0 {
 		opts = append(opts, hashjoin.WithAggregation(4, w.Build.Len()))
@@ -403,9 +420,14 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 		return errLine(cli.ExitCodeFor(err), err)
 	}
 	s.queriesOK.Add(1)
-	return fmt.Sprintf("ok rows=%d keysum=%d elapsed_us=%d queue_wait_us=%d admitted_bytes=%d morsels=%d fanout=%d%s",
+	hybridNote := ""
+	if hybrid != 0 {
+		hybridNote = fmt.Sprintf(" resident=%d spilled=%d demoted=%d demoted_bytes=%d",
+			res.ResidentPartitions, res.SpilledPartitions, res.DemotedPartitions, res.BytesDemoted)
+	}
+	return fmt.Sprintf("ok rows=%d keysum=%d elapsed_us=%d queue_wait_us=%d admitted_bytes=%d morsels=%d fanout=%d%s%s",
 		res.NOutput, res.KeySum, res.Elapsed.Microseconds(), res.QueueWait.Microseconds(),
-		res.AdmittedBytes, res.MorselsExecuted, res.JoinFanout, cacheNote)
+		res.AdmittedBytes, res.MorselsExecuted, res.JoinFanout, cacheNote, hybridNote)
 }
 
 func (s *server) cmdStats() string {

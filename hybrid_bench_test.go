@@ -1,0 +1,224 @@
+package hashjoin
+
+// Hybrid-vs-GRACE benchmark: Zipf-skewed joins at fixed memory budgets
+// chosen so the hottest key ranks straddle the resident/spilled
+// boundary. At each skew point the same workload runs three ways — an
+// unbudgeted in-memory reference (parity ground truth), the classic
+// spill-everything ladder, and the adaptive hybrid policy — and the
+// benchmark records total spill I/O volume and wall clock for the two
+// budgeted runs. The hybrid policy keeps a budget-sized prefix of every
+// spilled build side resident and joins the probe side against it
+// in memory, so its I/O volume must never exceed spill-everything's,
+// and on the mid-skew point (Zipf 1.0) the reduction must be at least
+// 25%. Byte volumes are deterministic for a fixed seed, which makes
+// those assertions safe inside a benchmark.
+//
+// BenchmarkHybridSkew writes BENCH_hybrid.json:
+//
+//	go test -run=^$ -bench BenchmarkHybridSkew -benchtime=1x .
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hashjoin/internal/workload"
+)
+
+// hybridBenchPoint fixes one skew level and the budget that puts its
+// hottest ranks over the resident line: the budget is sized in units of
+// the per-row table footprint so that the top rank needs roughly two
+// budget-sized chunks — the regime where skipping one resident chunk
+// and one probe pass per spilled pair saves the largest I/O fraction.
+type hybridBenchPoint struct {
+	zipf   float64
+	budget int
+}
+
+var hybridBenchPoints = []hybridBenchPoint{
+	{zipf: 0.5, budget: 26880},  // ~240 rows resident per pair; top rank 256
+	{zipf: 1.0, budget: 168000}, // ~1500 rows resident; top rank ~2200
+	{zipf: 1.5, budget: 448000}, // ~4000 rows resident; top rank ~6500
+}
+
+const (
+	hybridBenchNBuild   = 16384
+	hybridBenchNProbe   = 32768
+	hybridBenchTuple    = 64
+	hybridBenchKeys     = 1024
+	hybridBenchFanout   = 64
+	hybridBenchPageSize = 4096 // small pages: page-rounding noise stays below the assertions
+)
+
+var (
+	hybridBenchOnce  sync.Once
+	hybridBenchEnv   *Env
+	hybridBenchPairs []*workload.Pair
+)
+
+// hybridBenchRelations generates one Zipf workload per skew point into
+// a shared Env. Per-run scratch is scoped to each RunPipeline call, so
+// the arena's high-water mark is the three workloads plus one run.
+func hybridBenchRelations(tb testing.TB) {
+	hybridBenchOnce.Do(func() {
+		hybridBenchEnv = NewEnv(WithSmallHierarchy(), WithCapacity(96<<20))
+		for i := range hybridBenchPoints {
+			spec := workload.Spec{
+				NBuild:    hybridBenchNBuild,
+				NProbe:    hybridBenchNProbe,
+				TupleSize: hybridBenchTuple,
+				ZipfS:     hybridBenchPoints[i].zipf,
+				ZipfKeys:  hybridBenchKeys,
+				Seed:      int64(40 + i),
+			}
+			hybridBenchPairs = append(hybridBenchPairs, workload.Generate(hybridBenchEnv.mem.A, spec))
+		}
+	})
+	if hybridBenchEnv == nil {
+		tb.Fatal("hybrid bench env not initialized")
+	}
+}
+
+// runHybridBenchOnce runs one skew point with or without the hybrid
+// policy and validates exact output parity against the workload's
+// ground truth.
+func runHybridBenchOnce(tb testing.TB, point int, dir string, hybrid bool) PipelineResult {
+	pair := hybridBenchPairs[point]
+	build := &Relation{rel: pair.Build, env: hybridBenchEnv}
+	probe := &Relation{rel: pair.Probe, env: hybridBenchEnv}
+	opts := []PipelineOption{
+		WithEngine(EngineNative), WithPipelineFanout(hybridBenchFanout),
+		WithPipelineMemBudget(hybridBenchPoints[point].budget),
+		WithPipelineSpillDir(dir), WithPipelineSpillPageSize(hybridBenchPageSize),
+	}
+	if hybrid {
+		opts = append(opts, WithPipelineHybrid())
+	}
+	res, err := hybridBenchEnv.RunPipeline(build, probe, opts...)
+	if err != nil {
+		tb.Fatalf("zipf %.1f (hybrid=%v): %v", hybridBenchPoints[point].zipf, hybrid, err)
+	}
+	if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
+		tb.Fatalf("zipf %.1f (hybrid=%v): wrong result (%d, %d), want (%d, %d)",
+			hybridBenchPoints[point].zipf, hybrid, res.NOutput, res.KeySum,
+			pair.ExpectedMatches, pair.KeySum)
+	}
+	if res.SpilledPartitions == 0 {
+		tb.Fatalf("zipf %.1f (hybrid=%v): nothing spilled — the budget no longer straddles the hot ranks",
+			hybridBenchPoints[point].zipf, hybrid)
+	}
+	return res
+}
+
+// hybridPoint is one skew sample in BENCH_hybrid.json.
+type hybridPoint struct {
+	Zipf      float64 `json:"zipf"`
+	MemBudget int     `json:"mem_budget"`
+	// Total spill-file I/O (written + read) of the spill-everything and
+	// hybrid runs. Deterministic for the fixed seed.
+	SpillIOBytes  int64 `json:"spill_io_bytes"`
+	HybridIOBytes int64 `json:"hybrid_io_bytes"`
+	// Wall clock, medians over interleaved repetitions.
+	SpillElapsedMs  float64 `json:"spill_elapsed_ms"`
+	HybridElapsedMs float64 `json:"hybrid_elapsed_ms"`
+	// Hybrid-run pair accounting: pairs joined fully in memory and pairs
+	// routed through the out-of-core tier.
+	ResidentPairs int `json:"resident_pairs"`
+	SpilledPairs  int `json:"spilled_pairs"`
+}
+
+// hybridTrajectory is the BENCH_hybrid.json document.
+type hybridTrajectory struct {
+	NBuild      int  `json:"n_build"`
+	NProbe      int  `json:"n_probe"`
+	TupleSize   int  `json:"tuple_size"`
+	ZipfKeys    int  `json:"zipf_keys"`
+	Fanout      int  `json:"fanout"`
+	PageSize    int  `json:"page_size"`
+	GOMAXPROCS  int  `json:"gomaxprocs"`
+	PrefetchASM bool `json:"prefetch_asm"`
+	// One point per Zipf skew level, ascending.
+	Points []hybridPoint `json:"points"`
+}
+
+func totalSpillIO(r PipelineResult) int64 { return r.SpillBytesWritten + r.SpillBytesRead }
+
+// BenchmarkHybridSkew compares the hybrid policy against the
+// spill-everything tier across Zipf skew levels and emits
+// BENCH_hybrid.json. Repetitions interleave the two policies so host
+// and filesystem drift land on both alike, and per-policy medians are
+// reported (see BenchmarkNativeSpeedup for why medians).
+func BenchmarkHybridSkew(b *testing.B) {
+	hybridBenchRelations(b)
+	dir := b.TempDir()
+
+	// Untimed warmup: grow every scratch pool once.
+	runHybridBenchOnce(b, 0, dir, false)
+	runHybridBenchOnce(b, 0, dir, true)
+
+	const reps = 5
+	n := len(hybridBenchPoints)
+	spillT := make([][]time.Duration, n)
+	hybridT := make([][]time.Duration, n)
+	var spillRes, hybridRes = make([]PipelineResult, n), make([]PipelineResult, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range spillT {
+			spillT[j], hybridT[j] = nil, nil
+		}
+		for rep := 0; rep < reps; rep++ {
+			for j := range hybridBenchPoints {
+				sr := runHybridBenchOnce(b, j, dir, false)
+				hr := runHybridBenchOnce(b, j, dir, true)
+				spillT[j] = append(spillT[j], sr.Elapsed)
+				hybridT[j] = append(hybridT[j], hr.Elapsed)
+				spillRes[j], hybridRes[j] = sr, hr
+			}
+		}
+	}
+	b.StopTimer()
+
+	traj := hybridTrajectory{
+		NBuild:      hybridBenchNBuild,
+		NProbe:      hybridBenchNProbe,
+		TupleSize:   hybridBenchTuple,
+		ZipfKeys:    hybridBenchKeys,
+		Fanout:      hybridBenchFanout,
+		PageSize:    hybridBenchPageSize,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		PrefetchASM: NativeHasPrefetch(),
+	}
+	for j, pt := range hybridBenchPoints {
+		sio, hio := totalSpillIO(spillRes[j]), totalSpillIO(hybridRes[j])
+		if hio > sio {
+			b.Fatalf("zipf %.1f: hybrid I/O %d exceeds spill-everything %d", pt.zipf, hio, sio)
+		}
+		if pt.zipf == 1.0 && float64(hio) > 0.75*float64(sio) {
+			b.Fatalf("zipf 1.0: hybrid I/O %d is not >= 25%% below spill-everything %d", hio, sio)
+		}
+		if hybridRes[j].ResidentPartitions == 0 {
+			b.Fatalf("zipf %.1f: hybrid run kept no pair resident", pt.zipf)
+		}
+		traj.Points = append(traj.Points, hybridPoint{
+			Zipf:            pt.zipf,
+			MemBudget:       pt.budget,
+			SpillIOBytes:    sio,
+			HybridIOBytes:   hio,
+			SpillElapsedMs:  float64(medianDuration(spillT[j]).Microseconds()) / 1e3,
+			HybridElapsedMs: float64(medianDuration(hybridT[j]).Microseconds()) / 1e3,
+			ResidentPairs:   hybridRes[j].ResidentPartitions,
+			SpilledPairs:    hybridRes[j].SpilledPartitions,
+		})
+	}
+	mid := traj.Points[1]
+	b.ReportMetric(100*(1-float64(mid.HybridIOBytes)/float64(mid.SpillIOBytes)), "%io-saved@zipf1.0")
+
+	if doc, err := json.MarshalIndent(traj, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_hybrid.json", append(doc, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_hybrid.json not written: %v", err)
+		}
+	}
+}

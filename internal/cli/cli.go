@@ -323,6 +323,7 @@ type Pipeline struct {
 	SpillDir     string // Native: parent dir for the out-of-core spill area ("" = OS temp)
 	SpillWorkers int    // Native: write-behind workers for the spill tier (0 = default)
 	NoSpill      bool   // Native: fail with *native.BudgetError instead of spilling
+	Hybrid       bool   // Native: adaptive hybrid hash join (resident prefix + spilled overflow)
 
 	// Ctx, when non-nil, bounds the run: scans check it at batch
 	// boundaries, the native morsel join before each pair claim, and the
@@ -362,6 +363,13 @@ type PipelineResult struct {
 	SpillBytesRead    int64
 	SpillWriteStall   time.Duration
 	SpillReadStall    time.Duration
+
+	// Hybrid-policy accounting: partition pairs joined fully in memory
+	// and planned-resident pairs demoted to disk mid-join (with their
+	// summed build footprints). Zero without Hybrid.
+	ResidentPartitions int
+	DemotedPartitions  int
+	BytesDemoted       int64
 }
 
 // Materialize generates the workload into a fresh arena if it has not
@@ -451,6 +459,7 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		SpillDir:     p.SpillDir,
 		SpillWorkers: p.SpillWorkers,
 		NoSpill:      p.NoSpill,
+		Hybrid:       p.Hybrid,
 		Report:       &report,
 		Ctx:          p.Ctx,
 	}
@@ -493,6 +502,9 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 	res.SpillBytesRead = report.SpillBytesRead
 	res.SpillWriteStall = report.SpillWriteStall
 	res.SpillReadStall = report.SpillReadStall
+	res.ResidentPartitions = report.ResidentPartitions
+	res.DemotedPartitions = report.DemotedPartitions
+	res.BytesDemoted = report.BytesDemoted
 
 	for _, g := range res.Groups {
 		res.NOutput += int(g.Count)

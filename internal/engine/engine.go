@@ -169,6 +169,27 @@ type Config struct {
 	// instead of spilling to disk.
 	NoSpill bool
 
+	// Hybrid enables the native join's adaptive hybrid policy: partition
+	// pairs are ranked by measured build footprint after the partition
+	// phase, the planned-resident prefix joins in memory first, and
+	// over-budget victims split on code frequency with only the
+	// irreducible overflow going to disk. Requires MemBudget > 0 and a
+	// spillable configuration to change anything.
+	Hybrid bool
+
+	// BudgetNow, when non-nil and Hybrid is set, is the mid-join memory
+	// pressure signal: sampled at each partition-pair claim, a positive
+	// value below MemBudget lowers the budget for pairs not yet started,
+	// demoting planned-resident pairs to the out-of-core tier without
+	// restarting the query. The service layer wires a sched.Grant's
+	// advisory budget here.
+	BudgetNow func() int
+
+	// SpillPageSize overrides the spill tier's page size in bytes; 0
+	// selects the spill package default. Must satisfy the spill package's
+	// page-size bounds when set.
+	SpillPageSize int
+
 	// Build, when non-nil, supplies the join's build side as a pre-built
 	// immutable row table: the plan's build child is never opened, and
 	// the probe side streams through fresh probe scratch over the shared
@@ -216,6 +237,13 @@ type Report struct {
 	// join waited for an in-flight page read (read-ahead fell behind).
 	SpillWriteStall time.Duration
 	SpillReadStall  time.Duration
+	// ResidentPartitions and the demotion counters mirror the hybrid
+	// policy's pair accounting (native.HybridStats): pairs joined fully
+	// in memory, planned-resident pairs demoted to disk by a mid-join
+	// budget shrink, and the demoted pairs' summed footprints.
+	ResidentPartitions int
+	DemotedPartitions  int
+	BytesDemoted       int64
 }
 
 // batchSize returns the batch capacity (= G) for the config's backend.
@@ -379,6 +407,9 @@ func Compile(n *Node, cfg Config) (Operator, error) {
 	}
 	if cfg.SpillWorkers < 0 {
 		return nil, fmt.Errorf("engine: negative SpillWorkers %d", cfg.SpillWorkers)
+	}
+	if cfg.SpillPageSize < 0 {
+		return nil, fmt.Errorf("engine: negative SpillPageSize %d", cfg.SpillPageSize)
 	}
 	if cfg.Build != nil {
 		if cfg.Backend != Native {

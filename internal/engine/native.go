@@ -454,6 +454,8 @@ func (h *nativeHashJoin) openMorsel(buildRel *storage.Relation) error {
 		Arena:     h.a,
 		MemBudget: h.cfg.MemBudget,
 		SpillDir:  h.cfg.SpillDir, SpillWorkers: h.cfg.SpillWorkers, NoSpill: h.cfg.NoSpill,
+		SpillPageSize: h.cfg.SpillPageSize,
+		Hybrid:        h.cfg.Hybrid, BudgetNow: h.cfg.BudgetNow,
 		Ctx: h.cfg.Ctx,
 	}
 	go func() {
@@ -512,6 +514,9 @@ func (h *nativeHashJoin) report() {
 	h.cfg.Report.SpillBytesRead = h.morselRes.SpillBytesRead
 	h.cfg.Report.SpillWriteStall = h.morselRes.SpillWriteStall
 	h.cfg.Report.SpillReadStall = h.morselRes.SpillReadStall
+	h.cfg.Report.ResidentPartitions = h.morselRes.Hybrid.ResidentPairs
+	h.cfg.Report.DemotedPartitions = h.morselRes.Hybrid.DemotedPairs
+	h.cfg.Report.BytesDemoted = h.morselRes.Hybrid.BytesDemoted
 }
 
 // closeMorsel drains the output channel so the background join (which

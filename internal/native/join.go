@@ -2,6 +2,7 @@ package native
 
 import (
 	"encoding/binary"
+	"errors"
 	"math/bits"
 	"unsafe"
 
@@ -38,6 +39,10 @@ type pairJoiner struct {
 	spillBuild  []Entry
 	spillProbe  []Entry
 	spillPinned []spill.Page
+
+	// codeFreq is the hybrid victim path's code-frequency histogram
+	// scratch, reused across victims (see splitHotCodes).
+	codeFreq map[uint32]int
 
 	nOutput int
 	keySum  uint64
@@ -125,33 +130,65 @@ func (j *pairJoiner) joinPairBudget(build, probe []Entry, shift uint, cfg Config
 		// budget-sized build chunks; only Config.NoSpill (or a schema
 		// that cannot round-trip through slotted pages) still fails.
 		if j.spill != nil {
+			if cfg.Hybrid {
+				return depth, j.joinPairSpillHybrid(build, probe, shift, cfg)
+			}
 			return depth, j.joinPairSpill(build, probe, shift, cfg)
 		}
 		return depth, &BudgetError{Budget: cfg.MemBudget, Need: need, Depth: depth}
 	}
-	// Smallest power-of-two sub-fan-out that brings an average sub-pair
-	// under budget, capped by the hash bits still unconsumed above shift.
-	sub := 2
-	for sub < 256 && need > cfg.MemBudget*sub {
-		sub <<= 1
-	}
-	if maxSub := 1 << uint(min(bitsLeft, 8)); sub > maxSub {
-		sub = maxSub
-	}
+	sub := subFanoutFor(need, cfg.MemBudget, bitsLeft)
 	subBits := uint(bits.TrailingZeros(uint(sub)))
 	bsub := scatterEntries(build, shift, sub)
 	psub := scatterEntries(probe, shift, sub)
 	maxDepth := depth
 	for i := 0; i < sub; i++ {
 		d, err := j.joinPairBudget(bsub[i], psub[i], shift+subBits, cfg, depth+1)
-		if err != nil {
-			return d, err
-		}
 		if d > maxDepth {
 			maxDepth = d
 		}
+		if err != nil {
+			// Report the deepest level this subtree reached, not just the
+			// failing sub-call's depth: sibling sub-pairs joined before the
+			// failure may have recursed deeper, and both the returned depth
+			// and a propagating *BudgetError must reflect the join's actual
+			// maximum recursion.
+			var be *BudgetError
+			if errors.As(err, &be) && be.Depth < maxDepth {
+				be.Depth = maxDepth
+			}
+			return maxDepth, err
+		}
 	}
 	return maxDepth, nil
+}
+
+// subFanoutFor picks the smallest power-of-two sub-fan-out (at least 2)
+// that brings an average sub-pair of a need-byte pair under budget,
+// capped at 256 and by the hash bits still unconsumed. The comparison is
+// written in divide form — ceil(need/sub) > budget — because the
+// multiplied form need > budget*sub overflows int for budgets above
+// MaxInt/sub and spuriously inflates the fan-out.
+func subFanoutFor(need, budget, bitsLeft int) int {
+	sub := 2
+	for sub < 256 && overBudget(need, budget, sub) {
+		sub <<= 1
+	}
+	if maxSub := 1 << uint(min(bitsLeft, 8)); sub > maxSub {
+		sub = maxSub
+	}
+	return sub
+}
+
+// overBudget reports whether need bytes split parts ways still exceeds
+// budget bytes per part: ceil(need/parts) > budget, computed without the
+// overflowing product budget*parts.
+func overBudget(need, budget, parts int) bool {
+	q := need / parts
+	if need%parts != 0 {
+		q++
+	}
+	return q > budget
 }
 
 // scatterEntries radix-partitions entries on fanout's worth of hash-code

@@ -70,9 +70,13 @@ func (jn *Joiner) joinPairs(data []byte, width int, cfg Config) (Result, error) 
 	// pool contract (one Run in flight per slot) makes slot-indexed
 	// writes race-free; output accumulators live in the pairJoiners.
 	type slotAcc struct {
-		depth int
-		pairs int
-		_     [48]byte
+		depth        int
+		pairs        int
+		resident     int
+		spilled      int
+		demoted      int
+		bytesDemoted int64
+		_            [16]byte
 	}
 	accs := make([]slotAcc, workers)
 	js := make([]*pairJoiner, workers)
@@ -93,7 +97,32 @@ func (jn *Joiner) joinPairs(data []byte, width int, cfg Config) (Result, error) 
 			if err = claimCheck(cfg); err != nil {
 				return err
 			}
-			d, err := js[slot].joinPairBudget(bp.part(i), pp.part(i), bp.bits, cfg, 0)
+			var d int
+			if plan := jn.plan; plan != nil {
+				// Hybrid: morsel i is the i-th pair of the plan order —
+				// planned-resident pairs first — joined under the budget in
+				// force at claim time. A pair the static budget would have
+				// kept resident but the shrunken one cannot is a demotion:
+				// it takes the victim path instead of restarting the query.
+				pi := plan.order[i]
+				ccfg := cfg
+				ccfg.MemBudget = effectiveBudget(cfg)
+				foot := plan.foot[pi]
+				if foot <= ccfg.MemBudget {
+					if foot > 0 {
+						accs[slot].resident++
+					}
+				} else {
+					accs[slot].spilled++
+					if foot <= cfg.MemBudget {
+						accs[slot].demoted++
+						accs[slot].bytesDemoted += int64(foot)
+					}
+				}
+				d, err = js[slot].joinPairHybrid(bp.part(pi), pp.part(pi), bp.bits, ccfg)
+			} else {
+				d, err = js[slot].joinPairBudget(bp.part(i), pp.part(i), bp.bits, cfg, 0)
+			}
 			if err != nil {
 				return err
 			}
@@ -112,6 +141,10 @@ func (jn *Joiner) joinPairs(data []byte, width int, cfg Config) (Result, error) 
 		if accs[w].depth > r.RecursionDepth {
 			r.RecursionDepth = accs[w].depth
 		}
+		r.Hybrid.ResidentPairs += accs[w].resident
+		r.Hybrid.SpilledPairs += accs[w].spilled
+		r.Hybrid.DemotedPairs += accs[w].demoted
+		r.Hybrid.BytesDemoted += accs[w].bytesDemoted
 	}
 	for _, j := range js {
 		r.NOutput += j.nOutput

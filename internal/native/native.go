@@ -155,9 +155,32 @@ type Config struct {
 	// SpillWorkers is the write-behind worker count for spilled
 	// partitions; <1 selects spill.DefaultWorkers.
 	SpillWorkers int
+	// SpillPageSize overrides the spill tier's page size in bytes; 0
+	// selects spill.DefaultPageSize. The chunking arithmetic derives
+	// from the same value, so shrinking pages never over-pins the
+	// budget.
+	SpillPageSize int
 	// NoSpill disables the disk tier: an irreducible over-budget pair
 	// then fails with *BudgetError, the pre-spill behavior.
 	NoSpill bool
+
+	// Hybrid selects the adaptive hybrid hash join for over-budget
+	// pairs: partition pairs are ranked by measured build footprint
+	// after the partition phase, pairs that fit MemBudget join resident
+	// (claimed first), and oversized victims are split on an exact
+	// code-frequency histogram — hash codes too hot to ever fit go
+	// straight to the out-of-core tier, which itself keeps one
+	// budget-sized build chunk resident — instead of spilling the whole
+	// pair. See hybrid.go.
+	Hybrid bool
+
+	// BudgetNow, when non-nil in Hybrid mode, is sampled before each
+	// pair claim and may shrink the effective budget below MemBudget —
+	// the multi-tenant pressure signal. A planned-resident pair whose
+	// footprint no longer fits is demoted to the out-of-core path
+	// without restarting the join; pairs already being joined are never
+	// interrupted. Ignored without Hybrid.
+	BudgetNow func() int
 
 	// Ctx cancels the join cooperatively: morsel workers check it before
 	// claiming each partition pair and the spill tier checks it at page
@@ -227,6 +250,10 @@ type Result struct {
 	SpillWriteStall   time.Duration
 	SpillReadStall    time.Duration
 
+	// Hybrid is the adaptive hybrid hash join's pair accounting; zero
+	// unless Config.Hybrid was set. See HybridStats.
+	Hybrid HybridStats
+
 	PartitionTime time.Duration // flatten + radix scatter, both relations
 	JoinTime      time.Duration // all build+probe pairs (wall clock)
 	Elapsed       time.Duration // end-to-end
@@ -241,7 +268,10 @@ type Result struct {
 type BudgetError struct {
 	Budget int // configured MemBudget, bytes
 	Need   int // estimated footprint of the irreducible pair
-	Depth  int // recursion depth at which splitting gave up
+	// Depth is the deepest recursion level the failing pair's join
+	// reached — including sibling sub-pairs that split successfully
+	// before the irreducible one gave up.
+	Depth int
 }
 
 func (e *BudgetError) Error() string {
@@ -264,6 +294,11 @@ func (e *BudgetError) Unwrap() error { return ErrOverBudget }
 type Joiner struct {
 	bp, pp  partitions
 	workers []*pairJoiner
+
+	// plan, in Hybrid mode, orders the morsel queue resident-first and
+	// carries the measured per-pair footprints the demotion check
+	// consults; nil between calls and in non-hybrid joins.
+	plan *hybridPlan
 
 	// sinkFor, when set, provides each morsel worker with a match sink
 	// (see JoinStream). Sinks are per-worker, so they need no locking.
@@ -315,6 +350,10 @@ func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) (Result, erro
 	}
 	jn.bp.fill(data, build, fanout)
 	jn.pp.fill(data, probe, fanout)
+	if cfg.Hybrid {
+		jn.plan = planHybrid(&jn.bp, width, cfg.MemBudget)
+	}
+	defer func() { jn.plan = nil }()
 	partDone := time.Now()
 
 	r, err := jn.joinPairs(data, width, cfg)
@@ -383,11 +422,13 @@ func pairFootprint(nBuild, width int) int {
 func BuildFootprint(nBuild, width int) int { return pairFootprint(nBuild, width) }
 
 // fanoutFor picks the smallest power-of-two partition count such that a
-// build partition's entries plus its row table fit budget bytes.
+// build partition's entries plus its row table fit budget bytes. Like
+// subFanoutFor it compares in divide form: budget*f overflows int for
+// large budgets and would inflate the fan-out spuriously.
 func fanoutFor(nBuild, width, budget int) int {
 	need := pairFootprint(nBuild, width)
 	f := 1
-	for f < 1<<20 && need > budget*f {
+	for f < 1<<20 && overBudget(need, budget, f) {
 		f <<= 1
 	}
 	return f

@@ -38,6 +38,7 @@ type spillState struct {
 	buildWidth int
 	probeWidth int
 	budget     int
+	pageSize   int             // 0: spill.DefaultPageSize
 	ctx        context.Context // nil: never cancelled
 
 	mu    sync.Mutex
@@ -75,8 +76,20 @@ func newSpillState(build, probe *storage.Relation, cfg Config) *spillState {
 		buildWidth: bs.FixedWidth(),
 		probeWidth: ps.FixedWidth(),
 		budget:     cfg.MemBudget,
+		pageSize:   cfg.SpillPageSize,
 		ctx:        cfg.Ctx,
 	}
+}
+
+// page returns the spill page size this state's Manager is (or will be)
+// configured with: the explicit knob, or the spill default. chunkPages
+// and manager both derive from it, so the chunk budget arithmetic and
+// the Manager's actual pages can never disagree.
+func (sp *spillState) page() int {
+	if sp.pageSize > 0 {
+		return sp.pageSize
+	}
+	return spill.DefaultPageSize
 }
 
 // chunkPages returns how many build pages one chunk pins: the largest
@@ -84,8 +97,9 @@ func newSpillState(build, probe *storage.Relation, cfg Config) *spillState {
 // clamped to [1, spillChunkPagesCap]. Even chunkPages == 1 always makes
 // progress — that is why the spill tier cannot fail on size.
 func (sp *spillState) chunkPages() int {
-	perPage := spill.DefaultPageSize +
-		spill.PageCapacity(spill.DefaultPageSize, sp.buildWidth)*(entrySize+rowHdrSize+sp.buildWidth+16)
+	pageSize := sp.page()
+	perPage := pageSize +
+		spill.PageCapacity(pageSize, sp.buildWidth)*(entrySize+rowHdrSize+sp.buildWidth+16)
 	n := sp.budget / perPage
 	if n < 1 {
 		n = 1
@@ -103,6 +117,7 @@ func (sp *spillState) manager() (*spill.Manager, error) {
 	if sp.m == nil && sp.merr == nil {
 		sp.m, sp.merr = spill.NewManager(spill.Config{
 			Dir:       sp.dir,
+			PageSize:  sp.page(),
 			Workers:   sp.workers,
 			PoolPages: sp.chunkPages() + 3*sp.workers + 4,
 			A:         sp.a,

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hashjoin/internal/arena"
@@ -159,6 +160,12 @@ type Counters struct {
 	MorselsExecuted uint64        // morsels run by the shared pool
 	Reclaims        uint64        // quiescent window reclamations
 
+	// Pressure counts the events where a queued head waiter could not
+	// carve a window and the controller shrank the advisory budgets of
+	// in-flight grants; PressureShrunkBytes sums the bytes shaved off.
+	Pressure            uint64
+	PressureShrunkBytes uint64
+
 	InFlight      int
 	Queued        int
 	ReservedBytes uint64 // bytes in outstanding carved windows
@@ -225,6 +232,10 @@ type Controller struct {
 	base, tail  uint64
 	reserved    uint64
 
+	// grants holds the live carved grants, so queue pressure can shrink
+	// their advisory budgets (see pressureLocked).
+	grants map[*Grant]struct{}
+
 	// reclaimHook, when set, runs (on its own goroutine, without the
 	// controller lock) after each successful quiescent reclamation. The
 	// service layer uses it to trim caches sized against the arena's
@@ -241,7 +252,7 @@ func NewController(cfg Config) *Controller {
 	if cfg.Arena == nil {
 		panic("sched: Config.Arena is required")
 	}
-	c := &Controller{cfg: cfg, pool: NewPool(cfg.Workers)}
+	c := &Controller{cfg: cfg, pool: NewPool(cfg.Workers), grants: make(map[*Grant]struct{})}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -423,7 +434,38 @@ func (c *Controller) tryAdmitLocked(req Request) *Grant {
 	c.c.Admitted++
 	c.c.InFlight = c.inflight
 	c.c.ReservedBytes = c.reserved
-	return &Grant{c: c, a: child, req: req, carved: true}
+	g := &Grant{c: c, a: child, req: req, carved: true}
+	g.advisory.Store(int64(req.Planned))
+	c.grants[g] = struct{}{}
+	return g
+}
+
+// minAdvisory floors pressure shrinks: a grant's advisory budget never
+// drops below this, so a squeezed query still has room for one spill
+// chunk and keeps making progress instead of thrashing.
+const minAdvisory = 64 << 10
+
+// pressureLocked is the mid-join memory-pressure signal: when a queued
+// head waiter cannot carve a window, the controller halves the advisory
+// budget of every in-flight carved grant. Hybrid joins sample the
+// advisory at each partition-pair claim (native Config.BudgetNow) and
+// demote planned-resident pairs to disk, shrinking their scratch
+// high-water mark so the next quiescent reclamation frees room sooner.
+// The carved windows themselves are immutable — a bump allocator cannot
+// give memory back mid-flight — which is why the signal is advisory.
+func (c *Controller) pressureLocked() {
+	shrunk := uint64(0)
+	for g := range c.grants {
+		next := g.advisory.Load() / 2
+		if next < minAdvisory {
+			next = minAdvisory
+		}
+		shrunk += g.shrinkTo(next)
+	}
+	if shrunk > 0 {
+		c.c.Pressure++
+		c.c.PressureShrunkBytes += shrunk
+	}
 }
 
 // reclaimLocked truncates burned carve windows back to the pre-carve
@@ -455,6 +497,11 @@ func (c *Controller) admitWaitersLocked() {
 		w := c.queue[0]
 		g := c.tryAdmitLocked(w.req)
 		if g == nil {
+			// The head waiter still cannot be seated: squeeze the queries
+			// holding windows so their scratch drains sooner.
+			if !w.req.Exclusive {
+				c.pressureLocked()
+			}
 			return
 		}
 		c.queue = c.queue[1:]
@@ -471,6 +518,7 @@ func (c *Controller) release(g *Grant, err error, abandoned bool) {
 		c.exclusive = false
 	}
 	if g.carved {
+		delete(c.grants, g)
 		c.outstanding--
 		c.reserved -= g.req.Planned
 		if c.outstanding == 0 {
@@ -542,6 +590,11 @@ type Grant struct {
 	carved bool
 	wait   time.Duration
 
+	// advisory is the grant's current advisory scratch budget in bytes:
+	// Planned at admission, shrunk (never grown) by controller pressure
+	// or Shrink. 0 for exclusive grants — no signal.
+	advisory atomic.Int64
+
 	mu       sync.Mutex
 	released bool
 }
@@ -560,6 +613,43 @@ func (g *Grant) Planned() uint64 {
 		return 0
 	}
 	return g.req.Planned
+}
+
+// BudgetNow returns the grant's current advisory scratch budget in
+// bytes: Planned at admission, lowered when the controller applies
+// queue pressure or the holder calls Shrink. Hybrid joins sample it at
+// each partition-pair claim (native Config.BudgetNow) and demote pairs
+// the shrunken budget no longer covers. 0 (exclusive grants) means no
+// signal. Safe to call concurrently with pressure.
+func (g *Grant) BudgetNow() int { return int(g.advisory.Load()) }
+
+// Shrink lowers the grant's advisory budget to n bytes (floored at the
+// controller's minimum); raising it is a no-op, so the signal is
+// monotonic and a join never sees the budget grow back mid-flight. It
+// returns the bytes actually shaved off.
+func (g *Grant) Shrink(n int) uint64 {
+	if !g.carved {
+		return 0
+	}
+	to := int64(n)
+	if to < minAdvisory {
+		to = minAdvisory
+	}
+	return g.shrinkTo(to)
+}
+
+// shrinkTo lowers advisory to at most target, returning the bytes
+// removed. CAS keeps concurrent shrinks monotonic-down.
+func (g *Grant) shrinkTo(target int64) uint64 {
+	for {
+		cur := g.advisory.Load()
+		if cur <= target {
+			return 0
+		}
+		if g.advisory.CompareAndSwap(cur, target) {
+			return uint64(cur - target)
+		}
+	}
 }
 
 // Release returns the grant's capacity and records the query's outcome.

@@ -368,3 +368,79 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func TestPressureShrinksAdvisoryBudgets(t *testing.T) {
+	c, _ := newTestController(t, 8<<20, Config{MaxConcurrent: 4})
+
+	g1, err := c.Admit(context.Background(), Request{Tenant: "a", Planned: 3 << 20})
+	if err != nil {
+		t.Fatalf("Admit a: %v", err)
+	}
+	g2, err := c.Admit(context.Background(), Request{Tenant: "b", Planned: 3 << 20})
+	if err != nil {
+		t.Fatalf("Admit b: %v", err)
+	}
+	if got := g2.BudgetNow(); got != 3<<20 {
+		t.Fatalf("fresh grant BudgetNow = %d, want Planned %d", got, 3<<20)
+	}
+
+	// A third query passes the TooLarge gate (its footprint fits a quiet
+	// arena) but cannot carve while a and b hold windows: it queues.
+	done := make(chan *Grant, 1)
+	go func() {
+		g, err := c.Admit(context.Background(), Request{Tenant: "c", Planned: 4 << 20})
+		if err != nil {
+			t.Errorf("Admit c: %v", err)
+		}
+		done <- g
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+
+	// Releasing a seats nobody (b's window still pins the arena); the
+	// blocked head waiter is the pressure signal that halves b's advisory.
+	g1.Release(nil)
+	if got := g2.BudgetNow(); got != 3<<19 {
+		t.Fatalf("BudgetNow after pressure = %d, want halved %d", got, 3<<19)
+	}
+	s := c.Stats()
+	if s.Pressure != 1 || s.PressureShrunkBytes != 3<<19 {
+		t.Fatalf("pressure counters = %d events, %d bytes; want 1, %d", s.Pressure, s.PressureShrunkBytes, 3<<19)
+	}
+
+	// Holder-side Shrink is monotonic down, floored, and never grows.
+	if shaved := g2.Shrink(1 << 20); shaved != 3<<19-1<<20 {
+		t.Fatalf("Shrink shaved %d, want %d", shaved, 3<<19-1<<20)
+	}
+	if shaved := g2.Shrink(2 << 20); shaved != 0 {
+		t.Fatal("Shrink grew the advisory budget")
+	}
+	if g2.Shrink(1); g2.BudgetNow() != minAdvisory {
+		t.Fatalf("BudgetNow = %d, want floor %d", g2.BudgetNow(), minAdvisory)
+	}
+
+	// Quiescence reclaims the windows and seats c with a full advisory.
+	g2.Release(nil)
+	g3 := <-done
+	if g3 == nil {
+		t.Fatal("waiter c not admitted")
+	}
+	if got := g3.BudgetNow(); got != 4<<20 {
+		t.Fatalf("late grant BudgetNow = %d, want Planned %d", got, 4<<20)
+	}
+	g3.Release(nil)
+}
+
+func TestExclusiveGrantHasNoAdvisorySignal(t *testing.T) {
+	c, _ := newTestController(t, 8<<20, Config{})
+	g, err := c.Admit(context.Background(), Request{Tenant: "x", Exclusive: true})
+	if err != nil {
+		t.Fatalf("Admit exclusive: %v", err)
+	}
+	defer g.Release(nil)
+	if got := g.BudgetNow(); got != 0 {
+		t.Fatalf("exclusive BudgetNow = %d, want 0 (no signal)", got)
+	}
+	if shaved := g.Shrink(1); shaved != 0 {
+		t.Fatal("Shrink on an exclusive grant shaved bytes")
+	}
+}

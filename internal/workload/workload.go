@@ -9,6 +9,7 @@ package workload
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"hashjoin/internal/arena"
@@ -36,6 +37,22 @@ type Spec struct {
 	// stressing the read-write conflict handling. 1 (or 0) means unique
 	// build keys as in the paper's main experiments.
 	Skew int
+
+	// ZipfS, when > 0, switches the build relation to Zipf-distributed
+	// keys: ranks over a universe of ZipfKeys distinct keys are drawn
+	// with probability proportional to 1/rank^ZipfS, so partition
+	// footprints follow the hot ranks — the boundary workload for
+	// hybrid-join victim selection. Unlike math/rand's Zipf (which
+	// requires s > 1), inverse-CDF sampling over the precomputed rank
+	// weights supports the whole s > 0 range the skew literature sweeps
+	// (0.5 .. 1.5). Probe keys are drawn uniformly over the same
+	// universe, keeping the output cardinality linear instead of
+	// squaring the hot-rank mass; a rank the build side never drew is a
+	// natural miss. MatchesPerBuild, PctMatched, and Skew are ignored in
+	// Zipf mode; NProbe defaults to 2*NBuild.
+	ZipfS float64
+	// ZipfKeys is the distinct-key universe for ZipfS; 0 defaults 256.
+	ZipfKeys int
 
 	PageSize int // slotted page size; 0 defaults to 8 KB
 
@@ -71,8 +88,15 @@ func (s Spec) normalize() Spec {
 	if s.Skew < 1 {
 		s.Skew = 1
 	}
+	if s.ZipfS > 0 && s.ZipfKeys <= 0 {
+		s.ZipfKeys = 256
+	}
 	if s.NProbe == 0 {
-		s.NProbe = s.NBuild * s.MatchesPerBuild
+		if s.ZipfS > 0 {
+			s.NProbe = 2 * s.NBuild
+		} else {
+			s.NProbe = s.NBuild * s.MatchesPerBuild
+		}
 	}
 	if s.TupleSize < 8 {
 		panic(fmt.Sprintf("workload: tuple size %d too small", s.TupleSize))
@@ -110,6 +134,10 @@ func Generate(a *arena.Arena, spec Spec) *Pair {
 	spec = spec.normalize()
 	rng := rand.New(rand.NewSource(spec.Seed))
 	schema := storage.KeyPayloadSchema(spec.TupleSize)
+
+	if spec.ZipfS > 0 {
+		return generateZipf(a, spec, rng, schema)
+	}
 
 	nMatched := spec.NBuild * spec.PctMatched / 100
 
@@ -162,6 +190,69 @@ func Generate(a *arena.Arena, spec Spec) *Pair {
 	return p
 }
 
+// zipfSampler draws key ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s by inverse-CDF lookup over the precomputed cumulative
+// weights. math/rand's Zipf only supports s > 1; the binary search
+// costs O(log n) per draw and handles any s > 0.
+type zipfSampler struct {
+	cum []float64 // cum[r] = sum of weights of ranks 0..r
+}
+
+func newZipfSampler(n int, s float64) *zipfSampler {
+	z := &zipfSampler{cum: make([]float64, n)}
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -s)
+		z.cum[r] = total
+	}
+	return z
+}
+
+func (z *zipfSampler) rank(rng *rand.Rand) int {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// generateZipf materializes a Zipf-skewed pair: the build side draws
+// key ranks from the 1/rank^s distribution over ZipfKeys distinct keys,
+// the probe side uniformly over the same universe. Ground truth is
+// exact via the build-side key histogram, as in the uniform generator.
+func generateZipf(a *arena.Arena, spec Spec, rng *rand.Rand, schema *storage.Schema) *Pair {
+	z := newZipfSampler(spec.ZipfKeys, spec.ZipfS)
+
+	build := storage.NewRelation(a, schema, spec.PageSize)
+	buildCount := make(map[uint32]int, spec.ZipfKeys)
+	tup := make([]byte, spec.TupleSize)
+	for i := 0; i < spec.NBuild; i++ {
+		k := buildKey(uint32(z.rank(rng)))
+		buildCount[k]++
+		fillTuple(tup, k, uint32(i))
+		build.Append(tup, hash.CodeU32(k))
+	}
+
+	probe := storage.NewRelation(a, schema, spec.PageSize)
+	p := &Pair{Spec: spec, Build: build, Probe: probe}
+	for i := 0; i < spec.NProbe; i++ {
+		k := buildKey(uint32(rng.Intn(spec.ZipfKeys)))
+		fillTuple(tup, k, uint32(i)|0x80000000)
+		probe.Append(tup, hash.CodeU32(k))
+		if c := buildCount[k]; c > 0 {
+			p.ExpectedMatches += c
+			p.KeySum += uint64(k) * uint64(c)
+		}
+	}
+	return p
+}
+
 // fillTuple encodes key at offset 0 and a payload derived from (key,
 // salt) after it, so payload corruption is detectable.
 func fillTuple(dst []byte, key, salt uint32) {
@@ -182,7 +273,13 @@ func ArenaBytesFor(spec Spec) uint64 {
 	raw := tuples * perTuple
 	// relations + partitions copy + hash table/cells + output tuples
 	// (build+probe width) + page slack.
-	out := uint64(spec.NBuild*spec.MatchesPerBuild) * uint64(2*spec.TupleSize+storage.SlotSize)
+	nOut := uint64(spec.NBuild * spec.MatchesPerBuild)
+	if spec.ZipfS > 0 {
+		// Uniform probe over ZipfKeys ranks: ~NProbe*NBuild/ZipfKeys
+		// matches in expectation; double it for headroom.
+		nOut = 2 * uint64(spec.NProbe) * uint64(spec.NBuild) / uint64(spec.ZipfKeys)
+	}
+	out := nOut * uint64(2*spec.TupleSize+storage.SlotSize)
 	need := raw*3 + out*2 + uint64(spec.NBuild)*uint64(hash.HeaderSize+hash.CellSize)*2 + (64 << 10)
 	// Floor generous enough for small-workload tests that also allocate
 	// partition buffers and intermediate pages.

@@ -43,9 +43,11 @@ type pipelineConfig struct {
 	workers   int
 	memBudget int
 
-	spillDir     string
-	spillWorkers int
-	noSpill      bool
+	spillDir      string
+	spillWorkers  int
+	spillPageSize int
+	noSpill       bool
+	hybrid        bool
 
 	filterLo, filterHi uint32
 	hasFilter          bool
@@ -140,6 +142,30 @@ func WithPipelineNoSpill() PipelineOption {
 	return func(c *pipelineConfig) { c.noSpill = true }
 }
 
+// WithPipelineSpillPageSize overrides the spill tier's page size in
+// bytes (default: the spill subsystem's own default). Benchmarks use
+// smaller pages to reduce page-rounding noise in I/O volumes; the value
+// must satisfy the spill subsystem's bounds or the run fails when the
+// spill tier engages.
+func WithPipelineSpillPageSize(bytes int) PipelineOption {
+	return func(c *pipelineConfig) { c.spillPageSize = bytes }
+}
+
+// WithPipelineHybrid enables the native join's adaptive hybrid policy:
+// after the partition phase, pairs are ranked by measured build
+// footprint, the largest prefix that fits the memory budget stays
+// resident (joined in memory, claimed first), and only the overflow
+// goes through the out-of-core tier — with oversized victims split on
+// observed key-code frequency so the resident budget is never wasted on
+// rows that cannot fit. On a service Env the run also samples the
+// grant's advisory budget at each partition-pair claim and demotes
+// not-yet-started resident pairs to disk when memory pressure shrinks
+// the window, instead of restarting the query. Requires
+// WithPipelineMemBudget to change anything.
+func WithPipelineHybrid() PipelineOption {
+	return func(c *pipelineConfig) { c.hybrid = true }
+}
+
 // WithBuildSide supplies a pre-built hash table (PrepareBuildSide) as
 // the join's build side, skipping the run's build phase entirely: the
 // probe stream runs over the shared, immutable table through private
@@ -208,6 +234,14 @@ type PipelineResult struct {
 	SpillWriteStall   time.Duration
 	SpillReadStall    time.Duration
 
+	// Hybrid-policy accounting (WithPipelineHybrid): partition pairs
+	// joined fully in memory, planned-resident pairs demoted to disk by
+	// a mid-join advisory budget shrink, and the demoted pairs' summed
+	// build footprints. All zero without the hybrid policy.
+	ResidentPartitions int
+	DemotedPartitions  int
+	BytesDemoted       int64
+
 	// Service-mode accounting: how long admission queued the run, the
 	// scratch window it was granted (0 for exclusive/simulated runs),
 	// and how many partition-pair morsels the shared pool executed for
@@ -272,6 +306,7 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 	// single-threaded and they scope scratch on the shared arena).
 	a := e.mem.A
 	var pool native.Pool
+	var budgetNow func() int
 	if e.svc != nil {
 		req := sched.Request{Tenant: pc.tenant, Weight: pc.weight, Exclusive: pc.engine == EngineSim}
 		if !req.Exclusive {
@@ -290,6 +325,12 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 		res.AdmittedBytes = g.Planned()
 		if pc.engine == EngineNative {
 			pool = e.svc.Pool()
+			if pc.hybrid {
+				// The grant's advisory budget is the mid-join pressure
+				// signal: when neighbors queue, the controller shrinks it
+				// and the hybrid join demotes unstarted resident pairs.
+				budgetNow = g.BudgetNow
+			}
 		}
 	}
 	if pc.engine == EngineSim {
@@ -308,23 +349,26 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 
 	var report engine.Report
 	cfg := engine.Config{
-		Backend:      pc.engine,
-		Mem:          e.mem,
-		A:            a,
-		Scheme:       pc.scheme,
-		Params:       pc.params,
-		Fanout:       pc.fanout,
-		Workers:      pc.workers,
-		Pool:         pool,
-		Tenant:       pc.tenant,
-		Weight:       pc.weight,
-		MemBudget:    pc.memBudget,
-		SpillDir:     pc.spillDir,
-		SpillWorkers: pc.spillWorkers,
-		NoSpill:      pc.noSpill,
-		Build:        cachedBuild,
-		Report:       &report,
-		Ctx:          ctx,
+		Backend:       pc.engine,
+		Mem:           e.mem,
+		A:             a,
+		Scheme:        pc.scheme,
+		Params:        pc.params,
+		Fanout:        pc.fanout,
+		Workers:       pc.workers,
+		Pool:          pool,
+		Tenant:        pc.tenant,
+		Weight:        pc.weight,
+		MemBudget:     pc.memBudget,
+		SpillDir:      pc.spillDir,
+		SpillWorkers:  pc.spillWorkers,
+		SpillPageSize: pc.spillPageSize,
+		NoSpill:       pc.noSpill,
+		Hybrid:        pc.hybrid,
+		BudgetNow:     budgetNow,
+		Build:         cachedBuild,
+		Report:        &report,
+		Ctx:           ctx,
 	}
 
 	var before Stats
@@ -368,6 +412,9 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 	res.SpillBytesRead = report.SpillBytesRead
 	res.SpillWriteStall = report.SpillWriteStall
 	res.SpillReadStall = report.SpillReadStall
+	res.ResidentPartitions = report.ResidentPartitions
+	res.DemotedPartitions = report.DemotedPartitions
+	res.BytesDemoted = report.BytesDemoted
 	res.MorselsExecuted = report.MorselsExecuted
 	return res, nil
 }
