@@ -1,13 +1,17 @@
 // Command benchcheck validates the repo's machine-readable benchmark
 // trajectories — BENCH_native.json, BENCH_pipeline.json,
-// BENCH_spill.json, BENCH_serve.json, BENCH_table.json, and
-// BENCH_hybrid.json — so CI fails fast when a benchmark stops emitting
-// its document or emits one with missing keys, non-positive timings,
-// or (for the swept trajectories) an empty or malformed sweep. It
-// checks shape and sanity, not performance: timing values must be
-// positive, not fast. The one exception is the hybrid trajectory,
-// where hybrid spill I/O exceeding the spill-everything volume is a
-// deterministic policy regression and fails the check.
+// BENCH_spill.json, BENCH_serve.json, BENCH_table.json,
+// BENCH_hybrid.json, and BENCH_join.json — so CI fails fast when a
+// benchmark stops emitting its document or emits one with missing
+// keys, non-positive timings, or (for the swept trajectories) an
+// empty or malformed sweep. It checks shape and sanity, not
+// performance: timing values must be positive, not fast. Two
+// exceptions carry semantic gates: the hybrid trajectory, where
+// hybrid spill I/O exceeding the spill-everything volume is a
+// deterministic policy regression, and the join trajectory, where the
+// crossover constants the planner compiles in (internal/plan) must
+// match the calibrated document — and the nested-loop strategy must
+// actually win every swept point at or below the pinned crossover.
 //
 // Usage:
 //
@@ -20,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"hashjoin/internal/plan"
 )
 
 const prog = "benchcheck"
@@ -55,6 +61,11 @@ var numKeys = map[string][]string{
 		"n_build", "n_probe", "tuple_size", "zipf_keys", "fanout",
 		"page_size", "gomaxprocs",
 	},
+	"BENCH_join.json": {
+		"n_probe", "tuple_size", "gomaxprocs",
+		"nested_loop_crossover_rows", "measured_nested_loop_crossover_rows",
+		"partition_crossover_bytes",
+	},
 }
 
 func main() {
@@ -62,7 +73,7 @@ func main() {
 	flag.Parse()
 
 	failed := false
-	for _, name := range []string{"BENCH_native.json", "BENCH_pipeline.json", "BENCH_spill.json", "BENCH_serve.json", "BENCH_table.json", "BENCH_hybrid.json"} {
+	for _, name := range []string{"BENCH_native.json", "BENCH_pipeline.json", "BENCH_spill.json", "BENCH_serve.json", "BENCH_table.json", "BENCH_hybrid.json", "BENCH_join.json"} {
 		if errs := checkFile(filepath.Join(*dir, name), numKeys[name]); len(errs) > 0 {
 			failed = true
 			for _, e := range errs {
@@ -108,6 +119,108 @@ func checkFile(path string, keys []string) []error {
 		errs = append(errs, checkTablePoints(doc)...)
 	case "BENCH_hybrid.json":
 		errs = append(errs, checkHybridPoints(doc)...)
+	case "BENCH_join.json":
+		errs = append(errs, checkJoinPoints(doc)...)
+	}
+	return errs
+}
+
+// checkJoinPoints validates the strategy-crossover calibration. Shape:
+// both sweeps non-empty and strictly ascending with positive timings.
+// Semantics: the pinned crossover constants must equal what the plan
+// package compiles in (a re-calibration must move both together), the
+// nested-loop strategy must win every swept point at or below the
+// pinned crossover and lose the largest swept point, and a non-zero
+// measured partition crossover must appear in the sweep as a point the
+// partitioned join won.
+func checkJoinPoints(doc map[string]any) []error {
+	var errs []error
+	crossRows, _ := num(doc["nested_loop_crossover_rows"])
+	if int(crossRows) != plan.DefaultNestedLoopCrossover {
+		errs = append(errs, fmt.Errorf("nested_loop_crossover_rows %v != plan.DefaultNestedLoopCrossover %d (re-pin the constant from the calibration run)",
+			crossRows, plan.DefaultNestedLoopCrossover))
+	}
+	crossBytes, _ := num(doc["partition_crossover_bytes"])
+	if int(crossBytes) != plan.DefaultPartitionCrossoverBytes {
+		errs = append(errs, fmt.Errorf("partition_crossover_bytes %v != plan.DefaultPartitionCrossoverBytes %d (re-pin the constant from the calibration run)",
+			crossBytes, plan.DefaultPartitionCrossoverBytes))
+	}
+
+	points, ok := doc["nested_loop_points"].([]any)
+	if !ok || len(points) == 0 {
+		errs = append(errs, fmt.Errorf("key %q missing or empty", "nested_loop_points"))
+		return errs
+	}
+	prev := 0.0
+	for i, p := range points {
+		pt, ok := p.(map[string]any)
+		if !ok {
+			errs = append(errs, fmt.Errorf("nested_loop_points[%d]: not an object", i))
+			continue
+		}
+		rows, ok := num(pt["build_rows"])
+		if !ok || rows <= 0 {
+			errs = append(errs, fmt.Errorf("nested_loop_points[%d]: build_rows missing or non-positive", i))
+		} else if rows <= prev {
+			errs = append(errs, fmt.Errorf("nested_loop_points[%d]: build_rows %v not ascending (prev %v)", i, rows, prev))
+		} else {
+			prev = rows
+		}
+		nl, nlOK := num(pt["nested_loop_ms"])
+		st, stOK := num(pt["stream_ms"])
+		if !nlOK || nl <= 0 {
+			errs = append(errs, fmt.Errorf("nested_loop_points[%d]: nested_loop_ms missing or non-positive", i))
+		}
+		if !stOK || st <= 0 {
+			errs = append(errs, fmt.Errorf("nested_loop_points[%d]: stream_ms missing or non-positive", i))
+		}
+		if nlOK && stOK && rows > 0 && rows <= crossRows && nl > st {
+			errs = append(errs, fmt.Errorf("nested_loop_points[%d]: nested loop lost below the pinned crossover (%v rows: %.3f ms vs stream %.3f ms)", i, rows, nl, st))
+		}
+		if i == len(points)-1 && nlOK && stOK && nl <= st {
+			errs = append(errs, fmt.Errorf("nested_loop_points[%d]: nested loop still wins at the sweep ceiling (%v rows) — the sweep no longer brackets the crossover", i, rows))
+		}
+	}
+
+	ppoints, ok := doc["partition_points"].([]any)
+	if !ok || len(ppoints) == 0 {
+		errs = append(errs, fmt.Errorf("key %q missing or empty", "partition_points"))
+		return errs
+	}
+	measured, _ := num(doc["measured_partition_crossover_bytes"])
+	measuredSeen := measured == 0
+	prev = 0.0
+	for i, p := range ppoints {
+		pt, ok := p.(map[string]any)
+		if !ok {
+			errs = append(errs, fmt.Errorf("partition_points[%d]: not an object", i))
+			continue
+		}
+		bytes, ok := num(pt["build_bytes"])
+		if !ok || bytes <= 0 {
+			errs = append(errs, fmt.Errorf("partition_points[%d]: build_bytes missing or non-positive", i))
+		} else if bytes <= prev {
+			errs = append(errs, fmt.Errorf("partition_points[%d]: build_bytes %v not ascending (prev %v)", i, bytes, prev))
+		} else {
+			prev = bytes
+		}
+		st, stOK := num(pt["stream_ms"])
+		pm, pmOK := num(pt["partitioned_ms"])
+		if !stOK || st <= 0 {
+			errs = append(errs, fmt.Errorf("partition_points[%d]: stream_ms missing or non-positive", i))
+		}
+		if !pmOK || pm <= 0 {
+			errs = append(errs, fmt.Errorf("partition_points[%d]: partitioned_ms missing or non-positive", i))
+		}
+		if f, ok := num(pt["fanout"]); !ok || f < 2 {
+			errs = append(errs, fmt.Errorf("partition_points[%d]: fanout missing or < 2", i))
+		}
+		if bytes == measured && stOK && pmOK && pm < st {
+			measuredSeen = true
+		}
+	}
+	if !measuredSeen {
+		errs = append(errs, fmt.Errorf("measured_partition_crossover_bytes %v is not a swept point the partitioned join won", measured))
 	}
 	return errs
 }

@@ -35,6 +35,7 @@ import (
 	"hashjoin/internal/engine"
 	"hashjoin/internal/exp"
 	"hashjoin/internal/native"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/spill"
 	"hashjoin/internal/workload"
 )
@@ -62,6 +63,9 @@ func main() {
 		spillWork = flag.Int("spill-workers", 0, "native/pipeline: write-behind workers for the spill tier (0 = default)")
 		noSpill   = flag.Bool("no-spill", false, "native/pipeline: disable the spill tier; an irreducible over-budget pair fails instead")
 		hybrid    = flag.Bool("hybrid", false, "native/pipeline: adaptive hybrid hash join — keep the partition pairs that fit -mem-budget resident and spill only the overflow, splitting skewed victims by key-code frequency")
+		joinType  = flag.String("join-type", "inner", "pipeline: join semantics: inner, left-outer, right-outer, semi, or anti")
+		strat     = flag.String("strategy", "auto", "pipeline: join strategy: auto (cost-based planner), nested-loop, stream, or partitioned")
+		matchRate = flag.Float64("match-rate", 0, "pipeline: fraction of probe tuples with a build match in (0, 1]; overrides -matches and feeds the planner")
 		zipfS     = flag.Float64("zipf", 0, "native/pipeline: Zipf skew parameter s for build keys (0 = uniform keys); probe keys stay uniform over the same universe")
 		zipfKeys  = flag.Int("zipf-keys", 0, "native/pipeline: distinct-key universe for -zipf (0 = default 256)")
 		reps      = flag.Int("reps", 3, "native/pipeline: repetitions per scheme (medians reported)")
@@ -89,6 +93,20 @@ func main() {
 	if *hybrid && *memBudget <= 0 {
 		cli.Fatalf(prog, "-hybrid requires a positive -mem-budget")
 	}
+	jt, err := plan.ParseJoinType(*joinType)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
+	}
+	strategy, err := plan.ParseStrategy(*strat)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
+	}
+	if *matchRate < 0 || *matchRate > 1 {
+		cli.Fatalf(prog, "-match-rate %v outside (0, 1]", *matchRate)
+	}
+	if !*pipeMode && (jt != plan.Inner || strategy != plan.Auto || *matchRate != 0) {
+		cli.Fatalf(prog, "-join-type, -strategy, and -match-rate need -pipeline (the monolithic join benchmarks the inner join only)")
+	}
 	sp := spillOpts{dir: *spillDir, workers: *spillWork, off: *noSpill, hybrid: *hybrid}
 	spec := workload.Spec{
 		NBuild:          *nBuild,
@@ -98,11 +116,12 @@ func main() {
 		Skew:            *skew,
 		ZipfS:           *zipfS,
 		ZipfKeys:        *zipfKeys,
+		MatchRate:       *matchRate,
 		Seed:            *seed,
 	}
 
 	if *pipeMode {
-		runPipeline(ctx, backend, spec, *schemes, *fanout, *workers, *memBudget, sp, *reps)
+		runPipeline(ctx, backend, spec, *schemes, jt, strategy, *fanout, *workers, *memBudget, sp, *reps)
 		return
 	}
 	if backend == engine.Native {
@@ -169,7 +188,7 @@ func (s spillOpts) arenaHeadroom(memBudget int) uint64 {
 // workload bytes); native repetitions interleave the schemes so host
 // drift lands on all of them alike, and medians are compared. The
 // simulator is deterministic, so one rep suffices there.
-func runPipeline(ctx context.Context, backend engine.Backend, spec workload.Spec, schemeList string, fanout, workers, memBudget int, sp spillOpts, reps int) {
+func runPipeline(ctx context.Context, backend engine.Backend, spec workload.Spec, schemeList string, jt plan.JoinType, strategy plan.Strategy, fanout, workers, memBudget int, sp spillOpts, reps int) {
 	parsed, err := cli.ParseSchemeList(schemeList)
 	if err != nil {
 		cli.Fatalf(prog, "%v", err)
@@ -179,28 +198,37 @@ func runPipeline(ctx context.Context, backend engine.Backend, spec workload.Spec
 	}
 	fanout = cli.NormalizeFanout(fanout)
 
-	fmt.Printf("pipeline benchmark (%v engine): scan -> join -> aggregate, %d build tuples, %d B each, fanout %d",
-		backend, spec.NBuild, spec.TupleSize, fanout)
+	fmt.Printf("pipeline benchmark (%v engine): scan -> %v join -> aggregate, %d build tuples, %d B each, fanout %d",
+		backend, jt, spec.NBuild, spec.TupleSize, fanout)
 	if memBudget > 0 {
 		fmt.Printf(", budget %d B", memBudget)
 	}
 	fmt.Println()
 
+	var explained bool
 	run := func(scheme core.Scheme) cli.PipelineResult {
 		p := &cli.Pipeline{
 			Engine: backend, Spec: spec, Scheme: scheme,
 			Params: core.DefaultParams(), Fanout: fanout, Workers: workers,
 			MemBudget: memBudget,
 			SpillDir:  sp.dir, SpillWorkers: sp.workers, NoSpill: sp.off,
-			Hybrid: sp.hybrid,
-			Ctx:    ctx,
+			Hybrid:   sp.hybrid,
+			JoinType: jt, Strategy: strategy,
+			Ctx: ctx,
 		}
 		if backend == engine.Native {
 			p.Params = core.Params{} // native defaults
 		}
+		if err := p.Validate(); err != nil {
+			cli.Fatalf(prog, "%v", err)
+		}
 		res, err := p.Run()
 		if err != nil {
 			cli.DiePipeline(prog, fmt.Errorf("scheme %v: %w", scheme, err))
+		}
+		if res.Plan != nil && !explained {
+			explained = true
+			fmt.Printf("strategy: %s\n", res.Plan.Explain())
 		}
 		return res
 	}

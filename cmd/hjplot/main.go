@@ -6,13 +6,16 @@
 // rebuild-per-query join against the cached-BuildSide one) and
 // BENCH_hybrid.json (spill I/O volume and wall clock of the adaptive
 // hybrid policy against the spill-everything tier across Zipf skew
-// levels). The trajectory kind is detected from the document shape.
+// levels) and BENCH_join.json (the strategy-crossover calibration the
+// cost-based planner's pinned defaults come from). The trajectory kind
+// is detected from the document shape.
 //
 // Usage:
 //
 //	hjplot -fig fig12 [-scale tiny]
 //	hjplot -bench BENCH_table.json
 //	hjplot -bench BENCH_hybrid.json
+//	hjplot -bench BENCH_join.json
 package main
 
 import (
@@ -88,15 +91,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // benchCharts loads a measured trajectory and dispatches on its shape:
-// a document carrying zipf_keys is the hybrid skew sweep, anything
-// else is parsed as a table trajectory.
+// a document carrying zipf_keys is the hybrid skew sweep, one carrying
+// nested_loop_crossover_rows is the strategy-crossover calibration,
+// anything else is parsed as a table trajectory.
 func benchCharts(path string) ([]*exp.Table, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var kind struct {
-		ZipfKeys int `json:"zipf_keys"`
+		ZipfKeys    int `json:"zipf_keys"`
+		NLCrossRows int `json:"nested_loop_crossover_rows"`
 	}
 	if err := json.Unmarshal(raw, &kind); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
@@ -104,7 +109,57 @@ func benchCharts(path string) ([]*exp.Table, error) {
 	if kind.ZipfKeys > 0 {
 		return hybridCharts(path, raw)
 	}
+	if kind.NLCrossRows > 0 {
+		return joinCharts(path, raw)
+	}
 	return benchTables(path, raw)
+}
+
+// joinCharts shapes a BENCH_join.json calibration into two charts: the
+// nested-loop-vs-stream sweep over build-side row counts and the
+// stream-vs-partitioned sweep over build footprints.
+func joinCharts(path string, raw []byte) ([]*exp.Table, error) {
+	var doc struct {
+		NProbe      int `json:"n_probe"`
+		TupleSize   int `json:"tuple_size"`
+		NLCrossRows int `json:"nested_loop_crossover_rows"`
+		NLPoints    []struct {
+			BuildRows    int     `json:"build_rows"`
+			NestedLoopMs float64 `json:"nested_loop_ms"`
+			StreamMs     float64 `json:"stream_ms"`
+		} `json:"nested_loop_points"`
+		PCrossBytes int `json:"partition_crossover_bytes"`
+		PPoints     []struct {
+			BuildBytes    float64 `json:"build_bytes"`
+			StreamMs      float64 `json:"stream_ms"`
+			PartitionedMs float64 `json:"partitioned_ms"`
+		} `json:"partition_points"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(doc.NLPoints) == 0 || len(doc.PPoints) == 0 {
+		return nil, fmt.Errorf("%s: not a join calibration (empty nested_loop_points / partition_points)", path)
+	}
+	nl := &exp.Table{
+		ID:       "join-nl",
+		Title:    fmt.Sprintf("nested loop vs stream hash, %d probe rows x %dB (pinned crossover %d rows)", doc.NProbe, doc.TupleSize, doc.NLCrossRows),
+		RowLabel: "build rows",
+		Columns:  []string{"nested_loop_ms", "stream_ms"},
+	}
+	for _, p := range doc.NLPoints {
+		nl.AddRow(fmt.Sprintf("%d rows", p.BuildRows), p.NestedLoopMs, p.StreamMs)
+	}
+	part := &exp.Table{
+		ID:       "join-partition",
+		Title:    fmt.Sprintf("stream vs partitioned hash by build footprint (pinned crossover %d KiB)", doc.PCrossBytes/1024),
+		RowLabel: "build KiB",
+		Columns:  []string{"stream_ms", "partitioned_ms"},
+	}
+	for _, p := range doc.PPoints {
+		part.AddRow(fmt.Sprintf("%.0f KiB", p.BuildBytes/1024), p.StreamMs, p.PartitionedMs)
+	}
+	return []*exp.Table{nl, part}, nil
 }
 
 // hybridCharts shapes a BENCH_hybrid.json trajectory into two charts:

@@ -26,6 +26,7 @@ import (
 	"hashjoin/internal/engine"
 	"hashjoin/internal/memsim"
 	"hashjoin/internal/native"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/workload"
 )
 
@@ -49,6 +50,11 @@ func main() {
 		spillWork = flag.Int("spill-workers", 0, "native engine: write-behind workers for the spill tier (0 = default)")
 		noSpill   = flag.Bool("no-spill", false, "native engine: disable the spill tier; an irreducible over-budget pair fails instead")
 		hybrid    = flag.Bool("hybrid", false, "native engine: adaptive hybrid hash join — keep the partition pairs that fit -mem-budget resident and spill only the overflow")
+		joinType  = flag.String("join-type", "inner", "join semantics: inner, left-outer, right-outer, semi, or anti")
+		strat     = flag.String("strategy", "auto", "join strategy: auto (cost-based planner), nested-loop, stream, or partitioned")
+		explain   = flag.Bool("explain", false, "print the planner's strategy decision and its inputs")
+		matchRate = flag.Float64("match-rate", 0, "fraction of probe tuples with a build match in (0, 1]; overrides -matches/-pct workload shaping and feeds the planner")
+		aggOff    = flag.Int("agg", 0, "aggregate value byte offset within the join output row (0 = default 4)")
 		zipfS     = flag.Float64("zipf", 0, "Zipf skew parameter s for build keys (0 = uniform keys); probe keys stay uniform over the same universe")
 		zipfKeys  = flag.Int("zipf-keys", 0, "distinct-key universe for -zipf (0 = default 256)")
 		catPath   = flag.String("catalog", "", "write the catalog description file here")
@@ -71,6 +77,17 @@ func main() {
 	if err != nil {
 		cli.Fatalf(prog, "%v", err)
 	}
+	jt, err := plan.ParseJoinType(*joinType)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
+	}
+	strategy, err := plan.ParseStrategy(*strat)
+	if err != nil {
+		cli.Fatalf(prog, "%v", err)
+	}
+	if *matchRate < 0 || *matchRate > 1 {
+		cli.Fatalf(prog, "-match-rate %v outside (0, 1]", *matchRate)
+	}
 
 	p := &cli.Pipeline{
 		Engine: backend,
@@ -82,6 +99,7 @@ func main() {
 			Skew:            *skew,
 			ZipfS:           *zipfS,
 			ZipfKeys:        *zipfKeys,
+			MatchRate:       *matchRate,
 			Seed:            *seed,
 		},
 		Hier:         hier,
@@ -92,6 +110,13 @@ func main() {
 		SpillWorkers: *spillWork,
 		NoSpill:      *noSpill,
 		Hybrid:       *hybrid,
+		JoinType:     jt,
+		Strategy:     strategy,
+		Explain:      *explain,
+		AggValueOff:  *aggOff,
+	}
+	if err := p.Validate(); err != nil {
+		cli.Fatalf(prog, "%v", err)
 	}
 	if *spillWork < 0 {
 		cli.Fatalf(prog, "negative -spill-workers %d", *spillWork)
@@ -131,19 +156,22 @@ func main() {
 	if usePlan {
 		// The planner targets the simulator's cost model; the native
 		// engine reuses its scheme choice with the native default G/D.
-		plan := catalog.PlanGrace(desc, *mem, hier)
-		p.Scheme = plan.JoinScheme
-		p.Params = plan.Params
+		gp := catalog.PlanGrace(desc, *mem, hier)
+		p.Scheme = gp.JoinScheme
+		p.Params = gp.Params
 		if backend == engine.Native {
 			p.Params = core.Params{}
 		}
 		fmt.Printf("plan: scheme=%v G=%d D=%d (catalog planner)\n",
-			p.Scheme, plan.Params.G, plan.Params.D)
+			p.Scheme, gp.Params.G, gp.Params.D)
 	}
 
 	res, err := p.Run()
 	if err != nil {
 		cli.DiePipeline(prog, err)
+	}
+	if res.Plan != nil {
+		fmt.Printf("strategy: %s\n", res.Plan.Explain())
 	}
 
 	// These two lines are engine-independent: same workload, same plan,

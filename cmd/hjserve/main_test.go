@@ -329,6 +329,78 @@ func TestServeStatusTaxonomy(t *testing.T) {
 	}
 }
 
+// TestServeJoinTypesAndExplain drives the join_type=, strategy=, and
+// explain= keys end to end. The generated pair has unique build keys
+// and the first nBuild probe tuples matching one build tuple each, so
+// the per-join-type row counts follow from the pair's inner ground
+// truth: semi emits each matched probe row once (= matches), anti the
+// remaining probe rows, left-outer every probe row.
+func TestServeJoinTypesAndExplain(t *testing.T) {
+	s := startServer(t, serverOptions{})
+	c := dial(t, s)
+
+	const nBuild, nProbe = 1500, 3000
+	status, m := kv(t, c.roundTrip(t,
+		fmt.Sprintf("pair name=j1 build=%d probe=%d tuple=40 seed=5", nBuild, nProbe)))
+	if status != "ok" {
+		t.Fatalf("pair: %v %v", status, m)
+	}
+	matches := mustInt(t, m, "matches")
+	innerSum := m["keysum"]
+
+	// Semi join: one row per matched probe tuple; with unique build keys
+	// the probe keysum equals the inner build keysum.
+	status, m = kv(t, c.roundTrip(t, "query pair=j1 join_type=semi agg=1"))
+	if status != "ok" || mustInt(t, m, "rows") != matches || m["keysum"] != innerSum {
+		t.Fatalf("semi query: %v %v, want rows=%d keysum=%s", status, m, matches, innerSum)
+	}
+
+	// Anti join: the probe rows the semi join dropped.
+	status, m = kv(t, c.roundTrip(t, "query pair=j1 join_type=anti agg=1"))
+	if status != "ok" || mustInt(t, m, "rows") != nProbe-matches {
+		t.Fatalf("anti query: %v %v, want rows=%d", status, m, nProbe-matches)
+	}
+
+	// Left outer: every probe row survives; null-padded rows aggregate
+	// under key 0 and add nothing to the keysum.
+	status, m = kv(t, c.roundTrip(t, "query pair=j1 join_type=left-outer agg=1"))
+	if status != "ok" || mustInt(t, m, "rows") != nProbe || m["keysum"] != innerSum {
+		t.Fatalf("left-outer query: %v %v, want rows=%d keysum=%s", status, m, nProbe, innerSum)
+	}
+
+	// explain=1 engages the planner and reports its decision; sim engine
+	// exercises the same path on the other backend.
+	for _, cmd := range []string{
+		"query pair=j1 join_type=semi explain=1",
+		"query pair=j1 engine=sim join_type=semi strategy=auto explain=1",
+	} {
+		line := c.roundTrip(t, cmd)
+		if !strings.HasPrefix(line, "ok ") || !strings.Contains(line, "join_type=semi") ||
+			!strings.Contains(line, `plan="strategy=`) {
+			t.Fatalf("%q -> %q, want ok with plan=\"strategy=... join_type=semi ...\"", cmd, line)
+		}
+	}
+
+	// A forced strategy executes and is reported as forced.
+	line := c.roundTrip(t, "query pair=j1 strategy=nested-loop join_type=anti explain=1")
+	if !strings.HasPrefix(line, "ok ") || !strings.Contains(line, "strategy=nested-loop") ||
+		!strings.Contains(line, "forced") {
+		t.Fatalf("forced nested-loop: %q", line)
+	}
+
+	// Bad values answer with the usage taxonomy, not a hung query.
+	for _, cmd := range []string{
+		"query pair=j1 join_type=full",
+		"query pair=j1 strategy=bogus",
+		"query pair=j1 explain=x",
+	} {
+		status, m := kv(t, c.roundTrip(t, cmd))
+		if status != "err" || mustInt(t, m, "code") != 2 {
+			t.Fatalf("%q -> %v %v, want err code=2", cmd, status, m)
+		}
+	}
+}
+
 // TestServeConcurrentClients drives parallel connections through the
 // same pair and checks every one gets the exact result while the HTTP
 // side door stays responsive.

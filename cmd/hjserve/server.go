@@ -304,7 +304,7 @@ func (s *server) cmdPair(args []string) string {
 
 // cmdQuery runs one admitted pipeline over a named pair.
 func (s *server) cmdQuery(tenant string, args []string) string {
-	kv, err := kvArgs(args, []string{"pair", "engine", "fanout", "workers", "weight", "planned", "agg", "timeout", "tenant", "budget", "hybrid"})
+	kv, err := kvArgs(args, []string{"pair", "engine", "fanout", "workers", "weight", "planned", "agg", "timeout", "tenant", "budget", "hybrid", "join_type", "strategy", "explain"})
 	if err != nil {
 		return errLine(cli.ExitUsage, err)
 	}
@@ -358,6 +358,26 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 	}
 	if hybrid != 0 && budget <= 0 {
 		return errLine(cli.ExitUsage, errors.New("hybrid=1 needs budget=<bytes>"))
+	}
+	jt, err := hashjoin.ParseJoinType(kv["join_type"])
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	explain, err := kvInt(kv, "explain", 0)
+	if err != nil {
+		return errLine(cli.ExitUsage, err)
+	}
+	if jt != hashjoin.Inner {
+		opts = append(opts, hashjoin.WithJoinType(jt))
+	}
+	// A strategy= key (even "auto") or explain=1 engages the cost-based
+	// planner; without either, the legacy fanout-driven selection applies.
+	if v, ok := kv["strategy"]; ok || explain != 0 {
+		strategy, serr := hashjoin.ParseStrategy(v)
+		if serr != nil {
+			return errLine(cli.ExitUsage, serr)
+		}
+		opts = append(opts, hashjoin.WithStrategy(strategy))
 	}
 	opts = append(opts,
 		hashjoin.WithPipelineFanout(fanout),
@@ -425,9 +445,13 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 		hybridNote = fmt.Sprintf(" resident=%d spilled=%d demoted=%d demoted_bytes=%d",
 			res.ResidentPartitions, res.SpilledPartitions, res.DemotedPartitions, res.BytesDemoted)
 	}
-	return fmt.Sprintf("ok rows=%d keysum=%d elapsed_us=%d queue_wait_us=%d admitted_bytes=%d morsels=%d fanout=%d%s%s",
+	planNote := ""
+	if explain != 0 && res.Plan != nil {
+		planNote = fmt.Sprintf(" plan=%q", res.Plan.Explain())
+	}
+	return fmt.Sprintf("ok rows=%d keysum=%d elapsed_us=%d queue_wait_us=%d admitted_bytes=%d morsels=%d fanout=%d%s%s%s",
 		res.NOutput, res.KeySum, res.Elapsed.Microseconds(), res.QueueWait.Microseconds(),
-		res.AdmittedBytes, res.MorselsExecuted, res.JoinFanout, cacheNote, hybridNote)
+		res.AdmittedBytes, res.MorselsExecuted, res.JoinFanout, cacheNote, hybridNote, planNote)
 }
 
 func (s *server) cmdStats() string {

@@ -22,6 +22,7 @@ import (
 	"hashjoin/internal/engine"
 	"hashjoin/internal/memsim"
 	"hashjoin/internal/native"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/sched"
 	"hashjoin/internal/spill"
 	"hashjoin/internal/vmem"
@@ -320,6 +321,22 @@ type Pipeline struct {
 	Workers   int
 	MemBudget int // Native: bound on the join's resident build footprint; 0 = unbudgeted
 
+	// JoinType selects the join's match semantics (zero value: inner).
+	// The probe relation is the join's left input.
+	JoinType plan.JoinType
+	// Strategy forces a physical join strategy; Auto (the zero value)
+	// keeps the legacy fanout-driven selection unless Explain engages
+	// the planner.
+	Strategy plan.Strategy
+	// Explain consults the cost-based planner even under Auto and
+	// reports the decision in PipelineResult.Plan.
+	Explain bool
+	// AggValueOff is the 4-byte value column the group-by sums, as an
+	// offset into the join's output row (0 = the default 4, the build —
+	// or for semi/anti the probe — payload's first word). Validate
+	// rejects offsets that dangle off the join type's output width.
+	AggValueOff int
+
 	SpillDir     string // Native: parent dir for the out-of-core spill area ("" = OS temp)
 	SpillWorkers int    // Native: write-behind workers for the spill tier (0 = default)
 	NoSpill      bool   // Native: fail with *native.BudgetError instead of spilling
@@ -370,6 +387,94 @@ type PipelineResult struct {
 	ResidentPartitions int
 	DemotedPartitions  int
 	BytesDemoted       int64
+
+	// Plan is the planner's decision and inputs when it was consulted
+	// (Strategy != Auto, or Explain); nil otherwise.
+	Plan *plan.Decision
+}
+
+// Validate rejects flag combinations that would otherwise execute as a
+// silently different query — the caller maps the error to the usage
+// exit code (Fatalf). The aggregate offset check depends on the join
+// type because semi/anti joins narrow the output row to the probe
+// tuple: an -agg offset that is fine for an inner join can dangle off
+// the end of a semi join's rows.
+func (p *Pipeline) Validate() error {
+	if (p.Strategy == plan.NestedLoop || p.Strategy == plan.StreamHash) && p.Fanout > 1 {
+		return fmt.Errorf("-strategy %v is single-table; -pipeline-fanout %d conflicts (use -strategy partitioned or auto)",
+			p.Strategy, p.Fanout)
+	}
+	if p.Strategy == plan.PartitionedHash && p.Engine == engine.Sim {
+		return fmt.Errorf("-strategy partitioned requires -engine native (the simulator executes single-table joins only)")
+	}
+	tuple := p.Spec.TupleSize
+	if tuple < 8 {
+		tuple = 8 // the generator's minimum width
+	}
+	outWidth := 2 * tuple
+	if p.JoinType.ProbeOnly() {
+		outWidth = tuple
+	}
+	off := p.AggValueOff
+	if off == 0 {
+		off = 4
+	}
+	if off < 4 {
+		return fmt.Errorf("-agg offset %d overlaps the group key (must be >= 4)", off)
+	}
+	if off+4 > outWidth {
+		return fmt.Errorf("-agg offset %d needs a %d-byte output row, but a %v join of %d-byte tuples emits %d bytes (semi/anti emit the probe tuple only)",
+			off, off+4, p.JoinType, tuple, outWidth)
+	}
+	return nil
+}
+
+// planDecision consults the cost-based planner when a strategy was
+// forced or an EXPLAIN was requested, returning nil otherwise (legacy
+// fanout-driven selection). A forced strategy overrides the planner's
+// pick but the decision records what it preferred; a pinned -fanout > 1
+// under Auto likewise pins the partitioned strategy.
+func (p *Pipeline) planDecision() *plan.Decision {
+	if p.Strategy == plan.Auto && !p.Explain {
+		return nil
+	}
+	spec := p.Pair.Spec
+	mr := spec.MatchRate
+	if mr == 0 && spec.NProbe > 0 {
+		mr = float64(p.Pair.ProbeMatched) / float64(spec.NProbe)
+	}
+	stats := plan.Stats{
+		BuildRows:      spec.NBuild,
+		ProbeRows:      spec.NProbe,
+		BuildWidth:     spec.TupleSize,
+		ProbeWidth:     spec.TupleSize,
+		BuildFootprint: native.BuildFootprint(spec.NBuild, spec.TupleSize),
+		MatchRate:      mr,
+	}
+	dec := plan.Choose(stats, p.JoinType, p.MemBudget)
+	switch {
+	case p.Strategy != plan.Auto && p.Strategy != dec.Strategy:
+		preferred := dec.Strategy
+		dec.Strategy = p.Strategy
+		if p.Strategy == plan.PartitionedHash {
+			if dec.Fanout <= 1 {
+				dec.Fanout = max(p.Fanout, 2)
+			}
+		} else {
+			dec.Fanout = 1
+		}
+		dec.Reason = fmt.Sprintf("forced by -strategy %v; planner preferred %v", p.Strategy, preferred)
+	case p.Engine == engine.Sim && dec.Strategy == plan.PartitionedHash:
+		// The simulator executes single-table joins only; an auto-planned
+		// partitioned pick degrades to streaming there.
+		dec.Strategy, dec.Fanout = plan.StreamHash, 1
+		dec.Reason = "sim backend runs single-table joins only (planner preferred partitioned)"
+	case p.Engine == engine.Native && p.Strategy == plan.Auto && p.Fanout > 1 && dec.Strategy != plan.PartitionedHash:
+		preferred := dec.Strategy
+		dec.Strategy, dec.Fanout = plan.PartitionedHash, p.Fanout
+		dec.Reason = fmt.Sprintf("-fanout %d pins the partitioned strategy; planner preferred %v", p.Fanout, preferred)
+	}
+	return &dec
 }
 
 // Materialize generates the workload into a fresh arena if it has not
@@ -443,9 +548,19 @@ func (p *Pipeline) spillPoolBytes() uint64 {
 func (p *Pipeline) Run() (PipelineResult, error) {
 	p.Materialize()
 	spec := p.Pair.Spec
-	plan := engine.HashAggregate(
-		engine.HashJoin(engine.Scan(p.Pair.Build), engine.Scan(p.Pair.Probe)),
-		4, spec.NBuild)
+	valueOff := p.AggValueOff
+	if valueOff == 0 {
+		valueOff = 4
+	}
+	logical := engine.HashAggregate(
+		engine.HashJoinTyped(engine.Scan(p.Pair.Build), engine.Scan(p.Pair.Probe), p.JoinType),
+		valueOff, spec.NBuild)
+
+	strategy, fanout := plan.Auto, p.Fanout
+	dec := p.planDecision()
+	if dec != nil {
+		strategy, fanout = dec.Strategy, dec.Fanout
+	}
 
 	var report engine.Report
 	cfg := engine.Config{
@@ -453,7 +568,8 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		A:            p.A,
 		Scheme:       p.Scheme,
 		Params:       p.Params,
-		Fanout:       p.Fanout,
+		Strategy:     strategy,
+		Fanout:       fanout,
 		Workers:      p.Workers,
 		MemBudget:    p.MemBudget,
 		SpillDir:     p.SpillDir,
@@ -464,6 +580,7 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		Ctx:          p.Ctx,
 	}
 	var res PipelineResult
+	res.Plan = dec
 	start := time.Now()
 	switch p.Engine {
 	case engine.Sim:
@@ -473,7 +590,7 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		}
 		m := vmem.New(p.A, memsim.NewSim(hier))
 		cfg.Mem = m
-		root, err := engine.Compile(plan, cfg)
+		root, err := engine.Compile(logical, cfg)
 		if err != nil {
 			return res, err
 		}
@@ -483,7 +600,7 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		}
 		res.Stats = m.S.Stats()
 	case engine.Native:
-		root, err := engine.Compile(plan, cfg)
+		root, err := engine.Compile(logical, cfg)
 		if err != nil {
 			return res, err
 		}
@@ -510,9 +627,10 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 		res.NOutput += int(g.Count)
 		res.KeySum += uint64(g.Key) * g.Count
 	}
-	if res.NOutput != p.Pair.ExpectedMatches || res.KeySum != p.Pair.KeySum {
-		return res, fmt.Errorf("%v result mismatch: (%d, %d) vs (%d, %d) expected",
-			p.Engine, res.NOutput, res.KeySum, p.Pair.ExpectedMatches, p.Pair.KeySum)
+	wantN, wantSum := p.Pair.Expected(p.JoinType)
+	if res.NOutput != wantN || res.KeySum != wantSum {
+		return res, fmt.Errorf("%v %v result mismatch: (%d, %d) vs (%d, %d) expected",
+			p.Engine, p.JoinType, res.NOutput, res.KeySum, wantN, wantSum)
 	}
 	return res, nil
 }

@@ -29,6 +29,7 @@ import (
 	"hashjoin/internal/arena"
 	"hashjoin/internal/core"
 	"hashjoin/internal/native"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/storage"
 	"hashjoin/internal/vmem"
 )
@@ -124,6 +125,13 @@ type Config struct {
 	// backend default (the paper's tuned G=19 under simulation,
 	// native.DefaultG natively).
 	Params core.Params
+
+	// Strategy selects the join's physical execution strategy (see
+	// plan.Choose): NestedLoop runs the tiny-build flat scan on either
+	// backend; StreamHash forces the single-table streaming probe;
+	// PartitionedHash forces the radix+morsel join (native only). The
+	// zero value Auto keeps the legacy Fanout-driven selection below.
+	Strategy plan.Strategy
 
 	// Fanout, for the native backend, selects the join strategy: <= 1
 	// streams probe batches through one resident hash table; > 1 radix-
@@ -289,8 +297,9 @@ type Node struct {
 
 	pred Pred // filterNode
 
-	build *Node // joinNode: build side
-	input *Node // filter/join (probe side)/agg child
+	build    *Node         // joinNode: build side
+	input    *Node         // filter/join (probe side)/agg child
+	joinType plan.JoinType // joinNode: match semantics (zero = inner)
 
 	valueOff int // aggNode: byte offset of the summed 4-byte value
 	groups   int // aggNode: expected group count (table sizing)
@@ -321,7 +330,17 @@ func KeyBetween(lo, hi uint32) Pred { return Pred{Lo: lo, Hi: hi} }
 // HashJoin equi-joins build and probe on their 4-byte keys; output rows
 // are the concatenated build||probe tuples.
 func HashJoin(build, probe *Node) *Node {
-	return &Node{kind: joinNode, build: build, input: probe}
+	return HashJoinTyped(build, probe, plan.Inner)
+}
+
+// HashJoinTyped is HashJoin with explicit match semantics. The probe
+// side is the join's left input: left-outer output null-pads the build
+// columns of unmatched probe rows (all-zero bytes, so the row's leading
+// key reads 0), right-outer emits unmatched build rows with the probe
+// columns null-padded, and semi/anti rows carry the probe tuple only —
+// which narrows the node's output width to the probe width.
+func HashJoinTyped(build, probe *Node, jt plan.JoinType) *Node {
+	return &Node{kind: joinNode, build: build, input: probe, joinType: jt}
 }
 
 // AggTupleWidth is the width of HashAggregate's output rows: u32 group
@@ -346,6 +365,9 @@ func (n *Node) Width() int {
 	case filterNode:
 		return n.input.Width()
 	case joinNode:
+		if n.joinType.ProbeOnly() {
+			return n.input.Width()
+		}
 		return n.build.Width() + n.input.Width()
 	case aggNode:
 		return AggTupleWidth
@@ -373,6 +395,31 @@ func buildWidthOf(n *Node) int {
 		}
 	}
 	return -1
+}
+
+// validatePlan checks cross-node invariants that only surface once the
+// whole tree is known. The load-bearing case: an aggregate's value
+// offset must land inside its child's output width, and semi/anti joins
+// narrow that width to the probe tuple alone — so an -agg offset that
+// was fine for an inner join can dangle off the end of a semi join's
+// rows. Catching it here turns a deep copy-out-of-bounds panic into a
+// usage error the CLI can map to its exit taxonomy.
+func validatePlan(n *Node) error {
+	if n == nil {
+		return nil
+	}
+	switch n.kind {
+	case aggNode:
+		if w := n.input.Width(); n.valueOff+4 > w {
+			return fmt.Errorf("engine: aggregate value offset %d needs child width >= %d, have %d (semi/anti joins emit the probe tuple only)",
+				n.valueOff, n.valueOff+4, w)
+		}
+	case joinNode:
+		if err := validatePlan(n.build); err != nil {
+			return err
+		}
+	}
+	return validatePlan(n.input)
 }
 
 // Compile lowers the logical plan onto cfg's backend, returning the
@@ -411,14 +458,39 @@ func Compile(n *Node, cfg Config) (Operator, error) {
 	if cfg.SpillPageSize < 0 {
 		return nil, fmt.Errorf("engine: negative SpillPageSize %d", cfg.SpillPageSize)
 	}
+	switch cfg.Strategy {
+	case plan.Auto, plan.StreamHash, plan.NestedLoop, plan.PartitionedHash:
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %v", cfg.Strategy)
+	}
+	if cfg.Strategy == plan.PartitionedHash {
+		if cfg.Backend == Sim {
+			return nil, fmt.Errorf("engine: strategy %v requires the Native backend (the simulator executes single-table joins only)", cfg.Strategy)
+		}
+		if cfg.Fanout <= 1 {
+			// plan.Choose always pins a fanout; this is the bare-API
+			// fallback so a forced partitioned join still partitions.
+			cfg.Fanout = 8
+		}
+	}
+	if (cfg.Strategy == plan.NestedLoop || cfg.Strategy == plan.StreamHash) && cfg.Fanout > 1 {
+		return nil, fmt.Errorf("engine: strategy %v is single-threaded over one table; fanout %d conflicts (use -strategy partitioned or auto)",
+			cfg.Strategy, cfg.Fanout)
+	}
 	if cfg.Build != nil {
 		if cfg.Backend != Native {
 			return nil, fmt.Errorf("engine: Config.Build requires the Native backend")
+		}
+		if cfg.Strategy != plan.Auto && cfg.Strategy != plan.StreamHash {
+			return nil, fmt.Errorf("engine: Config.Build is a prebuilt hash table; strategy %v cannot use it", cfg.Strategy)
 		}
 		if w := buildWidthOf(n); w >= 0 && w != cfg.Build.Width() {
 			return nil, fmt.Errorf("engine: Config.Build width %d does not match the plan's build width %d",
 				cfg.Build.Width(), w)
 		}
+	}
+	if err := validatePlan(n); err != nil {
+		return nil, err
 	}
 	// Merge zero fields with the backend defaults up front, so every
 	// operator sees G >= 1 and D >= 1 no matter which layer reads them.
@@ -461,12 +533,19 @@ func compileNode(n *Node, cfg Config) Operator {
 	case joinNode:
 		build := compileNode(n.build, cfg)
 		probe := compileNode(n.input, cfg)
+		if cfg.Strategy == plan.NestedLoop {
+			return newNestedLoopJoin(cfg, build, probe,
+				n.build.scanRel(), n.joinType, n.build.Width(), n.input.Width())
+		}
 		if cfg.Backend == Sim {
 			return newSimHashJoin(cfg.Mem, build, probe,
-				n.build.scanRel(), n.build.Width(), n.input.Width(), cfg.Params)
+				n.build.scanRel(), n.build.Width(), n.input.Width(), cfg.Params, n.joinType)
+		}
+		if cfg.Strategy == plan.StreamHash {
+			cfg.Fanout = 1 // pin the single-table streaming path
 		}
 		return newNativeHashJoin(cfg, build, probe,
-			n.build.scanRel(), n.input.scanRel(), n.build.Width(), n.input.Width())
+			n.build.scanRel(), n.input.scanRel(), n.build.Width(), n.input.Width(), n.joinType)
 	case aggNode:
 		child := compileNode(n.input, cfg)
 		if cfg.Backend == Sim {

@@ -7,6 +7,7 @@ import (
 	"hashjoin/internal/arena"
 	"hashjoin/internal/core"
 	"hashjoin/internal/memsim"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/vmem"
 	"hashjoin/internal/workload"
 )
@@ -236,13 +237,13 @@ func TestJoinClosesBuildChild(t *testing.T) {
 		mk   func(build, probe Operator) Operator
 	}{
 		{"sim", func(b, p Operator) Operator {
-			return newSimHashJoin(m, b, p, nil, width, width, core.DefaultParams())
+			return newSimHashJoin(m, b, p, nil, width, width, core.DefaultParams(), plan.Inner)
 		}},
 		{"native-stream", func(b, p Operator) Operator {
-			return newNativeHashJoin(nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1), b, p, nil, nil, width, width)
+			return newNativeHashJoin(nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1), b, p, nil, nil, width, width, plan.Inner)
 		}},
 		{"native-morsel", func(b, p Operator) Operator {
-			return newNativeHashJoin(nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 4), b, p, nil, nil, width, width)
+			return newNativeHashJoin(nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 4), b, p, nil, nil, width, width, plan.Inner)
 		}},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"hashjoin/internal/core"
+	"hashjoin/internal/native"
+	"hashjoin/internal/plan"
+	"hashjoin/internal/workload"
+)
+
+// TestEngineJoinTypesParity runs every join type through the compiled
+// pipeline on both backends (and both native strategies) and checks the
+// results against the workload's exact per-join-type ground truth.
+func TestEngineJoinTypesParity(t *testing.T) {
+	spec := workload.Spec{NBuild: 400, TupleSize: 20, PctMatched: 70,
+		MatchRate: 0.55, NProbe: 900, Seed: 21}
+	for _, jt := range plan.JoinTypes() {
+		for _, fanout := range []int{1, 4} {
+			pair, a, m := testEnv(t, spec)
+			if pair.ProbeMatched == 0 || pair.UnmatchedBuildRows == 0 {
+				t.Fatalf("degenerate workload: %+v", pair)
+			}
+			p := HashJoinTyped(Scan(pair.Build), Scan(pair.Probe), jt)
+			wantN, wantSum := pair.Expected(jt)
+
+			results := map[string]Result{
+				"native": mustRun(t, p, nativeCfg(a, core.SchemeGroup, core.DefaultParams(), fanout), a),
+			}
+			if fanout == 1 {
+				results["sim"] = mustRun(t, p, simCfg(m, core.SchemeGroup, core.DefaultParams()), a)
+			}
+			for name, r := range results {
+				if r.NRows != wantN || r.KeySum != wantSum {
+					t.Errorf("%v/fanout=%d %s: (NRows, KeySum) = (%d, %d), want (%d, %d)",
+						jt, fanout, name, r.NRows, r.KeySum, wantN, wantSum)
+				}
+			}
+		}
+	}
+}
+
+// TestNestedLoopStrategyParity forces the nested-loop strategy on a
+// tiny build side — the planner's regime for it — on both backends,
+// for every join type.
+func TestNestedLoopStrategyParity(t *testing.T) {
+	spec := workload.Spec{NBuild: 30, TupleSize: 16, PctMatched: 80,
+		MatchRate: 0.5, NProbe: 200, Seed: 31}
+	for _, jt := range plan.JoinTypes() {
+		pair, a, m := testEnv(t, spec)
+		p := HashJoinTyped(Scan(pair.Build), Scan(pair.Probe), jt)
+		wantN, wantSum := pair.Expected(jt)
+
+		scfg := simCfg(m, core.SchemeGroup, core.DefaultParams())
+		scfg.Strategy = plan.NestedLoop
+		ncfg := nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1)
+		ncfg.Strategy = plan.NestedLoop
+		for name, r := range map[string]Result{
+			"sim":    mustRun(t, p, scfg, a),
+			"native": mustRun(t, p, ncfg, a),
+		} {
+			if r.NRows != wantN || r.KeySum != wantSum {
+				t.Errorf("%v %s nested-loop: (NRows, KeySum) = (%d, %d), want (%d, %d)",
+					jt, name, r.NRows, r.KeySum, wantN, wantSum)
+			}
+		}
+	}
+}
+
+// TestBuildHandleTypedJoin probes one prebuilt shared BuildSide with
+// every join type in sequence: each compiled query gets fresh typed
+// probe scratch, so the right-outer bitmap of one run cannot leak into
+// the next.
+func TestBuildHandleTypedJoin(t *testing.T) {
+	spec := workload.Spec{NBuild: 300, TupleSize: 16, PctMatched: 60,
+		MatchRate: 0.5, NProbe: 700, Seed: 41}
+	pair, a, _ := testEnv(t, spec)
+	entries := native.Flatten(pair.Build, nil)
+	bs, err := native.BuildRows(a.Data(), entries, pair.Spec.TupleSize, native.BuildConfig{})
+	if err != nil {
+		t.Fatalf("BuildRows: %v", err)
+	}
+	for _, jt := range plan.JoinTypes() {
+		p := HashJoinTyped(Scan(pair.Build), Scan(pair.Probe), jt)
+		cfg := nativeCfg(a, core.SchemeGroup, core.DefaultParams(), 1)
+		cfg.Build = bs
+		r := mustRun(t, p, cfg, a)
+		wantN, wantSum := pair.Expected(jt)
+		if r.NRows != wantN || r.KeySum != wantSum {
+			t.Errorf("%v via BuildSide: (NRows, KeySum) = (%d, %d), want (%d, %d)",
+				jt, r.NRows, r.KeySum, wantN, wantSum)
+		}
+	}
+}
+
+// TestCompileStrategyValidation pins the misconfiguration taxonomy: the
+// flag combinations the CLI forwards must fail closed at Compile, not
+// produce silently-wrong results deep in a run.
+func TestCompileStrategyValidation(t *testing.T) {
+	spec := workload.Spec{NBuild: 50, TupleSize: 16, MatchesPerBuild: 1, Seed: 51}
+	pair, a, m := testEnv(t, spec)
+	join := HashJoin(Scan(pair.Build), Scan(pair.Probe))
+
+	cases := []struct {
+		name string
+		node *Node
+		cfg  Config
+		want string
+	}{
+		{"partitioned-on-sim", join,
+			Config{Backend: Sim, Mem: m, Strategy: plan.PartitionedHash},
+			"Native backend"},
+		{"nested-loop-fanout", join,
+			Config{Backend: Native, A: a, Strategy: plan.NestedLoop, Fanout: 4},
+			"fanout 4 conflicts"},
+		{"stream-fanout", join,
+			Config{Backend: Native, A: a, Strategy: plan.StreamHash, Fanout: 2},
+			"fanout 2 conflicts"},
+		{"agg-off-semi-row", HashAggregate(
+			HashJoinTyped(Scan(pair.Build), Scan(pair.Probe), plan.LeftSemi), 20, 8),
+			Config{Backend: Native, A: a},
+			"probe tuple only"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.node, tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Compile error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	// The same aggregate offset is fine over an inner join's wider rows.
+	inner := HashAggregate(HashJoin(Scan(pair.Build), Scan(pair.Probe)), 20, 8)
+	if _, err := Compile(inner, Config{Backend: Native, A: a}); err != nil {
+		t.Fatalf("inner-join aggregate at offset 20 should compile: %v", err)
+	}
+}

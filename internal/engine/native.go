@@ -17,6 +17,7 @@ import (
 	"hashjoin/internal/arena"
 	"hashjoin/internal/hash"
 	"hashjoin/internal/native"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/storage"
 )
 
@@ -182,6 +183,7 @@ type nativeHashJoin struct {
 	probeWidth int
 	outWidth   int
 	batch      int
+	jt         plan.JoinType
 
 	buildClosed bool
 	probeClosed bool
@@ -210,12 +212,16 @@ type nativeHashJoin struct {
 }
 
 func newNativeHashJoin(cfg Config, build, probe Operator, buildRel, probeRel *storage.Relation,
-	buildWidth, probeWidth int) *nativeHashJoin {
+	buildWidth, probeWidth int, jt plan.JoinType) *nativeHashJoin {
+	outWidth := buildWidth + probeWidth
+	if jt.ProbeOnly() {
+		outWidth = probeWidth
+	}
 	return &nativeHashJoin{
 		cfg: cfg, a: cfg.A, buildChild: build, probeChild: probe,
 		buildRel: buildRel, probeRel: probeRel,
 		buildWidth: buildWidth, probeWidth: probeWidth,
-		outWidth: buildWidth + probeWidth, batch: cfg.batchSize(),
+		outWidth: outWidth, batch: cfg.batchSize(), jt: jt,
 		morsel: cfg.Fanout > 1,
 	}
 }
@@ -249,7 +255,7 @@ func (h *nativeHashJoin) Open() error {
 		// over the shared table.
 		h.buildChild.Close()
 		h.buildClosed = true
-		h.prober = h.cfg.Build.NewProber(h.cfg.nativeScheme(),
+		h.prober = h.cfg.Build.NewTypedProber(h.jt, h.cfg.nativeScheme(),
 			h.cfg.Params.G, h.cfg.Params.D)
 	} else {
 		rel, err := h.resolveBuild()
@@ -270,8 +276,8 @@ func (h *nativeHashJoin) Open() error {
 			return h.openMorsel(rel)
 		}
 		h.buildEntries = native.Flatten(rel, h.buildEntries)
-		h.prober = native.NewProber(h.data, h.buildEntries, h.buildWidth,
-			h.cfg.nativeScheme(), h.cfg.Params.G, h.cfg.Params.D)
+		h.prober = native.NewTypedProber(h.data, h.buildEntries, h.buildWidth,
+			h.jt, h.cfg.nativeScheme(), h.cfg.Params.G, h.cfg.Params.D)
 	}
 	if h.cfg.Report != nil {
 		h.cfg.Report.JoinFanout = 1
@@ -324,6 +330,14 @@ func (h *nativeHashJoin) fillPending() error {
 		return err
 	}
 	if !ok {
+		// End of the probe stream: a right-outer prober still holds the
+		// build rows no batch matched; drain them into pending (with
+		// probeRef 0, so writeMatch null-pads the probe half) before
+		// declaring done.
+		if h.jt == plan.RightOuter {
+			h.outSlot = 0
+			h.prober.EmitUnmatchedBuild(h.sink)
+		}
 		h.done = true
 		return nil
 	}
@@ -342,13 +356,28 @@ func (h *nativeHashJoin) fillPending() error {
 	return nil
 }
 
-// writeMatch materializes one concatenated build||probe row at dst. The
-// build bytes come straight from the row table's serialized row — the
-// build relation is never touched on the probe path.
+// writeMatch materializes one output row at dst per the join type's
+// sink contract: build bytes come straight from the row table's
+// serialized row (the build relation is never touched on the probe
+// path); a nil build means no build row (probe-only output, or a
+// left-outer null pad), probeRef 0 means no probe row (a right-outer
+// sweep row, probe half null-padded).
 func (h *nativeHashJoin) writeMatch(dst arena.Addr, build []byte, pref uint64) Row {
 	d := h.data[dst-arena.Base:]
-	copy(d[:h.buildWidth], build)
-	copy(d[h.buildWidth:h.outWidth], h.data[pref-arena.Base:])
+	if h.jt.ProbeOnly() {
+		copy(d[:h.outWidth], h.data[pref-arena.Base:])
+	} else {
+		if build == nil {
+			clear(d[:h.buildWidth])
+		} else {
+			copy(d[:h.buildWidth], build)
+		}
+		if pref == 0 {
+			clear(d[h.buildWidth:h.outWidth])
+		} else {
+			copy(d[h.buildWidth:h.outWidth], h.data[pref-arena.Base:])
+		}
+	}
 	key := binary.LittleEndian.Uint32(d)
 	return Row{Addr: dst, Len: int32(h.outWidth), Code: hash.CodeU32(key)}
 }
@@ -447,8 +476,9 @@ func (h *nativeHashJoin) openMorsel(buildRel *storage.Relation) error {
 	h.last = nil
 
 	jcfg := native.Config{
-		Scheme: h.cfg.nativeScheme(),
-		G:      h.cfg.Params.G, D: h.cfg.Params.D,
+		Scheme:   h.cfg.nativeScheme(),
+		JoinType: h.jt,
+		G:        h.cfg.Params.G, D: h.cfg.Params.D,
 		Fanout: h.cfg.Fanout, Workers: workers,
 		Pool: h.cfg.Pool, Tenant: h.cfg.Tenant, Weight: h.cfg.Weight,
 		Arena:     h.a,

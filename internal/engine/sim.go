@@ -14,6 +14,7 @@ import (
 	"hashjoin/internal/arena"
 	"hashjoin/internal/core"
 	"hashjoin/internal/hash"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/storage"
 	"hashjoin/internal/vmem"
 )
@@ -187,25 +188,33 @@ type simHashJoin struct {
 	buildRel   *storage.Relation // non-nil: build child is a plain scan
 	buildWidth int
 	probeWidth int
+	outWidth   int
 	params     core.Params
+	jt         plan.JoinType
 
 	prober *core.Prober
+	rel    *storage.Relation // resolved build relation (right-outer sweep)
 
-	out         []arena.Addr // output ring, grown on demand
-	pending     []Row
-	next        int
-	in          Batch
-	batch       []core.ProbeTuple
-	done        bool
-	buildClosed bool
-	probeClosed bool
+	out          []arena.Addr // output ring, grown on demand
+	outSlot      int
+	pending      []Row
+	next         int
+	in           Batch
+	batch        []core.ProbeTuple
+	matched      []bool                  // per-strip probe match bits
+	addrIdx      map[arena.Addr]int      // probe Addr -> strip index
+	matchedBuild map[arena.Addr]struct{} // right outer: matched build tuples
+	done         bool
+	swept        bool
+	buildClosed  bool
+	probeClosed  bool
 }
 
 func newSimHashJoin(m *vmem.Mem, build, probe Operator, buildRel *storage.Relation,
-	buildWidth, probeWidth int, params core.Params) *simHashJoin {
+	buildWidth, probeWidth int, params core.Params, jt plan.JoinType) *simHashJoin {
 	return &simHashJoin{
 		m: m, buildChild: build, probeChild: probe, buildRel: buildRel,
-		buildWidth: buildWidth, probeWidth: probeWidth, params: params,
+		buildWidth: buildWidth, probeWidth: probeWidth, params: params, jt: jt,
 	}
 }
 
@@ -223,15 +232,24 @@ func (h *simHashJoin) Open() error {
 		h.buildClosed = true
 	}
 	h.probeClosed = false
+	h.rel = rel
 	h.prober = core.NewProber(h.m, rel, h.params)
 	if err := h.probeChild.Open(); err != nil {
 		return err
+	}
+	h.outWidth = h.buildWidth + h.probeWidth
+	if h.jt.ProbeOnly() {
+		h.outWidth = h.probeWidth
+	}
+	if h.jt == plan.RightOuter {
+		h.matchedBuild = make(map[arena.Addr]struct{})
 	}
 	h.batch = h.batch[:0]
 	h.out = h.out[:0]
 	h.pending = h.pending[:0]
 	h.next = 0
 	h.done = false
+	h.swept = false
 	return nil
 }
 
@@ -260,27 +278,23 @@ func (h *simHashJoin) NextBatch(b *Batch) (bool, error) {
 func (h *simHashJoin) fillPending() error {
 	h.pending = h.pending[:0]
 	h.next = 0
+	h.outSlot = 0
 	ok, err := h.probeChild.NextBatch(&h.in)
 	if err != nil {
 		return err
 	}
 	if !ok {
+		// Right outer resolves its unmatched build rows only once the
+		// whole probe stream has run: sweep them into pending before
+		// declaring the stream done (NextBatch drains pending first).
+		if h.jt == plan.RightOuter && !h.swept {
+			h.swept = true
+			h.sweepUnmatchedBuild()
+		}
 		h.done = true
 		return nil
 	}
 	g := h.prober.BatchSize()
-	outWidth := h.buildWidth + h.probeWidth
-	slot := 0
-	emit := func(build arena.Addr, buildLen int, probe core.ProbeTuple) {
-		if slot >= len(h.out) {
-			h.out = append(h.out, h.m.Alloc(uint64(outWidth), 8))
-		}
-		dst := h.out[slot]
-		slot++
-		h.m.Copy(dst, build, buildLen)
-		h.m.Copy(dst+arena.Addr(buildLen), probe.Addr, probe.Len)
-		h.pending = append(h.pending, Row{Addr: dst, Len: int32(outWidth), Code: probe.Code})
-	}
 	rows := h.in.Rows
 	for lo := 0; lo < len(rows); lo += g {
 		hi := min(lo+g, len(rows))
@@ -288,9 +302,138 @@ func (h *simHashJoin) fillPending() error {
 		for _, r := range rows[lo:hi] {
 			h.batch = append(h.batch, core.ProbeTuple{Addr: r.Addr, Len: int(r.Len), Code: r.Code})
 		}
-		h.prober.ProbeBatch(h.batch, emit)
+		if h.jt == plan.Inner {
+			h.prober.ProbeBatch(h.batch, h.emitMatch)
+			continue
+		}
+		h.probeStripTyped()
 	}
 	return nil
+}
+
+// probeStripTyped runs one group-prefetched pass over h.batch with the
+// join type's match semantics layered over the inner prober: the core
+// prober only reports matches, so per-row outcomes (unmatched-left
+// emission, semi dedup, anti inversion) are reconstructed from a strip-
+// local match bitmap keyed by probe address — addresses are unique
+// within a strip, so Addr -> index is a bijection.
+func (h *simHashJoin) probeStripTyped() {
+	n := len(h.batch)
+	if cap(h.matched) < n {
+		h.matched = make([]bool, n)
+	} else {
+		h.matched = h.matched[:n]
+		clear(h.matched)
+	}
+	if h.jt != plan.RightOuter {
+		if h.addrIdx == nil {
+			h.addrIdx = make(map[arena.Addr]int, n)
+		}
+		clear(h.addrIdx)
+		for i, pt := range h.batch {
+			h.addrIdx[pt.Addr] = i
+		}
+	}
+	var emit func(arena.Addr, int, core.ProbeTuple)
+	switch h.jt {
+	case plan.LeftOuter:
+		emit = func(b arena.Addr, bl int, pt core.ProbeTuple) {
+			h.matched[h.addrIdx[pt.Addr]] = true
+			h.emitMatch(b, bl, pt)
+		}
+	case plan.RightOuter:
+		emit = func(b arena.Addr, bl int, pt core.ProbeTuple) {
+			h.matchedBuild[b] = struct{}{}
+			h.emitMatch(b, bl, pt)
+		}
+	case plan.LeftSemi:
+		// First match wins; further matches of the same probe row are
+		// suppressed by its strip bit.
+		emit = func(_ arena.Addr, _ int, pt core.ProbeTuple) {
+			if i := h.addrIdx[pt.Addr]; !h.matched[i] {
+				h.matched[i] = true
+				h.emitProbeOnly(pt)
+			}
+		}
+	case plan.LeftAnti:
+		emit = func(_ arena.Addr, _ int, pt core.ProbeTuple) {
+			h.matched[h.addrIdx[pt.Addr]] = true
+		}
+	}
+	h.prober.ProbeBatch(h.batch, emit)
+	switch h.jt {
+	case plan.LeftOuter:
+		for i, pt := range h.batch {
+			if !h.matched[i] {
+				h.emitNullBuild(pt)
+			}
+		}
+	case plan.LeftAnti:
+		for i, pt := range h.batch {
+			if !h.matched[i] {
+				h.emitProbeOnly(pt)
+			}
+		}
+	}
+}
+
+// allocOut hands out the next output ring slot, growing on demand.
+func (h *simHashJoin) allocOut() arena.Addr {
+	if h.outSlot >= len(h.out) {
+		h.out = append(h.out, h.m.Alloc(uint64(h.outWidth), 8))
+	}
+	dst := h.out[h.outSlot]
+	h.outSlot++
+	return dst
+}
+
+func (h *simHashJoin) emitMatch(build arena.Addr, buildLen int, probe core.ProbeTuple) {
+	dst := h.allocOut()
+	h.m.Copy(dst, build, buildLen)
+	h.m.Copy(dst+arena.Addr(buildLen), probe.Addr, probe.Len)
+	h.pending = append(h.pending, Row{Addr: dst, Len: int32(h.outWidth), Code: probe.Code})
+}
+
+func (h *simHashJoin) emitProbeOnly(probe core.ProbeTuple) {
+	dst := h.allocOut()
+	h.m.Copy(dst, probe.Addr, probe.Len)
+	h.pending = append(h.pending, Row{Addr: dst, Len: int32(h.outWidth), Code: probe.Code})
+}
+
+// emitNullBuild emits an unmatched probe row with the build columns
+// null-padded (all-zero bytes, so the row's leading key reads 0). Code
+// is left 0: consumers recompute it from the leading key on demand,
+// which keeps both backends' codes identical for padded rows.
+func (h *simHashJoin) emitNullBuild(probe core.ProbeTuple) {
+	dst := h.allocOut()
+	nullPadSim(h.m, dst, h.buildWidth)
+	h.m.Copy(dst+arena.Addr(h.buildWidth), probe.Addr, probe.Len)
+	h.pending = append(h.pending, Row{Addr: dst, Len: int32(h.outWidth)})
+}
+
+// sweepUnmatchedBuild walks the build relation in storage order and
+// emits every tuple no probe batch matched, probe columns null-padded.
+func (h *simHashJoin) sweepUnmatchedBuild() {
+	for pi := 0; pi < h.rel.NPages(); pi++ {
+		pg := h.rel.Page(pi)
+		for si := 0; si < pg.NSlots(); si++ {
+			addr, n := pg.TupleAddr(si)
+			if _, ok := h.matchedBuild[addr]; ok {
+				continue
+			}
+			dst := h.allocOut()
+			h.m.Copy(dst, addr, n)
+			nullPadSim(h.m, dst+arena.Addr(h.buildWidth), h.probeWidth)
+			h.pending = append(h.pending, Row{Addr: dst, Len: int32(h.outWidth)})
+		}
+	}
+}
+
+// nullPadSim zero-fills n bytes at dst as one timed store — the null
+// half of an outer join's padded output rows.
+func nullPadSim(m *vmem.Mem, dst arena.Addr, n int) {
+	clear(m.A.Bytes(dst, uint64(n)))
+	m.S.Write(dst, n)
 }
 
 // Close closes both children exactly once: the build child is normally

@@ -1,6 +1,10 @@
 package native
 
-import "runtime"
+import (
+	"runtime"
+
+	"hashjoin/internal/plan"
+)
 
 // BuildSide is a finished, immutable row table packaged for reuse: build
 // once, probe from any number of goroutines. NewProber hands out
@@ -116,11 +120,25 @@ func BuildRows(data []byte, entries []Entry, width int, cfg BuildConfig) (*Build
 // table was built with. Each Prober is single-goroutine; create one per
 // concurrent probe stream.
 func (b *BuildSide) NewProber(scheme Scheme, g, d int) *Prober {
+	return b.NewTypedProber(plan.Inner, scheme, g, d)
+}
+
+// NewTypedProber is NewProber with join-type semantics (see the
+// streaming NewTypedProber). Each Prober owns its private match bitmaps
+// — the shared table itself is never written — so N concurrent typed
+// probe streams over one BuildSide stay independent: a right-outer
+// stream's build-row bits, for example, cannot leak into a sibling
+// semi-join stream's short-circuit decisions.
+func (b *BuildSide) NewTypedProber(jt plan.JoinType, scheme Scheme, g, d int) *Prober {
 	cfg := Config{Scheme: scheme, G: g, D: d}.normalized()
 	j := newPairJoiner()
 	j.t = b.t
 	j.width = b.t.Width()
 	j.g, j.d = cfg.G, cfg.D
+	j.joinType = jt
+	if jt == plan.RightOuter {
+		j.armBuildMatched(b.t.NRows())
+	}
 	return &Prober{j: j, scheme: scheme}
 }
 

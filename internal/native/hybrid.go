@@ -1,6 +1,10 @@
 package native
 
-import "sort"
+import (
+	"sort"
+
+	"hashjoin/internal/plan"
+)
 
 // Adaptive hybrid hash join (Config.Hybrid). The classic ladder treats
 // every over-budget partition pair as all-or-nothing: it either fits in
@@ -191,12 +195,30 @@ func (j *pairJoiner) joinPairSpillHybrid(build, probe []Entry, shift uint, cfg C
 	if resident > len(build) {
 		resident = len(build)
 	}
+	// Arm the deferred probe bitmap across the resident/spilled seam:
+	// the resident prefix probes the probe entries in slice order, which
+	// is exactly the order joinPairSpill later streams them back from
+	// disk, so a bit set here carries over and suppresses the same row's
+	// unmatched emission (or a semi row's re-emission) on the spilled
+	// side. joinPairSpill sees deferProbe already set and skips its own
+	// arming, which would clear these bits.
+	if j.needsProbeBits() {
+		j.armProbeBits(len(probe))
+	}
 	if resident > 0 {
 		j.buildSerial(build[:resident], shift, cfg.Scheme)
 		j.probeFor(probe, cfg.Scheme)
+		// The resident build chunk's rows live only in this table; sweep
+		// its unmatched rows before the spill tier rebuilds over rest.
+		if j.joinType == plan.RightOuter {
+			j.sweepUnmatchedBuild()
+		}
 	}
 	rest := build[resident:]
 	if len(rest) == 0 {
+		if j.deferProbe {
+			j.finishProbeBits(probe)
+		}
 		return nil
 	}
 	return j.joinPairSpill(rest, probe, shift, cfg)

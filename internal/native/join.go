@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"unsafe"
 
+	"hashjoin/internal/plan"
 	"hashjoin/internal/spill"
 )
 
@@ -44,6 +45,24 @@ type pairJoiner struct {
 	// scratch, reused across victims (see splitHotCodes).
 	codeFreq map[uint32]int
 
+	// joinType selects the match semantics (see jointype.go). Inner is
+	// the zero value, so untyped call sites keep the fast paths.
+	joinType plan.JoinType
+
+	// buildMatched is the right-outer build-row match bitmap for the
+	// current table, armed by buildSerial; bits are set atomically so a
+	// shared BuildSide's table serves concurrent probers, each with its
+	// own bitmap.
+	buildMatched []uint64
+
+	// probeMatched/probeBase/deferProbe implement deferred unmatched-
+	// probe resolution when the build side arrives in chunks: bit
+	// probeBase+idx set means the probe stream's row at that position
+	// matched some chunk. See jointype.go.
+	probeMatched []uint64
+	probeBase    int
+	deferProbe   bool
+
 	nOutput int
 	keySum  uint64
 }
@@ -78,8 +97,13 @@ func (j *pairJoiner) statesFor(n int) []probeState {
 // serialized in the row — no storage.Relation access, the win of the
 // compact row layout.
 func (j *pairJoiner) walkChain(st *probeState) {
+	if j.joinType == plan.LeftSemi || j.joinType == plan.LeftAnti {
+		j.walkChainSemi(st)
+		return
+	}
 	rows := j.t.rows
 	w := uint64(j.width)
+	found := false
 	for off := st.row; off != 0; {
 		next := binary.LittleEndian.Uint64(rows[off:])
 		if next != 0 {
@@ -87,16 +111,78 @@ func (j *pairJoiner) walkChain(st *probeState) {
 		}
 		if binary.LittleEndian.Uint32(rows[off+rowCodeOff:]) == st.code &&
 			binary.LittleEndian.Uint32(rows[off+rowKeyOff:]) == st.key {
+			found = true
 			j.nOutput++
 			j.keySum += uint64(st.key)
 			if j.matched != nil {
 				j.matched[st.idx>>6] |= 1 << uint(st.idx&63)
+			}
+			if j.joinType == plan.RightOuter {
+				j.markBuildRow(off)
 			}
 			if j.sink != nil {
 				j.sink(rows[off+rowHdrSize:off+rowHdrSize+w], st.ref)
 			}
 		}
 		off = next
+	}
+	if found {
+		if j.deferProbe {
+			j.markProbeBit(st)
+		}
+		return
+	}
+	if j.joinType == plan.LeftOuter && !j.deferProbe {
+		j.nOutput++ // null build key contributes 0 to keySum
+		if j.sink != nil {
+			j.sink(nil, st.ref)
+		}
+	}
+}
+
+// walkChainSemi is the semi/anti chain walk: it short-circuits on the
+// first validated match instead of emitting every one. A semi match
+// emits the probe row immediately — under deferred mode the probe bit
+// doubles as a cross-chunk "already emitted" guard, so no final pass is
+// needed — while anti rows are emitted only once the whole build side
+// has been seen (end of chain in memory, finishProbeBits or the spill
+// sweep under deferred mode).
+func (j *pairJoiner) walkChainSemi(st *probeState) {
+	if j.deferProbe && j.probeBit(st) {
+		return // resolved by an earlier build chunk
+	}
+	semi := j.joinType == plan.LeftSemi
+	rows := j.t.rows
+	for off := st.row; off != 0; {
+		next := binary.LittleEndian.Uint64(rows[off:])
+		if next != 0 {
+			prefetchT0(unsafe.Pointer(&rows[next]))
+		}
+		if binary.LittleEndian.Uint32(rows[off+rowCodeOff:]) == st.code &&
+			binary.LittleEndian.Uint32(rows[off+rowKeyOff:]) == st.key {
+			if j.matched != nil {
+				j.matched[st.idx>>6] |= 1 << uint(st.idx&63)
+			}
+			if j.deferProbe {
+				j.markProbeBit(st)
+			}
+			if semi {
+				j.nOutput++
+				j.keySum += uint64(st.key)
+				if j.sink != nil {
+					j.sink(nil, st.ref)
+				}
+			}
+			return
+		}
+		off = next
+	}
+	if !semi && !j.deferProbe {
+		j.nOutput++
+		j.keySum += uint64(st.key)
+		if j.sink != nil {
+			j.sink(nil, st.ref)
+		}
 	}
 }
 
@@ -116,6 +202,7 @@ const maxRepartitionDepth = 8
 // or the hash bits run out before the pair fits.
 func (j *pairJoiner) joinPairBudget(build, probe []Entry, shift uint, cfg Config, depth int) (int, error) {
 	if len(build) == 0 || len(probe) == 0 {
+		j.emitUnmatchedPair(build, probe)
 		return depth, nil
 	}
 	need := pairFootprint(len(build), j.width)
@@ -229,10 +316,14 @@ func scatterEntries(entries []Entry, shift uint, fanout int) [][]Entry {
 // untouched bits.
 func (j *pairJoiner) joinPair(build, probe []Entry, shift uint, scheme Scheme) {
 	if len(build) == 0 || len(probe) == 0 {
+		j.emitUnmatchedPair(build, probe)
 		return
 	}
 	j.buildSerial(build, shift, scheme)
 	j.probeFor(probe, scheme)
+	if j.joinType == plan.RightOuter {
+		j.sweepUnmatchedBuild()
+	}
 }
 
 // buildSerial resets the worker's table and serializes + inserts build
@@ -242,6 +333,9 @@ func (j *pairJoiner) joinPair(build, probe []Entry, shift uint, scheme Scheme) {
 func (j *pairJoiner) buildSerial(build []Entry, shift uint, scheme Scheme) {
 	j.t.Reset(len(build), j.width, shift)
 	j.t.BuildSerial(j.data, build, scheme, j.g, j.d)
+	if j.joinType == plan.RightOuter {
+		j.armBuildMatched(len(build))
+	}
 }
 
 // probeFor probes the current table with the scheme's restructuring.
@@ -287,6 +381,9 @@ func (j *pairJoiner) probeGroup(probe []Entry) {
 	t := j.t
 	g := j.g
 	states := j.statesFor(g)
+	// Outer/semi/anti probes must observe unmatched tuples too, so an
+	// empty chain head cannot skip the walk for those types.
+	all := j.needsProbeBits()
 
 	for lo := 0; lo < len(probe); lo += g {
 		hi := lo + g
@@ -315,7 +412,7 @@ func (j *pairJoiner) probeGroup(probe []Entry) {
 
 		// Stage 2: walk chains, compare keys in-row, emit.
 		for i := 0; i < n; i++ {
-			if states[i].row != 0 {
+			if states[i].row != 0 || all {
 				j.walkChain(&states[i])
 			}
 		}
@@ -347,6 +444,7 @@ func (j *pairJoiner) probePipelined(probe []Entry) {
 	mask := size - 1
 	states := j.statesFor(size)
 	total := len(probe)
+	all := j.needsProbeBits() // see probeGroup
 
 	for it := 0; it-2*d < total; it++ {
 		// Stage 0 for tuple it: directory slot, prefetch it.
@@ -370,7 +468,7 @@ func (j *pairJoiner) probePipelined(probe []Entry) {
 		// Stage 2 for tuple it-2D: walk the chain, compare in-row, emit.
 		if k := it - 2*d; k >= 0 && k < total {
 			st := &states[k&mask]
-			if st.row != 0 {
+			if st.row != 0 || all {
 				j.walkChain(st)
 			}
 		}

@@ -26,6 +26,8 @@ func (jn *Joiner) worker(w int, data []byte, width int, cfg Config) *pairJoiner 
 	j.data = data
 	j.width = width
 	j.g, j.d = cfg.G, cfg.D
+	j.joinType = cfg.JoinType
+	j.deferProbe, j.probeBase = false, 0
 	j.nOutput, j.keySum = 0, 0
 	j.sink = nil
 	if jn.sinkFor != nil {

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"hashjoin/internal/arena"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/storage"
 )
 
@@ -102,6 +103,12 @@ func Schemes() []string { return []string{"baseline", "group", "pipelined"} }
 // CPU.
 type Config struct {
 	Scheme Scheme
+
+	// JoinType selects the join's match semantics (inner, left/right
+	// outer, left semi/anti); the zero value is plan.Inner, the legacy
+	// behavior. The probe relation is the join's left input. See
+	// jointype.go for the emission contract each type imposes on sinks.
+	JoinType plan.JoinType
 
 	// G is the group size for Scheme Group; 0 selects DefaultG. The
 	// native optimum is bounded by the CPU's miss-handling parallelism

@@ -1,5 +1,7 @@
 package native
 
+import "hashjoin/internal/plan"
+
 // Prober is the streaming face of the native join: the row table is
 // built once over the build side's entries, then the caller probes it
 // one batch at a time, receiving matches through a callback at each
@@ -30,14 +32,44 @@ type Prober struct {
 // point into, and width the build schema's fixed tuple width. Zero G/D
 // select the native defaults.
 func NewProber(data []byte, build []Entry, width int, scheme Scheme, g, d int) *Prober {
+	return NewTypedProber(data, build, width, plan.Inner, scheme, g, d)
+}
+
+// NewTypedProber is NewProber with join-type semantics: the probe loops
+// emit per jt's contract (see jointype.go — left-outer unmatched rows
+// arrive with build == nil, semi/anti emit the probe side only, right
+// outer accumulates a build-row match bitmap drained by
+// EmitUnmatchedBuild at end of stream). The streaming Prober holds the
+// whole build side in one table, so left outer/semi/anti resolve each
+// probe row inline within its batch and need no end-of-stream pass.
+func NewTypedProber(data []byte, build []Entry, width int, jt plan.JoinType, scheme Scheme, g, d int) *Prober {
 	cfg := Config{Scheme: scheme, G: g, D: d}.normalized()
 	p := &Prober{j: newPairJoiner(), scheme: scheme}
 	p.j.data = data
 	p.j.width = width
 	p.j.g, p.j.d = cfg.G, cfg.D
+	p.j.joinType = jt
 	p.j.t.Reset(len(build), width, 0)
 	p.j.t.BuildSerial(data, build, scheme, cfg.G, cfg.D)
+	if jt == plan.RightOuter {
+		p.j.armBuildMatched(len(build))
+	}
 	return p
+}
+
+// JoinType returns the prober's match semantics.
+func (p *Prober) JoinType() plan.JoinType { return p.j.joinType }
+
+// EmitUnmatchedBuild finishes a right-outer probe stream: it emits every
+// build row no batch matched, with probeRef 0 (null probe side). Call it
+// exactly once, after the last ProbeBatch; other join types no-op.
+func (p *Prober) EmitUnmatchedBuild(emit func(build []byte, probeRef uint64)) {
+	if p.j.joinType != plan.RightOuter {
+		return
+	}
+	p.j.sink = emit
+	p.j.sweepUnmatchedBuild()
+	p.j.sink = nil
 }
 
 // G returns the group size the probe loops run with; callers that want

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hashjoin/internal/arena"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/spill"
 	"hashjoin/internal/storage"
 )
@@ -183,6 +184,20 @@ func (j *pairJoiner) joinPairSpill(build, probe []Entry, shift uint, cfg Config)
 		}
 	}()
 
+	// Left outer/semi/anti cannot decide "unmatched" against one build
+	// chunk, so the chunk loop runs with the deferred probe bitmap armed.
+	// spillPartition writes probe entries in slice order and the reader
+	// streams pages back in that order, so a probe row's stream position
+	// equals its index in the probe slice — the same indexing the hybrid
+	// resident prefix uses, which is what lets bits set before the
+	// resident/spilled seam resolve here. The hybrid caller arms the
+	// bitmap itself before its resident pass; deferProbe is then already
+	// set and the arming (which would clear its bits) is skipped.
+	if j.needsProbeBits() && !j.deferProbe {
+		j.armProbeBits(len(probe))
+	}
+	defer func() { j.deferProbe = false; j.probeBase = 0 }()
+
 	for {
 		pinned = pinned[:0]
 		j.spillBuild = j.spillBuild[:0]
@@ -198,11 +213,12 @@ func (j *pairJoiner) joinPairSpill(build, probe []Entry, shift uint, cfg Config)
 			j.spillBuild = appendPageEntries(j.spillBuild, j.data, pg)
 		}
 		if len(j.spillBuild) == 0 {
-			return nil
+			break
 		}
 		j.buildSerial(j.spillBuild, shift, cfg.Scheme)
 
 		pr = pw.OpenReader()
+		pos := 0
 		for {
 			pg, ok, err := pr.Next()
 			if err != nil {
@@ -212,15 +228,27 @@ func (j *pairJoiner) joinPairSpill(build, probe []Entry, shift uint, cfg Config)
 				break
 			}
 			j.spillProbe = appendPageEntries(j.spillProbe[:0], j.data, pg)
+			j.probeBase = pos
 			j.probeFor(j.spillProbe, cfg.Scheme)
+			pos += len(j.spillProbe)
 			m.Release(pg)
 		}
 		pr.Close()
 		pr = nil
+		// Each build row lives in exactly one chunk, so this chunk's
+		// table can be swept for unmatched build rows right away.
+		if j.joinType == plan.RightOuter {
+			j.sweepUnmatchedBuild()
+		}
 		for _, p := range pinned {
 			m.Release(p)
 		}
 	}
+	if j.deferProbe {
+		j.probeBase = 0
+		j.finishProbeBits(probe)
+	}
+	return nil
 }
 
 // spillPartition writes one side's entries to a disk partition: tuple

@@ -14,6 +14,7 @@ import (
 
 	"hashjoin/internal/arena"
 	"hashjoin/internal/hash"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/storage"
 )
 
@@ -32,6 +33,16 @@ type Spec struct {
 	// matches (Figure 10c varies this 50..100). Probe tuples beyond the
 	// matched ones get keys that match nothing.
 	PctMatched int
+
+	// MatchRate, when > 0, fixes the fraction of *probe* tuples that
+	// have at least one build match — the probe-side selectivity knob
+	// the strategy planner and the semi/anti/outer parity tests sweep.
+	// Exactly round(MatchRate*NProbe) probe tuples get keys cycled over
+	// the matched build keys; the rest get guaranteed-miss keys.
+	// Overrides the MatchesPerBuild-driven probe composition (PctMatched
+	// still controls which build tuples are matchable); ignored in Zipf
+	// mode, where selectivity follows the rank distribution.
+	MatchRate float64
 
 	// Skew, when > 1, repeats some build keys so bucket chains grow,
 	// stressing the read-write conflict handling. 1 (or 0) means unique
@@ -88,6 +99,12 @@ func (s Spec) normalize() Spec {
 	if s.Skew < 1 {
 		s.Skew = 1
 	}
+	if s.MatchRate < 0 {
+		s.MatchRate = 0
+	}
+	if s.MatchRate > 1 {
+		s.MatchRate = 1
+	}
 	if s.ZipfS > 0 && s.ZipfKeys <= 0 {
 		s.ZipfKeys = 256
 	}
@@ -118,6 +135,38 @@ type Pair struct {
 	// KeySum is the sum (mod 2^64) over all expected output tuples of
 	// the build key, a cheap order-independent result checksum.
 	KeySum uint64
+
+	// Per-join-type ground truth, all exact (see Expected):
+	// ProbeMatched counts probe tuples with at least one build match;
+	// MatchedProbeKeySum and UnmatchedProbeKeySum split the probe-side
+	// key sum by that predicate. UnmatchedBuildRows counts build tuples
+	// no probe tuple matches, with their key sum in
+	// UnmatchedBuildKeySum.
+	ProbeMatched         int
+	MatchedProbeKeySum   uint64
+	UnmatchedProbeKeySum uint64
+	UnmatchedBuildRows   int
+	UnmatchedBuildKeySum uint64
+}
+
+// Expected returns the exact output cardinality and key checksum of the
+// pair under join type jt, following the kernels' checksum convention:
+// inner/outer outputs sum the build key (0 for a null-padded build
+// side, the real key for a null-padded probe side), semi/anti outputs
+// sum the probe key — equal to the build key on a match by definition
+// of the equi-join.
+func (p *Pair) Expected(jt plan.JoinType) (n int, keySum uint64) {
+	switch jt {
+	case plan.LeftOuter:
+		return p.ExpectedMatches + p.Spec.NProbe - p.ProbeMatched, p.KeySum
+	case plan.RightOuter:
+		return p.ExpectedMatches + p.UnmatchedBuildRows, p.KeySum + p.UnmatchedBuildKeySum
+	case plan.LeftSemi:
+		return p.ProbeMatched, p.MatchedProbeKeySum
+	case plan.LeftAnti:
+		return p.Spec.NProbe - p.ProbeMatched, p.UnmatchedProbeKeySum
+	}
+	return p.ExpectedMatches, p.KeySum
 }
 
 // buildKey derives the i-th build key: a bijection of i over 31 bits,
@@ -158,9 +207,22 @@ func Generate(a *arena.Arena, spec Spec) *Pair {
 	// gets guaranteed-miss keys. Shuffled for the same reason.
 	probe := storage.NewRelation(a, schema, spec.PageSize)
 	probeKeys := make([]uint32, 0, spec.NProbe)
-	for i := 0; i < nMatched; i++ {
-		for j := 0; j < spec.MatchesPerBuild && len(probeKeys) < spec.NProbe; j++ {
-			probeKeys = append(probeKeys, buildKey(uint32(i/spec.Skew)))
+	if spec.MatchRate > 0 {
+		// Probe-side selectivity mode: exactly round(MatchRate*NProbe)
+		// hits, cycled over the matched build keys so the hit mass
+		// spreads evenly instead of saturating the first build tuples.
+		nHit := int(math.Round(spec.MatchRate * float64(spec.NProbe)))
+		if nMatched == 0 {
+			nHit = 0
+		}
+		for i := 0; i < nHit; i++ {
+			probeKeys = append(probeKeys, buildKey(uint32((i%nMatched)/spec.Skew)))
+		}
+	} else {
+		for i := 0; i < nMatched; i++ {
+			for j := 0; j < spec.MatchesPerBuild && len(probeKeys) < spec.NProbe; j++ {
+				probeKeys = append(probeKeys, buildKey(uint32(i/spec.Skew)))
+			}
 		}
 	}
 	for i := 0; len(probeKeys) < spec.NProbe; i++ {
@@ -181,13 +243,31 @@ func Generate(a *arena.Arena, spec Spec) *Pair {
 	for i := 0; i < spec.NBuild; i++ {
 		buildCount[buildKey(uint32(i/spec.Skew))]++
 	}
+	p.account(buildCount, probeKeys)
+	return p
+}
+
+// account fills in the inner ground truth and the per-join-type
+// counters from the build-key histogram and the probe key list.
+func (p *Pair) account(buildCount map[uint32]int, probeKeys []uint32) {
+	probeSeen := make(map[uint32]bool, len(probeKeys))
 	for _, k := range probeKeys {
 		if c := buildCount[k]; c > 0 {
 			p.ExpectedMatches += c
 			p.KeySum += uint64(k) * uint64(c)
+			p.ProbeMatched++
+			p.MatchedProbeKeySum += uint64(k)
+			probeSeen[k] = true
+		} else {
+			p.UnmatchedProbeKeySum += uint64(k)
 		}
 	}
-	return p
+	for k, c := range buildCount {
+		if !probeSeen[k] {
+			p.UnmatchedBuildRows += c
+			p.UnmatchedBuildKeySum += uint64(k) * uint64(c)
+		}
+	}
 }
 
 // zipfSampler draws key ranks 0..n-1 with probability proportional to
@@ -241,15 +321,14 @@ func generateZipf(a *arena.Arena, spec Spec, rng *rand.Rand, schema *storage.Sch
 
 	probe := storage.NewRelation(a, schema, spec.PageSize)
 	p := &Pair{Spec: spec, Build: build, Probe: probe}
+	probeKeys := make([]uint32, 0, spec.NProbe)
 	for i := 0; i < spec.NProbe; i++ {
 		k := buildKey(uint32(rng.Intn(spec.ZipfKeys)))
 		fillTuple(tup, k, uint32(i)|0x80000000)
 		probe.Append(tup, hash.CodeU32(k))
-		if c := buildCount[k]; c > 0 {
-			p.ExpectedMatches += c
-			p.KeySum += uint64(k) * uint64(c)
-		}
+		probeKeys = append(probeKeys, k)
 	}
+	p.account(buildCount, probeKeys)
 	return p
 }
 

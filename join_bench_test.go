@@ -1,0 +1,203 @@
+package hashjoin
+
+// Strategy-crossover calibration: the cost-based planner's pinned
+// defaults (plan.DefaultNestedLoopCrossover and
+// plan.DefaultPartitionCrossoverBytes) are measured here, not guessed.
+//
+// The nested-loop sweep holds the probe side fixed and grows the build
+// side through the planner's decision region: below the crossover a
+// flat scan beats paying for a hash-table build, above it the hash
+// probe wins. The partition sweep grows the build footprint from
+// cache-resident to cache-overflowing and compares one streaming probe
+// against the radix-partitioned morsel join. Each point interleaves
+// its strategies across repetitions and compares medians.
+//
+// BenchmarkJoinCrossover writes BENCH_join.json:
+//
+//	go test -run=^$ -bench BenchmarkJoinCrossover -benchtime=1x .
+//
+// cmd/benchcheck asserts the committed document and the pinned
+// constants agree, so re-calibrating on new hardware must update both.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hashjoin/internal/native"
+	"hashjoin/internal/plan"
+	"hashjoin/internal/workload"
+)
+
+const (
+	joinBenchNLProbe = 8192 // probe rows for the nested-loop sweep
+	joinBenchNLTuple = 16
+	joinBenchPTuple  = 64
+	joinBenchPFanout = 64
+)
+
+// joinBenchNLSizes sweeps the build side through the nested-loop
+// decision region; joinBenchPSizes sweeps the build footprint from
+// comfortably cache-resident to several times any last-level cache.
+var (
+	joinBenchNLSizes = []int{2, 4, 8, 16, 32, 64}
+	joinBenchPSizes  = []int{4096, 8192, 16384, 32768, 131072, 524288}
+)
+
+// nlPoint is one build-size sample of the nested-loop sweep.
+type nlPoint struct {
+	BuildRows    int     `json:"build_rows"`
+	NestedLoopMs float64 `json:"nested_loop_ms"`
+	StreamMs     float64 `json:"stream_ms"`
+}
+
+// partitionPoint is one build-footprint sample of the partition sweep.
+type partitionPoint struct {
+	BuildRows     int     `json:"build_rows"`
+	BuildBytes    int     `json:"build_bytes"`
+	StreamMs      float64 `json:"stream_ms"`
+	PartitionedMs float64 `json:"partitioned_ms"`
+	Fanout        int     `json:"fanout"`
+}
+
+// joinTrajectory is the BENCH_join.json document. The pinned crossover
+// fields echo the plan package's compiled defaults; the measured fields
+// report what this run observed. benchcheck requires the pinned
+// nested-loop crossover to sit inside the measured winning region.
+type joinTrajectory struct {
+	NProbe      int  `json:"n_probe"`
+	TupleSize   int  `json:"tuple_size"`
+	GOMAXPROCS  int  `json:"gomaxprocs"`
+	PrefetchASM bool `json:"prefetch_asm"`
+
+	NestedLoopCrossoverRows         int `json:"nested_loop_crossover_rows"`
+	MeasuredNestedLoopCrossoverRows int `json:"measured_nested_loop_crossover_rows"`
+	PartitionCrossoverBytes         int `json:"partition_crossover_bytes"`
+	// MeasuredPartitionCrossoverBytes is the smallest swept footprint
+	// where the partitioned join beat the streaming probe, or 0 when it
+	// never did inside the sweep (single-core hosts with large caches).
+	MeasuredPartitionCrossoverBytes int `json:"measured_partition_crossover_bytes"`
+
+	NestedLoopPoints []nlPoint        `json:"nested_loop_points"`
+	PartitionPoints  []partitionPoint `json:"partition_points"`
+}
+
+// runJoinBenchOnce runs one strategy over one prepared pair and
+// validates the exact inner-join ground truth.
+func runJoinBenchOnce(tb testing.TB, env *Env, pair *workload.Pair, s Strategy, fanout int) PipelineResult {
+	build := &Relation{rel: pair.Build, env: env}
+	probe := &Relation{rel: pair.Probe, env: env}
+	opts := []PipelineOption{WithEngine(EngineNative), WithStrategy(s)}
+	if fanout > 1 {
+		opts = append(opts, WithPipelineFanout(fanout))
+	}
+	res, err := env.RunPipeline(build, probe, opts...)
+	if err != nil {
+		tb.Fatalf("strategy %v over %d build rows: %v", s, pair.Build.NTuples, err)
+	}
+	if res.NOutput != pair.ExpectedMatches || res.KeySum != pair.KeySum {
+		tb.Fatalf("strategy %v over %d build rows: wrong result (%d, %d), want (%d, %d)",
+			s, pair.Build.NTuples, res.NOutput, res.KeySum, pair.ExpectedMatches, pair.KeySum)
+	}
+	return res
+}
+
+// sweepPair measures two strategies over one pair with interleaved
+// repetitions and returns the per-strategy median elapsed times.
+func sweepPair(tb testing.TB, env *Env, pair *workload.Pair, a, b Strategy, bFanout, reps int) (time.Duration, time.Duration) {
+	var at, bt []time.Duration
+	for rep := 0; rep < reps; rep++ {
+		at = append(at, runJoinBenchOnce(tb, env, pair, a, 1).Elapsed)
+		bt = append(bt, runJoinBenchOnce(tb, env, pair, b, bFanout).Elapsed)
+	}
+	return medianDuration(at), medianDuration(bt)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// BenchmarkJoinCrossover measures the nested-loop/stream and
+// stream/partitioned crossover points and emits BENCH_join.json.
+func BenchmarkJoinCrossover(b *testing.B) {
+	env := NewEnv(WithCapacity(384 << 20))
+	nlPairs := make([]*workload.Pair, len(joinBenchNLSizes))
+	for i, n := range joinBenchNLSizes {
+		nlPairs[i] = workload.Generate(env.mem.A, workload.Spec{
+			NBuild: n, NProbe: joinBenchNLProbe, TupleSize: joinBenchNLTuple,
+			MatchRate: 0.5, Seed: int64(60 + i),
+		})
+	}
+	pPairs := make([]*workload.Pair, len(joinBenchPSizes))
+	for i, n := range joinBenchPSizes {
+		pPairs[i] = workload.Generate(env.mem.A, workload.Spec{
+			NBuild: n, NProbe: n, TupleSize: joinBenchPTuple,
+			MatchesPerBuild: 1, Seed: int64(70 + i),
+		})
+	}
+
+	// Untimed warmup: touch every strategy's scratch pools once.
+	runJoinBenchOnce(b, env, nlPairs[0], StrategyNestedLoop, 1)
+	runJoinBenchOnce(b, env, nlPairs[0], StrategyStream, 1)
+	runJoinBenchOnce(b, env, pPairs[0], StrategyPartitioned, joinBenchPFanout)
+
+	traj := joinTrajectory{
+		NProbe:                  joinBenchNLProbe,
+		TupleSize:               joinBenchNLTuple,
+		GOMAXPROCS:              runtime.GOMAXPROCS(0),
+		PrefetchASM:             NativeHasPrefetch(),
+		NestedLoopCrossoverRows: plan.DefaultNestedLoopCrossover,
+		PartitionCrossoverBytes: plan.DefaultPartitionCrossoverBytes,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traj.NestedLoopPoints = traj.NestedLoopPoints[:0]
+		traj.PartitionPoints = traj.PartitionPoints[:0]
+		traj.MeasuredNestedLoopCrossoverRows = 0
+		traj.MeasuredPartitionCrossoverBytes = 0
+
+		for j, pair := range nlPairs {
+			nl, st := sweepPair(b, env, pair, StrategyNestedLoop, StrategyStream, 1, 9)
+			traj.NestedLoopPoints = append(traj.NestedLoopPoints, nlPoint{
+				BuildRows: joinBenchNLSizes[j], NestedLoopMs: ms(nl), StreamMs: ms(st),
+			})
+			if nl <= st {
+				traj.MeasuredNestedLoopCrossoverRows = joinBenchNLSizes[j]
+			}
+		}
+		for j, pair := range pPairs {
+			st, pt := sweepPair(b, env, pair, StrategyStream, StrategyPartitioned, joinBenchPFanout, 3)
+			footprint := native.BuildFootprint(pair.Build.NTuples, joinBenchPTuple)
+			traj.PartitionPoints = append(traj.PartitionPoints, partitionPoint{
+				BuildRows: joinBenchPSizes[j], BuildBytes: footprint,
+				StreamMs: ms(st), PartitionedMs: ms(pt), Fanout: joinBenchPFanout,
+			})
+			if pt < st && traj.MeasuredPartitionCrossoverBytes == 0 {
+				traj.MeasuredPartitionCrossoverBytes = footprint
+			}
+		}
+	}
+	b.StopTimer()
+
+	// Shape gates that hold on any hardware: the flat scan must win at
+	// the smallest build side and lose at the largest swept one —
+	// otherwise the sweep no longer brackets a crossover and the pinned
+	// default is meaningless.
+	first, last := traj.NestedLoopPoints[0], traj.NestedLoopPoints[len(traj.NestedLoopPoints)-1]
+	if first.NestedLoopMs > first.StreamMs {
+		b.Fatalf("nested loop lost at %d build rows (%.3f ms vs %.3f ms): sweep floor too high",
+			first.BuildRows, first.NestedLoopMs, first.StreamMs)
+	}
+	if last.NestedLoopMs <= last.StreamMs {
+		b.Fatalf("nested loop still won at %d build rows (%.3f ms vs %.3f ms): sweep ceiling too low",
+			last.BuildRows, last.NestedLoopMs, last.StreamMs)
+	}
+	b.ReportMetric(float64(traj.MeasuredNestedLoopCrossoverRows), "nl-crossover-rows")
+	b.ReportMetric(float64(traj.MeasuredPartitionCrossoverBytes), "partition-crossover-bytes")
+
+	if doc, err := json.MarshalIndent(traj, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_join.json", append(doc, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_join.json not written: %v", err)
+		}
+	}
+}

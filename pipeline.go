@@ -16,6 +16,7 @@ import (
 
 	"hashjoin/internal/engine"
 	"hashjoin/internal/native"
+	"hashjoin/internal/plan"
 	"hashjoin/internal/sched"
 	"hashjoin/internal/spill"
 )
@@ -61,6 +62,11 @@ type pipelineConfig struct {
 	planned uint64
 
 	build *BuildSide
+
+	joinType    plan.JoinType
+	strategy    plan.Strategy
+	strategySet bool // WithStrategy given: consult the planner
+	matchRate   float64
 }
 
 // WithEngine selects the execution backend (default EngineSim).
@@ -249,6 +255,10 @@ type PipelineResult struct {
 	QueueWait       time.Duration
 	AdmittedBytes   uint64
 	MorselsExecuted int
+
+	// Plan reports the strategy decision and its inputs when the planner
+	// was consulted (WithStrategy); nil otherwise.
+	Plan *PlanDecision
 }
 
 // RunPipeline executes build ⋈ probe — optionally filtered and
@@ -342,9 +352,54 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 	if pc.hasFilter {
 		buildNode = engine.Filter(buildNode, engine.KeyBetween(pc.filterLo, pc.filterHi))
 	}
-	plan := engine.HashJoin(buildNode, engine.Scan(probe.rel))
+	logical := engine.HashJoinTyped(buildNode, engine.Scan(probe.rel), pc.joinType)
 	if pc.hasAgg {
-		plan = engine.HashAggregate(plan, pc.aggValueOff, pc.aggGroups)
+		logical = engine.HashAggregate(logical, pc.aggValueOff, pc.aggGroups)
+	}
+
+	// WithStrategy engages the planner: Choose picks from the relations'
+	// true cardinalities, the build footprint, the match-rate hint, and
+	// the declared budget; a concrete strategy overrides the pick but
+	// the decision still records it. The legacy path (no WithStrategy)
+	// keeps the fanout-driven selection and reports no Plan.
+	strategy, fanout := plan.Auto, pc.fanout
+	if pc.strategySet {
+		bw := build.rel.Schema.FixedWidth()
+		stats := plan.Stats{
+			BuildRows:      build.rel.NTuples,
+			ProbeRows:      probe.rel.NTuples,
+			BuildWidth:     bw,
+			ProbeWidth:     probe.rel.Schema.FixedWidth(),
+			BuildFootprint: native.BuildFootprint(build.rel.NTuples, bw),
+			MatchRate:      pc.matchRate,
+		}
+		dec := plan.Choose(stats, pc.joinType, pc.memBudget)
+		switch {
+		case pc.strategy != plan.Auto && pc.strategy != dec.Strategy:
+			planned := dec.Strategy
+			dec.Strategy = pc.strategy
+			if pc.strategy == plan.PartitionedHash {
+				if dec.Fanout <= 1 {
+					dec.Fanout = max(pc.fanout, 2)
+				}
+			} else {
+				dec.Fanout = 1
+			}
+			dec.Reason = fmt.Sprintf("forced by WithStrategy(%v); planner preferred %v", pc.strategy, planned)
+		case pc.build != nil && dec.Strategy != plan.StreamHash:
+			// A prebuilt hash table pins the streaming strategy; the
+			// planner's preference is recorded, not executed.
+			planned := dec.Strategy
+			dec.Strategy, dec.Fanout = plan.StreamHash, 1
+			dec.Reason = fmt.Sprintf("prebuilt build side pins the streaming strategy (planner preferred %v)", planned)
+		case pc.engine == EngineSim && dec.Strategy == plan.PartitionedHash:
+			// The simulator executes single-table joins only; an
+			// auto-planned partitioned pick degrades to streaming there.
+			dec.Strategy, dec.Fanout = plan.StreamHash, 1
+			dec.Reason = "sim backend runs single-table joins only (planner preferred partitioned)"
+		}
+		strategy, fanout = dec.Strategy, dec.Fanout
+		res.Plan = &dec
 	}
 
 	var report engine.Report
@@ -354,7 +409,8 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 		A:             a,
 		Scheme:        pc.scheme,
 		Params:        pc.params,
-		Fanout:        pc.fanout,
+		Strategy:      strategy,
+		Fanout:        fanout,
 		Workers:       pc.workers,
 		Pool:          pool,
 		Tenant:        pc.tenant,
@@ -376,7 +432,7 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 		before = e.mem.S.Stats()
 	}
 	start := time.Now()
-	root, err := engine.Compile(plan, cfg)
+	root, err := engine.Compile(logical, cfg)
 	if err != nil {
 		return PipelineResult{}, err
 	}
