@@ -194,6 +194,10 @@ func main() {
 			fmt.Printf("spill: %d partition pair(s), %d B written, %d B read, stalls write %v read %v\n",
 				res.SpilledPartitions, res.SpillBytesWritten, res.SpillBytesRead,
 				res.SpillWriteStall, res.SpillReadStall)
+			if res.SpillFailovers > 0 || res.SpillRebuilds > 0 {
+				fmt.Printf("spill recovery: %d dir failover(s), %d partition rebuild(s)\n",
+					res.SpillFailovers, res.SpillRebuilds)
+			}
 		}
 		if *hybrid {
 			fmt.Printf("hybrid: %d resident pair(s), %d demoted, %d B demoted\n",

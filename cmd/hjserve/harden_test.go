@@ -1,0 +1,251 @@
+package main
+
+// Hardening proofs for the long-lived server: oversized protocol lines,
+// panicking requests, connection caps, idle reaping, and the degraded
+// health state — each failure is typed on the wire, scoped to one
+// request or connection, and never takes the server down.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/fault"
+	"hashjoin/internal/spill"
+)
+
+// TestServeOversizedLine: a line over the 64 KiB protocol bound answers
+// err status=protocol and the connection keeps serving — including the
+// case where the oversized line's tail would itself parse as a command.
+func TestServeOversizedLine(t *testing.T) {
+	s := startServer(t, serverOptions{})
+	c := dial(t, s)
+
+	// The tail " ping" must NOT be executed as a command: exactly one
+	// response line for the whole oversized line.
+	long := "query pair=" + strings.Repeat("x", maxLineLen) + "\nping\n"
+	if _, err := io.WriteString(c.conn, long); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	status, m := kv(t, strings.TrimSpace(line))
+	if status != "err" || m["status"] != "protocol" || mustInt(t, m, "code") != 6 {
+		t.Fatalf("oversized line -> %q, want err status=protocol code=6", line)
+	}
+
+	// The pipelined "ping" after the newline still answers...
+	line, err = c.r.ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "ok" {
+		t.Fatalf("pipelined ping after oversize: %q, %v", line, err)
+	}
+	// ...and the connection remains fully usable.
+	if got := c.roundTrip(t, "ping"); got != "ok" {
+		t.Fatalf("ping after oversize: %q", got)
+	}
+	if status, _ := kv(t, c.roundTrip(t, "pair name=t1 build=500 tuple=40")); status != "ok" {
+		t.Fatal("pair after oversize failed")
+	}
+}
+
+// TestServePanicContained: an injected panic in the request handler
+// answers err status=internal, bumps the panics counter, and leaves
+// both the connection and the server serving.
+func TestServePanicContained(t *testing.T) {
+	defer fault.Reset()
+	s := startServer(t, serverOptions{})
+	c := dial(t, s)
+	if got := c.roundTrip(t, "ping"); got != "ok" {
+		t.Fatalf("pre-panic ping: %q", got)
+	}
+
+	fault.Enable(fault.SiteServeRequest, fault.Fault{Kind: fault.KindPanic, Count: 1})
+	status, m := kv(t, c.roundTrip(t, "ping"))
+	if status != "err" || m["status"] != "internal" || mustInt(t, m, "code") != 5 {
+		t.Fatalf("panicked request -> %v %v, want err status=internal code=5", status, m)
+	}
+
+	// Same connection, next request: served normally.
+	if got := c.roundTrip(t, "ping"); got != "ok" {
+		t.Fatalf("post-panic ping: %q", got)
+	}
+	status, m = kv(t, c.roundTrip(t, "stats"))
+	if status != "ok" || mustInt(t, m, "panics") != 1 {
+		t.Fatalf("stats after panic: %v %v, want panics=1", status, m)
+	}
+	// A second client is unaffected.
+	c2 := dial(t, s)
+	if got := c2.roundTrip(t, "ping"); got != "ok" {
+		t.Fatalf("second client ping: %q", got)
+	}
+}
+
+// TestServeConnCap: connections beyond -max-conns get one typed
+// retryable shed line and a close; freeing a slot readmits.
+func TestServeConnCap(t *testing.T) {
+	s := startServer(t, serverOptions{maxConns: 1})
+	c := dial(t, s)
+	if got := c.roundTrip(t, "ping"); got != "ok" {
+		t.Fatalf("first conn ping: %q", got)
+	}
+
+	over, err := net.Dial("tcp", s.ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial over cap: %v", err)
+	}
+	defer over.Close()
+	over.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := io.ReadAll(over) // shed line, then EOF
+	if err != nil {
+		t.Fatalf("read shed line: %v", err)
+	}
+	status, m := kv(t, strings.TrimSpace(string(line)))
+	if status != "err" || m["status"] != "failure" || mustInt(t, m, "code") != 1 {
+		t.Fatalf("over-cap conn -> %q, want err status=failure code=1", line)
+	}
+	if !strings.Contains(string(line), "capacity") {
+		t.Fatalf("shed line does not name the cap: %q", line)
+	}
+
+	// The admitted connection was untouched, and its slot is reusable.
+	if got := c.roundTrip(t, "ping"); got != "ok" {
+		t.Fatalf("admitted conn after shed: %q", got)
+	}
+	status, m = kv(t, c.roundTrip(t, "stats"))
+	if status != "ok" || mustInt(t, m, "conn_shed") != 1 {
+		t.Fatalf("stats: %v %v, want conn_shed=1", status, m)
+	}
+	c.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		next, err := net.Dial("tcp", s.ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial after slot freed: %v", err)
+		}
+		next.SetReadDeadline(time.Now().Add(time.Second))
+		fmt.Fprintln(next, "ping")
+		r, _ := readOneLine(next)
+		next.Close()
+		if r == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed; last response %q", r)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// readOneLine reads one response line from a raw conn.
+func readOneLine(conn net.Conn) (string, error) {
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	return strings.TrimSpace(string(buf[:n])), err
+}
+
+// TestServeIdleTimeout: an idle connection gets one typed cancelled
+// goodbye and a close; the server itself keeps accepting.
+func TestServeIdleTimeout(t *testing.T) {
+	s := startServer(t, serverOptions{idleTimeout: 100 * time.Millisecond})
+	c := dial(t, s)
+	if got := c.roundTrip(t, "ping"); got != "ok" {
+		t.Fatalf("ping: %q", got)
+	}
+
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("idle goodbye: %v", err)
+	}
+	status, m := kv(t, strings.TrimSpace(line))
+	if status != "err" || m["status"] != "cancelled" || mustInt(t, m, "code") != 4 {
+		t.Fatalf("idle goodbye %q, want err status=cancelled code=4", line)
+	}
+	if _, err := c.r.ReadString('\n'); err != io.EOF {
+		t.Fatalf("connection still open after idle goodbye: %v", err)
+	}
+
+	// The reaped connection was one connection's business.
+	c2 := dial(t, s)
+	if got := c2.roundTrip(t, "ping"); got != "ok" {
+		t.Fatalf("fresh conn after idle reap: %q", got)
+	}
+}
+
+// TestServeHealthzDegraded: an unhealthy spill directory flips /healthz
+// to a degraded body naming the directory; once the directory recovers
+// and the reviver's probe passes, /healthz returns to "ok".
+func TestServeHealthzDegraded(t *testing.T) {
+	t.Cleanup(spill.ResetHealth)
+	vol := filepath.Join(t.TempDir(), "vol")
+	s := startServer(t, serverOptions{
+		spillDir:    vol,
+		reviveEvery: 20 * time.Millisecond,
+	})
+	hurl := "http://" + s.hln.Addr().String() + "/healthz"
+
+	body := func() (int, string) {
+		resp, err := http.Get(hurl)
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, b := body(); code != http.StatusOK || !strings.HasPrefix(b, "ok") {
+		t.Fatalf("healthz before damage: %d %q", code, b)
+	}
+
+	// Indict the (nonexistent) volume the way a real query would: a
+	// Manager that cannot create its subdir registers the failure.
+	if _, err := spill.NewManager(spill.Config{Dir: vol, PageSize: 4096, A: arena.New(1 << 20)}); err == nil {
+		t.Fatal("NewManager on a nonexistent volume succeeded")
+	} else if !errors.Is(err, spill.ErrSpillUnavailable) {
+		t.Fatalf("NewManager error %v, want ErrSpillUnavailable", err)
+	}
+
+	code, b := body()
+	if code != http.StatusOK || !strings.HasPrefix(b, "degraded") || !strings.Contains(b, vol) {
+		t.Fatalf("healthz while degraded: %d %q, want degraded body naming %s", code, b, vol)
+	}
+
+	// Recovery: the volume appears; after the probe throttle the
+	// reviver's next pass restores "ok" with no query traffic at all.
+	if err := os.MkdirAll(vol, 0o755); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, b = body()
+		if code == http.StatusOK && strings.HasPrefix(b, "ok") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never recovered: %d %q", code, b)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The stats door reports per-dir health alongside the counters.
+	resp, err := http.Get("http://" + s.hln.Addr().String() + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	b2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b2), "spill_dirs") {
+		t.Fatalf("stats JSON missing spill_dirs: %s", b2)
+	}
+}

@@ -17,13 +17,21 @@
 //	err status=<word> code=<n> msg="..."
 //
 // where status/code carry the same taxonomy the batch tools exit with:
-// ok=0, failure=1, usage=2, memory=3, cancelled=4. A query shed for
-// size reports memory; one shed by queue timeout reports cancelled; a
-// full queue or a draining server reports failure (retryable).
+// ok=0, failure=1, usage=2, memory=3, cancelled=4, internal=5 (a
+// recovered handler panic), protocol=6 (malformed input, e.g. a line
+// over 64 KiB). A query shed for size reports memory; one shed by queue
+// timeout reports cancelled; a full queue, a draining server, or a
+// connection refused at -max-conns reports failure (retryable).
 //
-// An HTTP side door serves GET /healthz (503 while draining) and GET
-// /stats (JSON counters). SIGINT/SIGTERM drains gracefully: queued
-// queries are shed, in-flight queries finish, then the process exits 0.
+// An HTTP side door serves GET /healthz ("ok", "degraded" with
+// per-spill-dir detail when a spill directory is unhealthy, 503 while
+// draining) and GET /stats (JSON counters). SIGINT/SIGTERM drains
+// gracefully: queued queries are shed, in-flight queries finish, then
+// the process exits 0.
+//
+// The HJ_CHAOS environment variable, when set, arms a seeded fault
+// schedule (see internal/fault.ParseSchedule) for the whole process —
+// the hook the chaos smoke tests drive a real binary with.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 
 	"hashjoin"
 	"hashjoin/internal/cli"
+	"hashjoin/internal/fault"
 )
 
 const prog = "hjserve"
@@ -52,6 +61,11 @@ func main() {
 		workers    = flag.Int("workers", 0, "shared morsel pool size (0 = all CPUs)")
 		queryCap   = flag.Duration("query-timeout", time.Minute, "cap on per-query timeout= requests (0 = uncapped)")
 		buildCache = flag.Int64("build-cache", 64<<20, "build-side cache byte budget for streaming native queries (0 disables)")
+		spillDir   = flag.String("spill-dir", "", "comma-separated spill parent directories, tried in order as earlier ones fail (\"\" = OS temp)")
+		maxConns   = flag.Int("max-conns", 0, "protocol connection cap; excess connections get a typed shed line (0 = unlimited)")
+		idleTime   = flag.Duration("idle-timeout", 0, "close protocol connections idle longer than this (0 = never)")
+		writeTime  = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
+		reviveEach = flag.Duration("spill-revive", 30*time.Second, "how often to probe unhealthy spill dirs for revival (0 = only on demand)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -59,6 +73,11 @@ func main() {
 	}
 	if *capacity == 0 {
 		cli.Fatalf(prog, "-capacity must be positive")
+	}
+	if chaos, err := fault.ScheduleFromEnv(os.Getenv("HJ_CHAOS")); err != nil {
+		cli.Fatalf(prog, "HJ_CHAOS: %v", err)
+	} else if chaos != nil {
+		fmt.Printf("%s: chaos schedule armed: %s\n", prog, chaos)
 	}
 
 	s := newServer(serverOptions{
@@ -74,6 +93,11 @@ func main() {
 		},
 		queryTimeout: *queryCap,
 		buildCache:   *buildCache,
+		spillDir:     *spillDir,
+		maxConns:     *maxConns,
+		idleTimeout:  *idleTime,
+		writeTimeout: *writeTime,
+		reviveEvery:  *reviveEach,
 	})
 	if err := s.listen(); err != nil {
 		cli.Dief(prog, "%v", err)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,6 +17,8 @@ import (
 
 	"hashjoin"
 	"hashjoin/internal/cli"
+	"hashjoin/internal/fault"
+	"hashjoin/internal/spill"
 )
 
 // server is the long-lived join service: one resident Env in service
@@ -34,12 +37,19 @@ type server struct {
 	hln  net.Listener
 	hsrv *http.Server
 
-	conns    sync.WaitGroup
-	draining atomic.Bool
+	conns      sync.WaitGroup
+	draining   atomic.Bool
+	reviveStop chan struct{}
 
 	// Server-level counters, alongside the Env's admission counters.
 	queriesOK  atomic.Uint64
 	queriesErr atomic.Uint64
+	panics     atomic.Uint64 // requests that panicked and were recovered
+	connShed   atomic.Uint64 // connections refused at the concurrency cap
+
+	// Spill-recovery totals accumulated across completed queries.
+	spillFailovers atomic.Int64
+	spillRebuilds  atomic.Int64
 }
 
 type serverOptions struct {
@@ -49,6 +59,11 @@ type serverOptions struct {
 	service        hashjoin.ServiceConfig
 	queryTimeout   time.Duration // cap on per-query timeout= requests
 	buildCache     int64         // build-side cache byte budget (0 disables)
+	spillDir       string        // comma-separated spill parents for queries ("" = OS temp)
+	maxConns       int           // protocol connection cap (0 = unlimited)
+	idleTimeout    time.Duration // per-command read deadline (0 = none)
+	writeTimeout   time.Duration // per-response write deadline (0 = none)
+	reviveEvery    time.Duration // spill-dir revival probe period (0 = off)
 }
 
 func newServer(opts serverOptions) *server {
@@ -61,11 +76,12 @@ func newServer(opts serverOptions) *server {
 		envOpts = append(envOpts, hashjoin.WithArenaBudget(opts.budget))
 	}
 	s := &server{
-		env:   hashjoin.NewEnv(envOpts...),
-		opts:  opts,
-		cache: newBuildCache(opts.buildCache),
-		pairs: make(map[string]*hashjoin.Workload),
-		open:  make(map[net.Conn]struct{}),
+		env:        hashjoin.NewEnv(envOpts...),
+		opts:       opts,
+		cache:      newBuildCache(opts.buildCache),
+		pairs:      make(map[string]*hashjoin.Workload),
+		open:       make(map[net.Conn]struct{}),
+		reviveStop: make(chan struct{}),
 	}
 	// Decay the build cache in step with the scheduler's quiescent
 	// window reclamations: a service gone idle sheds cold tables too.
@@ -98,12 +114,26 @@ func (s *server) listen() error {
 // the listener closes. The HTTP server runs on its own goroutine.
 func (s *server) serve() {
 	go s.hsrv.Serve(s.hln)
+	if s.opts.reviveEvery > 0 {
+		go s.reviver()
+	}
 	for id := 1; ; id++ {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed: shutting down
 		}
 		s.mu.Lock()
+		if s.opts.maxConns > 0 && len(s.open) >= s.opts.maxConns {
+			s.mu.Unlock()
+			s.connShed.Add(1)
+			// Shed with a typed line, not a silent RST: the client learns
+			// this is load, not a protocol mistake, and can retry.
+			s.setWriteDeadline(conn)
+			fmt.Fprintln(conn, errLine(cli.ExitFailure,
+				fmt.Errorf("connection capacity %d reached; retry later", s.opts.maxConns)))
+			conn.Close()
+			continue
+		}
 		s.open[conn] = struct{}{}
 		s.mu.Unlock()
 		if s.draining.Load() {
@@ -141,9 +171,34 @@ func (s *server) shutdown() {
 	}
 	s.mu.Unlock()
 	s.conns.Wait()
+	close(s.reviveStop)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	s.hsrv.Shutdown(ctx)
+}
+
+// reviver periodically probes unhealthy spill directories so recovered
+// disks rejoin the rotation between queries, not just when a query
+// happens to need them.
+func (s *server) reviver() {
+	t := time.NewTicker(s.opts.reviveEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			spill.Revive(s.opts.spillDir)
+		case <-s.reviveStop:
+			return
+		}
+	}
+}
+
+// setWriteDeadline arms the per-response write deadline, if configured:
+// a client that stops reading cannot park a handler in a blocked write.
+func (s *server) setWriteDeadline(conn net.Conn) {
+	if s.opts.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.writeTimeout))
+	}
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -151,18 +206,70 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	// Degraded: still serving (in-memory joins and failover keep queries
+	// completing) but some spill directory is down, so operators should
+	// look before the last one goes. 200 on purpose — load balancers must
+	// not pull a node that is still answering queries.
+	health := spill.Health(s.opts.spillDir)
+	degraded := false
+	for _, h := range health {
+		if !h.Healthy {
+			degraded = true
+			break
+		}
+	}
+	if !degraded {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	fmt.Fprintln(w, "degraded")
+	for _, h := range health {
+		dir := h.Dir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		if h.Healthy {
+			fmt.Fprintf(w, "spill-dir %s: healthy\n", dir)
+		} else {
+			fmt.Fprintf(w, "spill-dir %s: unhealthy since=%s cause=%q\n",
+				dir, h.Since.UTC().Format(time.RFC3339), h.Cause)
+		}
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	sc := s.env.ServiceStats()
 	hits, misses, evicts, resident := s.cache.counters()
+	health := spill.Health(s.opts.spillDir)
+	dirHealth := make([]map[string]any, 0, len(health))
+	unhealthyDirs := 0
+	for _, h := range health {
+		dir := h.Dir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		e := map[string]any{"dir": dir, "healthy": h.Healthy}
+		if !h.Healthy {
+			unhealthyDirs++
+			e["cause"] = h.Cause
+			e["since"] = h.Since.UTC().Format(time.RFC3339)
+		}
+		dirHealth = append(dirHealth, e)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"build_cache_hits":           hits,
 		"build_cache_misses":         misses,
 		"build_cache_evictions":      evicts,
 		"build_cache_resident_bytes": resident,
+
+		"spill_failovers":      s.spillFailovers.Load(),
+		"spill_rebuilds":       s.spillRebuilds.Load(),
+		"spill_dirs":           dirHealth,
+		"spill_dirs_unhealthy": unhealthyDirs,
+
+		"panics":    s.panics.Load(),
+		"conn_shed": s.connShed.Load(),
 
 		"queries_ok":       s.queriesOK.Load(),
 		"queries_err":      s.queriesErr.Load(),
@@ -183,43 +290,118 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// maxLineLen bounds one protocol command line. A longer line is a
+// protocol error: it is drained to its newline and answered with a
+// typed err line, and the connection keeps serving — a hostile or buggy
+// client cannot silently kill its own session mid-script.
+const maxLineLen = 64 << 10
+
+var errLineTooLong = fmt.Errorf("line exceeds %d bytes", maxLineLen)
+
+// readLine reads one newline-terminated command line of at most
+// maxLineLen bytes. Over-long lines are consumed entirely (so the next
+// read starts at the next command) and reported as errLineTooLong.
+func readLine(br *bufio.Reader) (string, error) {
+	var line []byte
+	over := false
+	for {
+		frag, err := br.ReadSlice('\n')
+		if !over && len(line)+len(frag) > maxLineLen {
+			over, line = true, nil
+		}
+		if !over {
+			line = append(line, frag...)
+		}
+		switch err {
+		case nil:
+			if over {
+				return "", errLineTooLong
+			}
+			return string(line), nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return "", err
+		}
+	}
+}
+
 // handleConn speaks the line protocol: one command per line, one
 // response line per command ("ok k=v ..." or `err status=<word>
-// code=<n> msg=<quoted>`), until quit, EOF, or server drain.
+// code=<n> msg=<quoted>`), until quit, EOF, idle timeout, or server
+// drain.
 func (s *server) handleConn(id int, conn net.Conn) {
 	defer conn.Close()
 	tenant := fmt.Sprintf("conn-%d", id)
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	br := bufio.NewReader(conn)
 	out := bufio.NewWriter(conn)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	respond := func(resp string) bool {
+		s.setWriteDeadline(conn)
+		fmt.Fprintln(out, resp)
+		return out.Flush() == nil
+	}
+	for {
+		if s.opts.idleTimeout > 0 && !s.draining.Load() {
+			conn.SetReadDeadline(time.Now().Add(s.opts.idleTimeout))
+		}
+		raw, err := readLine(br)
+		if err == errLineTooLong {
+			if !respond(errLine(cli.ExitProtocol, errLineTooLong)) {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			// Idle expiry on a live server gets a goodbye line; a drain's
+			// expired deadline (and EOF, and network failures) just closes.
+			if errors.Is(err, os.ErrDeadlineExceeded) && !s.draining.Load() {
+				respond(errLine(cli.ExitCancelled,
+					fmt.Errorf("idle for %v; closing connection", s.opts.idleTimeout)))
+			}
+			return
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
 		fields := strings.Fields(line)
-		cmd, args := fields[0], fields[1:]
-		var resp string
-		switch cmd {
-		case "ping":
-			resp = "ok"
-		case "pair":
-			resp = s.cmdPair(args)
-		case "query":
-			resp = s.cmdQuery(tenant, args)
-		case "stats":
-			resp = s.cmdStats()
-		case "quit":
-			fmt.Fprintln(out, "ok bye=1")
-			out.Flush()
-			return
-		default:
-			resp = errLine(cli.ExitUsage, fmt.Errorf("unknown command %q (have: ping, pair, query, stats, quit)", cmd))
-		}
-		fmt.Fprintln(out, resp)
-		if out.Flush() != nil {
+		resp, quit := s.dispatch(tenant, fields[0], fields[1:])
+		if quit {
+			respond("ok bye=1")
 			return
 		}
+		if !respond(resp) {
+			return
+		}
+	}
+}
+
+// dispatch routes one command, containing any panic the handler raises
+// into a typed err status=internal response: the request dies, the
+// connection and the server do not.
+func (s *server) dispatch(tenant, cmd string, args []string) (resp string, quit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			resp = errLine(cli.ExitInternal, fmt.Errorf("panic serving %s: %v", cmd, r))
+		}
+	}()
+	if err := fault.Hit(fault.SiteServeRequest); err != nil {
+		return errLine(cli.ExitInternal, err), false
+	}
+	switch cmd {
+	case "ping":
+		return "ok", false
+	case "pair":
+		return s.cmdPair(args), false
+	case "query":
+		return s.cmdQuery(tenant, args), false
+	case "stats":
+		return s.cmdStats(), false
+	case "quit":
+		return "", true
+	default:
+		return errLine(cli.ExitUsage, fmt.Errorf("unknown command %q (have: ping, pair, query, stats, quit)", cmd)), false
 	}
 }
 
@@ -318,6 +500,9 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 		tenant = t
 	}
 	opts := []hashjoin.PipelineOption{hashjoin.WithTenant(tenant)}
+	if s.opts.spillDir != "" {
+		opts = append(opts, hashjoin.WithPipelineSpillDir(s.opts.spillDir))
+	}
 	nativeEngine := false
 	switch kv["engine"] {
 	case "", "native":
@@ -440,6 +625,13 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 		return errLine(cli.ExitCodeFor(err), err)
 	}
 	s.queriesOK.Add(1)
+	recoveryNote := ""
+	if res.SpillFailovers > 0 || res.SpillRebuilds > 0 {
+		s.spillFailovers.Add(res.SpillFailovers)
+		s.spillRebuilds.Add(res.SpillRebuilds)
+		recoveryNote = fmt.Sprintf(" spill_failovers=%d spill_rebuilds=%d",
+			res.SpillFailovers, res.SpillRebuilds)
+	}
 	hybridNote := ""
 	if hybrid != 0 {
 		hybridNote = fmt.Sprintf(" resident=%d spilled=%d demoted=%d demoted_bytes=%d",
@@ -449,18 +641,26 @@ func (s *server) cmdQuery(tenant string, args []string) string {
 	if explain != 0 && res.Plan != nil {
 		planNote = fmt.Sprintf(" plan=%q", res.Plan.Explain())
 	}
-	return fmt.Sprintf("ok rows=%d keysum=%d elapsed_us=%d queue_wait_us=%d admitted_bytes=%d morsels=%d fanout=%d%s%s%s",
+	return fmt.Sprintf("ok rows=%d keysum=%d elapsed_us=%d queue_wait_us=%d admitted_bytes=%d morsels=%d fanout=%d%s%s%s%s",
 		res.NOutput, res.KeySum, res.Elapsed.Microseconds(), res.QueueWait.Microseconds(),
-		res.AdmittedBytes, res.MorselsExecuted, res.JoinFanout, cacheNote, hybridNote, planNote)
+		res.AdmittedBytes, res.MorselsExecuted, res.JoinFanout, cacheNote, recoveryNote, hybridNote, planNote)
 }
 
 func (s *server) cmdStats() string {
 	sc := s.env.ServiceStats()
 	hits, misses, evicts, resident := s.cache.counters()
-	return fmt.Sprintf("ok queries_ok=%d queries_err=%d admitted=%d completed=%d failed=%d shed=%d in_flight=%d queued=%d reserved_bytes=%d morsels=%d reclaims=%d build_cache_hits=%d build_cache_misses=%d build_cache_evictions=%d build_cache_resident_bytes=%d",
+	unhealthyDirs := 0
+	for _, h := range spill.Health(s.opts.spillDir) {
+		if !h.Healthy {
+			unhealthyDirs++
+		}
+	}
+	return fmt.Sprintf("ok queries_ok=%d queries_err=%d admitted=%d completed=%d failed=%d shed=%d in_flight=%d queued=%d reserved_bytes=%d morsels=%d reclaims=%d build_cache_hits=%d build_cache_misses=%d build_cache_evictions=%d build_cache_resident_bytes=%d panics=%d conn_shed=%d spill_failovers=%d spill_rebuilds=%d spill_dirs_unhealthy=%d",
 		s.queriesOK.Load(), s.queriesErr.Load(), sc.Admitted, sc.Completed, sc.Failed,
 		sc.Shed(), sc.InFlight, sc.Queued, sc.ReservedBytes, sc.MorselsExecuted, sc.Reclaims,
-		hits, misses, evicts, resident)
+		hits, misses, evicts, resident,
+		s.panics.Load(), s.connShed.Load(),
+		s.spillFailovers.Load(), s.spillRebuilds.Load(), unhealthyDirs)
 }
 
 // errLine renders a failure response carrying the exit-code taxonomy:

@@ -42,8 +42,17 @@ var (
 
 	// ErrCorruptSpill classifies a spill page that failed checksum or
 	// header verification on the way back from disk. The concrete error
-	// is a *CorruptPageError locating the damage.
+	// is a *CorruptPageError locating the damage. (A corrupt page is
+	// normally rebuilt in place; the error only escapes when the rebuild
+	// attempt also fails.)
 	ErrCorruptSpill = spill.ErrCorrupt
+
+	// ErrSpillUnavailable classifies a query shed because every
+	// configured spill directory was unhealthy and in-memory degradation
+	// had no hash bits left. Retryable: the spill tier re-probes failed
+	// directories and recovers on its own. The concrete error is a
+	// *SpillUnavailableError.
+	ErrSpillUnavailable = spill.ErrSpillUnavailable
 
 	// ErrAdmission classifies a query a service-mode Env declined to
 	// run: shed for size, a full queue, a queue timeout, or a draining
@@ -68,6 +77,10 @@ type (
 	// CorruptPageError reports the file, page index, and byte offset of
 	// a spill page that failed verification.
 	CorruptPageError = spill.CorruptPageError
+
+	// SpillUnavailableError reports the out-of-core tier down: which
+	// directories were configured and the last per-directory failure.
+	SpillUnavailableError = spill.SpillUnavailableError
 
 	// AdmissionError reports a query shed by a service-mode Env: the
 	// tenant, the Reason, the planned and grantable footprints, and how

@@ -10,6 +10,8 @@ package hashjoin
 import (
 	"context"
 	"errors"
+	"fmt"
+	"syscall"
 	"testing"
 	"time"
 
@@ -172,6 +174,25 @@ func TestErrorChainCorruptSpill(t *testing.T) {
 	}
 }
 
+// TestErrorChainSpillUnavailable: the all-spill-directories-down shed
+// matches ErrSpillUnavailable across wrapping, carries the configured
+// directory list via *SpillUnavailableError, and — through multi-error
+// unwrapping — still matches the underlying per-directory cause.
+func TestErrorChainSpillUnavailable(t *testing.T) {
+	err := fmt.Errorf("query: %w",
+		&SpillUnavailableError{Dirs: []string{"/a", "/b"}, Cause: syscall.ENOSPC})
+	if !errors.Is(err, ErrSpillUnavailable) {
+		t.Fatalf("SpillUnavailableError does not match ErrSpillUnavailable")
+	}
+	var sue *SpillUnavailableError
+	if !errors.As(err, &sue) || len(sue.Dirs) != 2 {
+		t.Fatalf("SpillUnavailableError round-trip failed: %v", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("SpillUnavailableError lost its cause: %v", err)
+	}
+}
+
 // TestErrorClassesDisjoint: the sentinels classify, they do not blur —
 // an error of one class never matches another class's sentinel.
 func TestErrorClassesDisjoint(t *testing.T) {
@@ -179,6 +200,7 @@ func TestErrorClassesDisjoint(t *testing.T) {
 	budget := error(&BudgetError{Budget: 1, Need: 2, Depth: 8})
 	cancelled := error(&CancelError{Cause: context.Canceled})
 	corrupt := error(&CorruptPageError{File: "f", Page: 0, Reason: "x"})
+	unavailable := error(&SpillUnavailableError{Dirs: []string{""}})
 
 	classes := []struct {
 		name     string
@@ -189,6 +211,7 @@ func TestErrorClassesDisjoint(t *testing.T) {
 		{"budget", budget, ErrOverBudget},
 		{"cancelled", cancelled, ErrCancelled},
 		{"corrupt", corrupt, ErrCorruptSpill},
+		{"unavailable", unavailable, ErrSpillUnavailable},
 	}
 	for i, c := range classes {
 		if !errors.Is(c.err, c.sentinel) {

@@ -148,6 +148,8 @@ const (
 	ExitUsage     = 2 // bad flag value
 	ExitMemory    = 3 // arena exhaustion or irreducible over-budget pair
 	ExitCancelled = 4 // -timeout expiry or context cancellation
+	ExitInternal  = 5 // recovered panic while serving a request
+	ExitProtocol  = 6 // malformed client input (e.g. an oversized line)
 )
 
 // ExitCodeFor classifies a runtime error into the exit-code taxonomy.
@@ -188,6 +190,10 @@ func StatusName(code int) string {
 		return "memory"
 	case ExitCancelled:
 		return "cancelled"
+	case ExitInternal:
+		return "internal"
+	case ExitProtocol:
+		return "protocol"
 	default:
 		return "failure"
 	}
@@ -268,6 +274,12 @@ func PipelineErrorDetail(err error) []string {
 			lines = append(lines, "admission: the service is draining and admits nothing new")
 		}
 	}
+	var sue *spill.SpillUnavailableError
+	if errors.As(err, &sue) {
+		lines = append(lines,
+			fmt.Sprintf("spill: all %d configured spill director(ies) are unhealthy; the query was shed, not corrupted", len(sue.Dirs)),
+			"hint: free disk space or point -spill-dir at healthy volumes (comma-separated); the tier re-probes and recovers on its own")
+	}
 	var cpe *spill.CorruptPageError
 	if errors.As(err, &cpe) {
 		lines = append(lines,
@@ -337,7 +349,7 @@ type Pipeline struct {
 	// rejects offsets that dangle off the join type's output width.
 	AggValueOff int
 
-	SpillDir     string // Native: parent dir for the out-of-core spill area ("" = OS temp)
+	SpillDir     string // Native: comma-separated parent dirs for the out-of-core spill area, tried in order ("" = OS temp)
 	SpillWorkers int    // Native: write-behind workers for the spill tier (0 = default)
 	NoSpill      bool   // Native: fail with *native.BudgetError instead of spilling
 	Hybrid       bool   // Native: adaptive hybrid hash join (resident prefix + spilled overflow)
@@ -380,6 +392,11 @@ type PipelineResult struct {
 	SpillBytesRead    int64
 	SpillWriteStall   time.Duration
 	SpillReadStall    time.Duration
+	// SpillFailovers counts spill directories declared failed mid-join;
+	// SpillRebuilds counts partitions rebuilt from their in-memory
+	// source after a failed or corrupt spill file.
+	SpillFailovers int64
+	SpillRebuilds  int64
 
 	// Hybrid-policy accounting: partition pairs joined fully in memory
 	// and planned-resident pairs demoted to disk mid-join (with their
@@ -619,6 +636,8 @@ func (p *Pipeline) Run() (PipelineResult, error) {
 	res.SpillBytesRead = report.SpillBytesRead
 	res.SpillWriteStall = report.SpillWriteStall
 	res.SpillReadStall = report.SpillReadStall
+	res.SpillFailovers = report.SpillFailovers
+	res.SpillRebuilds = report.SpillRebuilds
 	res.ResidentPartitions = report.ResidentPartitions
 	res.DemotedPartitions = report.DemotedPartitions
 	res.BytesDemoted = report.BytesDemoted

@@ -17,6 +17,7 @@ import (
 	"hashjoin/internal/memsim"
 	"hashjoin/internal/native"
 	"hashjoin/internal/sched"
+	"hashjoin/internal/spill"
 	"hashjoin/internal/workload"
 )
 
@@ -303,6 +304,9 @@ func TestExitCodeFor(t *testing.T) {
 		{"shed queue-full", &sched.AdmissionError{Reason: sched.QueueFull}, ExitFailure},
 		{"shed draining", &sched.AdmissionError{Reason: sched.Draining}, ExitFailure},
 		{"shed timeout", &sched.AdmissionError{Reason: sched.Timeout, Cause: context.DeadlineExceeded}, ExitCancelled},
+		// Spill unavailability is a retryable failure, not a memory-class
+		// one: the query was fine, the host's disks were not.
+		{"spill unavailable", spill.Unavailable("/a,/b", nil), ExitFailure},
 	}
 	for _, tc := range cases {
 		if got := ExitCodeFor(tc.err); got != tc.want {
@@ -320,6 +324,8 @@ func TestStatusName(t *testing.T) {
 		ExitUsage:     "usage",
 		ExitMemory:    "memory",
 		ExitCancelled: "cancelled",
+		ExitInternal:  "internal",
+		ExitProtocol:  "protocol",
 		99:            "failure",
 	}
 	for code, name := range want {

@@ -163,9 +163,11 @@ type Config struct {
 	// unbudgeted.
 	MemBudget int
 
-	// SpillDir is the parent directory for the native join's out-of-core
-	// spill area; "" means the OS temp directory. The spill tier creates
-	// and removes its own subdirectory per run.
+	// SpillDir is the parent directory spec for the native join's
+	// out-of-core spill area: an ordered, comma-separated list of
+	// directories tried in order as earlier ones turn unhealthy; "" means
+	// the OS temp directory. The spill tier creates and removes its own
+	// subdirectory per run in each parent it uses.
 	SpillDir string
 
 	// SpillWorkers is the write-behind worker count for the spill tier;
@@ -245,6 +247,11 @@ type Report struct {
 	// join waited for an in-flight page read (read-ahead fell behind).
 	SpillWriteStall time.Duration
 	SpillReadStall  time.Duration
+	// SpillFailovers counts spill directories declared failed mid-join;
+	// SpillRebuilds counts partitions rebuilt from their in-memory
+	// source after a failed or corrupt spill file.
+	SpillFailovers int64
+	SpillRebuilds  int64
 	// ResidentPartitions and the demotion counters mirror the hybrid
 	// policy's pair accounting (native.HybridStats): pairs joined fully
 	// in memory, planned-resident pairs demoted to disk by a mid-join

@@ -544,6 +544,8 @@ func (h *nativeHashJoin) report() {
 	h.cfg.Report.SpillBytesRead = h.morselRes.SpillBytesRead
 	h.cfg.Report.SpillWriteStall = h.morselRes.SpillWriteStall
 	h.cfg.Report.SpillReadStall = h.morselRes.SpillReadStall
+	h.cfg.Report.SpillFailovers = h.morselRes.SpillFailovers
+	h.cfg.Report.SpillRebuilds = h.morselRes.SpillRebuilds
 	h.cfg.Report.ResidentPartitions = h.morselRes.Hybrid.ResidentPairs
 	h.cfg.Report.DemotedPartitions = h.morselRes.Hybrid.DemotedPairs
 	h.cfg.Report.BytesDemoted = h.morselRes.Hybrid.BytesDemoted

@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Chaos schedules: seeded, multi-site fault scripts. Where Enable arms
+// one failpoint at a time, a Schedule arms a whole storm — concurrent
+// probabilistic faults across arena, spill, worker, and service sites —
+// from one compact, reproducible spec string. The soak harness
+// (TestChaosSoak) and hjserve's HJ_CHAOS hook both speak this format,
+// so a failure seen in CI replays locally from the one line it prints.
+//
+// Spec grammar (whitespace-tolerant):
+//
+//	seed=7; site=spill.write,kind=error,errno=EIO,prob=0.3,count=2; site=native.worker,kind=panic,prob=0.05
+//
+// Semicolons separate the seed clause and the steps; each step is
+// comma-separated key=value pairs. Per-step firing probability rolls use
+// a per-step RNG seeded from the schedule seed and the step index, so
+// two runs of the same spec fire identically.
+
+// Step is one failpoint arming of a chaos schedule.
+type Step struct {
+	Site  string
+	Kind  Kind
+	Prob  float64       // <=0 or >=1: fire on every hit
+	Count int64         // fire at most Count times; <=0: unlimited
+	Delay time.Duration // KindDelay only
+	Errno string        // KindError: symbolic errno name; "" = generic *InjectedError
+}
+
+// Schedule is a seeded set of concurrently armed fault steps.
+type Schedule struct {
+	Seed  int64
+	Steps []Step
+}
+
+// errnoByName maps the symbolic errno names a schedule may inject. The
+// dir-class names let chaos runs drive the spill tier's failover path
+// with the exact errors real media produces.
+var errnoByName = map[string]syscall.Errno{
+	"ENOSPC": syscall.ENOSPC,
+	"EDQUOT": syscall.EDQUOT,
+	"EIO":    syscall.EIO,
+	"EROFS":  syscall.EROFS,
+	"ENODEV": syscall.ENODEV,
+	"ENXIO":  syscall.ENXIO,
+	"ESTALE": syscall.ESTALE,
+	"ENOENT": syscall.ENOENT,
+	"EACCES": syscall.EACCES,
+	"EPERM":  syscall.EPERM,
+	"EINTR":  syscall.EINTR,
+	"EAGAIN": syscall.EAGAIN,
+}
+
+// ErrnoNames lists the symbolic errno names a schedule accepts, sorted.
+func ErrnoNames() []string {
+	names := make([]string, 0, len(errnoByName))
+	for n := range errnoByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var kindNames = map[Kind]string{KindError: "error", KindDelay: "delay", KindPanic: "panic"}
+
+// ParseSchedule parses the spec grammar above. The empty string yields
+// an empty schedule (valid: arming it is a no-op).
+func ParseSchedule(spec string) (*Schedule, error) {
+	s := &Schedule{Seed: 1}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok && !strings.Contains(clause, ",") {
+			seed, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed clause %q: %v", clause, err)
+			}
+			s.Seed = seed
+			continue
+		}
+		step := Step{Kind: KindError}
+		for _, kv := range strings.Split(clause, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: step clause %q: %q is not key=value", clause, kv)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			switch key {
+			case "site":
+				step.Site = val
+			case "kind":
+				switch val {
+				case "error":
+					step.Kind = KindError
+				case "delay":
+					step.Kind = KindDelay
+				case "panic":
+					step.Kind = KindPanic
+				default:
+					return nil, fmt.Errorf("fault: unknown kind %q (accepted: error, delay, panic)", val)
+				}
+			case "errno":
+				if _, ok := errnoByName[val]; !ok {
+					return nil, fmt.Errorf("fault: unknown errno %q (accepted: %s)",
+						val, strings.Join(ErrnoNames(), ", "))
+				}
+				step.Errno = val
+			case "prob":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("fault: bad prob %q (want 0..1)", val)
+				}
+				step.Prob = p
+			case "count":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: bad count %q", val)
+				}
+				step.Count = n
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("fault: bad delay %q", val)
+				}
+				step.Delay = d
+			default:
+				return nil, fmt.Errorf("fault: unknown step key %q in %q", key, clause)
+			}
+		}
+		if step.Site == "" {
+			return nil, fmt.Errorf("fault: step clause %q has no site", clause)
+		}
+		if step.Errno != "" && step.Kind != KindError {
+			return nil, fmt.Errorf("fault: step clause %q sets errno on a non-error kind", clause)
+		}
+		s.Steps = append(s.Steps, step)
+	}
+	return s, nil
+}
+
+// String renders the schedule back into the spec grammar; ParseSchedule
+// of the result yields an equal schedule.
+func (s *Schedule) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", s.Seed)}
+	for _, st := range s.Steps {
+		kvs := []string{"site=" + st.Site, "kind=" + kindNames[st.Kind]}
+		if st.Errno != "" {
+			kvs = append(kvs, "errno="+st.Errno)
+		}
+		if st.Prob > 0 {
+			kvs = append(kvs, "prob="+strconv.FormatFloat(st.Prob, 'g', -1, 64))
+		}
+		if st.Count > 0 {
+			kvs = append(kvs, "count="+strconv.FormatInt(st.Count, 10))
+		}
+		if st.Delay > 0 {
+			kvs = append(kvs, "delay="+st.Delay.String())
+		}
+		parts = append(parts, strings.Join(kvs, ","))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Arm enables every step of the schedule concurrently. Each step's
+// probability roll is seeded from the schedule seed and the step index,
+// so re-arming the same spec reproduces the same firing sequence. A
+// later step for a site already armed by this schedule replaces it
+// (Enable semantics).
+func (s *Schedule) Arm() {
+	for i, st := range s.Steps {
+		f := Fault{
+			Kind:  st.Kind,
+			Delay: st.Delay,
+			Prob:  st.Prob,
+			Count: st.Count,
+			Seed:  s.Seed + int64(i)*0x9E3779B9,
+		}
+		if st.Errno != "" {
+			f.Err = errnoByName[st.Errno]
+		}
+		Enable(st.Site, f)
+	}
+}
+
+// Disarm disables every site the schedule armed.
+func (s *Schedule) Disarm() {
+	for _, st := range s.Steps {
+		Disable(st.Site)
+	}
+}
+
+// ScheduleFromEnv parses and arms a schedule from an environment
+// variable (hjserve's HJ_CHAOS hook). Unset or empty is a no-op; a
+// malformed spec returns the error unarmed.
+func ScheduleFromEnv(value string) (*Schedule, error) {
+	if strings.TrimSpace(value) == "" {
+		return nil, nil
+	}
+	s, err := ParseSchedule(value)
+	if err != nil {
+		return nil, err
+	}
+	s.Arm()
+	return s, nil
+}

@@ -1,0 +1,206 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Chaos-schedule contract: the spec grammar parses and round-trips,
+// arming is deterministic under a seed, and malformed specs are
+// rejected with a diagnostic instead of silently arming nothing.
+
+func TestParseScheduleValid(t *testing.T) {
+	spec := " seed=7 ; site=spill.write, kind=error, errno=EIO, prob=0.3, count=2 ;" +
+		" site=native.worker, kind=panic, prob=0.05 ;" +
+		" site=spill.read, kind=delay, delay=2ms "
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	want := &Schedule{Seed: 7, Steps: []Step{
+		{Site: SiteSpillWrite, Kind: KindError, Errno: "EIO", Prob: 0.3, Count: 2},
+		{Site: SiteMorselWorker, Kind: KindPanic, Prob: 0.05},
+		{Site: SiteSpillRead, Kind: KindDelay, Delay: 2 * time.Millisecond},
+	}}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("ParseSchedule = %+v, want %+v", s, want)
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";;"} {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", spec, err)
+		}
+		if len(s.Steps) != 0 || s.Seed != 1 {
+			t.Fatalf("ParseSchedule(%q) = %+v, want empty schedule with seed 1", spec, s)
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []struct {
+		spec, wantSub string
+	}{
+		{"seed=x", "bad seed"},
+		{"site=spill.write,kind=flaky", "unknown kind"},
+		{"site=spill.write,errno=EBOGUS", "unknown errno"},
+		{"site=spill.write,prob=1.5", "bad prob"},
+		{"site=spill.write,prob=nope", "bad prob"},
+		{"site=spill.write,count=-1", "bad count"},
+		{"site=spill.write,delay=fast", "bad delay"},
+		{"site=spill.write,color=red", "unknown step key"},
+		{"kind=error,errno=EIO", "no site"},
+		{"site=spill.write,kind=panic,errno=EIO", "errno on a non-error kind"},
+		{"site=spill.write,kind", "not key=value"},
+	}
+	for _, c := range cases {
+		_, err := ParseSchedule(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseSchedule(%q) error = %v, want substring %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	spec := "seed=42;site=spill.write,kind=error,errno=ENOSPC,prob=0.25,count=3;" +
+		"site=serve.request,kind=panic,count=1;site=spill.read,kind=delay,delay=1ms"
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	again, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatalf("ParseSchedule(String()): %v", err)
+	}
+	if !reflect.DeepEqual(s, again) {
+		t.Fatalf("round trip changed the schedule:\n  first  %+v\n  second %+v", s, again)
+	}
+}
+
+// TestScheduleArmDeterministic: two armings of the same spec fire the
+// same hit pattern — the reproducibility promise a CI failure line
+// depends on.
+func TestScheduleArmDeterministic(t *testing.T) {
+	defer Reset()
+	spec := "seed=99;site=spill.write,kind=error,errno=EIO,prob=0.4"
+	fire := func() []bool {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("ParseSchedule: %v", err)
+		}
+		s.Arm()
+		var hits []bool
+		for i := 0; i < 64; i++ {
+			hits = append(hits, Hit(SiteSpillWrite) != nil)
+		}
+		s.Disarm()
+		return hits
+	}
+	first, second := fire(), fire()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("same schedule spec fired differently across armings")
+	}
+	fired := 0
+	for _, h := range first {
+		if h {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(first) {
+		t.Fatalf("prob=0.4 fired %d/%d times; the roll is not probabilistic", fired, len(first))
+	}
+}
+
+// TestScheduleArmErrno: an armed errno step injects an error matching
+// both the injected-fault class and the symbolic errno.
+func TestScheduleArmErrno(t *testing.T) {
+	defer Reset()
+	s, err := ParseSchedule("site=spill.write,kind=error,errno=ENOSPC,count=1")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	s.Arm()
+	hit := Hit(SiteSpillWrite)
+	if hit == nil {
+		t.Fatal("count=1 step did not fire on first hit")
+	}
+	if !errors.Is(hit, syscall.ENOSPC) {
+		t.Fatalf("injected error %v does not match ENOSPC", hit)
+	}
+	if Hit(SiteSpillWrite) != nil {
+		t.Fatal("count=1 step fired twice")
+	}
+	s.Disarm()
+	if Hit(SiteSpillWrite) != nil {
+		t.Fatal("disarmed site still fires")
+	}
+}
+
+func TestScheduleFromEnv(t *testing.T) {
+	defer Reset()
+	if s, err := ScheduleFromEnv(""); s != nil || err != nil {
+		t.Fatalf("empty env = (%v, %v), want (nil, nil)", s, err)
+	}
+	if s, err := ScheduleFromEnv("site=x,kind=bogus"); s != nil || err == nil {
+		t.Fatalf("malformed env = (%v, %v), want error unarmed", s, err)
+	}
+	s, err := ScheduleFromEnv("site=spill.write,kind=error,count=1")
+	if err != nil || s == nil {
+		t.Fatalf("valid env = (%v, %v)", s, err)
+	}
+	if Hit(SiteSpillWrite) == nil {
+		t.Fatal("ScheduleFromEnv did not arm the schedule")
+	}
+	s.Disarm()
+}
+
+func TestErrnoNamesSorted(t *testing.T) {
+	names := ErrnoNames()
+	if len(names) != len(errnoByName) {
+		t.Fatalf("ErrnoNames() lists %d names, registry has %d", len(names), len(errnoByName))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("ErrnoNames() not sorted: %v", names)
+		}
+	}
+}
+
+// FuzzChaosSchedule: any spec that parses must render (String) back to
+// a spec that re-parses to an equal schedule, and must arm and disarm
+// without panicking or leaving residue.
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add("")
+	f.Add("seed=7")
+	f.Add("seed=7;site=spill.write,kind=error,errno=EIO,prob=0.3,count=2")
+	f.Add("site=native.worker,kind=panic,prob=0.05;site=spill.read,kind=delay,delay=2ms")
+	f.Add("site=a,kind=error;site=a,kind=delay,delay=1ns")
+	f.Add("seed=-9223372036854775808;site=x,kind=error,prob=1,count=0")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			return
+		}
+		defer Reset()
+		again, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("String() %q of valid schedule does not re-parse: %v", s.String(), err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round trip changed schedule for %q:\n  first  %+v\n  second %+v", spec, s, again)
+		}
+		s.Arm()
+		s.Disarm()
+		for _, st := range s.Steps {
+			if Hits(st.Site) != 0 && Hit(st.Site) != nil {
+				t.Fatalf("site %q still armed after Disarm", st.Site)
+			}
+		}
+	})
+}

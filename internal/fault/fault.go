@@ -29,7 +29,9 @@ const (
 	SiteSpillRead    = "spill.read"    // read-ahead page read
 	SiteSpillSync    = "spill.sync"    // writer finish barrier
 	SiteSpillRemove  = "spill.remove"  // temp-dir removal at close
+	SiteSpillVerify  = "spill.verify"  // page integrity check (fires = flip a payload byte)
 	SiteMorselWorker = "native.worker" // morsel worker pair claim
+	SiteServeRequest = "serve.request" // hjserve per-request dispatch
 )
 
 // Kind selects what an armed failpoint does when it fires.

@@ -117,7 +117,11 @@ func effectiveBudget(cfg Config) int {
 // coordinator the classic ladder runs unchanged, so NoSpill semantics
 // (*BudgetError) are preserved.
 func (j *pairJoiner) joinPairHybrid(build, probe []Entry, shift uint, cfg Config) (int, error) {
-	if j.spill == nil || !overBudget(pairFootprint(len(build), j.width), cfg.MemBudget, 1) {
+	// An unavailable spill tier (every directory unhealthy) routes through
+	// joinPairBudget too: it degrades to in-memory re-partitioning while
+	// hash bits remain and sheds with *SpillUnavailableError after.
+	if j.spill == nil || !j.spill.available() ||
+		!overBudget(pairFootprint(len(build), j.width), cfg.MemBudget, 1) {
 		return j.joinPairBudget(build, probe, shift, cfg, 0)
 	}
 	hotBuild, coldBuild, hotProbe, coldProbe := j.splitHotCodes(build, probe, cfg.MemBudget)

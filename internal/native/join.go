@@ -216,13 +216,22 @@ func (j *pairJoiner) joinPairBudget(build, probe []Entry, shift uint, cfg Config
 		// The final tier of the ladder joins the pair out of core in
 		// budget-sized build chunks; only Config.NoSpill (or a schema
 		// that cannot round-trip through slotted pages) still fails.
-		if j.spill != nil {
+		switch {
+		case j.spill == nil:
+			return depth, &BudgetError{Budget: cfg.MemBudget, Need: need, Depth: depth}
+		case j.spill.available():
 			if cfg.Hybrid {
 				return depth, j.joinPairSpillHybrid(build, probe, shift, cfg)
 			}
 			return depth, j.joinPairSpill(build, probe, shift, cfg)
+		case bitsLeft > 0:
+			// Every spill directory is down but hash bits remain: degrade
+			// back *up* the ladder and keep re-partitioning in memory past
+			// the depth cap. The 32 hash bits bound this, so a pair that
+			// stays irreducible all the way down still sheds below.
+		default:
+			return depth, j.spill.unavailable()
 		}
-		return depth, &BudgetError{Budget: cfg.MemBudget, Need: need, Depth: depth}
 	}
 	sub := subFanoutFor(need, cfg.MemBudget, bitsLeft)
 	subBits := uint(bits.TrailingZeros(uint(sub)))

@@ -257,6 +257,13 @@ type Result struct {
 	SpillWriteStall   time.Duration
 	SpillReadStall    time.Duration
 
+	// SpillFailovers counts spill directories declared failed mid-join
+	// (writes moved to the next healthy directory); SpillRebuilds counts
+	// partitions whose on-disk data was rebuilt from the in-memory
+	// source after a failed or corrupt file. Both zero on a healthy run.
+	SpillFailovers int64
+	SpillRebuilds  int64
+
 	// Hybrid is the adaptive hybrid hash join's pair accounting; zero
 	// unless Config.Hybrid was set. See HybridStats.
 	Hybrid HybridStats
@@ -383,6 +390,8 @@ func (jn *Joiner) Join(build, probe *storage.Relation, cfg Config) (Result, erro
 	r.SpillBytesRead = spStats.BytesRead
 	r.SpillWriteStall = spStats.WriteStall
 	r.SpillReadStall = spStats.ReadStall
+	r.SpillFailovers = spStats.Failovers
+	r.SpillRebuilds = spStats.Rebuilds
 	r.PartitionTime = partDone.Sub(start)
 	r.JoinTime = end.Sub(partDone)
 	r.Elapsed = end.Sub(start)

@@ -3,6 +3,8 @@ package native
 import (
 	"context"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"sync"
 
 	"hashjoin/internal/arena"
@@ -128,6 +130,26 @@ func (sp *spillState) manager() (*spill.Manager, error) {
 	return sp.m, sp.merr
 }
 
+// available reports whether the out-of-core tier can accept a pair: the
+// Manager either exists (or can still be created) and at least one
+// configured spill directory is healthy. joinPairBudget consults it
+// before committing a pair to disk; a false answer degrades the pair
+// back up the ladder (or sheds it with unavailable()).
+func (sp *spillState) available() bool {
+	sp.mu.Lock()
+	bad := sp.merr != nil
+	sp.mu.Unlock()
+	return !bad && spill.AnyHealthy(sp.dir)
+}
+
+// unavailable builds the typed shed error for a pair the out-of-core
+// tier cannot take.
+func (sp *spillState) unavailable() error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return spill.Unavailable(sp.dir, sp.merr)
+}
+
 // finish closes the Manager — removing every spill file — and reports
 // the harvested I/O stats and spilled pair count. Safe on a nil
 // spillState and idempotent, so Joiner.Join can call it on both the
@@ -158,17 +180,17 @@ func (j *pairJoiner) joinPairSpill(build, probe []Entry, shift uint, cfg Config)
 	}
 	sp.pairs++
 
-	bw, err := sp.spillPartition(m, j.data, build, sp.buildWidth)
-	if err != nil {
+	bs := &spillSide{data: j.data, entries: build, width: sp.buildWidth}
+	if err := sp.writeSide(m, bs); err != nil {
 		return err
 	}
-	pw, err := sp.spillPartition(m, j.data, probe, sp.probeWidth)
-	if err != nil {
+	ps := &spillSide{data: j.data, entries: probe, width: sp.probeWidth}
+	if err := sp.writeSide(m, ps); err != nil {
 		return err
 	}
 
 	chunkPages := sp.chunkPages()
-	br := bw.OpenReader()
+	br := sp.openSide(m, bs)
 	defer br.Close()
 	pinned := j.spillPinned[:0]
 	defer func() {
@@ -177,7 +199,7 @@ func (j *pairJoiner) joinPairSpill(build, probe []Entry, shift uint, cfg Config)
 		}
 		j.spillPinned = pinned[:0]
 	}()
-	var pr *spill.Reader
+	var pr *sideReader
 	defer func() {
 		if pr != nil {
 			pr.Close()
@@ -217,7 +239,7 @@ func (j *pairJoiner) joinPairSpill(build, probe []Entry, shift uint, cfg Config)
 		}
 		j.buildSerial(j.spillBuild, shift, cfg.Scheme)
 
-		pr = pw.OpenReader()
+		pr = sp.openSide(m, ps)
 		pos := 0
 		for {
 			pg, ok, err := pr.Next()
@@ -251,10 +273,26 @@ func (j *pairJoiner) joinPairSpill(build, probe []Entry, shift uint, cfg Config)
 	return nil
 }
 
+// spillSide is one side of a spilled pair together with its immutable
+// in-memory source: the entries still reference arena-resident tuples,
+// so a partition whose file fails or corrupts can be rebuilt bit-for-bit
+// (spillPartition appends in slice order, so the rebuilt stream decodes
+// to the identical entry sequence). rebuilt bounds recovery to one
+// rebuild attempt per partition — a second failure propagates.
+type spillSide struct {
+	data    []byte
+	entries []Entry
+	width   int
+	w       *spill.Writer
+	rebuilt bool
+}
+
 // spillPartition writes one side's entries to a disk partition: tuple
 // bytes plus the memoized hash code, exactly the slot layout the
 // in-memory partition phase uses (§7.1), so nothing is recomputed on
-// the way back in.
+// the way back in. On failure the partially written Writer (when one
+// was created) is returned alongside the error so the caller can
+// quarantine it.
 func (sp *spillState) spillPartition(m *spill.Manager, data []byte, entries []Entry, width int) (*spill.Writer, error) {
 	w, err := m.NewWriter()
 	if err != nil {
@@ -264,13 +302,117 @@ func (sp *spillState) spillPartition(m *spill.Manager, data []byte, entries []En
 		e := &entries[i]
 		base := e.Ref - arena.Base
 		if err := w.Append(data[base:base+uint64(width)], e.Code); err != nil {
-			return nil, err
+			return w, err
 		}
 	}
 	if err := w.Finish(); err != nil {
-		return nil, err
+		return w, err
 	}
 	return w, nil
+}
+
+// writeSide spills one side to disk with directory failover: a write
+// that fails with a *DirFailedError (the directory is now marked
+// unhealthy) quarantines the partial file and rewrites the partition,
+// which lands on the next healthy directory. The loop is bounded by the
+// configured directory count; when every directory has failed in turn
+// the typed *SpillUnavailableError sheds the query.
+func (sp *spillState) writeSide(m *spill.Manager, s *spillSide) error {
+	var lastErr error
+	for attempt := 0; attempt <= len(m.Dirs()); attempt++ {
+		w, err := sp.spillPartition(m, s.data, s.entries, s.width)
+		if err == nil {
+			s.w = w
+			return nil
+		}
+		var dfe *spill.DirFailedError
+		if !errors.As(err, &dfe) {
+			return err
+		}
+		if w != nil {
+			m.Quarantine(w)
+			m.NoteRebuild()
+		}
+		lastErr = err
+	}
+	return spill.Unavailable(sp.dir, lastErr)
+}
+
+// sideReader streams a spilled side back, recovering from a failed or
+// corrupt partition file by rebuilding it from the in-memory source and
+// resuming at the exact page where the stream left off. Pages are
+// written (and therefore decoded) deterministically, so the resumed
+// stream is indistinguishable from an unfailed one — that is what makes
+// recovery output bit-identical.
+type sideReader struct {
+	sp        *spillState
+	m         *spill.Manager
+	side      *spillSide
+	r         *spill.Reader
+	delivered int // pages already handed to the caller this pass
+}
+
+// openSide starts one streaming pass over a spilled side.
+func (sp *spillState) openSide(m *spill.Manager, s *spillSide) *sideReader {
+	return &sideReader{sp: sp, m: m, side: s, r: s.w.OpenReader()}
+}
+
+// Next delivers the next page, transparently rebuilding the partition
+// on a recoverable failure.
+func (sr *sideReader) Next() (spill.Page, bool, error) {
+	for {
+		pg, ok, err := sr.r.Next()
+		if err == nil {
+			if ok {
+				sr.delivered++
+			}
+			return pg, ok, nil
+		}
+		if rerr := sr.recover(err); rerr != nil {
+			return spill.Page{}, false, rerr
+		}
+	}
+}
+
+// Close releases the underlying reader's in-flight buffer.
+func (sr *sideReader) Close() { sr.r.Close() }
+
+// recover handles one read failure: quarantine the file, rebuild the
+// partition from the immutable in-memory source (once per partition),
+// reopen, and skip the pages already delivered. Cancellation and
+// second failures propagate unchanged.
+func (sr *sideReader) recover(cause error) error {
+	if sr.sp.ctx != nil && sr.sp.ctx.Err() != nil {
+		return cause
+	}
+	if sr.side.rebuilt {
+		return cause
+	}
+	sr.side.rebuilt = true
+	// Order matters: Close drains the in-flight read-ahead before
+	// Quarantine closes the file under it.
+	sr.r.Close()
+	sr.m.Quarantine(sr.side.w)
+	sr.m.NoteRebuild()
+	if err := sr.sp.writeSide(sr.m, sr.side); err != nil {
+		return err
+	}
+	r := sr.side.w.OpenReader()
+	for i := 0; i < sr.delivered; i++ {
+		pg, ok, err := r.Next()
+		if err != nil {
+			r.Close()
+			return err
+		}
+		if !ok {
+			r.Close()
+			return fmt.Errorf("native: rebuilt spill partition %s has %d pages, resuming at %d: %w",
+				sr.side.w.Path(), i, sr.delivered, cause)
+		}
+		sr.m.Release(pg)
+	}
+	sr.r = r
+	return nil
 }
 
 // appendPageEntries decodes a spilled page's slot area back into join

@@ -1,0 +1,282 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Directory health tracking for the self-healing spill tier. A spill
+// Manager may be configured with an ordered list of parent directories
+// (Config.Dir accepts a comma-separated list); I/O errors that indict
+// the *medium* rather than the query — ENOSPC, EIO, EROFS and friends —
+// mark the directory unhealthy in a process-wide registry, and the
+// Manager fails over to the next healthy directory instead of failing
+// the join. Unhealthy directories are re-probed (throttled) with a real
+// write/read/remove cycle, so a recovered disk rejoins the rotation
+// without a restart.
+//
+// The registry is process-global on purpose: directory health is a
+// property of the host, not of one join, and a long-lived service
+// (hjserve) wants every query to benefit from — and contribute to — one
+// shared view of which spill volumes work.
+
+// ErrSpillUnavailable is the sentinel every *SpillUnavailableError
+// unwraps to: no configured spill directory could accept writes.
+var ErrSpillUnavailable = errors.New("spill: no healthy spill directory")
+
+// SpillUnavailableError reports that the out-of-core tier is down: every
+// configured directory is unhealthy (or failed over in turn). It is a
+// retryable, query-scoped failure — the query sheds, the service keeps
+// running, and a later query re-probes the directories.
+type SpillUnavailableError struct {
+	Dirs  []string // the configured directory list ("" means the OS temp dir)
+	Cause error    // the last per-directory failure, when one is known
+}
+
+func (e *SpillUnavailableError) Error() string {
+	msg := fmt.Sprintf("spill: all %d spill directories unhealthy", len(e.Dirs))
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+func (e *SpillUnavailableError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrSpillUnavailable, e.Cause}
+	}
+	return []error{ErrSpillUnavailable}
+}
+
+// DirFailedError wraps an I/O error that indicted a spill directory
+// rather than the query: the directory has been marked unhealthy and
+// the partition that hit it can be rebuilt on the next healthy one.
+type DirFailedError struct {
+	Dir   string // the configured parent directory ("" = OS temp)
+	Cause error
+}
+
+func (e *DirFailedError) Error() string {
+	return fmt.Sprintf("spill: directory %s failed: %v", displayDir(e.Dir), e.Cause)
+}
+
+func (e *DirFailedError) Unwrap() error { return e.Cause }
+
+// DirHealth is one directory's entry in the health registry, surfaced
+// by Health for /healthz-style reporting.
+type DirHealth struct {
+	Dir     string // configured parent directory ("" = OS temp)
+	Healthy bool
+	Cause   string    // why it was marked unhealthy ("" when healthy)
+	Since   time.Time // when it was marked unhealthy (zero when healthy)
+}
+
+// dirPermanent reports whether an I/O error indicts the directory (its
+// filesystem or device) rather than the operation: out of space or
+// quota, a read-only or vanished mount, a device-level I/O failure.
+// Injected faults and ordinary corruption are not in this class — they
+// must fail (or rebuild) the query without poisoning the directory.
+func dirPermanent(err error) bool {
+	for _, errno := range []syscall.Errno{
+		syscall.ENOSPC, syscall.EDQUOT, syscall.EIO, syscall.EROFS,
+		syscall.ENODEV, syscall.ENXIO, syscall.ESTALE,
+		syscall.ENOENT, syscall.ENOTDIR, syscall.EACCES, syscall.EPERM,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseDirs splits a comma-separated spill-directory spec into the
+// ordered directory list, trimming whitespace and dropping empty
+// entries. An empty (or all-empty) spec yields [""], the OS temp dir.
+func ParseDirs(spec string) []string {
+	var dirs []string
+	for _, d := range strings.Split(spec, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			dirs = append(dirs, d)
+		}
+	}
+	if len(dirs) == 0 {
+		return []string{""}
+	}
+	return dirs
+}
+
+// probeThrottle bounds how often one unhealthy directory is re-probed;
+// failed media tends to stay failed for a while, and a probe is three
+// real syscalls.
+const probeThrottle = time.Second
+
+// dirFault is one unhealthy directory's registry entry.
+type dirFault struct {
+	cause     error
+	since     time.Time
+	lastProbe time.Time
+}
+
+var (
+	healthMu  sync.Mutex
+	unhealthy = map[string]*dirFault{}
+)
+
+// canonDir resolves the registry key for a configured parent directory:
+// "" means the OS temp directory, like os.MkdirTemp.
+func canonDir(parent string) string {
+	if parent == "" {
+		return os.TempDir()
+	}
+	return parent
+}
+
+// displayDir renders a configured parent for error messages.
+func displayDir(parent string) string {
+	if parent == "" {
+		return os.TempDir() + " (default)"
+	}
+	return parent
+}
+
+// markDirUnhealthy records a directory failure in the registry. Already-
+// unhealthy directories keep their original cause and timestamp. The
+// probe clock starts now: the failure itself is fresh evidence, so the
+// first revival probe waits out a full throttle interval.
+func markDirUnhealthy(parent string, cause error) {
+	key := canonDir(parent)
+	healthMu.Lock()
+	if _, ok := unhealthy[key]; !ok {
+		unhealthy[key] = &dirFault{cause: cause, since: time.Now(), lastProbe: time.Now()}
+	}
+	healthMu.Unlock()
+}
+
+// dirHealthy reports whether a directory is currently usable. An
+// unhealthy directory is re-probed at most once per probeThrottle; a
+// passing probe revives it.
+func dirHealthy(parent string) bool {
+	key := canonDir(parent)
+	healthMu.Lock()
+	f, bad := unhealthy[key]
+	if !bad {
+		healthMu.Unlock()
+		return true
+	}
+	if time.Since(f.lastProbe) < probeThrottle {
+		healthMu.Unlock()
+		return false
+	}
+	f.lastProbe = time.Now()
+	healthMu.Unlock()
+
+	if probeDir(key) != nil {
+		return false
+	}
+	healthMu.Lock()
+	delete(unhealthy, key)
+	healthMu.Unlock()
+	return true
+}
+
+// probeDir checks that a directory actually accepts I/O: create a file,
+// write, read back, remove. This is the revival test — registry state
+// never flips back to healthy on faith alone.
+func probeDir(dir string) error {
+	f, err := os.CreateTemp(dir, ".hjspill-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	defer os.Remove(name)
+	if _, err := f.Write([]byte("hjspill-probe")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.ReadAt(make([]byte, 13), 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// AnyHealthy reports whether at least one directory of a comma-
+// separated spec is currently usable, probing (throttled) unhealthy
+// ones. The native join consults it before committing a pair to the
+// out-of-core tier.
+func AnyHealthy(spec string) bool {
+	for _, d := range ParseDirs(spec) {
+		if dirHealthy(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unavailable builds the typed all-directories-down error for a spec.
+// When the caller has no cause in hand, the registry supplies the first
+// per-directory failure — so the shed error still matches (errors.Is)
+// the errno that took the tier down.
+func Unavailable(spec string, cause error) *SpillUnavailableError {
+	return unavailableDirs(ParseDirs(spec), cause)
+}
+
+func unavailableDirs(dirs []string, cause error) *SpillUnavailableError {
+	if cause == nil {
+		healthMu.Lock()
+		for _, d := range dirs {
+			if f, bad := unhealthy[canonDir(d)]; bad {
+				cause = f.cause
+				break
+			}
+		}
+		healthMu.Unlock()
+	}
+	return &SpillUnavailableError{Dirs: dirs, Cause: cause}
+}
+
+// Health snapshots the registry state of every directory in a comma-
+// separated spec, in spec order, without probing.
+func Health(spec string) []DirHealth {
+	dirs := ParseDirs(spec)
+	out := make([]DirHealth, 0, len(dirs))
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	for _, d := range dirs {
+		h := DirHealth{Dir: d, Healthy: true}
+		if f, bad := unhealthy[canonDir(d)]; bad {
+			h.Healthy = false
+			h.Cause = f.cause.Error()
+			h.Since = f.since
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// Revive probes every unhealthy directory of a spec (throttled) and
+// returns the refreshed health snapshot — the hook a service's periodic
+// reviver calls so recovered disks rejoin the rotation between queries.
+func Revive(spec string) []DirHealth {
+	for _, d := range ParseDirs(spec) {
+		dirHealthy(d)
+	}
+	return Health(spec)
+}
+
+// ResetHealth clears the registry. Tests that poison directories must
+// call it (deferred) so later tests see a clean host view.
+func ResetHealth() {
+	healthMu.Lock()
+	unhealthy = map[string]*dirFault{}
+	healthMu.Unlock()
+}

@@ -1,0 +1,337 @@
+package spill
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hashjoin/internal/arena"
+	"hashjoin/internal/fault"
+)
+
+// Tests for the self-healing directory tier: spec parsing, the health
+// registry, write-failure failover between configured directories,
+// quarantine, the all-dirs-down typed shed, and probe-driven revival.
+
+func TestParseDirs(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"", []string{""}},
+		{" , ,", []string{""}},
+		{"/a", []string{"/a"}},
+		{"/a,/b", []string{"/a", "/b"}},
+		{" /a , /b ,, /c ", []string{"/a", "/b", "/c"}},
+	}
+	for _, c := range cases {
+		if got := ParseDirs(c.spec); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseDirs(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+// twoDirManager builds a Manager over two fresh temp parents and
+// returns it with the parent list.
+func twoDirManager(t *testing.T) (*Manager, []string) {
+	t.Helper()
+	t.Cleanup(ResetHealth)
+	dirs := []string{t.TempDir(), t.TempDir()}
+	m, err := NewManager(Config{
+		Dir:      strings.Join(dirs, ","),
+		PageSize: 512,
+		A:        arena.New(1 << 20),
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, dirs
+}
+
+// TestWriteDirFailureFailsOver: an EIO surfacing from a page write
+// indicts the first directory — the writer gets a typed *DirFailedError
+// still matching the errno, the registry marks the dir unhealthy, the
+// failover counter ticks, and the next writer lands in the second
+// configured directory.
+func TestWriteDirFailureFailsOver(t *testing.T) {
+	defer fault.Reset()
+	m, dirs := twoDirManager(t)
+
+	if got := m.Dirs(); !reflect.DeepEqual(got, dirs) {
+		t.Fatalf("Dirs() = %v, want %v", got, dirs)
+	}
+	if !strings.HasPrefix(m.Dir(), dirs[0]+string(os.PathSeparator)) {
+		t.Fatalf("first subdir %q not under first parent %q", m.Dir(), dirs[0])
+	}
+
+	fault.Enable(fault.SiteSpillWrite, fault.Fault{Kind: fault.KindError, Err: syscall.EIO, Count: 1})
+	w, err := m.NewWriter()
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := w.Append(tupleFor(i, 24), uint32(i)); err != nil {
+			break
+		}
+	}
+	err = w.Finish()
+	var dfe *DirFailedError
+	if !errors.As(err, &dfe) {
+		t.Fatalf("Finish error %T (%v), want *DirFailedError", err, err)
+	}
+	if dfe.Dir != dirs[0] {
+		t.Fatalf("DirFailedError.Dir = %q, want %q", dfe.Dir, dirs[0])
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("DirFailedError lost its errno: %v", err)
+	}
+
+	h := Health(strings.Join(dirs, ","))
+	if len(h) != 2 || h[0].Healthy || !h[1].Healthy {
+		t.Fatalf("health after failure = %+v, want [unhealthy healthy]", h)
+	}
+	if h[0].Cause == "" || h[0].Since.IsZero() {
+		t.Fatalf("unhealthy entry missing cause/since: %+v", h[0])
+	}
+	if got := m.Stats().Failovers; got != 1 {
+		t.Fatalf("Stats().Failovers = %d, want 1", got)
+	}
+
+	// The quarantined partition's file is the caller's to disown.
+	m.Quarantine(w)
+	if got := m.Stats().Quarantined; got != 1 {
+		t.Fatalf("Stats().Quarantined = %d, want 1", got)
+	}
+
+	// A fresh writer must land under the second parent and round-trip.
+	w2, err := m.NewWriter()
+	if err != nil {
+		t.Fatalf("NewWriter after failover: %v", err)
+	}
+	if !strings.HasPrefix(w2.Path(), dirs[1]+string(os.PathSeparator)) {
+		t.Fatalf("failover writer path %q not under %q", w2.Path(), dirs[1])
+	}
+	for i := 0; i < 200; i++ {
+		if err := w2.Append(tupleFor(i, 24), uint32(i)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if err := w2.Finish(); err != nil {
+		t.Fatalf("Finish after failover: %v", err)
+	}
+	r := w2.OpenReader()
+	defer r.Close()
+	n := 0
+	for {
+		p, ok, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		n += p.NTuples()
+		m.Release(p)
+	}
+	if n != 200 {
+		t.Fatalf("read back %d tuples, want 200", n)
+	}
+}
+
+// TestQuarantineRenames: Quarantine disowns the file so Close does not
+// try to remove it, and tags it .quarantined for the operator.
+func TestQuarantineRenames(t *testing.T) {
+	m := newTestManager(t, 512)
+	w := writePartition(t, m, 50, 24)
+	path := w.Path()
+	m.Quarantine(w)
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("original spill file still present: %v", err)
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close with quarantined file: %v", err)
+	}
+}
+
+// TestNewManagerAllDirsDown: when every configured parent is unusable,
+// NewManager sheds with the typed, retryable *SpillUnavailableError.
+func TestNewManagerAllDirsDown(t *testing.T) {
+	t.Cleanup(ResetHealth)
+	spec := "/nonexistent/hjspill-a,/nonexistent/hjspill-b"
+	_, err := NewManager(Config{Dir: spec, PageSize: 512, A: arena.New(1 << 20)})
+	var sue *SpillUnavailableError
+	if !errors.As(err, &sue) {
+		t.Fatalf("NewManager error %T (%v), want *SpillUnavailableError", err, err)
+	}
+	if !errors.Is(err, ErrSpillUnavailable) {
+		t.Fatalf("error does not match ErrSpillUnavailable: %v", err)
+	}
+	if len(sue.Dirs) != 2 {
+		t.Fatalf("SpillUnavailableError.Dirs = %v, want both configured dirs", sue.Dirs)
+	}
+	if AnyHealthy(spec) {
+		t.Fatal("AnyHealthy true for nonexistent dirs after registration")
+	}
+}
+
+// TestReviveAfterRecovery: an unhealthy directory rejoins the rotation
+// once a (backdated, un-throttled) probe passes — and Health alone
+// never revives, because it does not probe.
+func TestReviveAfterRecovery(t *testing.T) {
+	t.Cleanup(ResetHealth)
+	dir := t.TempDir()
+	markDirUnhealthy(dir, syscall.EIO)
+
+	if h := Health(dir); h[0].Healthy {
+		t.Fatal("Health revived a dir without probing")
+	}
+	// Freshly failed: the throttle suppresses an immediate probe even
+	// though the underlying directory would pass one.
+	if dirHealthy(dir) {
+		t.Fatal("dir revived before the probe throttle elapsed")
+	}
+
+	// Backdate the probe clock (same-package access) instead of
+	// sleeping out the real throttle.
+	healthMu.Lock()
+	unhealthy[canonDir(dir)].lastProbe = time.Now().Add(-2 * probeThrottle)
+	healthMu.Unlock()
+
+	h := Revive(dir)
+	if !h[0].Healthy {
+		t.Fatalf("Revive did not restore a healthy dir: %+v", h[0])
+	}
+	if !AnyHealthy(dir) {
+		t.Fatal("AnyHealthy false after revival")
+	}
+}
+
+// TestReviveStaysDownWhenBroken: a probe against a genuinely broken
+// directory keeps it out of the rotation.
+func TestReviveStaysDownWhenBroken(t *testing.T) {
+	t.Cleanup(ResetHealth)
+	dir := filepath.Join(t.TempDir(), "gone")
+	markDirUnhealthy(dir, syscall.ENOENT)
+	healthMu.Lock()
+	unhealthy[canonDir(dir)].lastProbe = time.Now().Add(-2 * probeThrottle)
+	healthMu.Unlock()
+	if h := Revive(dir); h[0].Healthy {
+		t.Fatal("Revive restored a nonexistent dir")
+	}
+}
+
+// TestInjectedFaultDoesNotPoisonDir: a generic injected write fault
+// (no errno) fails the query, not the directory — the registry must
+// stay clean so unrelated queries keep their spill tier.
+func TestInjectedFaultDoesNotPoisonDir(t *testing.T) {
+	defer fault.Reset()
+	t.Cleanup(ResetHealth)
+	dir := t.TempDir()
+	m, err := NewManager(Config{Dir: dir, PageSize: 512, A: arena.New(1 << 20)})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+
+	fault.Enable(fault.SiteSpillWrite, fault.Fault{Kind: fault.KindError, Count: 1})
+	w, err := m.NewWriter()
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := w.Append(tupleFor(i, 24), uint32(i)); err != nil {
+			break
+		}
+	}
+	err = w.Finish()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error %v, want injected-fault class", err)
+	}
+	var dfe *DirFailedError
+	if errors.As(err, &dfe) {
+		t.Fatalf("generic injected fault classified as directory failure: %v", err)
+	}
+	if h := Health(dir); !h[0].Healthy {
+		t.Fatalf("injected fault poisoned the directory: %+v", h[0])
+	}
+	if got := m.Stats().Failovers; got != 0 {
+		t.Fatalf("Stats().Failovers = %d, want 0", got)
+	}
+}
+
+// TestConfiguredRetryBudget: Config.IOAttempts/IOBackoff override the
+// defaults — with attempts=1 even a transient EINTR is fatal.
+func TestConfiguredRetryBudget(t *testing.T) {
+	defer fault.Reset()
+	t.Cleanup(ResetHealth)
+	m, err := NewManager(Config{
+		Dir:        t.TempDir(),
+		PageSize:   512,
+		A:          arena.New(1 << 20),
+		IOAttempts: 1,
+		IOBackoff:  time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+
+	fault.Enable(fault.SiteSpillWrite, fault.Fault{Kind: fault.KindError, Err: syscall.EINTR, Count: 1})
+	w, err := m.NewWriter()
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := w.Append(tupleFor(i, 24), uint32(i)); err != nil {
+			break
+		}
+	}
+	if err := w.Finish(); !errors.Is(err, syscall.EINTR) {
+		t.Fatalf("attempts=1 Finish error %v, want the unretried EINTR", err)
+	}
+	if got := m.Stats().WriteRetries; got != 0 {
+		t.Fatalf("WriteRetries = %d, want 0 with a single attempt", got)
+	}
+}
+
+// TestTransientShortWriteRetried: io.ErrShortWrite now counts as
+// transient — a single injected short write is absorbed by the default
+// retry budget and the partition still round-trips.
+func TestTransientShortWriteRetried(t *testing.T) {
+	defer fault.Reset()
+	t.Cleanup(ResetHealth)
+	m := newTestManager(t, 512)
+
+	fault.Enable(fault.SiteSpillWrite, fault.Fault{Kind: fault.KindError, Err: io.ErrShortWrite, Count: 1})
+	w := writePartition(t, m, 300, 24)
+	if got := m.Stats().WriteRetries; got == 0 {
+		t.Fatal("short write was not retried")
+	}
+	r := w.OpenReader()
+	defer r.Close()
+	n := 0
+	for {
+		p, ok, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		n += p.NTuples()
+		m.Release(p)
+	}
+	if n != 300 {
+		t.Fatalf("read back %d tuples, want 300", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -96,29 +97,35 @@ func verifyPage(buf []byte, idx uint32) string {
 }
 
 const (
-	// ioAttempts bounds how many times one page I/O is tried before the
-	// error is declared permanent and handed to the sticky-error path.
-	ioAttempts = 3
-	// ioBackoff is the first retry's sleep; each further retry waits 4x
-	// longer.
-	ioBackoff = 250 * time.Microsecond
+	// DefaultIOAttempts bounds how many times one page I/O is tried
+	// before the error is declared permanent and handed to the
+	// sticky-error path (Config.IOAttempts overrides).
+	DefaultIOAttempts = 3
+	// DefaultIOBackoff is the first retry's sleep; each further retry
+	// waits 4x longer (Config.IOBackoff overrides).
+	DefaultIOBackoff = 250 * time.Microsecond
 )
 
 // isTransient reports whether a page I/O error is worth retrying:
-// interrupted or temporarily unavailable syscalls. Everything else
-// (ENOSPC, EIO, EBADF, corruption) is permanent and fails the join
-// through the sticky first error.
+// interrupted or temporarily unavailable syscalls, plus the short-write
+// and short-read shapes a loaded filesystem can produce without meaning
+// the data is gone. Everything else (EBADF, corruption) is permanent and
+// fails the join through the sticky first error — and the directory-
+// class errnos (ENOSPC, EIO, EROFS, ...) additionally indict the
+// directory via dirPermanent, triggering failover rather than retry.
 func isTransient(err error) bool {
-	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, io.ErrShortWrite) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // retryIO runs one page I/O with bounded retry and exponential backoff,
 // counting retries into the given stat. Only transient errors are
-// retried; the last error is returned when the attempts run out.
-func retryIO(retries *atomic.Int64, op func() error) error {
-	backoff := ioBackoff
+// retried; the last error is returned when the attempts run out. Bounds
+// come from the Manager's Config (IOAttempts/IOBackoff).
+func (m *Manager) retryIO(retries *atomic.Int64, op func() error) error {
+	backoff := m.ioBackoff
 	var err error
-	for attempt := 0; attempt < ioAttempts; attempt++ {
+	for attempt := 0; attempt < m.ioAttempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(backoff)
 			backoff *= 4

@@ -4,14 +4,23 @@
 // models cycle-by-cycle (the paper's Figure 9 claim that partition I/O
 // hides behind compute), realized here on real files.
 //
-// A Manager owns one temporary directory and a fixed pool of reusable
-// page-sized buffers allocated from the join's arena. Partition Writers
-// encode tuples into internal/storage slotted pages — reusing the
-// memoized-hash-code slot layout of section 7.1, so spilled partitions
-// carry their hash codes back without recomputation — and hand full
-// pages to background writer goroutines (write-behind). Readers stream
-// a partition back with one page of read-ahead in flight, so the next
-// page's disk latency overlaps the current page's probe work.
+// A Manager owns a spill area spread over one or more parent directories
+// and a fixed pool of reusable page-sized buffers allocated from the
+// join's arena. Partition Writers encode tuples into internal/storage
+// slotted pages — reusing the memoized-hash-code slot layout of section
+// 7.1, so spilled partitions carry their hash codes back without
+// recomputation — and hand full pages to background writer goroutines
+// (write-behind). Readers stream a partition back with one page of
+// read-ahead in flight, so the next page's disk latency overlaps the
+// current page's probe work.
+//
+// The tier is self-healing: I/O errors that indict a directory (ENOSPC,
+// EIO, EROFS, ...) mark that directory unhealthy in a process-wide
+// registry (see health.go) and surface as a *DirFailedError, so the
+// caller can rebuild the partition on the next healthy directory instead
+// of failing the query; a corrupt or lost partition file is quarantined
+// with Quarantine and rebuilt the same way. Only when every configured
+// directory is down does the tier report *SpillUnavailableError.
 //
 // Buffers live in the arena rather than on the Go heap for one load-
 // bearing reason: the native engine addresses every tuple by arena
@@ -53,9 +62,12 @@ const (
 
 // Config sizes a Manager.
 type Config struct {
-	// Dir is the parent directory for the spill area; "" means the OS
-	// temp directory. The Manager creates (and removes on Close) its own
-	// subdirectory inside it.
+	// Dir is the parent directory spec for the spill area: an ordered,
+	// comma-separated list of directories ("" means the OS temp
+	// directory). The Manager creates (and removes on Close) its own
+	// subdirectory inside each parent it actually uses, preferring
+	// earlier entries and failing over to later ones when a directory
+	// turns unhealthy mid-join.
 	Dir string
 	// PageSize is the spill page size in bytes; 0 selects
 	// DefaultPageSize.
@@ -66,6 +78,12 @@ type Config struct {
 	// PoolPages is the buffer pool size; it is raised to at least what
 	// the write and read paths need to make progress.
 	PoolPages int
+	// IOAttempts bounds how many times one page I/O is tried before its
+	// error is declared permanent; <1 selects DefaultIOAttempts.
+	IOAttempts int
+	// IOBackoff is the first retry's sleep (each further retry waits 4x
+	// longer); <=0 selects DefaultIOBackoff.
+	IOBackoff time.Duration
 	// A is the arena the buffer pool is allocated from. Required.
 	A *arena.Arena
 	// Ctx, when non-nil, cancels spilling cooperatively: Writers check it
@@ -88,6 +106,15 @@ type Stats struct {
 	WriteRetries int64
 	ReadRetries  int64
 
+	// Failovers counts directories this Manager declared failed (and
+	// marked unhealthy in the process-wide registry) before moving on to
+	// the next one. Rebuilds counts partitions whose spill data was
+	// rebuilt from the in-memory source after a failure (NoteRebuild).
+	// Quarantined counts partition files set aside by Quarantine.
+	Failovers   int64
+	Rebuilds    int64
+	Quarantined int64
+
 	// WriteStall is time spent waiting for a free pool buffer on the
 	// encode path — the time write-behind failed to hide. ReadStall is
 	// time spent waiting for an in-flight read — the time read-ahead
@@ -96,15 +123,19 @@ type Stats struct {
 	ReadStall  time.Duration
 }
 
-// Manager owns a spill area: the temp directory, the buffer pool, and
+// Manager owns a spill area: the temp directories, the buffer pool, and
 // the write-behind workers. Close is idempotent and removes every file
 // the Manager created; callers defer it on both the normal and the
 // panic path, so a crashed join leaves no orphans.
 type Manager struct {
 	a        *arena.Arena
-	dir      string
+	parents  []string // configured parent directories, in preference order
+	subdirs  []string // created per-parent subdirectories; "" until used
 	pageSize int
 	ctx      context.Context // nil: never cancelled
+
+	ioAttempts int
+	ioBackoff  time.Duration
 
 	pool   chan pageBuf
 	writeq chan writeReq
@@ -123,6 +154,9 @@ type Manager struct {
 	bytesRead    atomic.Int64
 	writeRetries atomic.Int64
 	readRetries  atomic.Int64
+	failovers    atomic.Int64
+	rebuilds     atomic.Int64
+	quarantined  atomic.Int64
 	writeStallNs atomic.Int64
 	readStallNs  atomic.Int64
 }
@@ -138,6 +172,8 @@ type writeReq struct {
 // NewManager creates the spill area and starts the write-behind workers.
 // The buffer pool is allocated from cfg.A up front, so a join that
 // cannot afford its spill scratch fails here, before any file exists.
+// When every configured directory is unhealthy (and fails its revival
+// probe) the error is a *SpillUnavailableError.
 func NewManager(cfg Config) (*Manager, error) {
 	if cfg.A == nil {
 		return nil, fmt.Errorf("spill: Config.A is required")
@@ -153,6 +189,14 @@ func NewManager(cfg Config) (*Manager, error) {
 	if workers < 1 {
 		workers = DefaultWorkers
 	}
+	attempts := cfg.IOAttempts
+	if attempts < 1 {
+		attempts = DefaultIOAttempts
+	}
+	backoff := cfg.IOBackoff
+	if backoff <= 0 {
+		backoff = DefaultIOBackoff
+	}
 	// The pool must let the write path (one page being encoded + the
 	// write queue + in-flight writes) and the read path (one read-ahead
 	// per open reader) all hold a buffer without starving each other.
@@ -161,22 +205,29 @@ func NewManager(cfg Config) (*Manager, error) {
 		poolPages = floor
 	}
 
-	dir, err := os.MkdirTemp(cfg.Dir, "hjspill-")
-	if err != nil {
-		return nil, fmt.Errorf("spill: %w", err)
-	}
+	parents := ParseDirs(cfg.Dir)
 	m := &Manager{
-		a:        cfg.A,
-		dir:      dir,
-		pageSize: pageSize,
-		ctx:      cfg.Ctx,
-		pool:     make(chan pageBuf, poolPages),
-		writeq:   make(chan writeReq, 2*workers),
+		a:          cfg.A,
+		parents:    parents,
+		subdirs:    make([]string, len(parents)),
+		pageSize:   pageSize,
+		ctx:        cfg.Ctx,
+		ioAttempts: attempts,
+		ioBackoff:  backoff,
+		pool:       make(chan pageBuf, poolPages),
+		writeq:     make(chan writeReq, 2*workers),
+	}
+	// Create the first usable parent's subdirectory up front: a join
+	// whose spill area cannot exist at all should fail before any page
+	// is encoded, and with the same typed error a mid-join exhaustion
+	// produces.
+	if _, err := m.ensureSubdirLocked(); err != nil {
+		return nil, err
 	}
 	for i := 0; i < poolPages; i++ {
 		addr, err := cfg.A.TryAlloc(uint64(pageSize), 64)
 		if err != nil {
-			os.RemoveAll(dir)
+			m.removeSubdirs()
 			return nil, err
 		}
 		m.pool <- pageBuf{addr: addr, b: cfg.A.Bytes(addr, uint64(pageSize))}
@@ -188,11 +239,66 @@ func NewManager(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// Dir returns the Manager's temp directory (removed by Close).
-func (m *Manager) Dir() string { return m.dir }
+// ensureSubdirLocked finds the first healthy parent directory and
+// creates this Manager's subdirectory in it (if not already created),
+// returning the parent's index. Parents whose subdirectory creation
+// fails with a directory-class error are marked unhealthy and skipped —
+// that is the create-time half of failover. Callers hold m.mu (or, in
+// NewManager, exclusive ownership).
+func (m *Manager) ensureSubdirLocked() (int, error) {
+	var lastErr error
+	for i, parent := range m.parents {
+		if !dirHealthy(parent) {
+			continue
+		}
+		if m.subdirs[i] != "" {
+			return i, nil
+		}
+		dir, err := os.MkdirTemp(parent, "hjspill-")
+		if err != nil {
+			if dirPermanent(err) {
+				lastErr = m.dirFailed(i, err)
+				continue
+			}
+			return 0, fmt.Errorf("spill: %w", err)
+		}
+		m.subdirs[i] = dir
+		return i, nil
+	}
+	return 0, unavailableDirs(m.parents, lastErr)
+}
+
+// dirFailed marks a parent directory unhealthy in the process-wide
+// registry, counts the failover, and returns the typed wrapper the
+// caller hands up so the partition can be rebuilt elsewhere.
+func (m *Manager) dirFailed(idx int, cause error) *DirFailedError {
+	markDirUnhealthy(m.parents[idx], cause)
+	m.failovers.Add(1)
+	return &DirFailedError{Dir: m.parents[idx], Cause: cause}
+}
+
+// Dir returns the Manager's first created spill subdirectory (removed
+// by Close), for diagnostics.
+func (m *Manager) Dir() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.subdirs {
+		if d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+// Dirs returns the configured parent directory list.
+func (m *Manager) Dirs() []string { return m.parents }
 
 // PageSize returns the spill page size in bytes.
 func (m *Manager) PageSize() int { return m.pageSize }
+
+// NoteRebuild counts one partition rebuilt from its in-memory source
+// after a spill failure; the native tier calls it when it re-spills.
+func (m *Manager) NoteRebuild() { m.rebuilds.Add(1) }
 
 // Stats snapshots the I/O counters.
 func (m *Manager) Stats() Stats {
@@ -204,16 +310,21 @@ func (m *Manager) Stats() Stats {
 		BytesRead:    m.bytesRead.Load(),
 		WriteRetries: m.writeRetries.Load(),
 		ReadRetries:  m.readRetries.Load(),
+		Failovers:    m.failovers.Load(),
+		Rebuilds:     m.rebuilds.Load(),
+		Quarantined:  m.quarantined.Load(),
 		WriteStall:   time.Duration(m.writeStallNs.Load()),
 		ReadStall:    time.Duration(m.readStallNs.Load()),
 	}
 }
 
 // Close drains the write-behind queue, waits for in-flight reads,
-// closes every partition file, and removes the temp directory. It is
-// idempotent; the first error encountered is returned. Writers must not
-// be appended to after Close begins (the join's spill path is
-// serialized, so the panicking goroutine is the appending one).
+// closes every partition file, and removes the spill subdirectories. It
+// is idempotent; the first error encountered is returned — except
+// removal failures on directories already marked unhealthy, which are
+// expected on dead media and must not fail an otherwise-recovered join.
+// Writers must not be appended to after Close begins (the join's spill
+// path is serialized, so the panicking goroutine is the appending one).
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -235,10 +346,29 @@ func (m *Manager) Close() error {
 	}
 	if err := fault.Hit(fault.SiteSpillRemove); err != nil {
 		if first == nil {
-			first = fmt.Errorf("spill: removing %s: %w", m.dir, err)
+			first = fmt.Errorf("spill: removing %s: %w", m.Dir(), err)
 		}
-	} else if err := os.RemoveAll(m.dir); err != nil && first == nil {
+	} else if err := m.removeSubdirs(); err != nil && first == nil {
 		first = err
+	}
+	return first
+}
+
+// removeSubdirs removes every created spill subdirectory, swallowing
+// failures on parents the registry already knows are unhealthy.
+func (m *Manager) removeSubdirs() error {
+	var first error
+	for i, dir := range m.subdirs {
+		if dir == "" {
+			continue
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			if dirHealthy(m.parents[i]) && first == nil {
+				first = err
+			}
+			continue
+		}
+		m.subdirs[i] = ""
 	}
 	return first
 }
@@ -264,7 +394,10 @@ func (m *Manager) writeWorker() {
 // writePage seals and writes one page. Panics (fault-injected or
 // otherwise) are contained into the writer's sticky error so the buffer
 // still returns to the pool and pending.Done still runs — a failed write
-// must never deadlock Finish or Close.
+// must never deadlock Finish or Close. A permanent error that indicts
+// the directory (ENOSPC, EIO, ...) marks it unhealthy and becomes a
+// *DirFailedError, the caller's signal to rebuild the partition on the
+// next healthy directory.
 func (m *Manager) writePage(req writeReq) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -278,7 +411,7 @@ func (m *Manager) writePage(req writeReq) {
 		req.w.pending.Done()
 	}()
 	sealPage(req.buf.b, uint32(req.idx))
-	err := retryIO(&m.writeRetries, func() error {
+	err := m.retryIO(&m.writeRetries, func() error {
 		if err := fault.Hit(fault.SiteSpillWrite); err != nil {
 			return err
 		}
@@ -286,7 +419,11 @@ func (m *Manager) writePage(req writeReq) {
 		return err
 	})
 	if err != nil {
-		req.w.setErr(err)
+		if dirPermanent(err) {
+			req.w.setErr(m.dirFailed(req.w.dirIdx, err))
+		} else {
+			req.w.setErr(err)
+		}
 		return
 	}
 	m.pagesWritten.Add(1)
@@ -317,22 +454,61 @@ func (m *Manager) Release(p Page) { m.release(p.buf) }
 
 func (m *Manager) release(b pageBuf) { m.pool <- b }
 
-// newFile creates the next partition file under the spill directory.
-func (m *Manager) newFile() (*os.File, error) {
+// newFile creates the next partition file in the preferred healthy
+// spill directory, reporting which parent it landed in.
+func (m *Manager) newFile() (*os.File, int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return nil, fmt.Errorf("spill: manager closed")
+		return nil, 0, fmt.Errorf("spill: manager closed")
 	}
 	if err := fault.Hit(fault.SiteSpillCreate); err != nil {
-		return nil, fmt.Errorf("spill: creating partition: %w", err)
+		return nil, 0, fmt.Errorf("spill: creating partition: %w", err)
 	}
-	f, err := os.Create(filepath.Join(m.dir, fmt.Sprintf("part-%04d.spill", m.nfiles)))
-	if err != nil {
-		return nil, fmt.Errorf("spill: %w", err)
+	for {
+		idx, err := m.ensureSubdirLocked()
+		if err != nil {
+			return nil, 0, err
+		}
+		f, err := os.Create(filepath.Join(m.subdirs[idx], fmt.Sprintf("part-%04d.spill", m.nfiles)))
+		if err != nil {
+			if dirPermanent(err) {
+				// The subdirectory existed but the create failed at the
+				// directory level (disk filled or died since): fail the dir
+				// over and retry the loop on the next healthy one —
+				// ensureSubdirLocked returns *SpillUnavailableError once
+				// every parent is down, which bounds the loop.
+				m.dirFailed(idx, err)
+				continue
+			}
+			return nil, 0, fmt.Errorf("spill: %w", err)
+		}
+		m.nfiles++
+		m.files = append(m.files, f)
+		m.partitions.Add(1)
+		return f, idx, nil
 	}
-	m.nfiles++
-	m.files = append(m.files, f)
-	m.partitions.Add(1)
-	return f, nil
+}
+
+// Quarantine sets a failed partition file aside: the file is closed,
+// renamed with a ".quarantined" suffix (best effort — the directory may
+// be dead), and disowned by the Manager so Close does not double-close
+// it. The caller then rebuilds the partition with a fresh Writer; the
+// quarantined file stays on disk for post-mortem until the spill
+// subdirectory is removed at Close.
+func (m *Manager) Quarantine(w *Writer) {
+	m.mu.Lock()
+	for i, f := range m.files {
+		if f == w.f {
+			m.files = append(m.files[:i], m.files[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	name := w.f.Name()
+	w.f.Close()
+	if err := os.Rename(name, name+".quarantined"); err != nil {
+		os.Remove(name) // dead dir or vanished file: nothing to keep
+	}
+	m.quarantined.Add(1)
 }

@@ -37,6 +37,7 @@ type readRes struct {
 type Reader struct {
 	m      *Manager
 	f      *os.File
+	dirIdx int // index into m.parents of the directory holding the file
 	npages int
 	next   int // next page index to deliver
 	issued int // next page index to start reading
@@ -48,7 +49,7 @@ type Reader struct {
 // partition are allowed (the chunked join re-reads the probe partition
 // once per build chunk); each pass uses its own Reader.
 func (w *Writer) OpenReader() *Reader {
-	return &Reader{m: w.m, f: w.f, npages: w.npages, ahead: make(chan readRes, 1)}
+	return &Reader{m: w.m, f: w.f, dirIdx: w.dirIdx, npages: w.npages, ahead: make(chan readRes, 1)}
 }
 
 // Next delivers the next page, issuing the following page's read before
@@ -84,6 +85,11 @@ func (r *Reader) Next() (Page, bool, error) {
 	r.next++
 	if r.issued < r.npages {
 		r.issue()
+	}
+	if fault.Hit(fault.SiteSpillVerify) != nil {
+		// Chaos hook: flip one payload byte so the CRC check below fails
+		// exactly as a real on-disk bit flip would.
+		res.buf.b[HeaderSize] ^= 0xFF
 	}
 	if reason := verifyPage(res.buf.b, uint32(idx)); reason != "" {
 		return Page{}, false, r.corrupt(res.buf, idx, reason)
@@ -132,7 +138,7 @@ func (r *Reader) issue() {
 				r.ahead <- readRes{buf: buf, err: err}
 			}
 		}()
-		err := retryIO(&r.m.readRetries, func() error {
+		err := r.m.retryIO(&r.m.readRetries, func() error {
 			if err := fault.Hit(fault.SiteSpillRead); err != nil {
 				return err
 			}
@@ -142,6 +148,8 @@ func (r *Reader) issue() {
 		if err == nil {
 			r.m.pagesRead.Add(1)
 			r.m.bytesRead.Add(int64(len(buf.b)))
+		} else if dirPermanent(err) {
+			err = r.m.dirFailed(r.dirIdx, err)
 		}
 		r.ahead <- readRes{buf: buf, err: err}
 	}()

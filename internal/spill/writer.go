@@ -16,6 +16,7 @@ import (
 type Writer struct {
 	m       *Manager
 	f       *os.File
+	dirIdx  int // index into m.parents of the directory holding the file
 	cur     pageBuf
 	page    storage.Page
 	hasCur  bool
@@ -27,13 +28,14 @@ type Writer struct {
 	err   error // first write error, sticky
 }
 
-// NewWriter opens a fresh partition file for spilling.
+// NewWriter opens a fresh partition file for spilling, in the first
+// healthy spill directory.
 func (m *Manager) NewWriter() (*Writer, error) {
-	f, err := m.newFile()
+	f, dirIdx, err := m.newFile()
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{m: m, f: f}, nil
+	return &Writer{m: m, f: f, dirIdx: dirIdx}, nil
 }
 
 // Path returns the partition file's path (for error reporting).

@@ -239,6 +239,11 @@ type PipelineResult struct {
 	SpillBytesRead    int64
 	SpillWriteStall   time.Duration
 	SpillReadStall    time.Duration
+	// SpillFailovers counts spill directories declared failed mid-join;
+	// SpillRebuilds counts partitions rebuilt from their in-memory
+	// source after a failed or corrupt spill file.
+	SpillFailovers int64
+	SpillRebuilds  int64
 
 	// Hybrid-policy accounting (WithPipelineHybrid): partition pairs
 	// joined fully in memory, planned-resident pairs demoted to disk by
@@ -468,6 +473,8 @@ func (e *Env) RunPipelineContext(ctx context.Context, build, probe *Relation, op
 	res.SpillBytesRead = report.SpillBytesRead
 	res.SpillWriteStall = report.SpillWriteStall
 	res.SpillReadStall = report.SpillReadStall
+	res.SpillFailovers = report.SpillFailovers
+	res.SpillRebuilds = report.SpillRebuilds
 	res.ResidentPartitions = report.ResidentPartitions
 	res.DemotedPartitions = report.DemotedPartitions
 	res.BytesDemoted = report.BytesDemoted
